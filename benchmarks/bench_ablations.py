@@ -1,0 +1,160 @@
+"""Ablation benches — the design choices DESIGN.md calls out.
+
+Each ablation runs HMN variants on the same instances and publishes a
+comparison table; pytest-benchmark timings come from the representative
+torus instance.  These quantify *why* the paper's choices are what they
+are:
+
+* Migration stage on/off (Section 4.2's whole purpose);
+* link processing order (Section 4.1/4.3: descending bandwidth);
+* Networking metric (Section 4.3: bottleneck bandwidth vs shortest
+  latency);
+* Migration guest-selection policy (min intra-host bandwidth);
+* Migration origin definition (the heterogeneity interpretation note).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from _config import BASE_SEED, REPS, publish
+from repro.core import ClusterState, validate_mapping
+from repro.errors import MappingError
+from repro.hmn import HMNConfig, hmn_map
+from repro.workload import HIGH_LEVEL, LOW_LEVEL, Scenario, paper_clusters
+
+ABLATION_SCENARIOS = [
+    Scenario(ratio=2.5, density=0.015, workload=HIGH_LEVEL),
+    Scenario(ratio=20, density=0.01, workload=LOW_LEVEL),
+]
+
+
+def run_variant(config: HMNConfig, reps: int = REPS):
+    """Mean objective / co-location / hops over fresh instances."""
+    objectives, colocated, hops, failures = [], [], [], 0
+    for scenario in ABLATION_SCENARIOS:
+        for rep in range(reps):
+            clusters = paper_clusters(seed=BASE_SEED + rep)
+            cluster = clusters["torus"]
+            venv = scenario.build_venv(cluster, seed=BASE_SEED + 100 + rep)
+            try:
+                mapping = hmn_map(cluster, venv, config)
+            except MappingError:
+                failures += 1
+                continue
+            validate_mapping(cluster, venv, mapping)
+            objectives.append(mapping.meta["objective"])
+            colocated.append(mapping.n_colocated() / mapping.n_paths)
+            hops.append(mapping.total_hops())
+    return {
+        "objective": statistics.mean(objectives) if objectives else None,
+        "colocated_frac": statistics.mean(colocated) if colocated else None,
+        "total_hops": statistics.mean(hops) if hops else None,
+        "failures": failures,
+    }
+
+
+def fmt_row(name, stats):
+    obj = "—" if stats["objective"] is None else f"{stats['objective']:10.1f}"
+    col = "—" if stats["colocated_frac"] is None else f"{stats['colocated_frac']:10.2%}"
+    hops = "—" if stats["total_hops"] is None else f"{stats['total_hops']:10.0f}"
+    return f"{name:<34} {obj:>10} {col:>10} {hops:>10} {stats['failures']:>8}"
+
+
+HEADER = f"{'variant':<34} {'objective':>10} {'coloc %':>10} {'hops':>10} {'failed':>8}"
+
+
+def test_migration_benefit(benchmark):
+    on = benchmark.pedantic(run_variant, args=(HMNConfig(),), rounds=1, iterations=1)
+    off = run_variant(HMNConfig(migration_enabled=False))
+    exhaustive = run_variant(HMNConfig(migration_exhaustive=True))
+    text = "\n".join(
+        [HEADER, fmt_row("migration on (paper)", on), fmt_row("migration off", off),
+         fmt_row("migration exhaustive (ext.)", exhaustive)]
+    )
+    publish("ablation_migration.txt", text)
+    assert on["objective"] <= off["objective"] + 1e-9
+    assert exhaustive["objective"] <= on["objective"] + 1e-9
+
+
+def test_link_ordering(benchmark):
+    desc = benchmark.pedantic(
+        run_variant, args=(HMNConfig(link_order="vbw_desc"),), rounds=1, iterations=1
+    )
+    asc = run_variant(HMNConfig(link_order="vbw_asc", seed=1))
+    rand = run_variant(HMNConfig(link_order="random", seed=1))
+    text = "\n".join(
+        [HEADER, fmt_row("vbw descending (paper)", desc), fmt_row("vbw ascending", asc),
+         fmt_row("random order", rand)]
+    )
+    publish("ablation_link_order.txt", text)
+    # Descending order must not fail more than the alternatives.
+    assert desc["failures"] <= min(asc["failures"], rand["failures"])
+
+
+def test_routing_metric(benchmark):
+    bottleneck = benchmark.pedantic(
+        run_variant, args=(HMNConfig(routing_metric="bottleneck"),),
+        kwargs={"reps": 1}, rounds=1, iterations=1,
+    )
+    latency = run_variant(HMNConfig(routing_metric="latency"), reps=1)
+    text = "\n".join(
+        [HEADER, fmt_row("bottleneck bandwidth (paper)", bottleneck),
+         fmt_row("shortest latency", latency)]
+    )
+    publish("ablation_routing_metric.txt", text)
+    assert bottleneck["failures"] <= latency["failures"]
+
+
+def test_migration_policy(benchmark):
+    min_bw = benchmark.pedantic(
+        run_variant, args=(HMNConfig(migration_policy="min_intra_bw"),), rounds=1, iterations=1
+    )
+    max_vproc = run_variant(HMNConfig(migration_policy="max_vproc"))
+    rand = run_variant(HMNConfig(migration_policy="random", seed=3))
+    text = "\n".join(
+        [HEADER, fmt_row("min intra-host bw (paper)", min_bw),
+         fmt_row("max vproc", max_vproc), fmt_row("random guest", rand)]
+    )
+    publish("ablation_migration_policy.txt", text)
+    # The paper's policy minimizes newly created physical traffic: the
+    # total hops after migration must not exceed the alternatives'.
+    assert min_bw["total_hops"] <= max_vproc["total_hops"] * 1.05
+
+
+def test_migration_origin(benchmark):
+    loaded = benchmark.pedantic(
+        run_variant, args=(HMNConfig(migration_origin="loaded_min_residual"),),
+        rounds=1, iterations=1,
+    )
+    strict = run_variant(HMNConfig(migration_origin="strict_min_residual"))
+    usage = run_variant(HMNConfig(migration_origin="max_usage"))
+    text = "\n".join(
+        [HEADER, fmt_row("loaded_min_residual (default)", loaded),
+         fmt_row("strict_min_residual (literal)", strict),
+         fmt_row("max_usage", usage)]
+    )
+    publish("ablation_migration_origin.txt", text)
+    # The literal reading can stall on an empty small host, so the
+    # default must balance at least as well.
+    assert loaded["objective"] <= strict["objective"] + 1e-9
+
+
+@pytest.mark.parametrize(
+    "variant,config",
+    [
+        ("paper", HMNConfig()),
+        ("no-migration", HMNConfig(migration_enabled=False)),
+        ("latency-metric", HMNConfig(routing_metric="latency")),
+        ("exhaustive-migration", HMNConfig(migration_exhaustive=True)),
+    ],
+)
+def test_variant_cost(benchmark, variant, config):
+    clusters = paper_clusters(seed=BASE_SEED)
+    cluster = clusters["torus"]
+    scenario = Scenario(ratio=5, density=0.015, workload=HIGH_LEVEL)
+    venv = scenario.build_venv(cluster, seed=BASE_SEED + 1)
+    mapping = benchmark(hmn_map, cluster, venv, config)
+    benchmark.extra_info["objective"] = mapping.meta["objective"]

@@ -1,0 +1,84 @@
+"""BSP application-model benches (extension substrate).
+
+The bulk-synchronous driver is the workload class the paper's
+load-balance objective is *for* (a slow host delays every neighbour at
+every superstep).  These benches measure its cost and quantify how
+much more sharply it separates balanced from imbalanced mappings than
+the two-phase model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _config import BASE_SEED, publish
+from repro.baselines import get_mapper
+from repro.simulator import BspSpec, ExperimentSpec, run_bsp_experiment, run_experiment
+from repro.workload import LOW_LEVEL, Scenario, paper_clusters
+
+
+@pytest.fixture(scope="module")
+def instance():
+    clusters = paper_clusters(seed=BASE_SEED + 3)
+    cluster = clusters["switched"]
+    scenario = Scenario(ratio=20, density=0.01, workload=LOW_LEVEL)
+    venv = scenario.build_venv(cluster, seed=BASE_SEED + 4)
+    return cluster, venv
+
+
+def test_bsp_cost(benchmark, instance):
+    cluster, venv = instance
+    mapping = get_mapper("hmn")(cluster, venv)
+    spec = BspSpec(rounds=10, compute_seconds=100.0, comm_seconds=0.05)
+    result = benchmark.pedantic(
+        run_bsp_experiment, args=(cluster, venv, mapping, spec), rounds=3, iterations=1
+    )
+    benchmark.extra_info["events"] = result.events
+    benchmark.extra_info["makespan"] = result.makespan
+
+
+def test_two_phase_cost(benchmark, instance):
+    cluster, venv = instance
+    mapping = get_mapper("hmn")(cluster, venv)
+    spec = ExperimentSpec(compute_seconds=100.0, comm_seconds=0.5)
+    result = benchmark.pedantic(
+        run_experiment, args=(cluster, venv, mapping, spec), rounds=3, iterations=1
+    )
+    benchmark.extra_info["events"] = result.events
+
+
+def test_bsp_separates_mappers_more(benchmark, instance):
+    """Makespan ratio (imbalanced / balanced) under both models; the
+    BSP barrier must amplify the separation."""
+    cluster, venv = instance
+    hmn = get_mapper("hmn")(cluster, venv)
+    rnd = get_mapper("random+astar")(cluster, venv, seed=BASE_SEED)
+    bsp_spec = BspSpec(rounds=10, compute_seconds=100.0, comm_seconds=0.05,
+                       vmm_mips_per_guest=30.0)
+    two_spec = ExperimentSpec(compute_seconds=100.0, comm_seconds=0.5,
+                              vmm_mips_per_guest=30.0)
+
+    def run():
+        return {
+            "bsp": (
+                run_bsp_experiment(cluster, venv, hmn, bsp_spec).makespan,
+                run_bsp_experiment(cluster, venv, rnd, bsp_spec).makespan,
+            ),
+            "two_phase": (
+                run_experiment(cluster, venv, hmn, two_spec).makespan,
+                run_experiment(cluster, venv, rnd, two_spec).makespan,
+            ),
+        }
+
+    spans = benchmark.pedantic(run, rounds=1, iterations=1)
+    bsp_ratio = spans["bsp"][1] / spans["bsp"][0]
+    two_ratio = spans["two_phase"][1] / spans["two_phase"][0]
+    lines = [
+        "BSP vs two-phase: sensitivity of makespan to mapping quality",
+        f"  two-phase: hmn {spans['two_phase'][0]:.1f}s vs random {spans['two_phase'][1]:.1f}s "
+        f"(ratio {two_ratio:.3f})",
+        f"  BSP:       hmn {spans['bsp'][0]:.1f}s vs random {spans['bsp'][1]:.1f}s "
+        f"(ratio {bsp_ratio:.3f})",
+    ]
+    publish("bsp_sensitivity.txt", "\n".join(lines))
+    assert bsp_ratio >= two_ratio * 0.98  # barriers never reduce the gap

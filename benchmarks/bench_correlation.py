@@ -1,0 +1,50 @@
+"""Section 5.2 correlation study — objective vs experiment execution time.
+
+The paper: "we found a correlation of 0.7 between the objective
+function and the execution time of the experiment in the simulated
+environment", supporting Eq. 10 as a proxy for experiment duration.
+
+We compute three statistics over the shared grid sweep (all mappers,
+both clusters):
+
+* the **within-scenario standardized r** — the clean reading of the
+  claim (*given an experiment, do better-balanced mappings run
+  faster?*); this is the number compared against the paper's 0.7;
+* per-(scenario, cluster) correlations;
+* the raw pooled r, reported for completeness — it mixes
+  between-scenario scale effects (guest count drives both observables)
+  and is not meaningful on our grid (see figures module docs).
+"""
+
+from __future__ import annotations
+
+from _config import publish
+from repro.analysis import (
+    correlation_objective_vs_makespan,
+    correlation_within_scenarios,
+)
+
+
+def test_correlation_objective_vs_execution_time(benchmark, grid_records):
+    report = benchmark.pedantic(
+        correlation_within_scenarios, args=(grid_records,), rounds=1, iterations=1
+    )
+    raw_r, raw_n = correlation_objective_vs_makespan(grid_records)
+
+    lines = ["Correlation: Eq. 10 objective vs simulated experiment execution time", ""]
+    lines.append(f"within-scenario standardized r = {report.standardized_r:+.3f} "
+                 f"over {report.n_points} runs   (paper reports r = 0.7)")
+    lines.append(f"mean per-cell r               = {report.mean_cell_r:+.3f}")
+    lines.append(f"raw pooled r                  = {raw_r:+.3f} over {raw_n} runs")
+    lines.append("")
+    lines.append("per-(scenario, cluster) cells:")
+    for (scenario, cluster), r in sorted(report.per_cell.items()):
+        lines.append(f"  {scenario:<12} {cluster:<9} r = {r:+.3f}")
+    publish("correlation.txt", "\n".join(lines))
+
+    assert report.n_points >= 10
+    assert report.standardized_r > 0.3, (
+        "the paper's positive objective/execution-time relationship must hold"
+    )
+    positive_cells = sum(1 for r in report.per_cell.values() if r > 0)
+    assert positive_cells >= len(report.per_cell) / 2

@@ -1,0 +1,81 @@
+"""Overlay-shape bench: what the virtual topology does to the mapping.
+
+The paper evaluates only uniform random virtual graphs; its motivating
+applications are structured (P2P hubs, master/worker stars,
+pipelines).  This bench maps each overlay shape — resource-identical,
+thanks to the shared workload spec — and publishes how shape drives
+co-location, physical footprint and objective, plus per-shape HMN
+timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _config import BASE_SEED, publish
+from repro.core import validate_mapping
+from repro.extensions import NetworkFootprint
+from repro.hmn import hmn_map
+from repro.workload import (
+    LOW_LEVEL,
+    chain_venv,
+    generate_virtual_environment,
+    paper_clusters,
+    ring_venv,
+    scale_free_venv,
+    star_venv,
+    tree_venv,
+)
+
+N = 300
+
+OVERLAYS = {
+    "uniform (paper)": lambda seed: generate_virtual_environment(
+        N, workload=LOW_LEVEL, density=0.01, seed=seed
+    ),
+    "scale-free": lambda seed: scale_free_venv(N, workload=LOW_LEVEL, seed=seed),
+    "star": lambda seed: star_venv(N - 1, workload=LOW_LEVEL, seed=seed),
+    "chain": lambda seed: chain_venv(N, workload=LOW_LEVEL, seed=seed),
+    "tree": lambda seed: tree_venv(N, fanout=3, workload=LOW_LEVEL, seed=seed),
+    "ring": lambda seed: ring_venv(N, workload=LOW_LEVEL, seed=seed),
+}
+
+
+@pytest.mark.parametrize("shape", list(OVERLAYS), ids=lambda s: s.split()[0])
+def test_overlay_mapping_cost(benchmark, shape):
+    cluster = paper_clusters(seed=BASE_SEED + 21)["torus"]
+    venv = OVERLAYS[shape](BASE_SEED + 22)
+    mapping = benchmark.pedantic(hmn_map, args=(cluster, venv), rounds=1, iterations=1)
+    validate_mapping(cluster, venv, mapping)
+    benchmark.extra_info["colocated"] = mapping.n_colocated()
+    benchmark.extra_info["objective"] = mapping.meta["objective"]
+
+
+def test_overlay_shape_table(benchmark):
+    cluster = paper_clusters(seed=BASE_SEED + 21)["torus"]
+
+    def sweep():
+        rows = []
+        for shape, build in OVERLAYS.items():
+            venv = build(BASE_SEED + 22)
+            mapping = hmn_map(cluster, venv)
+            validate_mapping(cluster, venv, mapping)
+            footprint = NetworkFootprint().evaluate(cluster, venv, mapping)
+            rows.append(
+                (shape, venv.n_vlinks, mapping.n_colocated() / mapping.n_paths,
+                 footprint, mapping.meta["objective"])
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'overlay':<18} {'vlinks':>7} {'coloc %':>8} {'bw-hops':>9} {'Eq.10':>8}"]
+    for shape, n_vlinks, coloc, footprint, objective in rows:
+        lines.append(
+            f"{shape:<18} {n_vlinks:>7} {coloc:>8.1%} {footprint:>9.1f} {objective:>8.1f}"
+        )
+    publish("overlay_shapes.txt", "\n".join(lines))
+
+    by_shape = {r[0]: r for r in rows}
+    # The chain co-locates best (consecutive stages pack); the star
+    # cannot co-locate its hub with every worker.
+    assert by_shape["chain"][2] > by_shape["star"][2]

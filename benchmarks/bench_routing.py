@@ -1,0 +1,155 @@
+"""Routing microbenchmarks.
+
+Isolates the cost of the path-finding substrate — the component the
+paper identifies as the mapping-time bottleneck ("Most part of mapping
+time is spent in the Networking stage") — including the measured value
+of the RoutingGraph fast path that DESIGN.md's performance note
+describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _config import BASE_SEED
+from repro.core import ClusterState
+from repro.routing import (
+    LatencyOracle,
+    bottleneck_route_labels,
+    RoutingGraph,
+    backtracking_dfs,
+    bottleneck_route,
+    k_shortest_latency_paths,
+    latency_table,
+    random_walk_dfs,
+)
+from repro.topology import hypercube_cluster, paper_switched, paper_torus
+
+
+@pytest.fixture(scope="module")
+def torus():
+    return paper_torus(seed=BASE_SEED)
+
+
+@pytest.fixture(scope="module")
+def pairs(torus):
+    rng = np.random.default_rng(BASE_SEED)
+    hosts = torus.host_ids
+    return [tuple(int(x) for x in rng.choice(len(hosts), size=2, replace=False)) for _ in range(50)]
+
+
+def test_bottleneck_route_accessor_path(benchmark, torus, pairs):
+    state = ClusterState(torus)
+    oracle = LatencyOracle(torus)
+
+    def run():
+        for a, b in pairs:
+            bottleneck_route(
+                torus, a, b, bandwidth=0.5, latency_bound=60.0,
+                residual_bw=state.residual_bw, oracle=oracle,
+            )
+
+    benchmark(run)
+
+
+def test_bottleneck_route_fast_path(benchmark, torus, pairs):
+    state = ClusterState(torus)
+    oracle = LatencyOracle(torus)
+    graph = RoutingGraph(torus)
+
+    def run():
+        for a, b in pairs:
+            bottleneck_route(
+                torus, a, b, bandwidth=0.5, latency_bound=60.0,
+                oracle=oracle, graph=graph, bw_table=state.bw_table,
+            )
+
+    benchmark(run)
+
+
+def test_bottleneck_route_switched(benchmark, pairs):
+    cluster = paper_switched(seed=BASE_SEED)
+    oracle = LatencyOracle(cluster)
+    graph = RoutingGraph(cluster)
+    state = ClusterState(cluster)
+    hosts = cluster.host_ids
+
+    def run():
+        for a, b in pairs:
+            bottleneck_route(
+                cluster, hosts[a], hosts[b], bandwidth=0.5, latency_bound=60.0,
+                oracle=oracle, graph=graph, bw_table=state.bw_table,
+            )
+
+    benchmark(run)
+
+
+def test_dijkstra_table(benchmark, torus):
+    benchmark(lambda: [latency_table(torus, d) for d in torus.host_ids[:10]])
+
+
+def test_random_walk_dfs(benchmark, torus, pairs):
+    def run():
+        rng = np.random.default_rng(BASE_SEED)
+        found = 0
+        for a, b in pairs:
+            try:
+                random_walk_dfs(torus, a, b, bandwidth=0.5, latency_bound=60.0, rng=rng)
+                found += 1
+            except Exception:
+                pass
+        return found
+
+    benchmark(run)
+
+
+def test_backtracking_dfs(benchmark, torus, pairs):
+    def run():
+        for a, b in pairs:
+            backtracking_dfs(torus, a, b, bandwidth=0.5, latency_bound=60.0)
+
+    benchmark(run)
+
+
+def test_k_shortest_paths_hypercube(benchmark):
+    """Worst-case path diversity: K shortest on a 6-cube."""
+    cube = hypercube_cluster(6, seed=BASE_SEED)
+
+    def run():
+        return k_shortest_latency_paths(cube, 0, 63, k=20)
+
+    paths = benchmark(run)
+    assert len(paths) == 20
+
+
+def test_bottleneck_route_label_setting(benchmark, torus, pairs):
+    state = ClusterState(torus)
+    oracle = LatencyOracle(torus)
+    graph = RoutingGraph(torus)
+
+    def run():
+        for a, b in pairs:
+            bottleneck_route_labels(
+                torus, a, b, bandwidth=0.5, latency_bound=60.0,
+                oracle=oracle, graph=graph, bw_table=state.bw_table,
+            )
+
+    benchmark(run)
+
+
+def test_label_setting_on_loose_bounds(benchmark, torus, pairs):
+    """The regime where Algorithm 1 explodes: a 3x-looser latency bound
+    still routes in polynomial time with label setting."""
+    state = ClusterState(torus)
+    oracle = LatencyOracle(torus)
+    graph = RoutingGraph(torus)
+
+    def run():
+        for a, b in pairs[:10]:
+            bottleneck_route_labels(
+                torus, a, b, bandwidth=0.5, latency_bound=180.0,
+                oracle=oracle, graph=graph, bw_table=state.bw_table,
+            )
+
+    benchmark(run)

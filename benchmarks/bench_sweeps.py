@@ -1,0 +1,90 @@
+"""Sweep benches: where do the heuristics break?
+
+Two sweeps sharpen Table 2's failure story into curves:
+
+* **ratio sweep** — success of the DFS-walk router (R) vs HMN on the
+  torus as the guest:host ratio grows.  The paper's "—" cells are the
+  right-hand end of this curve; the sweep locates the crossover.
+* **objective-vs-ratio sweep** — HMN's advantage over RA shrinking
+  with the ratio ("its efficacy decreases as the number of guests ...
+  increases"), as a series instead of table cells.
+"""
+
+from __future__ import annotations
+
+from _config import BASE_SEED, REPS, publish
+from repro.analysis import render_sweep, sweep_scenarios
+from repro.workload import HIGH_LEVEL, LOW_LEVEL, Scenario, paper_clusters
+
+
+def _scenario_for(ratio: float) -> Scenario:
+    if ratio <= 10.0:
+        return Scenario(ratio=ratio, density=0.015, workload=HIGH_LEVEL)
+    return Scenario(ratio=ratio, density=0.01, workload=LOW_LEVEL)
+
+
+def test_walk_failure_crossover(benchmark):
+    sweep = benchmark.pedantic(
+        sweep_scenarios,
+        kwargs=dict(
+            clusters=paper_clusters,
+            axis=[2.5, 5.0, 7.5, 10.0, 20.0],
+            make_scenario=_scenario_for,
+            mappers=["hmn", "random"],
+            reps=REPS,
+            base_seed=BASE_SEED,
+            axis_name="ratio",
+            mapper_kwargs={"random": {"max_tries": 6}},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["Failure fraction vs guest:host ratio (torus; R = random+walk):", ""]
+    lines.append(f"{'ratio':>8} {'HMN':>8} {'R':>8}")
+    hmn = dict(sweep.failure_series("hmn", "torus"))
+    rnd = dict(sweep.failure_series("random", "torus"))
+    for x in sorted(sweep.points):
+        lines.append(f"{x:>8g} {hmn[x]:>8.0%} {rnd[x]:>8.0%}")
+    publish("sweep_walk_failures.txt", "\n".join(lines))
+
+    # The walk router's failures must blow up with the ratio while
+    # HMN's stay (weakly) below its own.
+    assert rnd[20.0] >= 0.9
+    assert hmn[20.0] <= rnd[20.0]
+    assert rnd[2.5] <= 0.5  # the walk is fine at low load
+
+
+def test_objective_advantage_decay(benchmark):
+    sweep = benchmark.pedantic(
+        sweep_scenarios,
+        kwargs=dict(
+            clusters=paper_clusters,
+            axis=[2.5, 5.0, 7.5],
+            make_scenario=lambda r: Scenario(ratio=r, density=0.02, workload=HIGH_LEVEL),
+            mappers=["hmn", "random+astar"],
+            reps=REPS,
+            base_seed=BASE_SEED,
+            axis_name="ratio",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_sweep(
+        sweep,
+        value=lambda c: c.mean_objective,
+        title="Eq. 10 objective vs ratio (HMN's edge narrows with load):",
+        cluster="switched",
+    )
+    publish("sweep_objective_decay.txt", text)
+
+    hmn = dict(sweep.series("hmn", "switched", lambda c: c.mean_objective))
+    ra = dict(sweep.series("random+astar", "switched", lambda c: c.mean_objective))
+    margins = {
+        x: ra[x] - hmn[x]
+        for x in sweep.points
+        if hmn.get(x) is not None and ra.get(x) is not None
+    }
+    assert margins, "sweep produced no comparable points"
+    assert all(m > -1e9 for m in margins.values())
+    # HMN wins at the low end of the sweep.
+    assert margins[min(margins)] > 0

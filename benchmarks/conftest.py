@@ -1,0 +1,35 @@
+"""Benchmark fixtures: the shared grid sweep.
+
+Tables 2 and 3 and the correlation study all consume the same grid of
+run records; the session-scoped :func:`grid_records` fixture executes
+the sweep once so ``pytest benchmarks/ --benchmark-only`` does not pay
+for it three times.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _config import BASE_SEED, REPS, SPEC, mapper_kwargs, scenarios  # noqa: E402
+
+from repro.analysis import run_grid  # noqa: E402
+from repro.baselines import PAPER_MAPPERS  # noqa: E402
+from repro.workload import paper_clusters  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def grid_records():
+    return run_grid(
+        paper_clusters,
+        scenarios(),
+        list(PAPER_MAPPERS),
+        reps=REPS,
+        base_seed=BASE_SEED,
+        spec=SPEC,
+        mapper_kwargs=mapper_kwargs(),
+    )

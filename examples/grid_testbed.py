@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Grid-middleware testbed: high-level workload, all four heuristics.
+
+The paper's first use case (Section 5): "testing of applications such
+as grid computing applications, cloud computing middleware" — VMs
+carrying full software stacks, up to 10 guests per host.  This example
+maps the same 300-guest environment with HMN and the three baselines,
+then *runs the emulated experiment* over each mapping with the
+discrete-event simulator, showing how mapping quality becomes
+experiment wall time (the paper's Section 5.2 argument).
+
+Run:  python examples/grid_testbed.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines import PAPER_MAPPER_LABELS, PAPER_MAPPERS, get_mapper
+from repro.errors import MappingError
+from repro.simulator import ExperimentSpec, run_experiment
+from repro.workload import HIGH_LEVEL, Scenario, paper_clusters
+
+
+def main() -> None:
+    clusters = paper_clusters(seed=11)
+    cluster = clusters["torus"]
+    scenario = Scenario(ratio=7.5, density=0.02, workload=HIGH_LEVEL)
+    venv = scenario.build_venv(cluster, seed=13)
+    print(f"Emulating a grid testbed: {venv.n_guests} middleware VMs, "
+          f"{venv.n_vlinks} virtual links, on {cluster}\n")
+
+    # The emulated experiment: every VM computes for a nominal 100 s,
+    # then exchanges results with its neighbours (5 s per link at the
+    # link's reserved bandwidth).
+    spec = ExperimentSpec(compute_seconds=100.0, comm_seconds=5.0)
+
+    header = (f"{'heuristic':<18} {'map time':>10} {'objective':>10} "
+              f"{'co-located':>11} {'hosts':>6} {'experiment':>11}")
+    print(header)
+    print("-" * len(header))
+    for mapper_name in PAPER_MAPPERS:
+        mapper = get_mapper(mapper_name)
+        label = PAPER_MAPPER_LABELS[mapper_name]
+        t0 = time.perf_counter()
+        try:
+            kwargs = {} if mapper_name == "hmn" else {"max_tries": 10}
+            mapping = mapper(cluster, venv, seed=2024, **kwargs)
+        except MappingError as exc:
+            print(f"{label:<18} {'—':>10} {'—':>10} {'—':>11} {'—':>6} "
+                  f"failed: {type(exc).__name__}")
+            continue
+        map_time = time.perf_counter() - t0
+        result = run_experiment(cluster, venv, mapping, spec)
+        print(f"{label:<18} {map_time:>9.2f}s {mapping.meta['objective']:>10.1f} "
+              f"{mapping.n_colocated():>4}/{mapping.n_paths:<6} "
+              f"{len(mapping.hosts_used()):>6} {result.makespan:>10.1f}s")
+
+    print("\nHMN's affinity placement turns the heaviest virtual links into")
+    print("free intra-host traffic and its migration stage balances residual")
+    print("CPU, so the emulated experiment finishes first on its mapping.")
+
+
+if __name__ == "__main__":
+    main()

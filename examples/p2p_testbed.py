@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""P2P-protocol testbed: low-level workload at 20:1 consolidation.
+
+The paper's second use case (Section 5): "an environment where the
+objects of tests are, for example, P2P protocols" — hundreds of
+minimal VMs, 20-50 per host.  At this scale the *router* decides
+success: the latency-blind DFS walk of the R/HS baselines cannot route
+thousands of links on a torus within the 30-60 ms bounds (the paper's
+Table 2 "—" cells), while A*Prune-based mappers succeed on both
+topologies.  This example reproduces that mechanism live.
+
+Run:  python examples/p2p_testbed.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines import PAPER_MAPPER_LABELS, PAPER_MAPPERS, get_mapper
+from repro.errors import MappingError
+from repro.workload import LOW_LEVEL, Scenario, paper_clusters
+
+
+def main() -> None:
+    clusters = paper_clusters(seed=23)
+    scenario = Scenario(ratio=20, density=0.01, workload=LOW_LEVEL)
+    venv = scenario.build_venv(clusters["torus"], seed=29)
+    print(f"Emulating a P2P overlay: {venv.n_guests} peer VMs, "
+          f"{venv.n_vlinks} overlay links "
+          f"({venv.total_vmem() / 1024:.1f} GiB total memory)\n")
+
+    for cluster_name, cluster in clusters.items():
+        print(f"=== {cluster_name} cluster ===")
+        for mapper_name in PAPER_MAPPERS:
+            label = PAPER_MAPPER_LABELS[mapper_name]
+            mapper = get_mapper(mapper_name)
+            kwargs = {} if mapper_name == "hmn" else {"max_tries": 5}
+            t0 = time.perf_counter()
+            try:
+                mapping = mapper(cluster, venv, seed=31, **kwargs)
+            except MappingError as exc:
+                wall = time.perf_counter() - t0
+                print(f"  {label:<4} FAILED after {wall:5.1f}s ({type(exc).__name__}) — "
+                      "the DFS walk overshoots the latency bounds"
+                      if mapper_name in ("random", "hosting+search")
+                      else f"  {label:<4} FAILED ({type(exc).__name__})")
+                continue
+            wall = time.perf_counter() - t0
+            mean_hops = mapping.total_hops() / max(mapping.n_paths - mapping.n_colocated(), 1)
+            print(f"  {label:<4} ok in {wall:5.1f}s — objective "
+                  f"{mapping.meta['objective']:7.1f}, {mapping.n_colocated()} links "
+                  f"co-located, {mean_hops:.2f} mean hops for the rest")
+        print()
+
+    print("On the switched fabric every host pair has exactly one path, so")
+    print("even the naive walk routes instantly; on the torus only the")
+    print("A*Prune-based heuristics (HMN, RA) find latency-feasible paths.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: map a small emulated system onto a cluster with HMN.
+
+Builds the paper's two evaluation clusters (a 40-host 2-D torus and a
+40-host switched fabric over the *same* random host set), generates a
+100-guest high-level virtual environment, maps it with the HMN
+heuristic, validates every constraint, and prints what happened.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import hmn_map, validate_mapping
+from repro.core import balance_lower_bound
+from repro.units import format_latency
+from repro.workload import HIGH_LEVEL, generate_virtual_environment, paper_clusters
+
+
+def main() -> None:
+    # 1. The physical testbed: both paper topologies over one host draw.
+    clusters = paper_clusters(seed=7)
+    torus = clusters["torus"]
+    print(torus)
+    print(clusters["switched"])
+
+    # 2. The virtual environment the tester wants to emulate: 100 VMs
+    #    with full software stacks (the paper's "high-level" workload).
+    venv = generate_virtual_environment(
+        100, workload=HIGH_LEVEL, density=0.02, seed=42
+    )
+    print(venv)
+    print(f"demand: {venv.total_vproc():.0f} MIPS, "
+          f"{venv.total_vmem() / 1024:.1f} GiB memory, "
+          f"{venv.total_vstor() / 1024:.2f} TiB storage, "
+          f"{venv.n_vlinks} virtual links\n")
+
+    # 3. Map it.  hmn_map runs Hosting -> Migration -> Networking.
+    for name, cluster in clusters.items():
+        mapping = hmn_map(cluster, venv)
+        validate_mapping(cluster, venv, mapping)  # raises if any Eq. 1-9 fails
+
+        print(f"--- {name} ---")
+        for stage in mapping.stages:
+            print(f"  {stage}")
+        print(f"  guests on {len(mapping.hosts_used())} of {cluster.n_hosts} hosts; "
+              f"{mapping.n_colocated()} of {mapping.n_paths} virtual links co-located")
+        objective = mapping.meta["objective"]
+        bound = balance_lower_bound(cluster, venv.total_vproc())
+        print(f"  load-balance objective (Eq. 10): {objective:.1f} MIPS "
+              f"(theoretical floor {bound:.1f})")
+        worst = max(
+            (mapping.path_latency(cluster, a, b), (a, b)) for a, b in mapping.paths
+        )
+        print(f"  worst mapped path latency: {format_latency(worst[0])} "
+              f"for virtual link {worst[1]}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Topology tour: one virtual environment, seven physical fabrics.
+
+The paper's differentiator over prior emulators is arbitrary-topology
+support ("our approach can manage arbitrary cluster networks",
+Section 2).  This example maps the same 60-guest environment onto
+seven cluster interconnects and compares what the topology does to
+path lengths, mapping time and feasibility.
+
+Run:  python examples/topology_tour.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import MappingError
+from repro.hmn import HMNConfig, hmn_map
+from repro.topology import (
+    hypercube_cluster,
+    line_cluster,
+    mesh_cluster,
+    random_cluster,
+    ring_cluster,
+    switched_cluster,
+    torus_cluster,
+    tree_cluster,
+    uniform_hosts,
+)
+from repro.workload import HIGH_LEVEL, generate_virtual_environment
+
+
+def build_topologies():
+    """Seven 16-host fabrics over identical (homogeneous) hosts, so the
+    comparison isolates the interconnect."""
+    def hosts():
+        return uniform_hosts(16)
+
+    return {
+        "torus 4x4": torus_cluster(4, 4, hosts=hosts()),
+        "mesh 4x4": mesh_cluster(4, 4, hosts=hosts()),
+        "ring": ring_cluster(16, hosts=hosts()),
+        "line": line_cluster(16, hosts=hosts()),
+        "hypercube 4-d": hypercube_cluster(4, hosts=hosts()),
+        "switched": switched_cluster(16, hosts=hosts()),
+        "tree (4 leaves)": tree_cluster(16, hosts_per_leaf=4, hosts=hosts()),
+        "random d=0.3": random_cluster(16, density=0.3, hosts=hosts(), seed=5),
+    }
+
+
+def main() -> None:
+    venv = generate_virtual_environment(60, workload=HIGH_LEVEL, density=0.05, seed=3)
+    print(f"Mapping {venv.n_guests} guests / {venv.n_vlinks} virtual links "
+          "onto eight 16-host fabrics\n")
+
+    header = (f"{'topology':<16} {'links':>6} {'map time':>9} {'objective':>10} "
+              f"{'mean hops':>10} {'worst lat':>10}")
+    print(header)
+    print("-" * len(header))
+    # The ring and especially the line have large diameters; loose
+    # latency exploration there is where the polynomial router shines.
+    config = HMNConfig(router="label_setting")
+    for name, cluster in build_topologies().items():
+        t0 = time.perf_counter()
+        try:
+            mapping = hmn_map(cluster, venv, config)
+        except MappingError as exc:
+            print(f"{name:<16} {cluster.n_links:>6} {'—':>9} "
+                  f"infeasible here: {type(exc).__name__}")
+            continue
+        wall = time.perf_counter() - t0
+        routed = mapping.n_paths - mapping.n_colocated()
+        mean_hops = mapping.total_hops() / max(routed, 1)
+        worst = max(mapping.path_latency(cluster, a, b) for a, b in mapping.paths)
+        print(f"{name:<16} {cluster.n_links:>6} {wall:>8.3f}s "
+              f"{mapping.meta['objective']:>10.1f} {mean_hops:>10.2f} "
+              f"{worst:>8.1f}ms")
+
+    print("\nDenser interconnects (hypercube, torus) keep paths short; the")
+    print("line topology concentrates every flow on few links and may be")
+    print("infeasible for latency-tight virtual links — exactly the class")
+    print("of constraint the mapping problem formalizes.")
+
+
+if __name__ == "__main__":
+    main()

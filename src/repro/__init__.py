@@ -1,0 +1,99 @@
+"""repro — reproduction of *A Heuristic for Mapping Virtual Machines and
+Links in Emulation Testbeds* (Calheiros, Buyya, De Rose — ICPP 2009).
+
+The library implements the paper's Hosting–Migration–Networking (HMN)
+heuristic and everything it stands on: the testbed-mapping problem
+model, constrained routing (A*Prune and variants), cluster topology and
+workload generators, the random/mixed baseline mappers, a CloudSim-like
+discrete-event simulator for the experiment-execution correlation study,
+and the analysis harness that regenerates every table and figure of the
+paper's evaluation.
+
+Quickstart::
+
+    from repro import hmn_map, torus_cluster, generate_virtual_environment
+    from repro.workload import HIGH_LEVEL
+
+    cluster = torus_cluster(rows=5, cols=8, seed=1)
+    venv = generate_virtual_environment(n_guests=100, workload=HIGH_LEVEL, seed=2)
+    mapping = hmn_map(cluster, venv)
+    print(mapping.objective(cluster, venv))
+"""
+
+from repro.core import (
+    ClusterState,
+    Guest,
+    Host,
+    Mapping,
+    PhysicalCluster,
+    PhysicalLink,
+    VirtualEnvironment,
+    VirtualLink,
+    is_valid,
+    load_balance_factor,
+    validate_mapping,
+)
+from repro.errors import (
+    CapacityError,
+    MappingError,
+    ModelError,
+    PlacementError,
+    ReproError,
+    RetriesExhaustedError,
+    RoutingError,
+    ValidationError,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # core model
+    "Host",
+    "PhysicalLink",
+    "PhysicalCluster",
+    "Guest",
+    "VirtualLink",
+    "VirtualEnvironment",
+    "ClusterState",
+    "Mapping",
+    "load_balance_factor",
+    "validate_mapping",
+    "is_valid",
+    # errors
+    "ReproError",
+    "ModelError",
+    "CapacityError",
+    "MappingError",
+    "PlacementError",
+    "RoutingError",
+    "RetriesExhaustedError",
+    "ValidationError",
+    # high-level entry points (lazily imported)
+    "hmn_map",
+    "torus_cluster",
+    "switched_cluster",
+    "generate_virtual_environment",
+]
+
+
+def __getattr__(name: str):
+    # Lazy imports keep `import repro` cheap and avoid import cycles while
+    # still exposing the one-call quickstart API at the package root.
+    if name == "hmn_map":
+        from repro.hmn import hmn_map
+
+        return hmn_map
+    if name == "torus_cluster":
+        from repro.topology import torus_cluster
+
+        return torus_cluster
+    if name == "switched_cluster":
+        from repro.topology import switched_cluster
+
+        return switched_cluster
+    if name == "generate_virtual_environment":
+        from repro.workload import generate_virtual_environment
+
+        return generate_virtual_environment
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

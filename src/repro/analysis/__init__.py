@@ -1,0 +1,70 @@
+"""Experiment harness: batch runner, statistics, table/figure renderers.
+
+Everything the benchmarks use to regenerate the paper's evaluation:
+
+* :mod:`~repro.analysis.runner` — grid sweeps producing flat
+  :class:`~repro.analysis.runner.RunRecord` rows;
+* :mod:`~repro.analysis.stats` — means, population std, Pearson r;
+* :mod:`~repro.analysis.tables` — Tables 2 and 3 renderers;
+* :mod:`~repro.analysis.figures` — the Figure 1 series and the
+  objective-vs-execution-time correlation study.
+"""
+
+from repro.analysis.figures import (
+    CorrelationReport,
+    FigurePoint,
+    correlation_objective_vs_makespan,
+    correlation_within_scenarios,
+    figure1_series,
+    render_figure1,
+)
+from repro.analysis.runner import (
+    CellStats,
+    RunRecord,
+    aggregate,
+    records_to_dicts,
+    run_cell,
+    run_grid,
+)
+from repro.analysis.stats import (
+    Summary,
+    confidence_halfwidth,
+    mean,
+    pearson,
+    population_std,
+    summarize,
+)
+from repro.analysis.report import describe_mapping, host_table, link_hotspots
+from repro.analysis.sweeps import SweepResult, render_sweep, sweep_scenarios
+from repro.analysis.tables import render_generic, render_table2, render_table3, to_csv
+
+__all__ = [
+    "RunRecord",
+    "CellStats",
+    "run_cell",
+    "run_grid",
+    "aggregate",
+    "records_to_dicts",
+    "mean",
+    "population_std",
+    "pearson",
+    "summarize",
+    "Summary",
+    "confidence_halfwidth",
+    "render_table2",
+    "render_table3",
+    "render_generic",
+    "to_csv",
+    "sweep_scenarios",
+    "render_sweep",
+    "SweepResult",
+    "describe_mapping",
+    "host_table",
+    "link_hotspots",
+    "figure1_series",
+    "render_figure1",
+    "FigurePoint",
+    "correlation_objective_vs_makespan",
+    "correlation_within_scenarios",
+    "CorrelationReport",
+]

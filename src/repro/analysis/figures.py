@@ -1,0 +1,157 @@
+"""Figure renderers — reproduction of the paper's Figure 1 and the
+Section 5.2 correlation study.
+
+Figure 1 plots HMN's mapping time (mean ± std over repetitions)
+against the number of virtual links being mapped, on the torus
+cluster.  :func:`figure1_series` produces the data points;
+:func:`render_figure1` prints them as an aligned text table plus an
+ASCII bar sketch (the library is plotting-agnostic — the series is the
+deliverable, matplotlib is not a dependency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.runner import RunRecord
+from repro.analysis.stats import pearson
+
+__all__ = [
+    "FigurePoint",
+    "figure1_series",
+    "render_figure1",
+    "correlation_objective_vs_makespan",
+    "correlation_within_scenarios",
+    "CorrelationReport",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class FigurePoint:
+    """One x position of Figure 1: links mapped vs HMN mapping time."""
+
+    n_links: float
+    mean_seconds: float
+    std_seconds: float
+    n_runs: int
+
+
+def figure1_series(
+    records: Iterable[RunRecord],
+    *,
+    mapper: str = "hmn",
+    cluster: str = "torus",
+) -> list[FigurePoint]:
+    """Fold run records into the Figure 1 series.
+
+    Successful runs of *mapper* on *cluster* are grouped by scenario;
+    each group becomes one point at its mean link count (link counts
+    vary slightly between repetitions because each draws a fresh
+    virtual environment, exactly as in the paper).  Points are sorted
+    by link count.
+    """
+    groups: dict[str, list[RunRecord]] = {}
+    for r in records:
+        if r.ok and r.mapper == mapper and r.cluster == cluster:
+            groups.setdefault(r.scenario, []).append(r)
+    points = []
+    for rows in groups.values():
+        times = np.array([r.map_seconds for r in rows], dtype=float)
+        links = np.array([r.n_vlinks for r in rows], dtype=float)
+        points.append(
+            FigurePoint(
+                n_links=float(links.mean()),
+                mean_seconds=float(times.mean()),
+                std_seconds=float(times.std()),
+                n_runs=len(rows),
+            )
+        )
+    points.sort(key=lambda p: p.n_links)
+    return points
+
+
+def render_figure1(points: Sequence[FigurePoint], *, width: int = 50) -> str:
+    """Aligned table + ASCII sketch of the Figure 1 series."""
+    if not points:
+        return "Figure 1: no data"
+    lines = ["Figure 1. HMN execution time vs number of virtual links (torus)."]
+    lines.append(f"{'links':>8} {'time mean':>12} {'time std':>12}  profile")
+    peak = max(p.mean_seconds for p in points) or 1.0
+    for p in points:
+        bar = "#" * max(1, int(round(width * p.mean_seconds / peak)))
+        lines.append(
+            f"{p.n_links:>8.0f} {p.mean_seconds:>11.3f}s {p.std_seconds:>11.3f}s  {bar}"
+        )
+    return "\n".join(lines)
+
+
+def correlation_objective_vs_makespan(records: Iterable[RunRecord]) -> tuple[float, int]:
+    """Raw pooled Pearson r between Eq. 10 and simulated execution time.
+
+    Pools every successful, simulated run (all mappers, all scenarios,
+    both clusters — the paper pools too, reporting r = 0.7).  Returns
+    ``(r, n_points)``.  Note the pooled statistic mixes between-scenario
+    scale effects (more guests means longer experiments *and* different
+    objective magnitudes) with the within-scenario effect the paper is
+    actually arguing for; prefer
+    :func:`correlation_within_scenarios` for the clean reading.
+    """
+    xs: list[float] = []
+    ys: list[float] = []
+    for r in records:
+        if r.ok and r.objective is not None and r.makespan is not None:
+            xs.append(r.objective)
+            ys.append(r.makespan)
+    return pearson(xs, ys), len(xs)
+
+
+@dataclass(frozen=True, slots=True)
+class CorrelationReport:
+    """Within-scenario correlation summary (Section 5.2 claim)."""
+
+    #: Pooled r after z-scoring objective and makespan within each
+    #: (scenario, cluster) cell — removes between-scenario scale.
+    standardized_r: float
+    #: Per-(scenario, cluster) Pearson r values.
+    per_cell: dict
+    n_points: int
+
+    @property
+    def mean_cell_r(self) -> float:
+        if not self.per_cell:
+            return float("nan")
+        return float(np.mean(list(self.per_cell.values())))
+
+
+def correlation_within_scenarios(records: Iterable[RunRecord]) -> CorrelationReport:
+    """Objective vs execution-time correlation, scale effects removed.
+
+    Groups successful runs by (scenario, cluster), computes the Pearson
+    r inside each group (across heuristics and repetitions — the
+    variation the paper's argument is about: *given this experiment,
+    does a better-balanced mapping run faster?*), and also pools all
+    groups after within-group standardization.  Groups too small or
+    degenerate for a correlation are skipped.
+    """
+    groups: dict[tuple[str, str], list[RunRecord]] = {}
+    for r in records:
+        if r.ok and r.objective is not None and r.makespan is not None:
+            groups.setdefault((r.scenario, r.cluster), []).append(r)
+
+    per_cell: dict[tuple[str, str], float] = {}
+    zx: list[float] = []
+    zy: list[float] = []
+    for key, rows in groups.items():
+        xs = np.array([row.objective for row in rows], dtype=float)
+        ys = np.array([row.makespan for row in rows], dtype=float)
+        if xs.size < 3 or xs.std() == 0.0 or ys.std() == 0.0:
+            continue
+        per_cell[key] = float(((xs - xs.mean()) * (ys - ys.mean())).mean() / (xs.std() * ys.std()))
+        zx.extend(((xs - xs.mean()) / xs.std()).tolist())
+        zy.extend(((ys - ys.mean()) / ys.std()).tolist())
+
+    standardized = pearson(zx, zy) if len(zx) >= 2 else float("nan")
+    return CorrelationReport(standardized_r=standardized, per_cell=per_cell, n_points=len(zx))

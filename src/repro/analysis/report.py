@@ -1,0 +1,99 @@
+"""Human-readable mapping reports.
+
+``describe_mapping`` renders everything an emulator operator wants to
+see before deploying a mapping: per-host packing and residuals, link
+utilization hot spots, path-quality distribution and the objective in
+context (against the water-filling floor).  Used by the CLI's ``map``
+command and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.mapping import Mapping
+from repro.core.objective import balance_lower_bound
+from repro.core.venv import VirtualEnvironment
+from repro.units import format_bandwidth, format_latency, format_memory
+
+__all__ = ["describe_mapping", "host_table", "link_hotspots"]
+
+
+def host_table(
+    cluster: PhysicalCluster, venv: VirtualEnvironment, mapping: Mapping
+) -> str:
+    """Per-host packing table (only hosts that received guests)."""
+    lines = [
+        f"{'host':<10} {'guests':>6} {'cpu used':>12} {'mem used':>20} {'stor used':>16}"
+    ]
+    for host_id in mapping.hosts_used():
+        host = cluster.host(host_id)
+        guests = mapping.guests_on(host_id)
+        cpu = sum(venv.guest(g).vproc for g in guests)
+        mem = sum(venv.guest(g).vmem for g in guests)
+        stor = sum(venv.guest(g).vstor for g in guests)
+        lines.append(
+            f"{str(host_id):<10} {len(guests):>6} "
+            f"{cpu:>7.0f}/{host.proc:<5.0f}"
+            f"{format_memory(mem):>10}/{format_memory(host.mem):<10}"
+            f"{stor / 1024:>7.2f}/{host.stor / 1024:<5.2f} TiB"
+        )
+    return "\n".join(lines)
+
+
+def link_hotspots(
+    cluster: PhysicalCluster, venv: VirtualEnvironment, mapping: Mapping, top: int = 5
+) -> str:
+    """The *top* most-utilized physical links under the mapping."""
+    loads = mapping.edge_loads(venv)
+    if not loads:
+        return "no physical link carries traffic (everything co-located)"
+    ranked = sorted(
+        loads.items(), key=lambda kv: kv[1] / cluster.link(*kv[0]).bw, reverse=True
+    )[:top]
+    lines = [f"{'link':<22} {'demand':>12} {'capacity':>12} {'util':>7}"]
+    for key, load in ranked:
+        cap = cluster.link(*key).bw
+        lines.append(
+            f"{f'{key[0]!r}--{key[1]!r}':<22} {format_bandwidth(load):>12} "
+            f"{format_bandwidth(cap):>12} {load / cap:>6.1%}"
+        )
+    return "\n".join(lines)
+
+
+def describe_mapping(
+    cluster: PhysicalCluster, venv: VirtualEnvironment, mapping: Mapping
+) -> str:
+    """Full multi-section report for one mapping."""
+    sections = [repr(mapping)]
+
+    objective = mapping.objective(cluster, venv)
+    floor = balance_lower_bound(cluster, venv.total_vproc())
+    sections.append(
+        f"objective (Eq. 10): {objective:.1f} MIPS residual-CPU std "
+        f"(water-filling floor {floor:.1f}"
+        + (f", gap {objective / floor - 1.0:+.1%})" if floor > 0 else ")")
+    )
+
+    routed = [p for p in mapping.paths.values() if len(p) > 1]
+    if routed:
+        hops = [len(p) - 1 for p in routed]
+        latencies = [mapping.path_latency(cluster, a, b) for a, b in mapping.paths]
+        sections.append(
+            f"paths: {mapping.n_colocated()} co-located, {len(routed)} routed "
+            f"(hops min/mean/max {min(hops)}/{sum(hops) / len(hops):.2f}/{max(hops)}; "
+            f"worst latency {format_latency(max(latencies))})"
+        )
+    else:
+        sections.append("paths: everything co-located")
+
+    if mapping.stages:
+        sections.append(
+            "stages: " + "; ".join(str(s) for s in mapping.stages)
+        )
+
+    sections.append("")
+    sections.append(host_table(cluster, venv, mapping))
+    sections.append("")
+    sections.append("link hot spots:")
+    sections.append(link_hotspots(cluster, venv, mapping))
+    return "\n".join(sections)

@@ -1,0 +1,342 @@
+"""Experiment batch runner — the harness behind Tables 2-3 and Figure 1.
+
+One **cell** of the paper's experiment grid is (scenario, cluster,
+heuristic, repetition): generate the repetition's virtual environment,
+run the heuristic, validate the mapping (a mapper bug must surface as a
+failure, never as a fake success), then simulate the emulated
+experiment over it.  :func:`run_grid` sweeps any subset of the grid and
+returns flat :class:`RunRecord` rows; :func:`aggregate` folds them into
+per-cell means and failure counts, which the table renderers consume.
+
+Seeding: every cell derives its streams from
+``derive(base_seed, scenario_label, rep, ...)`` so records are
+reproducible independently of execution order, and — as in the paper —
+all heuristics of the same (scenario, rep) see the **same** virtual
+environment.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping as TMapping, Sequence
+
+from repro.baselines.registry import get_mapper
+from repro.core.cluster import PhysicalCluster
+from repro.core.validate import validate_mapping
+from repro.errors import MappingError, ModelError, ValidationError
+from repro.seeding import derive
+from repro.simulator.experiment import run_experiment
+from repro.simulator.workload_model import ExperimentSpec
+from repro.workload.scenario import Scenario
+
+__all__ = ["RunRecord", "CellStats", "run_cell", "run_grid", "aggregate"]
+
+
+@dataclass(frozen=True, slots=True)
+class RunRecord:
+    """One (scenario, cluster, mapper, repetition) outcome."""
+
+    scenario: str
+    cluster: str
+    mapper: str
+    rep: int
+    ok: bool
+    #: Eq. 10 value of the produced mapping (None on failure).
+    objective: float | None = None
+    #: Wall seconds the mapper took.
+    map_seconds: float | None = None
+    #: Wall seconds the DES experiment simulation took (Table 3 metric).
+    sim_seconds: float | None = None
+    #: Simulated experiment execution time (correlation-study metric).
+    makespan: float | None = None
+    #: Virtual links in the instance / routed inter-host.
+    n_vlinks: int = 0
+    n_routed: int = 0
+    failure: str = ""
+    extra: TMapping[str, object] = field(default_factory=dict)
+
+
+def run_cell(
+    cluster: PhysicalCluster,
+    cluster_name: str,
+    scenario: Scenario,
+    mapper_name: str,
+    rep: int,
+    *,
+    base_seed: int = 0,
+    spec: ExperimentSpec | None = None,
+    simulate: bool = True,
+    mapper_kwargs: TMapping[str, object] | None = None,
+) -> RunRecord:
+    """Execute one grid cell and return its record.
+
+    Mapper failures (any :class:`~repro.errors.MappingError`) become
+    ``ok=False`` records carrying the failure class name; mapping
+    *validation* failures also count as failures (and name the violated
+    constraint), so no invalid mapping can contribute statistics.
+    """
+    try:
+        venv = scenario.build_venv(cluster, seed=derive(base_seed, scenario.label, rep, "venv"))
+    except ModelError:
+        # No aggregate-feasible instance exists for this host draw: the
+        # cell is unmappable by construction for every heuristic.
+        return RunRecord(
+            scenario=scenario.label,
+            cluster=cluster_name,
+            mapper=mapper_name,
+            rep=rep,
+            ok=False,
+            failure="InfeasibleInstance",
+        )
+    mapper = get_mapper(mapper_name)
+    mapper_seed = derive(base_seed, scenario.label, rep, "mapper", mapper_name)
+
+    t0 = time.perf_counter()
+    try:
+        mapping = mapper(cluster, venv, seed=mapper_seed, **dict(mapper_kwargs or {}))
+    except MappingError as exc:
+        return RunRecord(
+            scenario=scenario.label,
+            cluster=cluster_name,
+            mapper=mapper_name,
+            rep=rep,
+            ok=False,
+            map_seconds=time.perf_counter() - t0,
+            n_vlinks=venv.n_vlinks,
+            failure=type(exc).__name__,
+        )
+    map_seconds = time.perf_counter() - t0
+
+    try:
+        validate_mapping(cluster, venv, mapping)
+    except ValidationError as exc:
+        return RunRecord(
+            scenario=scenario.label,
+            cluster=cluster_name,
+            mapper=mapper_name,
+            rep=rep,
+            ok=False,
+            map_seconds=map_seconds,
+            n_vlinks=venv.n_vlinks,
+            failure=f"ValidationError:{exc.constraint}",
+        )
+
+    sim_seconds = None
+    makespan = None
+    if simulate:
+        result = run_experiment(
+            cluster,
+            venv,
+            mapping,
+            spec,
+            rng=derive(base_seed, scenario.label, rep, "experiment"),
+        )
+        sim_seconds = result.wall_seconds
+        makespan = result.makespan
+
+    n_routed = sum(1 for p in mapping.paths.values() if len(p) > 1)
+    return RunRecord(
+        scenario=scenario.label,
+        cluster=cluster_name,
+        mapper=mapper_name,
+        rep=rep,
+        ok=True,
+        objective=mapping.objective(cluster, venv),
+        map_seconds=map_seconds,
+        sim_seconds=sim_seconds,
+        makespan=makespan,
+        n_vlinks=venv.n_vlinks,
+        n_routed=n_routed,
+        extra={"stages": {s.name: s.elapsed_s for s in mapping.stages}},
+    )
+
+
+def _expand_cells(
+    clusters,
+    scenarios: Sequence[Scenario],
+    mappers: Sequence[str],
+    reps: int,
+    base_seed: int,
+):
+    """Yield (cluster, cluster_name, scenario, mapper, rep) work items."""
+    for scenario in scenarios:
+        for rep in range(reps):
+            if callable(clusters):
+                rep_clusters = clusters(derive(base_seed, scenario.label, rep, "hosts"))
+            else:
+                rep_clusters = clusters
+            for cluster_name, cluster in rep_clusters.items():
+                for mapper_name in mappers:
+                    yield cluster, cluster_name, scenario, mapper_name, rep
+
+
+def _run_cell_task(args) -> RunRecord:
+    """Top-level worker (picklable) for parallel sweeps."""
+    cluster, cluster_name, scenario, mapper_name, rep, base_seed, spec, simulate, kwargs = args
+    return run_cell(
+        cluster,
+        cluster_name,
+        scenario,
+        mapper_name,
+        rep,
+        base_seed=base_seed,
+        spec=spec,
+        simulate=simulate,
+        mapper_kwargs=kwargs,
+    )
+
+
+def run_grid(
+    clusters,
+    scenarios: Sequence[Scenario],
+    mappers: Sequence[str],
+    *,
+    reps: int = 1,
+    base_seed: int = 0,
+    spec: ExperimentSpec | None = None,
+    simulate: bool = True,
+    mapper_kwargs: TMapping[str, TMapping[str, object]] | None = None,
+    progress=None,
+    workers: int = 1,
+) -> list[RunRecord]:
+    """Sweep the experiment grid; returns one record per cell.
+
+    *clusters* is either a fixed ``{name: PhysicalCluster}`` mapping, or
+    a callable ``seed -> {name: PhysicalCluster}`` invoked once per
+    (scenario, repetition) — the paper's setup, where each test draws a
+    fresh random host set and builds both topologies over it (pass
+    :func:`repro.workload.paper_clusters`).
+
+    *mapper_kwargs* optionally maps mapper name -> extra keyword
+    arguments (e.g. retry budgets).  *progress*, if given, is called
+    with each finished :class:`RunRecord` — hook for long sweeps.
+
+    ``workers > 1`` fans cells out over a process pool.  Cells are
+    fully independent (seeding is derived per cell, never from shared
+    stream state), so parallel and sequential sweeps produce identical
+    records up to ordering — the result list is always returned in the
+    deterministic cell order.  Wall-time fields (``map_seconds`` etc.)
+    measure the same work but under whatever CPU contention the pool
+    creates; use ``workers=1`` for timing-sensitive sweeps like
+    Figure 1.
+    """
+    cells = list(_expand_cells(clusters, scenarios, mappers, reps, base_seed))
+    if workers <= 1:
+        records = []
+        for cluster, cluster_name, scenario, mapper_name, rep in cells:
+            record = run_cell(
+                cluster,
+                cluster_name,
+                scenario,
+                mapper_name,
+                rep,
+                base_seed=base_seed,
+                spec=spec,
+                simulate=simulate,
+                mapper_kwargs=(mapper_kwargs or {}).get(mapper_name),
+            )
+            records.append(record)
+            if progress is not None:
+                progress(record)
+        return records
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    tasks = [
+        (
+            cluster,
+            cluster_name,
+            scenario,
+            mapper_name,
+            rep,
+            base_seed,
+            spec,
+            simulate,
+            (mapper_kwargs or {}).get(mapper_name),
+        )
+        for cluster, cluster_name, scenario, mapper_name, rep in cells
+    ]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        records = []
+        for record in pool.map(_run_cell_task, tasks, chunksize=1):
+            records.append(record)
+            if progress is not None:
+                progress(record)
+    return records
+
+
+@dataclass(frozen=True, slots=True)
+class CellStats:
+    """Aggregated outcomes of one (scenario, cluster, mapper) cell."""
+
+    scenario: str
+    cluster: str
+    mapper: str
+    runs: int
+    failures: int
+    mean_objective: float | None
+    mean_map_seconds: float | None
+    mean_sim_seconds: float | None
+    mean_makespan: float | None
+
+    @property
+    def all_failed(self) -> bool:
+        return self.failures == self.runs
+
+
+def _mean_or_none(values: list[float]) -> float | None:
+    return sum(values) / len(values) if values else None
+
+
+def aggregate(records: Iterable[RunRecord]) -> dict[tuple[str, str, str], CellStats]:
+    """Fold records into per-cell statistics keyed by
+    ``(scenario, cluster, mapper)``.  Means cover successful runs only,
+    as in the paper (failed runs contribute to the failure count)."""
+    buckets: dict[tuple[str, str, str], list[RunRecord]] = {}
+    for r in records:
+        buckets.setdefault((r.scenario, r.cluster, r.mapper), []).append(r)
+    out: dict[tuple[str, str, str], CellStats] = {}
+    for key, rows in buckets.items():
+        ok_rows = [r for r in rows if r.ok]
+        out[key] = CellStats(
+            scenario=key[0],
+            cluster=key[1],
+            mapper=key[2],
+            runs=len(rows),
+            failures=len(rows) - len(ok_rows),
+            mean_objective=_mean_or_none([r.objective for r in ok_rows if r.objective is not None]),
+            mean_map_seconds=_mean_or_none(
+                [r.map_seconds for r in ok_rows if r.map_seconds is not None]
+            ),
+            mean_sim_seconds=_mean_or_none(
+                [r.sim_seconds for r in ok_rows if r.sim_seconds is not None]
+            ),
+            mean_makespan=_mean_or_none([r.makespan for r in ok_rows if r.makespan is not None]),
+        )
+    return out
+
+
+def records_to_dicts(records: Iterable[RunRecord]) -> list[dict]:
+    """JSON-ready representation of a record list (for persisting runs)."""
+    out = []
+    for r in records:
+        d = {
+            "scenario": r.scenario,
+            "cluster": r.cluster,
+            "mapper": r.mapper,
+            "rep": r.rep,
+            "ok": r.ok,
+            "objective": r.objective,
+            "map_seconds": r.map_seconds,
+            "sim_seconds": r.sim_seconds,
+            "makespan": r.makespan,
+            "n_vlinks": r.n_vlinks,
+            "n_routed": r.n_routed,
+            "failure": r.failure,
+        }
+        out.append(d)
+    return out
+
+
+__all__.append("records_to_dicts")

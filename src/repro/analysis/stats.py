@@ -1,0 +1,100 @@
+"""Small statistics toolkit used by the experiment harness.
+
+Population conventions match the paper (Eq. 10 uses the population
+standard deviation).  Everything is a thin, well-tested wrapper over
+NumPy so the harness has one consistent treatment of empty inputs and
+NaN policy: empty sequences raise, NaNs are rejected (an experiment
+record with a NaN observable is a bug upstream, not data).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["mean", "population_std", "pearson", "Summary", "summarize"]
+
+
+def _as_array(values: Iterable[float], name: str) -> np.ndarray:
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ModelError(f"{name}: empty input")
+    if not np.all(np.isfinite(arr)):
+        raise ModelError(f"{name}: non-finite values in input")
+    return arr
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (empty input raises)."""
+    return float(_as_array(values, "mean").mean())
+
+
+def population_std(values: Iterable[float]) -> float:
+    """Population standard deviation (ddof=0, matching Eq. 10)."""
+    return float(_as_array(values, "population_std").std())
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length samples.
+
+    Degenerate samples (either side constant) raise — a correlation
+    against a constant is undefined and silently returning 0 would
+    corrupt the correlation experiment.
+    """
+    x = _as_array(xs, "pearson(x)")
+    y = _as_array(ys, "pearson(y)")
+    if x.size != y.size:
+        raise ModelError(f"pearson: length mismatch ({x.size} vs {y.size})")
+    if x.size < 2:
+        raise ModelError("pearson: need at least two points")
+    sx = x.std()
+    sy = y.std()
+    if sx == 0.0 or sy == 0.0:
+        raise ModelError("pearson: a sample is constant; correlation undefined")
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (sx * sy))
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Mean / std / extremes of one observable across repetitions."""
+
+    n: int
+    mean: float
+    std: float
+    min: float
+    max: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.std:.2f} (n={self.n}, range [{self.min:.2f}, {self.max:.2f}])"
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Population summary of a sample (empty input raises)."""
+    arr = _as_array(values, "summarize")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        min=float(arr.min()),
+        max=float(arr.max()),
+    )
+
+
+def confidence_halfwidth(values: Iterable[float], z: float = 1.96) -> float:
+    """Normal-approximation half-width of the mean's CI.
+
+    Uses the sample standard deviation (ddof=1); returns 0 for a single
+    observation.  Good enough for the 30-repetition experiment design.
+    """
+    arr = _as_array(values, "confidence_halfwidth")
+    if arr.size < 2:
+        return 0.0
+    return float(z * arr.std(ddof=1) / math.sqrt(arr.size))
+
+
+__all__.append("confidence_halfwidth")

@@ -1,0 +1,148 @@
+"""Table renderers — reproductions of the paper's Tables 2 and 3.
+
+Both tables share the paper's layout: one row per scenario, a torus
+column block and a switched column block, one column per heuristic
+(HMN, R, RA, HS).  All-failed cells print ``—`` exactly as the paper
+does; Table 2 additionally appends the failure-count row.
+
+Renderers are pure functions over aggregated
+:class:`~repro.analysis.runner.CellStats`, so the same records can be
+printed, asserted on in tests, or exported as CSV.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.analysis.runner import CellStats, RunRecord, aggregate
+from repro.baselines.registry import PAPER_MAPPER_LABELS, PAPER_MAPPERS
+
+__all__ = ["render_table2", "render_table3", "render_generic", "to_csv"]
+
+DASH = "—"
+
+
+def _cell_lookup(
+    stats: Mapping[tuple[str, str, str], CellStats],
+) -> Callable[[str, str, str], CellStats | None]:
+    def lookup(scenario: str, cluster: str, mapper: str) -> CellStats | None:
+        return stats.get((scenario, cluster, mapper))
+
+    return lookup
+
+
+def _fmt(value: float | None, pattern: str) -> str:
+    return DASH if value is None else pattern.format(value)
+
+
+def render_generic(
+    records: Iterable[RunRecord],
+    *,
+    value: Callable[[CellStats], float | None],
+    pattern: str = "{:.1f}",
+    title: str = "",
+    clusters: Sequence[str] = ("torus", "switched"),
+    mappers: Sequence[str] = PAPER_MAPPERS,
+    scenario_order: Sequence[str] | None = None,
+    failures_row: bool = False,
+) -> str:
+    """Render any per-cell statistic in the paper's table layout."""
+    records = list(records)
+    stats = aggregate(records)
+    lookup = _cell_lookup(stats)
+
+    if scenario_order is None:
+        seen: dict[str, None] = {}
+        for r in records:
+            seen.setdefault(r.scenario, None)
+        scenario_order = list(seen)
+
+    labels = [PAPER_MAPPER_LABELS.get(m, m) for m in mappers]
+    width = max(9, *(len(lbl) + 2 for lbl in labels))
+    scen_width = max([len(s) for s in scenario_order] + [len("Failures"), 10]) + 1
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header1 = " " * scen_width + "".join(
+        f"| {name:^{(width + 1) * len(mappers) - 2}} " for name in clusters
+    )
+    header2 = f"{'scenario':<{scen_width}}" + "".join(
+        "| " + " ".join(f"{lbl:>{width - 1}}" for lbl in labels) + " " for _ in clusters
+    )
+    lines.append(header1.rstrip())
+    lines.append(header2.rstrip())
+    lines.append("-" * len(header2))
+
+    for scenario in scenario_order:
+        row = f"{scenario:<{scen_width}}"
+        for cluster in clusters:
+            cells = []
+            for mapper in mappers:
+                cell = lookup(scenario, cluster, mapper)
+                if cell is None or cell.all_failed:
+                    cells.append(f"{DASH:>{width - 1}}")
+                else:
+                    cells.append(f"{_fmt(value(cell), pattern):>{width - 1}}")
+            row += "| " + " ".join(cells) + " "
+        lines.append(row.rstrip())
+
+    if failures_row:
+        lines.append("-" * len(header2))
+        row = f"{'Failures':<{scen_width}}"
+        for cluster in clusters:
+            cells = []
+            for mapper in mappers:
+                total = sum(
+                    cell.failures
+                    for (s, c, m), cell in stats.items()
+                    if c == cluster and m == mapper
+                )
+                cells.append(f"{total:>{width - 1}}")
+            row += "| " + " ".join(cells) + " "
+        lines.append(row.rstrip())
+
+    return "\n".join(lines)
+
+
+def render_table2(records: Iterable[RunRecord], **kwargs) -> str:
+    """Table 2: mean Eq. 10 objective per cell, plus failure counts."""
+    kwargs.setdefault("title", "Table 2. Objective function and failures.")
+    return render_generic(
+        records,
+        value=lambda c: c.mean_objective,
+        pattern="{:.1f}",
+        failures_row=True,
+        **kwargs,
+    )
+
+
+def render_table3(records: Iterable[RunRecord], **kwargs) -> str:
+    """Table 3: mean simulation time (seconds) per cell."""
+    kwargs.setdefault("title", "Table 3. Simulation time (seconds).")
+    return render_generic(
+        records,
+        value=lambda c: c.mean_sim_seconds,
+        pattern="{:.3f}",
+        failures_row=False,
+        **kwargs,
+    )
+
+
+def to_csv(records: Iterable[RunRecord]) -> str:
+    """Raw records as CSV text (one line per run)."""
+    header = (
+        "scenario,cluster,mapper,rep,ok,objective,map_seconds,sim_seconds,"
+        "makespan,n_vlinks,n_routed,failure"
+    )
+    lines = [header]
+    for r in records:
+        lines.append(
+            f"{r.scenario},{r.cluster},{r.mapper},{r.rep},{int(r.ok)},"
+            f"{'' if r.objective is None else f'{r.objective:.6g}'},"
+            f"{'' if r.map_seconds is None else f'{r.map_seconds:.6g}'},"
+            f"{'' if r.sim_seconds is None else f'{r.sim_seconds:.6g}'},"
+            f"{'' if r.makespan is None else f'{r.makespan:.6g}'},"
+            f"{r.n_vlinks},{r.n_routed},{r.failure}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""The paper's baseline mappers and the mapper registry.
+
+* :func:`~repro.baselines.random_mapping.random_map` — R: random
+  placement + random-walk DFS routing, whole mapping retried;
+* :func:`~repro.baselines.random_astar.random_astar_map` — RA: random
+  placement + modified A*Prune routing;
+* :func:`~repro.baselines.hosting_search.hosting_search_map` — HS: HMN
+  Hosting placement + DFS routing, only routing retried;
+* :mod:`~repro.baselines.registry` — the heuristic pool (Section 6's
+  future-work vision) through which experiments resolve mappers.
+"""
+
+from repro.baselines.hosting_search import hosting_search_map
+from repro.baselines.placement import random_placement
+from repro.baselines.random_astar import random_astar_map
+from repro.baselines.random_mapping import random_map
+from repro.baselines.registry import (
+    PAPER_MAPPER_LABELS,
+    PAPER_MAPPERS,
+    available_mappers,
+    get_mapper,
+    register_mapper,
+)
+
+__all__ = [
+    "random_map",
+    "random_astar_map",
+    "hosting_search_map",
+    "random_placement",
+    "get_mapper",
+    "register_mapper",
+    "available_mappers",
+    "PAPER_MAPPERS",
+    "PAPER_MAPPER_LABELS",
+]

@@ -1,0 +1,104 @@
+"""The HS baseline: HMN Hosting placement + DFS routing.
+
+The paper's second mixed strategy (Section 5): "the other heuristic
+used in the test applied the hosting algorithm to map guests to hosts
+and a depth-first search algorithm to map virtual links to paths."
+There is no Migration stage, and — unlike R — only the routing half is
+retried: "in HS only the last one [the links] were retried; so, if the
+initial mapping of guests did not allow a mapping of links, this
+heuristic fails to find a solution" (the paper's explanation for HS's
+large failure count).
+
+Hosting is deterministic, so it runs once; each routing try starts
+from fresh bandwidth reservations and re-walks every inter-host link
+with the randomized DFS.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.mapping import Mapping, StageReport
+from repro.core.state import ClusterState
+from repro.core.venv import VirtualEnvironment
+from repro.core.vlink import VLinkKey
+from repro.errors import RetriesExhaustedError, RoutingError
+from repro.hmn.config import HMNConfig
+from repro.hmn.hosting import run_hosting
+from repro.hmn.ordering import ordered_vlinks
+from repro.routing.dfs import random_walk_dfs
+from repro.seeding import rng_from
+
+__all__ = ["hosting_search_map"]
+
+DEFAULT_MAX_TRIES = 50
+
+
+def hosting_search_map(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    *,
+    seed: int | np.random.Generator | None = None,
+    max_tries: int = DEFAULT_MAX_TRIES,
+    walk_attempts: int = 20,
+    config: HMNConfig | None = None,
+) -> Mapping:
+    """Map *venv* onto *cluster* with the paper's HS baseline.
+
+    Raises :class:`~repro.errors.PlacementError` when Hosting itself
+    fails, and :class:`~repro.errors.RetriesExhaustedError` when the
+    fixed placement admits no DFS routing within *max_tries*.
+    """
+    if config is None:
+        config = HMNConfig()
+    rng = rng_from(seed)
+
+    t0 = time.perf_counter()
+    state = ClusterState(cluster)
+    hosting_stats = run_hosting(state, venv, config)  # may raise PlacementError
+    hosting_elapsed = time.perf_counter() - t0
+    assignments = state.assignments
+    links = ordered_vlinks(venv, config)
+
+    t0 = time.perf_counter()
+    failures = 0
+    for attempt in range(1, max_tries + 1):
+        trial = state.copy()
+        paths: dict[VLinkKey, tuple] = {}
+        try:
+            for link in links:
+                src = trial.host_of(link.a)
+                dst = trial.host_of(link.b)
+                if src == dst:
+                    paths[link.key] = (src,)
+                    continue
+                nodes = random_walk_dfs(
+                    cluster,
+                    src,
+                    dst,
+                    bandwidth=link.vbw,
+                    latency_bound=link.vlat,
+                    rng=rng,
+                    residual_bw=trial.residual_bw,
+                    attempts=walk_attempts,
+                )
+                trial.reserve_path(nodes, link.vbw)
+                paths[link.key] = nodes
+        except RoutingError:
+            failures += 1
+            continue
+        elapsed = time.perf_counter() - t0
+        return Mapping(
+            assignments=assignments,
+            paths=paths,
+            mapper="hosting+search",
+            stages=(
+                StageReport("hosting", hosting_elapsed, hosting_stats),
+                StageReport("search", elapsed, {"tries": attempt, "failed_tries": failures}),
+            ),
+            meta={"objective": trial.objective(), "max_tries": max_tries},
+        )
+    raise RetriesExhaustedError(max_tries)

@@ -1,0 +1,43 @@
+"""Random guest placement — the placement half of the R and RA baselines.
+
+"The HMN heuristic was compared with a mapping algorithm that randomly
+tries to map the guests to hosts" (Section 5).  Each guest draws a
+uniformly random host; infeasible draws (memory/storage) fall through
+to the remaining hosts in random order, so a placement attempt fails
+only when a guest fits **nowhere** — random placement conditioned on
+per-guest feasibility, the natural executable reading.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.state import ClusterState
+from repro.core.venv import VirtualEnvironment
+from repro.errors import PlacementError
+
+__all__ = ["random_placement"]
+
+
+def random_placement(
+    state: ClusterState,
+    venv: VirtualEnvironment,
+    rng: np.random.Generator,
+) -> None:
+    """Place every guest of *venv* on a uniformly random fitting host.
+
+    Mutates *state*; raises :class:`~repro.errors.PlacementError` when
+    some guest fits on no host (the caller decides whether to retry
+    with a fresh state — the paper's R baseline retries the whole
+    mapping).
+    """
+    host_ids = list(state.cluster.host_ids)
+    for guest in venv.guests():
+        order = rng.permutation(len(host_ids))
+        for idx in order:
+            host_id = host_ids[int(idx)]
+            if state.fits(guest, host_id):
+                state.place(guest, host_id)
+                break
+        else:
+            raise PlacementError(guest.id, "random placement: no host has enough memory/storage")

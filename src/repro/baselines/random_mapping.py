@@ -1,0 +1,122 @@
+"""The R baseline: random placement + random-walk DFS routing.
+
+"The HMN heuristic was compared with a mapping algorithm that randomly
+tries to map the guests to hosts and for each link in E_v applies a
+depth-first search algorithm to find a path connecting the hosts of
+vs_i and vd_i.  The random algorithm fails if it cannot find a valid
+mapping after 100000 tries."  Crucially (Section 5.2), "in the Random
+approach, both mapping of guests and of virtual links were retried" —
+each try is a complete fresh attempt.
+
+A "try" here is one full attempt: place every guest at random, then
+route every virtual link with the randomized DFS walk, reserving
+bandwidth as it goes.  The first attempt in which everything succeeds
+is returned.  ``max_tries`` defaults to a practical 50 — with this
+implementation's per-try cost, exhausting the paper's 100 000 budget on
+a single 2000-guest instance would take days; callers reproducing the
+paper's constant pass ``max_tries=100_000`` and accept the wait, and
+the runner records the budget used in ``Mapping.meta``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.mapping import Mapping, StageReport
+from repro.core.state import ClusterState
+from repro.core.venv import VirtualEnvironment
+from repro.core.vlink import VLinkKey
+from repro.errors import MappingError, RetriesExhaustedError
+from repro.routing.dfs import random_walk_dfs
+from repro.seeding import rng_from
+
+__all__ = ["random_map"]
+
+#: Practical default retry budget (see module docstring); the paper's
+#: constant is 100 000.
+DEFAULT_MAX_TRIES = 50
+PAPER_MAX_TRIES = 100_000
+
+
+def _attempt(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    rng: np.random.Generator,
+    walk_attempts: int,
+) -> tuple[dict[int, object], dict[VLinkKey, tuple], float]:
+    from repro.baselines.placement import random_placement
+
+    state = ClusterState(cluster)
+    random_placement(state, venv, rng)
+    paths: dict[VLinkKey, tuple] = {}
+    for link in venv.vlinks():
+        src = state.host_of(link.a)
+        dst = state.host_of(link.b)
+        if src == dst:
+            paths[link.key] = (src,)
+            continue
+        nodes = random_walk_dfs(
+            cluster,
+            src,
+            dst,
+            bandwidth=link.vbw,
+            latency_bound=link.vlat,
+            rng=rng,
+            residual_bw=state.residual_bw,
+            attempts=walk_attempts,
+        )
+        state.reserve_path(nodes, link.vbw)
+        paths[link.key] = nodes
+    return state.assignments, paths, state.objective()
+
+
+def random_map(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    *,
+    seed: int | np.random.Generator | None = None,
+    max_tries: int = DEFAULT_MAX_TRIES,
+    walk_attempts: int = 20,
+) -> Mapping:
+    """Map *venv* onto *cluster* with the paper's Random (R) baseline.
+
+    Parameters
+    ----------
+    seed:
+        Random stream for placements and walks.
+    max_tries:
+        Full-attempt budget (the paper's constant is 100 000; see the
+        module docstring for why the default is smaller).
+    walk_attempts:
+        DFS walk restarts per virtual link within one try.
+
+    Raises
+    ------
+    RetriesExhaustedError
+        When every try fails.
+    """
+    rng = rng_from(seed)
+    t0 = time.perf_counter()
+    failures = 0
+    for attempt in range(1, max_tries + 1):
+        try:
+            assignments, paths, objective = _attempt(cluster, venv, rng, walk_attempts)
+        except MappingError:
+            failures += 1
+            continue
+        elapsed = time.perf_counter() - t0
+        return Mapping(
+            assignments=assignments,
+            paths=paths,
+            mapper="random",
+            stages=(
+                StageReport(
+                    "random", elapsed, {"tries": attempt, "failed_tries": failures}
+                ),
+            ),
+            meta={"objective": objective, "max_tries": max_tries},
+        )
+    raise RetriesExhaustedError(max_tries)

@@ -1,0 +1,124 @@
+"""Mapper registry — the paper's "pool of different heuristics".
+
+Section 6 envisions "a pool of different heuristics that might be
+selected according to the emulated scenario".  The registry is that
+pool: a name -> mapper table holding the four evaluated heuristics
+(HMN, R, RA, HS) plus any variant registered by downstream code; the
+experiment runner and the selection policies in
+:mod:`repro.extensions.selector` resolve mappers through it.
+
+A **mapper** is any callable ``(cluster, venv, *, seed=None, **kwargs)
+-> Mapping`` that raises a :class:`~repro.errors.MappingError` subclass
+on failure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.mapping import Mapping
+from repro.core.venv import VirtualEnvironment
+from repro.errors import ModelError
+
+__all__ = ["MapperFn", "register_mapper", "get_mapper", "available_mappers", "PAPER_MAPPERS"]
+
+
+class MapperFn(Protocol):
+    def __call__(
+        self,
+        cluster: PhysicalCluster,
+        venv: VirtualEnvironment,
+        *,
+        seed: int | np.random.Generator | None = None,
+        **kwargs,
+    ) -> Mapping: ...
+
+
+_REGISTRY: dict[str, MapperFn] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_mapper(
+    name: str, fn: MapperFn, *, aliases: tuple[str, ...] = (), overwrite: bool = False
+) -> MapperFn:
+    """Add a mapper to the pool under *name* (and optional aliases)."""
+    if not overwrite and name in _REGISTRY:
+        raise ModelError(f"mapper {name!r} is already registered")
+    _REGISTRY[name] = fn
+    for alias in aliases:
+        if not overwrite and alias in _ALIASES:
+            raise ModelError(f"mapper alias {alias!r} is already registered")
+        _ALIASES[alias] = name
+    return fn
+
+
+def _ensure_extensions() -> None:
+    """Load the extension mappers (e.g. "consolidation") on demand.
+
+    Extensions register themselves at import; importing lazily here
+    keeps ``import repro`` light while making the full pool visible to
+    any lookup, including the CLI's.
+    """
+    import repro.extensions.consolidation  # noqa: F401  (registers itself)
+    import repro.extensions.exact  # noqa: F401
+
+
+def get_mapper(name: str) -> MapperFn:
+    """Resolve a mapper by name or alias."""
+    _ensure_extensions()
+    key = _ALIASES.get(name, name)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise ModelError(
+            f"unknown mapper {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_mappers() -> tuple[str, ...]:
+    """Canonical names of every registered mapper."""
+    _ensure_extensions()
+    return tuple(sorted(_REGISTRY))
+
+
+def _hmn_adapter(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    *,
+    seed: int | np.random.Generator | None = None,
+    **kwargs,
+) -> Mapping:
+    # HMN is deterministic: the seed is accepted (uniform mapper
+    # signature) and ignored unless a randomized config uses it.
+    from repro.hmn import hmn_map
+
+    return hmn_map(cluster, venv, **kwargs)
+
+
+def _register_builtins() -> None:
+    from repro.baselines.hosting_search import hosting_search_map
+    from repro.baselines.random_astar import random_astar_map
+    from repro.baselines.random_mapping import random_map
+
+    register_mapper("hmn", _hmn_adapter)
+    register_mapper("random", random_map, aliases=("r",))
+    register_mapper("random+astar", random_astar_map, aliases=("ra",))
+    register_mapper("hosting+search", hosting_search_map, aliases=("hs",))
+
+
+_register_builtins()
+
+#: The four heuristics of Tables 2-3, in the paper's column order.
+PAPER_MAPPERS: tuple[str, ...] = ("hmn", "random", "random+astar", "hosting+search")
+
+#: Column headers the paper uses for them.
+PAPER_MAPPER_LABELS: dict[str, str] = {
+    "hmn": "HMN",
+    "random": "R",
+    "random+astar": "RA",
+    "hosting+search": "HS",
+}
+__all__.append("PAPER_MAPPER_LABELS")

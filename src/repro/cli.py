@@ -1,0 +1,282 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror an emulator operator's workflow:
+
+``gen-cluster``
+    Generate a physical cluster description (any built-in topology,
+    Table 1 heterogeneity) and write it as JSON.
+``gen-venv``
+    Generate a virtual environment (Table 1 workloads) as JSON.
+``map``
+    Map a venv JSON onto a cluster JSON with any pool heuristic,
+    validate, print the report, optionally save the mapping JSON.
+``simulate``
+    Run the emulated experiment (two-phase or BSP) over a saved
+    mapping and report the execution time.
+``table2`` / ``table3`` / ``figure1``
+    Regenerate the paper's evaluation artifacts at a chosen scale.
+``mappers``
+    List the heuristic pool.
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import io as repro_io
+from repro.baselines.registry import available_mappers, get_mapper
+from repro.core.cluster import PhysicalCluster
+from repro.core.validate import validate_mapping
+from repro.core.venv import VirtualEnvironment
+from repro.errors import MappingError, ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HMN testbed mapping (Calheiros/Buyya/De Rose, ICPP 2009)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("gen-cluster", help="generate a cluster description JSON")
+    p.add_argument("output", help="output .json path")
+    p.add_argument("--topology", default="torus",
+                   choices=["torus", "switched", "ring", "line", "star", "tree",
+                            "hypercube", "mesh", "random"])
+    p.add_argument("--hosts", type=int, default=40)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--bw", type=float, default=1000.0, help="link bandwidth (Mbit/s)")
+    p.add_argument("--lat", type=float, default=5.0, help="link latency (ms)")
+    p.add_argument("--density", type=float, default=0.2, help="random topology density")
+
+    p = sub.add_parser("gen-venv", help="generate a virtual environment JSON")
+    p.add_argument("output", help="output .json path")
+    p.add_argument("--guests", type=int, default=100)
+    p.add_argument("--workload", default="high-level", choices=["high-level", "low-level"])
+    p.add_argument("--density", type=float, default=None)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("map", help="map a venv onto a cluster")
+    p.add_argument("cluster", help="cluster .json")
+    p.add_argument("venv", help="virtual environment .json")
+    p.add_argument("--mapper", default="hmn")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", help="write the mapping .json here")
+    p.add_argument("--quiet", action="store_true", help="suppress the report")
+
+    p = sub.add_parser("validate", help="check a mapping against Eqs. 1-9")
+    p.add_argument("cluster", help="cluster .json")
+    p.add_argument("venv", help="virtual environment .json")
+    p.add_argument("mapping", help="mapping .json")
+
+    p = sub.add_parser("simulate", help="run the emulated experiment over a mapping")
+    p.add_argument("cluster", help="cluster .json")
+    p.add_argument("venv", help="virtual environment .json")
+    p.add_argument("mapping", help="mapping .json")
+    p.add_argument("--model", default="two-phase", choices=["two-phase", "bsp"])
+    p.add_argument("--compute-seconds", type=float, default=100.0)
+    p.add_argument("--comm-seconds", type=float, default=5.0)
+    p.add_argument("--rounds", type=int, default=10, help="BSP supersteps")
+
+    for table in ("table2", "table3"):
+        p = sub.add_parser(table, help=f"regenerate the paper's {table}")
+        p.add_argument("--reps", type=int, default=2)
+        p.add_argument("--rows", default="subset", choices=["subset", "all"])
+        p.add_argument("--seed", type=int, default=2009)
+
+    p = sub.add_parser("figure1", help="regenerate the paper's Figure 1 series")
+    p.add_argument("--reps", type=int, default=2)
+    p.add_argument("--seed", type=int, default=2009)
+
+    sub.add_parser("mappers", help="list the heuristic pool")
+    return parser
+
+
+def _gen_cluster(args) -> int:
+    from repro import topology
+
+    builders = {
+        "torus": lambda: topology.torus_cluster(
+            *_torus_shape(args.hosts), seed=args.seed, bw=args.bw, lat=args.lat
+        ),
+        "switched": lambda: topology.switched_cluster(
+            args.hosts, seed=args.seed, bw=args.bw, lat=args.lat
+        ),
+        "ring": lambda: topology.ring_cluster(args.hosts, seed=args.seed, bw=args.bw, lat=args.lat),
+        "line": lambda: topology.line_cluster(args.hosts, seed=args.seed, bw=args.bw, lat=args.lat),
+        "star": lambda: topology.star_cluster(args.hosts, seed=args.seed, bw=args.bw, lat=args.lat),
+        "tree": lambda: topology.tree_cluster(args.hosts, seed=args.seed, bw=args.bw, lat=args.lat),
+        "hypercube": lambda: topology.hypercube_cluster(
+            max(args.hosts - 1, 1).bit_length(), seed=args.seed, bw=args.bw, lat=args.lat
+        ),
+        "mesh": lambda: topology.mesh_cluster(
+            *_torus_shape(args.hosts), seed=args.seed, bw=args.bw, lat=args.lat
+        ),
+        "random": lambda: topology.random_cluster(
+            args.hosts, density=args.density, seed=args.seed, bw=args.bw, lat=args.lat
+        ),
+    }
+    cluster = builders[args.topology]()
+    path = repro_io.save_json(cluster, args.output)
+    print(f"wrote {cluster} -> {path}")
+    return 0
+
+
+def _torus_shape(n_hosts: int) -> tuple[int, int]:
+    rows = max(int(n_hosts**0.5), 1)
+    while rows > 1 and n_hosts % rows:
+        rows -= 1
+    return rows, n_hosts // rows
+
+
+def _gen_venv(args) -> int:
+    from repro.workload import generate_virtual_environment, workload_by_name
+
+    venv = generate_virtual_environment(
+        args.guests,
+        workload=workload_by_name(args.workload),
+        density=args.density,
+        seed=args.seed,
+    )
+    path = repro_io.save_json(venv, args.output)
+    print(f"wrote {venv} -> {path}")
+    return 0
+
+
+def _load(path: str, kind) -> object:
+    obj = repro_io.load_json(path)
+    if not isinstance(obj, kind):
+        raise ReproError(f"{path}: expected a {kind.__name__} document")
+    return obj
+
+
+def _map(args) -> int:
+    from repro.analysis.report import describe_mapping
+
+    cluster = _load(args.cluster, PhysicalCluster)
+    venv = _load(args.venv, VirtualEnvironment)
+    mapper = get_mapper(args.mapper)
+    try:
+        mapping = mapper(cluster, venv, seed=args.seed)
+    except MappingError as exc:
+        print(f"mapping failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    validate_mapping(cluster, venv, mapping)
+    # Persist before printing: a truncated pipe must not lose the artifact.
+    if args.output:
+        repro_io.save_json(mapping, args.output)
+    if not args.quiet:
+        print(describe_mapping(cluster, venv, mapping))
+    if args.output:
+        print(f"\nwrote mapping -> {args.output}")
+    return 0
+
+
+def _validate(args) -> int:
+    from repro.core.mapping import Mapping
+    from repro.core.validate import validate_mapping as check
+
+    cluster = _load(args.cluster, PhysicalCluster)
+    venv = _load(args.venv, VirtualEnvironment)
+    mapping = _load(args.mapping, Mapping)
+    report = check(cluster, venv, mapping, raise_on_error=False)
+    print(report)
+    return 0 if report.ok else 1
+
+
+def _simulate(args) -> int:
+    from repro.core.mapping import Mapping
+    from repro.simulator import BspSpec, ExperimentSpec, run_bsp_experiment, run_experiment
+
+    cluster = _load(args.cluster, PhysicalCluster)
+    venv = _load(args.venv, VirtualEnvironment)
+    mapping = _load(args.mapping, Mapping)
+    validate_mapping(cluster, venv, mapping)
+    if args.model == "bsp":
+        result = run_bsp_experiment(
+            cluster, venv, mapping,
+            BspSpec(rounds=args.rounds, compute_seconds=args.compute_seconds,
+                    comm_seconds=args.comm_seconds / max(args.rounds, 1)),
+        )
+    else:
+        result = run_experiment(
+            cluster, venv, mapping,
+            ExperimentSpec(compute_seconds=args.compute_seconds,
+                           comm_seconds=args.comm_seconds),
+        )
+    print(result)
+    print(f"simulated execution time: {result.makespan:.2f} s "
+          f"(nominal compute {args.compute_seconds:.0f} s; "
+          f"{result.oversubscribed_hosts} oversubscribed hosts)")
+    return 0
+
+
+def _grid(args, which: str) -> int:
+    from repro.analysis import render_table2, render_table3, run_grid
+    from repro.baselines.registry import PAPER_MAPPERS
+    from repro.simulator import ExperimentSpec
+    from repro.workload import paper_clusters, paper_scenarios
+
+    rows = paper_scenarios()
+    if args.rows == "subset":
+        rows = [rows[i] for i in (0, 1, 3, 12, 15)]
+    records = run_grid(
+        paper_clusters,
+        rows,
+        list(PAPER_MAPPERS),
+        reps=args.reps,
+        base_seed=args.seed,
+        spec=ExperimentSpec(compute_seconds=100.0, comm_seconds=5.0),
+        mapper_kwargs={"random": {"max_tries": 6}, "hosting+search": {"max_tries": 6}},
+    )
+    renderer = render_table2 if which == "table2" else render_table3
+    print(renderer(records))
+    return 0
+
+
+def _figure1(args) -> int:
+    from repro.analysis import figure1_series, render_figure1, run_grid
+    from repro.workload import paper_clusters, paper_scenarios
+
+    rows = [paper_scenarios()[i] for i in (0, 1, 3, 12, 15)]
+    records = run_grid(
+        paper_clusters, rows, ["hmn"], reps=args.reps, base_seed=args.seed, simulate=False
+    )
+    print(render_figure1(figure1_series(records)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "gen-cluster":
+            return _gen_cluster(args)
+        if args.command == "gen-venv":
+            return _gen_venv(args)
+        if args.command == "map":
+            return _map(args)
+        if args.command == "validate":
+            return _validate(args)
+        if args.command == "simulate":
+            return _simulate(args)
+        if args.command in ("table2", "table3"):
+            return _grid(args, args.command)
+        if args.command == "figure1":
+            return _figure1(args)
+        if args.command == "mappers":
+            for name in available_mappers():
+                print(name)
+            return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""Core problem model: clusters, virtual environments, mappings.
+
+This package implements Section 3 of the paper — the formal problem
+definition — as typed, validated data structures:
+
+* :class:`~repro.core.host.Host`, :class:`~repro.core.link.PhysicalLink`,
+  :class:`~repro.core.cluster.PhysicalCluster` — the physical side
+  ``c = (C, E_c)``;
+* :class:`~repro.core.guest.Guest`, :class:`~repro.core.vlink.VirtualLink`,
+  :class:`~repro.core.venv.VirtualEnvironment` — the virtual side
+  ``v = (V, E_v)``;
+* :class:`~repro.core.state.ClusterState` — mutable residual capacities
+  shared by all mappers;
+* :class:`~repro.core.mapping.Mapping` — the result object;
+* :mod:`~repro.core.objective` — Eq. 10 and its O(1) incremental form;
+* :mod:`~repro.core.validate` — the Eqs. 1-9 constraint checker.
+"""
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.guest import Guest
+from repro.core.host import Host
+from repro.core.link import EdgeKey, PhysicalLink, edge_key
+from repro.core.mapping import Mapping, StageReport
+from repro.core.objective import (
+    ResidualCpuTracker,
+    balance_lower_bound,
+    load_balance_factor,
+    objective_of_assignment,
+    residual_proc,
+)
+from repro.core.state import ClusterState, path_edges
+from repro.core.validate import ValidationReport, Violation, is_valid, validate_mapping
+from repro.core.venv import VirtualEnvironment
+from repro.core.vlink import VirtualLink, VLinkKey, vlink_key
+
+__all__ = [
+    "Host",
+    "PhysicalLink",
+    "PhysicalCluster",
+    "Guest",
+    "VirtualLink",
+    "VirtualEnvironment",
+    "ClusterState",
+    "Mapping",
+    "StageReport",
+    "ResidualCpuTracker",
+    "load_balance_factor",
+    "balance_lower_bound",
+    "objective_of_assignment",
+    "residual_proc",
+    "validate_mapping",
+    "is_valid",
+    "ValidationReport",
+    "Violation",
+    "edge_key",
+    "EdgeKey",
+    "vlink_key",
+    "VLinkKey",
+    "path_edges",
+]

@@ -1,0 +1,294 @@
+"""The physical cluster: graph ``c = (C, E_c)`` of Section 3.2.
+
+A :class:`PhysicalCluster` holds hosts (capacity-bearing nodes that can
+run guests), optional switches (pure forwarding nodes — needed for the
+paper's *switched* topology, where traffic between two hosts traverses
+one or more 64-port switches), and undirected capacitated links.
+
+The class is a thin typed wrapper around a :class:`networkx.Graph`; the
+graph view is exposed read-only for algorithms that want networkx
+directly (e.g. Dijkstra latency tables), while all mutation flows
+through the typed API so invariants hold (unique ids, no self-links,
+endpoints exist).
+
+Per the paper, intra-host communication is free:
+``bandwidth(h, h) == inf`` and ``latency(h, h) == 0`` for every host.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+import networkx as nx
+
+from repro.core.host import Host
+from repro.core.link import EdgeKey, PhysicalLink, edge_key
+from repro.errors import DuplicateNodeError, ModelError, UnknownNodeError
+
+__all__ = ["PhysicalCluster"]
+
+NodeId = Hashable
+
+
+class PhysicalCluster:
+    """A cluster of workstations plus its interconnect.
+
+    Build one incrementally::
+
+        cluster = PhysicalCluster()
+        cluster.add_host(Host(0, proc=2000, mem=2048, stor=2048))
+        cluster.add_host(Host(1, proc=1500, mem=1024, stor=1024))
+        cluster.add_link(PhysicalLink(0, 1, bw=1000.0, lat=5.0))
+
+    or use the generators in :mod:`repro.topology`.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._hosts: dict[NodeId, Host] = {}
+        self._switches: set[NodeId] = set()
+        self._links: dict[EdgeKey, PhysicalLink] = {}
+        self._graph = nx.Graph()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_host(self, host: Host) -> Host:
+        """Add a capacity-bearing host node.  Returns the host."""
+        if host.id in self._hosts or host.id in self._switches:
+            raise DuplicateNodeError(host.id, "cluster node")
+        self._hosts[host.id] = host
+        self._graph.add_node(host.id, kind="host")
+        return host
+
+    def add_switch(self, switch_id: NodeId) -> NodeId:
+        """Add a pure forwarding node (cannot run guests)."""
+        if switch_id in self._hosts or switch_id in self._switches:
+            raise DuplicateNodeError(switch_id, "cluster node")
+        self._switches.add(switch_id)
+        self._graph.add_node(switch_id, kind="switch")
+        return switch_id
+
+    def add_link(self, link: PhysicalLink) -> PhysicalLink:
+        """Add an undirected link between two existing nodes."""
+        for endpoint in (link.u, link.v):
+            if endpoint not in self._graph:
+                raise UnknownNodeError(endpoint, "cluster node")
+        if link.key in self._links:
+            raise DuplicateNodeError(link.key, "cluster link")
+        self._links[link.key] = link
+        self._graph.add_edge(link.u, link.v, bw=link.bw, lat=link.lat)
+        return link
+
+    def connect(self, u: NodeId, v: NodeId, bw: float, lat: float) -> PhysicalLink:
+        """Shorthand for ``add_link(PhysicalLink(u, v, bw, lat))``."""
+        return self.add_link(PhysicalLink(u, v, bw=bw, lat=lat))
+
+    # ------------------------------------------------------------------
+    # node access
+    # ------------------------------------------------------------------
+    def host(self, host_id: NodeId) -> Host:
+        """The :class:`Host` with the given id."""
+        try:
+            return self._hosts[host_id]
+        except KeyError:
+            raise UnknownNodeError(host_id, "host") from None
+
+    def is_host(self, node_id: NodeId) -> bool:
+        return node_id in self._hosts
+
+    def is_switch(self, node_id: NodeId) -> bool:
+        return node_id in self._switches
+
+    @property
+    def host_ids(self) -> tuple[NodeId, ...]:
+        """Host ids in insertion order."""
+        return tuple(self._hosts)
+
+    @property
+    def switch_ids(self) -> tuple[NodeId, ...]:
+        """Switch ids (insertion order is not guaranteed)."""
+        return tuple(sorted(self._switches, key=lambda s: (type(s).__name__, str(s))))
+
+    @property
+    def node_ids(self) -> tuple[NodeId, ...]:
+        """All node ids: hosts first, then switches."""
+        return self.host_ids + self.switch_ids
+
+    def hosts(self) -> Iterator[Host]:
+        """Iterate over hosts in insertion order."""
+        return iter(self._hosts.values())
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self._hosts)
+
+    @property
+    def n_switches(self) -> int:
+        return len(self._switches)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._hosts) + len(self._switches)
+
+    # ------------------------------------------------------------------
+    # link access
+    # ------------------------------------------------------------------
+    def link(self, u: NodeId, v: NodeId) -> PhysicalLink:
+        """The link between *u* and *v* (order-independent)."""
+        try:
+            return self._links[edge_key(u, v)]
+        except KeyError:
+            raise UnknownNodeError(edge_key(u, v), "cluster link") from None
+
+    def has_link(self, u: NodeId, v: NodeId) -> bool:
+        return edge_key(u, v) in self._links
+
+    def links(self) -> Iterator[PhysicalLink]:
+        """Iterate over links in insertion order."""
+        return iter(self._links.values())
+
+    @property
+    def link_keys(self) -> tuple[EdgeKey, ...]:
+        return tuple(self._links)
+
+    @property
+    def n_links(self) -> int:
+        return len(self._links)
+
+    def neighbors(self, node_id: NodeId) -> tuple[NodeId, ...]:
+        """Nodes adjacent to *node_id*."""
+        if node_id not in self._graph:
+            raise UnknownNodeError(node_id, "cluster node")
+        return tuple(self._graph.neighbors(node_id))
+
+    def degree(self, node_id: NodeId) -> int:
+        if node_id not in self._graph:
+            raise UnknownNodeError(node_id, "cluster node")
+        return self._graph.degree[node_id]
+
+    # ------------------------------------------------------------------
+    # capacities (paper semantics)
+    # ------------------------------------------------------------------
+    def bandwidth(self, u: NodeId, v: NodeId) -> float:
+        """``bw((u, v))`` with the paper's convention ``bw((c, c)) = inf``."""
+        if u == v:
+            if u not in self._graph:
+                raise UnknownNodeError(u, "cluster node")
+            return float("inf")
+        return self.link(u, v).bw
+
+    def latency(self, u: NodeId, v: NodeId) -> float:
+        """``lat((u, v))`` with the paper's convention ``lat((c, c)) = 0``."""
+        if u == v:
+            if u not in self._graph:
+                raise UnknownNodeError(u, "cluster node")
+            return 0.0
+        return self.link(u, v).lat
+
+    def total_proc(self) -> float:
+        """Aggregate CPU capacity over all hosts (MIPS)."""
+        return sum(h.proc for h in self._hosts.values())
+
+    def total_mem(self) -> int:
+        """Aggregate memory over all hosts (MiB)."""
+        return sum(h.mem for h in self._hosts.values())
+
+    def total_stor(self) -> float:
+        """Aggregate storage over all hosts (GiB)."""
+        return sum(h.stor for h in self._hosts.values())
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> nx.Graph:
+        """A read-only networkx view of the cluster graph.
+
+        Nodes carry ``kind`` ("host"/"switch"); edges carry ``bw``/``lat``.
+        """
+        return self._graph.copy(as_view=True)
+
+    def is_connected(self) -> bool:
+        """Whether every node can reach every other node."""
+        if self._graph.number_of_nodes() == 0:
+            return True
+        return nx.is_connected(self._graph)
+
+    def with_vmm_overhead(
+        self,
+        *,
+        proc: float = 0.0,
+        mem: int = 0,
+        stor: float = 0.0,
+        proc_fraction: float = 0.0,
+    ) -> "PhysicalCluster":
+        """Return a new cluster with VMM overhead deducted from every host.
+
+        Section 3.1: "for each different resource (CPU, memory, storage),
+        the amount of it used by the VMM is deducted from that resource
+        availability prior the mapping."  *proc*, *mem*, *stor* are
+        absolute per-host deductions; *proc_fraction* optionally removes
+        a fraction of each host's CPU instead (useful for heterogeneous
+        clusters where VMM CPU cost scales with the machine).
+        """
+        if not 0.0 <= proc_fraction < 1.0:
+            raise ModelError(f"proc_fraction must be in [0, 1), got {proc_fraction}")
+        out = PhysicalCluster(name=self.name)
+        for h in self.hosts():
+            reduced = h.reduced(proc=proc + h.proc * proc_fraction, mem=mem, stor=stor)
+            out.add_host(reduced)
+        for s in self.switch_ids:
+            out.add_switch(s)
+        for link in self.links():
+            out.add_link(link)
+        return out
+
+    def copy(self) -> "PhysicalCluster":
+        """Deep-enough copy (hosts/links are immutable, so shared)."""
+        out = PhysicalCluster(name=self.name)
+        for h in self.hosts():
+            out.add_host(h)
+        for s in self.switch_ids:
+            out.add_switch(s)
+        for link in self.links():
+            out.add_link(link)
+        return out
+
+    # ------------------------------------------------------------------
+    # dunder / debug
+    # ------------------------------------------------------------------
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._graph
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<PhysicalCluster{label}: {self.n_hosts} hosts, "
+            f"{self.n_switches} switches, {self.n_links} links>"
+        )
+
+    def describe(self) -> str:
+        """Multi-line summary used by examples and reports."""
+        lines = [repr(self)]
+        lines.extend("  " + h.describe() for h in self.hosts())
+        lines.extend("  " + link.describe() for link in self.links())
+        return "\n".join(lines)
+
+    @classmethod
+    def from_parts(
+        cls,
+        hosts: Iterable[Host],
+        links: Iterable[PhysicalLink] = (),
+        switches: Iterable[NodeId] = (),
+        name: str = "",
+    ) -> "PhysicalCluster":
+        """Build a cluster from pre-constructed parts in one call."""
+        cluster = cls(name=name)
+        for h in hosts:
+            cluster.add_host(h)
+        for s in switches:
+            cluster.add_switch(s)
+        for link in links:
+            cluster.add_link(link)
+        return cluster

@@ -1,0 +1,68 @@
+"""Virtual machine (guest) model.
+
+A guest is one virtual node of the emulated distributed system
+(Section 3.2).  Its demands mirror host capacities:
+
+* ``vproc : V -> R`` — requested CPU in MIPS,
+* ``vmem : V -> N``  — requested memory in MiB (integral),
+* ``vstor : V -> R`` — requested storage in GiB.
+
+Memory and storage are *hard* demands (Eqs. 2-3); CPU is a *soft*
+demand used only by the load-balance objective (Eqs. 10-12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+from repro.units import format_memory, format_storage
+
+__all__ = ["Guest"]
+
+
+@dataclass(frozen=True, slots=True)
+class Guest:
+    """An immutable virtual machine description.
+
+    Parameters
+    ----------
+    id:
+        Unique integer identifier within a virtual environment.
+    vproc:
+        Requested CPU in MIPS.  Non-negative (a zero-CPU guest is legal:
+        it holds memory/storage but does not affect the objective).
+    vmem:
+        Requested memory in MiB.  Non-negative integer.
+    vstor:
+        Requested storage in GiB.  Non-negative.
+    name:
+        Optional human-readable label.
+    """
+
+    id: int
+    vproc: float
+    vmem: int
+    vstor: float
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.vproc < 0:
+            raise ModelError(f"guest {self.id!r}: vproc must be non-negative, got {self.vproc}")
+        if not isinstance(self.vmem, int):
+            if isinstance(self.vmem, float) and self.vmem.is_integer():
+                object.__setattr__(self, "vmem", int(self.vmem))
+            else:
+                raise ModelError(f"guest {self.id!r}: vmem must be an integer, got {self.vmem!r}")
+        if self.vmem < 0:
+            raise ModelError(f"guest {self.id!r}: vmem must be non-negative, got {self.vmem}")
+        if self.vstor < 0:
+            raise ModelError(f"guest {self.id!r}: vstor must be non-negative, got {self.vstor}")
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        label = self.name or str(self.id)
+        return (
+            f"Guest {label}: {self.vproc:.0f} MIPS, "
+            f"{format_memory(self.vmem)}, {format_storage(self.vstor)}"
+        )

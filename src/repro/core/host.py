@@ -1,0 +1,105 @@
+"""Physical host model.
+
+A host is a cluster workstation running a virtual machine monitor
+(Section 3.1 of the paper).  Its capacities follow the paper's
+definitions (Section 3.2):
+
+* ``proc : C -> R`` — processing capacity in MIPS,
+* ``mem : C -> N``  — memory in MiB (integral, per the paper),
+* ``stor : C -> R`` — storage in GiB.
+
+Hosts are immutable; mutable residual capacities live in
+:class:`repro.core.state.ClusterState`, which lets many mapping attempts
+share one cluster description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Hashable
+
+from repro.errors import ModelError
+from repro.units import format_memory, format_storage
+
+__all__ = ["Host"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Host:
+    """An immutable physical host.
+
+    Parameters
+    ----------
+    id:
+        Unique, hashable identifier within a cluster.
+    proc:
+        CPU capacity in MIPS (``proc`` in the paper).  Must be positive:
+        a host with no CPU cannot run a VMM.
+    mem:
+        Memory in MiB (``mem`` in the paper).  Non-negative integer.
+    stor:
+        Storage in GiB (``stor`` in the paper).  Non-negative.
+    name:
+        Optional human-readable label used in reports.
+    """
+
+    id: NodeId
+    proc: float
+    mem: int
+    stor: float
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.proc <= 0:
+            raise ModelError(f"host {self.id!r}: proc must be positive, got {self.proc}")
+        if not isinstance(self.mem, int):
+            # The paper defines mem : C -> N; accept exact floats for convenience.
+            if isinstance(self.mem, float) and self.mem.is_integer():
+                object.__setattr__(self, "mem", int(self.mem))
+            else:
+                raise ModelError(f"host {self.id!r}: mem must be an integer, got {self.mem!r}")
+        if self.mem < 0:
+            raise ModelError(f"host {self.id!r}: mem must be non-negative, got {self.mem}")
+        if self.stor < 0:
+            raise ModelError(f"host {self.id!r}: stor must be non-negative, got {self.stor}")
+
+    def scaled(self, *, proc: float = 1.0, mem: float = 1.0, stor: float = 1.0) -> "Host":
+        """Return a copy with capacities multiplied by the given factors.
+
+        Used to model VMM overhead as a proportional deduction.
+        """
+        return replace(
+            self,
+            proc=self.proc * proc,
+            mem=int(self.mem * mem),
+            stor=self.stor * stor,
+        )
+
+    def reduced(self, *, proc: float = 0.0, mem: int = 0, stor: float = 0.0) -> "Host":
+        """Return a copy with absolute amounts deducted (VMM overhead).
+
+        Memory and storage may not go negative; CPU may, because the
+        paper treats CPU as a soft, optimized resource — but a host whose
+        VMM consumes its whole CPU is a modelling error, so we clamp proc
+        at a tiny positive epsilon and raise for mem/stor underflow.
+        """
+        new_mem = self.mem - int(mem)
+        new_stor = self.stor - stor
+        if new_mem < 0:
+            raise ModelError(f"host {self.id!r}: VMM memory overhead {mem} exceeds capacity {self.mem}")
+        if new_stor < 0:
+            raise ModelError(f"host {self.id!r}: VMM storage overhead {stor} exceeds capacity {self.stor}")
+        new_proc = self.proc - proc
+        if new_proc <= 0:
+            raise ModelError(f"host {self.id!r}: VMM CPU overhead {proc} exceeds capacity {self.proc}")
+        return replace(self, proc=new_proc, mem=new_mem, stor=new_stor)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        label = self.name or str(self.id)
+        return (
+            f"Host {label}: {self.proc:.0f} MIPS, "
+            f"{format_memory(self.mem)}, {format_storage(self.stor)}"
+        )

@@ -1,0 +1,93 @@
+"""Physical link model and canonical undirected edge keys.
+
+Links are undirected (the paper's cluster graph does not distinguish
+directions and its bandwidth constraint, Eq. 9, aggregates all virtual
+links crossing a physical link regardless of orientation).  Node
+identifiers are arbitrary hashables — hosts are typically integers and
+switches strings — so the canonical edge key orders endpoints by a
+type-stable sort key rather than relying on ``<`` between mixed types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Tuple
+
+from repro.errors import ModelError
+from repro.units import format_bandwidth, format_latency
+
+__all__ = ["PhysicalLink", "edge_key", "EdgeKey"]
+
+NodeId = Hashable
+EdgeKey = Tuple[NodeId, NodeId]
+
+
+def _sort_key(node: NodeId) -> tuple[str, str]:
+    return (type(node).__name__, str(node))
+
+
+def edge_key(u: NodeId, v: NodeId) -> EdgeKey:
+    """Canonical (order-independent) key for the undirected edge ``{u, v}``.
+
+    ``edge_key(a, b) == edge_key(b, a)`` for any two hashable ids,
+    including ids of different types (e.g. host ``3`` and switch ``"sw0"``).
+    """
+    if _sort_key(u) <= _sort_key(v):
+        return (u, v)
+    return (v, u)
+
+
+@dataclass(frozen=True, slots=True)
+class PhysicalLink:
+    """An immutable undirected physical link.
+
+    Parameters
+    ----------
+    u, v:
+        Endpoint node ids (hosts or switches).  Stored in canonical
+        order; ``PhysicalLink(a, b, ...) == PhysicalLink(b, a, ...)``.
+    bw:
+        Capacity in Mbit/s (``bw`` in the paper).  Must be positive.
+    lat:
+        Latency in milliseconds (``lat`` in the paper).  Non-negative.
+    name:
+        Optional label for reports.
+    """
+
+    u: NodeId
+    v: NodeId
+    bw: float
+    lat: float
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise ModelError(
+                f"self-link on node {self.u!r} is implicit (infinite bandwidth, zero latency) "
+                "and must not be added explicitly"
+            )
+        a, b = edge_key(self.u, self.v)
+        object.__setattr__(self, "u", a)
+        object.__setattr__(self, "v", b)
+        if self.bw <= 0:
+            raise ModelError(f"link {self.key}: bw must be positive, got {self.bw}")
+        if self.lat < 0:
+            raise ModelError(f"link {self.key}: lat must be non-negative, got {self.lat}")
+
+    @property
+    def key(self) -> EdgeKey:
+        """Canonical edge key ``(u, v)``."""
+        return (self.u, self.v)
+
+    def other(self, node: NodeId) -> NodeId:
+        """The endpoint opposite to *node*."""
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise ModelError(f"node {node!r} is not an endpoint of link {self.key}")
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        label = self.name or f"{self.u!r}--{self.v!r}"
+        return f"Link {label}: {format_bandwidth(self.bw)}, {format_latency(self.lat)}"

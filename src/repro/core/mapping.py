@@ -1,0 +1,206 @@
+"""The mapping result: guest assignments plus virtual-link paths.
+
+A :class:`Mapping` is what every mapper returns: for each guest the
+host it runs on, and for each virtual link the physical node path
+carrying it.  Paths are stored as node sequences over the cluster
+graph:
+
+* a **co-located** virtual link (both guests on the same host) maps to
+  the single-node path ``(host,)`` — it traverses no physical link and
+  consumes no bandwidth (the paper's ``bw((c,c)) = inf`` convention);
+* an **inter-host** link maps to ``(h_src, ..., h_dst)`` where
+  ``h_src``/``h_dst`` host the link's endpoint guests (Eqs. 4-5), the
+  path is loop-free (Eq. 7) and consecutive nodes share a physical
+  link (Eq. 6).
+
+The class is a passive value object; all constraint checking lives in
+:mod:`repro.core.validate` and all construction logic in the mappers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Mapping as TMapping, Sequence
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.link import EdgeKey
+from repro.core.objective import objective_of_assignment
+from repro.core.state import path_edges
+from repro.core.venv import VirtualEnvironment
+from repro.core.vlink import VLinkKey, vlink_key
+from repro.errors import ModelError
+
+__all__ = ["Mapping", "StageReport"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class StageReport:
+    """Telemetry from one stage of a mapping pipeline.
+
+    ``extra`` holds stage-specific counters, e.g. the Migration stage
+    records ``{"migrations": 12, "iterations": 15}``.
+    """
+
+    name: str
+    elapsed_s: float
+    extra: TMapping[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        details = ", ".join(f"{k}={v}" for k, v in self.extra.items())
+        suffix = f" ({details})" if details else ""
+        return f"{self.name}: {self.elapsed_s * 1e3:.2f} ms{suffix}"
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """A complete solution of the mapping problem.
+
+    Parameters
+    ----------
+    assignments:
+        guest id -> host id (Eq. 1: every guest exactly once).
+    paths:
+        canonical vlink key -> node path over the cluster graph.
+    mapper:
+        Name of the producing heuristic ("hmn", "random", ...).
+    stages:
+        Per-stage telemetry in execution order.
+    meta:
+        Free-form metadata (retry counts, seeds, ...).
+    """
+
+    assignments: TMapping[int, NodeId]
+    paths: TMapping[VLinkKey, tuple[NodeId, ...]]
+    mapper: str = ""
+    stages: tuple[StageReport, ...] = ()
+    meta: TMapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "assignments", dict(self.assignments))
+        object.__setattr__(
+            self, "paths", {vlink_key(*k): tuple(v) for k, v in self.paths.items()}
+        )
+        object.__setattr__(self, "meta", dict(self.meta))
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def host_of(self, guest_id: int) -> NodeId:
+        """The host a guest was assigned to."""
+        try:
+            return self.assignments[guest_id]
+        except KeyError:
+            raise ModelError(f"guest {guest_id!r} is not in this mapping") from None
+
+    def path_for(self, a: int, b: int) -> tuple[NodeId, ...]:
+        """The node path carrying the virtual link {a, b}."""
+        try:
+            return self.paths[vlink_key(a, b)]
+        except KeyError:
+            raise ModelError(f"virtual link {vlink_key(a, b)} is not in this mapping") from None
+
+    def guests_on(self, host_id: NodeId) -> tuple[int, ...]:
+        """Guests assigned to *host_id*, in guest-id order."""
+        return tuple(sorted(g for g, h in self.assignments.items() if h == host_id))
+
+    def hosts_used(self) -> tuple[NodeId, ...]:
+        """Hosts that received at least one guest."""
+        seen: dict[NodeId, None] = {}
+        for h in self.assignments.values():
+            seen.setdefault(h, None)
+        return tuple(seen)
+
+    @property
+    def n_guests(self) -> int:
+        return len(self.assignments)
+
+    @property
+    def n_paths(self) -> int:
+        return len(self.paths)
+
+    def n_colocated(self) -> int:
+        """Number of virtual links whose endpoints share a host
+        (these never enter the Networking stage)."""
+        return sum(1 for p in self.paths.values() if len(p) <= 1)
+
+    def total_hops(self) -> int:
+        """Total physical links traversed across all mapped paths."""
+        return sum(max(len(p) - 1, 0) for p in self.paths.values())
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+    def objective(self, cluster: PhysicalCluster, venv: VirtualEnvironment) -> float:
+        """Eq. 10 value of this mapping."""
+        return objective_of_assignment(cluster, venv, self.assignments)
+
+    def edge_loads(self, venv: VirtualEnvironment) -> dict[EdgeKey, float]:
+        """Aggregate bandwidth demand per physical link (LHS of Eq. 9)."""
+        loads: dict[EdgeKey, float] = {}
+        for key, nodes in self.paths.items():
+            vbw = venv.vlink(*key).vbw
+            for e in path_edges(nodes):
+                loads[e] = loads.get(e, 0.0) + vbw
+        return loads
+
+    def path_latency(self, cluster: PhysicalCluster, a: int, b: int) -> float:
+        """Accumulated physical latency of the path for vlink {a, b}
+        (LHS of Eq. 8); 0 for co-located links."""
+        nodes = self.path_for(a, b)
+        return sum(cluster.latency(u, v) for u, v in zip(nodes, nodes[1:]))
+
+    def stage(self, name: str) -> StageReport:
+        """The stage report with the given name."""
+        for report in self.stages:
+            if report.name == name:
+                return report
+        raise ModelError(f"no stage named {name!r} in this mapping")
+
+    @property
+    def total_elapsed_s(self) -> float:
+        """Wall time summed over all recorded stages."""
+        return sum(r.elapsed_s for r in self.stages)
+
+    # ------------------------------------------------------------------
+    # serialization (round-trips through JSON-compatible dicts)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation (node ids must be str/int)."""
+        return {
+            "mapper": self.mapper,
+            "assignments": {str(g): h for g, h in self.assignments.items()},
+            "paths": {f"{a},{b}": list(p) for (a, b), p in self.paths.items()},
+            "stages": [
+                {"name": s.name, "elapsed_s": s.elapsed_s, "extra": dict(s.extra)}
+                for s in self.stages
+            ],
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: TMapping[str, Any]) -> "Mapping":
+        """Inverse of :meth:`to_dict`."""
+        paths: dict[VLinkKey, tuple[NodeId, ...]] = {}
+        for key, nodes in data.get("paths", {}).items():
+            a_str, b_str = key.split(",")
+            paths[vlink_key(int(a_str), int(b_str))] = tuple(nodes)
+        stages = tuple(
+            StageReport(s["name"], s["elapsed_s"], dict(s.get("extra", {})))
+            for s in data.get("stages", ())
+        )
+        return cls(
+            assignments={int(g): h for g, h in data.get("assignments", {}).items()},
+            paths=paths,
+            mapper=data.get("mapper", ""),
+            stages=stages,
+            meta=dict(data.get("meta", {})),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Mapping by {self.mapper or '?'}: {self.n_guests} guests on "
+            f"{len(self.hosts_used())} hosts, {self.n_paths} paths "
+            f"({self.n_colocated()} co-located)>"
+        )

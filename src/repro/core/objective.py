@@ -1,0 +1,296 @@
+"""The paper's objective function (Eqs. 10-12) and incremental tracking.
+
+The objective is the **population standard deviation of residual CPU**
+across hosts after the mapping:
+
+.. math::
+
+    \\sqrt{\\frac{\\sum_{i=1}^{n} (rproc(c_i) - \\overline{rproc})^2}{n}}
+    \\qquad
+    rproc(c_i) = proc(c_i) - \\sum_{g \\in G_i} vproc(g)
+
+CPU is *not* a constraint, so residuals may be negative (overcommit).
+
+Two evaluation paths are provided:
+
+* :func:`load_balance_factor` — direct, vectorized evaluation from a
+  residual array; used for reporting and validation.
+* :class:`ResidualCpuTracker` — O(1) incremental evaluation of
+  hypothetical single-guest moves, used by the Migration stage, which
+  evaluates up to ``n_hosts`` candidate moves per iteration and would
+  otherwise recompute an n-term standard deviation for each.
+
+The incremental form keeps running ``sum`` and ``sum of squares``:
+``std^2 = (sumsq - sum^2 / n) / n``.  Moving a guest with demand ``d``
+from host ``a`` to host ``b`` changes only two residuals, so the new
+``sum`` is unchanged and the new ``sumsq`` is adjusted with four terms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, Mapping
+
+import numpy as np
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.venv import VirtualEnvironment
+from repro.errors import ModelError, UnknownNodeError
+
+__all__ = [
+    "residual_proc",
+    "load_balance_factor",
+    "objective_of_assignment",
+    "balance_lower_bound",
+    "ResidualCpuTracker",
+]
+
+NodeId = Hashable
+
+
+def residual_proc(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    assignments: Mapping[int, NodeId],
+) -> np.ndarray:
+    """Residual CPU per host (Eq. 11), in host insertion order.
+
+    *assignments* maps guest id -> host id.  Guests of *venv* missing
+    from *assignments* are ignored (useful mid-pipeline); assignments to
+    unknown hosts raise.
+    """
+    index = {h: i for i, h in enumerate(cluster.host_ids)}
+    residual = np.array([h.proc for h in cluster.hosts()], dtype=float)
+    for guest_id, host_id in assignments.items():
+        try:
+            i = index[host_id]
+        except KeyError:
+            raise UnknownNodeError(host_id, "host") from None
+        residual[i] -= venv.guest(guest_id).vproc
+    return residual
+
+
+def load_balance_factor(residuals: Iterable[float] | np.ndarray) -> float:
+    """Population standard deviation (Eq. 10) of the residual CPU values."""
+    arr = np.asarray(list(residuals) if not isinstance(residuals, np.ndarray) else residuals,
+                     dtype=float)
+    if arr.size == 0:
+        raise ModelError("load balance factor of an empty cluster is undefined")
+    return float(arr.std())
+
+
+def objective_of_assignment(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    assignments: Mapping[int, NodeId],
+) -> float:
+    """Eq. 10 evaluated directly from an assignment map."""
+    return load_balance_factor(residual_proc(cluster, venv, assignments))
+
+
+def balance_lower_bound(cluster: PhysicalCluster, total_vproc: float) -> float:
+    """Water-filling lower bound on Eq. 10 for a given total CPU demand.
+
+    Treat the demand as infinitely divisible and ignore memory/storage:
+    the std-minimizing allocation shaves the highest-capacity hosts down
+    to a common water level ``L`` with ``sum(max(proc_i - L, 0)) =
+    total_vproc``, leaving residuals ``min(proc_i, L)``.  No feasible
+    mapping can do better, so the bound contextualizes measured
+    objectives: when host heterogeneity dwarfs the demand (the paper's
+    Table 1 regime at low ratios), even a perfect mapper cannot push
+    Eq. 10 near zero — see EXPERIMENTS.md.
+
+    The exact level is found by scanning capacities in descending
+    order; O(n log n).
+    """
+    caps = sorted((h.proc for h in cluster.hosts()), reverse=True)
+    if total_vproc < 0:
+        raise ModelError(f"total demand must be >= 0, got {total_vproc}")
+    n = len(caps)
+    if n == 0:
+        raise ModelError("balance lower bound of an empty cluster is undefined")
+    remaining = total_vproc
+    level = caps[0]
+    # Lower the water level past each capacity step while demand remains.
+    for k in range(1, n + 1):
+        next_cap = caps[k] if k < n else -math.inf
+        # With k hosts above the level, dropping the level by d absorbs k*d.
+        absorb = (level - max(next_cap, -1e30)) * k if next_cap != -math.inf else math.inf
+        if remaining <= absorb:
+            level -= remaining / k
+            remaining = 0.0
+            break
+        remaining -= absorb
+        level = next_cap
+    residuals = np.minimum(np.asarray(caps, dtype=float), level)
+    return float(residuals.std())
+
+
+class ResidualCpuTracker:
+    """Incrementally tracked residual-CPU statistics over a fixed host set.
+
+    >>> tracker = ResidualCpuTracker({0: 2000.0, 1: 1000.0})
+    >>> tracker.std()
+    500.0
+    >>> tracker.apply_demand(0, 800.0)   # place an 800-MIPS guest on host 0
+    >>> round(tracker.std(), 3)
+    100.0
+    >>> round(tracker.std_if_moved(0, 1, 800.0), 3)  # hypothetical move
+    900.0
+
+    All operations are O(1).  The tracker deliberately knows nothing
+    about guests — callers pass CPU demands — so it is reusable by any
+    mapper or objective variant built on residual CPU.
+    """
+
+    __slots__ = ("_residual", "_sum", "_sumsq", "_n")
+
+    def __init__(self, initial_residuals: Mapping[NodeId, float]) -> None:
+        if not initial_residuals:
+            raise ModelError("ResidualCpuTracker needs at least one host")
+        self._residual: dict[NodeId, float] = dict(initial_residuals)
+        self._n = len(self._residual)
+        self._sum = math.fsum(self._residual.values())
+        self._sumsq = math.fsum(v * v for v in self._residual.values())
+
+    @classmethod
+    def from_cluster(cls, cluster: PhysicalCluster) -> "ResidualCpuTracker":
+        """Tracker starting from the hosts' full CPU capacities."""
+        return cls({h.id: h.proc for h in cluster.hosts()})
+
+    # ------------------------------------------------------------------
+    # state access
+    # ------------------------------------------------------------------
+    def residual(self, host_id: NodeId) -> float:
+        try:
+            return self._residual[host_id]
+        except KeyError:
+            raise UnknownNodeError(host_id, "host") from None
+
+    def residuals(self) -> dict[NodeId, float]:
+        """Snapshot of residual CPU per host."""
+        return dict(self._residual)
+
+    @property
+    def n_hosts(self) -> int:
+        return self._n
+
+    def mean(self) -> float:
+        return self._sum / self._n
+
+    # When the running-aggregate variance is this small relative to the
+    # mean square, the subtraction has cancelled most significant digits
+    # and we recompute exactly (two-pass, O(n)) — hit only near perfect
+    # balance, where the cheap formula's ~1e-6 absolute error would
+    # otherwise leak into objectives and migration decisions.
+    _CANCELLATION_GUARD = 1e-9
+
+    def variance(self) -> float:
+        mean_sq = (self._sum / self._n) ** 2
+        var = self._sumsq / self._n - mean_sq
+        if var < self._CANCELLATION_GUARD * max(mean_sq, 1.0):
+            # Re-anchor *both* running aggregates: the sum itself can have
+            # absorbed tiny components (1.0 + 1e-38 - 1.0 == 0.0).
+            self._sum = math.fsum(self._residual.values())
+            self._sumsq = math.fsum(v * v for v in self._residual.values())
+            mean = self._sum / self._n
+            var = math.fsum((v - mean) ** 2 for v in self._residual.values()) / self._n
+        return max(var, 0.0)
+
+    def std(self) -> float:
+        """Current Eq. 10 value."""
+        return math.sqrt(self.variance())
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def apply_demand(self, host_id: NodeId, vproc: float) -> None:
+        """Consume *vproc* MIPS on *host_id* (placement)."""
+        old = self.residual(host_id)
+        new = old - vproc
+        self._residual[host_id] = new
+        self._sum += new - old
+        self._sumsq += new * new - old * old
+
+    def release_demand(self, host_id: NodeId, vproc: float) -> None:
+        """Return *vproc* MIPS to *host_id* (removal)."""
+        self.apply_demand(host_id, -vproc)
+
+    def move_demand(self, src: NodeId, dst: NodeId, vproc: float) -> None:
+        """Move a *vproc*-MIPS guest from *src* to *dst*."""
+        if src == dst:
+            return
+        self.release_demand(src, vproc)
+        self.apply_demand(dst, vproc)
+
+    # ------------------------------------------------------------------
+    # hypothetical evaluation (no mutation)
+    # ------------------------------------------------------------------
+    def _exact_variance_with(self, overrides: Mapping[NodeId, float]) -> float:
+        """Two-pass variance with some residuals hypothetically replaced.
+
+        Recomputes the mean from the (hypothetical) values rather than
+        trusting the running sum, which can have absorbed tiny
+        components.
+        """
+        mean = (
+            math.fsum(overrides.get(h, v) for h, v in self._residual.items()) / self._n
+        )
+        return (
+            math.fsum(
+                (overrides.get(h, v) - mean) ** 2 for h, v in self._residual.items()
+            )
+            / self._n
+        )
+
+    def std_if_moved(self, src: NodeId, dst: NodeId, vproc: float) -> float:
+        """Eq. 10 value if a *vproc*-MIPS guest moved from *src* to *dst*.
+
+        O(1) except near perfect balance, where the cancellation guard
+        recomputes exactly (see :meth:`variance`).
+        """
+        if src == dst:
+            return self.std()
+        rs = self.residual(src)
+        rd = self.residual(dst)
+        new_rs = rs + vproc
+        new_rd = rd - vproc
+        sumsq = self._sumsq - rs * rs - rd * rd + new_rs * new_rs + new_rd * new_rd
+        mean_sq = (self._sum / self._n) ** 2
+        var = sumsq / self._n - mean_sq
+        if var < self._CANCELLATION_GUARD * max(mean_sq, 1.0):
+            var = self._exact_variance_with({src: new_rs, dst: new_rd})
+        return math.sqrt(max(var, 0.0))
+
+    def std_if_applied(self, host_id: NodeId, vproc: float) -> float:
+        """Eq. 10 value if a *vproc*-MIPS guest were placed on *host_id*."""
+        old = self.residual(host_id)
+        new = old - vproc
+        s = self._sum + new - old
+        sumsq = self._sumsq + new * new - old * old
+        mean_sq = (s / self._n) ** 2
+        var = sumsq / self._n - mean_sq
+        if var < self._CANCELLATION_GUARD * max(mean_sq, 1.0):
+            var = self._exact_variance_with({host_id: new})
+        return math.sqrt(max(var, 0.0))
+
+    # ------------------------------------------------------------------
+    # ordering helpers used by the Migration stage
+    # ------------------------------------------------------------------
+    def most_loaded_host(self) -> NodeId:
+        """Host with the *smallest* residual CPU (highest load).
+
+        Ties broken by host id string for determinism.
+        """
+        return min(self._residual, key=lambda h: (self._residual[h], str(h)))
+
+    def hosts_by_load_descending(self) -> list[NodeId]:
+        """Hosts from most loaded (least residual) to least loaded."""
+        return sorted(self._residual, key=lambda h: (self._residual[h], str(h)))
+
+    def hosts_by_residual_descending(self) -> list[NodeId]:
+        """Hosts from least loaded (most residual) to most loaded."""
+        return sorted(self._residual, key=lambda h: (-self._residual[h], str(h)))
+
+    def copy(self) -> "ResidualCpuTracker":
+        return ResidualCpuTracker(self._residual)

@@ -1,0 +1,327 @@
+"""Mutable allocation state over a physical cluster.
+
+:class:`ClusterState` is the single bookkeeping structure shared by all
+mappers.  It tracks, per host, residual **memory** and **storage**
+(hard constraints, Eqs. 2-3: never negative), residual **CPU** (soft,
+Eqs. 10-12: may go negative because CPU is optimized, not constrained),
+and per physical link residual **bandwidth** (hard, Eq. 9).
+
+A mapper mutates one state as it works; failed attempts either roll
+back their mutations (placement/reservation methods raise *before*
+mutating) or simply discard the state and start from a fresh copy.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.guest import Guest
+from repro.core.link import EdgeKey, edge_key
+from repro.core.objective import ResidualCpuTracker
+from repro.errors import CapacityError, ModelError, UnknownNodeError
+
+__all__ = ["ClusterState", "path_edges"]
+
+NodeId = Hashable
+
+# Residual bandwidth comparisons tolerate this much accumulated float
+# error (Mbit/s).  Reservations subtract exact demand values, so in
+# practice the residual only drifts by a few ulps; the epsilon prevents
+# spurious CapacityErrors when a link is filled exactly to capacity.
+_BW_EPS = 1e-9
+
+
+def path_edges(nodes: Sequence[NodeId]) -> list[EdgeKey]:
+    """Canonical edge keys of the consecutive pairs of a node path.
+
+    ``path_edges([a, b, c]) == [edge_key(a, b), edge_key(b, c)]``.
+    A path of fewer than two nodes has no edges.
+    """
+    return [edge_key(u, v) for u, v in zip(nodes, nodes[1:])]
+
+
+class ClusterState:
+    """Residual capacities and guest placements over a cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The immutable physical cluster this state allocates against.
+    """
+
+    __slots__ = (
+        "cluster",
+        "_mem",
+        "_stor",
+        "_bw",
+        "_cpu",
+        "_host_of",
+        "_guests_on",
+        "_guest_obj",
+    )
+
+    def __init__(self, cluster: PhysicalCluster) -> None:
+        if cluster.n_hosts == 0:
+            raise ModelError("cannot allocate against an empty cluster")
+        self.cluster = cluster
+        self._mem: dict[NodeId, int] = {h.id: h.mem for h in cluster.hosts()}
+        self._stor: dict[NodeId, float] = {h.id: h.stor for h in cluster.hosts()}
+        self._bw: dict[EdgeKey, float] = {link.key: link.bw for link in cluster.links()}
+        self._cpu = ResidualCpuTracker.from_cluster(cluster)
+        self._host_of: dict[int, NodeId] = {}
+        self._guests_on: dict[NodeId, set[int]] = {h.id: set() for h in cluster.hosts()}
+        self._guest_obj: dict[int, Guest] = {}
+
+    # ------------------------------------------------------------------
+    # residual accessors
+    # ------------------------------------------------------------------
+    def residual_mem(self, host_id: NodeId) -> int:
+        try:
+            return self._mem[host_id]
+        except KeyError:
+            raise UnknownNodeError(host_id, "host") from None
+
+    def residual_stor(self, host_id: NodeId) -> float:
+        try:
+            return self._stor[host_id]
+        except KeyError:
+            raise UnknownNodeError(host_id, "host") from None
+
+    def residual_proc(self, host_id: NodeId) -> float:
+        return self._cpu.residual(host_id)
+
+    def residual_bw(self, u: NodeId, v: NodeId) -> float:
+        """Residual bandwidth of the link {u, v}; ``inf`` when ``u == v``
+        (the paper's intra-host convention)."""
+        if u == v:
+            if u not in self.cluster:
+                raise UnknownNodeError(u, "cluster node")
+            return float("inf")
+        try:
+            return self._bw[edge_key(u, v)]
+        except KeyError:
+            raise UnknownNodeError(edge_key(u, v), "cluster link") from None
+
+    @property
+    def cpu(self) -> ResidualCpuTracker:
+        """The incremental residual-CPU tracker (shared, live)."""
+        return self._cpu
+
+    @property
+    def bw_table(self) -> Mapping[EdgeKey, float]:
+        """The live residual-bandwidth table, keyed by canonical edge key.
+
+        Exposed read-only for hot routing loops
+        (:class:`repro.routing.graph.RoutingGraph` users) that resolve
+        edge keys ahead of time; mutate through
+        :meth:`reserve_path`/:meth:`release_path` only.
+        """
+        return self._bw
+
+    def objective(self) -> float:
+        """Current Eq. 10 value (population std of residual CPU)."""
+        return self._cpu.std()
+
+    def bandwidth_usage(self) -> dict[EdgeKey, float]:
+        """Consumed bandwidth per physical link (capacity - residual)."""
+        return {
+            key: self.cluster.link(*key).bw - residual for key, residual in self._bw.items()
+        }
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def fits(self, guest: Guest, host_id: NodeId) -> bool:
+        """Whether *guest*'s hard demands fit on *host_id* right now."""
+        return (
+            self.residual_mem(host_id) >= guest.vmem
+            and self.residual_stor(host_id) >= guest.vstor
+        )
+
+    def place(self, guest: Guest, host_id: NodeId) -> None:
+        """Assign *guest* to *host_id*, consuming its resources.
+
+        Raises :class:`CapacityError` (without mutating) if the guest's
+        memory or storage does not fit, and :class:`ModelError` if the
+        guest is already placed.
+        """
+        if guest.id in self._host_of:
+            raise ModelError(
+                f"guest {guest.id!r} is already placed on host {self._host_of[guest.id]!r}"
+            )
+        if not self.fits(guest, host_id):
+            raise CapacityError(
+                f"guest {guest.id!r} (mem={guest.vmem}, stor={guest.vstor}) does not fit on "
+                f"host {host_id!r} (mem={self.residual_mem(host_id)}, "
+                f"stor={self.residual_stor(host_id)})"
+            )
+        self._mem[host_id] -= guest.vmem
+        self._stor[host_id] -= guest.vstor
+        self._cpu.apply_demand(host_id, guest.vproc)
+        self._host_of[guest.id] = host_id
+        self._guests_on[host_id].add(guest.id)
+        self._guest_obj[guest.id] = guest
+
+    def unplace(self, guest_id: int) -> NodeId:
+        """Remove a placed guest, returning its resources.  Returns the
+        host it was on."""
+        try:
+            host_id = self._host_of.pop(guest_id)
+        except KeyError:
+            raise ModelError(f"guest {guest_id!r} is not placed") from None
+        guest = self._guest_obj.pop(guest_id)
+        self._guests_on[host_id].discard(guest_id)
+        self._mem[host_id] += guest.vmem
+        self._stor[host_id] += guest.vstor
+        self._cpu.release_demand(host_id, guest.vproc)
+        return host_id
+
+    def move(self, guest_id: int, dst_host: NodeId) -> None:
+        """Migrate a placed guest to *dst_host* (Migration stage primitive).
+
+        Atomic: if the guest does not fit on the destination, the state
+        is unchanged and :class:`CapacityError` is raised.
+        """
+        try:
+            src_host = self._host_of[guest_id]
+        except KeyError:
+            raise ModelError(f"guest {guest_id!r} is not placed") from None
+        if src_host == dst_host:
+            return
+        guest = self._guest_obj[guest_id]
+        if not self.fits(guest, dst_host):
+            raise CapacityError(
+                f"guest {guest_id!r} does not fit on host {dst_host!r} "
+                f"(mem={self.residual_mem(dst_host)}, stor={self.residual_stor(dst_host)})"
+            )
+        self.unplace(guest_id)
+        self.place(guest, dst_host)
+
+    def host_of(self, guest_id: int) -> NodeId:
+        """The host a guest is placed on."""
+        try:
+            return self._host_of[guest_id]
+        except KeyError:
+            raise ModelError(f"guest {guest_id!r} is not placed") from None
+
+    def is_placed(self, guest_id: int) -> bool:
+        return guest_id in self._host_of
+
+    def guests_on(self, host_id: NodeId) -> frozenset[int]:
+        """Ids of guests currently on *host_id*."""
+        try:
+            return frozenset(self._guests_on[host_id])
+        except KeyError:
+            raise UnknownNodeError(host_id, "host") from None
+
+    def placed_guest(self, guest_id: int) -> Guest:
+        """The :class:`Guest` object recorded at placement time."""
+        try:
+            return self._guest_obj[guest_id]
+        except KeyError:
+            raise ModelError(f"guest {guest_id!r} is not placed") from None
+
+    @property
+    def assignments(self) -> dict[int, NodeId]:
+        """Snapshot of guest id -> host id."""
+        return dict(self._host_of)
+
+    @property
+    def n_placed(self) -> int:
+        return len(self._host_of)
+
+    # ------------------------------------------------------------------
+    # bandwidth reservation
+    # ------------------------------------------------------------------
+    def can_reserve(self, nodes: Sequence[NodeId], bw: float) -> bool:
+        """Whether *bw* Mbit/s can be reserved on every edge of the node
+        path *nodes*.  An empty or single-node path (intra-host link)
+        always succeeds."""
+        return all(self._bw.get(e, -1.0) + _BW_EPS >= bw for e in path_edges(nodes))
+
+    def reserve_path(self, nodes: Sequence[NodeId], bw: float) -> None:
+        """Reserve *bw* Mbit/s on every edge along the node path.
+
+        Atomic: capacities are checked on all edges before any is
+        decremented.  Raises :class:`CapacityError` if any edge lacks
+        residual bandwidth, :class:`UnknownNodeError` if an edge does
+        not exist.
+        """
+        if bw < 0:
+            raise ModelError(f"cannot reserve negative bandwidth {bw}")
+        edges = path_edges(nodes)
+        for e in edges:
+            if e not in self._bw:
+                raise UnknownNodeError(e, "cluster link")
+        for e in edges:
+            if self._bw[e] + _BW_EPS < bw:
+                raise CapacityError(
+                    f"link {e} has {self._bw[e]:.6g} Mbit/s residual, cannot reserve {bw:.6g}"
+                )
+        for e in edges:
+            self._bw[e] -= bw
+
+    def release_path(self, nodes: Sequence[NodeId], bw: float) -> None:
+        """Return *bw* Mbit/s to every edge along the node path."""
+        if bw < 0:
+            raise ModelError(f"cannot release negative bandwidth {bw}")
+        edges = path_edges(nodes)
+        for e in edges:
+            if e not in self._bw:
+                raise UnknownNodeError(e, "cluster link")
+        for e in edges:
+            self._bw[e] += bw
+            cap = self.cluster.link(*e).bw
+            if self._bw[e] > cap + 1e-6:
+                raise ModelError(
+                    f"release on link {e} exceeds capacity: residual {self._bw[e]} > {cap}"
+                )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def copy(self) -> "ClusterState":
+        """Independent snapshot of the full allocation state."""
+        out = ClusterState.__new__(ClusterState)
+        out.cluster = self.cluster
+        out._mem = dict(self._mem)
+        out._stor = dict(self._stor)
+        out._bw = dict(self._bw)
+        out._cpu = self._cpu.copy()
+        out._host_of = dict(self._host_of)
+        out._guests_on = {h: set(s) for h, s in self._guests_on.items()}
+        out._guest_obj = dict(self._guest_obj)
+        return out
+
+    def restore_from(self, snapshot: "ClusterState") -> None:
+        """Reset this state to a snapshot taken with :meth:`copy`.
+
+        The transactional primitive behind mappers that mutate a
+        *shared* state: take a snapshot, attempt the mapping, and on
+        failure restore — so a half-placed attempt cannot leak
+        placements or bandwidth reservations into the caller's state.
+        Live references to this state (unlike swapping in the snapshot
+        object) remain valid.
+        """
+        if snapshot.cluster is not self.cluster:
+            raise ModelError("cannot restore from a snapshot of a different cluster")
+        self._mem = dict(snapshot._mem)
+        self._stor = dict(snapshot._stor)
+        self._bw = dict(snapshot._bw)
+        self._cpu = snapshot._cpu.copy()
+        self._host_of = dict(snapshot._host_of)
+        self._guests_on = {h: set(s) for h, s in snapshot._guests_on.items()}
+        self._guest_obj = dict(snapshot._guest_obj)
+
+    def place_all(self, guests: Iterable[Guest], assignment: Mapping[int, NodeId]) -> None:
+        """Place many guests at once per *assignment* (guest id -> host)."""
+        for guest in guests:
+            self.place(guest, assignment[guest.id])
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClusterState: {self.n_placed} guests placed on "
+            f"{sum(1 for s in self._guests_on.values() if s)} of "
+            f"{self.cluster.n_hosts} hosts, objective={self.objective():.2f}>"
+        )

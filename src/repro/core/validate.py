@@ -1,0 +1,258 @@
+"""Full constraint validation of a mapping (Eqs. 1-9 of the paper).
+
+Every mapper in this library is validated against this module in the
+test suite, and the experiment runner re-validates each mapping before
+recording it, so a heuristic bug cannot silently inflate success rates.
+
+Constraint names follow the paper's equation numbers:
+
+========  ==========================================================
+``eq1``   every guest mapped to exactly one host (partition of V)
+``eq2``   per-host memory capacity
+``eq3``   per-host storage capacity
+``eq4``   path starts at the host of the link's source guest
+``eq5``   path ends at the host of the link's destination guest
+``eq6``   consecutive path nodes share a physical link
+``eq7``   the path is loop-free (no repeated node)
+``eq8``   accumulated path latency within the virtual link's bound
+``eq9``   aggregate bandwidth demand within each link's capacity
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.link import EdgeKey
+from repro.core.mapping import Mapping
+from repro.core.state import path_edges
+from repro.core.venv import VirtualEnvironment
+from repro.errors import ValidationError
+
+__all__ = ["Violation", "ValidationReport", "validate_mapping", "is_valid"]
+
+# Tolerances for floating-point constraint checks.  Latencies and
+# bandwidths are sums of exact inputs, so only ulp-level drift occurs.
+_LAT_EPS = 1e-9
+_BW_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One violated constraint."""
+
+    constraint: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.constraint}] {self.detail}"
+
+
+@dataclass(slots=True)
+class ValidationReport:
+    """All violations found in one mapping (empty means valid)."""
+
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, constraint: str, detail: str) -> None:
+        self.violations.append(Violation(constraint, detail))
+
+    def constraints_violated(self) -> frozenset[str]:
+        return frozenset(v.constraint for v in self.violations)
+
+    def raise_if_invalid(self) -> None:
+        if self.violations:
+            first = self.violations[0]
+            raise ValidationError(
+                first.constraint,
+                f"{first.detail} ({len(self.violations)} violation(s) total)",
+            )
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "valid mapping (no violations)"
+        return "\n".join(str(v) for v in self.violations)
+
+
+def validate_mapping(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    mapping: Mapping,
+    *,
+    raise_on_error: bool = True,
+) -> ValidationReport:
+    """Check *mapping* against every problem constraint.
+
+    With ``raise_on_error=True`` (default) the first violation raises
+    :class:`~repro.errors.ValidationError`; otherwise the full report
+    is returned for inspection.
+    """
+    report = ValidationReport()
+    _check_partition(cluster, venv, mapping, report)
+    _check_host_capacities(cluster, venv, mapping, report)
+    _check_paths(cluster, venv, mapping, report)
+    _check_bandwidth_aggregate(cluster, venv, mapping, report)
+    if raise_on_error:
+        report.raise_if_invalid()
+    return report
+
+
+def is_valid(cluster: PhysicalCluster, venv: VirtualEnvironment, mapping: Mapping) -> bool:
+    """Convenience predicate: whether the mapping satisfies Eqs. 1-9."""
+    return validate_mapping(cluster, venv, mapping, raise_on_error=False).ok
+
+
+# ----------------------------------------------------------------------
+# individual constraint groups
+# ----------------------------------------------------------------------
+def _check_partition(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    mapping: Mapping,
+    report: ValidationReport,
+) -> None:
+    """Eq. 1: the G_i partition V — every guest on exactly one host."""
+    guest_ids = set(venv.guest_ids)
+    assigned = set(mapping.assignments)
+    for missing in sorted(guest_ids - assigned):
+        report.add("eq1", f"guest {missing!r} is not mapped")
+    for extra in sorted(assigned - guest_ids):
+        report.add("eq1", f"mapped guest {extra!r} does not exist in the virtual environment")
+    for guest_id, host_id in mapping.assignments.items():
+        if host_id not in cluster or not cluster.is_host(host_id):
+            report.add("eq1", f"guest {guest_id!r} mapped to non-host node {host_id!r}")
+
+
+def _check_host_capacities(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    mapping: Mapping,
+    report: ValidationReport,
+) -> None:
+    """Eqs. 2-3: memory and storage sums within each host's capacity."""
+    mem_used: dict[object, int] = {}
+    stor_used: dict[object, float] = {}
+    for guest_id, host_id in mapping.assignments.items():
+        if guest_id not in venv or not cluster.is_host(host_id):
+            continue  # already reported by eq1
+        guest = venv.guest(guest_id)
+        mem_used[host_id] = mem_used.get(host_id, 0) + guest.vmem
+        stor_used[host_id] = stor_used.get(host_id, 0.0) + guest.vstor
+    for host_id, used in mem_used.items():
+        cap = cluster.host(host_id).mem
+        if used > cap:
+            report.add("eq2", f"host {host_id!r}: memory demand {used} MiB > capacity {cap} MiB")
+    for host_id, used in stor_used.items():
+        cap = cluster.host(host_id).stor
+        if used > cap + 1e-9:
+            report.add(
+                "eq3", f"host {host_id!r}: storage demand {used:.3f} GiB > capacity {cap:.3f} GiB"
+            )
+
+
+def _check_paths(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    mapping: Mapping,
+    report: ValidationReport,
+) -> None:
+    """Eqs. 4-8 plus path existence for every virtual link."""
+    for key in venv.vlink_keys:
+        if key not in mapping.paths:
+            report.add("eq4", f"virtual link {key} has no mapped path")
+    for key, nodes in mapping.paths.items():
+        if not venv.has_vlink(*key):
+            report.add("eq4", f"mapped path for non-existent virtual link {key}")
+            continue
+        a, b = key
+        if a not in mapping.assignments or b not in mapping.assignments:
+            continue  # eq1 already reported
+        host_a = mapping.assignments[a]
+        host_b = mapping.assignments[b]
+        vlink = venv.vlink(a, b)
+
+        if not nodes:
+            report.add("eq4", f"virtual link {key}: empty path")
+            continue
+        if host_a == host_b:
+            # Co-located: the only admissible path is the single host node.
+            if len(nodes) != 1 or nodes[0] != host_a:
+                report.add(
+                    "eq4",
+                    f"virtual link {key}: guests co-located on {host_a!r} but path is {nodes}",
+                )
+            continue
+
+        # Eq. 4 / Eq. 5: endpoints anchored at the guests' hosts.  The
+        # stored path may run in either direction of the undirected
+        # link, but its two ends must cover *both* hosts — accepting
+        # "either host at either end" independently would let a
+        # truncated path like (host_a,) or host_a -> host_a slip
+        # through.
+        if {nodes[0], nodes[-1]} != {host_a, host_b}:
+            if nodes[0] not in (host_a, host_b):
+                report.add(
+                    "eq4",
+                    f"virtual link {key}: path starts at {nodes[0]!r}, expected "
+                    f"{host_a!r} or {host_b!r}",
+                )
+            else:
+                report.add(
+                    "eq5",
+                    f"virtual link {key}: path runs {nodes[0]!r} -> {nodes[-1]!r}, "
+                    f"which does not connect {host_a!r} and {host_b!r}",
+                )
+
+        # Eq. 6: consecutive nodes must share a physical link.
+        for u, v in zip(nodes, nodes[1:]):
+            if u == v or not cluster.has_link(u, v):
+                report.add("eq6", f"virtual link {key}: no physical link between {u!r} and {v!r}")
+
+        # Eq. 7: loop-free.
+        if len(set(nodes)) != len(nodes):
+            report.add("eq7", f"virtual link {key}: path revisits a node: {nodes}")
+
+        # Eq. 8: accumulated latency within the bound.
+        latency = 0.0
+        valid_edges = True
+        for u, v in zip(nodes, nodes[1:]):
+            if cluster.has_link(u, v):
+                latency += cluster.latency(u, v)
+            else:
+                valid_edges = False
+        if valid_edges and latency > vlink.vlat + _LAT_EPS:
+            report.add(
+                "eq8",
+                f"virtual link {key}: path latency {latency:.3f} ms exceeds bound "
+                f"{vlink.vlat:.3f} ms",
+            )
+
+
+def _check_bandwidth_aggregate(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    mapping: Mapping,
+    report: ValidationReport,
+) -> None:
+    """Eq. 9: per physical link, aggregated virtual demand <= capacity."""
+    loads: dict[EdgeKey, float] = {}
+    for key, nodes in mapping.paths.items():
+        if not venv.has_vlink(*key):
+            continue
+        vbw = venv.vlink(*key).vbw
+        for e in path_edges(nodes):
+            loads[e] = loads.get(e, 0.0) + vbw
+    for e, load in loads.items():
+        if not cluster.has_link(*e):
+            continue  # eq6 already reported
+        cap = cluster.link(*e).bw
+        if load > cap + _BW_EPS:
+            report.add(
+                "eq9",
+                f"link {e}: aggregate demand {load:.6g} Mbit/s exceeds capacity {cap:.6g} Mbit/s",
+            )

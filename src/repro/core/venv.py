@@ -1,0 +1,210 @@
+"""The virtual environment: graph ``v = (V, E_v)`` of Section 3.2.
+
+A :class:`VirtualEnvironment` is the tester-specified emulated
+distributed system: a set of guests (virtual machines) and the virtual
+links between them.  Like :class:`repro.core.cluster.PhysicalCluster`
+it wraps a :class:`networkx.Graph` behind a typed mutation API.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.core.guest import Guest
+from repro.core.vlink import VirtualLink, VLinkKey, vlink_key
+from repro.errors import DuplicateNodeError, UnknownNodeError
+
+__all__ = ["VirtualEnvironment"]
+
+
+class VirtualEnvironment:
+    """The emulated distributed system to be mapped onto a cluster.
+
+    Build one incrementally::
+
+        venv = VirtualEnvironment()
+        venv.add_guest(Guest(0, vproc=75, vmem=192, vstor=150))
+        venv.add_guest(Guest(1, vproc=60, vmem=128, vstor=100))
+        venv.add_vlink(VirtualLink(0, 1, vbw=0.8, vlat=45.0))
+
+    or use :mod:`repro.workload` to generate one from the paper's
+    workload presets.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._guests: dict[int, Guest] = {}
+        self._vlinks: dict[VLinkKey, VirtualLink] = {}
+        self._graph = nx.Graph()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_guest(self, guest: Guest) -> Guest:
+        """Add a guest node.  Returns the guest."""
+        if guest.id in self._guests:
+            raise DuplicateNodeError(guest.id, "guest")
+        self._guests[guest.id] = guest
+        self._graph.add_node(guest.id)
+        return guest
+
+    def add_vlink(self, vlink: VirtualLink) -> VirtualLink:
+        """Add a virtual link between two existing guests."""
+        for endpoint in (vlink.a, vlink.b):
+            if endpoint not in self._guests:
+                raise UnknownNodeError(endpoint, "guest")
+        if vlink.key in self._vlinks:
+            raise DuplicateNodeError(vlink.key, "virtual link")
+        self._vlinks[vlink.key] = vlink
+        self._graph.add_edge(vlink.a, vlink.b, vbw=vlink.vbw, vlat=vlink.vlat)
+        return vlink
+
+    def connect(self, a: int, b: int, vbw: float, vlat: float) -> VirtualLink:
+        """Shorthand for ``add_vlink(VirtualLink(a, b, vbw, vlat))``."""
+        return self.add_vlink(VirtualLink(a, b, vbw=vbw, vlat=vlat))
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def guest(self, guest_id: int) -> Guest:
+        try:
+            return self._guests[guest_id]
+        except KeyError:
+            raise UnknownNodeError(guest_id, "guest") from None
+
+    def guests(self) -> Iterator[Guest]:
+        """Iterate over guests in insertion order."""
+        return iter(self._guests.values())
+
+    @property
+    def guest_ids(self) -> tuple[int, ...]:
+        return tuple(self._guests)
+
+    @property
+    def n_guests(self) -> int:
+        return len(self._guests)
+
+    def vlink(self, a: int, b: int) -> VirtualLink:
+        """The virtual link between *a* and *b* (order-independent)."""
+        try:
+            return self._vlinks[vlink_key(a, b)]
+        except KeyError:
+            raise UnknownNodeError(vlink_key(a, b), "virtual link") from None
+
+    def has_vlink(self, a: int, b: int) -> bool:
+        return vlink_key(a, b) in self._vlinks
+
+    def vlinks(self) -> Iterator[VirtualLink]:
+        """Iterate over virtual links in insertion order."""
+        return iter(self._vlinks.values())
+
+    @property
+    def vlink_keys(self) -> tuple[VLinkKey, ...]:
+        return tuple(self._vlinks)
+
+    @property
+    def n_vlinks(self) -> int:
+        return len(self._vlinks)
+
+    def vlinks_of(self, guest_id: int) -> tuple[VirtualLink, ...]:
+        """All virtual links incident to *guest_id*."""
+        if guest_id not in self._guests:
+            raise UnknownNodeError(guest_id, "guest")
+        return tuple(
+            self._vlinks[vlink_key(guest_id, nbr)] for nbr in self._graph.neighbors(guest_id)
+        )
+
+    def neighbors(self, guest_id: int) -> tuple[int, ...]:
+        """Guests directly linked to *guest_id*."""
+        if guest_id not in self._guests:
+            raise UnknownNodeError(guest_id, "guest")
+        return tuple(self._graph.neighbors(guest_id))
+
+    def degree(self, guest_id: int) -> int:
+        if guest_id not in self._guests:
+            raise UnknownNodeError(guest_id, "guest")
+        return self._graph.degree[guest_id]
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    def total_vproc(self) -> float:
+        """Aggregate CPU demand (MIPS)."""
+        return sum(g.vproc for g in self._guests.values())
+
+    def total_vmem(self) -> int:
+        """Aggregate memory demand (MiB)."""
+        return sum(g.vmem for g in self._guests.values())
+
+    def total_vstor(self) -> float:
+        """Aggregate storage demand (GiB)."""
+        return sum(g.vstor for g in self._guests.values())
+
+    def total_vbw(self) -> float:
+        """Aggregate bandwidth demand over all virtual links (Mbit/s)."""
+        return sum(e.vbw for e in self._vlinks.values())
+
+    def density(self) -> float:
+        """Graph density ``2|E_v| / (|V| (|V|-1))`` — the generator's input
+        parameter in Section 5.1."""
+        m = self.n_guests
+        if m < 2:
+            return 0.0
+        return 2.0 * self.n_vlinks / (m * (m - 1))
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> nx.Graph:
+        """A read-only networkx view; edges carry ``vbw``/``vlat``."""
+        return self._graph.copy(as_view=True)
+
+    def is_connected(self) -> bool:
+        """Whether the virtual topology is a single connected component
+        (the paper's generator guarantees this)."""
+        if self._graph.number_of_nodes() == 0:
+            return True
+        return nx.is_connected(self._graph)
+
+    def copy(self) -> "VirtualEnvironment":
+        out = VirtualEnvironment(name=self.name)
+        for g in self.guests():
+            out.add_guest(g)
+        for e in self.vlinks():
+            out.add_vlink(e)
+        return out
+
+    # ------------------------------------------------------------------
+    # dunder / debug
+    # ------------------------------------------------------------------
+    def __contains__(self, guest_id: int) -> bool:
+        return guest_id in self._guests
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<VirtualEnvironment{label}: {self.n_guests} guests, {self.n_vlinks} vlinks>"
+
+    def describe(self) -> str:
+        """Multi-line summary used by examples and reports."""
+        lines = [repr(self)]
+        lines.extend("  " + g.describe() for g in self.guests())
+        lines.extend("  " + e.describe() for e in self.vlinks())
+        return "\n".join(lines)
+
+    @classmethod
+    def from_parts(
+        cls,
+        guests: Iterable[Guest],
+        vlinks: Iterable[VirtualLink] = (),
+        name: str = "",
+    ) -> "VirtualEnvironment":
+        """Build a virtual environment from pre-constructed parts."""
+        venv = cls(name=name)
+        for g in guests:
+            venv.add_guest(g)
+        for e in vlinks:
+            venv.add_vlink(e)
+        return venv

@@ -1,0 +1,86 @@
+"""Virtual link model.
+
+A virtual link connects two guests in the emulated topology
+(Section 3.2).  Its demands:
+
+* ``vbw : E_v -> R``  — required bandwidth in Mbit/s (Eq. 9 aggregates
+  the demands of all virtual links sharing a physical link),
+* ``vlat : E_v -> R`` — maximum tolerable end-to-end latency in
+  milliseconds (Eq. 8 bounds the sum of physical-link latencies along
+  the mapped path).
+
+Virtual links are undirected; guest ids are integers, so the canonical
+key is simply the sorted pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import ModelError
+from repro.units import format_bandwidth, format_latency
+
+__all__ = ["VirtualLink", "vlink_key", "VLinkKey"]
+
+VLinkKey = Tuple[int, int]
+
+
+def vlink_key(a: int, b: int) -> VLinkKey:
+    """Canonical (order-independent) key for the virtual link ``{a, b}``."""
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True, slots=True)
+class VirtualLink:
+    """An immutable undirected virtual link between two guests.
+
+    Parameters
+    ----------
+    a, b:
+        Endpoint guest ids.  Stored in canonical (sorted) order.
+    vbw:
+        Required bandwidth in Mbit/s.  Must be positive — a zero-demand
+        link constrains nothing and would only slow the mappers down.
+    vlat:
+        Maximum tolerable latency in milliseconds.  Must be non-negative
+        (zero forces co-location: only intra-host paths have zero
+        latency).
+    name:
+        Optional label for reports.
+    """
+
+    a: int
+    b: int
+    vbw: float
+    vlat: float
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ModelError(f"virtual self-link on guest {self.a!r} is not allowed")
+        lo, hi = vlink_key(self.a, self.b)
+        object.__setattr__(self, "a", lo)
+        object.__setattr__(self, "b", hi)
+        if self.vbw <= 0:
+            raise ModelError(f"vlink {self.key}: vbw must be positive, got {self.vbw}")
+        if self.vlat < 0:
+            raise ModelError(f"vlink {self.key}: vlat must be non-negative, got {self.vlat}")
+
+    @property
+    def key(self) -> VLinkKey:
+        """Canonical key ``(a, b)`` with ``a <= b``."""
+        return (self.a, self.b)
+
+    def other(self, guest_id: int) -> int:
+        """The endpoint opposite to *guest_id*."""
+        if guest_id == self.a:
+            return self.b
+        if guest_id == self.b:
+            return self.a
+        raise ModelError(f"guest {guest_id!r} is not an endpoint of vlink {self.key}")
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        label = self.name or f"{self.a}--{self.b}"
+        return f"VLink {label}: {format_bandwidth(self.vbw)}, <= {format_latency(self.vlat)}"

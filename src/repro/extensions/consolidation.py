@@ -1,0 +1,186 @@
+"""Consolidation mapper — minimize hosts used (Section 6 future work).
+
+The paper's Eq. 10 spreads load because its emulations own the whole
+cluster; Section 6 explicitly names the opposite goal — "a mapping
+whose goal is to minimize the amount of hosts used in each emulation"
+— as the first variation worth building (e.g. to power down idle
+machines or co-host other work).  This mapper provides it with the
+same pipeline shape as HMN:
+
+1. **Packing** — guests in descending memory order (first-fit
+   decreasing on the binding resource); each guest goes to the used
+   host with the strongest virtual-link affinity to it that fits (so
+   consolidation keeps communication intra-host too), else the first
+   used host that fits, else a newly opened host (largest capacity
+   first — big bins first minimizes bins).
+2. **Draining** — repeatedly try to empty the least-occupied used
+   host by re-packing all its guests into the other used hosts;
+   every successful drain removes one host from the footprint.
+3. **Networking** — unchanged: the paper's Algorithm 1 (or the
+   label-setting router) with bandwidth reservation.
+
+Registered in the mapper pool as ``"consolidation"``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Hashable
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.mapping import Mapping, StageReport
+from repro.core.state import ClusterState
+from repro.core.venv import VirtualEnvironment
+from repro.errors import CapacityError, PlacementError
+from repro.hmn.config import HMNConfig
+from repro.hmn.networking import run_networking
+
+__all__ = ["consolidation_map", "run_packing", "run_draining"]
+
+NodeId = Hashable
+
+
+def _affinity(state: ClusterState, venv: VirtualEnvironment, guest_id: int, host: NodeId) -> float:
+    """Total vbw between *guest_id* and guests already on *host*."""
+    total = 0.0
+    for link in venv.vlinks_of(guest_id):
+        other = link.other(guest_id)
+        if state.is_placed(other) and state.host_of(other) == host:
+            total += link.vbw
+    return total
+
+
+def run_packing(state: ClusterState, venv: VirtualEnvironment) -> dict:
+    """Stage 1: first-fit-decreasing with affinity preference."""
+    cluster = state.cluster
+    # Big bins first: opening order by descending (mem, stor).
+    opening_order = sorted(
+        cluster.host_ids, key=lambda h: (-cluster.host(h).mem, -cluster.host(h).stor, str(h))
+    )
+    used: list[NodeId] = []
+    guests = sorted(venv.guests(), key=lambda g: (-g.vmem, -g.vstor, g.id))
+    for guest in guests:
+        candidates = [h for h in used if state.fits(guest, h)]
+        if candidates:
+            # Strongest affinity first; ties by opening order (stable).
+            best = max(candidates, key=lambda h: (_affinity(state, venv, guest.id, h),
+                                                  -used.index(h)))
+            state.place(guest, best)
+            continue
+        for h in opening_order:
+            if h in used:
+                continue
+            if state.fits(guest, h):
+                state.place(guest, h)
+                used.append(h)
+                break
+        else:
+            raise PlacementError(guest.id, "consolidation packing: no host fits")
+    return {"hosts_opened": len(used), "placements": len(guests)}
+
+
+def run_draining(state: ClusterState, venv: VirtualEnvironment) -> dict:
+    """Stage 2: empty lightly-used hosts into the rest of the footprint.
+
+    Only this venv's guests move (multi-tenant safe); a host counts as
+    drainable only when *all* its movable guests fit elsewhere — the
+    drain is all-or-nothing per host, applied to a snapshot and
+    committed only on success.
+    """
+    own = set(venv.guest_ids)
+    drained = 0
+    rounds = 0
+    while True:
+        rounds += 1
+        occupied = [h for h in state.cluster.host_ids if state.guests_on(h) & own]
+        if len(occupied) <= 1:
+            break
+        # Try to drain the host holding the least of our memory first.
+        occupied.sort(
+            key=lambda h: (sum(venv.guest(g).vmem for g in state.guests_on(h) & own), str(h))
+        )
+        progressed = False
+        for victim in occupied:
+            movers = sorted(state.guests_on(victim) & own)
+            if any(g not in own for g in state.guests_on(victim)):
+                continue  # other tenants pin this host
+            trial = state.copy()
+            ok = True
+            for gid in movers:
+                guest = venv.guest(gid)
+                trial.unplace(gid)
+                targets = [
+                    h for h in occupied
+                    if h != victim and trial.fits(guest, h) and trial.guests_on(h) & own
+                ]
+                if not targets:
+                    ok = False
+                    break
+                best = max(targets, key=lambda h: (_affinity(trial, venv, gid, h), -occupied.index(h)))
+                trial.place(guest, best)
+            if ok:
+                # Commit: replay the drain on the real state.
+                for gid in movers:
+                    state.move(gid, trial.host_of(gid))
+                drained += 1
+                progressed = True
+                break
+        if not progressed:
+            break
+    return {"hosts_drained": drained, "rounds": rounds}
+
+
+def consolidation_map(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    config: HMNConfig | None = None,
+    *,
+    state: ClusterState | None = None,
+    seed=None,  # uniform mapper signature; the algorithm is deterministic
+) -> Mapping:
+    """Map *venv* minimizing the number of hosts used.
+
+    Returns a :class:`Mapping` with ``mapper="consolidation"``; the
+    usual Eq. 10 value is still recorded in ``meta`` for comparison,
+    along with ``meta["hosts_used"]``.
+    """
+    if config is None:
+        config = HMNConfig()
+    if state is None:
+        state = ClusterState(cluster)
+
+    stages = []
+    t0 = time.perf_counter()
+    packing_stats = run_packing(state, venv)
+    stages.append(StageReport("packing", time.perf_counter() - t0, packing_stats))
+
+    t0 = time.perf_counter()
+    drain_stats = run_draining(state, venv)
+    stages.append(StageReport("draining", time.perf_counter() - t0, drain_stats))
+
+    t0 = time.perf_counter()
+    paths, networking_stats = run_networking(state, venv, config)
+    stages.append(StageReport("networking", time.perf_counter() - t0, networking_stats))
+
+    assignments = {g.id: state.host_of(g.id) for g in venv.guests()}
+    hosts_used = len(set(assignments.values()))
+    return Mapping(
+        assignments=assignments,
+        paths=paths,
+        mapper="consolidation",
+        stages=tuple(stages),
+        meta={
+            "objective": state.objective(),
+            "hosts_used": hosts_used,
+            "config": config.describe(),
+        },
+    )
+
+
+def _register() -> None:
+    from repro.baselines.registry import register_mapper
+
+    register_mapper("consolidation", consolidation_map, aliases=("pack",))
+
+
+_register()

@@ -1,0 +1,181 @@
+"""Exact (branch-and-bound) placement for tiny instances.
+
+The mapping problem is NP-hard (the paper argues via GAPVEE), so no
+exact solver scales — but on *tiny* instances exhaustive search is
+feasible, and that is scientifically useful: it turns "HMN is good"
+into a measured **optimality gap**.  The water-filling bound
+(:func:`repro.core.balance_lower_bound`) ignores memory/storage
+integrality, so it can be loose; this solver gives the true optimum to
+compare against (see ``benchmarks/bench_exact.py``).
+
+Scope and semantics:
+
+* **Exact over placements**: branch-and-bound over all guest-to-host
+  assignments, minimizing Eq. 10, pruning with (a) hard-resource
+  feasibility and (b) an admissible bound — water-filling the
+  *remaining* CPU demand onto the current residuals can only
+  underestimate the final std.
+* **Greedy over routing**: each complete placement is routed with the
+  same Networking stage HMN uses; placements whose links cannot be
+  greedily routed are rejected.  (Optimal joint placement+routing is a
+  multi-commodity problem beyond tiny-instance exhaustive search; the
+  gap study compares like with like, since HMN routes the same way.)
+* Hard limits on instance size keep accidental misuse from hanging:
+  ``n_guests ** n_hosts`` bounded (default ~2M nodes before pruning).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Hashable
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.mapping import Mapping, StageReport
+from repro.core.state import ClusterState
+from repro.core.venv import VirtualEnvironment
+from repro.errors import MappingError, ModelError, RoutingError
+from repro.hmn.config import HMNConfig
+from repro.hmn.networking import run_networking
+
+__all__ = ["exact_map"]
+
+NodeId = Hashable
+
+
+def _waterfill_std(residuals: list[float], demand: float) -> float:
+    """Water-filling std lower bound over arbitrary current residuals."""
+    caps = sorted(residuals, reverse=True)
+    n = len(caps)
+    remaining = demand
+    level = caps[0]
+    for k in range(1, n + 1):
+        next_cap = caps[k] if k < n else -math.inf
+        absorb = (level - next_cap) * k if next_cap != -math.inf else math.inf
+        if remaining <= absorb:
+            level -= remaining / k
+            break
+        remaining -= absorb
+        level = next_cap
+    vals = [min(c, level) for c in caps]
+    mean = sum(vals) / n
+    return math.sqrt(sum((v - mean) ** 2 for v in vals) / n)
+
+
+def exact_map(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    config: HMNConfig | None = None,
+    *,
+    max_search_nodes: int = 2_000_000,
+    seed=None,  # uniform mapper signature; deterministic
+) -> Mapping:
+    """Optimal-placement mapping of a tiny instance (see module docs).
+
+    Raises :class:`~repro.errors.ModelError` when the instance is too
+    large for exhaustive search, and
+    :class:`~repro.errors.MappingError` when no routable placement
+    exists.
+    """
+    if config is None:
+        config = HMNConfig()
+    n_hosts = cluster.n_hosts
+    n_guests = venv.n_guests
+    if n_hosts**n_guests > max_search_nodes * 8:
+        raise ModelError(
+            f"instance too large for exact search: {n_hosts}^{n_guests} assignments; "
+            "exact_map is a tiny-instance gap-measurement tool"
+        )
+
+    # Branch on guests in descending memory order (tightest first prunes
+    # earliest); candidate hosts in a fixed order.
+    guests = sorted(venv.guests(), key=lambda g: (-g.vmem, -g.vstor, g.id))
+    total_demand = venv.total_vproc()
+    host_ids = list(cluster.host_ids)
+
+    t0 = time.perf_counter()
+    best_objective = math.inf
+    best_assignment: dict[int, NodeId] | None = None
+    explored = 0
+
+    state = ClusterState(cluster)
+    prefix_demand = [0.0]
+    for g in guests:
+        prefix_demand.append(prefix_demand[-1] + g.vproc)
+
+    def recurse(idx: int) -> None:
+        nonlocal best_objective, best_assignment, explored
+        explored += 1
+        if explored > max_search_nodes:
+            raise ModelError(
+                f"exact search exceeded {max_search_nodes} nodes; instance too hard"
+            )
+        if idx == len(guests):
+            objective = state.objective()
+            if objective < best_objective - 1e-12:
+                best_objective = objective
+                best_assignment = state.assignments
+            return
+        # Admissible bound: even perfectly splitting the remaining demand
+        # cannot beat this; prune when it already loses.
+        remaining = total_demand - prefix_demand[idx]
+        bound = _waterfill_std(
+            [state.residual_proc(h) for h in host_ids], remaining
+        )
+        if bound >= best_objective - 1e-12:
+            return
+        guest = guests[idx]
+        for host in host_ids:
+            if not state.fits(guest, host):
+                continue
+            state.place(guest, host)
+            recurse(idx + 1)
+            state.unplace(guest.id)
+
+    recurse(0)
+    search_elapsed = time.perf_counter() - t0
+    if best_assignment is None:
+        raise MappingError(
+            f"no feasible placement exists for {n_guests} guests on this cluster"
+        )
+
+    # Route the optimal placement the same way HMN would.
+    routing_state = ClusterState(cluster)
+    for g in venv.guests():
+        routing_state.place(g, best_assignment[g.id])
+    t0 = time.perf_counter()
+    try:
+        paths, networking_stats = run_networking(routing_state, venv, config)
+    except RoutingError as exc:
+        # The CPU-optimal placement may be unroutable.  Falling back to
+        # the next-best routable placement would require interleaving
+        # routing into the search (exponentially worse); surface the
+        # failure honestly instead.
+        raise RoutingError(
+            "optimal placement", f"optimal placement is not greedily routable: {exc}"
+        ) from exc
+    networking_elapsed = time.perf_counter() - t0
+
+    return Mapping(
+        assignments=best_assignment,
+        paths=paths,
+        mapper="exact",
+        stages=(
+            StageReport(
+                "search",
+                search_elapsed,
+                {"nodes_explored": explored, "objective": best_objective},
+            ),
+            StageReport("networking", networking_elapsed, networking_stats),
+        ),
+        meta={"objective": best_objective, "nodes_explored": explored},
+    )
+
+
+def _register() -> None:
+    from repro.baselines.registry import register_mapper
+
+    register_mapper("exact", exact_map)
+
+
+_register()

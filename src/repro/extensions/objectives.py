@@ -1,0 +1,107 @@
+"""Pluggable mapping objectives — the paper's future-work hook.
+
+Section 6: "heuristics for different optimization goals can be
+developed.  For example, one could be interested in a mapping whose
+goal is to minimize the amount of hosts used in each emulation."
+
+An :class:`Objective` scores a complete allocation state; smaller is
+better for every built-in (so selection code can always minimize).
+Three are provided:
+
+* :class:`LoadBalance` — the paper's Eq. 10 (residual-CPU population
+  std);
+* :class:`HostsUsed` — the consolidation goal Section 6 names (count
+  of hosts holding at least one guest);
+* :class:`NetworkFootprint` — total bandwidth-hops consumed on
+  physical links, the quantity Hosting/Networking implicitly
+  economize.
+
+Composite goals are built with :class:`Weighted`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.mapping import Mapping
+from repro.core.state import path_edges
+from repro.core.venv import VirtualEnvironment
+from repro.errors import ModelError
+
+__all__ = ["Objective", "LoadBalance", "HostsUsed", "NetworkFootprint", "Weighted"]
+
+
+class Objective(Protocol):
+    """Scores a mapping; smaller is better."""
+
+    name: str
+
+    def evaluate(
+        self, cluster: PhysicalCluster, venv: VirtualEnvironment, mapping: Mapping
+    ) -> float: ...
+
+
+@dataclass(frozen=True, slots=True)
+class LoadBalance:
+    """Eq. 10: population standard deviation of residual CPU."""
+
+    name: str = "load-balance"
+
+    def evaluate(
+        self, cluster: PhysicalCluster, venv: VirtualEnvironment, mapping: Mapping
+    ) -> float:
+        return mapping.objective(cluster, venv)
+
+
+@dataclass(frozen=True, slots=True)
+class HostsUsed:
+    """Consolidation: number of hosts holding at least one guest."""
+
+    name: str = "hosts-used"
+
+    def evaluate(
+        self, cluster: PhysicalCluster, venv: VirtualEnvironment, mapping: Mapping
+    ) -> float:
+        return float(len(mapping.hosts_used()))
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkFootprint:
+    """Total bandwidth-hops: sum over virtual links of vbw x physical
+    hops.  Zero iff everything is co-located."""
+
+    name: str = "network-footprint"
+
+    def evaluate(
+        self, cluster: PhysicalCluster, venv: VirtualEnvironment, mapping: Mapping
+    ) -> float:
+        total = 0.0
+        for key, nodes in mapping.paths.items():
+            total += venv.vlink(*key).vbw * len(path_edges(nodes))
+        return total
+
+
+@dataclass(frozen=True)
+class Weighted:
+    """Weighted sum of objectives (weights must be positive).
+
+    Scores are combined raw, so weights carry the unit conversion — the
+    caller decides how many MIPS of imbalance one extra host is worth.
+    """
+
+    parts: Sequence[tuple[float, Objective]]
+    name: str = "weighted"
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise ModelError("Weighted objective needs at least one part")
+        for weight, _ in self.parts:
+            if weight <= 0:
+                raise ModelError(f"objective weights must be positive, got {weight}")
+
+    def evaluate(
+        self, cluster: PhysicalCluster, venv: VirtualEnvironment, mapping: Mapping
+    ) -> float:
+        return sum(w * obj.evaluate(cluster, venv, mapping) for w, obj in self.parts)

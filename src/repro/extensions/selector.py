@@ -1,0 +1,130 @@
+"""Heuristic pool selection — Section 6's envisioned emulator front-end.
+
+"The goal is to offer to the emulator a pool of different heuristics
+that might be selected according to the emulated scenario."  Two
+selection modes are provided over the mapper registry:
+
+* :func:`recommend_mapper` — a transparent rule ranking candidates
+  from instance features (path diversity of the cluster, tightness of
+  the latency bounds, memory pressure).  Cheap: no mapping is run.
+* :func:`portfolio_map` — run an ordered candidate list, keep the best
+  mapping under a chosen :class:`~repro.extensions.objectives.Objective`
+  (first success wins in ``mode="first"``).  Robust: a candidate's
+  failure just moves on, so the portfolio succeeds whenever any member
+  does — the operational answer to the paper's observation that "HMN
+  may fail ... in scenarios in which the requirements of the virtual
+  system is too close to the resource availability".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Literal, Mapping as TMapping, Sequence
+
+import numpy as np
+
+from repro.baselines.registry import get_mapper
+from repro.core.cluster import PhysicalCluster
+from repro.core.mapping import Mapping
+from repro.core.venv import VirtualEnvironment
+from repro.errors import MappingError, ModelError
+from repro.extensions.objectives import LoadBalance, Objective
+
+__all__ = ["recommend_mapper", "portfolio_map", "PortfolioResult", "instance_features"]
+
+
+def instance_features(cluster: PhysicalCluster, venv: VirtualEnvironment) -> dict[str, float]:
+    """Cheap scenario descriptors used by the recommendation rule."""
+    n_hosts = cluster.n_hosts
+    mem_pressure = venv.total_vmem() / max(cluster.total_mem(), 1)
+    ratio = venv.n_guests / max(n_hosts, 1)
+    # Path diversity: edges beyond a tree mean alternate paths exist.
+    cyclomatic = cluster.n_links - (cluster.n_nodes - 1)
+    min_vlat = min((e.vlat for e in venv.vlinks()), default=float("inf"))
+    return {
+        "ratio": ratio,
+        "mem_pressure": mem_pressure,
+        "path_diversity": float(max(cyclomatic, 0)),
+        "min_vlat": min_vlat,
+        "n_vlinks": float(venv.n_vlinks),
+    }
+
+
+def recommend_mapper(cluster: PhysicalCluster, venv: VirtualEnvironment) -> str:
+    """Name of the pool mapper the rule expects to do best here.
+
+    The rule encodes the reproduction's own Table 2 findings: HMN is
+    the default; at extreme memory pressure its greedy packing can
+    strand guests where pure first-fit-decreasing packing does not, so
+    consolidation-style packing is recommended there.
+    """
+    features = instance_features(cluster, venv)
+    if features["mem_pressure"] > 0.92:
+        return "consolidation"
+    return "hmn"
+
+
+@dataclass(frozen=True)
+class PortfolioResult:
+    """Outcome of a portfolio run."""
+
+    mapping: Mapping
+    winner: str
+    score: float
+    #: Mapper name -> score (None where the candidate failed).
+    scores: TMapping[str, float | None] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+
+def portfolio_map(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    candidates: Sequence[str] = ("hmn", "consolidation", "random+astar"),
+    *,
+    objective: Objective | None = None,
+    mode: Literal["best", "first"] = "best",
+    seed: int | np.random.Generator | None = None,
+    mapper_kwargs: TMapping[str, TMapping[str, object]] | None = None,
+) -> PortfolioResult:
+    """Run the candidate mappers and return the best valid mapping.
+
+    ``mode="first"`` stops at the first success (cheapest);
+    ``mode="best"`` runs all candidates and keeps the minimum
+    *objective* score (default: the paper's Eq. 10).  Raises
+    :class:`~repro.errors.MappingError` only if every candidate fails.
+    """
+    if not candidates:
+        raise ModelError("portfolio needs at least one candidate")
+    if objective is None:
+        objective = LoadBalance()
+
+    t0 = time.perf_counter()
+    scores: dict[str, float | None] = {}
+    best: tuple[float, str, Mapping] | None = None
+    last_error: MappingError | None = None
+    for name in candidates:
+        mapper = get_mapper(name)
+        try:
+            mapping = mapper(cluster, venv, seed=seed, **dict((mapper_kwargs or {}).get(name, {})))
+        except MappingError as exc:
+            scores[name] = None
+            last_error = exc
+            continue
+        score = objective.evaluate(cluster, venv, mapping)
+        scores[name] = score
+        if best is None or score < best[0]:
+            best = (score, name, mapping)
+        if mode == "first":
+            break
+    if best is None:
+        assert last_error is not None
+        raise last_error
+    score, winner, mapping = best
+    return PortfolioResult(
+        mapping=mapping,
+        winner=winner,
+        score=score,
+        scores=scores,
+        elapsed_s=time.perf_counter() - t0,
+    )

@@ -1,0 +1,132 @@
+"""Configuration knobs for the HMN pipeline.
+
+The defaults reproduce the paper's heuristic exactly; every deviation
+the ablation benchmarks explore is a field here, so an
+:class:`HMNConfig` value fully describes which variant produced a
+mapping (it is recorded in ``Mapping.meta``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Literal
+
+from repro.errors import ModelError
+
+__all__ = ["HMNConfig", "LinkOrder", "MigrationPolicy", "MigrationOrigin", "RoutingMetric", "Router"]
+
+#: Order in which virtual links are processed by Hosting and Networking.
+#: The paper uses descending bandwidth ("starting from guests whose links
+#: have high-bandwidth"); the alternatives exist for the link-ordering
+#: ablation.
+LinkOrder = Literal["vbw_desc", "vbw_asc", "random"]
+
+#: Which guest the Migration stage picks from the most-loaded host.
+#: The paper picks the guest "with the smallest sum of bandwidth of links
+#: to another guests in the same host".
+MigrationPolicy = Literal["min_intra_bw", "max_vproc", "random"]
+
+#: How the Migration stage chooses its origin ("the most loaded host").
+#: The paper's load metric is residual CPU (Section 3.2), but a literal
+#: minimum-residual rule can select an *empty* small host — which has
+#: nothing to migrate and halts the stage instantly on heterogeneous
+#: clusters (DESIGN.md interpretation note).  "loaded_min_residual"
+#: (default) therefore restricts the choice to hosts that actually hold
+#: guests; "strict_min_residual" is the literal reading;
+#: "max_usage" selects the host with the largest placed CPU demand.
+MigrationOrigin = Literal["loaded_min_residual", "strict_min_residual", "max_usage"]
+
+#: Path-quality metric for the Networking stage.  The paper maximizes
+#: bottleneck bandwidth; "latency" routes each link on its (bandwidth-
+#: feasible) minimum-latency path instead — the routing-metric ablation.
+RoutingMetric = Literal["bottleneck", "latency"]
+
+#: Which bottleneck-route implementation the Networking stage uses.
+#: "algorithm1" is the paper's modified A*Prune (exponential worst
+#: case); "label_setting" is the polynomial exact equivalent
+#: (:mod:`repro.routing.labels`) for large clusters / loose latency
+#: bounds.  Both return paths with identical bottleneck values.
+Router = Literal["algorithm1", "label_setting"]
+
+
+@dataclass(frozen=True, slots=True)
+class HMNConfig:
+    """All tunables of the Hosting-Migration-Networking pipeline.
+
+    Parameters
+    ----------
+    link_order:
+        Virtual-link processing order (Hosting and Networking stages).
+    migration_enabled:
+        Disable to run Hosting+Networking only (the 'HMN minus
+        Migration' ablation; with DFS routing this becomes the paper's
+        HS baseline).
+    migration_policy:
+        Guest-selection rule on the most-loaded host.
+    migration_origin:
+        Definition of "the most loaded host" (see
+        :data:`MigrationOrigin`).
+    migration_exhaustive:
+        The paper stops as soon as the single most-loaded host yields
+        no improving move.  Setting this flag keeps scanning origins in
+        load order until *any* improving move is found (an extension
+        that trades time for balance; off by default for fidelity).
+    migration_max_iterations:
+        Safety bound on migration iterations; the paper's loop
+        terminates naturally (each move strictly improves a bounded
+        objective), so the default is simply 'more than enough'.
+    routing_metric:
+        Networking path-quality metric.
+    router:
+        Bottleneck-route implementation (see :data:`Router`).
+    max_route_expansions:
+        Safety valve forwarded to the router.
+    seed:
+        Only used by the randomized ablation policies ("random" link
+        order / migration policy); the paper's defaults are fully
+        deterministic and ignore it.
+    """
+
+    link_order: LinkOrder = "vbw_desc"
+    migration_enabled: bool = True
+    migration_policy: MigrationPolicy = "min_intra_bw"
+    migration_origin: MigrationOrigin = "loaded_min_residual"
+    migration_exhaustive: bool = False
+    migration_max_iterations: int = 1_000_000
+    routing_metric: RoutingMetric = "bottleneck"
+    router: Router = "algorithm1"
+    max_route_expansions: int = 2_000_000
+    seed: int | None = None
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.link_order not in ("vbw_desc", "vbw_asc", "random"):
+            raise ModelError(f"unknown link_order {self.link_order!r}")
+        if self.migration_policy not in ("min_intra_bw", "max_vproc", "random"):
+            raise ModelError(f"unknown migration_policy {self.migration_policy!r}")
+        if self.migration_origin not in (
+            "loaded_min_residual",
+            "strict_min_residual",
+            "max_usage",
+        ):
+            raise ModelError(f"unknown migration_origin {self.migration_origin!r}")
+        if self.routing_metric not in ("bottleneck", "latency"):
+            raise ModelError(f"unknown routing_metric {self.routing_metric!r}")
+        if self.router not in ("algorithm1", "label_setting"):
+            raise ModelError(f"unknown router {self.router!r}")
+        if self.migration_max_iterations < 0:
+            raise ModelError("migration_max_iterations must be >= 0")
+        if self.max_route_expansions < 1:
+            raise ModelError("max_route_expansions must be >= 1")
+
+    def describe(self) -> dict:
+        """JSON-friendly summary recorded in ``Mapping.meta``."""
+        d = asdict(self)
+        d.pop("extra", None)
+        return d
+
+    @classmethod
+    def paper(cls) -> "HMNConfig":
+        """The configuration matching the paper exactly (same as the
+        defaults; provided for explicitness in experiment code)."""
+        return cls()

@@ -1,0 +1,32 @@
+"""Virtual-link ordering shared by the Hosting and Networking stages.
+
+Both stages of the paper iterate "a list of virtual links ... in
+descending order of vbw"; the alternatives exist for the link-ordering
+ablation.  Ties are broken by the canonical link key so every ordering
+is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.venv import VirtualEnvironment
+from repro.core.vlink import VirtualLink
+from repro.hmn.config import HMNConfig
+from repro.seeding import rng_from
+
+__all__ = ["ordered_vlinks"]
+
+
+def ordered_vlinks(venv: VirtualEnvironment, config: HMNConfig) -> list[VirtualLink]:
+    """Virtual links of *venv* in the order mandated by *config*."""
+    links = list(venv.vlinks())
+    if config.link_order == "vbw_desc":
+        links.sort(key=lambda e: (-e.vbw, e.key))
+    elif config.link_order == "vbw_asc":
+        links.sort(key=lambda e: (e.vbw, e.key))
+    else:  # "random"
+        rng = rng_from(config.seed)
+        order = rng.permutation(len(links))
+        links = [links[i] for i in order]
+    return links

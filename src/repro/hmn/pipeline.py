@@ -1,0 +1,104 @@
+"""The HMN pipeline: Hosting, then Migration, then Networking.
+
+:func:`hmn_map` is the library's headline entry point — "the
+sequential execution of three stages" (Section 4) — returning a
+:class:`~repro.core.mapping.Mapping` with per-stage telemetry, or
+raising a :class:`~repro.errors.MappingError` subclass identifying
+which stage failed.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.mapping import Mapping, StageReport
+from repro.core.state import ClusterState
+from repro.core.venv import VirtualEnvironment
+from repro.hmn.config import HMNConfig
+from repro.hmn.hosting import run_hosting
+from repro.hmn.migration import run_migration
+from repro.hmn.networking import run_networking
+from repro.routing.dijkstra import LatencyOracle
+
+__all__ = ["hmn_map"]
+
+
+def hmn_map(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    config: HMNConfig | None = None,
+    *,
+    state: ClusterState | None = None,
+    oracle: LatencyOracle | None = None,
+) -> Mapping:
+    """Map *venv* onto *cluster* with the HMN heuristic.
+
+    Parameters
+    ----------
+    cluster, venv:
+        The physical and virtual environments (Section 3.2 graphs).
+    config:
+        Pipeline knobs; defaults to the paper's exact heuristic.
+    state:
+        Optional pre-existing allocation state — pass one to map a new
+        virtual environment onto a cluster that already carries
+        earlier mappings (multi-tenant extension; the paper assumes an
+        empty testbed).  The state is mutated.
+    oracle:
+        Optional shared latency oracle; pass one when mapping many
+        virtual environments onto the same cluster to amortize the
+        Dijkstra tables (they depend only on topology, never on load).
+
+    Returns
+    -------
+    Mapping
+        Complete, constraint-satisfying mapping; ``mapping.stages``
+        carries Hosting/Migration/Networking wall times and counters,
+        and ``mapping.meta["objective"]`` the final Eq. 10 value.
+
+    Raises
+    ------
+    PlacementError
+        Hosting found a guest no host can take.
+    RoutingError
+        Networking found a virtual link with no feasible path.
+    """
+    if config is None:
+        config = HMNConfig()
+    shared_state = state is not None
+    if state is None:
+        state = ClusterState(cluster)
+
+    # A failure mid-pipeline must not leak partial placements or
+    # bandwidth reservations into a caller-owned (multi-tenant) state.
+    snapshot = state.copy() if shared_state else None
+
+    stages: list[StageReport] = []
+    try:
+        t0 = time.perf_counter()
+        hosting_stats = run_hosting(state, venv, config)
+        stages.append(StageReport("hosting", time.perf_counter() - t0, hosting_stats))
+
+        if config.migration_enabled:
+            t0 = time.perf_counter()
+            migration_stats = run_migration(state, venv, config)
+            stages.append(StageReport("migration", time.perf_counter() - t0, migration_stats))
+
+        t0 = time.perf_counter()
+        paths, networking_stats = run_networking(state, venv, config, oracle=oracle)
+        stages.append(StageReport("networking", time.perf_counter() - t0, networking_stats))
+    except Exception:
+        if snapshot is not None:
+            state.restore_from(snapshot)
+        raise
+
+    return Mapping(
+        # Restrict to this venv's guests: a shared multi-tenant state
+        # also carries placements the caller did not ask about.
+        assignments={g.id: state.host_of(g.id) for g in venv.guests()},
+        paths=paths,
+        mapper="hmn" if config.migration_enabled else "hmn-nomigration",
+        stages=tuple(stages),
+        meta={"objective": state.objective(), "config": config.describe()},
+    )

@@ -1,0 +1,226 @@
+"""Generic A*Prune: K shortest paths subject to multiple constraints.
+
+This is the algorithm of Liu & Ramakrishnan (INFOCOM 2001), reference
+[8] of the paper, implemented in its general form:
+
+* minimize an additive **length** metric over paths,
+* subject to any number of additive **constraint** metrics, each with
+  an upper bound,
+* returning up to *K* loop-free paths in non-decreasing length order.
+
+A priority queue holds partial paths ordered by *projected length*
+(accumulated length + an admissible lower bound to the destination).
+Expansion prunes any extension that (a) revisits a node, or (b) cannot
+meet some constraint even under the most optimistic remaining cost —
+the classic "A* + prune" recipe.  Lower-bound tables for each metric
+come from one latency-style Dijkstra per metric per destination.
+
+The paper's Networking stage uses a *modified* 1-constrained variant
+(bottleneck bandwidth objective; see
+:mod:`repro.routing.bottleneck_prune`).  This generic engine exists (i)
+as the reference implementation the modified variant is tested against,
+(ii) for the ablation that routes with plain shortest-latency paths,
+and (iii) as a reusable K-shortest-paths utility for downstream users.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Hashable, Sequence
+
+from repro.core.cluster import PhysicalCluster
+from repro.errors import ModelError, RoutingError, UnknownNodeError
+
+__all__ = ["Metric", "Constraint", "KPath", "astar_prune", "k_shortest_latency_paths"]
+
+NodeId = Hashable
+EdgeWeight = Callable[[NodeId, NodeId], float]
+
+INFINITY = float("inf")
+
+
+@dataclass(frozen=True, slots=True)
+class Metric:
+    """An additive edge metric with a name (for error messages)."""
+
+    name: str
+    weight: EdgeWeight
+
+
+@dataclass(frozen=True, slots=True)
+class Constraint:
+    """An additive metric that must stay within ``bound`` on the whole path."""
+
+    metric: Metric
+    bound: float
+
+    def __post_init__(self) -> None:
+        if self.bound < 0:
+            raise ModelError(f"constraint {self.metric.name!r}: bound must be >= 0, got {self.bound}")
+
+
+@dataclass(frozen=True, slots=True)
+class KPath:
+    """One result path with its accumulated metric values."""
+
+    nodes: tuple[NodeId, ...]
+    length: float
+    constraint_values: tuple[float, ...]
+
+
+def _lower_bound_table(
+    cluster: PhysicalCluster, destination: NodeId, weight: EdgeWeight
+) -> dict[NodeId, float]:
+    """Dijkstra lower bounds to *destination* under an arbitrary
+    non-negative additive edge weight."""
+    dist: dict[NodeId, float] = {destination: 0.0}
+    heap: list[tuple[float, str, NodeId]] = [(0.0, str(destination), destination)]
+    settled: set[NodeId] = set()
+    while heap:
+        d, _, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        for nbr in cluster.neighbors(node):
+            w = weight(node, nbr)
+            if w < 0:
+                raise ModelError("A*Prune requires non-negative edge weights")
+            nd = d + w
+            if nd < dist.get(nbr, INFINITY):
+                dist[nbr] = nd
+                heapq.heappush(heap, (nd, str(nbr), nbr))
+    return dist
+
+
+def astar_prune(
+    cluster: PhysicalCluster,
+    source: NodeId,
+    destination: NodeId,
+    *,
+    length: Metric,
+    constraints: Sequence[Constraint] = (),
+    k: int = 1,
+    edge_admissible: Callable[[NodeId, NodeId], bool] | None = None,
+    max_expansions: int = 1_000_000,
+) -> list[KPath]:
+    """Find up to *k* loop-free shortest paths under additive constraints.
+
+    Parameters
+    ----------
+    cluster:
+        Topology to route over.
+    source, destination:
+        Endpoint nodes.  ``source == destination`` yields the trivial
+        single-node path.
+    length:
+        Additive metric to minimize.
+    constraints:
+        Additive metrics with upper bounds; paths exceeding any bound
+        are pruned as early as the admissible estimate allows.
+    k:
+        Maximum number of paths to return (fewer if fewer exist).
+    edge_admissible:
+        Optional per-edge predicate applied before expansion — the hook
+        the paper uses to drop links with insufficient residual
+        bandwidth ("links whose available bandwidth are smaller than the
+        required bandwidth are also pruned").
+    max_expansions:
+        Safety valve on queue pops; exceeding it raises
+        :class:`~repro.errors.RoutingError` rather than hanging.
+
+    Returns
+    -------
+    list[KPath]
+        Feasible paths in non-decreasing length order.  Empty when no
+        feasible path exists (callers that require a path should treat
+        empty as failure).
+    """
+    for node in (source, destination):
+        if node not in cluster:
+            raise UnknownNodeError(node, "cluster node")
+    if k < 1:
+        raise ModelError(f"k must be >= 1, got {k}")
+
+    # Admissible lower bounds (computed once per call; the caller can
+    # route many links by reusing its own oracle — see bottleneck_prune).
+    h_length = _lower_bound_table(cluster, destination, length.weight)
+    h_constraints = [
+        _lower_bound_table(cluster, destination, c.metric.weight) for c in constraints
+    ]
+
+    if h_length.get(source, INFINITY) == INFINITY:
+        return []
+    for c, table in zip(constraints, h_constraints):
+        if table.get(source, INFINITY) > c.bound:
+            return []  # even the best possible path violates this constraint
+
+    results: list[KPath] = []
+    counter = itertools.count()  # FIFO tiebreak for equal projections
+    # Queue entries: (projected_length, tiebreak, accumulated_length,
+    #                 constraint_accumulators, path_tuple, visited_set)
+    start = (h_length[source], next(counter), 0.0, tuple(0.0 for _ in constraints),
+             (source,), frozenset((source,)))
+    heap = [start]
+    expansions = 0
+    while heap:
+        projected, _, g_len, g_cons, path, visited = heapq.heappop(heap)
+        expansions += 1
+        if expansions > max_expansions:
+            raise RoutingError(
+                (source, destination),
+                f"A*Prune exceeded {max_expansions} expansions (k={k})",
+            )
+        head = path[-1]
+        if head == destination:
+            results.append(KPath(path, g_len, g_cons))
+            if len(results) >= k:
+                return results
+            continue
+        for nbr in cluster.neighbors(head):
+            if nbr in visited:
+                continue  # loop-free (Eq. 7)
+            if edge_admissible is not None and not edge_admissible(head, nbr):
+                continue
+            new_len = g_len + length.weight(head, nbr)
+            feasible = True
+            new_cons = []
+            for i, c in enumerate(constraints):
+                value = g_cons[i] + c.metric.weight(head, nbr)
+                # Prune when even the optimistic remaining cost busts the bound.
+                if value + h_constraints[i].get(nbr, INFINITY) > c.bound + 1e-12:
+                    feasible = False
+                    break
+                new_cons.append(value)
+            if not feasible:
+                continue
+            heapq.heappush(
+                heap,
+                (
+                    new_len + h_length.get(nbr, INFINITY),
+                    next(counter),
+                    new_len,
+                    tuple(new_cons),
+                    path + (nbr,),
+                    visited | {nbr},
+                ),
+            )
+    return results
+
+
+def k_shortest_latency_paths(
+    cluster: PhysicalCluster,
+    source: NodeId,
+    destination: NodeId,
+    k: int = 1,
+    *,
+    max_latency: float = INFINITY,
+) -> list[KPath]:
+    """Convenience wrapper: K shortest loop-free paths by latency,
+    optionally bounded (the textbook A*Prune use case)."""
+    lat = Metric("latency", cluster.latency)
+    constraints = [] if max_latency == INFINITY else [Constraint(lat, max_latency)]
+    return astar_prune(
+        cluster, source, destination, length=lat, constraints=constraints, k=k
+    )

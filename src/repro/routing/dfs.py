@@ -1,0 +1,180 @@
+"""Depth-first path search — the paper's baseline router.
+
+The evaluation compares A*Prune against "a depth-first search algorithm
+to find a path connecting the hosts of ``vs_i`` and ``vd_i``"
+(Section 5).  The paper does not specify the DFS further, so this
+module provides two interpretations (DESIGN.md, "Interpretation
+notes"):
+
+* :func:`random_walk_dfs` — the literal reading we use for the R and HS
+  baselines: a randomized depth-first *walk* that avoids revisiting
+  nodes and never enters an edge without enough residual bandwidth,
+  but checks the latency bound only once the destination is reached.
+  On a switched cluster the unique host-switch-host path is found
+  immediately; on a torus the walk tends to wander, overshooting the
+  latency budget — reproducing the paper's observed failure pattern
+  (Table 2: HS fails on the torus far more than on the switched
+  cluster).
+* :func:`backtracking_dfs` — a complete backtracking search that prunes
+  on accumulated latency and residual bandwidth; it finds a feasible
+  path whenever one exists (first found, not optimal).  Used by the
+  ablation bench to separate "DFS wanders" from "no path exists".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+import numpy as np
+
+from repro.core.cluster import PhysicalCluster
+from repro.errors import ModelError, RoutingError, UnknownNodeError
+
+__all__ = ["random_walk_dfs", "backtracking_dfs"]
+
+NodeId = Hashable
+
+INFINITY = float("inf")
+
+
+def _check_endpoints(cluster: PhysicalCluster, origin: NodeId, destination: NodeId) -> None:
+    for node in (origin, destination):
+        if node not in cluster:
+            raise UnknownNodeError(node, "cluster node")
+
+
+def random_walk_dfs(
+    cluster: PhysicalCluster,
+    origin: NodeId,
+    destination: NodeId,
+    *,
+    bandwidth: float,
+    latency_bound: float,
+    rng: np.random.Generator,
+    residual_bw: Callable[[NodeId, NodeId], float] | None = None,
+    attempts: int = 20,
+) -> tuple[NodeId, ...]:
+    """Randomized depth-first walk router (paper baseline).
+
+    Each attempt walks from *origin*, choosing uniformly among
+    unvisited neighbors whose connecting edge has residual bandwidth
+    >= *bandwidth*; a walk that dead-ends is abandoned and the next
+    attempt starts over.  A walk that reaches *destination* is accepted
+    only if its accumulated latency is within *latency_bound* — the
+    walk itself is latency-blind, which is what makes this router weak
+    on multipath topologies.
+
+    Raises :class:`~repro.errors.RoutingError` when no attempt
+    produces a feasible path.
+    """
+    _check_endpoints(cluster, origin, destination)
+    if bandwidth < 0:
+        raise ModelError(f"bandwidth demand must be >= 0, got {bandwidth}")
+    if attempts < 1:
+        raise ModelError(f"attempts must be >= 1, got {attempts}")
+    if origin == destination:
+        return (origin,)
+    if residual_bw is None:
+        residual_bw = cluster.bandwidth
+
+    for _ in range(attempts):
+        path = [origin]
+        visited = {origin}
+        latency = 0.0
+        while path[-1] != destination:
+            head = path[-1]
+            candidates = [
+                nbr
+                for nbr in cluster.neighbors(head)
+                if nbr not in visited and residual_bw(head, nbr) + 1e-12 >= bandwidth
+            ]
+            if not candidates:
+                break  # dead end: abandon this walk
+            # Walk straight to the destination when it is adjacent —
+            # without this, the walk frequently strolls past it.
+            if destination in candidates:
+                nxt = destination
+            else:
+                nxt = candidates[int(rng.integers(len(candidates)))]
+            latency += cluster.latency(head, nxt)
+            path.append(nxt)
+            visited.add(nxt)
+        if path[-1] == destination and latency <= latency_bound + 1e-12:
+            return tuple(path)
+    raise RoutingError(
+        (origin, destination),
+        f"random DFS walk found no feasible path in {attempts} attempts",
+    )
+
+
+def backtracking_dfs(
+    cluster: PhysicalCluster,
+    origin: NodeId,
+    destination: NodeId,
+    *,
+    bandwidth: float,
+    latency_bound: float,
+    rng: np.random.Generator | None = None,
+    residual_bw: Callable[[NodeId, NodeId], float] | None = None,
+    max_visits: int = 1_000_000,
+) -> tuple[NodeId, ...]:
+    """Complete depth-first search with constraint pruning.
+
+    Explores neighbors in (optionally shuffled) order, pruning branches
+    whose accumulated latency already exceeds *latency_bound* or whose
+    next edge lacks residual bandwidth.  Returns the first feasible
+    path found; complete, so it fails only when no feasible path
+    exists (or the visit budget is exhausted on pathological inputs).
+    """
+    _check_endpoints(cluster, origin, destination)
+    if bandwidth < 0:
+        raise ModelError(f"bandwidth demand must be >= 0, got {bandwidth}")
+    if origin == destination:
+        return (origin,)
+    if residual_bw is None:
+        residual_bw = cluster.bandwidth
+
+    visits = 0
+    # Iterative DFS with an explicit stack of (node, latency, iterator).
+    path: list[NodeId] = [origin]
+    on_path = {origin}
+    latencies = [0.0]
+
+    def ordered_neighbors(node: NodeId) -> list[NodeId]:
+        nbrs = list(cluster.neighbors(node))
+        if rng is not None:
+            rng.shuffle(nbrs)
+        return nbrs
+
+    stack = [iter(ordered_neighbors(origin))]
+    while stack:
+        visits += 1
+        if visits > max_visits:
+            raise RoutingError(
+                (origin, destination), f"backtracking DFS exceeded {max_visits} visits"
+            )
+        try:
+            nbr = next(stack[-1])
+        except StopIteration:
+            stack.pop()
+            on_path.discard(path.pop())
+            latencies.pop()
+            continue
+        head = path[-1]
+        if nbr in on_path:
+            continue
+        if residual_bw(head, nbr) + 1e-12 < bandwidth:
+            continue
+        new_lat = latencies[-1] + cluster.latency(head, nbr)
+        if new_lat > latency_bound + 1e-12:
+            continue
+        if nbr == destination:
+            return tuple(path + [destination])
+        path.append(nbr)
+        on_path.add(nbr)
+        latencies.append(new_lat)
+        stack.append(iter(ordered_neighbors(nbr)))
+    raise RoutingError(
+        (origin, destination),
+        f"no feasible path with >= {bandwidth:.6g} Mbit/s within {latency_bound:.3f} ms",
+    )

@@ -1,0 +1,142 @@
+"""Latency-weighted Dijkstra over a physical cluster.
+
+The Networking stage of HMN needs, for every node, the *minimum
+accumulated latency* to a link's destination host: Algorithm 1 uses
+this table (``ar[c_i]``) as the admissible distance estimate that
+prunes partial paths which cannot possibly meet the latency bound.
+
+Tables are computed per destination over the **full topology** (not
+residual bandwidth), exactly as in the paper — the estimate must be a
+lower bound, and bandwidth-pruned links could only lengthen real paths.
+A per-cluster :class:`LatencyOracle` memoizes tables because the
+Networking stage routes many links toward the same few destination
+hosts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, Iterable
+
+from repro.core.cluster import PhysicalCluster
+from repro.errors import RoutingError, UnknownNodeError
+
+__all__ = ["latency_table", "shortest_latency_path", "LatencyOracle"]
+
+NodeId = Hashable
+
+INFINITY = float("inf")
+
+
+def latency_table(cluster: PhysicalCluster, destination: NodeId) -> dict[NodeId, float]:
+    """Minimum accumulated latency from every node to *destination*.
+
+    Nodes unreachable from *destination* map to ``inf``.  Runs a single
+    Dijkstra from the destination (latencies are symmetric on the
+    undirected cluster graph).
+    """
+    if destination not in cluster:
+        raise UnknownNodeError(destination, "cluster node")
+    dist: dict[NodeId, float] = {destination: 0.0}
+    # Heap entries carry a deterministic tiebreak (stringified node) so
+    # identical latencies pop in a stable order across runs.
+    heap: list[tuple[float, str, NodeId]] = [(0.0, str(destination), destination)]
+    settled: set[NodeId] = set()
+    while heap:
+        d, _, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        for nbr in cluster.neighbors(node):
+            nd = d + cluster.latency(node, nbr)
+            if nd < dist.get(nbr, INFINITY):
+                dist[nbr] = nd
+                heapq.heappush(heap, (nd, str(nbr), nbr))
+    for node in cluster.node_ids:
+        dist.setdefault(node, INFINITY)
+    return dist
+
+
+def shortest_latency_path(
+    cluster: PhysicalCluster, source: NodeId, destination: NodeId
+) -> tuple[list[NodeId], float]:
+    """Minimum-latency path and its latency between two nodes.
+
+    Raises :class:`~repro.errors.RoutingError` if no path exists.
+    """
+    if source not in cluster:
+        raise UnknownNodeError(source, "cluster node")
+    if destination not in cluster:
+        raise UnknownNodeError(destination, "cluster node")
+    if source == destination:
+        return [source], 0.0
+    dist: dict[NodeId, float] = {source: 0.0}
+    prev: dict[NodeId, NodeId] = {}
+    heap: list[tuple[float, str, NodeId]] = [(0.0, str(source), source)]
+    settled: set[NodeId] = set()
+    while heap:
+        d, _, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        if node == destination:
+            break
+        settled.add(node)
+        for nbr in cluster.neighbors(node):
+            nd = d + cluster.latency(node, nbr)
+            if nd < dist.get(nbr, INFINITY):
+                dist[nbr] = nd
+                prev[nbr] = node
+                heapq.heappush(heap, (nd, str(nbr), nbr))
+    if destination not in dist:
+        raise RoutingError((source, destination), "nodes are disconnected")
+    path = [destination]
+    while path[-1] != source:
+        path.append(prev[path[-1]])
+    path.reverse()
+    return path, dist[destination]
+
+
+class LatencyOracle:
+    """Memoized per-destination latency tables for one cluster.
+
+    The Networking stage of a single mapping issues one routing query
+    per virtual link; with 40 hosts and thousands of links, most queries
+    share destinations, so memoization turns Figure 1's dominant cost
+    ("most part of mapping time is spent ... to calculate the shortest
+    path of each host to the link destination") into at most
+    ``n_hosts`` Dijkstra runs per mapping.
+
+    The oracle must be discarded if the cluster topology changes; it is
+    intentionally keyed by destination only, never by residual state.
+    """
+
+    __slots__ = ("cluster", "_tables", "queries", "misses")
+
+    def __init__(self, cluster: PhysicalCluster) -> None:
+        self.cluster = cluster
+        self._tables: dict[NodeId, dict[NodeId, float]] = {}
+        self.queries = 0
+        self.misses = 0
+
+    def to_destination(self, destination: NodeId) -> dict[NodeId, float]:
+        """Latency table toward *destination* (cached)."""
+        self.queries += 1
+        table = self._tables.get(destination)
+        if table is None:
+            self.misses += 1
+            table = latency_table(self.cluster, destination)
+            self._tables[destination] = table
+        return table
+
+    def latency_between(self, source: NodeId, destination: NodeId) -> float:
+        """Minimum latency between two nodes (``inf`` if disconnected)."""
+        return self.to_destination(destination)[source]
+
+    def warm(self, destinations: Iterable[NodeId]) -> None:
+        """Precompute tables for many destinations."""
+        for d in destinations:
+            self.to_destination(d)
+
+    @property
+    def cached_destinations(self) -> int:
+        return len(self._tables)

@@ -1,0 +1,50 @@
+"""Flattened adjacency for hot routing loops.
+
+Profiling the Networking stage on the paper's largest instance (50:1,
+~20 000 virtual links on the torus) showed >80% of the time inside
+per-edge accessor plumbing: canonical :func:`~repro.core.link.edge_key`
+construction and graph lookups, called ~10 million times.  A
+:class:`RoutingGraph` resolves all of that once per cluster — each
+node maps to a tuple of ``(neighbor, latency, edge_key)`` triples — so
+the router's inner loop is pure dict/heap work.  The Figure 1 bench
+measures the effect.
+
+The structure is immutable topology; *residual bandwidth* stays in
+:class:`~repro.core.state.ClusterState`, whose live table the router
+reads via :meth:`ClusterState.bw_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.link import EdgeKey
+
+__all__ = ["RoutingGraph"]
+
+NodeId = Hashable
+
+
+class RoutingGraph:
+    """Precomputed adjacency of a physical cluster for routing."""
+
+    __slots__ = ("cluster", "adjacency")
+
+    def __init__(self, cluster: PhysicalCluster) -> None:
+        self.cluster = cluster
+        adjacency: dict[NodeId, tuple[tuple[NodeId, float, EdgeKey], ...]] = {}
+        for node in cluster.node_ids:
+            triples = []
+            for nbr in cluster.neighbors(node):
+                link = cluster.link(node, nbr)
+                triples.append((nbr, link.lat, link.key))
+            adjacency[node] = tuple(triples)
+        self.adjacency = adjacency
+
+    def neighbors_of(self, node: NodeId) -> tuple[tuple[NodeId, float, EdgeKey], ...]:
+        """``(neighbor, latency, edge_key)`` triples of *node*."""
+        return self.adjacency[node]
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self.adjacency

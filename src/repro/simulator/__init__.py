@@ -1,0 +1,44 @@
+"""CloudSim-like discrete-event simulation substrate.
+
+The paper evaluates HMN "using simulation.  The CloudSim simulation
+framework was used in the tests" — both to time the mappers and to run
+the emulated experiment whose execution time is correlated against the
+Eq. 10 objective.  This package is the Python stand-in (the
+substitution is documented in DESIGN.md):
+
+* :mod:`~repro.simulator.engine` — deterministic event-queue kernel;
+* :mod:`~repro.simulator.cpu` — capped processor sharing (CloudSim's
+  time-shared VM scheduler semantics);
+* :mod:`~repro.simulator.network` — reservation-level transport model
+  over a mapping;
+* :mod:`~repro.simulator.workload_model` /
+  :mod:`~repro.simulator.experiment` — the two-phase emulated
+  experiment and its event-driven driver;
+* :mod:`~repro.simulator.metrics` — the observables (simulated
+  makespan, wall simulation time).
+"""
+
+from repro.simulator.bsp import BspSpec, run_bsp_experiment
+from repro.simulator.cpu import HostCpu, allocate_rates
+from repro.simulator.engine import Simulation
+from repro.simulator.events import Event, EventRecord
+from repro.simulator.experiment import run_experiment
+from repro.simulator.metrics import ExperimentResult
+from repro.simulator.network import LinkTransport, NetworkModel
+from repro.simulator.workload_model import ExperimentSpec, guest_task_lengths
+
+__all__ = [
+    "Simulation",
+    "Event",
+    "EventRecord",
+    "HostCpu",
+    "allocate_rates",
+    "NetworkModel",
+    "LinkTransport",
+    "ExperimentSpec",
+    "guest_task_lengths",
+    "run_experiment",
+    "BspSpec",
+    "run_bsp_experiment",
+    "ExperimentResult",
+]

@@ -1,0 +1,298 @@
+"""Bulk-synchronous (BSP) application model for the emulated experiment.
+
+The two-phase model of :mod:`repro.simulator.workload_model` runs one
+compute block and one exchange per guest.  Real distributed-system
+tests — the paper's motivating workloads (grid middleware, P2P
+protocols) — are usually *iterative*: each node computes a step,
+exchanges state with its neighbours, and waits for all of them before
+the next step.  This module simulates exactly that superstep structure
+event-driven:
+
+* in round ``k`` every guest computes ``round_mi = vproc *
+  compute_seconds / rounds`` MI under the host's capped processor
+  sharing (so co-residents contend, and contention varies over time as
+  guests finish their rounds at different moments);
+* when its compute finishes, the guest sends one message per virtual
+  link (serialization at the link's reserved bandwidth + the mapped
+  path's latency — co-located messages are free);
+* a guest starts round ``k+1`` only when its own round-``k`` compute is
+  done **and** every neighbour's round-``k`` message has arrived — the
+  neighbourhood barrier of BSP;
+* the experiment ends when every guest completes its last round.
+
+Because the barrier couples neighbours, a single slow host now delays
+*every guest within graph distance of it per round* — the makespan is
+far more sensitive to placement balance than in the two-phase model,
+which is the point: this is the workload class for which the paper's
+Eq. 10 objective is designed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.mapping import Mapping
+from repro.core.venv import VirtualEnvironment
+from repro.errors import ModelError, SimulationError
+from repro.simulator.cpu import HostCpu
+from repro.simulator.engine import Simulation
+from repro.simulator.metrics import ExperimentResult
+from repro.simulator.network import NetworkModel
+
+__all__ = ["BspSpec", "run_bsp_experiment"]
+
+NodeId = Hashable
+
+_WORK_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class BspSpec:
+    """Parameters of the bulk-synchronous emulated application.
+
+    Parameters
+    ----------
+    rounds:
+        Number of supersteps.
+    compute_seconds:
+        Total nominal compute per guest across all rounds (at its
+        requested rate, uncontended) — comparable to
+        :class:`~repro.simulator.workload_model.ExperimentSpec`.
+    comm_seconds:
+        Nominal per-message serialization time at the link's reserved
+        bandwidth, per round.
+    vmm_mips_per_guest:
+        Per-resident VMM CPU overhead (see
+        :class:`~repro.simulator.workload_model.ExperimentSpec`).
+    """
+
+    rounds: int = 10
+    compute_seconds: float = 100.0
+    comm_seconds: float = 0.5
+    vmm_mips_per_guest: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ModelError(f"rounds must be >= 1, got {self.rounds}")
+        if self.compute_seconds < 0:
+            raise ModelError(f"compute_seconds must be >= 0, got {self.compute_seconds}")
+        if self.comm_seconds < 0:
+            raise ModelError(f"comm_seconds must be >= 0, got {self.comm_seconds}")
+        if self.vmm_mips_per_guest < 0:
+            raise ModelError(f"vmm_mips_per_guest must be >= 0, got {self.vmm_mips_per_guest}")
+
+
+class _Guest:
+    """Per-guest BSP state machine.
+
+    Messages are **round-tagged**: a fast neighbour can run one
+    superstep ahead (it advances as soon as it has *this* guest's
+    round-k message, while this guest may still wait on a slower
+    neighbour), so its round-(k+1) message must not be mistaken for a
+    round-k one — ``received`` therefore counts arrivals per round.
+    """
+
+    __slots__ = (
+        "id", "vproc", "host", "round", "computing",
+        "received", "compute_done_at", "finished_at", "neighbors",
+    )
+
+    def __init__(self, guest_id: int, vproc: float, host: NodeId, neighbors: tuple[int, ...]):
+        self.id = guest_id
+        self.vproc = vproc
+        self.host = host
+        self.round = 0
+        self.computing = False
+        #: round -> number of that round's messages received so far
+        self.received: dict[int, int] = {}
+        self.compute_done_at = -1.0
+        self.finished_at = -1.0
+        self.neighbors = neighbors
+
+
+def run_bsp_experiment(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    mapping: Mapping,
+    spec: BspSpec | None = None,
+    *,
+    trace: bool = False,
+) -> ExperimentResult:
+    """Simulate the BSP application over *mapping*.
+
+    Returns the same :class:`~repro.simulator.metrics.ExperimentResult`
+    shape as the two-phase driver; ``meta["rounds"]`` records the
+    superstep count and ``meta["model"] = "bsp"``.
+    """
+    if spec is None:
+        spec = BspSpec()
+    network = NetworkModel(cluster, venv, mapping)
+    round_mi = {
+        g.id: g.vproc * spec.compute_seconds / spec.rounds for g in venv.guests()
+    }
+
+    # --- hosts ----------------------------------------------------------
+    residents: dict[NodeId, int] = {}
+    for g in venv.guests():
+        host = mapping.host_of(g.id)
+        residents[host] = residents.get(host, 0) + 1
+    cpus: dict[NodeId, HostCpu] = {}
+    for host, count in residents.items():
+        proc = cluster.host(host).proc
+        capacity = max(proc - spec.vmm_mips_per_guest * count, 0.05 * proc)
+        cpus[host] = HostCpu(host, capacity)
+
+    guests: dict[int, _Guest] = {
+        g.id: _Guest(g.id, g.vproc, mapping.host_of(g.id), venv.neighbors(g.id))
+        for g in venv.guests()
+    }
+    # Host bookkeeping: remaining MI of *computing* guests + settle time.
+    host_active: dict[NodeId, dict[int, float]] = {h: {} for h in cpus}
+    host_settled: dict[NodeId, float] = {h: 0.0 for h in cpus}
+    host_event: dict[NodeId, object] = {h: None for h in cpus}
+
+    sim = Simulation(trace=trace)
+    finish: dict[int, float] = {}
+    compute_finish: dict[int, float] = {}
+
+    def settle(host: NodeId, now: float) -> None:
+        dt = now - host_settled[host]
+        if dt > 0 and host_active[host]:
+            rates = cpus[host].rates()
+            for gid in host_active[host]:
+                host_active[host][gid] -= rates[gid] * dt
+        host_settled[host] = now
+
+    def arm(host: NodeId) -> None:
+        if host_event[host] is not None:
+            host_event[host].cancel()
+            host_event[host] = None
+        active = host_active[host]
+        if not active:
+            return
+        rates = cpus[host].rates()
+        best_gid = None
+        best_delay = None
+        for gid, work in active.items():
+            rate = rates[gid]
+            if rate <= 0:
+                if work <= _WORK_EPS:
+                    best_gid, best_delay = gid, 0.0
+                    break
+                raise SimulationError(f"guest {gid} computing at zero rate")
+            delay = max(work, 0.0) / rate
+            if best_delay is None or delay < best_delay:
+                best_gid, best_delay = gid, delay
+        epoch = cpus[host].epoch
+        host_event[host] = sim.schedule(
+            best_delay,
+            lambda s, h=host, e=epoch: on_host_completion(s, h, e),
+            label=f"bsp-complete@{host}",
+        )
+
+    def on_host_completion(s: Simulation, host: NodeId, epoch: int) -> None:
+        if cpus[host].epoch != epoch:
+            return
+        settle(host, s.now)
+        done = [gid for gid, work in host_active[host].items() if work <= _WORK_EPS]
+        for gid in done:
+            del host_active[host][gid]
+            cpus[host].remove_guest(gid)
+            on_compute_done(s, gid)
+        arm(host)
+
+    def start_compute(s: Simulation, gid: int) -> None:
+        guest = guests[gid]
+        guest.computing = True
+        host = guest.host
+        settle(host, s.now)
+        cpus[host].add_guest(gid, guest.vproc)
+        work = round_mi[gid]
+        host_active[host][gid] = work
+        if work <= _WORK_EPS or guest.vproc == 0.0:
+            # Zero-length round: completes immediately.  The add/remove
+            # bumped the host epoch and invalidated any pending
+            # completion event of a co-resident, so re-arm *before*
+            # delivering the completion (which may recurse into
+            # start_compute on this same host).
+            del host_active[host][gid]
+            cpus[host].remove_guest(gid)
+            arm(host)
+            on_compute_done(s, gid)
+            return
+        arm(host)
+
+    def on_compute_done(s: Simulation, gid: int) -> None:
+        guest = guests[gid]
+        guest.computing = False
+        guest.compute_done_at = s.now
+        # send this round's (round-tagged) messages
+        for nbr in guest.neighbors:
+            transport = network.link(gid, nbr)
+            mbits = venv.vlink(gid, nbr).vbw * spec.comm_seconds
+            delay = transport.transfer_seconds(mbits)
+            s.schedule(
+                delay,
+                lambda s2, dst=nbr, rnd=guest.round: on_message(s2, dst, rnd),
+                label=f"msg {gid}->{nbr} r{guest.round}",
+            )
+        maybe_advance(s, gid)
+
+    def on_message(s: Simulation, dst: int, rnd: int) -> None:
+        guest = guests[dst]
+        guest.received[rnd] = guest.received.get(rnd, 0) + 1
+        maybe_advance(s, dst)
+
+    def maybe_advance(s: Simulation, gid: int) -> None:
+        guest = guests[gid]
+        if guest.computing or guest.finished_at >= 0 or guest.compute_done_at < 0:
+            return
+        if guest.received.get(guest.round, 0) < len(guest.neighbors):
+            return  # barrier: this round's messages not all in yet
+        guest.received.pop(guest.round, None)
+        guest.round += 1
+        if guest.round >= spec.rounds:
+            guest.finished_at = s.now
+            finish[gid] = s.now
+            compute_finish[gid] = guest.compute_done_at
+            return
+        # next superstep
+        guest.compute_done_at = -1.0
+        start_compute(s, gid)
+
+    wall_start = time.perf_counter()
+    for gid in guests:
+        start_compute(sim, gid)
+    sim.run()
+    wall = time.perf_counter() - wall_start
+
+    unfinished = [gid for gid in guests if gid not in finish]
+    if unfinished:
+        raise SimulationError(
+            f"BSP experiment deadlocked with {len(unfinished)} unfinished guests "
+            f"(first: {unfinished[:5]})"
+        )
+
+    oversubscribed = sum(
+        1
+        for host, count in residents.items()
+        if sum(venv.guest(g.id).vproc for g in venv.guests() if mapping.host_of(g.id) == host)
+        > cpus[host].capacity
+    )
+    return ExperimentResult(
+        makespan=max(finish.values()) if finish else 0.0,
+        compute_finish=compute_finish,
+        finish=finish,
+        wall_seconds=wall,
+        events=sim.events_processed,
+        oversubscribed_hosts=oversubscribed,
+        meta={
+            "model": "bsp",
+            "rounds": spec.rounds,
+            "mean_hops": network.mean_hops(),
+            "total_path_latency_ms": network.total_latency_ms(),
+        },
+    )

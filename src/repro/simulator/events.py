@@ -1,0 +1,54 @@
+"""Event primitives for the discrete-event engine.
+
+An :class:`Event` binds a firing time to an action; the engine orders
+events by ``(time, priority, seq)`` so simultaneous events fire in a
+deterministic, user-controllable order (CloudSim-style tie-breaking:
+lower priority value first, then scheduling order).
+
+Events support **cancellation** (lazy: a cancelled event stays in the
+heap but is skipped when popped) — the completion-event invalidation
+pattern the CPU model relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulator.engine import Simulation
+
+__all__ = ["Event", "EventRecord"]
+
+Action = Callable[["Simulation"], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled action.
+
+    Only ``time``, ``priority`` and ``seq`` participate in ordering;
+    ``seq`` is assigned by the engine and makes the order total.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    action: Action = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as dead; the engine will skip it."""
+        self.cancelled = True
+
+
+@dataclass(frozen=True, slots=True)
+class EventRecord:
+    """One line of the (optional) simulation trace."""
+
+    time: float
+    label: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:12.6f}] {self.label}"

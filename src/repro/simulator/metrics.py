@@ -1,0 +1,56 @@
+"""Experiment observables.
+
+:class:`ExperimentResult` carries the two quantities the paper
+measures per run — the **simulated execution time** (makespan) used by
+the correlation study, and the **wall-clock simulation time** reported
+in Table 3 — plus per-guest detail for deeper analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentResult:
+    """Everything measured from one simulated experiment run."""
+
+    #: Simulated makespan (seconds): when the last guest finished.
+    makespan: float
+    #: Simulated compute-phase completion per guest (seconds).
+    compute_finish: Mapping[int, float]
+    #: Simulated total completion per guest, including communication.
+    finish: Mapping[int, float]
+    #: Wall-clock seconds the simulation itself took (Table 3's metric).
+    wall_seconds: float
+    #: Events processed by the engine.
+    events: int
+    #: Hosts that were CPU-oversubscribed at the start of the run.
+    oversubscribed_hosts: int = 0
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def n_guests(self) -> int:
+        return len(self.finish)
+
+    def mean_finish(self) -> float:
+        if not self.finish:
+            return 0.0
+        return float(np.mean(list(self.finish.values())))
+
+    def stretch(self, nominal_seconds: float) -> float:
+        """Makespan relative to the contention-free nominal duration."""
+        if nominal_seconds <= 0:
+            return float("inf")
+        return self.makespan / nominal_seconds
+
+    def __repr__(self) -> str:
+        return (
+            f"<ExperimentResult: makespan={self.makespan:.3f}s over {self.n_guests} guests, "
+            f"{self.events} events in {self.wall_seconds * 1e3:.1f} ms wall>"
+        )

@@ -1,0 +1,97 @@
+"""Network model over a mapping — per-virtual-link transfer costs.
+
+Once a mapping is fixed, each virtual link has concrete transport
+properties derived from its physical path:
+
+* **latency** — the accumulated latency of the mapped path (the LHS of
+  Eq. 8); zero for co-located guests;
+* **bandwidth** — the virtual link's reserved ``vbw`` (Eq. 9 guarantees
+  the reservation holds under aggregation), or infinite for co-located
+  guests (the paper's ``bw((c,c)) = inf`` convention).
+
+A transfer of ``mbits`` over a link therefore takes
+``mbits / bandwidth`` seconds of serialization plus the one-way path
+latency.  This is deliberately a *reservation-level* model — the
+mapping's admission control is what makes it sound — so the simulator
+never needs per-packet queueing, yet mapping quality (co-location and
+path length) still shows up in experiment makespans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.mapping import Mapping
+from repro.core.venv import VirtualEnvironment
+from repro.core.vlink import VLinkKey, vlink_key
+from repro.errors import ModelError
+
+__all__ = ["LinkTransport", "NetworkModel"]
+
+_MS_PER_S = 1000.0
+
+
+@dataclass(frozen=True, slots=True)
+class LinkTransport:
+    """Concrete transport properties of one mapped virtual link."""
+
+    key: VLinkKey
+    latency_ms: float
+    bandwidth_mbps: float
+    hops: int
+
+    @property
+    def colocated(self) -> bool:
+        return self.hops == 0
+
+    def transfer_seconds(self, mbits: float) -> float:
+        """One-way time to move *mbits* across the link (seconds)."""
+        if mbits < 0:
+            raise ModelError(f"cannot transfer negative volume {mbits}")
+        serialization = 0.0 if self.bandwidth_mbps == float("inf") else mbits / self.bandwidth_mbps
+        return serialization + self.latency_ms / _MS_PER_S
+
+
+class NetworkModel:
+    """All virtual links' transport properties under one mapping."""
+
+    def __init__(
+        self,
+        cluster: PhysicalCluster,
+        venv: VirtualEnvironment,
+        mapping: Mapping,
+    ) -> None:
+        self._links: dict[VLinkKey, LinkTransport] = {}
+        for vlink in venv.vlinks():
+            nodes = mapping.path_for(*vlink.key)
+            hops = max(len(nodes) - 1, 0)
+            if hops == 0:
+                transport = LinkTransport(vlink.key, 0.0, float("inf"), 0)
+            else:
+                latency = sum(cluster.latency(u, v) for u, v in zip(nodes, nodes[1:]))
+                transport = LinkTransport(vlink.key, latency, vlink.vbw, hops)
+            self._links[vlink.key] = transport
+
+    def link(self, a: int, b: int) -> LinkTransport:
+        try:
+            return self._links[vlink_key(a, b)]
+        except KeyError:
+            raise ModelError(f"virtual link {vlink_key(a, b)} is not in the model") from None
+
+    def links(self) -> tuple[LinkTransport, ...]:
+        return tuple(self._links.values())
+
+    @property
+    def n_links(self) -> int:
+        return len(self._links)
+
+    def total_latency_ms(self) -> float:
+        """Sum of mapped path latencies — a scalar mapping-quality signal."""
+        return sum(t.latency_ms for t in self._links.values())
+
+    def mean_hops(self) -> float:
+        """Average physical hops per virtual link (co-located count 0)."""
+        if not self._links:
+            return 0.0
+        return sum(t.hops for t in self._links.values()) / len(self._links)

@@ -1,0 +1,104 @@
+"""Experiment workload model — what the emulated system *does*.
+
+The paper's correlation study (Section 5.2) runs the tester's
+experiment over each mapping and measures its execution time.  The
+emulated application is modelled as the standard two-phase template of
+distributed-system tests:
+
+1. a **compute phase**: every guest executes a task sized so that, at
+   its requested ``vproc`` rate with no contention, it would take
+   ``compute_seconds`` — i.e. ``length_i = vproc_i * compute_seconds``
+   MI.  Contention (oversubscribed hosts) stretches this phase, which
+   is how placement imbalance becomes execution time;
+2. a **communication phase**: after computing, each guest exchanges
+   one message per incident virtual link, sized to occupy the link for
+   ``comm_seconds`` at its reserved bandwidth
+   (``mbits = vbw * comm_seconds``), so the transfer costs
+   ``comm_seconds`` of serialization plus the mapped path's latency.
+   Co-located links are free — the affinity payoff of HMN's Hosting
+   stage, visible in the makespan.
+
+Optional multiplicative jitter makes task lengths heterogeneous, as
+real experiment runs are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.venv import VirtualEnvironment
+from repro.errors import ModelError
+
+__all__ = ["ExperimentSpec", "guest_task_lengths"]
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentSpec:
+    """Parameters of the emulated experiment run over a mapping.
+
+    Parameters
+    ----------
+    compute_seconds:
+        Nominal duration of every guest's compute task at its requested
+        rate (seconds).
+    comm_seconds:
+        Nominal serialization time of each per-link message at the
+        link's reserved bandwidth (seconds).  Zero disables the
+        communication phase.
+    jitter:
+        Half-width of the multiplicative uniform jitter on task
+        lengths: each length is scaled by ``U(1 - jitter, 1 + jitter)``.
+        Zero (default) keeps the experiment deterministic.
+    vmm_mips_per_guest:
+        CPU the VMM itself burns per resident guest (MIPS), deducted
+        from the host's capacity for the duration of the run.  This is
+        the paper's Section 3.1 observation ("the VMM uses host's
+        resources") turned into runtime cost: a host crowded with
+        guests loses capacity to the VMM, goes oversubscribed and slows
+        every resident — the mechanism behind "a host [with] a high
+        load ... decreases the performance of the virtual machines
+        running on it, delaying the experiment" and hence behind the
+        Section 5.2 objective/execution-time correlation.  Zero
+        (default) gives pure CloudSim semantics; the correlation bench
+        uses a positive value and records it.
+    """
+
+    compute_seconds: float = 100.0
+    comm_seconds: float = 10.0
+    jitter: float = 0.0
+    vmm_mips_per_guest: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.compute_seconds < 0:
+            raise ModelError(f"compute_seconds must be >= 0, got {self.compute_seconds}")
+        if self.comm_seconds < 0:
+            raise ModelError(f"comm_seconds must be >= 0, got {self.comm_seconds}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ModelError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.vmm_mips_per_guest < 0:
+            raise ModelError(
+                f"vmm_mips_per_guest must be >= 0, got {self.vmm_mips_per_guest}"
+            )
+
+
+def guest_task_lengths(
+    venv: VirtualEnvironment,
+    spec: ExperimentSpec,
+    rng: np.random.Generator | None = None,
+) -> dict[int, float]:
+    """Compute-task length (MI) per guest under *spec*.
+
+    Requires an *rng* when the spec has jitter (a jittered experiment
+    without an explicit stream would be silently irreproducible).
+    """
+    if spec.jitter > 0.0 and rng is None:
+        raise ModelError("jitter > 0 requires an explicit rng")
+    lengths: dict[int, float] = {}
+    for guest in venv.guests():
+        length = guest.vproc * spec.compute_seconds
+        if spec.jitter > 0.0:
+            length *= float(rng.uniform(1.0 - spec.jitter, 1.0 + spec.jitter))
+        lengths[guest.id] = length
+    return lengths

@@ -1,0 +1,43 @@
+"""Cluster topology generators.
+
+The paper evaluates two clusters — a 40-host 2-D torus and a 40-host
+switched fabric (Table 1) — and claims HMN "can manage arbitrary
+cluster networks".  This package provides both evaluation topologies
+(:func:`paper_torus`, :func:`paper_switched`) plus the family of
+standard interconnects used by the tests and extension benchmarks.
+
+All generators share one convention (see :mod:`repro.topology.base`):
+pass ``hosts=`` for explicit capacities or ``seed=`` to draw them from
+the paper's Table 1 heterogeneity ranges.
+"""
+
+from repro.topology.heterogeneity import PAPER_HOST_RANGES, random_hosts, uniform_hosts
+from repro.topology.fattree import fat_tree_cluster
+from repro.topology.hypercube import hypercube_cluster
+from repro.topology.mesh import mesh_cluster
+from repro.topology.random_cluster import random_cluster, random_regular_cluster
+from repro.topology.ring import line_cluster, ring_cluster
+from repro.topology.star import star_cluster
+from repro.topology.switched import paper_switched, switch_count_for, switched_cluster
+from repro.topology.torus import paper_torus, torus_cluster
+from repro.topology.tree import tree_cluster
+
+__all__ = [
+    "random_hosts",
+    "uniform_hosts",
+    "PAPER_HOST_RANGES",
+    "torus_cluster",
+    "paper_torus",
+    "switched_cluster",
+    "paper_switched",
+    "switch_count_for",
+    "ring_cluster",
+    "line_cluster",
+    "star_cluster",
+    "tree_cluster",
+    "fat_tree_cluster",
+    "hypercube_cluster",
+    "mesh_cluster",
+    "random_cluster",
+    "random_regular_cluster",
+]

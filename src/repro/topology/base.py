@@ -1,0 +1,58 @@
+"""Shared plumbing for cluster topology generators.
+
+Every generator in :mod:`repro.topology` follows one convention:
+
+* it accepts either a pre-built ``hosts`` list or (``seed`` +) the
+  paper's random host generator (:func:`repro.topology.random_hosts`),
+* all physical links get uniform ``bw``/``lat`` (the paper's clusters
+  use 1 Gbit/s and 5 ms everywhere; heterogeneous-link clusters can be
+  built through the core API directly),
+* it returns a connected :class:`~repro.core.cluster.PhysicalCluster`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.host import Host
+from repro.errors import ModelError
+from repro.topology.heterogeneity import random_hosts
+from repro.units import gbps, ms
+
+__all__ = ["resolve_hosts", "new_cluster", "DEFAULT_BW", "DEFAULT_LAT"]
+
+#: Paper Table 1: physical links are 1 Gbit/s...
+DEFAULT_BW = gbps(1)
+#: ... with 5 ms latency.
+DEFAULT_LAT = ms(5)
+
+
+def resolve_hosts(
+    n: int,
+    hosts: Sequence[Host] | None,
+    seed: int | np.random.Generator | None,
+) -> list[Host]:
+    """Materialize the host list for a generator.
+
+    Either *hosts* is given (and must have length *n*), or *n* hosts
+    are drawn from the paper's Table 1 distributions using *seed*.
+    """
+    if n < 1:
+        raise ModelError(f"a cluster needs at least one host, got n={n}")
+    if hosts is not None:
+        hosts = list(hosts)
+        if len(hosts) != n:
+            raise ModelError(f"expected {n} hosts, got {len(hosts)}")
+        return hosts
+    return random_hosts(n, rng=seed)
+
+
+def new_cluster(hosts: Sequence[Host], name: str) -> PhysicalCluster:
+    """Create a cluster pre-populated with *hosts*."""
+    cluster = PhysicalCluster(name=name)
+    for h in hosts:
+        cluster.add_host(h)
+    return cluster

@@ -1,0 +1,82 @@
+"""k-ary fat-tree cluster topology (Al-Fares et al., SIGCOMM 2008).
+
+The paper's switched fabric has exactly one path between any two hosts
+— which is why its mapping is trivial there.  The fat-tree is the
+datacenter-era switched fabric with *massive* path multiplicity
+(``(k/2)^2`` shortest paths between hosts in different pods), so it is
+the topology where the bottleneck-bandwidth routing metric matters in
+a switched network: Algorithm 1 must spread virtual links across the
+core, exactly the behaviour the torus benchmarks exercise on a
+direct-connect network.
+
+Structure for even ``k``:
+
+* ``(k/2)^2`` core switches;
+* ``k`` pods, each with ``k/2`` aggregation and ``k/2`` edge switches;
+* each edge switch hosts ``k/2`` machines — ``k^3 / 4`` hosts total;
+* edge i connects to every aggregation switch of its pod; aggregation
+  switch j of a pod connects to core switches ``j*(k/2) .. (j+1)*(k/2)-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.host import Host
+from repro.core.link import PhysicalLink
+from repro.errors import ModelError
+from repro.topology.base import DEFAULT_BW, DEFAULT_LAT, new_cluster, resolve_hosts
+
+__all__ = ["fat_tree_cluster"]
+
+
+def fat_tree_cluster(
+    k: int,
+    *,
+    hosts: Sequence[Host] | None = None,
+    seed: int | np.random.Generator | None = None,
+    bw: float = DEFAULT_BW,
+    lat: float = DEFAULT_LAT,
+    core_bw: float | None = None,
+    name: str = "",
+) -> PhysicalCluster:
+    """Build a k-ary fat tree (*k* even, >= 2) with ``k^3/4`` hosts.
+
+    *core_bw* optionally sets aggregation-to-core link bandwidth
+    (default: same as everything else — the canonical fat tree is
+    non-oversubscribed by construction).
+    """
+    if k < 2 or k % 2 != 0:
+        raise ModelError(f"fat tree arity must be an even integer >= 2, got {k}")
+    if k > 16:
+        raise ModelError(f"k={k} means {k**3 // 4} hosts; refusing accidental giants")
+    half = k // 2
+    n_hosts = k**3 // 4
+    host_list = resolve_hosts(n_hosts, hosts, seed)
+    cluster = new_cluster(host_list, name or f"fat-tree-k{k}")
+
+    cores = [f"core{i}" for i in range(half * half)]
+    for c in cores:
+        cluster.add_switch(c)
+
+    up_bw = bw if core_bw is None else core_bw
+    host_iter = iter(host_list)
+    for pod in range(k):
+        aggs = [f"p{pod}a{j}" for j in range(half)]
+        edges = [f"p{pod}e{i}" for i in range(half)]
+        for sw in aggs + edges:
+            cluster.add_switch(sw)
+        for edge in edges:
+            for agg in aggs:
+                cluster.add_link(PhysicalLink(edge, agg, bw=bw, lat=lat))
+        for j, agg in enumerate(aggs):
+            for c in range(j * half, (j + 1) * half):
+                cluster.add_link(PhysicalLink(agg, cores[c], bw=up_bw, lat=lat))
+        for edge in edges:
+            for _ in range(half):
+                host = next(host_iter)
+                cluster.add_link(PhysicalLink(host.id, edge, bw=bw, lat=lat))
+    return cluster

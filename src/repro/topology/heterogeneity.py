@@ -1,0 +1,86 @@
+"""Random heterogeneous host generation (Section 5.1).
+
+"To represent heterogeneity in the cluster, resources of each of the 40
+hosts in the cluster were randomly generated.  Host memory varied
+uniformly between 1GB and 3GB.  Storage varied between 1TB and 3TB and
+CPU capacity between 1000MIPS and 3000MIPS."
+
+:func:`random_hosts` reproduces exactly that; ranges are parameters so
+other experiments can scale the cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.host import Host
+from repro.errors import ModelError
+from repro.seeding import rng_from
+from repro.units import gib, mips, tib
+
+__all__ = ["random_hosts", "uniform_hosts", "PAPER_HOST_RANGES"]
+
+#: The paper's Table 1 host resource ranges, in base units:
+#: CPU in MIPS, memory in MiB, storage in GiB.
+PAPER_HOST_RANGES: dict[str, tuple[float, float]] = {
+    "proc": (mips(1000), mips(3000)),
+    "mem": (gib(1), gib(3)),
+    "stor": (tib(1), tib(3)),
+}
+
+
+def random_hosts(
+    n: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+    proc_range: tuple[float, float] = PAPER_HOST_RANGES["proc"],
+    mem_range: tuple[float, float] = PAPER_HOST_RANGES["mem"],
+    stor_range: tuple[float, float] = PAPER_HOST_RANGES["stor"],
+    id_offset: int = 0,
+    name_prefix: str = "host",
+) -> list[Host]:
+    """Generate *n* hosts with uniformly drawn capacities.
+
+    Ranges default to the paper's Table 1 values (1000-3000 MIPS,
+    1-3 GiB memory, 1-3 TiB storage).  Host ids are
+    ``id_offset .. id_offset + n - 1``.
+    """
+    if n < 0:
+        raise ModelError(f"cannot generate {n} hosts")
+    for label, (lo, hi) in (("proc", proc_range), ("mem", mem_range), ("stor", stor_range)):
+        if lo > hi or lo < 0:
+            raise ModelError(f"invalid {label} range ({lo}, {hi})")
+    gen = rng_from(rng)
+    procs = gen.uniform(proc_range[0], proc_range[1], size=n)
+    mems = gen.uniform(mem_range[0], mem_range[1], size=n)
+    stors = gen.uniform(stor_range[0], stor_range[1], size=n)
+    return [
+        Host(
+            id=id_offset + i,
+            proc=float(procs[i]),
+            mem=int(round(mems[i])),
+            stor=float(stors[i]),
+            name=f"{name_prefix}{id_offset + i}",
+        )
+        for i in range(n)
+    ]
+
+
+def uniform_hosts(
+    n: int,
+    *,
+    proc: float = mips(2000),
+    mem: int = gib(2),
+    stor: float = tib(2),
+    id_offset: int = 0,
+    name_prefix: str = "host",
+) -> list[Host]:
+    """Generate *n* identical hosts (the homogeneous-cluster case the
+    paper also targets: "this cluster may be either homogeneous or
+    heterogeneous")."""
+    if n < 0:
+        raise ModelError(f"cannot generate {n} hosts")
+    return [
+        Host(id=id_offset + i, proc=proc, mem=mem, stor=stor, name=f"{name_prefix}{id_offset + i}")
+        for i in range(n)
+    ]

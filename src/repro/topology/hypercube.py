@@ -1,0 +1,47 @@
+"""Hypercube cluster topology.
+
+A ``d``-dimensional binary hypercube: ``2**d`` hosts, host ``i`` linked
+to every ``i XOR (1 << k)``.  Maximum path diversity per node degree —
+the stress-test counterpart of the multipath torus for the routing
+benchmarks, since the number of shortest paths between antipodal hosts
+grows factorially with ``d``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.host import Host
+from repro.core.link import PhysicalLink
+from repro.errors import ModelError
+from repro.topology.base import DEFAULT_BW, DEFAULT_LAT, new_cluster, resolve_hosts
+
+__all__ = ["hypercube_cluster"]
+
+
+def hypercube_cluster(
+    dimension: int,
+    *,
+    hosts: Sequence[Host] | None = None,
+    seed: int | np.random.Generator | None = None,
+    bw: float = DEFAULT_BW,
+    lat: float = DEFAULT_LAT,
+    name: str = "",
+) -> PhysicalCluster:
+    """Build a *dimension*-cube of ``2**dimension`` hosts."""
+    if dimension < 0:
+        raise ModelError(f"dimension must be >= 0, got {dimension}")
+    if dimension > 16:
+        raise ModelError(f"dimension {dimension} would create {2**dimension} hosts; refusing")
+    n = 2**dimension
+    host_list = resolve_hosts(n, hosts, seed)
+    cluster = new_cluster(host_list, name or f"hypercube-{dimension}d")
+    for i in range(n):
+        for k in range(dimension):
+            j = i ^ (1 << k)
+            if i < j:
+                cluster.add_link(PhysicalLink(host_list[i].id, host_list[j].id, bw=bw, lat=lat))
+    return cluster

@@ -1,0 +1,53 @@
+"""2-D mesh (grid without wraparound) cluster topology.
+
+The non-wrapped sibling of the torus: boundary hosts have degree 2-3
+instead of a uniform 4, so latency-bounded routing near the edges is
+tighter.  Useful for checking that the mappers do not implicitly
+assume vertex-transitive topologies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.host import Host
+from repro.core.link import PhysicalLink
+from repro.errors import ModelError
+from repro.topology.base import DEFAULT_BW, DEFAULT_LAT, new_cluster, resolve_hosts
+
+__all__ = ["mesh_cluster"]
+
+
+def mesh_cluster(
+    rows: int,
+    cols: int,
+    *,
+    hosts: Sequence[Host] | None = None,
+    seed: int | np.random.Generator | None = None,
+    bw: float = DEFAULT_BW,
+    lat: float = DEFAULT_LAT,
+    name: str = "",
+) -> PhysicalCluster:
+    """Build a ``rows x cols`` grid of hosts (no wraparound links).
+
+    Host ids are row-major, matching :func:`repro.topology.torus_cluster`.
+    """
+    if rows < 1 or cols < 1:
+        raise ModelError(f"mesh dimensions must be >= 1, got {rows}x{cols}")
+    host_list = resolve_hosts(rows * cols, hosts, seed)
+    cluster = new_cluster(host_list, name or f"mesh-{rows}x{cols}")
+    for r in range(rows):
+        for c in range(cols):
+            here = host_list[r * cols + c].id
+            if c + 1 < cols:
+                cluster.add_link(
+                    PhysicalLink(here, host_list[r * cols + c + 1].id, bw=bw, lat=lat)
+                )
+            if r + 1 < rows:
+                cluster.add_link(
+                    PhysicalLink(here, host_list[(r + 1) * cols + c].id, bw=bw, lat=lat)
+                )
+    return cluster

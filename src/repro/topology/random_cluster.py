@@ -1,0 +1,125 @@
+"""Random connected cluster topologies.
+
+The paper's claim is that HMN "can manage arbitrary cluster networks";
+these generators produce the arbitrary part.  Two flavours:
+
+* :func:`random_cluster` — connected Erdős–Rényi-style graph: a random
+  spanning tree (guaranteeing connectivity) plus extra edges until the
+  target density is reached.  This mirrors the construction used for
+  the *virtual* environments in Section 5.1, applied to the physical
+  side.
+* :func:`random_regular_cluster` — connected random d-regular graph via
+  :func:`networkx.random_regular_graph` (retried until connected),
+  approximating fixed-degree interconnects.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.host import Host
+from repro.core.link import PhysicalLink
+from repro.errors import ModelError
+from repro.seeding import rng_from
+from repro.topology.base import DEFAULT_BW, DEFAULT_LAT, new_cluster, resolve_hosts
+
+__all__ = ["random_cluster", "random_regular_cluster"]
+
+
+def random_cluster(
+    n_hosts: int,
+    *,
+    density: float = 0.1,
+    hosts: Sequence[Host] | None = None,
+    seed: int | np.random.Generator | None = None,
+    bw: float = DEFAULT_BW,
+    lat: float = DEFAULT_LAT,
+    name: str = "",
+) -> PhysicalCluster:
+    """Build a connected random cluster with the given edge *density*.
+
+    Density is ``2|E| / (n (n-1))``; values below the spanning-tree
+    floor are raised to it, values above 1 are rejected.  The same
+    tree-plus-random-extras construction as the paper's virtual
+    environment generator guarantees connectivity.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ModelError(f"density must be within [0, 1], got {density}")
+    host_list = resolve_hosts(n_hosts, hosts, seed)
+    rng = rng_from(seed)
+    cluster = new_cluster(host_list, name or f"random-{n_hosts}-d{density:g}")
+    ids = [h.id for h in host_list]
+    if n_hosts == 1:
+        return cluster
+
+    edges: set[tuple[int, int]] = set()
+
+    def norm(u: int, v: int) -> tuple[int, int]:
+        return (u, v) if u <= v else (v, u)
+
+    # Random spanning tree by random attachment: node k links to a
+    # uniformly chosen earlier node.  (Uniform over a useful family of
+    # trees and O(n); exact uniform spanning trees are not needed here.)
+    order = list(range(n_hosts))
+    rng.shuffle(order)
+    for k in range(1, n_hosts):
+        j = int(rng.integers(k))
+        edges.add(norm(ids[order[k]], ids[order[j]]))
+
+    target = max(len(edges), int(round(density * n_hosts * (n_hosts - 1) / 2)))
+    max_edges = n_hosts * (n_hosts - 1) // 2
+    target = min(target, max_edges)
+    guard = 0
+    while len(edges) < target:
+        u, v = rng.integers(n_hosts, size=2)
+        guard += 1
+        if guard > 1000 * max_edges:
+            raise ModelError("random_cluster failed to reach target density (internal)")
+        if u == v:
+            continue
+        edges.add(norm(ids[int(u)], ids[int(v)]))
+
+    for u, v in sorted(edges, key=str):
+        cluster.add_link(PhysicalLink(u, v, bw=bw, lat=lat))
+    return cluster
+
+
+def random_regular_cluster(
+    n_hosts: int,
+    degree: int,
+    *,
+    hosts: Sequence[Host] | None = None,
+    seed: int | np.random.Generator | None = None,
+    bw: float = DEFAULT_BW,
+    lat: float = DEFAULT_LAT,
+    max_tries: int = 100,
+    name: str = "",
+) -> PhysicalCluster:
+    """Build a connected random *degree*-regular cluster.
+
+    ``n_hosts * degree`` must be even and ``degree < n_hosts`` (the
+    standard regular-graph existence conditions).  Samples are retried
+    until connected; for ``degree >= 3`` disconnection is rare.
+    """
+    if degree < 1 or degree >= n_hosts:
+        raise ModelError(f"degree must be in [1, n_hosts), got {degree} for n={n_hosts}")
+    if (n_hosts * degree) % 2 != 0:
+        raise ModelError(f"n_hosts * degree must be even, got {n_hosts} * {degree}")
+    host_list = resolve_hosts(n_hosts, hosts, seed)
+    rng = rng_from(seed)
+    for _ in range(max_tries):
+        g = nx.random_regular_graph(degree, n_hosts, seed=int(rng.integers(2**31 - 1)))
+        if nx.is_connected(g):
+            cluster = new_cluster(host_list, name or f"regular-{n_hosts}-d{degree}")
+            for u, v in sorted(g.edges(), key=str):
+                cluster.add_link(
+                    PhysicalLink(host_list[u].id, host_list[v].id, bw=bw, lat=lat)
+                )
+            return cluster
+    raise ModelError(
+        f"no connected {degree}-regular graph on {n_hosts} nodes found in {max_tries} tries"
+    )

@@ -1,0 +1,70 @@
+"""Ring cluster topology.
+
+The paper motivates arbitrary-topology support with exactly this case:
+"if the cluster is linked by a ring network, two non-adjacent hosts are
+not directly connected, although the virtual machines on them may have
+a virtual connection" (Section 3.1) — and notes that switch-only
+mappers like V-eM cannot handle "clusters with torus or ring topology"
+(Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.host import Host
+from repro.core.link import PhysicalLink
+from repro.errors import ModelError
+from repro.topology.base import DEFAULT_BW, DEFAULT_LAT, new_cluster, resolve_hosts
+
+__all__ = ["ring_cluster", "line_cluster"]
+
+
+def ring_cluster(
+    n_hosts: int,
+    *,
+    hosts: Sequence[Host] | None = None,
+    seed: int | np.random.Generator | None = None,
+    bw: float = DEFAULT_BW,
+    lat: float = DEFAULT_LAT,
+    name: str = "",
+) -> PhysicalCluster:
+    """Build a ring of *n_hosts* (each host linked to two neighbors).
+
+    Requires at least 3 hosts; with 2 hosts a ring degenerates to a
+    double link, which the undirected model forbids — use
+    :func:`line_cluster` instead.
+    """
+    if n_hosts < 3:
+        raise ModelError(f"a ring needs >= 3 hosts, got {n_hosts} (use line_cluster)")
+    host_list = resolve_hosts(n_hosts, hosts, seed)
+    cluster = new_cluster(host_list, name or f"ring-{n_hosts}")
+    for i in range(n_hosts):
+        u = host_list[i].id
+        v = host_list[(i + 1) % n_hosts].id
+        cluster.add_link(PhysicalLink(u, v, bw=bw, lat=lat))
+    return cluster
+
+
+def line_cluster(
+    n_hosts: int,
+    *,
+    hosts: Sequence[Host] | None = None,
+    seed: int | np.random.Generator | None = None,
+    bw: float = DEFAULT_BW,
+    lat: float = DEFAULT_LAT,
+    name: str = "",
+) -> PhysicalCluster:
+    """Build a line (open chain) of *n_hosts*.
+
+    The worst case for path diversity — useful in tests as the topology
+    where every inter-host path is forced.
+    """
+    host_list = resolve_hosts(n_hosts, hosts, seed)
+    cluster = new_cluster(host_list, name or f"line-{n_hosts}")
+    for a, b in zip(host_list, host_list[1:]):
+        cluster.add_link(PhysicalLink(a.id, b.id, bw=bw, lat=lat))
+    return cluster

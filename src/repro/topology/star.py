@@ -1,0 +1,38 @@
+"""Star cluster topology: hosts around a single central switch.
+
+The degenerate single-switch case of the paper's switched topology,
+provided separately because it is the common small-lab layout and a
+useful minimal multipath-free fixture for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.host import Host
+from repro.core.link import PhysicalLink
+from repro.topology.base import DEFAULT_BW, DEFAULT_LAT, new_cluster, resolve_hosts
+
+__all__ = ["star_cluster"]
+
+
+def star_cluster(
+    n_hosts: int,
+    *,
+    hosts: Sequence[Host] | None = None,
+    seed: int | np.random.Generator | None = None,
+    bw: float = DEFAULT_BW,
+    lat: float = DEFAULT_LAT,
+    hub: str = "hub",
+    name: str = "",
+) -> PhysicalCluster:
+    """Build *n_hosts* hosts all linked to one central switch *hub*."""
+    host_list = resolve_hosts(n_hosts, hosts, seed)
+    cluster = new_cluster(host_list, name or f"star-{n_hosts}")
+    cluster.add_switch(hub)
+    for h in host_list:
+        cluster.add_link(PhysicalLink(h.id, hub, bw=bw, lat=lat))
+    return cluster

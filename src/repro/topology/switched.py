@@ -1,0 +1,114 @@
+"""Switched cluster topology (the paper's second evaluation cluster).
+
+"The second cluster topology was a switched topology, in which hosts
+were connected to cascade 64-port switches."  Switches are modelled as
+pure forwarding nodes (they cannot run guests); host-switch and
+switch-switch connections carry the same 1 Gbit/s / 5 ms links as the
+torus.
+
+With up to 63 hosts a single switch suffices (the paper's 40-host
+cluster uses one).  Beyond that, switches are cascaded in a chain, each
+reserving ports for its up/down cascade links; the generator computes
+the minimal switch count for the requested host count and port width.
+On this topology there is exactly one simple path between any two
+hosts, which is why the paper observes sub-second mapping times here
+("in this topology there is only one possible path to each virtual
+link").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.host import Host
+from repro.core.link import PhysicalLink
+from repro.errors import ModelError
+from repro.topology.base import DEFAULT_BW, DEFAULT_LAT, new_cluster, resolve_hosts
+
+__all__ = ["switched_cluster", "paper_switched", "switch_count_for"]
+
+
+def switch_count_for(n_hosts: int, ports: int) -> int:
+    """Minimal number of cascaded *ports*-port switches for *n_hosts*.
+
+    A lone switch offers all its ports to hosts; a chain of ``k >= 2``
+    switches loses one port at each end and two in the middle to the
+    cascade links, leaving ``k * ports - 2 * (k - 1)`` host ports.
+    """
+    if ports < 3:
+        raise ModelError(f"cascaded switches need >= 3 ports, got {ports}")
+    if n_hosts <= ports:
+        return 1
+    k = 2
+    while k * ports - 2 * (k - 1) < n_hosts:
+        k += 1
+    return k
+
+
+def switched_cluster(
+    n_hosts: int,
+    *,
+    ports: int = 64,
+    hosts: Sequence[Host] | None = None,
+    seed: int | np.random.Generator | None = None,
+    bw: float = DEFAULT_BW,
+    lat: float = DEFAULT_LAT,
+    uplink_bw: float | None = None,
+    name: str = "",
+) -> PhysicalCluster:
+    """Build a cluster of *n_hosts* hanging off cascaded switches.
+
+    Switch nodes are named ``"sw0"``, ``"sw1"``, ... and chained in
+    order.  Hosts are distributed to switches first-fit: switch 0 fills
+    its free ports, then switch 1, and so on, which matches how racks
+    are typically cabled and keeps the layout deterministic.
+
+    *uplink_bw* sets the switch-to-switch cascade links' bandwidth
+    (default: same as host links, the paper's uniform 1 Gbit/s).  At
+    larger scales a cascade trunk carries the aggregate of every
+    cross-switch virtual link, so real deployments uplink at a
+    multiple of the host speed.
+    """
+    host_list = resolve_hosts(n_hosts, hosts, seed)
+    n_switches = switch_count_for(n_hosts, ports)
+    cluster = new_cluster(host_list, name or f"switched-{n_hosts}x{ports}p")
+
+    switch_ids = [f"sw{i}" for i in range(n_switches)]
+    for sid in switch_ids:
+        cluster.add_switch(sid)
+    trunk_bw = bw if uplink_bw is None else uplink_bw
+    for a, b in zip(switch_ids, switch_ids[1:]):
+        cluster.add_link(PhysicalLink(a, b, bw=trunk_bw, lat=lat))
+
+    def free_ports(i: int) -> int:
+        if n_switches == 1:
+            return ports
+        return ports - (1 if i in (0, n_switches - 1) else 2)
+
+    host_iter = iter(host_list)
+    assigned = 0
+    for i, sid in enumerate(switch_ids):
+        for _ in range(free_ports(i)):
+            host = next(host_iter, None)
+            if host is None:
+                break
+            cluster.add_link(PhysicalLink(host.id, sid, bw=bw, lat=lat))
+            assigned += 1
+    if assigned != n_hosts:
+        raise ModelError(
+            f"internal error: placed {assigned} of {n_hosts} hosts on {n_switches} switches"
+        )
+    return cluster
+
+
+def paper_switched(
+    seed: int | np.random.Generator | None = None,
+    *,
+    hosts: Sequence[Host] | None = None,
+) -> PhysicalCluster:
+    """The paper's 40-host switched cluster (64-port switches,
+    1 Gbit/s / 5 ms links)."""
+    return switched_cluster(40, ports=64, hosts=hosts, seed=seed, name="paper-switched-40")

@@ -1,0 +1,74 @@
+"""2-D torus cluster topology (the paper's first evaluation cluster).
+
+A ``rows x cols`` grid where each host connects to its four neighbors
+with wraparound in both dimensions.  Degenerate dimensions are handled
+the standard way: a dimension of length 1 adds no links in that
+direction, and a dimension of length 2 adds a single link (not a
+double link) between the pair.
+
+The paper's torus has 40 hosts; :func:`paper_torus` builds the 5x8
+instance used throughout the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.host import Host
+from repro.core.link import PhysicalLink
+from repro.errors import ModelError
+from repro.topology.base import DEFAULT_BW, DEFAULT_LAT, new_cluster, resolve_hosts
+
+__all__ = ["torus_cluster", "paper_torus"]
+
+
+def torus_cluster(
+    rows: int,
+    cols: int,
+    *,
+    hosts: Sequence[Host] | None = None,
+    seed: int | np.random.Generator | None = None,
+    bw: float = DEFAULT_BW,
+    lat: float = DEFAULT_LAT,
+    name: str = "",
+) -> PhysicalCluster:
+    """Build a ``rows x cols`` 2-D torus of hosts.
+
+    Host ids are assigned row-major: host ``(r, c)`` has id
+    ``r * cols + c``.  When *hosts* is omitted, capacities are drawn
+    from the paper's Table 1 ranges using *seed*.
+    """
+    if rows < 1 or cols < 1:
+        raise ModelError(f"torus dimensions must be >= 1, got {rows}x{cols}")
+    host_list = resolve_hosts(rows * cols, hosts, seed)
+    cluster = new_cluster(host_list, name or f"torus-{rows}x{cols}")
+
+    def hid(r: int, c: int) -> int:
+        return host_list[(r % rows) * cols + (c % cols)].id
+
+    seen: set[frozenset[int]] = set()
+    for r in range(rows):
+        for c in range(cols):
+            here = hid(r, c)
+            for nr, nc in ((r, c + 1), (r + 1, c)):
+                there = hid(nr, nc)
+                if here == there:
+                    continue  # dimension of length 1: no wraparound link
+                pair = frozenset((here, there))
+                if pair in seen:
+                    continue  # dimension of length 2: single link, not double
+                seen.add(pair)
+                cluster.add_link(PhysicalLink(here, there, bw=bw, lat=lat))
+    return cluster
+
+
+def paper_torus(
+    seed: int | np.random.Generator | None = None,
+    *,
+    hosts: Sequence[Host] | None = None,
+) -> PhysicalCluster:
+    """The paper's 40-host 2-D torus (5x8, 1 Gbit/s / 5 ms links)."""
+    return torus_cluster(5, 8, hosts=hosts, seed=seed, name="paper-torus-40")

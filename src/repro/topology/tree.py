@@ -1,0 +1,74 @@
+"""Two-level switch-tree cluster topology.
+
+A root switch fans out to leaf switches; hosts hang off the leaves.
+This is the classic datacenter access/aggregation layout and a natural
+generalization of the paper's cascaded-switch cluster: unlike the
+cascade chain, host-to-host latency is bounded by four switch hops
+regardless of scale, while path uniqueness (one simple path between
+any pair of hosts) is preserved — so A*Prune remains trivially fast,
+as the paper observes for switched fabrics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.host import Host
+from repro.core.link import PhysicalLink
+from repro.errors import ModelError
+from repro.topology.base import DEFAULT_BW, DEFAULT_LAT, new_cluster, resolve_hosts
+
+__all__ = ["tree_cluster"]
+
+
+def tree_cluster(
+    n_hosts: int,
+    *,
+    hosts_per_leaf: int = 8,
+    hosts: Sequence[Host] | None = None,
+    seed: int | np.random.Generator | None = None,
+    bw: float = DEFAULT_BW,
+    lat: float = DEFAULT_LAT,
+    uplink_bw: float | None = None,
+    name: str = "",
+) -> PhysicalCluster:
+    """Build a two-level switch tree.
+
+    Parameters
+    ----------
+    n_hosts:
+        Total hosts; they fill leaf switches left to right.
+    hosts_per_leaf:
+        Fan-out of each leaf switch.
+    uplink_bw:
+        Bandwidth of leaf-to-root links; defaults to *bw*.  Setting it
+        lower creates the oversubscribed-core scenario where the
+        bottleneck-bandwidth routing metric actually matters.
+    """
+    if hosts_per_leaf < 1:
+        raise ModelError(f"hosts_per_leaf must be >= 1, got {hosts_per_leaf}")
+    host_list = resolve_hosts(n_hosts, hosts, seed)
+    n_leaves = max(1, math.ceil(n_hosts / hosts_per_leaf))
+    cluster = new_cluster(host_list, name or f"tree-{n_hosts}x{hosts_per_leaf}")
+
+    if n_leaves == 1:
+        # Single leaf: no root needed, the leaf is the whole fabric.
+        cluster.add_switch("leaf0")
+        for h in host_list:
+            cluster.add_link(PhysicalLink(h.id, "leaf0", bw=bw, lat=lat))
+        return cluster
+
+    cluster.add_switch("root")
+    up_bw = bw if uplink_bw is None else uplink_bw
+    for i in range(n_leaves):
+        leaf = f"leaf{i}"
+        cluster.add_switch(leaf)
+        cluster.add_link(PhysicalLink(leaf, "root", bw=up_bw, lat=lat))
+    for idx, h in enumerate(host_list):
+        leaf = f"leaf{idx // hosts_per_leaf}"
+        cluster.add_link(PhysicalLink(h.id, leaf, bw=bw, lat=lat))
+    return cluster

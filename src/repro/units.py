@@ -1,0 +1,124 @@
+"""Unit helpers.
+
+The library stores quantities in fixed base units and provides tiny,
+explicit constructor helpers so experiment code reads like the paper's
+Table 1 ("1GB-3GB", "87kbps-175kbps", "5ms") instead of bare magic
+numbers.
+
+Base units
+----------
+
+================  ==========================  =================
+quantity          base unit                   helper examples
+================  ==========================  =================
+memory            MiB (mebibytes)             :func:`gib`, :func:`mib`
+storage           GiB (gibibytes)             :func:`tib`, :func:`gib_storage`
+CPU capacity      MIPS                        :func:`mips`
+bandwidth         Mbit/s                      :func:`gbps`, :func:`mbps`, :func:`kbps`
+latency           milliseconds                :func:`ms`, :func:`seconds`
+================  ==========================  =================
+
+Memory is integral (the paper defines ``mem : C -> N``); every other
+quantity is a float.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "mib",
+    "gib",
+    "gib_storage",
+    "tib",
+    "mips",
+    "kbps",
+    "mbps",
+    "gbps",
+    "ms",
+    "seconds",
+    "format_bandwidth",
+    "format_memory",
+    "format_storage",
+    "format_latency",
+]
+
+
+def mib(value: float) -> int:
+    """Memory in MiB (the base memory unit), rounded to an integer."""
+    return int(round(value))
+
+
+def gib(value: float) -> int:
+    """Memory in GiB, converted to MiB."""
+    return int(round(value * 1024))
+
+
+def gib_storage(value: float) -> float:
+    """Storage in GiB (the base storage unit)."""
+    return float(value)
+
+
+def tib(value: float) -> float:
+    """Storage in TiB, converted to GiB."""
+    return float(value) * 1024.0
+
+
+def mips(value: float) -> float:
+    """CPU capacity in MIPS (the base CPU unit)."""
+    return float(value)
+
+
+def kbps(value: float) -> float:
+    """Bandwidth in kbit/s, converted to Mbit/s."""
+    return float(value) / 1000.0
+
+
+def mbps(value: float) -> float:
+    """Bandwidth in Mbit/s (the base bandwidth unit)."""
+    return float(value)
+
+
+def gbps(value: float) -> float:
+    """Bandwidth in Gbit/s, converted to Mbit/s."""
+    return float(value) * 1000.0
+
+
+def ms(value: float) -> float:
+    """Latency in milliseconds (the base latency unit)."""
+    return float(value)
+
+
+def seconds(value: float) -> float:
+    """Latency in seconds, converted to milliseconds."""
+    return float(value) * 1000.0
+
+
+def format_bandwidth(value_mbps: float) -> str:
+    """Human-readable bandwidth, e.g. ``format_bandwidth(1000) == '1.00 Gbps'``."""
+    if value_mbps == float("inf"):
+        return "inf"
+    if value_mbps >= 1000.0:
+        return f"{value_mbps / 1000.0:.2f} Gbps"
+    if value_mbps >= 1.0:
+        return f"{value_mbps:.2f} Mbps"
+    return f"{value_mbps * 1000.0:.0f} kbps"
+
+
+def format_memory(value_mib: float) -> str:
+    """Human-readable memory, e.g. ``format_memory(2048) == '2.00 GiB'``."""
+    if value_mib >= 1024:
+        return f"{value_mib / 1024.0:.2f} GiB"
+    return f"{value_mib:.0f} MiB"
+
+
+def format_storage(value_gib: float) -> str:
+    """Human-readable storage, e.g. ``format_storage(2048) == '2.00 TiB'``."""
+    if value_gib >= 1024:
+        return f"{value_gib / 1024.0:.2f} TiB"
+    return f"{value_gib:.1f} GiB"
+
+
+def format_latency(value_ms: float) -> str:
+    """Human-readable latency, e.g. ``format_latency(1500) == '1.500 s'``."""
+    if value_ms >= 1000.0:
+        return f"{value_ms / 1000.0:.3f} s"
+    return f"{value_ms:.1f} ms"

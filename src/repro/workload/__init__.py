@@ -1,0 +1,65 @@
+"""Workload generation: the paper's virtual environments and scenarios.
+
+* :mod:`~repro.workload.distributions` — sampling ranges (uniform /
+  truncated normal);
+* :mod:`~repro.workload.presets` — the Table 1 high-level and low-level
+  workload specifications;
+* :mod:`~repro.workload.graphgen` — the random connected
+  virtual-environment generator;
+* :mod:`~repro.workload.scenario` / :mod:`~repro.workload.suite` — the
+  sixteen-row experiment grid of Tables 2-3.
+"""
+
+from repro.workload.distributions import Range, SamplingMode
+from repro.workload.graphgen import (
+    edges_for_density,
+    generate_virtual_environment,
+    random_connected_edges,
+)
+from repro.workload.overlays import (
+    chain_venv,
+    ring_venv,
+    scale_free_venv,
+    star_venv,
+    tree_venv,
+    venv_from_graph,
+)
+from repro.workload.presets import HIGH_LEVEL, LOW_LEVEL, WorkloadSpec, workload_by_name
+from repro.workload.scenario import Scenario
+from repro.workload.suite import (
+    HIGH_LEVEL_DENSITIES,
+    HIGH_LEVEL_RATIOS,
+    LOW_LEVEL_DENSITY,
+    LOW_LEVEL_RATIOS,
+    PAPER_N_HOSTS,
+    PAPER_REPETITIONS,
+    paper_clusters,
+    paper_scenarios,
+)
+
+__all__ = [
+    "Range",
+    "SamplingMode",
+    "WorkloadSpec",
+    "HIGH_LEVEL",
+    "LOW_LEVEL",
+    "workload_by_name",
+    "generate_virtual_environment",
+    "edges_for_density",
+    "random_connected_edges",
+    "Scenario",
+    "star_venv",
+    "chain_venv",
+    "ring_venv",
+    "tree_venv",
+    "scale_free_venv",
+    "venv_from_graph",
+    "paper_scenarios",
+    "paper_clusters",
+    "HIGH_LEVEL_RATIOS",
+    "HIGH_LEVEL_DENSITIES",
+    "LOW_LEVEL_RATIOS",
+    "LOW_LEVEL_DENSITY",
+    "PAPER_N_HOSTS",
+    "PAPER_REPETITIONS",
+]

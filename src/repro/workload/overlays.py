@@ -1,0 +1,191 @@
+"""Structured virtual-environment overlays.
+
+The paper's generator produces uniform random connected graphs, but
+its motivating applications have *structured* virtual topologies: P2P
+protocols build scale-free overlays, grid middleware is
+master/worker-shaped, pipelines are chains, aggregation trees are
+trees.  These builders generate those shapes with the same
+resource-sampling machinery (a
+:class:`~repro.workload.presets.WorkloadSpec` drives every draw), so
+any paper workload can be combined with any overlay shape —
+``star_venv(64, workload=HIGH_LEVEL, seed=1)`` is a 64-worker grid job
+with Table 1 resource demands.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.core.guest import Guest
+from repro.core.venv import VirtualEnvironment
+from repro.core.vlink import VirtualLink
+from repro.errors import ModelError
+from repro.seeding import rng_from
+from repro.workload.presets import HIGH_LEVEL, WorkloadSpec
+
+__all__ = [
+    "star_venv",
+    "chain_venv",
+    "ring_venv",
+    "tree_venv",
+    "scale_free_venv",
+    "venv_from_graph",
+]
+
+
+def venv_from_graph(
+    graph: nx.Graph,
+    *,
+    workload: WorkloadSpec = HIGH_LEVEL,
+    seed: int | np.random.Generator | None = None,
+    name: str = "",
+    id_offset: int = 0,
+) -> VirtualEnvironment:
+    """Build a virtual environment from any networkx graph shape.
+
+    Nodes must be integers ``0..n-1`` (relabel first if not); guest and
+    link parameters are drawn from *workload*.  The general escape
+    hatch behind every overlay builder — pass your own topology.
+    """
+    n = graph.number_of_nodes()
+    if n < 1:
+        raise ModelError("overlay graph needs at least one node")
+    if set(graph.nodes) != set(range(n)):
+        raise ModelError("overlay graph nodes must be 0..n-1 (use nx.convert_node_labels_to_integers)")
+    rng = rng_from(seed)
+    venv = VirtualEnvironment(name=name or f"overlay-{n}")
+    vprocs = workload.vproc.sample(rng, n)
+    vmems = workload.vmem.sample_int(rng, n)
+    vstors = workload.vstor.sample(rng, n)
+    for i in range(n):
+        venv.add_guest(
+            Guest(
+                id=id_offset + i,
+                vproc=float(vprocs[i]),
+                vmem=int(vmems[i]),
+                vstor=float(vstors[i]),
+                name=f"vm{id_offset + i}",
+            )
+        )
+    edges = sorted((min(u, v), max(u, v)) for u, v in graph.edges)
+    if edges:
+        vbws = workload.vbw.sample(rng, len(edges))
+        vlats = workload.vlat.sample(rng, len(edges))
+        for j, (a, b) in enumerate(edges):
+            venv.add_vlink(
+                VirtualLink(
+                    id_offset + a, id_offset + b,
+                    vbw=float(vbws[j]), vlat=float(vlats[j]),
+                )
+            )
+    return venv
+
+
+def star_venv(
+    n_workers: int,
+    *,
+    workload: WorkloadSpec = HIGH_LEVEL,
+    seed: int | np.random.Generator | None = None,
+    name: str = "",
+) -> VirtualEnvironment:
+    """Master/worker overlay: guest 0 is the master, 1..n the workers.
+
+    The shape of a grid job submission system or a parameter-server —
+    all traffic converges on one guest, the stress case for the
+    Hosting stage's affinity rule (the master cannot co-locate with
+    everyone).
+    """
+    if n_workers < 1:
+        raise ModelError("a star overlay needs at least one worker")
+    return venv_from_graph(
+        nx.star_graph(n_workers), workload=workload, seed=seed,
+        name=name or f"star-{n_workers}",
+    )
+
+
+def chain_venv(
+    n_guests: int,
+    *,
+    workload: WorkloadSpec = HIGH_LEVEL,
+    seed: int | np.random.Generator | None = None,
+    name: str = "",
+) -> VirtualEnvironment:
+    """Pipeline overlay: 0 - 1 - ... - (n-1).
+
+    Stream-processing stages; the friendliest case for co-location
+    (every link can be made intra-host by placing consecutive stages
+    together).
+    """
+    if n_guests < 1:
+        raise ModelError("a chain overlay needs at least one guest")
+    return venv_from_graph(
+        nx.path_graph(n_guests), workload=workload, seed=seed,
+        name=name or f"chain-{n_guests}",
+    )
+
+
+def ring_venv(
+    n_guests: int,
+    *,
+    workload: WorkloadSpec = HIGH_LEVEL,
+    seed: int | np.random.Generator | None = None,
+    name: str = "",
+) -> VirtualEnvironment:
+    """Token-ring / Chord-like overlay: a cycle of *n_guests*."""
+    if n_guests < 3:
+        raise ModelError("a ring overlay needs at least three guests")
+    return venv_from_graph(
+        nx.cycle_graph(n_guests), workload=workload, seed=seed,
+        name=name or f"ring-{n_guests}",
+    )
+
+
+def tree_venv(
+    n_guests: int,
+    *,
+    fanout: int = 2,
+    workload: WorkloadSpec = HIGH_LEVEL,
+    seed: int | np.random.Generator | None = None,
+    name: str = "",
+) -> VirtualEnvironment:
+    """Aggregation-tree overlay: a complete *fanout*-ary tree truncated
+    to *n_guests* nodes (breadth-first ids, root 0)."""
+    if n_guests < 1:
+        raise ModelError("a tree overlay needs at least one guest")
+    if fanout < 1:
+        raise ModelError(f"fanout must be >= 1, got {fanout}")
+    g = nx.Graph()
+    g.add_nodes_from(range(n_guests))
+    for child in range(1, n_guests):
+        g.add_edge(child, (child - 1) // fanout)
+    return venv_from_graph(
+        g, workload=workload, seed=seed, name=name or f"tree-{n_guests}x{fanout}",
+    )
+
+
+def scale_free_venv(
+    n_guests: int,
+    *,
+    attachment: int = 2,
+    workload: WorkloadSpec = HIGH_LEVEL,
+    seed: int | np.random.Generator | None = None,
+    name: str = "",
+) -> VirtualEnvironment:
+    """Barabási–Albert scale-free overlay — the realistic P2P shape.
+
+    Preferential attachment with *attachment* edges per new node;
+    degree distribution follows a power law, so a few hub guests carry
+    most links.  Hubs are what makes P2P overlays hard to map: their
+    aggregate bandwidth cannot be fully co-located, exercising the
+    Networking stage where the paper's uniform graphs do not.
+    """
+    if n_guests < 2:
+        raise ModelError("a scale-free overlay needs at least two guests")
+    m = min(attachment, n_guests - 1)
+    graph = nx.barabasi_albert_graph(
+        n_guests, m, seed=int(rng_from(seed).integers(2**31 - 1))
+    )
+    return venv_from_graph(
+        graph, workload=workload, seed=seed, name=name or f"scale-free-{n_guests}",
+    )

@@ -1,0 +1,117 @@
+"""Workload specifications — the paper's two use cases (Section 5, Table 1).
+
+* :data:`HIGH_LEVEL` — "testing of high-level applications": full
+  software stacks (OS + middleware + application), so guests are
+  memory/storage-heavy and few per host.  Used for guest:host ratios
+  up to 10:1, virtual graph density 0.015-0.025.
+* :data:`LOW_LEVEL` — "testing of low-level applications" (e.g. P2P
+  protocols): minimal VMs, many per host.  Used for ratios 20:1-50:1,
+  density 0.01.
+
+All values are the paper's Table 1 numbers converted to base units
+(MIPS / MiB / GiB / Mbit/s / ms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ModelError
+from repro.units import gib_storage, kbps, mbps, mib, mips, ms
+from repro.workload.distributions import Range, SamplingMode
+
+__all__ = ["WorkloadSpec", "HIGH_LEVEL", "LOW_LEVEL", "workload_by_name"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """Distributional description of one class of virtual environments.
+
+    The generator (:func:`repro.workload.generate_virtual_environment`)
+    draws each guest's ``vproc``/``vmem``/``vstor`` and each virtual
+    link's ``vbw``/``vlat`` from these ranges.
+    """
+
+    name: str
+    vproc: Range
+    vmem: Range
+    vstor: Range
+    vbw: Range
+    vlat: Range
+    default_density: float
+    ratio_range: tuple[float, float]
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.default_density <= 1.0:
+            raise ModelError(f"default_density must be in (0, 1], got {self.default_density}")
+        lo, hi = self.ratio_range
+        if lo <= 0 or lo > hi:
+            raise ModelError(f"invalid ratio_range {self.ratio_range}")
+
+    def with_sampling_mode(self, mode: SamplingMode) -> "WorkloadSpec":
+        """The same spec with every resource range resampled under *mode*
+        (the paper's 'based in a normal distribution' reading)."""
+        return replace(
+            self,
+            vproc=self.vproc.with_mode(mode),
+            vmem=self.vmem.with_mode(mode),
+            vstor=self.vstor.with_mode(mode),
+            vbw=self.vbw.with_mode(mode),
+            vlat=self.vlat.with_mode(mode),
+        )
+
+    def scaled(self, factor: float, *, name: str | None = None) -> "WorkloadSpec":
+        """Guest resource demands scaled by *factor* (link demands kept);
+        used by stress benches to tighten or relax bin-packing."""
+        return replace(
+            self,
+            name=name or f"{self.name}-x{factor:g}",
+            vproc=self.vproc.scaled(factor),
+            vmem=self.vmem.scaled(factor),
+            vstor=self.vstor.scaled(factor),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: vproc {self.vproc} MIPS, vmem {self.vmem} MiB, "
+            f"vstor {self.vstor} GiB, vbw {self.vbw} Mbit/s, vlat {self.vlat} ms, "
+            f"density {self.default_density:g}, ratios {self.ratio_range[0]:g}:1-"
+            f"{self.ratio_range[1]:g}:1"
+        )
+
+
+#: Table 1, "High-level workload" column.
+HIGH_LEVEL = WorkloadSpec(
+    name="high-level",
+    vproc=Range(mips(50), mips(100)),
+    vmem=Range(mib(128), mib(256)),
+    vstor=Range(gib_storage(100), gib_storage(200)),
+    vbw=Range(mbps(0.5), mbps(1.0)),
+    vlat=Range(ms(30), ms(60)),
+    default_density=0.02,
+    ratio_range=(2.5, 10.0),
+)
+
+#: Table 1, "Low-level workload" column.
+LOW_LEVEL = WorkloadSpec(
+    name="low-level",
+    vproc=Range(mips(19), mips(38)),
+    vmem=Range(mib(19), mib(38)),
+    vstor=Range(gib_storage(19), gib_storage(38)),
+    vbw=Range(kbps(87), kbps(175)),
+    vlat=Range(ms(30), ms(60)),
+    default_density=0.01,
+    ratio_range=(20.0, 50.0),
+)
+
+_BY_NAME = {HIGH_LEVEL.name: HIGH_LEVEL, LOW_LEVEL.name: LOW_LEVEL}
+
+
+def workload_by_name(name: str) -> WorkloadSpec:
+    """Look up a built-in workload spec by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown workload {name!r}; available: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,80 @@
+"""The paper's full experiment grid (Section 5.1-5.2).
+
+Sixteen scenarios, each run against both 40-host clusters:
+
+* twelve **high-level** rows — ratios {2.5, 5, 7.5, 10}:1 at densities
+  {0.015, 0.02, 0.025} (grouped by density, as the tables are printed);
+* four **low-level** rows — ratios {20, 30, 40, 50}:1 at density 0.01.
+
+"In each test, the cluster topology has been built with the same set
+of hosts" — :func:`paper_clusters` therefore draws one host set and
+threads it through both topology generators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cluster import PhysicalCluster
+from repro.seeding import rng_from
+from repro.topology.heterogeneity import random_hosts
+from repro.topology.switched import switched_cluster
+from repro.topology.torus import torus_cluster
+from repro.workload.presets import HIGH_LEVEL, LOW_LEVEL
+from repro.workload.scenario import Scenario
+
+__all__ = [
+    "HIGH_LEVEL_RATIOS",
+    "HIGH_LEVEL_DENSITIES",
+    "LOW_LEVEL_RATIOS",
+    "LOW_LEVEL_DENSITY",
+    "PAPER_N_HOSTS",
+    "PAPER_REPETITIONS",
+    "paper_scenarios",
+    "paper_clusters",
+]
+
+HIGH_LEVEL_RATIOS = (2.5, 5.0, 7.5, 10.0)
+HIGH_LEVEL_DENSITIES = (0.015, 0.02, 0.025)
+LOW_LEVEL_RATIOS = (20.0, 30.0, 40.0, 50.0)
+LOW_LEVEL_DENSITY = 0.01
+
+#: Table 1: 40 hosts in both clusters.
+PAPER_N_HOSTS = 40
+#: Section 5.2: every scenario simulated 30 times.
+PAPER_REPETITIONS = 30
+
+
+def paper_scenarios() -> list[Scenario]:
+    """The sixteen table rows, in the order the paper prints them."""
+    rows: list[Scenario] = []
+    for density in HIGH_LEVEL_DENSITIES:
+        for ratio in HIGH_LEVEL_RATIOS:
+            rows.append(Scenario(ratio=ratio, density=density, workload=HIGH_LEVEL))
+    for ratio in LOW_LEVEL_RATIOS:
+        rows.append(Scenario(ratio=ratio, density=LOW_LEVEL_DENSITY, workload=LOW_LEVEL))
+    return rows
+
+
+def paper_clusters(
+    seed: int | np.random.Generator | None = None,
+    *,
+    n_hosts: int = PAPER_N_HOSTS,
+) -> dict[str, PhysicalCluster]:
+    """Both evaluation clusters over one shared random host set.
+
+    Returns ``{"torus": <5x8-ish torus>, "switched": <cascaded switch
+    fabric>}``.  For a non-default *n_hosts* the torus uses the most
+    square ``rows x cols`` factorization.
+    """
+    rng = rng_from(seed)
+    hosts = random_hosts(n_hosts, rng=rng)
+
+    rows = int(np.sqrt(n_hosts))
+    while rows > 1 and n_hosts % rows:
+        rows -= 1
+    cols = n_hosts // rows
+    return {
+        "torus": torus_cluster(rows, cols, hosts=hosts, name=f"paper-torus-{n_hosts}"),
+        "switched": switched_cluster(n_hosts, hosts=hosts, name=f"paper-switched-{n_hosts}"),
+    }

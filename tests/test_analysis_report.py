@@ -1,0 +1,72 @@
+"""Unit tests for repro.analysis.report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import describe_mapping, host_table, link_hotspots
+from repro.core import Guest, Mapping, VirtualEnvironment, VirtualLink
+from repro.hmn import hmn_map
+from repro.topology import paper_torus
+from repro.workload import HIGH_LEVEL, generate_virtual_environment
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cluster = paper_torus(seed=95)
+    venv = generate_virtual_environment(50, workload=HIGH_LEVEL, seed=96)
+    mapping = hmn_map(cluster, venv)
+    return cluster, venv, mapping
+
+
+class TestHostTable:
+    def test_covers_only_used_hosts(self, setup):
+        cluster, venv, mapping = setup
+        table = host_table(cluster, venv, mapping)
+        lines = table.splitlines()
+        assert len(lines) == 1 + len(mapping.hosts_used())
+        assert "guests" in lines[0]
+
+    def test_guest_counts_match(self, setup):
+        cluster, venv, mapping = setup
+        table = host_table(cluster, venv, mapping)
+        total = sum(int(line.split()[1]) for line in table.splitlines()[1:])
+        assert total == venv.n_guests
+
+
+class TestLinkHotspots:
+    def test_ranked_by_utilization(self, setup):
+        cluster, venv, mapping = setup
+        text = link_hotspots(cluster, venv, mapping, top=3)
+        lines = text.splitlines()
+        assert len(lines) <= 4
+        utils = [float(line.split()[-1].rstrip("%")) for line in lines[1:]]
+        assert utils == sorted(utils, reverse=True)
+
+    def test_all_colocated_message(self, line3):
+        venv = VirtualEnvironment.from_parts(
+            [Guest(0, 1.0, 1, 1.0), Guest(1, 1.0, 1, 1.0)],
+            [VirtualLink(0, 1, vbw=1.0, vlat=50.0)],
+        )
+        mapping = Mapping(assignments={0: 0, 1: 0}, paths={(0, 1): (0,)})
+        assert "co-located" in link_hotspots(line3, venv, mapping)
+
+
+class TestDescribeMapping:
+    def test_sections_present(self, setup):
+        cluster, venv, mapping = setup
+        text = describe_mapping(cluster, venv, mapping)
+        assert "objective (Eq. 10)" in text
+        assert "water-filling floor" in text
+        assert "paths:" in text
+        assert "stages:" in text
+        assert "link hot spots" in text
+
+    def test_all_colocated_variant(self, line3):
+        venv = VirtualEnvironment.from_parts(
+            [Guest(0, 1.0, 1, 1.0), Guest(1, 1.0, 1, 1.0)],
+            [VirtualLink(0, 1, vbw=1.0, vlat=50.0)],
+        )
+        mapping = Mapping(assignments={0: 0, 1: 0}, paths={(0, 1): (0,)})
+        text = describe_mapping(line3, venv, mapping)
+        assert "everything co-located" in text

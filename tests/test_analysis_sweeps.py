@@ -1,0 +1,127 @@
+"""Unit tests for the sweep harness (repro.analysis.sweeps) and the
+fat-tree topology added alongside it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_sweep, sweep_scenarios
+from repro.errors import ModelError
+from repro.workload import HIGH_LEVEL, Scenario, paper_clusters
+
+
+@pytest.fixture(scope="module")
+def ratio_sweep():
+    return sweep_scenarios(
+        lambda seed: paper_clusters(seed, n_hosts=8),
+        axis=[2.5, 5.0],
+        make_scenario=lambda r: Scenario(ratio=r, density=0.1, workload=HIGH_LEVEL),
+        mappers=["hmn", "random+astar"],
+        reps=2,
+        base_seed=4,
+        axis_name="ratio",
+    )
+
+
+class TestSweep:
+    def test_points_and_records(self, ratio_sweep):
+        assert set(ratio_sweep.points) == {2.5, 5.0}
+        # 2 axis x 2 reps x 2 clusters x 2 mappers
+        assert len(ratio_sweep.records) == 16
+        assert ratio_sweep.clusters == ("torus", "switched")
+
+    def test_series_sorted_by_axis(self, ratio_sweep):
+        series = ratio_sweep.series("hmn", "torus", lambda c: c.mean_objective)
+        assert [x for x, _ in series] == [2.5, 5.0]
+        assert all(v is None or v >= 0 for _, v in series)
+
+    def test_hmn_dominates_on_every_point(self, ratio_sweep):
+        hmn = dict(ratio_sweep.series("hmn", "torus", lambda c: c.mean_objective))
+        ra = dict(ratio_sweep.series("random+astar", "torus", lambda c: c.mean_objective))
+        for x in ratio_sweep.points:
+            if hmn[x] is not None and ra[x] is not None:
+                assert hmn[x] <= ra[x] + 1e-9
+
+    def test_failure_series(self, ratio_sweep):
+        series = ratio_sweep.failure_series("hmn", "torus")
+        assert all(0.0 <= frac <= 1.0 for _, frac in series)
+
+    def test_render(self, ratio_sweep):
+        text = render_sweep(
+            ratio_sweep, value=lambda c: c.mean_objective, title="objective"
+        )
+        assert "objective" in text
+        assert "[torus]" in text and "[switched]" in text
+        assert "hmn" in text
+
+    def test_render_single_cluster(self, ratio_sweep):
+        text = render_sweep(
+            ratio_sweep, value=lambda c: c.mean_objective, cluster="torus"
+        )
+        assert "[torus]" in text and "[switched]" not in text
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ModelError):
+            sweep_scenarios(
+                lambda seed: paper_clusters(seed, n_hosts=8),
+                axis=[],
+                make_scenario=lambda r: Scenario(ratio=r, density=0.1, workload=HIGH_LEVEL),
+                mappers=["hmn"],
+            )
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ModelError, match="duplicate"):
+            sweep_scenarios(
+                lambda seed: paper_clusters(seed, n_hosts=8),
+                axis=[1.0, 2.0],
+                make_scenario=lambda r: Scenario(ratio=5, density=0.1, workload=HIGH_LEVEL),
+                mappers=["hmn"],
+            )
+
+
+class TestFatTree:
+    def test_structure(self):
+        import networkx as nx
+
+        from repro.topology import fat_tree_cluster
+
+        ft = fat_tree_cluster(4, seed=5)
+        assert ft.n_hosts == 16
+        assert ft.n_switches == 20  # 4 core + 4 pods x (2 agg + 2 edge)
+        assert ft.n_links == 48
+        assert ft.is_connected()
+        g = nx.Graph((l.u, l.v) for l in ft.links())
+        paths = list(nx.all_shortest_paths(g, ft.host_ids[0], ft.host_ids[15]))
+        assert len(paths) == 4  # (k/2)^2 cross-pod multiplicity
+
+    def test_invalid_arity(self):
+        from repro.topology import fat_tree_cluster
+
+        with pytest.raises(ModelError):
+            fat_tree_cluster(3)
+        with pytest.raises(ModelError):
+            fat_tree_cluster(0)
+        with pytest.raises(ModelError):
+            fat_tree_cluster(18)
+
+    def test_mappable(self):
+        from repro.core import validate_mapping
+        from repro.hmn import HMNConfig, hmn_map
+        from repro.topology import fat_tree_cluster
+        from repro.workload import generate_virtual_environment
+
+        ft = fat_tree_cluster(4, seed=5)
+        venv = generate_virtual_environment(40, workload=HIGH_LEVEL, density=0.08, seed=6)
+        mapping = hmn_map(ft, venv, HMNConfig(router="label_setting"))
+        validate_mapping(ft, venv, mapping)
+        # hosts only on edge switches; all paths run host-edge-...-host
+        for nodes in mapping.paths.values():
+            if len(nodes) > 1:
+                assert all(ft.is_switch(n) for n in nodes[1:-1])
+
+    def test_oversubscribed_core(self):
+        from repro.topology import fat_tree_cluster
+
+        ft = fat_tree_cluster(4, seed=5, core_bw=100.0)
+        assert ft.link("p0a0", "core0").bw == 100.0
+        assert ft.link("p0e0", "p0a0").bw == 1000.0

@@ -1,0 +1,139 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv: str) -> tuple[int, str, str]:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestGenerators:
+    def test_gen_cluster_torus(self, tmp_path, capsys):
+        out = tmp_path / "c.json"
+        code, stdout, _ = run(capsys, "gen-cluster", str(out), "--hosts", "12", "--seed", "3")
+        assert code == 0
+        assert "torus" in stdout
+        data = json.loads(out.read_text())
+        assert data["format"] == "repro/cluster@1"
+        assert len(data["hosts"]) == 12
+
+    @pytest.mark.parametrize(
+        "topology", ["switched", "ring", "line", "star", "tree", "hypercube", "mesh", "random"]
+    )
+    def test_gen_cluster_all_topologies(self, tmp_path, capsys, topology):
+        out = tmp_path / "c.json"
+        code, _, _ = run(
+            capsys, "gen-cluster", str(out), "--topology", topology, "--hosts", "8"
+        )
+        assert code == 0
+        assert json.loads(out.read_text())["hosts"]
+
+    def test_gen_venv(self, tmp_path, capsys):
+        out = tmp_path / "v.json"
+        code, stdout, _ = run(
+            capsys, "gen-venv", str(out), "--guests", "20", "--workload", "low-level"
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["format"] == "repro/venv@1"
+        assert len(data["guests"]) == 20
+
+
+class TestMapAndSimulate:
+    @pytest.fixture
+    def testbed(self, tmp_path, capsys):
+        c = tmp_path / "c.json"
+        v = tmp_path / "v.json"
+        run(capsys, "gen-cluster", str(c), "--hosts", "12", "--seed", "3")
+        run(capsys, "gen-venv", str(v), "--guests", "24", "--seed", "4")
+        return c, v
+
+    def test_map_prints_report_and_saves(self, tmp_path, capsys, testbed):
+        c, v = testbed
+        m = tmp_path / "m.json"
+        code, stdout, _ = run(capsys, "map", str(c), str(v), "--output", str(m))
+        assert code == 0
+        assert "objective (Eq. 10)" in stdout
+        assert "link hot spots" in stdout
+        assert json.loads(m.read_text())["format"] == "repro/mapping@1"
+
+    def test_map_quiet(self, tmp_path, capsys, testbed):
+        c, v = testbed
+        code, stdout, _ = run(capsys, "map", str(c), str(v), "--quiet")
+        assert code == 0
+        assert "objective" not in stdout
+
+    def test_map_with_pool_mapper(self, tmp_path, capsys, testbed):
+        c, v = testbed
+        code, _, _ = run(capsys, "map", str(c), str(v), "--mapper", "consolidation", "--quiet")
+        assert code == 0
+
+    def test_map_unknown_mapper(self, capsys, testbed):
+        c, v = testbed
+        code, _, stderr = run(capsys, "map", str(c), str(v), "--mapper", "quantum")
+        assert code == 2
+        assert "unknown mapper" in stderr
+
+    def test_map_failure_exit_code(self, tmp_path, capsys):
+        c = tmp_path / "c.json"
+        v = tmp_path / "v.json"
+        run(capsys, "gen-cluster", str(c), "--hosts", "2", "--topology", "line")
+        run(capsys, "gen-venv", str(v), "--guests", "200")
+        code, _, stderr = run(capsys, "map", str(c), str(v))
+        assert code == 1
+        assert "mapping failed" in stderr
+
+    def test_simulate_two_phase_and_bsp(self, tmp_path, capsys, testbed):
+        c, v = testbed
+        m = tmp_path / "m.json"
+        run(capsys, "map", str(c), str(v), "--quiet", "--output", str(m))
+        code, stdout, _ = run(capsys, "simulate", str(c), str(v), str(m))
+        assert code == 0
+        assert "simulated execution time" in stdout
+        code, stdout, _ = run(
+            capsys, "simulate", str(c), str(v), str(m), "--model", "bsp", "--rounds", "3"
+        )
+        assert code == 0
+        assert "simulated execution time" in stdout
+
+    def test_validate_ok_and_broken(self, tmp_path, capsys, testbed):
+        c, v = testbed
+        m = tmp_path / "m.json"
+        run(capsys, "map", str(c), str(v), "--quiet", "--output", str(m))
+        code, stdout, _ = run(capsys, "validate", str(c), str(v), str(m))
+        assert code == 0
+        assert "valid mapping" in stdout
+        # corrupt the mapping: drop a guest
+        data = json.loads(m.read_text())
+        data["assignments"].popitem()
+        m.write_text(json.dumps(data))
+        code, stdout, _ = run(capsys, "validate", str(c), str(v), str(m))
+        assert code == 1
+        assert "eq1" in stdout
+
+    def test_wrong_document_kind(self, tmp_path, capsys, testbed):
+        c, v = testbed
+        code, _, stderr = run(capsys, "map", str(v), str(c))
+        assert code == 2
+        assert "expected" in stderr
+
+
+class TestInfoCommands:
+    def test_mappers_lists_pool(self, capsys):
+        code, stdout, _ = run(capsys, "mappers")
+        assert code == 0
+        names = stdout.split()
+        for expected in ("hmn", "random", "random+astar", "hosting+search", "consolidation"):
+            assert expected in names
+
+    def test_parser_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["teleport"])

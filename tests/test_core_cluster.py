@@ -1,0 +1,146 @@
+"""Unit tests for repro.core.cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Host, PhysicalCluster, PhysicalLink
+from repro.errors import DuplicateNodeError, ModelError, UnknownNodeError
+
+
+def mk_host(i: int, proc: float = 1000.0) -> Host:
+    return Host(i, proc=proc, mem=1024, stor=1024.0)
+
+
+class TestConstruction:
+    def test_add_host_and_lookup(self):
+        c = PhysicalCluster()
+        c.add_host(mk_host(0))
+        assert c.host(0).id == 0
+        assert c.is_host(0)
+        assert 0 in c
+
+    def test_duplicate_host_rejected(self):
+        c = PhysicalCluster()
+        c.add_host(mk_host(0))
+        with pytest.raises(DuplicateNodeError):
+            c.add_host(mk_host(0))
+
+    def test_switch_is_not_host(self):
+        c = PhysicalCluster()
+        c.add_switch("sw0")
+        assert c.is_switch("sw0")
+        assert not c.is_host("sw0")
+        with pytest.raises(UnknownNodeError):
+            c.host("sw0")
+
+    def test_switch_host_id_collision_rejected(self):
+        c = PhysicalCluster()
+        c.add_host(mk_host(0))
+        with pytest.raises(DuplicateNodeError):
+            c.add_switch(0)
+
+    def test_link_requires_existing_endpoints(self):
+        c = PhysicalCluster()
+        c.add_host(mk_host(0))
+        with pytest.raises(UnknownNodeError):
+            c.connect(0, 99, bw=1.0, lat=1.0)
+
+    def test_duplicate_link_rejected_either_direction(self):
+        c = PhysicalCluster()
+        c.add_host(mk_host(0))
+        c.add_host(mk_host(1))
+        c.connect(0, 1, bw=1.0, lat=1.0)
+        with pytest.raises(DuplicateNodeError):
+            c.add_link(PhysicalLink(1, 0, bw=2.0, lat=2.0))
+
+    def test_from_parts(self, line3):
+        rebuilt = PhysicalCluster.from_parts(
+            line3.hosts(), line3.links(), name="copy"
+        )
+        assert rebuilt.n_hosts == 3 and rebuilt.n_links == 2
+
+
+class TestAccessors:
+    def test_node_id_ordering(self, star4):
+        assert star4.host_ids == (0, 1, 2, 3)
+        assert star4.switch_ids == ("hub",)
+        assert star4.node_ids == (0, 1, 2, 3, "hub")
+
+    def test_neighbors_and_degree(self, line3):
+        assert set(line3.neighbors(1)) == {0, 2}
+        assert line3.degree(1) == 2
+        assert line3.degree(0) == 1
+        with pytest.raises(UnknownNodeError):
+            line3.neighbors(42)
+
+    def test_link_lookup_symmetric(self, line3):
+        assert line3.link(0, 1) is line3.link(1, 0)
+        assert line3.has_link(1, 0)
+        assert not line3.has_link(0, 2)
+
+    def test_counts(self, star4):
+        assert star4.n_hosts == 4
+        assert star4.n_switches == 1
+        assert star4.n_nodes == 5
+        assert star4.n_links == 4
+
+
+class TestPaperSemantics:
+    def test_intra_host_bandwidth_is_infinite(self, line3):
+        assert line3.bandwidth(1, 1) == float("inf")
+
+    def test_intra_host_latency_is_zero(self, line3):
+        assert line3.latency(2, 2) == 0.0
+
+    def test_inter_host_values(self, line3):
+        assert line3.bandwidth(0, 1) == 1000.0
+        assert line3.latency(0, 1) == 5.0
+
+    def test_missing_link_raises(self, line3):
+        with pytest.raises(UnknownNodeError):
+            line3.bandwidth(0, 2)
+
+    def test_totals(self, line3):
+        assert line3.total_proc() == 6000.0
+        assert line3.total_mem() == 3072 + 2048 + 1024
+        assert line3.total_stor() == pytest.approx(3072.0 + 2048.0 + 1024.0)
+
+
+class TestDerived:
+    def test_connectivity(self, line3):
+        assert line3.is_connected()
+        lonely = PhysicalCluster()
+        lonely.add_host(mk_host(0))
+        lonely.add_host(mk_host(1))
+        assert not lonely.is_connected()
+
+    def test_empty_cluster_is_connected(self):
+        assert PhysicalCluster().is_connected()
+
+    def test_graph_view_is_readonly(self, line3):
+        view = line3.graph
+        with pytest.raises(Exception):
+            view.add_node(99)
+
+    def test_copy_is_independent(self, line3):
+        clone = line3.copy()
+        clone.add_host(mk_host(9))
+        assert 9 in clone and 9 not in line3
+
+    def test_vmm_overhead_absolute(self, line3):
+        reduced = line3.with_vmm_overhead(proc=100.0, mem=512, stor=24.0)
+        assert reduced.host(0).proc == 2900.0
+        assert reduced.host(0).mem == 3072 - 512
+        assert reduced.host(2).stor == pytest.approx(1000.0)
+        # topology preserved
+        assert reduced.n_links == line3.n_links
+
+    def test_vmm_overhead_fraction(self, line3):
+        reduced = line3.with_vmm_overhead(proc_fraction=0.1)
+        assert reduced.host(0).proc == pytest.approx(2700.0)
+        assert reduced.host(2).proc == pytest.approx(900.0)
+
+    def test_vmm_overhead_fraction_bounds(self, line3):
+        with pytest.raises(ModelError):
+            line3.with_vmm_overhead(proc_fraction=1.0)

@@ -1,0 +1,78 @@
+"""Unit tests for repro.core.host."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Host
+from repro.errors import ModelError
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        h = Host(7, proc=1500.0, mem=2048, stor=1024.0, name="n7")
+        assert h.id == 7
+        assert h.proc == 1500.0
+        assert h.mem == 2048
+        assert h.stor == 1024.0
+        assert h.name == "n7"
+
+    def test_mem_accepts_integral_float(self):
+        assert Host(0, proc=1.0, mem=2048.0, stor=1.0).mem == 2048
+        assert isinstance(Host(0, proc=1.0, mem=2048.0, stor=1.0).mem, int)
+
+    def test_mem_rejects_fractional(self):
+        with pytest.raises(ModelError, match="mem must be an integer"):
+            Host(0, proc=1.0, mem=2048.5, stor=1.0)
+
+    def test_zero_or_negative_proc_rejected(self):
+        with pytest.raises(ModelError, match="proc must be positive"):
+            Host(0, proc=0.0, mem=1, stor=1.0)
+        with pytest.raises(ModelError, match="proc must be positive"):
+            Host(0, proc=-5.0, mem=1, stor=1.0)
+
+    def test_negative_mem_and_stor_rejected(self):
+        with pytest.raises(ModelError):
+            Host(0, proc=1.0, mem=-1, stor=1.0)
+        with pytest.raises(ModelError):
+            Host(0, proc=1.0, mem=1, stor=-1.0)
+
+    def test_zero_mem_and_stor_allowed(self):
+        h = Host(0, proc=1.0, mem=0, stor=0.0)
+        assert h.mem == 0 and h.stor == 0.0
+
+    def test_immutability(self):
+        h = Host(0, proc=1.0, mem=1, stor=1.0)
+        with pytest.raises(AttributeError):
+            h.proc = 99.0
+
+    def test_equality_ignores_name(self):
+        assert Host(0, 1.0, 1, 1.0, name="a") == Host(0, 1.0, 1, 1.0, name="b")
+
+
+class TestDerivedCopies:
+    def test_scaled(self):
+        h = Host(0, proc=1000.0, mem=2000, stor=3000.0)
+        s = h.scaled(proc=0.5, mem=0.5, stor=2.0)
+        assert s.proc == 500.0
+        assert s.mem == 1000
+        assert s.stor == 6000.0
+        assert s.id == 0
+
+    def test_reduced_vmm_overhead(self):
+        h = Host(0, proc=1000.0, mem=2048, stor=100.0)
+        r = h.reduced(proc=100.0, mem=512, stor=10.0)
+        assert (r.proc, r.mem, r.stor) == (900.0, 1536, 90.0)
+
+    def test_reduced_rejects_underflow(self):
+        h = Host(0, proc=1000.0, mem=100, stor=10.0)
+        with pytest.raises(ModelError, match="memory overhead"):
+            h.reduced(mem=200)
+        with pytest.raises(ModelError, match="storage overhead"):
+            h.reduced(stor=20.0)
+        with pytest.raises(ModelError, match="CPU overhead"):
+            h.reduced(proc=1000.0)
+
+    def test_describe_mentions_units(self):
+        text = Host(0, proc=2000.0, mem=2048, stor=2048.0).describe()
+        assert "MIPS" in text and "GiB" in text

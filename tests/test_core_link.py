@@ -1,0 +1,58 @@
+"""Unit tests for repro.core.link (and edge_key canonicalization)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PhysicalLink, edge_key
+from repro.errors import ModelError
+
+
+class TestEdgeKey:
+    def test_symmetric_ints(self):
+        assert edge_key(3, 7) == edge_key(7, 3) == (3, 7)
+
+    def test_symmetric_strings(self):
+        assert edge_key("sw1", "sw0") == edge_key("sw0", "sw1") == ("sw0", "sw1")
+
+    def test_mixed_types_are_stable(self):
+        # Hosts are ints, switches strings; both orders must agree.
+        assert edge_key(5, "sw0") == edge_key("sw0", 5)
+
+    def test_distinct_edges_distinct_keys(self):
+        assert edge_key(0, 1) != edge_key(0, 2)
+        assert edge_key(1, "sw0") != edge_key(2, "sw0")
+
+
+class TestPhysicalLink:
+    def test_canonical_endpoint_order(self):
+        a = PhysicalLink(4, 2, bw=10.0, lat=1.0)
+        b = PhysicalLink(2, 4, bw=10.0, lat=1.0)
+        assert a == b
+        assert a.key == (2, 4)
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ModelError, match="self-link"):
+            PhysicalLink(1, 1, bw=10.0, lat=1.0)
+
+    def test_nonpositive_bw_rejected(self):
+        with pytest.raises(ModelError, match="bw must be positive"):
+            PhysicalLink(0, 1, bw=0.0, lat=1.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ModelError, match="lat must be non-negative"):
+            PhysicalLink(0, 1, bw=1.0, lat=-0.1)
+
+    def test_zero_latency_allowed(self):
+        assert PhysicalLink(0, 1, bw=1.0, lat=0.0).lat == 0.0
+
+    def test_other_endpoint(self):
+        link = PhysicalLink(0, 1, bw=1.0, lat=1.0)
+        assert link.other(0) == 1
+        assert link.other(1) == 0
+        with pytest.raises(ModelError, match="not an endpoint"):
+            link.other(2)
+
+    def test_describe(self):
+        text = PhysicalLink(0, 1, bw=1000.0, lat=5.0).describe()
+        assert "Gbps" in text and "ms" in text

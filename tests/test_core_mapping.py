@@ -1,0 +1,90 @@
+"""Unit tests for repro.core.mapping (Mapping, StageReport)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Mapping, StageReport
+from repro.errors import ModelError
+
+
+@pytest.fixture
+def mapping(line3, venv_triangle) -> Mapping:
+    return Mapping(
+        assignments={0: 0, 1: 0, 2: 2},
+        paths={(0, 1): (0,), (1, 2): (0, 1, 2), (0, 2): (0, 1, 2)},
+        mapper="manual",
+        stages=(
+            StageReport("hosting", 0.010, {"placements": 3}),
+            StageReport("networking", 0.020, {"links_routed": 2}),
+        ),
+        meta={"note": "test"},
+    )
+
+
+class TestLookups:
+    def test_host_of(self, mapping):
+        assert mapping.host_of(1) == 0
+        with pytest.raises(ModelError):
+            mapping.host_of(42)
+
+    def test_path_for_symmetric(self, mapping):
+        assert mapping.path_for(2, 1) == (0, 1, 2)
+        with pytest.raises(ModelError):
+            mapping.path_for(5, 6)
+
+    def test_paths_keys_canonicalized(self):
+        m = Mapping(assignments={0: 0, 1: 1}, paths={(1, 0): (1, 0)})
+        assert (0, 1) in m.paths
+
+    def test_guests_on_and_hosts_used(self, mapping):
+        assert mapping.guests_on(0) == (0, 1)
+        assert mapping.guests_on(1) == ()
+        assert mapping.hosts_used() == (0, 2)
+
+    def test_counts(self, mapping):
+        assert mapping.n_guests == 3
+        assert mapping.n_paths == 3
+        assert mapping.n_colocated() == 1
+        assert mapping.total_hops() == 4
+
+
+class TestDerivedMetrics:
+    def test_objective(self, mapping, line3, venv_triangle):
+        import numpy as np
+
+        # host0 residual: 3000 - 100 - 80; host1: 2000; host2: 1000 - 60
+        expected = float(np.std([2820.0, 2000.0, 940.0]))
+        assert mapping.objective(line3, venv_triangle) == pytest.approx(expected)
+
+    def test_edge_loads(self, mapping, venv_triangle):
+        loads = mapping.edge_loads(venv_triangle)
+        # links (1,2) vbw=20 and (0,2) vbw=10 both cross edges (0,1) and (1,2)
+        assert loads[(0, 1)] == pytest.approx(30.0)
+        assert loads[(1, 2)] == pytest.approx(30.0)
+
+    def test_path_latency(self, mapping, line3):
+        assert mapping.path_latency(line3, 1, 2) == pytest.approx(10.0)
+        assert mapping.path_latency(line3, 0, 1) == pytest.approx(0.0)
+
+    def test_stage_lookup(self, mapping):
+        assert mapping.stage("hosting").extra["placements"] == 3
+        with pytest.raises(ModelError):
+            mapping.stage("migration")
+
+    def test_total_elapsed(self, mapping):
+        assert mapping.total_elapsed_s == pytest.approx(0.030)
+
+
+class TestSerialization:
+    def test_roundtrip(self, mapping):
+        rebuilt = Mapping.from_dict(mapping.to_dict())
+        assert rebuilt.assignments == dict(mapping.assignments)
+        assert rebuilt.paths == dict(mapping.paths)
+        assert rebuilt.mapper == "manual"
+        assert rebuilt.meta["note"] == "test"
+        assert [s.name for s in rebuilt.stages] == ["hosting", "networking"]
+
+    def test_stage_report_str(self):
+        text = str(StageReport("hosting", 0.00249, {"placements": 100}))
+        assert "hosting" in text and "placements=100" in text

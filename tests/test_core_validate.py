@@ -1,0 +1,200 @@
+"""Unit tests for repro.core.validate — one test per constraint of
+Section 3.2, each driving exactly one violation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Guest,
+    Mapping,
+    VirtualEnvironment,
+    VirtualLink,
+    is_valid,
+    validate_mapping,
+)
+from repro.errors import ValidationError
+
+
+def mapping_ok():
+    """A valid mapping of venv_pair-like guests onto line3."""
+    return Mapping(assignments={0: 0, 1: 1}, paths={(0, 1): (0, 1)})
+
+
+@pytest.fixture
+def venv(venv_pair):
+    return venv_pair
+
+
+class TestValidMappings:
+    def test_inter_host(self, line3, venv):
+        assert is_valid(line3, venv, mapping_ok())
+
+    def test_colocated(self, line3, venv):
+        m = Mapping(assignments={0: 0, 1: 0}, paths={(0, 1): (0,)})
+        assert is_valid(line3, venv, m)
+
+    def test_reversed_path_direction_accepted(self, line3, venv):
+        m = Mapping(assignments={0: 0, 1: 1}, paths={(0, 1): (1, 0)})
+        assert is_valid(line3, venv, m)
+
+    def test_multi_hop(self, line3, venv):
+        m = Mapping(assignments={0: 0, 1: 2}, paths={(0, 1): (0, 1, 2)})
+        assert is_valid(line3, venv, m)
+
+    def test_raise_on_error_flag(self, line3, venv):
+        bad = Mapping(assignments={0: 0}, paths={})
+        with pytest.raises(ValidationError):
+            validate_mapping(line3, venv, bad)
+        report = validate_mapping(line3, venv, bad, raise_on_error=False)
+        assert not report.ok
+
+
+class TestEq1Partition:
+    def test_unmapped_guest(self, line3, venv):
+        m = Mapping(assignments={0: 0}, paths={(0, 1): (0, 1)})
+        report = validate_mapping(line3, venv, m, raise_on_error=False)
+        assert "eq1" in report.constraints_violated()
+
+    def test_phantom_guest(self, line3, venv):
+        m = Mapping(assignments={0: 0, 1: 1, 99: 2}, paths={(0, 1): (0, 1)})
+        report = validate_mapping(line3, venv, m, raise_on_error=False)
+        assert "eq1" in report.constraints_violated()
+
+    def test_guest_on_switch(self, star4, venv):
+        m = Mapping(assignments={0: 0, 1: "hub"}, paths={(0, 1): (0, "hub")})
+        report = validate_mapping(star4, venv, m, raise_on_error=False)
+        assert "eq1" in report.constraints_violated()
+
+
+class TestEq2Eq3Capacities:
+    def test_memory_overflow(self, line3):
+        v = VirtualEnvironment.from_parts(
+            [Guest(0, vproc=1.0, vmem=600, vstor=1.0), Guest(1, vproc=1.0, vmem=600, vstor=1.0)]
+        )
+        m = Mapping(assignments={0: 2, 1: 2}, paths={})
+        report = validate_mapping(line3, v, m, raise_on_error=False)
+        assert "eq2" in report.constraints_violated()
+
+    def test_storage_overflow(self, line3):
+        v = VirtualEnvironment.from_parts(
+            [Guest(0, vproc=1.0, vmem=1, vstor=600.0), Guest(1, vproc=1.0, vmem=1, vstor=600.0)]
+        )
+        m = Mapping(assignments={0: 2, 1: 2}, paths={})
+        report = validate_mapping(line3, v, m, raise_on_error=False)
+        assert "eq3" in report.constraints_violated()
+
+    def test_cpu_overcommit_is_not_a_violation(self, line3):
+        v = VirtualEnvironment.from_parts([Guest(0, vproc=99_999.0, vmem=1, vstor=1.0)])
+        m = Mapping(assignments={0: 2}, paths={})
+        assert is_valid(line3, v, m)
+
+    def test_exact_fit_is_valid(self, line3):
+        v = VirtualEnvironment.from_parts([Guest(0, vproc=1.0, vmem=1024, vstor=1024.0)])
+        m = Mapping(assignments={0: 2}, paths={})
+        assert is_valid(line3, v, m)
+
+
+class TestEq4To8Paths:
+    def test_missing_path(self, line3, venv):
+        m = Mapping(assignments={0: 0, 1: 1}, paths={})
+        report = validate_mapping(line3, venv, m, raise_on_error=False)
+        assert "eq4" in report.constraints_violated()
+
+    def test_path_for_unknown_link(self, line3, venv):
+        m = Mapping(
+            assignments={0: 0, 1: 1},
+            paths={(0, 1): (0, 1), (0, 9): (0, 1)},
+        )
+        report = validate_mapping(line3, venv, m, raise_on_error=False)
+        assert "eq4" in report.constraints_violated()
+
+    def test_wrong_origin(self, line3, venv):
+        m = Mapping(assignments={0: 0, 1: 2}, paths={(0, 1): (1, 2)})
+        report = validate_mapping(line3, venv, m, raise_on_error=False)
+        assert "eq4" in report.constraints_violated()
+
+    def test_wrong_destination(self, line3, venv):
+        m = Mapping(assignments={0: 0, 1: 2}, paths={(0, 1): (0, 1)})
+        report = validate_mapping(line3, venv, m, raise_on_error=False)
+        assert "eq5" in report.constraints_violated()
+
+    def test_nonexistent_physical_edge(self, line3, venv):
+        m = Mapping(assignments={0: 0, 1: 2}, paths={(0, 1): (0, 2)})
+        report = validate_mapping(line3, venv, m, raise_on_error=False)
+        assert "eq6" in report.constraints_violated()
+
+    def test_loop_detected(self, diamond, venv):
+        m = Mapping(assignments={0: 0, 1: 3}, paths={(0, 1): (0, 1, 3, 2, 0, 1, 3)})
+        report = validate_mapping(diamond, venv, m, raise_on_error=False)
+        assert "eq7" in report.constraints_violated()
+
+    def test_latency_bound(self, line3):
+        v = VirtualEnvironment.from_parts(
+            [Guest(0, vproc=1.0, vmem=1, vstor=1.0), Guest(1, vproc=1.0, vmem=1, vstor=1.0)],
+            [VirtualLink(0, 1, vbw=1.0, vlat=7.0)],  # two 5 ms hops exceed 7 ms
+        )
+        m = Mapping(assignments={0: 0, 1: 2}, paths={(0, 1): (0, 1, 2)})
+        report = validate_mapping(line3, v, m, raise_on_error=False)
+        assert "eq8" in report.constraints_violated()
+
+    def test_colocated_with_spurious_path(self, line3, venv):
+        m = Mapping(assignments={0: 0, 1: 0}, paths={(0, 1): (0, 1)})
+        report = validate_mapping(line3, venv, m, raise_on_error=False)
+        assert "eq4" in report.constraints_violated()
+
+    def test_empty_path(self, line3, venv):
+        m = Mapping(assignments={0: 0, 1: 1}, paths={(0, 1): ()})
+        report = validate_mapping(line3, venv, m, raise_on_error=False)
+        assert "eq4" in report.constraints_violated()
+
+
+class TestEq9Bandwidth:
+    def test_aggregate_overflow(self, line3):
+        guests = [Guest(i, vproc=1.0, vmem=1, vstor=1.0) for i in range(4)]
+        v = VirtualEnvironment.from_parts(
+            guests,
+            [
+                VirtualLink(0, 1, vbw=600.0, vlat=100.0),
+                VirtualLink(2, 3, vbw=600.0, vlat=100.0),
+            ],
+        )
+        # Both links share physical edge (0, 1): 1200 > 1000.
+        m = Mapping(
+            assignments={0: 0, 1: 1, 2: 0, 3: 1},
+            paths={(0, 1): (0, 1), (2, 3): (0, 1)},
+        )
+        report = validate_mapping(line3, v, m, raise_on_error=False)
+        assert "eq9" in report.constraints_violated()
+
+    def test_aggregate_exactly_at_capacity(self, line3):
+        guests = [Guest(i, vproc=1.0, vmem=1, vstor=1.0) for i in range(4)]
+        v = VirtualEnvironment.from_parts(
+            guests,
+            [
+                VirtualLink(0, 1, vbw=500.0, vlat=100.0),
+                VirtualLink(2, 3, vbw=500.0, vlat=100.0),
+            ],
+        )
+        m = Mapping(
+            assignments={0: 0, 1: 1, 2: 0, 3: 1},
+            paths={(0, 1): (0, 1), (2, 3): (0, 1)},
+        )
+        assert is_valid(line3, v, m)
+
+
+class TestReport:
+    def test_report_str_valid(self, line3, venv):
+        report = validate_mapping(line3, venv, mapping_ok(), raise_on_error=False)
+        assert "valid" in str(report)
+
+    def test_report_collects_all_violations(self, line3, venv):
+        bad = Mapping(assignments={}, paths={})
+        report = validate_mapping(line3, venv, bad, raise_on_error=False)
+        assert len(report.violations) >= 3  # 2 unmapped guests + missing path
+
+    def test_validation_error_names_constraint(self, line3, venv):
+        bad = Mapping(assignments={}, paths={})
+        with pytest.raises(ValidationError) as err:
+            validate_mapping(line3, venv, bad)
+        assert err.value.constraint == "eq1"

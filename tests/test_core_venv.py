@@ -1,0 +1,111 @@
+"""Unit tests for repro.core.guest, repro.core.vlink, repro.core.venv."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Guest, VirtualEnvironment, VirtualLink, vlink_key
+from repro.errors import DuplicateNodeError, ModelError, UnknownNodeError
+
+
+class TestGuest:
+    def test_fields(self):
+        g = Guest(3, vproc=75.0, vmem=192, vstor=150.0, name="vm3")
+        assert (g.id, g.vproc, g.vmem, g.vstor) == (3, 75.0, 192, 150.0)
+
+    def test_zero_vproc_allowed(self):
+        assert Guest(0, vproc=0.0, vmem=1, vstor=1.0).vproc == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelError):
+            Guest(0, vproc=-1.0, vmem=1, vstor=1.0)
+        with pytest.raises(ModelError):
+            Guest(0, vproc=1.0, vmem=-1, vstor=1.0)
+        with pytest.raises(ModelError):
+            Guest(0, vproc=1.0, vmem=1, vstor=-1.0)
+
+    def test_integral_float_mem(self):
+        assert Guest(0, vproc=1.0, vmem=128.0, vstor=1.0).vmem == 128
+
+
+class TestVirtualLink:
+    def test_key_canonical(self):
+        assert vlink_key(5, 2) == (2, 5)
+        link = VirtualLink(5, 2, vbw=1.0, vlat=10.0)
+        assert link.key == (2, 5)
+        assert link == VirtualLink(2, 5, vbw=1.0, vlat=10.0)
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ModelError):
+            VirtualLink(1, 1, vbw=1.0, vlat=1.0)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ModelError, match="vbw must be positive"):
+            VirtualLink(0, 1, vbw=0.0, vlat=1.0)
+
+    def test_zero_latency_bound_allowed(self):
+        # Forces co-location: only intra-host paths have zero latency.
+        assert VirtualLink(0, 1, vbw=1.0, vlat=0.0).vlat == 0.0
+
+    def test_other(self):
+        link = VirtualLink(0, 1, vbw=1.0, vlat=1.0)
+        assert link.other(0) == 1 and link.other(1) == 0
+        with pytest.raises(ModelError):
+            link.other(9)
+
+
+class TestVirtualEnvironment:
+    def test_add_and_lookup(self, venv_triangle):
+        assert venv_triangle.n_guests == 3
+        assert venv_triangle.n_vlinks == 3
+        assert venv_triangle.guest(1).vproc == 80.0
+        assert venv_triangle.vlink(2, 1).vbw == 20.0
+
+    def test_duplicate_guest_rejected(self, venv_pair):
+        with pytest.raises(DuplicateNodeError):
+            venv_pair.add_guest(Guest(0, vproc=1.0, vmem=1, vstor=1.0))
+
+    def test_vlink_requires_guests(self, venv_pair):
+        with pytest.raises(UnknownNodeError):
+            venv_pair.connect(0, 99, vbw=1.0, vlat=1.0)
+
+    def test_duplicate_vlink_rejected(self, venv_pair):
+        with pytest.raises(DuplicateNodeError):
+            venv_pair.connect(1, 0, vbw=9.0, vlat=9.0)
+
+    def test_vlinks_of_and_neighbors(self, venv_triangle):
+        incident = venv_triangle.vlinks_of(0)
+        assert {e.key for e in incident} == {(0, 1), (0, 2)}
+        assert set(venv_triangle.neighbors(0)) == {1, 2}
+        assert venv_triangle.degree(0) == 2
+
+    def test_aggregates(self, venv_triangle):
+        assert venv_triangle.total_vproc() == pytest.approx(240.0)
+        assert venv_triangle.total_vmem() == 768
+        assert venv_triangle.total_vstor() == pytest.approx(300.0)
+        assert venv_triangle.total_vbw() == pytest.approx(60.0)
+
+    def test_density(self, venv_triangle, venv_pair):
+        assert venv_triangle.density() == pytest.approx(1.0)  # complete K3
+        assert venv_pair.density() == pytest.approx(1.0)  # complete K2
+        lonely = VirtualEnvironment()
+        lonely.add_guest(Guest(0, vproc=1.0, vmem=1, vstor=1.0))
+        assert lonely.density() == 0.0
+
+    def test_connectivity(self, venv_triangle):
+        assert venv_triangle.is_connected()
+        v = VirtualEnvironment()
+        v.add_guest(Guest(0, vproc=1.0, vmem=1, vstor=1.0))
+        v.add_guest(Guest(1, vproc=1.0, vmem=1, vstor=1.0))
+        assert not v.is_connected()
+
+    def test_copy_is_independent(self, venv_pair):
+        clone = venv_pair.copy()
+        clone.add_guest(Guest(7, vproc=1.0, vmem=1, vstor=1.0))
+        assert 7 in clone and 7 not in venv_pair
+
+    def test_from_parts_roundtrip(self, venv_triangle):
+        rebuilt = VirtualEnvironment.from_parts(
+            venv_triangle.guests(), venv_triangle.vlinks()
+        )
+        assert rebuilt.n_guests == 3 and rebuilt.n_vlinks == 3

@@ -1,0 +1,30 @@
+"""Execute the doctests embedded in public docstrings.
+
+Keeps the inline examples in the API documentation honest — if a
+docstring example drifts from the implementation, this fails.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.core.objective
+import repro.simulator.engine
+import repro.workload.distributions
+import repro.workload.scenario
+
+MODULES = [
+    repro.core.objective,
+    repro.simulator.engine,
+    repro.workload.distributions,
+    repro.workload.scenario,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__}: no doctests collected"
+    assert result.failed == 0, f"{module.__name__}: {result.failed} doctest failure(s)"

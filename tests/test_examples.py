@@ -1,0 +1,34 @@
+"""Smoke-run every example script.
+
+Examples are documentation that executes; this keeps them from
+rotting.  Each runs as a subprocess with a generous timeout and must
+exit 0 with non-trivial stdout.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 5
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / example)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, f"{example} failed:\n{result.stderr[-2000:]}"
+    assert len(result.stdout) > 100, f"{example} produced almost no output"

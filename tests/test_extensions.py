@@ -1,0 +1,184 @@
+"""Unit tests for the extensions package (objectives, consolidation,
+selector) — the paper's Section 6 future-work features."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import get_mapper
+from repro.core import ClusterState, validate_mapping
+from repro.errors import MappingError, ModelError, PlacementError
+from repro.extensions import (
+    HostsUsed,
+    LoadBalance,
+    NetworkFootprint,
+    Weighted,
+    consolidation_map,
+    instance_features,
+    portfolio_map,
+    recommend_mapper,
+    run_draining,
+    run_packing,
+)
+from repro.hmn import hmn_map
+from repro.workload import (
+    HIGH_LEVEL,
+    LOW_LEVEL,
+    generate_virtual_environment,
+    paper_clusters,
+)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return paper_clusters(seed=61)["torus"]
+
+
+@pytest.fixture(scope="module")
+def venv(cluster):
+    return generate_virtual_environment(100, workload=HIGH_LEVEL, seed=62)
+
+
+class TestObjectives:
+    def test_load_balance_matches_eq10(self, cluster, venv):
+        mapping = hmn_map(cluster, venv)
+        assert LoadBalance().evaluate(cluster, venv, mapping) == pytest.approx(
+            mapping.objective(cluster, venv)
+        )
+
+    def test_hosts_used(self, cluster, venv):
+        mapping = hmn_map(cluster, venv)
+        assert HostsUsed().evaluate(cluster, venv, mapping) == len(mapping.hosts_used())
+
+    def test_network_footprint(self, cluster, venv):
+        mapping = hmn_map(cluster, venv)
+        footprint = NetworkFootprint().evaluate(cluster, venv, mapping)
+        assert footprint > 0
+        # equals the sum of per-edge loads
+        assert footprint == pytest.approx(sum(mapping.edge_loads(venv).values()))
+
+    def test_footprint_zero_iff_all_colocated(self, line3, venv_pair):
+        from repro.core import Mapping
+
+        m = Mapping(assignments={0: 0, 1: 0}, paths={(0, 1): (0,)})
+        assert NetworkFootprint().evaluate(line3, venv_pair, m) == 0.0
+
+    def test_weighted(self, cluster, venv):
+        mapping = hmn_map(cluster, venv)
+        combo = Weighted([(1.0, LoadBalance()), (100.0, HostsUsed())])
+        expected = mapping.objective(cluster, venv) + 100.0 * len(mapping.hosts_used())
+        assert combo.evaluate(cluster, venv, mapping) == pytest.approx(expected)
+
+    def test_weighted_validation(self):
+        with pytest.raises(ModelError):
+            Weighted([])
+        with pytest.raises(ModelError):
+            Weighted([(-1.0, LoadBalance())])
+
+
+class TestConsolidation:
+    def test_valid_mapping(self, cluster, venv):
+        mapping = consolidation_map(cluster, venv)
+        validate_mapping(cluster, venv, mapping)
+        assert mapping.mapper == "consolidation"
+        assert [s.name for s in mapping.stages] == ["packing", "draining", "networking"]
+
+    def test_uses_fewer_hosts_than_hmn(self, cluster, venv):
+        hmn = hmn_map(cluster, venv)
+        cons = consolidation_map(cluster, venv)
+        assert len(cons.hosts_used()) < len(hmn.hosts_used())
+        assert cons.meta["hosts_used"] == len(cons.hosts_used())
+
+    def test_footprint_is_near_lower_bound(self, cluster, venv):
+        """Host count can't go below ceil(demand / biggest-bins)."""
+        cons = consolidation_map(cluster, venv)
+        # crude bound: total memory demand over the largest host memories
+        mems = sorted((h.mem for h in cluster.hosts()), reverse=True)
+        demand = venv.total_vmem()
+        k, acc = 0, 0
+        while acc < demand:
+            acc += mems[k]
+            k += 1
+        assert len(cons.hosts_used()) <= 2 * k  # within 2x of the bin bound
+
+    def test_registered_in_pool(self, cluster, venv):
+        mapper = get_mapper("consolidation")
+        mapping = mapper(cluster, venv, seed=0)
+        validate_mapping(cluster, venv, mapping)
+        assert get_mapper("pack") is mapper
+
+    def test_packing_failure(self, line3):
+        venv = generate_virtual_environment(300, workload=HIGH_LEVEL, seed=5)
+        state = ClusterState(line3)
+        with pytest.raises(PlacementError):
+            run_packing(state, venv)
+
+    def test_draining_never_increases_hosts(self, cluster):
+        venv = generate_virtual_environment(60, workload=LOW_LEVEL, seed=8)
+        state = ClusterState(cluster)
+        run_packing(state, venv)
+        before = sum(1 for h in cluster.host_ids if state.guests_on(h))
+        run_draining(state, venv)
+        after = sum(1 for h in cluster.host_ids if state.guests_on(h))
+        assert after <= before
+
+    def test_deterministic(self, cluster, venv):
+        a = consolidation_map(cluster, venv)
+        b = consolidation_map(cluster, venv)
+        assert dict(a.assignments) == dict(b.assignments)
+
+
+class TestSelector:
+    def test_features(self, cluster, venv):
+        features = instance_features(cluster, venv)
+        assert features["ratio"] == pytest.approx(2.5)
+        assert 0 < features["mem_pressure"] < 1
+        assert features["path_diversity"] == cluster.n_links - cluster.n_nodes + 1
+        assert features["n_vlinks"] == venv.n_vlinks
+
+    def test_recommend_default_is_hmn(self, cluster, venv):
+        assert recommend_mapper(cluster, venv) == "hmn"
+
+    def test_recommend_consolidation_under_pressure(self, cluster):
+        tight = generate_virtual_environment(390, workload=HIGH_LEVEL, seed=9)
+        features = instance_features(cluster, tight)
+        if features["mem_pressure"] > 0.92:
+            assert recommend_mapper(cluster, tight) == "consolidation"
+
+    def test_portfolio_best_mode(self, cluster, venv):
+        result = portfolio_map(
+            cluster, venv, ["hmn", "consolidation"], objective=HostsUsed()
+        )
+        assert result.winner == "consolidation"
+        assert result.scores["hmn"] is not None
+        validate_mapping(cluster, venv, result.mapping)
+
+    def test_portfolio_first_mode(self, cluster, venv):
+        result = portfolio_map(
+            cluster, venv, ["hmn", "consolidation"], mode="first"
+        )
+        assert result.winner == "hmn"
+        assert "consolidation" not in result.scores
+
+    def test_portfolio_objective_default_is_eq10(self, cluster, venv):
+        result = portfolio_map(cluster, venv, ["hmn", "consolidation"])
+        assert result.winner == "hmn"  # HMN balances better
+
+    def test_portfolio_survives_candidate_failure(self, cluster):
+        # random walk fails on the torus at this scale; hmn succeeds
+        venv = generate_virtual_environment(600, workload=LOW_LEVEL, seed=3)
+        result = portfolio_map(
+            cluster, venv, ["random", "hmn"],
+            mapper_kwargs={"random": {"max_tries": 2, "walk_attempts": 2}},
+        )
+        assert result.winner == "hmn"
+        assert result.scores["random"] is None
+
+    def test_portfolio_all_fail(self, line3):
+        venv = generate_virtual_environment(300, workload=HIGH_LEVEL, seed=5)
+        with pytest.raises(MappingError):
+            portfolio_map(line3, venv, ["hmn", "consolidation"])
+
+    def test_empty_portfolio_rejected(self, cluster, venv):
+        with pytest.raises(ModelError):
+            portfolio_map(cluster, venv, [])

@@ -1,0 +1,134 @@
+"""Tests for the admission-control simulation (extensions.admission)
+and the transactional shared-state guarantee it relies on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClusterState
+from repro.errors import MappingError, ModelError
+from repro.extensions import simulate_admissions
+from repro.hmn import hmn_map
+from repro.workload import LOW_LEVEL, generate_virtual_environment, paper_clusters
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    # Small cluster keeps routing cheap; admission dynamics are the same.
+    return paper_clusters(seed=141, n_hosts=12)["torus"]
+
+
+def make_small(i, rng):
+    n = int(rng.integers(20, 50))
+    return generate_virtual_environment(
+        n, workload=LOW_LEVEL, density=0.05,
+        seed=int(rng.integers(2**31 - 1)), id_offset=i * 100_000,
+    )
+
+
+def make_big(i, rng):
+    n = int(rng.integers(150, 250))
+    return generate_virtual_environment(
+        n, workload=LOW_LEVEL, density=0.05,
+        seed=int(rng.integers(2**31 - 1)), id_offset=i * 100_000,
+    )
+
+
+class TestTransactionalSharedState:
+    def test_failed_mapping_leaves_shared_state_untouched(self, cluster):
+        state = ClusterState(cluster)
+        first = generate_virtual_environment(
+            100, workload=LOW_LEVEL, density=0.05, seed=1, id_offset=0
+        )
+        hmn_map(cluster, first, state=state)
+        placed_before = state.n_placed
+        bw_before = dict(state.bw_table)
+        objective_before = state.objective()
+
+        # An impossible tenant: more memory than the whole cluster.
+        from repro.core import Guest, VirtualEnvironment, VirtualLink
+
+        impossible = VirtualEnvironment()
+        for i in range(50):
+            impossible.add_guest(Guest(10_000 + i, vproc=10.0, vmem=3073, vstor=10.0))
+        impossible.add_vlink(VirtualLink(10_000, 10_001, vbw=0.1, vlat=50.0))
+        with pytest.raises(MappingError):
+            hmn_map(cluster, impossible, state=state)
+
+        assert state.n_placed == placed_before
+        assert dict(state.bw_table) == bw_before
+        assert state.objective() == pytest.approx(objective_before)
+
+    def test_restore_from_other_cluster_rejected(self, cluster):
+        other = paper_clusters(seed=999)["torus"]
+        with pytest.raises(ModelError):
+            ClusterState(cluster).restore_from(ClusterState(other))
+
+    def test_restore_preserves_live_reference(self, cluster):
+        state = ClusterState(cluster)
+        snap = state.copy()
+        venv = generate_virtual_environment(
+            50, workload=LOW_LEVEL, density=0.05, seed=2
+        )
+        hmn_map(cluster, venv, state=state)
+        state.restore_from(snap)
+        assert state.n_placed == 0
+        # the same object keeps working after restore
+        hmn_map(cluster, venv, state=state)
+        assert state.n_placed == 50
+
+
+class TestAdmissionSimulation:
+    def test_light_load_accepts_everyone(self, cluster):
+        result = simulate_admissions(
+            cluster, n_tenants=15, make_venv=make_small, mean_lifetime=2.0, seed=7
+        )
+        assert result.acceptance_ratio == 1.0
+        assert result.rejected == 0
+        assert len(result.events) == 15
+        assert all(e.admitted for e in result.events)
+
+    def test_heavy_load_rejects_some(self, cluster):
+        result = simulate_admissions(
+            cluster, n_tenants=25, make_venv=make_big, mean_lifetime=15.0, seed=7
+        )
+        assert result.rejected > 0
+        assert 0.0 < result.acceptance_ratio < 1.0
+        rejected_events = [e for e in result.events if not e.admitted]
+        assert all(e.failure for e in rejected_events)
+
+    def test_acceptance_monotone_in_lifetime(self, cluster):
+        ratios = []
+        for lifetime in (2.0, 8.0, 20.0):
+            result = simulate_admissions(
+                cluster, n_tenants=25, make_venv=make_big,
+                mean_lifetime=lifetime, seed=7,
+            )
+            ratios.append(result.acceptance_ratio)
+        assert ratios[0] >= ratios[-1]
+
+    def test_deterministic(self, cluster):
+        a = simulate_admissions(
+            cluster, n_tenants=20, make_venv=make_small, mean_lifetime=5.0, seed=11
+        )
+        b = simulate_admissions(
+            cluster, n_tenants=20, make_venv=make_small, mean_lifetime=5.0, seed=11
+        )
+        assert a.events == b.events
+
+    def test_validation(self, cluster):
+        with pytest.raises(ModelError):
+            simulate_admissions(cluster, n_tenants=0, make_venv=make_small)
+        with pytest.raises(ModelError):
+            simulate_admissions(
+                cluster, n_tenants=1, make_venv=make_small, mean_lifetime=0.0
+            )
+
+    def test_departures_free_capacity(self, cluster):
+        """With lifetime 1 every tenant departs before the next arrives:
+        even big tenants must all be admitted."""
+        result = simulate_admissions(
+            cluster, n_tenants=10, make_venv=make_big, mean_lifetime=1.0, seed=3
+        )
+        assert result.acceptance_ratio == 1.0
+        assert result.peak_concurrent_tenants <= 1

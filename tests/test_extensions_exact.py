@@ -1,0 +1,140 @@
+"""Tests for the exact branch-and-bound mapper (extensions.exact)."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Guest,
+    Host,
+    PhysicalCluster,
+    VirtualEnvironment,
+    VirtualLink,
+    balance_lower_bound,
+    objective_of_assignment,
+    validate_mapping,
+)
+from repro.errors import MappingError, ModelError
+from repro.extensions import exact_map
+from repro.hmn import hmn_map
+from repro.topology import random_hosts, torus_cluster
+from repro.workload import HIGH_LEVEL, generate_virtual_environment
+
+
+def brute_force_optimum(cluster, venv):
+    """Literal enumeration over every feasible assignment."""
+    best = math.inf
+    hosts = list(cluster.host_ids)
+    guests = list(venv.guests())
+    for combo in itertools.product(hosts, repeat=len(guests)):
+        mem = {h: 0 for h in hosts}
+        stor = {h: 0.0 for h in hosts}
+        ok = True
+        for g, h in zip(guests, combo):
+            mem[h] += g.vmem
+            stor[h] += g.vstor
+            if mem[h] > cluster.host(h).mem or stor[h] > cluster.host(h).stor:
+                ok = False
+                break
+        if not ok:
+            continue
+        assignment = {g.id: h for g, h in zip(guests, combo)}
+        best = min(best, objective_of_assignment(cluster, venv, assignment))
+    return best
+
+
+@st.composite
+def tiny_instance(draw):
+    n_hosts = draw(st.integers(2, 3))
+    n_guests = draw(st.integers(2, 6))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    cluster = PhysicalCluster()
+    for i in range(n_hosts):
+        cluster.add_host(
+            Host(i, proc=float(rng.uniform(500, 3000)),
+                 mem=int(rng.uniform(512, 2048)), stor=10_000.0)
+        )
+    for i in range(n_hosts - 1):
+        cluster.connect(i, i + 1, bw=1000.0, lat=5.0)
+    venv = VirtualEnvironment()
+    for g in range(n_guests):
+        venv.add_guest(
+            Guest(g, vproc=float(rng.uniform(50, 400)),
+                  vmem=int(rng.uniform(64, 512)), vstor=10.0)
+        )
+    for g in range(1, n_guests):
+        venv.add_vlink(VirtualLink(g, int(rng.integers(g)), vbw=1.0, vlat=100.0))
+    return cluster, venv
+
+
+class TestExactness:
+    @settings(max_examples=25, deadline=None)
+    @given(tiny_instance())
+    def test_matches_brute_force(self, instance):
+        cluster, venv = instance
+        reference = brute_force_optimum(cluster, venv)
+        try:
+            mapping = exact_map(cluster, venv)
+        except MappingError:
+            assert reference == math.inf
+            return
+        assert mapping.meta["objective"] == pytest.approx(reference, rel=1e-9)
+        validate_mapping(cluster, venv, mapping)
+
+    @settings(max_examples=20, deadline=None)
+    @given(tiny_instance())
+    def test_sandwich_ordering(self, instance):
+        """water-fill bound <= exact <= HMN on every feasible instance."""
+        cluster, venv = instance
+        try:
+            opt = exact_map(cluster, venv)
+        except MappingError:
+            return
+        bound = balance_lower_bound(cluster, venv.total_vproc())
+        assert bound <= opt.meta["objective"] + 1e-9
+        try:
+            hmn = hmn_map(cluster, venv)
+        except MappingError:
+            return
+        assert opt.meta["objective"] <= hmn.meta["objective"] + 1e-9
+
+
+class TestGuards:
+    def test_too_large_rejected(self):
+        cluster = torus_cluster(5, 8, seed=1)
+        venv = generate_virtual_environment(100, workload=HIGH_LEVEL, seed=2)
+        with pytest.raises(ModelError, match="too large"):
+            exact_map(cluster, venv)
+
+    def test_infeasible_instance(self):
+        cluster = PhysicalCluster.from_parts(
+            [Host(0, proc=1000.0, mem=100, stor=100.0)]
+        )
+        venv = VirtualEnvironment.from_parts(
+            [Guest(0, vproc=1.0, vmem=200, vstor=1.0)]
+        )
+        with pytest.raises(MappingError):
+            exact_map(cluster, venv)
+
+    def test_registered_in_pool(self):
+        from repro.baselines import get_mapper
+
+        cluster = torus_cluster(2, 2, hosts=random_hosts(4, rng=3))
+        venv = generate_virtual_environment(6, workload=HIGH_LEVEL, density=0.3, seed=4)
+        mapping = get_mapper("exact")(cluster, venv, seed=0)
+        validate_mapping(cluster, venv, mapping)
+        assert mapping.mapper == "exact"
+
+    def test_stage_reports(self):
+        cluster = torus_cluster(2, 2, hosts=random_hosts(4, rng=3))
+        venv = generate_virtual_environment(6, workload=HIGH_LEVEL, density=0.3, seed=4)
+        mapping = exact_map(cluster, venv)
+        assert [s.name for s in mapping.stages] == ["search", "networking"]
+        assert mapping.stage("search").extra["nodes_explored"] > 0

@@ -1,0 +1,178 @@
+"""Unit + property tests for incremental remapping (extensions.remap)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Guest, VirtualLink, validate_mapping
+from repro.errors import ModelError, PlacementError
+from repro.extensions import evacuate_host, extend_mapping
+from repro.hmn import hmn_map
+from repro.workload import HIGH_LEVEL, generate_virtual_environment, paper_clusters
+
+
+@pytest.fixture(scope="module")
+def base():
+    cluster = paper_clusters(seed=101)["torus"]
+    venv = generate_virtual_environment(80, workload=HIGH_LEVEL, seed=102)
+    mapping = hmn_map(cluster, venv)
+    return cluster, venv, mapping
+
+
+def grow(venv, n_new: int, seed: int):
+    grown = venv.copy()
+    rng = np.random.default_rng(seed)
+    start = max(venv.guest_ids) + 1
+    for i in range(start, start + n_new):
+        grown.add_guest(
+            Guest(
+                i,
+                vproc=float(rng.uniform(50, 100)),
+                vmem=int(rng.uniform(128, 256)),
+                vstor=float(rng.uniform(100, 200)),
+            )
+        )
+        peer = int(rng.choice(venv.guest_ids))
+        grown.add_vlink(
+            VirtualLink(i, peer, vbw=float(rng.uniform(0.5, 1.0)), vlat=float(rng.uniform(30, 60)))
+        )
+    return grown
+
+
+class TestExtend:
+    def test_valid_and_pinned(self, base):
+        cluster, venv, mapping = base
+        grown = grow(venv, 20, seed=5)
+        new_mapping, summary = extend_mapping(cluster, grown, mapping)
+        validate_mapping(cluster, grown, new_mapping)
+        # every old guest keeps its host
+        for gid in venv.guest_ids:
+            assert new_mapping.host_of(gid) == mapping.host_of(gid)
+        # every old link between old guests keeps its path
+        for key, nodes in mapping.paths.items():
+            assert new_mapping.paths[key] == nodes
+        assert len(summary.guests_placed) == 20
+        assert summary.guests_kept == 80
+
+    def test_new_links_between_old_guests(self, base):
+        """Growing can add links between already-placed guests; those
+        must be routed even though both endpoints are pinned."""
+        cluster, venv, mapping = base
+        grown = venv.copy()
+        ids = venv.guest_ids
+        added = []
+        for a, b in [(ids[0], ids[40]), (ids[3], ids[50])]:
+            if not grown.has_vlink(a, b):
+                grown.add_vlink(VirtualLink(a, b, vbw=0.7, vlat=55.0))
+                added.append((min(a, b), max(a, b)))
+        new_mapping, summary = extend_mapping(cluster, grown, mapping)
+        validate_mapping(cluster, grown, new_mapping)
+        for key in added:
+            assert key in new_mapping.paths
+            assert key in summary.links_rerouted
+
+    def test_idempotent_when_nothing_new(self, base):
+        cluster, venv, mapping = base
+        new_mapping, summary = extend_mapping(cluster, venv, mapping)
+        assert dict(new_mapping.assignments) == dict(mapping.assignments)
+        assert dict(new_mapping.paths) == dict(mapping.paths)
+        assert summary.guests_placed == ()
+        assert summary.links_rerouted == ()
+
+    def test_rejects_shrunk_venv(self, base):
+        cluster, venv, mapping = base
+        shrunk = generate_virtual_environment(10, workload=HIGH_LEVEL, seed=1)
+        with pytest.raises(ModelError, match="absent"):
+            extend_mapping(cluster, shrunk, mapping)
+
+    def test_overflow_fails_cleanly(self, base):
+        cluster, venv, mapping = base
+        grown = venv.copy()
+        start = max(venv.guest_ids) + 1
+        for i in range(start, start + 200):  # far beyond remaining memory
+            grown.add_guest(Guest(i, vproc=50.0, vmem=2048, vstor=100.0))
+        grown.add_vlink(VirtualLink(start, venv.guest_ids[0], vbw=0.5, vlat=50.0))
+        with pytest.raises(PlacementError):
+            extend_mapping(cluster, grown, mapping)
+
+    def test_repeated_growth(self, base):
+        """Grow twice; validity and pinning hold transitively."""
+        cluster, venv, mapping = base
+        g1 = grow(venv, 10, seed=6)
+        m1, _ = extend_mapping(cluster, g1, mapping)
+        g2 = grow(g1, 10, seed=7)
+        m2, _ = extend_mapping(cluster, g2, m1)
+        validate_mapping(cluster, g2, m2)
+        for gid in venv.guest_ids:
+            assert m2.host_of(gid) == mapping.host_of(gid)
+
+
+class TestEvacuate:
+    def test_host_emptied_and_valid(self, base):
+        cluster, venv, mapping = base
+        victim = max(set(mapping.assignments.values()),
+                     key=lambda h: len(mapping.guests_on(h)))
+        new_mapping, summary = evacuate_host(cluster, venv, mapping, victim)
+        validate_mapping(cluster, venv, new_mapping)
+        assert victim not in new_mapping.hosts_used()
+        assert set(summary.guests_placed) == set(mapping.guests_on(victim))
+
+    def test_untouched_guests_stay(self, base):
+        cluster, venv, mapping = base
+        victim = mapping.hosts_used()[0]
+        displaced = set(mapping.guests_on(victim))
+        new_mapping, _ = evacuate_host(cluster, venv, mapping, victim)
+        for gid in venv.guest_ids:
+            if gid not in displaced:
+                assert new_mapping.host_of(gid) == mapping.host_of(gid)
+
+    def test_dead_host_carries_nothing(self, base):
+        """Dead semantics: after evacuation no guest and no path touches
+        the failed host — including links that merely transited it."""
+        cluster, venv, mapping = base
+        interior_hosts = set()
+        for nodes in mapping.paths.values():
+            interior_hosts.update(n for n in nodes[1:-1] if cluster.is_host(n))
+        if not interior_hosts:
+            pytest.skip("no transit host in this mapping")
+        victim = sorted(interior_hosts, key=str)[0]
+        new_mapping, summary = evacuate_host(cluster, venv, mapping, victim, dead=True)
+        validate_mapping(cluster, venv, new_mapping)
+        assert victim not in new_mapping.hosts_used()
+        for nodes in new_mapping.paths.values():
+            assert victim not in nodes
+
+    def test_drain_keeps_transit_paths(self, base):
+        """Drain semantics: transit-only paths stay in place."""
+        cluster, venv, mapping = base
+        interior_hosts = set()
+        transit_keys: dict = {}
+        for key, nodes in mapping.paths.items():
+            for n in nodes[1:-1]:
+                if cluster.is_host(n):
+                    interior_hosts.add(n)
+                    transit_keys.setdefault(n, key)
+        if not interior_hosts:
+            pytest.skip("no transit host in this mapping")
+        victim = sorted(interior_hosts, key=str)[0]
+        displaced = set(mapping.guests_on(victim))
+        key = next(
+            k for k, nodes in mapping.paths.items()
+            if victim in nodes[1:-1] and k[0] not in displaced and k[1] not in displaced
+        )
+        new_mapping, _ = evacuate_host(cluster, venv, mapping, victim, dead=False)
+        validate_mapping(cluster, venv, new_mapping)
+        assert new_mapping.paths[key] == mapping.paths[key]
+
+    def test_unknown_host_rejected(self, base):
+        cluster, venv, mapping = base
+        with pytest.raises(ModelError):
+            evacuate_host(cluster, venv, mapping, 999)
+
+    def test_evacuating_empty_host_is_noop_for_guests(self, base):
+        cluster, venv, mapping = base
+        empty = next(h for h in cluster.host_ids if h not in mapping.hosts_used())
+        new_mapping, summary = evacuate_host(cluster, venv, mapping, empty)
+        assert summary.guests_placed == ()
+        assert dict(new_mapping.assignments) == dict(mapping.assignments)

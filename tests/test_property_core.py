@@ -1,0 +1,196 @@
+"""Property-based tests (hypothesis) for the core data structures.
+
+Invariants covered:
+
+* ClusterState conservation — any interleaving of place/unplace/
+  reserve/release operations conserves resources exactly, and the
+  incremental objective always equals a from-scratch recomputation;
+* edge/vlink key canonicalization is a proper equivalence;
+* the water-filling bound never exceeds any achievable objective.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ClusterState,
+    Guest,
+    Host,
+    PhysicalCluster,
+    VirtualEnvironment,
+    balance_lower_bound,
+    edge_key,
+    load_balance_factor,
+    objective_of_assignment,
+    vlink_key,
+)
+from repro.core.objective import ResidualCpuTracker
+from repro.errors import CapacityError
+
+
+hosts_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=100.0, max_value=5000.0),  # proc
+        st.integers(min_value=64, max_value=8192),  # mem
+        st.floats(min_value=10.0, max_value=5000.0),  # stor
+    ),
+    min_size=2,
+    max_size=8,
+)
+
+guests_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=500.0),  # vproc
+        st.integers(min_value=1, max_value=512),  # vmem
+        st.floats(min_value=0.1, max_value=200.0),  # vstor
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def build_cluster(specs) -> PhysicalCluster:
+    c = PhysicalCluster()
+    for i, (proc, mem, stor) in enumerate(specs):
+        c.add_host(Host(i, proc=proc, mem=mem, stor=stor))
+    for i in range(len(specs) - 1):
+        c.connect(i, i + 1, bw=1000.0, lat=5.0)
+    return c
+
+
+class TestKeyCanonicalization:
+    @given(st.integers(), st.integers())
+    def test_edge_key_symmetric(self, a, b):
+        if a != b:
+            assert edge_key(a, b) == edge_key(b, a)
+            assert set(edge_key(a, b)) == {a, b}
+
+    @given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=0, max_value=10**6))
+    def test_vlink_key_sorted(self, a, b):
+        k = vlink_key(a, b)
+        assert k[0] <= k[1]
+        assert vlink_key(*k) == k
+
+
+class TestStateConservation:
+    @settings(max_examples=60, deadline=None)
+    @given(hosts_strategy, guests_strategy, st.randoms(use_true_random=False))
+    def test_place_unplace_trace_conserves(self, host_specs, guest_specs, pyrandom):
+        cluster = build_cluster(host_specs)
+        state = ClusterState(cluster)
+        guests = [Guest(i, vproc=p, vmem=m, vstor=s) for i, (p, m, s) in enumerate(guest_specs)]
+        venv = VirtualEnvironment.from_parts(guests)
+
+        placed: set[int] = set()
+        for _ in range(60):
+            action = pyrandom.random()
+            if action < 0.6 and len(placed) < len(guests):
+                gid = pyrandom.choice([g.id for g in guests if g.id not in placed])
+                host = pyrandom.choice(list(cluster.host_ids))
+                try:
+                    state.place(venv.guest(gid), host)
+                    placed.add(gid)
+                except CapacityError:
+                    pass
+            elif placed:
+                gid = pyrandom.choice(sorted(placed))
+                state.unplace(gid)
+                placed.discard(gid)
+
+        # Invariant 1: hard residuals match recomputation and never go negative.
+        for h in cluster.hosts():
+            used_mem = sum(venv.guest(g).vmem for g in state.guests_on(h.id))
+            used_stor = sum(venv.guest(g).vstor for g in state.guests_on(h.id))
+            assert state.residual_mem(h.id) == h.mem - used_mem
+            assert state.residual_mem(h.id) >= 0
+            assert math.isclose(state.residual_stor(h.id), h.stor - used_stor, abs_tol=1e-6)
+            assert state.residual_stor(h.id) >= -1e-6
+
+        # Invariant 2: incremental objective equals direct recomputation.
+        direct = objective_of_assignment(cluster, venv, state.assignments)
+        assert math.isclose(state.objective(), direct, rel_tol=1e-9, abs_tol=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=100.0, max_value=900.0), min_size=2, max_size=6),
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5), st.floats(1.0, 200.0)),
+            min_size=0,
+            max_size=30,
+        ),
+    )
+    def test_reserve_release_trace_conserves(self, bws, ops):
+        cluster = PhysicalCluster()
+        n = len(bws) + 1
+        for i in range(n):
+            cluster.add_host(Host(i, proc=1.0, mem=1, stor=1.0))
+        for i, bw in enumerate(bws):
+            cluster.connect(i, i + 1, bw=bw, lat=1.0)
+        state = ClusterState(cluster)
+        active: list[tuple[list[int], float]] = []
+        for a, b, amount in ops:
+            a, b = a % n, b % n
+            if a == b:
+                continue
+            lo, hi = min(a, b), max(a, b)
+            nodes = list(range(lo, hi + 1))
+            if state.can_reserve(nodes, amount):
+                state.reserve_path(nodes, amount)
+                active.append((nodes, amount))
+            elif active:
+                nodes, amount = active.pop()
+                state.release_path(nodes, amount)
+        # Residuals match explicit recomputation from the active set.
+        loads: dict[tuple[int, int], float] = {}
+        for nodes, amount in active:
+            for u, v in zip(nodes, nodes[1:]):
+                loads[(u, v)] = loads.get((u, v), 0.0) + amount
+        for link in cluster.links():
+            expected = link.bw - loads.get(link.key, 0.0)
+            assert math.isclose(state.residual_bw(*link.key), expected, abs_tol=1e-6)
+            assert state.residual_bw(*link.key) >= -1e-6
+
+
+class TestTrackerProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=-1000.0, max_value=5000.0), min_size=1, max_size=10),
+        st.lists(st.tuples(st.integers(0, 9), st.floats(-300.0, 300.0)), max_size=40),
+    )
+    def test_tracker_equals_numpy(self, initial, deltas):
+        residuals = {i: v for i, v in enumerate(initial)}
+        tracker = ResidualCpuTracker(residuals)
+        shadow = dict(residuals)
+        for idx, delta in deltas:
+            host = idx % len(initial)
+            tracker.apply_demand(host, delta)
+            shadow[host] -= delta
+        expected = float(np.std(list(shadow.values())))
+        # The running sum-of-squares form cancels to ~ulp * magnitude^2;
+        # bound the tolerance by the data scale rather than absolutely.
+        scale = max(abs(v) for v in shadow.values()) or 1.0
+        assert math.isclose(tracker.std(), expected, rel_tol=1e-6, abs_tol=1e-9 * scale)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=5000.0), min_size=2, max_size=10),
+        st.floats(min_value=0.0, max_value=20000.0),
+    )
+    def test_waterfill_bound_vs_any_split(self, caps, demand):
+        cluster = PhysicalCluster.from_parts(
+            Host(i, proc=max(c, 1.0), mem=1, stor=1.0) for i, c in enumerate(caps)
+        )
+        bound = balance_lower_bound(cluster, demand)
+        # any proportional split achieves >= bound
+        total = cluster.total_proc()
+        residuals = [h.proc - demand * (h.proc / total) for h in cluster.hosts()]
+        assert bound <= load_balance_factor(residuals) + 1e-6
+        # even split too
+        n = cluster.n_hosts
+        residuals = [h.proc - demand / n for h in cluster.hosts()]
+        assert bound <= load_balance_factor(residuals) + 1e-6

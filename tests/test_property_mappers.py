@@ -1,0 +1,197 @@
+"""Property-based tests for the mappers.
+
+The master invariant: **whatever a mapper returns satisfies every
+problem constraint** (Eqs. 1-9), across random clusters, workloads and
+seeds; failures must be MappingError subclasses, never invalid
+mappings or foreign exceptions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import PAPER_MAPPERS, get_mapper
+from repro.core import validate_mapping
+from repro.errors import MappingError
+from repro.hmn import HMNConfig, hmn_map
+from repro.topology import (
+    mesh_cluster,
+    random_cluster,
+    ring_cluster,
+    switched_cluster,
+    torus_cluster,
+    tree_cluster,
+)
+from repro.workload import HIGH_LEVEL, LOW_LEVEL, generate_virtual_environment
+
+
+TOPOLOGY_BUILDERS = (
+    lambda seed: torus_cluster(3, 4, seed=seed),
+    lambda seed: switched_cluster(12, seed=seed),
+    lambda seed: ring_cluster(10, seed=seed),
+    lambda seed: mesh_cluster(3, 4, seed=seed),
+    lambda seed: tree_cluster(12, hosts_per_leaf=4, seed=seed),
+    lambda seed: random_cluster(12, density=0.25, seed=seed),
+)
+
+
+@st.composite
+def mapping_instance(draw):
+    topo_idx = draw(st.integers(0, len(TOPOLOGY_BUILDERS) - 1))
+    cluster_seed = draw(st.integers(0, 10_000))
+    venv_seed = draw(st.integers(0, 10_000))
+    n_guests = draw(st.integers(2, 40))
+    workload = draw(st.sampled_from([HIGH_LEVEL, LOW_LEVEL]))
+    density = draw(st.sampled_from([0.05, 0.1, 0.3]))
+    cluster = TOPOLOGY_BUILDERS[topo_idx](cluster_seed)
+    venv = generate_virtual_environment(
+        n_guests, workload=workload, density=density, seed=venv_seed
+    )
+    return cluster, venv
+
+
+class TestMapperSoundness:
+    @settings(max_examples=30, deadline=None)
+    @given(mapping_instance(), st.integers(0, 10_000))
+    def test_hmn_output_always_valid(self, instance, seed):
+        cluster, venv = instance
+        try:
+            mapping = hmn_map(cluster, venv)
+        except MappingError:
+            return
+        report = validate_mapping(cluster, venv, mapping, raise_on_error=False)
+        assert report.ok, str(report)
+
+    @settings(max_examples=15, deadline=None)
+    @given(mapping_instance(), st.integers(0, 10_000), st.sampled_from(PAPER_MAPPERS))
+    def test_every_mapper_output_valid_or_mapping_error(self, instance, seed, mapper_name):
+        cluster, venv = instance
+        mapper = get_mapper(mapper_name)
+        try:
+            mapping = mapper(cluster, venv, seed=seed, **(
+                {"max_tries": 3} if mapper_name != "hmn" else {}
+            ))
+        except MappingError:
+            return
+        report = validate_mapping(cluster, venv, mapping, raise_on_error=False)
+        assert report.ok, f"{mapper_name}: {report}"
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        mapping_instance(),
+        st.sampled_from(["vbw_desc", "vbw_asc", "random"]),
+        st.sampled_from(["min_intra_bw", "max_vproc", "random"]),
+        st.sampled_from(["loaded_min_residual", "strict_min_residual", "max_usage"]),
+        st.booleans(),
+        st.sampled_from(["bottleneck", "latency"]),
+    )
+    def test_hmn_valid_under_any_config(
+        self, instance, link_order, policy, origin, exhaustive, metric
+    ):
+        cluster, venv = instance
+        config = HMNConfig(
+            link_order=link_order,
+            migration_policy=policy,
+            migration_origin=origin,
+            migration_exhaustive=exhaustive,
+            routing_metric=metric,
+            seed=7,
+        )
+        try:
+            mapping = hmn_map(cluster, venv, config)
+        except MappingError:
+            return
+        report = validate_mapping(cluster, venv, mapping, raise_on_error=False)
+        assert report.ok, f"{config}: {report}"
+
+
+class TestExtensionMappers:
+    @settings(max_examples=12, deadline=None)
+    @given(mapping_instance())
+    def test_consolidation_valid_and_never_more_hosts(self, instance):
+        from repro.extensions import consolidation_map
+
+        cluster, venv = instance
+        try:
+            cons = consolidation_map(cluster, venv)
+            hmn = hmn_map(cluster, venv)
+        except MappingError:
+            return
+        report = validate_mapping(cluster, venv, cons, raise_on_error=False)
+        assert report.ok, str(report)
+        assert len(cons.hosts_used()) <= len(hmn.hosts_used())
+
+    @settings(max_examples=10, deadline=None)
+    @given(mapping_instance(), st.integers(0, 10_000))
+    def test_portfolio_result_valid(self, instance, seed):
+        from repro.extensions import portfolio_map
+
+        cluster, venv = instance
+        try:
+            result = portfolio_map(
+                cluster, venv, ["hmn", "consolidation"], seed=seed
+            )
+        except MappingError:
+            return
+        report = validate_mapping(cluster, venv, result.mapping, raise_on_error=False)
+        assert report.ok, str(report)
+        assert result.winner in ("hmn", "consolidation")
+        assert result.score == min(v for v in result.scores.values() if v is not None)
+
+
+class TestRemapProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(mapping_instance(), st.integers(0, 10_000))
+    def test_evacuation_always_valid(self, instance, seed):
+        import numpy as np
+
+        from repro.extensions import evacuate_host
+
+        cluster, venv = instance
+        try:
+            mapping = hmn_map(cluster, venv)
+        except MappingError:
+            return
+        used = mapping.hosts_used()
+        if len(used) < 2:
+            return
+        victim = used[int(np.random.default_rng(seed).integers(len(used)))]
+        try:
+            new_mapping, summary = evacuate_host(cluster, venv, mapping, victim)
+        except MappingError:
+            return  # survivors genuinely cannot absorb the load
+        report = validate_mapping(cluster, venv, new_mapping, raise_on_error=False)
+        assert report.ok, str(report)
+        assert victim not in new_mapping.hosts_used()
+        for nodes in new_mapping.paths.values():
+            assert victim not in nodes
+
+
+class TestMapperDeterminismAndSeeds:
+    @settings(max_examples=10, deadline=None)
+    @given(mapping_instance(), st.integers(0, 10_000))
+    def test_seeded_baselines_reproducible(self, instance, seed):
+        cluster, venv = instance
+        mapper = get_mapper("random+astar")
+        try:
+            a = mapper(cluster, venv, seed=seed, max_tries=3)
+            b = mapper(cluster, venv, seed=seed, max_tries=3)
+        except MappingError:
+            return
+        assert dict(a.assignments) == dict(b.assignments)
+        assert dict(a.paths) == dict(b.paths)
+
+    @settings(max_examples=10, deadline=None)
+    @given(mapping_instance())
+    def test_migration_monotone_improvement(self, instance):
+        cluster, venv = instance
+        try:
+            with_mig = hmn_map(cluster, venv)
+            without = hmn_map(cluster, venv, HMNConfig(migration_enabled=False))
+        except MappingError:
+            return
+        assert (
+            with_mig.meta["objective"] <= without.meta["objective"] + 1e-9
+        )

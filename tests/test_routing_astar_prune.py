@@ -1,0 +1,127 @@
+"""Unit tests for the generic A*Prune (repro.routing.astar_prune)."""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.core import Host, PhysicalCluster
+from repro.errors import ModelError, RoutingError
+from repro.routing import Constraint, Metric, astar_prune, k_shortest_latency_paths
+
+
+@pytest.fixture
+def ladder():
+    """A 2x4 grid with uniform 1 ms latency (rich in alternate paths)."""
+    c = PhysicalCluster()
+    for i in range(8):
+        c.add_host(Host(i, proc=1.0, mem=1, stor=1.0))
+    for r in range(2):
+        for col in range(4):
+            i = r * 4 + col
+            if col < 3:
+                c.connect(i, i + 1, bw=10.0, lat=1.0)
+            if r == 0:
+                c.connect(i, i + 4, bw=10.0, lat=1.0)
+    return c
+
+
+class TestKShortest:
+    def test_lengths_nondecreasing(self, ladder):
+        paths = k_shortest_latency_paths(ladder, 0, 7, k=6)
+        lengths = [p.length for p in paths]
+        assert lengths == sorted(lengths)
+        assert len(paths) == 6
+
+    def test_first_is_optimal(self, ladder):
+        paths = k_shortest_latency_paths(ladder, 0, 7, k=1)
+        assert paths[0].length == 4.0  # 0-1-2-3-7 or symmetric
+
+    def test_paths_are_simple_and_distinct(self, ladder):
+        paths = k_shortest_latency_paths(ladder, 0, 7, k=8)
+        seen = set()
+        for p in paths:
+            assert len(set(p.nodes)) == len(p.nodes)
+            assert p.nodes not in seen
+            seen.add(p.nodes)
+            assert p.nodes[0] == 0 and p.nodes[-1] == 7
+
+    def test_matches_networkx_shortest_simple_paths(self, ladder):
+        ours = [p.nodes for p in k_shortest_latency_paths(ladder, 0, 7, k=5)]
+        g = nx.Graph()
+        for link in ladder.links():
+            g.add_edge(link.u, link.v, weight=link.lat)
+        reference = list(itertools.islice(nx.shortest_simple_paths(g, 0, 7, weight="weight"), 5))
+        ours_lengths = [sum(ladder.latency(u, v) for u, v in zip(p, p[1:])) for p in ours]
+        ref_lengths = [sum(ladder.latency(u, v) for u, v in zip(p, p[1:])) for p in reference]
+        assert ours_lengths == pytest.approx(ref_lengths)
+
+    def test_trivial_source_equals_destination(self, ladder):
+        paths = k_shortest_latency_paths(ladder, 3, 3, k=2)
+        assert paths[0].nodes == (3,)
+        assert paths[0].length == 0.0
+
+
+class TestConstraints:
+    def test_latency_bound_prunes(self, ladder):
+        bounded = k_shortest_latency_paths(ladder, 0, 7, k=50, max_latency=4.0)
+        assert bounded
+        assert all(p.length <= 4.0 for p in bounded)
+        unbounded = k_shortest_latency_paths(ladder, 0, 7, k=50)
+        assert len(bounded) < len(unbounded)
+
+    def test_infeasible_bound_returns_empty(self, ladder):
+        assert k_shortest_latency_paths(ladder, 0, 7, k=1, max_latency=3.0) == []
+
+    def test_hop_count_constraint(self, ladder):
+        lat = Metric("latency", ladder.latency)
+        hops = Metric("hops", lambda u, v: 1.0)
+        paths = astar_prune(
+            ladder, 0, 7, length=lat, constraints=[Constraint(hops, 4.0)], k=50
+        )
+        assert paths
+        assert all(len(p.nodes) - 1 <= 4 for p in paths)
+        assert all(v <= 4.0 for p in paths for v in p.constraint_values)
+
+    def test_edge_admissible_hook(self, ladder):
+        lat = Metric("latency", ladder.latency)
+        # Forbid every vertical rung: only the two horizontal runs remain,
+        # and 0 -> 7 requires one rung, so no path survives... except rung 3-7.
+        paths = astar_prune(
+            ladder,
+            0,
+            7,
+            length=lat,
+            edge_admissible=lambda u, v: {u, v} != {0, 4} and {u, v} != {1, 5} and {u, v} != {2, 6},
+            k=10,
+        )
+        assert paths
+        for p in paths:
+            rungs = [{p.nodes[i], p.nodes[i + 1]} for i in range(len(p.nodes) - 1)]
+            assert {0, 4} not in rungs and {1, 5} not in rungs and {2, 6} not in rungs
+
+
+class TestValidation:
+    def test_bad_k(self, ladder):
+        lat = Metric("latency", ladder.latency)
+        with pytest.raises(ModelError):
+            astar_prune(ladder, 0, 7, length=lat, k=0)
+
+    def test_negative_constraint_bound(self, ladder):
+        lat = Metric("latency", ladder.latency)
+        with pytest.raises(ModelError):
+            Constraint(lat, -1.0)
+
+    def test_expansion_budget(self, ladder):
+        lat = Metric("latency", ladder.latency)
+        with pytest.raises(RoutingError, match="expansions"):
+            astar_prune(ladder, 0, 7, length=lat, k=1000, max_expansions=3)
+
+    def test_disconnected_returns_empty(self):
+        c = PhysicalCluster()
+        c.add_host(Host(0, proc=1.0, mem=1, stor=1.0))
+        c.add_host(Host(1, proc=1.0, mem=1, stor=1.0))
+        lat = Metric("latency", c.latency)
+        assert astar_prune(c, 0, 1, length=lat) == []

@@ -1,0 +1,132 @@
+"""Unit tests for the DFS routers (repro.routing.dfs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterState, Host, PhysicalCluster
+from repro.errors import ModelError, RoutingError
+from repro.routing import backtracking_dfs, random_walk_dfs
+from repro.topology import paper_switched, paper_torus
+
+
+def valid_path(cluster, path, src, dst):
+    assert path[0] == src and path[-1] == dst
+    assert len(set(path)) == len(path)
+    for u, v in zip(path, path[1:]):
+        assert cluster.has_link(u, v)
+
+
+class TestRandomWalk:
+    def test_finds_path_on_line(self, line3, rng):
+        path = random_walk_dfs(line3, 0, 2, bandwidth=1.0, latency_bound=100.0, rng=rng)
+        assert path == (0, 1, 2)
+
+    def test_trivial(self, line3, rng):
+        assert random_walk_dfs(line3, 1, 1, bandwidth=1.0, latency_bound=0.0, rng=rng) == (1,)
+
+    def test_adjacent_destination_short_circuit(self, diamond, rng):
+        # Destination adjacent to origin must be taken immediately.
+        path = random_walk_dfs(diamond, 0, 1, bandwidth=1.0, latency_bound=100.0, rng=rng)
+        assert path == (0, 1)
+
+    def test_result_is_valid_walk(self, diamond, rng):
+        for _ in range(20):
+            path = random_walk_dfs(diamond, 0, 3, bandwidth=1.0, latency_bound=100.0, rng=rng)
+            valid_path(diamond, path, 0, 3)
+
+    def test_respects_bandwidth_pruning(self, diamond, rng):
+        # demand 500 removes the top (bw 100) path entirely
+        for _ in range(10):
+            path = random_walk_dfs(diamond, 0, 3, bandwidth=500.0, latency_bound=100.0, rng=rng)
+            assert path == (0, 2, 3)
+
+    def test_latency_checked_at_end(self, diamond, rng):
+        # Bound of 10 admits only the top path; walks down the wide path
+        # must be rejected, so retries either find top or the call fails.
+        try:
+            path = random_walk_dfs(
+                diamond, 0, 3, bandwidth=1.0, latency_bound=10.0, rng=rng, attempts=50
+            )
+            assert path == (0, 1, 3)
+        except RoutingError:
+            pytest.skip("walk unlucky within attempts — acceptable for the naive router")
+
+    def test_fails_when_no_bandwidth(self, line3, rng):
+        state = ClusterState(line3)
+        state.reserve_path([0, 1], 1000.0)
+        with pytest.raises(RoutingError):
+            random_walk_dfs(
+                line3, 0, 2, bandwidth=1.0, latency_bound=100.0, rng=rng,
+                residual_bw=state.residual_bw,
+            )
+
+    def test_switched_cluster_always_succeeds_first_try(self, rng):
+        cluster = paper_switched(seed=1)
+        hosts = cluster.host_ids
+        for a, b in [(0, 39), (5, 17), (20, 21)]:
+            path = random_walk_dfs(
+                cluster, hosts[a], hosts[b], bandwidth=0.2, latency_bound=30.0, rng=rng, attempts=1
+            )
+            assert len(path) == 3  # host -> switch -> host
+
+    def test_torus_often_violates_latency(self, rng):
+        # The paper's failure mechanism: on the torus the latency-blind
+        # walk frequently overshoots a tight budget.  Statistically, with
+        # 1 attempt per call a noticeable share of distant pairs fail.
+        cluster = paper_torus(seed=1)
+        failures = 0
+        for trial in range(40):
+            a, b = rng.choice(40, size=2, replace=False)
+            try:
+                random_walk_dfs(
+                    cluster, int(a), int(b), bandwidth=0.2, latency_bound=30.0,
+                    rng=rng, attempts=1,
+                )
+            except RoutingError:
+                failures += 1
+        assert failures > 5
+
+    def test_invalid_args(self, line3, rng):
+        with pytest.raises(ModelError):
+            random_walk_dfs(line3, 0, 2, bandwidth=-1.0, latency_bound=1.0, rng=rng)
+        with pytest.raises(ModelError):
+            random_walk_dfs(line3, 0, 2, bandwidth=1.0, latency_bound=1.0, rng=rng, attempts=0)
+
+
+class TestBacktracking:
+    def test_complete_on_tight_latency(self, diamond):
+        # Unlike the walk, backtracking always finds the only feasible path.
+        path = backtracking_dfs(diamond, 0, 3, bandwidth=1.0, latency_bound=10.0)
+        assert path == (0, 1, 3)
+
+    def test_finds_path_when_exists(self, diamond, rng):
+        for _ in range(10):
+            path = backtracking_dfs(
+                diamond, 0, 3, bandwidth=1.0, latency_bound=100.0, rng=rng
+            )
+            valid_path(diamond, path, 0, 3)
+
+    def test_fails_only_when_infeasible(self, diamond):
+        with pytest.raises(RoutingError):
+            backtracking_dfs(diamond, 0, 3, bandwidth=1.0, latency_bound=9.0)
+
+    def test_bandwidth_pruning(self, diamond):
+        path = backtracking_dfs(diamond, 0, 3, bandwidth=500.0, latency_bound=100.0)
+        assert path == (0, 2, 3)
+
+    def test_trivial(self, diamond):
+        assert backtracking_dfs(diamond, 1, 1, bandwidth=1.0, latency_bound=0.0) == (1,)
+
+    def test_visit_budget(self):
+        cluster = paper_torus(seed=2)
+        with pytest.raises(RoutingError, match="visits"):
+            backtracking_dfs(
+                cluster, 0, 39, bandwidth=0.1, latency_bound=29.0, max_visits=2
+            )
+
+    def test_deterministic_without_rng(self, diamond):
+        paths = {backtracking_dfs(diamond, 0, 3, bandwidth=1.0, latency_bound=100.0)
+                 for _ in range(5)}
+        assert len(paths) == 1

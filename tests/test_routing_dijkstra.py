@@ -1,0 +1,89 @@
+"""Unit tests for repro.routing.dijkstra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Host, PhysicalCluster
+from repro.errors import RoutingError, UnknownNodeError
+from repro.routing import LatencyOracle, latency_table, shortest_latency_path
+
+
+@pytest.fixture
+def weighted():
+    """0 --1ms-- 1 --1ms-- 2 and a slow chord 0 --10ms-- 2, plus isolated 3."""
+    c = PhysicalCluster()
+    for i in range(4):
+        c.add_host(Host(i, proc=1.0, mem=1, stor=1.0))
+    c.connect(0, 1, bw=1.0, lat=1.0)
+    c.connect(1, 2, bw=1.0, lat=1.0)
+    c.connect(0, 2, bw=1.0, lat=10.0)
+    return c
+
+
+class TestLatencyTable:
+    def test_basic_distances(self, weighted):
+        table = latency_table(weighted, 2)
+        assert table[2] == 0.0
+        assert table[1] == 1.0
+        assert table[0] == 2.0  # via 1, not the 10 ms chord
+
+    def test_unreachable_is_inf(self, weighted):
+        assert latency_table(weighted, 2)[3] == float("inf")
+
+    def test_covers_every_node(self, weighted):
+        assert set(latency_table(weighted, 0)) == set(weighted.node_ids)
+
+    def test_unknown_destination(self, weighted):
+        with pytest.raises(UnknownNodeError):
+            latency_table(weighted, 99)
+
+    def test_switches_participate(self, star4):
+        table = latency_table(star4, 0)
+        assert table["hub"] == 5.0
+        assert table[3] == 10.0
+
+
+class TestShortestPath:
+    def test_path_and_cost(self, weighted):
+        path, cost = shortest_latency_path(weighted, 0, 2)
+        assert path == [0, 1, 2]
+        assert cost == 2.0
+
+    def test_trivial(self, weighted):
+        assert shortest_latency_path(weighted, 1, 1) == ([1], 0.0)
+
+    def test_disconnected_raises(self, weighted):
+        with pytest.raises(RoutingError):
+            shortest_latency_path(weighted, 0, 3)
+
+    def test_matches_table(self, weighted):
+        table = latency_table(weighted, 2)
+        for src in (0, 1, 2):
+            _, cost = shortest_latency_path(weighted, src, 2)
+            assert cost == pytest.approx(table[src])
+
+
+class TestOracle:
+    def test_caching_counts(self, weighted):
+        oracle = LatencyOracle(weighted)
+        oracle.to_destination(2)
+        oracle.to_destination(2)
+        oracle.to_destination(0)
+        assert oracle.queries == 3
+        assert oracle.misses == 2
+        assert oracle.cached_destinations == 2
+
+    def test_latency_between(self, weighted):
+        oracle = LatencyOracle(weighted)
+        assert oracle.latency_between(0, 2) == 2.0
+        assert oracle.latency_between(3, 2) == float("inf")
+
+    def test_warm(self, weighted):
+        oracle = LatencyOracle(weighted)
+        oracle.warm(weighted.host_ids)
+        assert oracle.cached_destinations == 4
+
+    def test_cached_table_is_consistent(self, weighted):
+        oracle = LatencyOracle(weighted)
+        assert oracle.to_destination(1) == latency_table(weighted, 1)

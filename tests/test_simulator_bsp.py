@@ -1,0 +1,158 @@
+"""Unit tests for the BSP application model (repro.simulator.bsp)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Guest, Host, Mapping, PhysicalCluster, VirtualEnvironment, VirtualLink
+from repro.errors import ModelError
+from repro.simulator import BspSpec, ExperimentSpec, run_bsp_experiment, run_experiment
+
+
+def single_host(proc=1000.0):
+    return PhysicalCluster.from_parts([Host(0, proc=proc, mem=100_000, stor=100_000.0)])
+
+
+def pair_venv(vproc=(100.0, 100.0), vbw=10.0, vlat=50.0):
+    v = VirtualEnvironment()
+    v.add_guest(Guest(0, vproc=vproc[0], vmem=1, vstor=1.0))
+    v.add_guest(Guest(1, vproc=vproc[1], vmem=1, vstor=1.0))
+    v.add_vlink(VirtualLink(0, 1, vbw=vbw, vlat=vlat))
+    return v
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            BspSpec(rounds=0)
+        with pytest.raises(ModelError):
+            BspSpec(compute_seconds=-1.0)
+        with pytest.raises(ModelError):
+            BspSpec(comm_seconds=-1.0)
+        with pytest.raises(ModelError):
+            BspSpec(vmm_mips_per_guest=-1.0)
+
+
+class TestAnalyticCases:
+    def test_single_guest_no_comm(self):
+        cluster = single_host()
+        venv = VirtualEnvironment.from_parts([Guest(0, vproc=100.0, vmem=1, vstor=1.0)])
+        mapping = Mapping(assignments={0: 0}, paths={})
+        res = run_bsp_experiment(
+            cluster, venv, mapping, BspSpec(rounds=7, compute_seconds=70.0, comm_seconds=0.0)
+        )
+        assert res.makespan == pytest.approx(70.0)
+        assert res.n_guests == 1
+
+    def test_colocated_pair_lockstep(self):
+        """Two identical co-located guests, free intra-host messaging:
+        rounds proceed in lockstep, makespan = compute only."""
+        cluster = single_host(proc=1000.0)
+        venv = pair_venv()
+        mapping = Mapping(assignments={0: 0, 1: 0}, paths={(0, 1): (0,)})
+        res = run_bsp_experiment(
+            cluster, venv, mapping, BspSpec(rounds=5, compute_seconds=50.0, comm_seconds=3.0)
+        )
+        # co-located messages cost 0, so only the 50 s of compute remain
+        assert res.makespan == pytest.approx(50.0)
+
+    def test_message_latency_accumulates_per_round(self, line3):
+        """Inter-host pair: each round pays serialization + path latency."""
+        venv = pair_venv()
+        mapping = Mapping(assignments={0: 0, 1: 2}, paths={(0, 1): (0, 1, 2)})
+        rounds = 4
+        spec = BspSpec(rounds=rounds, compute_seconds=40.0, comm_seconds=2.0)
+        res = run_bsp_experiment(line3, venv, mapping, spec)
+        per_round_comm = 2.0 + 0.010  # serialization + 10 ms path latency
+        # Identical guests stay in lockstep; every superstep, including
+        # the last, ends at its barrier (a node's final output needs its
+        # neighbours' final messages), so all `rounds` barriers pay the
+        # message time.
+        expected = 40.0 + rounds * per_round_comm
+        assert res.makespan == pytest.approx(expected, rel=1e-6)
+
+    def test_oversubscription_stretches_compute(self):
+        cluster = single_host(proc=100.0)
+        venv = pair_venv(vproc=(100.0, 100.0))
+        mapping = Mapping(assignments={0: 0, 1: 0}, paths={(0, 1): (0,)})
+        res = run_bsp_experiment(
+            cluster, venv, mapping, BspSpec(rounds=5, compute_seconds=50.0, comm_seconds=0.0)
+        )
+        # both at half rate the whole time
+        assert res.makespan == pytest.approx(100.0)
+        assert res.oversubscribed_hosts == 1
+
+    def test_straggler_couples_neighbors(self, line3):
+        """The BSP barrier: a slow guest delays its fast neighbour every
+        round, unlike the two-phase model where the fast one just ends
+        early."""
+        venv = pair_venv(vproc=(100.0, 100.0))
+        mapping = Mapping(assignments={0: 0, 1: 2}, paths={(0, 1): (0, 1, 2)})
+        # host 2 runs guest 1 at half its demanded rate
+        slow_cluster = PhysicalCluster.from_parts(
+            [
+                Host(0, proc=1000.0, mem=100_000, stor=100_000.0),
+                Host(1, proc=1000.0, mem=100_000, stor=100_000.0),
+                Host(2, proc=50.0, mem=100_000, stor=100_000.0),
+            ],
+            [],
+        )
+        slow_cluster.connect(0, 1, bw=1000.0, lat=5.0)
+        slow_cluster.connect(1, 2, bw=1000.0, lat=5.0)
+        spec = BspSpec(rounds=5, compute_seconds=50.0, comm_seconds=0.0)
+        res = run_bsp_experiment(slow_cluster, venv, mapping, spec)
+        # guest 1 computes at rate 50 instead of 100 -> 100 s of compute;
+        # guest 0 waits for it every round, so both finish together.
+        assert res.finish[1] == pytest.approx(100.0, rel=1e-3)
+        assert res.finish[0] >= 100.0 * (4 / 5) - 1e-6
+
+    def test_zero_vproc_guest(self):
+        cluster = single_host()
+        venv = pair_venv(vproc=(0.0, 100.0))
+        mapping = Mapping(assignments={0: 0, 1: 0}, paths={(0, 1): (0,)})
+        res = run_bsp_experiment(
+            cluster, venv, mapping, BspSpec(rounds=3, compute_seconds=30.0, comm_seconds=0.0)
+        )
+        # the zero-work guest is gated purely by its neighbour's rounds
+        assert res.makespan == pytest.approx(30.0)
+
+
+class TestAgainstTwoPhase:
+    def test_bsp_is_slower_than_two_phase_under_contention(self):
+        """Per-round barriers amplify contention relative to one big
+        compute block followed by one exchange."""
+        from repro.hmn import hmn_map
+        from repro.workload import LOW_LEVEL, generate_virtual_environment, paper_clusters
+
+        cluster = paper_clusters(seed=81)["torus"]
+        venv = generate_virtual_environment(400, workload=LOW_LEVEL, seed=82)
+        mapping = hmn_map(cluster, venv)
+        two_phase = run_experiment(
+            cluster, venv, mapping, ExperimentSpec(100.0, comm_seconds=0.5)
+        )
+        bsp = run_bsp_experiment(
+            cluster, venv, mapping, BspSpec(rounds=10, compute_seconds=100.0, comm_seconds=0.05)
+        )
+        # same nominal compute, so neither can beat the contention-free
+        # floor; BSP additionally pays a barrier per round
+        assert bsp.makespan >= 100.0 - 1e-6
+        assert two_phase.makespan >= 100.0 - 1e-6
+        assert bsp.meta["model"] == "bsp"
+        assert bsp.events > two_phase.events  # per-round messaging
+
+    def test_mapping_quality_separates_mappers_more(self):
+        """The BSP makespan gap between a balanced and an imbalanced
+        mapping is at least the two-phase gap (barriers globalize the
+        slowest host)."""
+        from repro.baselines import get_mapper
+        from repro.workload import LOW_LEVEL, generate_virtual_environment, paper_clusters
+
+        cluster = paper_clusters(seed=83)["switched"]
+        venv = generate_virtual_environment(800, workload=LOW_LEVEL, seed=84)
+        hmn = get_mapper("hmn")(cluster, venv)
+        rnd = get_mapper("random+astar")(cluster, venv, seed=1)
+        spec = BspSpec(rounds=5, compute_seconds=100.0, comm_seconds=0.02,
+                       vmm_mips_per_guest=30.0)
+        hmn_res = run_bsp_experiment(cluster, venv, hmn, spec)
+        rnd_res = run_bsp_experiment(cluster, venv, rnd, spec)
+        assert hmn_res.makespan <= rnd_res.makespan + 1e-6

@@ -1,0 +1,161 @@
+"""Unit tests for the DES kernel (repro.simulator.engine / events / cpu)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import HostCpu, Simulation, allocate_rates
+
+
+class TestSimulation:
+    def test_events_fire_in_time_order(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(5.0, lambda s: fired.append(("b", s.now)))
+        sim.schedule(2.0, lambda s: fired.append(("a", s.now)))
+        sim.schedule(9.0, lambda s: fired.append(("c", s.now)))
+        end = sim.run()
+        assert fired == [("a", 2.0), ("b", 5.0), ("c", 9.0)]
+        assert end == 9.0
+        assert sim.events_processed == 3
+
+    def test_ties_break_by_priority_then_fifo(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(1.0, lambda s: fired.append("first-scheduled"))
+        sim.schedule(1.0, lambda s: fired.append("second-scheduled"))
+        sim.schedule(1.0, lambda s: fired.append("high-priority"), priority=-1)
+        sim.run()
+        assert fired == ["high-priority", "first-scheduled", "second-scheduled"]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulation()
+        fired = []
+
+        def chain(s):
+            fired.append(s.now)
+            if s.now < 3.0:
+                s.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_cancellation(self):
+        sim = Simulation()
+        fired = []
+        event = sim.schedule(1.0, lambda s: fired.append("no"))
+        sim.schedule(2.0, lambda s: fired.append("yes"))
+        event.cancel()
+        sim.run()
+        assert fired == ["yes"]
+        assert sim.events_processed == 1
+
+    def test_schedule_into_past_rejected(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda s: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda s: None)
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda s: None)
+
+    def test_run_until_horizon(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(1.0, lambda s: fired.append(1))
+        sim.schedule(10.0, lambda s: fired.append(10))
+        end = sim.run(until=5.0)
+        assert fired == [1]
+        assert end == 5.0
+        assert sim.events_pending == 1
+        # resume to completion
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_run_until_beyond_queue_advances_clock(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda s: None)
+        end = sim.run(until=100.0)
+        assert end == 100.0
+
+    def test_event_budget(self):
+        sim = Simulation()
+
+        def forever(s):
+            s.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        with pytest.raises(SimulationError, match="exceeded"):
+            sim.run(max_events=50)
+
+    def test_trace(self):
+        sim = Simulation(trace=True)
+        sim.schedule(1.5, lambda s: None, label="tick")
+        sim.run()
+        assert len(sim.trace) == 1
+        assert sim.trace[0].label == "tick"
+        assert "1.5" in str(sim.trace[0])
+
+    def test_zero_delay_fires_at_now(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(0.0, lambda s: fired.append(s.now))
+        sim.run()
+        assert fired == [0.0]
+
+
+class TestAllocateRates:
+    def test_no_contention_gives_demands(self):
+        assert allocate_rates(1000.0, [100.0, 200.0]) == [100.0, 200.0]
+
+    def test_oversubscription_scales_proportionally(self):
+        rates = allocate_rates(600.0, [400.0, 800.0])
+        assert rates == pytest.approx([200.0, 400.0])
+        assert sum(rates) == pytest.approx(600.0)
+
+    def test_exact_capacity(self):
+        assert allocate_rates(300.0, [100.0, 200.0]) == [100.0, 200.0]
+
+    def test_empty_and_zero_demands(self):
+        assert allocate_rates(100.0, []) == []
+        assert allocate_rates(100.0, [0.0, 0.0]) == [0.0, 0.0]
+
+    def test_invalid(self):
+        with pytest.raises(SimulationError):
+            allocate_rates(0.0, [1.0])
+        with pytest.raises(SimulationError):
+            allocate_rates(10.0, [-1.0])
+
+
+class TestHostCpu:
+    def test_membership_and_rates(self):
+        cpu = HostCpu("h", 1000.0)
+        cpu.add_guest(0, 600.0)
+        cpu.add_guest(1, 600.0)
+        assert cpu.oversubscribed
+        rates = cpu.rates()
+        assert rates[0] == pytest.approx(500.0)
+        assert cpu.rate_of(1) == pytest.approx(500.0)
+        cpu.remove_guest(0)
+        assert not cpu.oversubscribed
+        assert cpu.rate_of(1) == pytest.approx(600.0)
+
+    def test_epoch_bumps_on_change(self):
+        cpu = HostCpu("h", 1000.0)
+        e0 = cpu.epoch
+        cpu.add_guest(0, 10.0)
+        assert cpu.epoch == e0 + 1
+        cpu.remove_guest(0)
+        assert cpu.epoch == e0 + 2
+
+    def test_duplicate_and_missing_guests(self):
+        cpu = HostCpu("h", 1000.0)
+        cpu.add_guest(0, 10.0)
+        with pytest.raises(SimulationError):
+            cpu.add_guest(0, 10.0)
+        with pytest.raises(SimulationError):
+            cpu.remove_guest(5)
+        with pytest.raises(SimulationError):
+            cpu.rate_of(5)

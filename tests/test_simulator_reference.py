@@ -1,0 +1,135 @@
+"""Cross-validation of the event-driven CPU model against a
+fixed-timestep reference integrator.
+
+The experiment driver computes completion times analytically between
+events; this suite re-simulates the same compute phase by brute-force
+time stepping (recomputing capped-proportional rates every small dt)
+and checks both agree.  An independent implementation disagreeing
+would expose event-ordering or settle-accounting bugs that unit tests
+on hand-sized cases might miss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Guest, Host, Mapping, PhysicalCluster, VirtualEnvironment
+from repro.simulator import ExperimentSpec, run_experiment
+from repro.simulator.cpu import allocate_rates
+
+
+def reference_compute_times(
+    hosts: dict[object, float],
+    guests: list[tuple[int, float, object]],  # (gid, vproc, host)
+    lengths: dict[int, float],
+    dt: float = 0.01,
+    horizon: float = 10_000.0,
+) -> dict[int, float]:
+    """Brute-force time-stepped processor sharing."""
+    remaining = dict(lengths)
+    finish: dict[int, float] = {}
+    active: dict[object, list[tuple[int, float]]] = {}
+    for gid, vproc, host in guests:
+        active.setdefault(host, []).append((gid, vproc))
+        if lengths[gid] <= 0 or vproc == 0.0:
+            finish[gid] = 0.0
+            remaining.pop(gid, None)
+    for host in list(active):
+        active[host] = [(g, v) for g, v in active[host] if g in remaining]
+
+    t = 0.0
+    while remaining and t < horizon:
+        for host, members in active.items():
+            members = [(g, v) for g, v in members if g in remaining]
+            active[host] = members
+            if not members:
+                continue
+            rates = allocate_rates(hosts[host], [v for _, v in members])
+            for (gid, _), rate in zip(members, rates):
+                remaining[gid] -= rate * dt
+        t += dt
+        done = [g for g, w in remaining.items() if w <= 0]
+        for g in done:
+            finish[g] = t
+            del remaining[g]
+    return finish
+
+
+@st.composite
+def compute_instance(draw):
+    n_hosts = draw(st.integers(1, 3))
+    n_guests = draw(st.integers(1, 6))
+    rng = np.random.default_rng(draw(st.integers(0, 10_000)))
+    hosts = {i: float(rng.uniform(100, 1000)) for i in range(n_hosts)}
+    guests = [
+        (g, float(rng.uniform(0, 400)), int(rng.integers(n_hosts)))
+        for g in range(n_guests)
+    ]
+    compute_seconds = float(rng.uniform(5, 30))
+    return hosts, guests, compute_seconds
+
+
+class TestAgainstReference:
+    @settings(max_examples=25, deadline=None)
+    @given(compute_instance())
+    def test_event_driven_matches_time_stepped(self, instance):
+        hosts, guests, compute_seconds = instance
+
+        cluster = PhysicalCluster.from_parts(
+            Host(h, proc=cap, mem=1_000_000, stor=1_000_000.0) for h, cap in hosts.items()
+        )
+        venv = VirtualEnvironment.from_parts(
+            Guest(g, vproc=vproc, vmem=1, vstor=1.0) for g, vproc, _ in guests
+        )
+        mapping = Mapping(assignments={g: h for g, _, h in guests}, paths={})
+        spec = ExperimentSpec(compute_seconds=compute_seconds, comm_seconds=0.0)
+        result = run_experiment(cluster, venv, mapping, spec)
+
+        lengths = {g: vproc * compute_seconds for g, vproc, _ in guests}
+        dt = 0.01
+        reference = reference_compute_times(hosts, guests, lengths, dt=dt)
+
+        assert set(result.finish) == set(reference)
+        for g, t_ref in reference.items():
+            # the stepped integrator overshoots by at most one dt per
+            # completion epoch (bounded by number of guests on the host)
+            assert result.finish[g] <= t_ref + 1e-9
+            assert result.finish[g] >= t_ref - dt * (len(guests) + 1)
+
+
+class TestAnalyticBounds:
+    @settings(max_examples=25, deadline=None)
+    @given(compute_instance())
+    def test_makespan_bounds(self, instance):
+        hosts, guests, compute_seconds = instance
+        cluster = PhysicalCluster.from_parts(
+            Host(h, proc=cap, mem=1_000_000, stor=1_000_000.0) for h, cap in hosts.items()
+        )
+        venv = VirtualEnvironment.from_parts(
+            Guest(g, vproc=vproc, vmem=1, vstor=1.0) for g, vproc, _ in guests
+        )
+        mapping = Mapping(assignments={g: h for g, _, h in guests}, paths={})
+        spec = ExperimentSpec(compute_seconds=compute_seconds, comm_seconds=0.0)
+        result = run_experiment(cluster, venv, mapping, spec)
+
+        if any(v > 0 for _, v, _ in guests):
+            # Lower bound 1: nobody finishes positive work before the nominal time.
+            assert result.makespan >= compute_seconds - 1e-6
+        # Lower bound 2: per host, total work / capacity.
+        for h, cap in hosts.items():
+            work = sum(v * compute_seconds for g, v, hh in guests if hh == h)
+            if work > 0:
+                assert result.makespan >= work / cap - 1e-6
+        # Upper bound: the whole workload serialized on its host at the
+        # host's full capacity (processor sharing cannot be slower).
+        worst = 0.0
+        for h, cap in hosts.items():
+            work = sum(v * compute_seconds for g, v, hh in guests if hh == h)
+            worst = max(worst, work / cap)
+        slowest_solo = max(
+            (compute_seconds for _, v, _ in guests if v > 0), default=0.0
+        )
+        assert result.makespan <= max(worst, slowest_solo) + 1e-6

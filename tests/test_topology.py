@@ -1,0 +1,220 @@
+"""Unit tests for the topology generators (repro.topology)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core import Host
+from repro.errors import ModelError
+from repro.topology import (
+    PAPER_HOST_RANGES,
+    hypercube_cluster,
+    line_cluster,
+    mesh_cluster,
+    paper_switched,
+    paper_torus,
+    random_cluster,
+    random_hosts,
+    random_regular_cluster,
+    ring_cluster,
+    star_cluster,
+    switch_count_for,
+    switched_cluster,
+    torus_cluster,
+    tree_cluster,
+    uniform_hosts,
+)
+
+
+class TestHeterogeneity:
+    def test_ranges_match_table1(self, rng):
+        hosts = random_hosts(200, rng=rng)
+        for h in hosts:
+            assert 1000.0 <= h.proc <= 3000.0
+            assert 1024 <= h.mem <= 3072
+            assert 1024.0 <= h.stor <= 3072.0
+
+    def test_paper_ranges_constants(self):
+        assert PAPER_HOST_RANGES["proc"] == (1000.0, 3000.0)
+        assert PAPER_HOST_RANGES["mem"] == (1024, 3072)
+        assert PAPER_HOST_RANGES["stor"] == (1024.0, 3072.0)
+
+    def test_deterministic_by_seed(self):
+        a = random_hosts(10, rng=7)
+        b = random_hosts(10, rng=7)
+        assert a == b
+
+    def test_id_offset_and_names(self):
+        hosts = random_hosts(3, rng=0, id_offset=100, name_prefix="n")
+        assert [h.id for h in hosts] == [100, 101, 102]
+        assert hosts[0].name == "n100"
+
+    def test_uniform_hosts(self):
+        hosts = uniform_hosts(4, proc=1500.0, mem=2048, stor=1024.0)
+        assert all((h.proc, h.mem, h.stor) == (1500.0, 2048, 1024.0) for h in hosts)
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ModelError):
+            random_hosts(2, proc_range=(10.0, 5.0))
+        with pytest.raises(ModelError):
+            random_hosts(-1)
+
+
+class TestTorus:
+    def test_paper_torus_shape(self):
+        t = paper_torus(seed=0)
+        assert t.n_hosts == 40
+        assert t.n_links == 80  # 2 links per node in a full 2-D torus
+        assert all(t.degree(h) == 4 for h in t.host_ids)
+        assert t.is_connected()
+
+    def test_small_degenerate_dimensions(self):
+        assert torus_cluster(1, 1, seed=0).n_links == 0
+        assert torus_cluster(1, 2, seed=0).n_links == 1
+        assert torus_cluster(2, 2, seed=0).n_links == 4
+        assert torus_cluster(1, 5, seed=0).n_links == 5  # collapses to a ring
+
+    def test_wraparound_links_exist(self):
+        t = torus_cluster(3, 4, seed=0)
+        assert t.has_link(0, 3)  # row wrap: (0,0)-(0,3)
+        assert t.has_link(0, 8)  # column wrap: (0,0)-(2,0)
+
+    def test_explicit_hosts(self):
+        hosts = uniform_hosts(6)
+        t = torus_cluster(2, 3, hosts=hosts)
+        assert list(t.hosts()) == hosts
+        with pytest.raises(ModelError):
+            torus_cluster(2, 3, hosts=hosts[:4])
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ModelError):
+            torus_cluster(0, 5)
+
+
+class TestSwitched:
+    def test_paper_switched_shape(self):
+        s = paper_switched(seed=0)
+        assert s.n_hosts == 40
+        assert s.n_switches == 1
+        assert s.n_links == 40
+        assert s.is_connected()
+
+    def test_switch_count(self):
+        assert switch_count_for(64, 64) == 1
+        assert switch_count_for(65, 64) == 2
+        assert switch_count_for(126, 64) == 2
+        assert switch_count_for(127, 64) == 3
+
+    def test_cascade_is_connected_and_port_respecting(self):
+        s = switched_cluster(200, ports=64, seed=1)
+        assert s.is_connected()
+        for sw in s.switch_ids:
+            assert s.degree(sw) <= 64
+
+    def test_unique_path_between_hosts(self):
+        s = paper_switched(seed=0)
+        g = nx.Graph()
+        for link in s.links():
+            g.add_edge(link.u, link.v)
+        paths = list(nx.all_simple_paths(g, s.host_ids[0], s.host_ids[1]))
+        assert len(paths) == 1  # the paper's 'only one possible path' property
+
+    def test_small_ports(self):
+        with pytest.raises(ModelError):
+            switch_count_for(10, 2)
+
+
+class TestOtherTopologies:
+    def test_ring(self):
+        r = ring_cluster(6, seed=0)
+        assert r.n_links == 6
+        assert all(r.degree(h) == 2 for h in r.host_ids)
+        with pytest.raises(ModelError):
+            ring_cluster(2, seed=0)
+
+    def test_line(self):
+        ln = line_cluster(4, seed=0)
+        assert ln.n_links == 3
+        assert ln.degree(ln.host_ids[0]) == 1
+
+    def test_star(self):
+        s = star_cluster(5, seed=0)
+        assert s.n_switches == 1
+        assert s.n_links == 5
+        assert s.degree("hub") == 5
+
+    def test_tree_single_leaf(self):
+        t = tree_cluster(4, hosts_per_leaf=8, seed=0)
+        assert t.n_switches == 1
+        assert t.is_connected()
+
+    def test_tree_multi_leaf(self):
+        t = tree_cluster(20, hosts_per_leaf=4, seed=0)
+        assert t.n_switches == 6  # 5 leaves + root
+        assert t.is_connected()
+        assert t.degree("root") == 5
+
+    def test_tree_oversubscribed_uplinks(self):
+        t = tree_cluster(8, hosts_per_leaf=4, uplink_bw=100.0, seed=0)
+        assert t.link("leaf0", "root").bw == 100.0
+        assert t.link(t.host_ids[0], "leaf0").bw == 1000.0
+
+    def test_hypercube(self):
+        h = hypercube_cluster(3, seed=0)
+        assert h.n_hosts == 8
+        assert h.n_links == 12
+        assert all(h.degree(x) == 3 for x in h.host_ids)
+        with pytest.raises(ModelError):
+            hypercube_cluster(-1)
+        with pytest.raises(ModelError):
+            hypercube_cluster(20)
+
+    def test_mesh(self):
+        m = mesh_cluster(3, 3, seed=0)
+        assert m.n_links == 12
+        assert m.degree(m.host_ids[4]) == 4  # center
+        assert m.degree(m.host_ids[0]) == 2  # corner
+
+    def test_random_cluster_connected(self):
+        for seed in range(5):
+            rc = random_cluster(25, density=0.15, seed=seed)
+            assert rc.is_connected()
+
+    def test_random_cluster_density_floor(self):
+        rc = random_cluster(30, density=0.0, seed=1)
+        assert rc.n_links == 29  # spanning tree only
+
+    def test_random_cluster_density_target(self):
+        rc = random_cluster(30, density=0.3, seed=1)
+        expected = round(0.3 * 30 * 29 / 2)
+        assert rc.n_links == expected
+
+    def test_random_cluster_full_density(self):
+        rc = random_cluster(8, density=1.0, seed=1)
+        assert rc.n_links == 28
+
+    def test_random_regular(self):
+        rr = random_regular_cluster(12, 4, seed=3)
+        assert rr.is_connected()
+        assert all(rr.degree(h) == 4 for h in rr.host_ids)
+
+    def test_random_regular_invalid(self):
+        with pytest.raises(ModelError):
+            random_regular_cluster(5, 3, seed=0)  # odd product
+        with pytest.raises(ModelError):
+            random_regular_cluster(4, 4, seed=0)  # degree >= n
+
+    def test_all_links_carry_paper_defaults(self):
+        for cluster in (paper_torus(seed=0), paper_switched(seed=0), ring_cluster(5, seed=0)):
+            for link in cluster.links():
+                assert link.bw == 1000.0
+                assert link.lat == 5.0
+
+
+class TestHostSharing:
+    def test_same_hosts_across_topologies(self):
+        hosts = random_hosts(40, rng=9)
+        t = torus_cluster(5, 8, hosts=hosts)
+        s = switched_cluster(40, hosts=hosts)
+        assert list(t.hosts()) == list(s.hosts())

@@ -1,0 +1,139 @@
+"""Property-based tests over all topology generators.
+
+Invariants every generator must satisfy for every legal parameterization:
+connectivity, exact node counts, degree structure, link attribute
+uniformity, and determinism in the seed.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    fat_tree_cluster,
+    hypercube_cluster,
+    line_cluster,
+    mesh_cluster,
+    random_cluster,
+    ring_cluster,
+    star_cluster,
+    switched_cluster,
+    torus_cluster,
+    tree_cluster,
+)
+
+
+class TestTorusProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(0, 1000))
+    def test_invariants(self, rows, cols, seed):
+        t = torus_cluster(rows, cols, seed=seed)
+        n = rows * cols
+        assert t.n_hosts == n
+        assert t.is_connected()
+        # Expected link count: per dimension, n links if length > 2,
+        # n/2 if length == 2 (single link per pair), 0 if length == 1.
+        def dim_links(length, other):
+            if length == 1:
+                return 0
+            if length == 2:
+                return other
+            return n
+
+        expected = dim_links(cols, rows) + dim_links(rows, cols)
+        assert t.n_links == expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(3, 6), st.integers(3, 6), st.integers(0, 1000))
+    def test_regular_degree(self, rows, cols, seed):
+        t = torus_cluster(rows, cols, seed=seed)
+        assert all(t.degree(h) == 4 for h in t.host_ids)
+
+
+class TestSwitchedProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 150), st.integers(4, 64), st.integers(0, 1000))
+    def test_invariants(self, n_hosts, ports, seed):
+        s = switched_cluster(n_hosts, ports=ports, seed=seed)
+        assert s.n_hosts == n_hosts
+        assert s.is_connected()
+        # every host has exactly one uplink; switches respect port budget
+        assert all(s.degree(h) == 1 for h in s.host_ids)
+        for sw in s.switch_ids:
+            assert s.degree(sw) <= ports
+        assert s.n_links == n_hosts + s.n_switches - 1
+
+
+class TestOtherGenerators:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(3, 30), st.integers(0, 1000))
+    def test_ring_line_star(self, n, seed):
+        r = ring_cluster(n, seed=seed)
+        assert r.is_connected() and r.n_links == n
+        ln = line_cluster(n, seed=seed)
+        assert ln.is_connected() and ln.n_links == n - 1
+        s = star_cluster(n, seed=seed)
+        assert s.is_connected() and s.n_links == n
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 30), st.integers(1, 8), st.integers(0, 1000))
+    def test_tree(self, n, fanout, seed):
+        t = tree_cluster(n, hosts_per_leaf=fanout, seed=seed)
+        assert t.n_hosts == n
+        assert t.is_connected()
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 6), st.integers(0, 1000))
+    def test_hypercube(self, dim, seed):
+        h = hypercube_cluster(dim, seed=seed)
+        assert h.n_hosts == 2**dim
+        assert h.is_connected()
+        assert h.n_links == dim * 2 ** (dim - 1) if dim else h.n_links == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(0, 1000))
+    def test_mesh(self, rows, cols, seed):
+        m = mesh_cluster(rows, cols, seed=seed)
+        assert m.n_hosts == rows * cols
+        assert m.is_connected()
+        assert m.n_links == rows * (cols - 1) + cols * (rows - 1)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(2, 25),
+        st.floats(0.0, 1.0),
+        st.integers(0, 1000),
+    )
+    def test_random_cluster(self, n, density, seed):
+        c = random_cluster(n, density=density, seed=seed)
+        assert c.n_hosts == n
+        assert c.is_connected()
+        assert c.n_links >= n - 1
+        assert c.n_links <= n * (n - 1) // 2
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.sampled_from([2, 4, 6]), st.integers(0, 1000))
+    def test_fat_tree(self, k, seed):
+        ft = fat_tree_cluster(k, seed=seed)
+        assert ft.n_hosts == k**3 // 4
+        assert ft.is_connected()
+        # edge switches: k/2 hosts + k/2 agg links = k ports each
+        half = k // 2
+        for pod in range(k):
+            for i in range(half):
+                assert ft.degree(f"p{pod}e{i}") == k
+
+
+class TestDeterminism:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_same_seed_same_cluster(self, seed):
+        for build in (
+            lambda: torus_cluster(3, 4, seed=seed),
+            lambda: switched_cluster(10, seed=seed),
+            lambda: random_cluster(10, density=0.3, seed=seed),
+        ):
+            a, b = build(), build()
+            assert list(a.hosts()) == list(b.hosts())
+            assert list(a.links()) == list(b.links())

@@ -1,0 +1,137 @@
+"""Unit tests for repro.units, repro.seeding and repro.errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.seeding import derive, rng_from, spawn_children, split
+from repro.units import (
+    format_bandwidth,
+    format_latency,
+    format_memory,
+    format_storage,
+    gbps,
+    gib,
+    gib_storage,
+    kbps,
+    mbps,
+    mib,
+    mips,
+    ms,
+    seconds,
+    tib,
+)
+
+
+class TestUnits:
+    def test_memory(self):
+        assert gib(2) == 2048
+        assert mib(128.4) == 128
+        assert isinstance(gib(1.5), int)
+
+    def test_storage(self):
+        assert tib(1) == 1024.0
+        assert gib_storage(100) == 100.0
+
+    def test_bandwidth(self):
+        assert gbps(1) == 1000.0
+        assert mbps(0.5) == 0.5
+        assert kbps(87) == pytest.approx(0.087)
+
+    def test_latency(self):
+        assert ms(5) == 5.0
+        assert seconds(1.5) == 1500.0
+
+    def test_cpu(self):
+        assert mips(2000) == 2000.0
+
+    def test_formatting(self):
+        assert format_bandwidth(1000.0) == "1.00 Gbps"
+        assert format_bandwidth(1.5) == "1.50 Mbps"
+        assert format_bandwidth(0.087) == "87 kbps"
+        assert format_bandwidth(float("inf")) == "inf"
+        assert format_memory(2048) == "2.00 GiB"
+        assert format_memory(512) == "512 MiB"
+        assert format_storage(2048) == "2.00 TiB"
+        assert format_storage(100) == "100.0 GiB"
+        assert format_latency(5.0) == "5.0 ms"
+        assert format_latency(1500.0) == "1.500 s"
+
+
+class TestSeeding:
+    def test_rng_from_variants(self):
+        assert isinstance(rng_from(None), np.random.Generator)
+        assert isinstance(rng_from(5), np.random.Generator)
+        gen = np.random.default_rng(1)
+        assert rng_from(gen) is gen
+        assert isinstance(rng_from(np.random.SeedSequence(2)), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        assert rng_from(7).integers(1 << 30) == rng_from(7).integers(1 << 30)
+
+    def test_split_independent_and_deterministic(self):
+        a = split(rng_from(3), 4)
+        b = split(rng_from(3), 4)
+        assert len(a) == 4
+        draws_a = [g.integers(1 << 30) for g in a]
+        draws_b = [g.integers(1 << 30) for g in b]
+        assert draws_a == draws_b
+        assert len(set(draws_a)) == 4  # streams differ from each other
+
+    def test_split_invalid(self):
+        with pytest.raises(ValueError):
+            split(rng_from(0), -1)
+
+    def test_spawn_children(self):
+        kids = spawn_children(9, 3)
+        assert len(kids) == 3
+        assert kids[0].integers(1 << 30) != kids[1].integers(1 << 30)
+
+    def test_derive_path_sensitivity(self):
+        base = derive(1, "table2", 0).integers(1 << 30)
+        assert derive(1, "table2", 0).integers(1 << 30) == base
+        assert derive(1, "table2", 1).integers(1 << 30) != base
+        assert derive(1, "table3", 0).integers(1 << 30) != base
+        assert derive(2, "table2", 0).integers(1 << 30) != base
+
+    def test_derive_is_order_independent_across_calls(self):
+        # Deriving other streams in between must not perturb a stream.
+        first = derive(5, "x").integers(1 << 30)
+        derive(5, "y").integers(1 << 30)
+        assert derive(5, "x").integers(1 << 30) == first
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(errors.PlacementError, errors.MappingError)
+        assert issubclass(errors.RoutingError, errors.MappingError)
+        assert issubclass(errors.RetriesExhaustedError, errors.MappingError)
+        assert issubclass(errors.MappingError, errors.ReproError)
+        assert issubclass(errors.CapacityError, errors.ModelError)
+        assert issubclass(errors.UnknownNodeError, KeyError)
+        assert issubclass(errors.ValidationError, errors.ReproError)
+        assert issubclass(errors.SimulationError, errors.ReproError)
+
+    def test_messages(self):
+        assert "guest 5" in str(errors.PlacementError(5))
+        assert "100000" in str(errors.RetriesExhaustedError(100000))
+        e = errors.ValidationError("eq2", "too much memory")
+        assert e.constraint == "eq2"
+        assert "eq2" in str(e)
+        u = errors.UnknownNodeError("x", "host")
+        assert "host" in str(u) and "'x'" in str(u)
+
+    def test_one_except_catches_all(self):
+        for exc in (
+            errors.PlacementError(1),
+            errors.RoutingError((0, 1)),
+            errors.ValidationError("eq1", "d"),
+            errors.CapacityError("full"),
+            errors.SimulationError("bad"),
+        ):
+            try:
+                raise exc
+            except errors.ReproError:
+                pass

@@ -1,0 +1,109 @@
+"""Metamorphic fuzzing of the constraint validator.
+
+Start from a known-valid mapping, apply one random corruption, and the
+validator must flag it (with the right constraint class where the
+corruption maps to exactly one).  This is the adversarial counterpart
+of the soundness property tests: those check mappers never produce
+invalid mappings, this checks the validator never *accepts* one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Mapping, validate_mapping
+from repro.hmn import hmn_map
+from repro.workload import HIGH_LEVEL, generate_virtual_environment, paper_clusters
+
+
+@pytest.fixture(scope="module")
+def valid():
+    cluster = paper_clusters(seed=151)["torus"]
+    venv = generate_virtual_environment(60, workload=HIGH_LEVEL, density=0.05, seed=152)
+    mapping = hmn_map(cluster, venv)
+    return cluster, venv, mapping
+
+
+def corrupted_variants(cluster, venv, mapping, rng):
+    """Yield (name, corrupted_mapping, expected_constraints|None)."""
+    assignments = dict(mapping.assignments)
+    paths = dict(mapping.paths)
+    guest_ids = list(assignments)
+    inter_host = [k for k, p in paths.items() if len(p) > 1]
+
+    # 1. drop a guest
+    g = guest_ids[int(rng.integers(len(guest_ids)))]
+    a1 = dict(assignments)
+    del a1[g]
+    yield "drop-guest", Mapping(assignments=a1, paths=paths), {"eq1"}
+
+    # 2. phantom guest
+    a2 = dict(assignments)
+    a2[999_999] = cluster.host_ids[0]
+    yield "phantom-guest", Mapping(assignments=a2, paths=paths), {"eq1"}
+
+    # 3. guest on a switch (switched clusters) or unknown node
+    a3 = dict(assignments)
+    a3[guest_ids[0]] = "no-such-node"
+    yield "bad-host", Mapping(assignments=a3, paths=paths), {"eq1"}
+
+    # 4. drop a path
+    if paths:
+        key = list(paths)[int(rng.integers(len(paths)))]
+        p4 = dict(paths)
+        del p4[key]
+        yield "drop-path", Mapping(assignments=assignments, paths=p4), {"eq4"}
+
+    # 5. truncate an inter-host path (breaks an endpoint anchor)
+    if inter_host:
+        key = inter_host[int(rng.integers(len(inter_host)))]
+        p5 = dict(paths)
+        p5[key] = p5[key][:-1]
+        yield "truncate-path", Mapping(assignments=assignments, paths=p5), None
+
+    # 6. teleporting path (insert a non-adjacent node)
+    if inter_host:
+        key = inter_host[int(rng.integers(len(inter_host)))]
+        nodes = list(paths[key])
+        far = [h for h in cluster.host_ids if not cluster.has_link(nodes[0], h) and h != nodes[0]]
+        if far:
+            p6 = dict(paths)
+            p6[key] = (nodes[0], far[0], *nodes[1:])
+            yield "teleport-path", Mapping(assignments=assignments, paths=p6), None
+
+    # 7. loop in a path
+    if inter_host:
+        key = inter_host[int(rng.integers(len(inter_host)))]
+        nodes = list(paths[key])
+        if len(nodes) >= 2:
+            p7 = dict(paths)
+            p7[key] = (*nodes, nodes[-2], nodes[-1])
+            yield "loop-path", Mapping(assignments=assignments, paths=p7), None
+
+    # 8. move every guest onto one host (memory explosion)
+    a8 = {g: cluster.host_ids[0] for g in guest_ids}
+    p8 = {k: (cluster.host_ids[0],) for k in paths}
+    yield "pile-up", Mapping(assignments=a8, paths=p8), {"eq2"}
+
+
+class TestFuzzedCorruptions:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_validator_catches_every_corruption(self, valid, seed):
+        cluster, venv, mapping = valid
+        rng = np.random.default_rng(seed)
+        for name, broken, expected in corrupted_variants(cluster, venv, mapping, rng):
+            report = validate_mapping(cluster, venv, broken, raise_on_error=False)
+            assert not report.ok, f"validator accepted corruption {name!r}"
+            if expected is not None:
+                assert expected & report.constraints_violated(), (
+                    f"{name!r}: expected one of {expected}, got "
+                    f"{report.constraints_violated()}"
+                )
+
+    def test_uncorrupted_baseline_is_valid(self, valid):
+        cluster, venv, mapping = valid
+        assert validate_mapping(cluster, venv, mapping, raise_on_error=False).ok

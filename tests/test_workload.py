@@ -1,0 +1,190 @@
+"""Unit tests for the workload package (distributions, graphgen, presets)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.units import gib, kbps, mbps, mib, mips
+from repro.workload import (
+    HIGH_LEVEL,
+    LOW_LEVEL,
+    Range,
+    edges_for_density,
+    generate_virtual_environment,
+    random_connected_edges,
+    workload_by_name,
+)
+
+
+class TestRange:
+    def test_uniform_sampling_in_bounds(self, rng):
+        r = Range(10.0, 20.0)
+        xs = r.sample(rng, size=1000)
+        assert xs.min() >= 10.0 and xs.max() <= 20.0
+        assert abs(xs.mean() - 15.0) < 0.5
+
+    def test_normal_sampling_truncated(self, rng):
+        r = Range(10.0, 20.0, mode="normal")
+        xs = r.sample(rng, size=2000)
+        assert xs.min() >= 10.0 and xs.max() <= 20.0
+        # Truncated normal concentrates near the midpoint more than uniform.
+        assert np.std(xs) < np.std(Range(10.0, 20.0).sample(rng, size=2000))
+
+    def test_scalar_sample(self, rng):
+        x = Range(5.0, 6.0).sample(rng)
+        assert isinstance(x, float) and 5.0 <= x <= 6.0
+
+    def test_degenerate_range(self, rng):
+        assert Range(7.0, 7.0).sample(rng) == 7.0
+        assert Range(7.0, 7.0, mode="normal").sample(rng) == 7.0
+
+    def test_sample_int(self, rng):
+        xs = Range(100.0, 200.0).sample_int(rng, size=50)
+        assert xs.dtype.kind == "i"
+        assert all(100 <= x <= 200 for x in xs)
+
+    def test_invalid(self):
+        with pytest.raises(ModelError):
+            Range(5.0, 4.0)
+        with pytest.raises(ModelError):
+            Range(1.0, 2.0, mode="lognormal")
+
+    def test_with_mode_and_scaled(self):
+        r = Range(2.0, 4.0)
+        assert r.with_mode("normal").mode == "normal"
+        s = r.scaled(10.0)
+        assert (s.lo, s.hi) == (20.0, 40.0)
+
+    def test_contains(self):
+        assert Range(1.0, 2.0).contains(1.5)
+        assert not Range(1.0, 2.0).contains(2.1)
+
+
+class TestPresets:
+    def test_high_level_matches_table1(self):
+        w = HIGH_LEVEL
+        assert (w.vproc.lo, w.vproc.hi) == (mips(50), mips(100))
+        assert (w.vmem.lo, w.vmem.hi) == (mib(128), mib(256))
+        assert (w.vstor.lo, w.vstor.hi) == (100.0, 200.0)
+        assert (w.vbw.lo, w.vbw.hi) == (mbps(0.5), mbps(1.0))
+        assert (w.vlat.lo, w.vlat.hi) == (30.0, 60.0)
+        assert w.ratio_range == (2.5, 10.0)
+
+    def test_low_level_matches_table1(self):
+        w = LOW_LEVEL
+        assert (w.vproc.lo, w.vproc.hi) == (19.0, 38.0)
+        assert (w.vmem.lo, w.vmem.hi) == (19, 38)
+        assert (w.vstor.lo, w.vstor.hi) == (19.0, 38.0)
+        assert (w.vbw.lo, w.vbw.hi) == (pytest.approx(kbps(87)), pytest.approx(kbps(175)))
+        assert w.default_density == 0.01
+        assert w.ratio_range == (20.0, 50.0)
+
+    def test_lookup_by_name(self):
+        assert workload_by_name("high-level") is HIGH_LEVEL
+        assert workload_by_name("low-level") is LOW_LEVEL
+        with pytest.raises(ModelError):
+            workload_by_name("nope")
+
+    def test_sampling_mode_switch(self):
+        n = HIGH_LEVEL.with_sampling_mode("normal")
+        assert n.vmem.mode == "normal"
+        assert n.vmem.lo == HIGH_LEVEL.vmem.lo
+
+    def test_scaled(self):
+        s = LOW_LEVEL.scaled(2.0)
+        assert s.vmem.hi == 76
+        assert s.vbw.hi == LOW_LEVEL.vbw.hi  # link demands untouched
+
+    def test_describe(self):
+        assert "high-level" in HIGH_LEVEL.describe()
+
+
+class TestEdgesForDensity:
+    def test_connectivity_floor(self):
+        assert edges_for_density(100, 0.0001) == 99
+
+    def test_exact_density(self):
+        # 100 nodes, density 0.04 -> 0.04 * 4950 = 198 edges
+        assert edges_for_density(100, 0.04) == 198
+
+    def test_complete_cap(self):
+        assert edges_for_density(10, 1.0) == 45
+
+    def test_tiny_graphs(self):
+        assert edges_for_density(0, 0.5) == 0
+        assert edges_for_density(1, 0.5) == 0
+        assert edges_for_density(2, 0.5) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ModelError):
+            edges_for_density(10, 1.5)
+        with pytest.raises(ModelError):
+            edges_for_density(-1, 0.5)
+
+
+class TestRandomConnectedEdges:
+    def test_connected_and_exact_count(self, rng):
+        import networkx as nx
+
+        for n, m in [(10, 9), (10, 20), (30, 200)]:
+            edges = random_connected_edges(n, m, rng)
+            assert len(edges) == m
+            assert len(set(edges)) == m
+            g = nx.Graph(edges)
+            g.add_nodes_from(range(n))
+            assert nx.is_connected(g)
+
+    def test_dense_path(self, rng):
+        import networkx as nx
+
+        edges = random_connected_edges(10, 40, rng)  # > 60% of 45
+        assert len(edges) == 40
+        assert nx.is_connected(nx.Graph(edges))
+
+    def test_bounds(self, rng):
+        with pytest.raises(ModelError):
+            random_connected_edges(10, 8, rng)  # below spanning tree
+        with pytest.raises(ModelError):
+            random_connected_edges(10, 46, rng)  # above complete
+
+
+class TestGenerator:
+    def test_resources_within_workload_ranges(self):
+        venv = generate_virtual_environment(150, workload=HIGH_LEVEL, seed=3)
+        for g in venv.guests():
+            assert HIGH_LEVEL.vproc.contains(g.vproc)
+            assert HIGH_LEVEL.vmem.lo <= g.vmem <= HIGH_LEVEL.vmem.hi
+            assert HIGH_LEVEL.vstor.contains(g.vstor)
+        for e in venv.vlinks():
+            assert HIGH_LEVEL.vbw.contains(e.vbw)
+            assert HIGH_LEVEL.vlat.contains(e.vlat)
+
+    def test_connected_guaranteed(self):
+        for seed in range(5):
+            venv = generate_virtual_environment(60, workload=LOW_LEVEL, seed=seed)
+            assert venv.is_connected()
+
+    def test_density_honored_above_floor(self):
+        venv = generate_virtual_environment(200, workload=HIGH_LEVEL, density=0.05, seed=1)
+        assert venv.n_vlinks == round(0.05 * 200 * 199 / 2)
+
+    def test_deterministic(self):
+        a = generate_virtual_environment(50, seed=11)
+        b = generate_virtual_environment(50, seed=11)
+        assert list(a.guests()) == list(b.guests())
+        assert list(a.vlinks()) == list(b.vlinks())
+
+    def test_different_seeds_differ(self):
+        a = generate_virtual_environment(50, seed=11)
+        b = generate_virtual_environment(50, seed=12)
+        assert list(a.guests()) != list(b.guests())
+
+    def test_single_guest(self):
+        venv = generate_virtual_environment(1, seed=0)
+        assert venv.n_guests == 1 and venv.n_vlinks == 0
+
+    def test_invalid_count(self):
+        with pytest.raises(ModelError):
+            generate_virtual_environment(0, seed=0)

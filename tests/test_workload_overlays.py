@@ -1,0 +1,119 @@
+"""Unit tests for structured overlays (repro.workload.overlays)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import ModelError
+from repro.workload import (
+    HIGH_LEVEL,
+    LOW_LEVEL,
+    chain_venv,
+    ring_venv,
+    scale_free_venv,
+    star_venv,
+    tree_venv,
+    venv_from_graph,
+)
+
+
+class TestShapes:
+    def test_star(self):
+        v = star_venv(10, seed=1)
+        assert v.n_guests == 11
+        assert v.n_vlinks == 10
+        assert v.degree(0) == 10  # the master
+        assert all(v.degree(i) == 1 for i in range(1, 11))
+
+    def test_chain(self):
+        v = chain_venv(6, seed=1)
+        assert v.n_vlinks == 5
+        assert v.degree(0) == v.degree(5) == 1
+        assert all(v.degree(i) == 2 for i in range(1, 5))
+
+    def test_ring(self):
+        v = ring_venv(7, seed=1)
+        assert v.n_vlinks == 7
+        assert all(v.degree(i) == 2 for i in v.guest_ids)
+
+    def test_tree(self):
+        v = tree_venv(7, fanout=2, seed=1)
+        assert v.n_vlinks == 6
+        assert v.degree(0) == 2  # root has two children
+        assert set(v.neighbors(0)) == {1, 2}
+        assert set(v.neighbors(1)) == {0, 3, 4}
+
+    def test_tree_wide_fanout(self):
+        v = tree_venv(10, fanout=9, seed=1)
+        assert v.degree(0) == 9  # flat star when fanout >= n-1
+
+    def test_scale_free_has_hubs(self):
+        v = scale_free_venv(300, attachment=2, seed=1)
+        assert v.is_connected()
+        degrees = sorted((v.degree(g) for g in v.guest_ids), reverse=True)
+        assert degrees[0] >= 5 * degrees[len(degrees) // 2]  # heavy tail
+
+    def test_all_connected(self):
+        for v in (
+            star_venv(5, seed=0),
+            chain_venv(5, seed=0),
+            ring_venv(5, seed=0),
+            tree_venv(5, seed=0),
+            scale_free_venv(20, seed=0),
+        ):
+            assert v.is_connected()
+
+
+class TestResourceSampling:
+    def test_workload_ranges_respected(self):
+        v = scale_free_venv(50, workload=LOW_LEVEL, seed=3)
+        for g in v.guests():
+            assert LOW_LEVEL.vproc.contains(g.vproc)
+            assert LOW_LEVEL.vmem.lo <= g.vmem <= LOW_LEVEL.vmem.hi
+        for e in v.vlinks():
+            assert LOW_LEVEL.vbw.contains(e.vbw)
+            assert LOW_LEVEL.vlat.contains(e.vlat)
+
+    def test_deterministic(self):
+        a = scale_free_venv(40, seed=7)
+        b = scale_free_venv(40, seed=7)
+        assert list(a.guests()) == list(b.guests())
+        assert list(a.vlinks()) == list(b.vlinks())
+
+    def test_id_offset(self):
+        v = venv_from_graph(nx.path_graph(3), id_offset=100, seed=0)
+        assert v.guest_ids == (100, 101, 102)
+        assert v.has_vlink(100, 101)
+
+
+class TestValidation:
+    def test_bad_sizes(self):
+        with pytest.raises(ModelError):
+            star_venv(0)
+        with pytest.raises(ModelError):
+            chain_venv(0)
+        with pytest.raises(ModelError):
+            ring_venv(2)
+        with pytest.raises(ModelError):
+            tree_venv(0)
+        with pytest.raises(ModelError):
+            tree_venv(5, fanout=0)
+        with pytest.raises(ModelError):
+            scale_free_venv(1)
+
+    def test_graph_labels_must_be_contiguous(self):
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(ModelError, match="0..n-1"):
+            venv_from_graph(g)
+
+    def test_mappable_end_to_end(self):
+        from repro.core import validate_mapping
+        from repro.hmn import hmn_map
+        from repro.workload import paper_clusters
+
+        cluster = paper_clusters(seed=113)["switched"]
+        v = scale_free_venv(100, workload=HIGH_LEVEL, seed=4)
+        mapping = hmn_map(cluster, v)
+        validate_mapping(cluster, v, mapping)
