@@ -52,6 +52,17 @@ def test_render_table2(benchmark, grid_records):
     assert failures["random"] >= failures["random+astar"]
     assert failures["hosting+search"] >= failures["hmn"]
 
+    # Routing-cache effectiveness: every successful run records its hit
+    # rate; the label layer alone guarantees reuse on the switched fabric.
+    rates = {}
+    for r in grid_records:
+        if r.ok and "cache_hit_rate" in r.extra:
+            rates.setdefault(r.cluster, []).append(r.extra["cache_hit_rate"])
+    for cluster_name, values in sorted(rates.items()):
+        benchmark.extra_info[f"cache_hit_rate_{cluster_name}"] = sum(values) / len(values)
+    assert rates.get("switched"), "switched runs must report a cache hit rate"
+    assert max(rates["switched"]) > 0.0
+
 
 @pytest.mark.parametrize("mapper_name", PAPER_MAPPERS)
 def test_mapper_cost_representative_instance(benchmark, mapper_name):
@@ -73,3 +84,6 @@ def test_mapper_cost_representative_instance(benchmark, mapper_name):
     if mapping is not None:
         validate_mapping(cluster, venv, mapping)
         benchmark.extra_info["objective"] = mapping.meta["objective"]
+        timings = mapping.meta.get("timings", {})
+        if "cache_hit_rate" in timings:
+            benchmark.extra_info["cache_hit_rate"] = timings["cache_hit_rate"]

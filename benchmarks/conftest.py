@@ -15,7 +15,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _config import BASE_SEED, REPS, SPEC, mapper_kwargs, scenarios  # noqa: E402
+from _config import BASE_SEED, REPS, SPEC, WORKERS, mapper_kwargs, scenarios  # noqa: E402
 
 from repro.analysis import run_grid  # noqa: E402
 from repro.baselines import PAPER_MAPPERS  # noqa: E402
@@ -32,4 +32,5 @@ def grid_records():
         base_seed=BASE_SEED,
         spec=SPEC,
         mapper_kwargs=mapper_kwargs(),
+        workers=WORKERS,
     )

@@ -19,9 +19,12 @@ from repro.analysis.figures import (
     render_figure1,
 )
 from repro.analysis.runner import (
+    BatchRunner,
+    CellSpec,
     CellStats,
     RunRecord,
     aggregate,
+    expand_cells,
     records_to_dicts,
     run_cell,
     run_grid,
@@ -40,8 +43,11 @@ from repro.analysis.tables import render_generic, render_table2, render_table3, 
 
 __all__ = [
     "RunRecord",
+    "CellSpec",
     "CellStats",
+    "BatchRunner",
     "run_cell",
+    "expand_cells",
     "run_grid",
     "aggregate",
     "records_to_dicts",

@@ -91,6 +91,15 @@ def describe_mapping(
             "stages: " + "; ".join(str(s) for s in mapping.stages)
         )
 
+    timings = mapping.meta.get("timings")
+    if timings:
+        parts = [f"total {timings.get('total_s', 0.0) * 1e3:.2f} ms"]
+        if "routing_calls" in timings:
+            parts.append(f"{timings['routing_calls']} routing calls")
+        if "cache_hit_rate" in timings:
+            parts.append(f"routing-cache hit rate {timings['cache_hit_rate']:.1%}")
+        sections.append("profile: " + ", ".join(parts))
+
     sections.append("")
     sections.append(host_table(cluster, venv, mapping))
     sections.append("")

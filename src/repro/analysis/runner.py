@@ -13,13 +13,22 @@ Seeding: every cell derives its streams from
 reproducible independently of execution order, and — as in the paper —
 all heuristics of the same (scenario, rep) see the **same** virtual
 environment.
+
+Execution: cells are expanded into picklable :class:`CellSpec` work
+items and handed to a :class:`BatchRunner`, which either runs them
+serially (``workers=1``) or fans them out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` and merges the
+completed records back into the deterministic cell order by their
+``(base seed, scenario, rep, cluster, mapper)`` key — so a parallel
+sweep returns byte-for-byte the same records as a serial one, modulo
+wall-clock fields.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
-from typing import Iterable, Mapping as TMapping, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping as TMapping, Sequence
 
 from repro.baselines.registry import get_mapper
 from repro.core.cluster import PhysicalCluster
@@ -30,7 +39,16 @@ from repro.simulator.experiment import run_experiment
 from repro.simulator.workload_model import ExperimentSpec
 from repro.workload.scenario import Scenario
 
-__all__ = ["RunRecord", "CellStats", "run_cell", "run_grid", "aggregate"]
+__all__ = [
+    "RunRecord",
+    "CellSpec",
+    "CellStats",
+    "BatchRunner",
+    "run_cell",
+    "expand_cells",
+    "run_grid",
+    "aggregate",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -136,6 +154,12 @@ def run_cell(
         makespan = result.makespan
 
     n_routed = sum(1 for p in mapping.paths.values() if len(p) > 1)
+    extra: dict[str, object] = {"stages": {s.name: s.elapsed_s for s in mapping.stages}}
+    timings = mapping.meta.get("timings")
+    if timings:
+        extra["timings"] = dict(timings)
+        if "cache_hit_rate" in timings:
+            extra["cache_hit_rate"] = timings["cache_hit_rate"]
     return RunRecord(
         scenario=scenario.label,
         cluster=cluster_name,
@@ -148,18 +172,144 @@ def run_cell(
         makespan=makespan,
         n_vlinks=venv.n_vlinks,
         n_routed=n_routed,
-        extra={"stages": {s.name: s.elapsed_s for s in mapping.stages}},
+        extra=extra,
     )
 
 
-def _expand_cells(
+@dataclass(frozen=True)
+class CellSpec:
+    """One grid cell as a self-contained, picklable work item.
+
+    Everything a worker process needs is carried by value (the cluster
+    object, the scenario, the experiment spec), so a spec can be
+    executed in any process with no shared state.  Its :attr:`key`
+    identifies the cell independently of execution order — the merge
+    key of :class:`BatchRunner`.
+    """
+
+    cluster: PhysicalCluster
+    cluster_name: str
+    scenario: Scenario
+    mapper: str
+    rep: int
+    base_seed: int = 0
+    spec: ExperimentSpec | None = None
+    simulate: bool = True
+    mapper_kwargs: TMapping[str, object] | None = None
+
+    @property
+    def key(self) -> tuple:
+        """Deterministic identity: (seed, scenario, rep, cluster, mapper)."""
+        return (self.base_seed, self.scenario.label, self.rep, self.cluster_name, self.mapper)
+
+    def execute(self) -> RunRecord:
+        """Run this cell in the current process."""
+        return run_cell(
+            self.cluster,
+            self.cluster_name,
+            self.scenario,
+            self.mapper,
+            self.rep,
+            base_seed=self.base_seed,
+            spec=self.spec,
+            simulate=self.simulate,
+            mapper_kwargs=self.mapper_kwargs,
+        )
+
+
+def _execute_spec(spec: CellSpec) -> tuple[tuple, RunRecord]:
+    """Top-level worker (picklable) for the process pool."""
+    return spec.key, spec.execute()
+
+
+class BatchRunner:
+    """Executes a batch of :class:`CellSpec` work items, optionally in
+    parallel.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` (default) runs everything serially in-process — no pool,
+        no pickling, bit-identical to the historical serial runner.
+        ``> 1`` fans specs out over a
+        :class:`~concurrent.futures.ProcessPoolExecutor` with that many
+        workers; cells are fully independent (per-cell derived seeding,
+        no shared stream state), so the records are identical to a
+        serial run except for wall-clock fields, which measure the same
+        work under the pool's CPU contention.
+    progress:
+        Optional callback invoked with each finished
+        :class:`RunRecord` — in submission order when serial, in
+        completion order when parallel.
+
+    Results are merged deterministically: each record is filed under
+    its spec's ``(base seed, scenario, rep, cluster, mapper)`` key and
+    the output list follows the input spec order, never the completion
+    order.
+    """
+
+    __slots__ = ("workers", "progress")
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        progress: Callable[[RunRecord], None] | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ModelError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.progress = progress
+
+    def run(self, specs: Sequence[CellSpec]) -> list[RunRecord]:
+        """Execute all *specs*, returning records in spec order."""
+        specs = list(specs)
+        if self.workers == 1:
+            records = []
+            for spec in specs:
+                record = spec.execute()
+                records.append(record)
+                if self.progress is not None:
+                    self.progress(record)
+            return records
+
+        keys = [spec.key for spec in specs]
+        if len(set(keys)) != len(keys):
+            raise ModelError("duplicate cell keys in batch; cells must be distinct")
+
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        by_key: dict[tuple, RunRecord] = {}
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = [pool.submit(_execute_spec, spec) for spec in specs]
+            for future in as_completed(futures):
+                key, record = future.result()
+                by_key[key] = record
+                if self.progress is not None:
+                    self.progress(record)
+        return [by_key[key] for key in keys]
+
+
+def expand_cells(
     clusters,
     scenarios: Sequence[Scenario],
     mappers: Sequence[str],
-    reps: int,
-    base_seed: int,
-):
-    """Yield (cluster, cluster_name, scenario, mapper, rep) work items."""
+    *,
+    reps: int = 1,
+    base_seed: int = 0,
+    spec: ExperimentSpec | None = None,
+    simulate: bool = True,
+    mapper_kwargs: TMapping[str, TMapping[str, object]] | None = None,
+) -> list[CellSpec]:
+    """Expand a grid description into its :class:`CellSpec` work items.
+
+    *clusters* is either a fixed ``{name: PhysicalCluster}`` mapping or
+    a callable ``seed -> {name: PhysicalCluster}`` invoked once per
+    (scenario, repetition); cluster construction always happens here,
+    in the submitting process, so the expansion is identical no matter
+    where the cells later execute.
+    """
+    out: list[CellSpec] = []
     for scenario in scenarios:
         for rep in range(reps):
             if callable(clusters):
@@ -168,23 +318,20 @@ def _expand_cells(
                 rep_clusters = clusters
             for cluster_name, cluster in rep_clusters.items():
                 for mapper_name in mappers:
-                    yield cluster, cluster_name, scenario, mapper_name, rep
-
-
-def _run_cell_task(args) -> RunRecord:
-    """Top-level worker (picklable) for parallel sweeps."""
-    cluster, cluster_name, scenario, mapper_name, rep, base_seed, spec, simulate, kwargs = args
-    return run_cell(
-        cluster,
-        cluster_name,
-        scenario,
-        mapper_name,
-        rep,
-        base_seed=base_seed,
-        spec=spec,
-        simulate=simulate,
-        mapper_kwargs=kwargs,
-    )
+                    out.append(
+                        CellSpec(
+                            cluster=cluster,
+                            cluster_name=cluster_name,
+                            scenario=scenario,
+                            mapper=mapper_name,
+                            rep=rep,
+                            base_seed=base_seed,
+                            spec=spec,
+                            simulate=simulate,
+                            mapper_kwargs=(mapper_kwargs or {}).get(mapper_name),
+                        )
+                    )
+    return out
 
 
 def run_grid(
@@ -212,58 +359,24 @@ def run_grid(
     arguments (e.g. retry budgets).  *progress*, if given, is called
     with each finished :class:`RunRecord` — hook for long sweeps.
 
-    ``workers > 1`` fans cells out over a process pool.  Cells are
-    fully independent (seeding is derived per cell, never from shared
-    stream state), so parallel and sequential sweeps produce identical
-    records up to ordering — the result list is always returned in the
-    deterministic cell order.  Wall-time fields (``map_seconds`` etc.)
-    measure the same work but under whatever CPU contention the pool
-    creates; use ``workers=1`` for timing-sensitive sweeps like
-    Figure 1.
+    ``workers > 1`` fans cells out over a :class:`BatchRunner` process
+    pool; records come back in the deterministic cell order regardless
+    of completion order, identical to a serial run except for the
+    wall-clock fields (``map_seconds`` etc.), which measure the same
+    work but under whatever CPU contention the pool creates.  Use
+    ``workers=1`` for timing-sensitive sweeps like Figure 1.
     """
-    cells = list(_expand_cells(clusters, scenarios, mappers, reps, base_seed))
-    if workers <= 1:
-        records = []
-        for cluster, cluster_name, scenario, mapper_name, rep in cells:
-            record = run_cell(
-                cluster,
-                cluster_name,
-                scenario,
-                mapper_name,
-                rep,
-                base_seed=base_seed,
-                spec=spec,
-                simulate=simulate,
-                mapper_kwargs=(mapper_kwargs or {}).get(mapper_name),
-            )
-            records.append(record)
-            if progress is not None:
-                progress(record)
-        return records
-
-    from concurrent.futures import ProcessPoolExecutor
-
-    tasks = [
-        (
-            cluster,
-            cluster_name,
-            scenario,
-            mapper_name,
-            rep,
-            base_seed,
-            spec,
-            simulate,
-            (mapper_kwargs or {}).get(mapper_name),
-        )
-        for cluster, cluster_name, scenario, mapper_name, rep in cells
-    ]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        records = []
-        for record in pool.map(_run_cell_task, tasks, chunksize=1):
-            records.append(record)
-            if progress is not None:
-                progress(record)
-    return records
+    cells = expand_cells(
+        clusters,
+        scenarios,
+        mappers,
+        reps=reps,
+        base_seed=base_seed,
+        spec=spec,
+        simulate=simulate,
+        mapper_kwargs=mapper_kwargs,
+    )
+    return BatchRunner(workers, progress=progress).run(cells)
 
 
 @dataclass(frozen=True, slots=True)

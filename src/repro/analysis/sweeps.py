@@ -76,12 +76,19 @@ def sweep_scenarios(
     simulate: bool = False,
     mapper_kwargs=None,
     workers: int = 1,
+    progress=None,
 ) -> SweepResult:
     """Run the grid over scenarios generated from *axis* values.
 
     *make_scenario* must give distinct labels for distinct axis values
     (Scenario labels encode ratio and density, so sweeping either is
     automatically safe; other axes should tweak one of the two).
+
+    ``workers > 1`` fans the sweep's cells out over the grid runner's
+    :class:`~repro.analysis.runner.BatchRunner` process pool; records
+    are merged back into deterministic order, so the sweep's series are
+    identical to a serial run.  *progress* is forwarded to the runner
+    (called per finished record, in completion order when parallel).
     """
     if not axis:
         raise ModelError("sweep needs at least one axis value")
@@ -105,6 +112,7 @@ def sweep_scenarios(
         simulate=simulate,
         mapper_kwargs=mapper_kwargs,
         workers=workers,
+        progress=progress,
     )
     cluster_names = tuple(dict.fromkeys(r.cluster for r in records))
     return SweepResult(

@@ -88,10 +88,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--reps", type=int, default=2)
         p.add_argument("--rows", default="subset", choices=["subset", "all"])
         p.add_argument("--seed", type=int, default=2009)
+        p.add_argument("--workers", type=int, default=1,
+                       help="process-pool size for the grid sweep (1 = serial; "
+                            "results are identical either way)")
 
     p = sub.add_parser("figure1", help="regenerate the paper's Figure 1 series")
     p.add_argument("--reps", type=int, default=2)
     p.add_argument("--seed", type=int, default=2009)
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool size (timing series: prefer 1 so wall "
+                        "times are uncontended)")
 
     sub.add_parser("mappers", help="list the heuristic pool")
     return parser
@@ -233,6 +239,7 @@ def _grid(args, which: str) -> int:
         base_seed=args.seed,
         spec=ExperimentSpec(compute_seconds=100.0, comm_seconds=5.0),
         mapper_kwargs={"random": {"max_tries": 6}, "hosting+search": {"max_tries": 6}},
+        workers=args.workers,
     )
     renderer = render_table2 if which == "table2" else render_table3
     print(renderer(records))
@@ -245,7 +252,8 @@ def _figure1(args) -> int:
 
     rows = [paper_scenarios()[i] for i in (0, 1, 3, 12, 15)]
     records = run_grid(
-        paper_clusters, rows, ["hmn"], reps=args.reps, base_seed=args.seed, simulate=False
+        paper_clusters, rows, ["hmn"], reps=args.reps, base_seed=args.seed,
+        simulate=False, workers=args.workers,
     )
     print(render_figure1(figure1_series(records)))
     return 0

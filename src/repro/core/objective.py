@@ -201,6 +201,26 @@ class ResidualCpuTracker:
         """Current Eq. 10 value."""
         return math.sqrt(self.variance())
 
+    def exact_variance(self) -> float:
+        """Two-pass :func:`math.fsum` variance from the residual values.
+
+        Unlike :meth:`variance`, this never trusts the running
+        aggregates, so it carries no accumulated drift — use it
+        wherever the value is *reported* (it ends up in
+        ``Mapping.meta["objective"]``) rather than merely compared.
+        The incremental aggregates are re-anchored as a side effect, so
+        a long-lived tracker cannot drift without bound either.
+        """
+        self._sum = math.fsum(self._residual.values())
+        self._sumsq = math.fsum(v * v for v in self._residual.values())
+        mean = self._sum / self._n
+        var = math.fsum((v - mean) ** 2 for v in self._residual.values()) / self._n
+        return max(var, 0.0)
+
+    def exact_std(self) -> float:
+        """Eq. 10 recomputed exactly from the residual values."""
+        return math.sqrt(self.exact_variance())
+
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------

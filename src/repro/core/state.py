@@ -13,6 +13,7 @@ mutating) or simply discard the state and start from a fresh copy.
 
 from __future__ import annotations
 
+import itertools
 from typing import Hashable, Iterable, Mapping, Sequence
 
 from repro.core.cluster import PhysicalCluster
@@ -30,6 +31,13 @@ NodeId = Hashable
 # practice the residual only drifts by a few ulps; the epsilon prevents
 # spurious CapacityErrors when a link is filled exactly to capacity.
 _BW_EPS = 1e-9
+
+# Allocator for residual-bandwidth epoch tokens (see ClusterState.bw_epoch).
+# Global so that two *different* states can never reach the same token
+# through different mutation histories: a token is only ever shared by
+# states whose residual tables are bit-identical (fresh states at 0, or
+# copies/restores of one another).
+_EPOCH_TOKENS = itertools.count(1)
 
 
 def path_edges(nodes: Sequence[NodeId]) -> list[EdgeKey]:
@@ -59,6 +67,7 @@ class ClusterState:
         "_host_of",
         "_guests_on",
         "_guest_obj",
+        "_bw_epoch",
     )
 
     def __init__(self, cluster: PhysicalCluster) -> None:
@@ -72,6 +81,7 @@ class ClusterState:
         self._host_of: dict[int, NodeId] = {}
         self._guests_on: dict[NodeId, set[int]] = {h.id: set() for h in cluster.hosts()}
         self._guest_obj: dict[int, Guest] = {}
+        self._bw_epoch = 0
 
     # ------------------------------------------------------------------
     # residual accessors
@@ -109,6 +119,21 @@ class ClusterState:
         return self._cpu
 
     @property
+    def bw_epoch(self) -> int:
+        """Version token of the residual-bandwidth table.
+
+        ``0`` identifies the virgin state (full capacities); every
+        reservation or release that actually changes a residual
+        installs a globally fresh token.  Two states of the same
+        cluster carry the same token **iff** their residual-bandwidth
+        tables are identical (tokens propagate only through
+        :meth:`copy`/:meth:`restore_from`), which makes the token a
+        sound cache key for routing results — see
+        :class:`repro.routing.cache.RoutingCache`.
+        """
+        return self._bw_epoch
+
+    @property
     def bw_table(self) -> Mapping[EdgeKey, float]:
         """The live residual-bandwidth table, keyed by canonical edge key.
 
@@ -120,8 +145,18 @@ class ClusterState:
         return self._bw
 
     def objective(self) -> float:
-        """Current Eq. 10 value (population std of residual CPU)."""
-        return self._cpu.std()
+        """Current Eq. 10 value (population std of residual CPU).
+
+        Recomputed exactly (two-pass :func:`math.fsum`) from the
+        residual values rather than read off the O(1) incremental
+        aggregates: every reported objective — ``Mapping.meta`` values,
+        the branch-and-bound incumbent in
+        :func:`repro.extensions.exact.exact_map` — flows through here,
+        and incremental drift of a few 1e-9 relative was enough to
+        disagree with a from-scratch recompute.  Mappers that need the
+        O(1) form in hot loops use :attr:`cpu` directly.
+        """
+        return self._cpu.exact_std()
 
     def bandwidth_usage(self) -> dict[EdgeKey, float]:
         """Consumed bandwidth per physical link (capacity - residual)."""
@@ -259,6 +294,8 @@ class ClusterState:
                 raise CapacityError(
                     f"link {e} has {self._bw[e]:.6g} Mbit/s residual, cannot reserve {bw:.6g}"
                 )
+        if edges and bw != 0.0:
+            self._bw_epoch = next(_EPOCH_TOKENS)
         for e in edges:
             self._bw[e] -= bw
 
@@ -270,6 +307,11 @@ class ClusterState:
         for e in edges:
             if e not in self._bw:
                 raise UnknownNodeError(e, "cluster link")
+        # Bump before mutating: a capacity-overflow ModelError below
+        # leaves the table partially mutated, so the old token must die
+        # with it (over-bumping only costs cache misses, never safety).
+        if edges and bw != 0.0:
+            self._bw_epoch = next(_EPOCH_TOKENS)
         for e in edges:
             self._bw[e] += bw
             cap = self.cluster.link(*e).bw
@@ -292,6 +334,8 @@ class ClusterState:
         out._host_of = dict(self._host_of)
         out._guests_on = {h: set(s) for h, s in self._guests_on.items()}
         out._guest_obj = dict(self._guest_obj)
+        # The copy's residual table is identical, so the token stays valid.
+        out._bw_epoch = self._bw_epoch
         return out
 
     def restore_from(self, snapshot: "ClusterState") -> None:
@@ -313,6 +357,7 @@ class ClusterState:
         self._host_of = dict(snapshot._host_of)
         self._guests_on = {h: set(s) for h, s in snapshot._guests_on.items()}
         self._guest_obj = dict(snapshot._guest_obj)
+        self._bw_epoch = snapshot._bw_epoch
 
     def place_all(self, guests: Iterable[Guest], assignment: Mapping[int, NodeId]) -> None:
         """Place many guests at once per *assignment* (guest id -> host)."""

@@ -29,7 +29,7 @@ from repro.core.venv import VirtualEnvironment
 from repro.errors import MappingError, ModelError
 from repro.hmn.config import HMNConfig
 from repro.hmn.pipeline import hmn_map
-from repro.routing.dijkstra import LatencyOracle
+from repro.routing.cache import RoutingCache
 from repro.seeding import rng_from
 
 __all__ = ["TenantEvent", "AdmissionResult", "simulate_admissions"]
@@ -93,7 +93,10 @@ def simulate_admissions(
     rng = rng_from(seed)
 
     state = ClusterState(cluster)
-    oracle = LatencyOracle(cluster)
+    # One routing cache for the whole arrival sequence: latency labels
+    # amortize across tenants, and the epoch-keyed path memo survives
+    # any stretch of arrivals that leaves residual bandwidth untouched.
+    cache = RoutingCache(cluster)
     total_mem = cluster.total_mem()
 
     #: departures as (depart_time, tenant, venv, mapping)
@@ -119,7 +122,7 @@ def simulate_admissions(
 
         venv = make_venv(t, rng)
         try:
-            mapping = hmn_map(cluster, venv, config, state=state, oracle=oracle)
+            mapping = hmn_map(cluster, venv, config, state=state, cache=cache)
         except MappingError as exc:
             rejected += 1
             events.append(

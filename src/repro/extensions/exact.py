@@ -111,6 +111,11 @@ def exact_map(
                 f"exact search exceeded {max_search_nodes} nodes; instance too hard"
             )
         if idx == len(guests):
+            # state.objective() recomputes Eq. 10 with a two-pass
+            # math.fsum from the residual values — the incumbent must be
+            # exact (it is compared against brute force at 1e-9
+            # relative), and the incrementally-maintained aggregates
+            # drift past that over deep search trees.
             objective = state.objective()
             if objective < best_objective - 1e-12:
                 best_objective = objective

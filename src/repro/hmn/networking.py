@@ -14,10 +14,12 @@ the reason Networking time varies between runs of the same scenario
 ("links whose guests are in the same host are not mapped, as they are
 handled inside the host").
 
-A shared :class:`~repro.routing.dijkstra.LatencyOracle` caches the
-per-destination latency tables across all links of the stage; the
+All bottleneck queries flow through a
+:class:`~repro.routing.cache.RoutingCache`, which memoizes the
+per-destination latency tables across all links of the stage — the
 paper identifies exactly this computation as the dominant mapping cost
-(Figure 1 discussion).
+(Figure 1 discussion) — and the path results themselves, keyed by the
+state's residual-bandwidth epoch.
 
 The ``routing_metric="latency"`` ablation replaces Algorithm 1 with a
 bandwidth-feasible minimum-latency search (the generic A*Prune of
@@ -36,10 +38,8 @@ from repro.errors import RoutingError
 from repro.hmn.config import HMNConfig
 from repro.hmn.ordering import ordered_vlinks
 from repro.routing.astar_prune import Constraint, Metric, astar_prune
-from repro.routing.bottleneck_prune import bottleneck_route
-from repro.routing.labels import bottleneck_route_labels
+from repro.routing.cache import RoutingCache
 from repro.routing.dijkstra import LatencyOracle
-from repro.routing.graph import RoutingGraph
 
 __all__ = ["run_networking"]
 
@@ -80,6 +80,7 @@ def run_networking(
     config: HMNConfig,
     *,
     oracle: LatencyOracle | None = None,
+    cache: RoutingCache | None = None,
 ) -> tuple[dict[VLinkKey, tuple[NodeId, ...]], dict]:
     """Execute the Networking stage against a fully placed *state*.
 
@@ -87,16 +88,24 @@ def run_networking(
     to its node path, and mutates *state* by reserving bandwidth along
     every inter-host path.
 
+    All bottleneck queries go through a
+    :class:`~repro.routing.cache.RoutingCache` — pass one (e.g. shared
+    across the mappings of a multi-tenant cluster) to reuse its latency
+    labels and epoch-keyed path results; otherwise a private cache is
+    built, optionally adopting a caller-supplied *oracle* so warmed
+    Dijkstra tables are never discarded.
+
     Raises :class:`~repro.errors.RoutingError` (heuristic failure) when
     some link admits no feasible path under the residual bandwidths.
     """
-    if oracle is None:
-        oracle = LatencyOracle(state.cluster)
-    graph = RoutingGraph(state.cluster)
+    if cache is None:
+        cache = RoutingCache(state.cluster, oracle=oracle)
     paths: dict[VLinkKey, tuple[NodeId, ...]] = {}
     colocated = 0
     routed = 0
     total_expansions = 0
+    hits_before = cache.path_hits + cache.label_hits
+    queries_before = cache.path_queries + cache.label_queries
 
     for link in ordered_vlinks(venv, config):
         src = state.host_of(link.a)
@@ -106,29 +115,15 @@ def run_networking(
             colocated += 1
             continue
         if config.routing_metric == "bottleneck":
-            if config.router == "label_setting":
-                result = bottleneck_route_labels(
-                    state.cluster,
-                    src,
-                    dst,
-                    bandwidth=link.vbw,
-                    latency_bound=link.vlat,
-                    oracle=oracle,
-                    graph=graph,
-                    bw_table=state.bw_table,
-                )
-            else:
-                result = bottleneck_route(
-                    state.cluster,
-                    src,
-                    dst,
-                    bandwidth=link.vbw,
-                    latency_bound=link.vlat,
-                    oracle=oracle,
-                    max_expansions=config.max_route_expansions,
-                    graph=graph,
-                    bw_table=state.bw_table,
-                )
+            result = cache.route(
+                state,
+                src,
+                dst,
+                bandwidth=link.vbw,
+                latency_bound=link.vlat,
+                router=config.router,
+                max_expansions=config.max_route_expansions,
+            )
             nodes = result.nodes
             total_expansions += result.expansions
         else:
@@ -137,9 +132,14 @@ def run_networking(
         paths[link.key] = nodes
         routed += 1
 
+    queries = cache.path_queries + cache.label_queries - queries_before
+    hits = cache.path_hits + cache.label_hits - hits_before
     return paths, {
         "links_routed": routed,
         "links_colocated": colocated,
         "router_expansions": total_expansions,
-        "dijkstra_tables": oracle.cached_destinations,
+        "dijkstra_tables": cache.oracle.cached_destinations,
+        "routing_calls": routed,
+        "cache_hit_rate": hits / queries if queries else 0.0,
+        "cache": cache.stats(),
     }

@@ -19,6 +19,7 @@ from repro.hmn.config import HMNConfig
 from repro.hmn.hosting import run_hosting
 from repro.hmn.migration import run_migration
 from repro.hmn.networking import run_networking
+from repro.routing.cache import RoutingCache
 from repro.routing.dijkstra import LatencyOracle
 
 __all__ = ["hmn_map"]
@@ -31,6 +32,7 @@ def hmn_map(
     *,
     state: ClusterState | None = None,
     oracle: LatencyOracle | None = None,
+    cache: RoutingCache | None = None,
 ) -> Mapping:
     """Map *venv* onto *cluster* with the HMN heuristic.
 
@@ -49,13 +51,23 @@ def hmn_map(
         Optional shared latency oracle; pass one when mapping many
         virtual environments onto the same cluster to amortize the
         Dijkstra tables (they depend only on topology, never on load).
+    cache:
+        Optional shared :class:`~repro.routing.cache.RoutingCache`
+        (subsumes *oracle*: it carries a latency oracle plus the
+        epoch-keyed path memo).  Pass one across repeated mappings of
+        the same cluster to reuse routing work; a private cache is
+        built otherwise.
 
     Returns
     -------
     Mapping
         Complete, constraint-satisfying mapping; ``mapping.stages``
         carries Hosting/Migration/Networking wall times and counters,
-        and ``mapping.meta["objective"]`` the final Eq. 10 value.
+        ``mapping.meta["objective"]`` the final Eq. 10 value
+        (recomputed exactly from the residual state at pipeline exit),
+        and ``mapping.meta["timings"]`` the flat per-stage
+        timing/metrics record (stage seconds, routing calls, cache hit
+        rate) the experiment runner and benchmark reports consume.
 
     Raises
     ------
@@ -69,6 +81,8 @@ def hmn_map(
     shared_state = state is not None
     if state is None:
         state = ClusterState(cluster)
+    if cache is None:
+        cache = RoutingCache(cluster, oracle=oracle)
 
     # A failure mid-pipeline must not leak partial placements or
     # bandwidth reservations into a caller-owned (multi-tenant) state.
@@ -86,12 +100,18 @@ def hmn_map(
             stages.append(StageReport("migration", time.perf_counter() - t0, migration_stats))
 
         t0 = time.perf_counter()
-        paths, networking_stats = run_networking(state, venv, config, oracle=oracle)
+        paths, networking_stats = run_networking(state, venv, config, cache=cache)
         stages.append(StageReport("networking", time.perf_counter() - t0, networking_stats))
     except Exception:
         if snapshot is not None:
             state.restore_from(snapshot)
         raise
+
+    timings = {f"{s.name}_s": s.elapsed_s for s in stages}
+    timings["total_s"] = sum(s.elapsed_s for s in stages)
+    timings["routing_calls"] = networking_stats["routing_calls"]
+    timings["router_expansions"] = networking_stats["router_expansions"]
+    timings["cache_hit_rate"] = networking_stats["cache_hit_rate"]
 
     return Mapping(
         # Restrict to this venv's guests: a shared multi-tenant state
@@ -100,5 +120,9 @@ def hmn_map(
         paths=paths,
         mapper="hmn" if config.migration_enabled else "hmn-nomigration",
         stages=tuple(stages),
-        meta={"objective": state.objective(), "config": config.describe()},
+        meta={
+            "objective": state.objective(),
+            "config": config.describe(),
+            "timings": timings,
+        },
     )

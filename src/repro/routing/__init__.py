@@ -10,7 +10,10 @@ Implements the path-finding substrate of the paper:
 * :mod:`~repro.routing.bottleneck_prune` — the paper's modified
   1-constrained A*Prune maximizing bottleneck bandwidth (Algorithm 1);
 * :mod:`~repro.routing.dfs` — the depth-first baseline routers used by
-  the R and HS heuristics.
+  the R and HS heuristics;
+* :mod:`~repro.routing.cache` — the memoized routing layer (latency
+  labels + residual-epoch-keyed path results) the Networking stage and
+  the retrying baselines route through.
 """
 
 from repro.routing.astar_prune import (
@@ -21,6 +24,7 @@ from repro.routing.astar_prune import (
     k_shortest_latency_paths,
 )
 from repro.routing.bottleneck_prune import BottleneckPath, bottleneck_route
+from repro.routing.cache import RoutingCache
 from repro.routing.dfs import backtracking_dfs, random_walk_dfs
 from repro.routing.graph import RoutingGraph
 from repro.routing.labels import bottleneck_route_labels
@@ -36,6 +40,7 @@ __all__ = [
     "astar_prune",
     "k_shortest_latency_paths",
     "BottleneckPath",
+    "RoutingCache",
     "RoutingGraph",
     "bottleneck_route",
     "bottleneck_route_labels",

@@ -1,0 +1,196 @@
+"""Memoized routing layer: latency labels plus epoch-keyed path results.
+
+The Networking stage issues one constrained-shortest-path query per
+virtual link; Figure 1 of the paper attributes most of the mapping time
+to exactly this work.  Two layers of it are reusable:
+
+* **Latency labels** (the ``ar`` tables of Algorithm 1) depend only on
+  the topology, never on residual bandwidth — one Dijkstra per distinct
+  destination serves every query of a mapping, and every retry of a
+  retrying mapper.  The label layer wraps a shared
+  :class:`~repro.routing.dijkstra.LatencyOracle`.
+* **Path results** depend on the residual-bandwidth table, which
+  :class:`~repro.core.state.ClusterState` versions with a
+  :attr:`~repro.core.state.ClusterState.bw_epoch` token: every
+  reservation/release that changes a residual installs a globally
+  fresh token, and a token is only ever shared by states whose tables
+  are identical.  A query key ``(epoch, origin, destination, demand,
+  latency bound, router)`` therefore *proves* that a cached result is
+  exactly what the router would recompute — including the failure case,
+  which is negatively cached.  Retrying mappers (the RA baseline) hit
+  this layer on every retry's first routes: each fresh
+  :class:`ClusterState` starts at epoch 0, where the residual graph is
+  the full-capacity graph regardless of which try built it.
+
+``hit_rate`` aggregates both layers; the per-layer counters stay
+visible in :meth:`RoutingCache.stats` so benchmark reports can tell
+label reuse (dominant within one mapping) from path reuse (dominant
+across retries).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable
+
+from repro.errors import ModelError, RoutingError
+from repro.routing.bottleneck_prune import BottleneckPath, bottleneck_route
+from repro.routing.dijkstra import LatencyOracle
+from repro.routing.graph import RoutingGraph
+from repro.routing.labels import bottleneck_route_labels
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.state import ClusterState
+
+__all__ = ["RoutingCache"]
+
+NodeId = Hashable
+
+
+class RoutingCache:
+    """Per-cluster routing memo shared by every query against it.
+
+    Parameters
+    ----------
+    cluster:
+        The physical cluster all cached work belongs to.
+    oracle:
+        Optional pre-existing latency oracle to adopt (so callers that
+        already warmed one keep its tables); a fresh one is built
+        otherwise.
+    max_paths:
+        Bound on stored path entries; when exceeded, the oldest half of
+        the memo is dropped (stale epochs die first since entries are
+        inserted in query order).
+    """
+
+    __slots__ = (
+        "cluster",
+        "oracle",
+        "graph",
+        "max_paths",
+        "_paths",
+        "_failures",
+        "path_queries",
+        "path_hits",
+    )
+
+    def __init__(
+        self,
+        cluster,
+        *,
+        oracle: LatencyOracle | None = None,
+        graph: RoutingGraph | None = None,
+        max_paths: int = 65_536,
+    ) -> None:
+        if oracle is not None and oracle.cluster is not cluster:
+            raise ModelError("oracle belongs to a different cluster")
+        if graph is not None and graph.cluster is not cluster:
+            raise ModelError("routing graph belongs to a different cluster")
+        self.cluster = cluster
+        self.oracle = oracle if oracle is not None else LatencyOracle(cluster)
+        self.graph = graph if graph is not None else RoutingGraph(cluster)
+        self.max_paths = max_paths
+        self._paths: dict[tuple, BottleneckPath] = {}
+        self._failures: dict[tuple, str] = {}
+        self.path_queries = 0
+        self.path_hits = 0
+
+    def route(
+        self,
+        state: "ClusterState",
+        origin: NodeId,
+        destination: NodeId,
+        *,
+        bandwidth: float,
+        latency_bound: float,
+        router: str = "algorithm1",
+        max_expansions: int = 2_000_000,
+    ) -> BottleneckPath:
+        """Bottleneck-route over *state*'s residual graph, memoized.
+
+        Exactly equivalent to calling
+        :func:`~repro.routing.bottleneck_prune.bottleneck_route` (or the
+        label-setting variant, per *router*) with *state*'s live
+        residual table: a cached entry is only served while
+        ``state.bw_epoch`` still names the residual table it was
+        computed against.  Infeasibility is cached too, re-raised as a
+        fresh :class:`~repro.errors.RoutingError`.
+        """
+        if state.cluster is not self.cluster:
+            raise ModelError("state belongs to a different cluster than this cache")
+        key = (state.bw_epoch, origin, destination, bandwidth, latency_bound, router)
+        self.path_queries += 1
+        cached = self._paths.get(key)
+        if cached is not None:
+            self.path_hits += 1
+            return cached
+        failure = self._failures.get(key)
+        if failure is not None:
+            self.path_hits += 1
+            err = RoutingError((origin, destination))
+            err.args = (failure,)  # replay the original message verbatim
+            raise err
+
+        route_fn = bottleneck_route_labels if router == "label_setting" else bottleneck_route
+        kwargs = {} if router == "label_setting" else {"max_expansions": max_expansions}
+        try:
+            result = route_fn(
+                self.cluster,
+                origin,
+                destination,
+                bandwidth=bandwidth,
+                latency_bound=latency_bound,
+                oracle=self.oracle,
+                graph=self.graph,
+                bw_table=state.bw_table,
+                **kwargs,
+            )
+        except RoutingError as exc:
+            self._remember(self._failures, key, str(exc))
+            raise
+        self._remember(self._paths, key, result)
+        return result
+
+    def _remember(self, table: dict, key: tuple, value) -> None:
+        if len(self._paths) + len(self._failures) >= self.max_paths:
+            for memo in (self._paths, self._failures):
+                drop = len(memo) // 2
+                for stale in list(memo)[:drop]:
+                    del memo[stale]
+        table[key] = value
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    @property
+    def label_queries(self) -> int:
+        return self.oracle.queries
+
+    @property
+    def label_hits(self) -> int:
+        return self.oracle.queries - self.oracle.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of all queries (labels + paths) served from memory."""
+        total = self.label_queries + self.path_queries
+        if total == 0:
+            return 0.0
+        return (self.label_hits + self.path_hits) / total
+
+    def stats(self) -> dict:
+        """JSON-ready counters for ``Mapping.meta`` / benchmark reports."""
+        return {
+            "label_queries": self.label_queries,
+            "label_hits": self.label_hits,
+            "path_queries": self.path_queries,
+            "path_hits": self.path_hits,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<RoutingCache: {len(self._paths)} paths, "
+            f"{self.oracle.cached_destinations} label tables, "
+            f"hit rate {self.hit_rate:.1%}>"
+        )

@@ -1,0 +1,143 @@
+"""Determinism tests for the parallel batch runner.
+
+The contract of :class:`~repro.analysis.runner.BatchRunner` is that the
+pool is invisible in the results: a ``workers=4`` sweep over a fixed
+seed must return byte-identical result tables to ``workers=1`` — same
+records, same order, same rendered tables — differing only in the
+wall-clock fields (which measure real time and therefore cannot be
+deterministic).  Run on a Table 2/3-style suite: both paper topologies,
+two grid scenarios, two repetitions, a failure-prone retrying mapper.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    BatchRunner,
+    CellSpec,
+    expand_cells,
+    records_to_dicts,
+    render_table2,
+    run_grid,
+)
+from repro.errors import ModelError
+from repro.simulator import ExperimentSpec
+from repro.topology import switched_cluster, torus_cluster
+from repro.workload import HIGH_LEVEL, Scenario
+
+SCENARIOS = [
+    Scenario(ratio=2.5, density=0.05, workload=HIGH_LEVEL),
+    Scenario(ratio=5.0, density=0.05, workload=HIGH_LEVEL),
+]
+MAPPERS = ["hmn", "random+astar"]
+MAPPER_KWARGS = {"random+astar": {"max_tries": 3}}
+SPEC = ExperimentSpec(compute_seconds=100.0, comm_seconds=5.0)
+
+
+def small_clusters(seed):
+    """Table 2/3 shape at test scale: both topologies, shared seed."""
+    return {
+        "torus": torus_cluster(2, 4, seed=seed),
+        "switched": switched_cluster(8, seed=seed),
+    }
+
+
+def serialized(records) -> str:
+    """Records as JSON with the wall-clock fields nulled.
+
+    ``records_to_dicts`` already excludes ``extra`` (whose stage/timing
+    entries are wall times); ``map_seconds``/``sim_seconds`` are the
+    only remaining nondeterministic fields.
+    """
+    rows = records_to_dicts(records)
+    for row in rows:
+        row["map_seconds"] = None
+        row["sim_seconds"] = None
+    return json.dumps(rows, sort_keys=True)
+
+
+def sweep(workers: int):
+    return run_grid(
+        small_clusters,
+        SCENARIOS,
+        MAPPERS,
+        reps=2,
+        base_seed=2009,
+        spec=SPEC,
+        mapper_kwargs=MAPPER_KWARGS,
+        workers=workers,
+    )
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def serial_records(self):
+        return sweep(workers=1)
+
+    @pytest.fixture(scope="class")
+    def parallel_records(self):
+        return sweep(workers=4)
+
+    def test_byte_identical_records(self, serial_records, parallel_records):
+        assert serialized(parallel_records) == serialized(serial_records)
+
+    def test_byte_identical_table2(self, serial_records, parallel_records):
+        # Table 2 renders objectives and failure counts (no wall times),
+        # so even the rendered artifact must match byte for byte.
+        assert render_table2(parallel_records) == render_table2(serial_records)
+
+    def test_record_order_is_expansion_order(self, serial_records, parallel_records):
+        keys = [(r.scenario, r.cluster, r.mapper, r.rep) for r in parallel_records]
+        assert keys == [(r.scenario, r.cluster, r.mapper, r.rep) for r in serial_records]
+        cells = expand_cells(
+            small_clusters, SCENARIOS, MAPPERS, reps=2, base_seed=2009,
+            spec=SPEC, mapper_kwargs=MAPPER_KWARGS,
+        )
+        assert keys == [(c.scenario.label, c.cluster_name, c.mapper, c.rep) for c in cells]
+
+    def test_makespans_deterministic(self, serial_records, parallel_records):
+        # The DES is seeded; its simulated makespan (unlike its wall
+        # time) must survive process-pool execution exactly.
+        for serial, parallel in zip(serial_records, parallel_records):
+            assert parallel.makespan == serial.makespan
+
+
+class TestBatchRunner:
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ModelError):
+            BatchRunner(0)
+
+    def test_rejects_duplicate_keys(self):
+        cells = expand_cells(
+            small_clusters, SCENARIOS[:1], ["hmn"], reps=1, base_seed=1, simulate=False,
+        )
+        with pytest.raises(ModelError, match="duplicate"):
+            BatchRunner(2).run(cells + cells)
+
+    def test_progress_called_once_per_cell(self):
+        cells = expand_cells(
+            small_clusters, SCENARIOS[:1], MAPPERS, reps=1, base_seed=1,
+            simulate=False, mapper_kwargs=MAPPER_KWARGS,
+        )
+        seen = []
+        records = BatchRunner(2, progress=seen.append).run(cells)
+        assert len(seen) == len(cells)
+        # Completion order may differ from spec order; the set must not.
+        assert {id(r) for r in seen} == {id(r) for r in records}
+
+    def test_spec_execute_matches_run_cell_path(self):
+        spec = expand_cells(
+            small_clusters, SCENARIOS[:1], ["hmn"], reps=1, base_seed=7, simulate=False,
+        )[0]
+        assert isinstance(spec, CellSpec)
+        record = spec.execute()
+        assert record.ok
+        assert (record.scenario, record.cluster, record.mapper, record.rep) == (
+            spec.scenario.label, spec.cluster_name, spec.mapper, spec.rep,
+        )
+        # Serial BatchRunner returns exactly what execute() computes.
+        again = BatchRunner(1).run([spec])[0]
+        assert serialized([again]) == serialized([record])
