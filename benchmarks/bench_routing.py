@@ -13,13 +13,16 @@ import numpy as np
 import pytest
 
 from _config import BASE_SEED
-from repro.core import ClusterState
+from repro.core import ClusterState, compile_topology
 from repro.routing import (
+    CompiledLatencyOracle,
     LatencyOracle,
     bottleneck_route_labels,
     RoutingGraph,
     backtracking_dfs,
     bottleneck_route,
+    bottleneck_route_compiled,
+    bottleneck_route_labels_compiled,
     k_shortest_latency_paths,
     latency_table,
     random_walk_dfs,
@@ -81,6 +84,94 @@ def test_bottleneck_route_switched(benchmark, pairs):
                 cluster, hosts[a], hosts[b], bandwidth=0.5, latency_bound=60.0,
                 oracle=oracle, graph=graph, bw_table=state.bw_table,
             )
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("engine", ["dict", "compiled"])
+def test_bottleneck_route_engine(benchmark, torus, pairs, engine):
+    """The engine head-to-head: Algorithm 1 through the dict-keyed
+    fast path vs the index-space kernel (C hot loop when a compiler is
+    available).  Same 50 queries, byte-identical answers."""
+    state = ClusterState(torus)
+    if engine == "dict":
+        oracle = LatencyOracle(torus)
+        graph = RoutingGraph(torus)
+        table = state.bw_table
+
+        def run():
+            return [
+                bottleneck_route(
+                    torus, a, b, bandwidth=0.5, latency_bound=60.0,
+                    oracle=oracle, graph=graph, bw_table=table,
+                )
+                for a, b in pairs
+            ]
+    else:
+        topo = compile_topology(torus)
+        oracle = CompiledLatencyOracle(topo)
+        bw = state.bw_array
+
+        def run():
+            return [
+                bottleneck_route_compiled(
+                    topo, bw, a, b, bandwidth=0.5, latency_bound=60.0,
+                    oracle=oracle,
+                )
+                for a, b in pairs
+            ]
+
+    results = benchmark(run)
+    benchmark.extra_info["total_expansions"] = sum(r.expansions for r in results)
+
+
+def test_engines_agree_on_bench_queries(torus, pairs):
+    """Not a benchmark: the two engines must return identical paths,
+    bottlenecks, latencies and expansion counts on the exact query set
+    the head-to-head above times."""
+    state = ClusterState(torus)
+    oracle = LatencyOracle(torus)
+    graph = RoutingGraph(torus)
+    topo = compile_topology(torus)
+    for a, b in pairs:
+        d = bottleneck_route(
+            torus, a, b, bandwidth=0.5, latency_bound=60.0,
+            oracle=oracle, graph=graph, bw_table=state.bw_table,
+        )
+        c = bottleneck_route_compiled(
+            topo, state.bw_array, a, b, bandwidth=0.5, latency_bound=60.0,
+        )
+        assert (d.nodes, d.bottleneck, d.latency, d.expansions) == (
+            c.nodes, c.bottleneck, c.latency, c.expansions
+        )
+
+
+@pytest.mark.parametrize("engine", ["dict", "compiled"])
+def test_label_setting_engine(benchmark, torus, pairs, engine):
+    """Label-setting head-to-head (polynomial router, both engines)."""
+    state = ClusterState(torus)
+    if engine == "dict":
+        oracle = LatencyOracle(torus)
+        graph = RoutingGraph(torus)
+        table = state.bw_table
+
+        def run():
+            for a, b in pairs:
+                bottleneck_route_labels(
+                    torus, a, b, bandwidth=0.5, latency_bound=60.0,
+                    oracle=oracle, graph=graph, bw_table=table,
+                )
+    else:
+        topo = compile_topology(torus)
+        oracle = CompiledLatencyOracle(topo)
+        bw = state.bw_array
+
+        def run():
+            for a, b in pairs:
+                bottleneck_route_labels_compiled(
+                    topo, bw, a, b, bandwidth=0.5, latency_bound=60.0,
+                    oracle=oracle,
+                )
 
     benchmark(run)
 

@@ -66,6 +66,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("venv", help="virtual environment .json")
     p.add_argument("--mapper", default="hmn")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", default="compiled", choices=["compiled", "dict"],
+                   help="route-kernel implementation (affects speed only; "
+                        "mappings are engine-independent)")
     p.add_argument("--output", help="write the mapping .json here")
     p.add_argument("--quiet", action="store_true", help="suppress the report")
 
@@ -167,8 +170,18 @@ def _map(args) -> int:
     cluster = _load(args.cluster, PhysicalCluster)
     venv = _load(args.venv, VirtualEnvironment)
     mapper = get_mapper(args.mapper)
+    # Only the RoutingCache-backed mappers understand the engine knob;
+    # the others (R, HS, ...) never touch the route kernels.
+    kwargs: dict = {}
+    canonical = args.mapper.lower()
+    if canonical in ("hmn",):
+        from repro.hmn.config import HMNConfig
+
+        kwargs["config"] = HMNConfig(engine=args.engine)
+    elif canonical in ("random+astar", "ra"):
+        kwargs["engine"] = args.engine
     try:
-        mapping = mapper(cluster, venv, seed=args.seed)
+        mapping = mapper(cluster, venv, seed=args.seed, **kwargs)
     except MappingError as exc:
         print(f"mapping failed: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 1

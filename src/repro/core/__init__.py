@@ -16,6 +16,7 @@ definition — as typed, validated data structures:
 * :mod:`~repro.core.validate` — the Eqs. 1-9 constraint checker.
 """
 
+from repro.core.arrays import ArrayState, CompiledTopology, compile_topology
 from repro.core.cluster import PhysicalCluster
 from repro.core.guest import Guest
 from repro.core.host import Host
@@ -57,4 +58,7 @@ __all__ = [
     "vlink_key",
     "VLinkKey",
     "path_edges",
+    "ArrayState",
+    "CompiledTopology",
+    "compile_topology",
 ]

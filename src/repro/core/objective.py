@@ -29,6 +29,7 @@ from host ``a`` to host ``b`` changes only two residuals, so the new
 from __future__ import annotations
 
 import math
+from array import array
 from typing import Hashable, Iterable, Mapping
 
 import numpy as np
@@ -141,35 +142,70 @@ class ResidualCpuTracker:
     All operations are O(1).  The tracker deliberately knows nothing
     about guests — callers pass CPU demands — so it is reusable by any
     mapper or objective variant built on residual CPU.
+
+    Residuals live in a flat ``array('d')`` indexed by a host-id
+    interning table (built once and shared by every copy), so snapshots
+    are array slices and the array can be shared with an
+    :class:`~repro.core.arrays.ArrayState` as the single source of
+    truth for residual CPU.
     """
 
-    __slots__ = ("_residual", "_sum", "_sumsq", "_n")
+    __slots__ = ("_ids", "_index", "_residual", "_sum", "_sumsq", "_n")
 
     def __init__(self, initial_residuals: Mapping[NodeId, float]) -> None:
         if not initial_residuals:
             raise ModelError("ResidualCpuTracker needs at least one host")
-        self._residual: dict[NodeId, float] = dict(initial_residuals)
-        self._n = len(self._residual)
-        self._sum = math.fsum(self._residual.values())
-        self._sumsq = math.fsum(v * v for v in self._residual.values())
+        ids = tuple(initial_residuals)
+        self._ids = ids
+        self._index = {h: i for i, h in enumerate(ids)}
+        self._residual = array("d", (float(initial_residuals[h]) for h in ids))
+        self._n = len(ids)
+        self._sum = math.fsum(self._residual)
+        self._sumsq = math.fsum(v * v for v in self._residual)
 
     @classmethod
     def from_cluster(cls, cluster: PhysicalCluster) -> "ResidualCpuTracker":
         """Tracker starting from the hosts' full CPU capacities."""
         return cls({h.id: h.proc for h in cluster.hosts()})
 
+    @classmethod
+    def wrapping(
+        cls,
+        ids: tuple[NodeId, ...],
+        index: Mapping[NodeId, int],
+        residual: array,
+        total: float,
+        sumsq: float,
+    ) -> "ResidualCpuTracker":
+        """Adopt an existing residual array (shared, not copied).
+
+        The :class:`~repro.core.state.ClusterState` constructor uses
+        this to make the tracker operate directly on the state's
+        :class:`~repro.core.arrays.ArrayState` CPU table.
+        """
+        if not ids:
+            raise ModelError("ResidualCpuTracker needs at least one host")
+        out = cls.__new__(cls)
+        out._ids = ids
+        out._index = dict(index) if not isinstance(index, dict) else index
+        out._residual = residual
+        out._n = len(ids)
+        out._sum = total
+        out._sumsq = sumsq
+        return out
+
     # ------------------------------------------------------------------
     # state access
     # ------------------------------------------------------------------
     def residual(self, host_id: NodeId) -> float:
         try:
-            return self._residual[host_id]
+            return self._residual[self._index[host_id]]
         except KeyError:
             raise UnknownNodeError(host_id, "host") from None
 
     def residuals(self) -> dict[NodeId, float]:
         """Snapshot of residual CPU per host."""
-        return dict(self._residual)
+        return dict(zip(self._ids, self._residual))
 
     @property
     def n_hosts(self) -> int:
@@ -191,10 +227,10 @@ class ResidualCpuTracker:
         if var < self._CANCELLATION_GUARD * max(mean_sq, 1.0):
             # Re-anchor *both* running aggregates: the sum itself can have
             # absorbed tiny components (1.0 + 1e-38 - 1.0 == 0.0).
-            self._sum = math.fsum(self._residual.values())
-            self._sumsq = math.fsum(v * v for v in self._residual.values())
+            self._sum = math.fsum(self._residual)
+            self._sumsq = math.fsum(v * v for v in self._residual)
             mean = self._sum / self._n
-            var = math.fsum((v - mean) ** 2 for v in self._residual.values()) / self._n
+            var = math.fsum((v - mean) ** 2 for v in self._residual) / self._n
         return max(var, 0.0)
 
     def std(self) -> float:
@@ -211,10 +247,10 @@ class ResidualCpuTracker:
         The incremental aggregates are re-anchored as a side effect, so
         a long-lived tracker cannot drift without bound either.
         """
-        self._sum = math.fsum(self._residual.values())
-        self._sumsq = math.fsum(v * v for v in self._residual.values())
+        self._sum = math.fsum(self._residual)
+        self._sumsq = math.fsum(v * v for v in self._residual)
         mean = self._sum / self._n
-        var = math.fsum((v - mean) ** 2 for v in self._residual.values()) / self._n
+        var = math.fsum((v - mean) ** 2 for v in self._residual) / self._n
         return max(var, 0.0)
 
     def exact_std(self) -> float:
@@ -226,9 +262,13 @@ class ResidualCpuTracker:
     # ------------------------------------------------------------------
     def apply_demand(self, host_id: NodeId, vproc: float) -> None:
         """Consume *vproc* MIPS on *host_id* (placement)."""
-        old = self.residual(host_id)
+        try:
+            i = self._index[host_id]
+        except KeyError:
+            raise UnknownNodeError(host_id, "host") from None
+        old = self._residual[i]
         new = old - vproc
-        self._residual[host_id] = new
+        self._residual[i] = new
         self._sum += new - old
         self._sumsq += new * new - old * old
 
@@ -253,15 +293,10 @@ class ResidualCpuTracker:
         trusting the running sum, which can have absorbed tiny
         components.
         """
-        mean = (
-            math.fsum(overrides.get(h, v) for h, v in self._residual.items()) / self._n
-        )
-        return (
-            math.fsum(
-                (overrides.get(h, v) - mean) ** 2 for h, v in self._residual.items()
-            )
-            / self._n
-        )
+        pairs = zip(self._ids, self._residual)
+        values = [overrides.get(h, v) for h, v in pairs]
+        mean = math.fsum(values) / self._n
+        return math.fsum((v - mean) ** 2 for v in values) / self._n
 
     def std_if_moved(self, src: NodeId, dst: NodeId, vproc: float) -> float:
         """Eq. 10 value if a *vproc*-MIPS guest moved from *src* to *dst*.
@@ -302,15 +337,31 @@ class ResidualCpuTracker:
 
         Ties broken by host id string for determinism.
         """
-        return min(self._residual, key=lambda h: (self._residual[h], str(h)))
+        res, index = self._residual, self._index
+        return min(self._ids, key=lambda h: (res[index[h]], str(h)))
 
     def hosts_by_load_descending(self) -> list[NodeId]:
         """Hosts from most loaded (least residual) to least loaded."""
-        return sorted(self._residual, key=lambda h: (self._residual[h], str(h)))
+        res, index = self._residual, self._index
+        return sorted(self._ids, key=lambda h: (res[index[h]], str(h)))
 
     def hosts_by_residual_descending(self) -> list[NodeId]:
         """Hosts from least loaded (most residual) to most loaded."""
-        return sorted(self._residual, key=lambda h: (-self._residual[h], str(h)))
+        res, index = self._residual, self._index
+        return sorted(self._ids, key=lambda h: (-res[index[h]], str(h)))
 
     def copy(self) -> "ResidualCpuTracker":
-        return ResidualCpuTracker(self._residual)
+        """Independent snapshot (array slice; interning tables shared)."""
+        return ResidualCpuTracker.wrapping(
+            self._ids, self._index, self._residual[:], self._sum, self._sumsq
+        )
+
+    def restore_from(self, snapshot: "ResidualCpuTracker") -> None:
+        """Reset to a snapshot **in place** (array identity preserved,
+        so an :class:`~repro.core.arrays.ArrayState` sharing the array
+        sees the restored values)."""
+        if snapshot._ids != self._ids:
+            raise ModelError("cannot restore from a tracker over different hosts")
+        self._residual[:] = snapshot._residual
+        self._sum = snapshot._sum
+        self._sumsq = snapshot._sumsq

@@ -9,13 +9,23 @@ and per physical link residual **bandwidth** (hard, Eq. 9).
 A mapper mutates one state as it works; failed attempts either roll
 back their mutations (placement/reservation methods raise *before*
 mutating) or simply discard the state and start from a fresh copy.
+
+Internally the residual tables are flat arrays indexed by the dense
+integers of the cluster's :class:`~repro.core.arrays.CompiledTopology`
+(an :class:`~repro.core.arrays.ArrayState`): snapshots and restores are
+O(n) array slices, and the compiled routing kernels
+(:mod:`repro.routing.compiled`) read the live bandwidth array directly
+through :attr:`bw_array`.  The public API stays dict-shaped —
+:attr:`bw_table` is a mapping view keyed by canonical edge keys, and
+every accessor takes user-space node ids.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Hashable, Iterable, Mapping, Sequence
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
 
+from repro.core.arrays import ArrayState, CompiledTopology, compile_topology
 from repro.core.cluster import PhysicalCluster
 from repro.core.guest import Guest
 from repro.core.link import EdgeKey, edge_key
@@ -49,6 +59,30 @@ def path_edges(nodes: Sequence[NodeId]) -> list[EdgeKey]:
     return [edge_key(u, v) for u, v in zip(nodes, nodes[1:])]
 
 
+class _BwTableView(Mapping):
+    """Read-only mapping view of the flat residual-bandwidth array,
+    keyed by canonical edge key (the dict-shaped public face of
+    :attr:`ClusterState.bw_array`)."""
+
+    __slots__ = ("_topo", "_bw")
+
+    def __init__(self, topo: CompiledTopology, bw) -> None:
+        self._topo = topo
+        self._bw = bw
+
+    def __getitem__(self, key: EdgeKey) -> float:
+        return self._bw[self._topo.edge_index[key]]
+
+    def __iter__(self) -> Iterator[EdgeKey]:
+        return iter(self._topo.edge_keys)
+
+    def __len__(self) -> int:
+        return len(self._topo.edge_keys)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._topo.edge_index
+
+
 class ClusterState:
     """Residual capacities and guest placements over a cluster.
 
@@ -60,43 +94,65 @@ class ClusterState:
 
     __slots__ = (
         "cluster",
-        "_mem",
-        "_stor",
-        "_bw",
+        "_topo",
+        "_arrays",
         "_cpu",
         "_host_of",
         "_guests_on",
         "_guest_obj",
         "_bw_epoch",
+        "_bw_view",
     )
 
     def __init__(self, cluster: PhysicalCluster) -> None:
         if cluster.n_hosts == 0:
             raise ModelError("cannot allocate against an empty cluster")
         self.cluster = cluster
-        self._mem: dict[NodeId, int] = {h.id: h.mem for h in cluster.hosts()}
-        self._stor: dict[NodeId, float] = {h.id: h.stor for h in cluster.hosts()}
-        self._bw: dict[EdgeKey, float] = {link.key: link.bw for link in cluster.links()}
-        self._cpu = ResidualCpuTracker.from_cluster(cluster)
+        topo = compile_topology(cluster)
+        self._topo = topo
+        self._arrays = ArrayState.fresh(topo)
+        # The tracker *shares* the ArrayState's cpu array — one source
+        # of truth for residual CPU, snapshotted by the same slice.
+        self._cpu = ResidualCpuTracker.wrapping(
+            cluster.host_ids, topo.host_index, self._arrays.cpu,
+            topo.cpu_sum0, topo.cpu_sumsq0,
+        )
         self._host_of: dict[int, NodeId] = {}
-        self._guests_on: dict[NodeId, set[int]] = {h.id: set() for h in cluster.hosts()}
+        self._guests_on: dict[NodeId, set[int]] = {h: set() for h in cluster.host_ids}
         self._guest_obj: dict[int, Guest] = {}
         self._bw_epoch = 0
+        self._bw_view: _BwTableView | None = None
+
+    # ------------------------------------------------------------------
+    # index translation
+    # ------------------------------------------------------------------
+    def _host_index(self, host_id: NodeId) -> int:
+        try:
+            return self._topo.host_index[host_id]
+        except (KeyError, TypeError):
+            raise UnknownNodeError(host_id, "host") from None
+
+    def _edge_indices(self, nodes: Sequence[NodeId]) -> list[int]:
+        """Edge indices of a node path; raises
+        :class:`UnknownNodeError` on any nonexistent edge."""
+        edge_index = self._topo.edge_index
+        out = []
+        for u, v in zip(nodes, nodes[1:]):
+            e = edge_key(u, v)
+            try:
+                out.append(edge_index[e])
+            except (KeyError, TypeError):
+                raise UnknownNodeError(e, "cluster link") from None
+        return out
 
     # ------------------------------------------------------------------
     # residual accessors
     # ------------------------------------------------------------------
     def residual_mem(self, host_id: NodeId) -> int:
-        try:
-            return self._mem[host_id]
-        except KeyError:
-            raise UnknownNodeError(host_id, "host") from None
+        return self._arrays.mem[self._host_index(host_id)]
 
     def residual_stor(self, host_id: NodeId) -> float:
-        try:
-            return self._stor[host_id]
-        except KeyError:
-            raise UnknownNodeError(host_id, "host") from None
+        return self._arrays.stor[self._host_index(host_id)]
 
     def residual_proc(self, host_id: NodeId) -> float:
         return self._cpu.residual(host_id)
@@ -109,14 +165,24 @@ class ClusterState:
                 raise UnknownNodeError(u, "cluster node")
             return float("inf")
         try:
-            return self._bw[edge_key(u, v)]
-        except KeyError:
+            return self._arrays.bw[self._topo.edge_index[edge_key(u, v)]]
+        except (KeyError, TypeError):
             raise UnknownNodeError(edge_key(u, v), "cluster link") from None
 
     @property
     def cpu(self) -> ResidualCpuTracker:
         """The incremental residual-CPU tracker (shared, live)."""
         return self._cpu
+
+    @property
+    def topology(self) -> CompiledTopology:
+        """The cluster's compiled (integer-indexed) topology.
+
+        Shared with every other state and routing cache of the same
+        cluster, which is what makes raw index exchange between them
+        sound (see :mod:`repro.routing.compiled`).
+        """
+        return self._topo
 
     @property
     def bw_epoch(self) -> int:
@@ -142,7 +208,23 @@ class ClusterState:
         edge keys ahead of time; mutate through
         :meth:`reserve_path`/:meth:`release_path` only.
         """
-        return self._bw
+        view = self._bw_view
+        if view is None:
+            view = self._bw_view = _BwTableView(self._topo, self._arrays.bw)
+        return view
+
+    @property
+    def bw_array(self):
+        """The live residual-bandwidth **array**, indexed by the
+        compiled topology's edge indices — the zero-translation fast
+        path the compiled routing kernels read."""
+        return self._arrays.bw
+
+    @property
+    def arrays(self) -> ArrayState:
+        """The flat residual tables (mem/stor/cpu by host index, bw by
+        edge index).  Live — mutate through the state's methods only."""
+        return self._arrays
 
     def objective(self) -> float:
         """Current Eq. 10 value (population std of residual CPU).
@@ -160,8 +242,10 @@ class ClusterState:
 
     def bandwidth_usage(self) -> dict[EdgeKey, float]:
         """Consumed bandwidth per physical link (capacity - residual)."""
+        topo = self._topo
         return {
-            key: self.cluster.link(*key).bw - residual for key, residual in self._bw.items()
+            key: cap - residual
+            for key, cap, residual in zip(topo.edge_keys, topo.caps, self._arrays.bw)
         }
 
     # ------------------------------------------------------------------
@@ -169,10 +253,8 @@ class ClusterState:
     # ------------------------------------------------------------------
     def fits(self, guest: Guest, host_id: NodeId) -> bool:
         """Whether *guest*'s hard demands fit on *host_id* right now."""
-        return (
-            self.residual_mem(host_id) >= guest.vmem
-            and self.residual_stor(host_id) >= guest.vstor
-        )
+        i = self._host_index(host_id)
+        return self._arrays.mem[i] >= guest.vmem and self._arrays.stor[i] >= guest.vstor
 
     def place(self, guest: Guest, host_id: NodeId) -> None:
         """Assign *guest* to *host_id*, consuming its resources.
@@ -185,14 +267,16 @@ class ClusterState:
             raise ModelError(
                 f"guest {guest.id!r} is already placed on host {self._host_of[guest.id]!r}"
             )
-        if not self.fits(guest, host_id):
+        i = self._host_index(host_id)
+        arrays = self._arrays
+        if arrays.mem[i] < guest.vmem or arrays.stor[i] < guest.vstor:
             raise CapacityError(
                 f"guest {guest.id!r} (mem={guest.vmem}, stor={guest.vstor}) does not fit on "
-                f"host {host_id!r} (mem={self.residual_mem(host_id)}, "
-                f"stor={self.residual_stor(host_id)})"
+                f"host {host_id!r} (mem={arrays.mem[i]}, "
+                f"stor={arrays.stor[i]})"
             )
-        self._mem[host_id] -= guest.vmem
-        self._stor[host_id] -= guest.vstor
+        arrays.mem[i] -= guest.vmem
+        arrays.stor[i] -= guest.vstor
         self._cpu.apply_demand(host_id, guest.vproc)
         self._host_of[guest.id] = host_id
         self._guests_on[host_id].add(guest.id)
@@ -207,8 +291,9 @@ class ClusterState:
             raise ModelError(f"guest {guest_id!r} is not placed") from None
         guest = self._guest_obj.pop(guest_id)
         self._guests_on[host_id].discard(guest_id)
-        self._mem[host_id] += guest.vmem
-        self._stor[host_id] += guest.vstor
+        i = self._topo.host_index[host_id]
+        self._arrays.mem[i] += guest.vmem
+        self._arrays.stor[i] += guest.vstor
         self._cpu.release_demand(host_id, guest.vproc)
         return host_id
 
@@ -272,8 +357,14 @@ class ClusterState:
     def can_reserve(self, nodes: Sequence[NodeId], bw: float) -> bool:
         """Whether *bw* Mbit/s can be reserved on every edge of the node
         path *nodes*.  An empty or single-node path (intra-host link)
-        always succeeds."""
-        return all(self._bw.get(e, -1.0) + _BW_EPS >= bw for e in path_edges(nodes))
+        always succeeds.
+
+        Raises :class:`UnknownNodeError` when the path crosses a
+        nonexistent edge, matching :meth:`reserve_path` (a silent
+        ``False`` used to mask typos in caller-supplied paths).
+        """
+        table = self._arrays.bw
+        return all(table[e] + _BW_EPS >= bw for e in self._edge_indices(nodes))
 
     def reserve_path(self, nodes: Sequence[NodeId], bw: float) -> None:
         """Reserve *bw* Mbit/s on every edge along the node path.
@@ -285,57 +376,68 @@ class ClusterState:
         """
         if bw < 0:
             raise ModelError(f"cannot reserve negative bandwidth {bw}")
-        edges = path_edges(nodes)
+        edges = self._edge_indices(nodes)
+        table = self._arrays.bw
         for e in edges:
-            if e not in self._bw:
-                raise UnknownNodeError(e, "cluster link")
-        for e in edges:
-            if self._bw[e] + _BW_EPS < bw:
+            if table[e] + _BW_EPS < bw:
+                key = self._topo.edge_keys[e]
                 raise CapacityError(
-                    f"link {e} has {self._bw[e]:.6g} Mbit/s residual, cannot reserve {bw:.6g}"
+                    f"link {key} has {table[e]:.6g} Mbit/s residual, cannot reserve {bw:.6g}"
                 )
         if edges and bw != 0.0:
             self._bw_epoch = next(_EPOCH_TOKENS)
         for e in edges:
-            self._bw[e] -= bw
+            table[e] -= bw
 
     def release_path(self, nodes: Sequence[NodeId], bw: float) -> None:
-        """Return *bw* Mbit/s to every edge along the node path."""
+        """Return *bw* Mbit/s to every edge along the node path.
+
+        Atomic like :meth:`reserve_path`: every edge is validated —
+        existence and the resulting residual staying within link
+        capacity — before any residual is mutated, so a
+        :class:`ModelError` leaves the table untouched.
+        """
         if bw < 0:
             raise ModelError(f"cannot release negative bandwidth {bw}")
-        edges = path_edges(nodes)
+        edges = self._edge_indices(nodes)
+        table = self._arrays.bw
+        caps = self._topo.caps
         for e in edges:
-            if e not in self._bw:
-                raise UnknownNodeError(e, "cluster link")
-        # Bump before mutating: a capacity-overflow ModelError below
-        # leaves the table partially mutated, so the old token must die
-        # with it (over-bumping only costs cache misses, never safety).
+            new = table[e] + bw
+            if new > caps[e] + 1e-6:
+                key = self._topo.edge_keys[e]
+                raise ModelError(
+                    f"release on link {key} exceeds capacity: residual {new} > {caps[e]}"
+                )
         if edges and bw != 0.0:
             self._bw_epoch = next(_EPOCH_TOKENS)
         for e in edges:
-            self._bw[e] += bw
-            cap = self.cluster.link(*e).bw
-            if self._bw[e] > cap + 1e-6:
-                raise ModelError(
-                    f"release on link {e} exceeds capacity: residual {self._bw[e]} > {cap}"
-                )
+            table[e] += bw
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def copy(self) -> "ClusterState":
-        """Independent snapshot of the full allocation state."""
+        """Independent snapshot of the full allocation state.
+
+        Residual tables are O(n) array slices (see
+        :class:`~repro.core.arrays.ArrayState`); only the guest
+        bookkeeping still copies dicts.
+        """
         out = ClusterState.__new__(ClusterState)
         out.cluster = self.cluster
-        out._mem = dict(self._mem)
-        out._stor = dict(self._stor)
-        out._bw = dict(self._bw)
-        out._cpu = self._cpu.copy()
+        out._topo = self._topo
+        out._arrays = self._arrays.copy()
+        out._cpu = ResidualCpuTracker.wrapping(
+            self._cpu._ids, self._cpu._index, out._arrays.cpu,
+            self._cpu._sum, self._cpu._sumsq,
+        )
         out._host_of = dict(self._host_of)
         out._guests_on = {h: set(s) for h, s in self._guests_on.items()}
         out._guest_obj = dict(self._guest_obj)
         # The copy's residual table is identical, so the token stays valid.
         out._bw_epoch = self._bw_epoch
+        out._bw_view = None
         return out
 
     def restore_from(self, snapshot: "ClusterState") -> None:
@@ -346,14 +448,16 @@ class ClusterState:
         failure restore — so a half-placed attempt cannot leak
         placements or bandwidth reservations into the caller's state.
         Live references to this state (unlike swapping in the snapshot
-        object) remain valid.
+        object) remain valid; the arrays are restored in place, so the
+        :attr:`bw_array`/:attr:`bw_table` views stay live too.
         """
         if snapshot.cluster is not self.cluster:
             raise ModelError("cannot restore from a snapshot of a different cluster")
-        self._mem = dict(snapshot._mem)
-        self._stor = dict(snapshot._stor)
-        self._bw = dict(snapshot._bw)
-        self._cpu = snapshot._cpu.copy()
+        self._arrays.restore_from(snapshot._arrays)
+        # The cpu array was just restored in place (shared with the
+        # tracker); only the running aggregates need to follow.
+        self._cpu._sum = snapshot._cpu._sum
+        self._cpu._sumsq = snapshot._cpu._sumsq
         self._host_of = dict(snapshot._host_of)
         self._guests_on = {h: set(s) for h, s in snapshot._guests_on.items()}
         self._guest_obj = dict(snapshot._guest_obj)

@@ -13,7 +13,15 @@ from typing import Literal
 
 from repro.errors import ModelError
 
-__all__ = ["HMNConfig", "LinkOrder", "MigrationPolicy", "MigrationOrigin", "RoutingMetric", "Router"]
+__all__ = [
+    "HMNConfig",
+    "LinkOrder",
+    "MigrationPolicy",
+    "MigrationOrigin",
+    "RoutingMetric",
+    "Router",
+    "Engine",
+]
 
 #: Order in which virtual links are processed by Hosting and Networking.
 #: The paper uses descending bandwidth ("starting from guests whose links
@@ -48,6 +56,15 @@ RoutingMetric = Literal["bottleneck", "latency"]
 #: bounds.  Both return paths with identical bottleneck values.
 Router = Literal["algorithm1", "label_setting"]
 
+#: Which route-kernel implementation backs the Networking stage.
+#: "compiled" (default) runs the router in index space over the
+#: cluster's :class:`~repro.core.arrays.CompiledTopology` — integer
+#: heap pushes and flat-array reads (:mod:`repro.routing.compiled`);
+#: "dict" runs the original user-space routers.  Both engines return
+#: byte-identical mappings (property-tested); "dict" exists as the
+#: reference implementation and for the engine-comparison benches.
+Engine = Literal["compiled", "dict"]
+
 
 @dataclass(frozen=True, slots=True)
 class HMNConfig:
@@ -79,6 +96,9 @@ class HMNConfig:
         Networking path-quality metric.
     router:
         Bottleneck-route implementation (see :data:`Router`).
+    engine:
+        Route-kernel implementation (see :data:`Engine`); affects speed
+        only, never results.
     max_route_expansions:
         Safety valve forwarded to the router.
     seed:
@@ -95,6 +115,7 @@ class HMNConfig:
     migration_max_iterations: int = 1_000_000
     routing_metric: RoutingMetric = "bottleneck"
     router: Router = "algorithm1"
+    engine: Engine = "compiled"
     max_route_expansions: int = 2_000_000
     seed: int | None = None
     extra: dict = field(default_factory=dict, compare=False)
@@ -114,6 +135,8 @@ class HMNConfig:
             raise ModelError(f"unknown routing_metric {self.routing_metric!r}")
         if self.router not in ("algorithm1", "label_setting"):
             raise ModelError(f"unknown router {self.router!r}")
+        if self.engine not in ("compiled", "dict"):
+            raise ModelError(f"unknown engine {self.engine!r}")
         if self.migration_max_iterations < 0:
             raise ModelError("migration_max_iterations must be >= 0")
         if self.max_route_expansions < 1:

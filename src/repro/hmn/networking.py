@@ -99,13 +99,14 @@ def run_networking(
     some link admits no feasible path under the residual bandwidths.
     """
     if cache is None:
-        cache = RoutingCache(state.cluster, oracle=oracle)
+        cache = RoutingCache(state.cluster, oracle=oracle, engine=config.engine)
     paths: dict[VLinkKey, tuple[NodeId, ...]] = {}
     colocated = 0
     routed = 0
     total_expansions = 0
     hits_before = cache.path_hits + cache.label_hits
     queries_before = cache.path_queries + cache.label_queries
+    kernel_before = cache.kernel_seconds
 
     for link in ordered_vlinks(venv, config):
         src = state.host_of(link.a)
@@ -123,6 +124,7 @@ def run_networking(
                 latency_bound=link.vlat,
                 router=config.router,
                 max_expansions=config.max_route_expansions,
+                engine=config.engine,
             )
             nodes = result.nodes
             total_expansions += result.expansions
@@ -138,8 +140,10 @@ def run_networking(
         "links_routed": routed,
         "links_colocated": colocated,
         "router_expansions": total_expansions,
-        "dijkstra_tables": cache.oracle.cached_destinations,
+        "dijkstra_tables": cache.label_tables,
         "routing_calls": routed,
         "cache_hit_rate": hits / queries if queries else 0.0,
+        "engine": config.engine,
+        "route_kernel_s": cache.kernel_seconds - kernel_before,
         "cache": cache.stats(),
     }

@@ -82,7 +82,7 @@ def hmn_map(
     if state is None:
         state = ClusterState(cluster)
     if cache is None:
-        cache = RoutingCache(cluster, oracle=oracle)
+        cache = RoutingCache(cluster, oracle=oracle, engine=config.engine)
 
     # A failure mid-pipeline must not leak partial placements or
     # bandwidth reservations into a caller-owned (multi-tenant) state.
@@ -112,6 +112,8 @@ def hmn_map(
     timings["routing_calls"] = networking_stats["routing_calls"]
     timings["router_expansions"] = networking_stats["router_expansions"]
     timings["cache_hit_rate"] = networking_stats["cache_hit_rate"]
+    timings["engine"] = networking_stats["engine"]
+    timings["route_kernel_s"] = networking_stats["route_kernel_s"]
 
     return Mapping(
         # Restrict to this venv's guests: a shared multi-tenant state

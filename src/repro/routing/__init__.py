@@ -13,7 +13,11 @@ Implements the path-finding substrate of the paper:
   the R and HS heuristics;
 * :mod:`~repro.routing.cache` — the memoized routing layer (latency
   labels + residual-epoch-keyed path results) the Networking stage and
-  the retrying baselines route through.
+  the retrying baselines route through;
+* :mod:`~repro.routing.compiled` — index-space kernels over the
+  cluster's :class:`~repro.core.arrays.CompiledTopology` (the default
+  ``engine="compiled"``; the dict-space routers above remain as the
+  reference engine).
 """
 
 from repro.routing.astar_prune import (
@@ -25,6 +29,12 @@ from repro.routing.astar_prune import (
 )
 from repro.routing.bottleneck_prune import BottleneckPath, bottleneck_route
 from repro.routing.cache import RoutingCache
+from repro.routing.compiled import (
+    CompiledLatencyOracle,
+    bottleneck_route_compiled,
+    bottleneck_route_labels_compiled,
+    compiled_latency_table,
+)
 from repro.routing.dfs import backtracking_dfs, random_walk_dfs
 from repro.routing.graph import RoutingGraph
 from repro.routing.labels import bottleneck_route_labels
@@ -46,4 +56,8 @@ __all__ = [
     "bottleneck_route_labels",
     "random_walk_dfs",
     "backtracking_dfs",
+    "CompiledLatencyOracle",
+    "compiled_latency_table",
+    "bottleneck_route_compiled",
+    "bottleneck_route_labels_compiled",
 ]

@@ -1,0 +1,108 @@
+"""Build and load the C hot loop of the compiled route engine.
+
+The kernel source (``_ckernel.c``) is compiled on first use with the
+system C compiler into a content-addressed shared object under
+``_ckernel_cache/`` (next to this file, ignored by git), then loaded
+with :mod:`ctypes` — no build-time dependency, no third-party package.
+Everything degrades gracefully: if there is no compiler, the build
+fails, the platform is exotic, or ``REPRO_NO_CKERNEL=1`` is set, the
+loader returns ``None`` and the route engine falls back to its
+pure-Python index-space kernel, which is semantically identical (the
+C kernel is an accelerator, never a behavior change — see the
+equivalence notes in ``_ckernel.c``).
+
+Concurrent builds (e.g. BatchRunner worker processes racing on a cold
+cache) are safe: each process compiles to a private temp file and
+atomically renames it into place.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+from pathlib import Path
+
+__all__ = ["load_kernel"]
+
+_SOURCE = Path(__file__).with_name("_ckernel.c")
+_CACHE_DIR = Path(__file__).with_name("_ckernel_cache")
+
+#: -ffp-contract=off forbids fused multiply-add contraction so every
+#: double operation rounds exactly like the Python kernel's; -O2 keeps
+#: the rest.  No -ffast-math, ever — it breaks IEEE comparisons.
+_CFLAGS = ("-O2", "-shared", "-fPIC", "-ffp-contract=off", "-fno-math-errno")
+
+_sentinel = object()
+_lib = _sentinel
+
+
+def _build(so_path: Path) -> bool:
+    compiler = os.environ.get("CC", "cc")
+    tmp = so_path.with_name(f"{so_path.stem}.{os.getpid()}.tmp.so")
+    cmd = [compiler, *_CFLAGS, "-o", str(tmp), str(_SOURCE)]
+    try:
+        subprocess.run(
+            cmd, check=True, capture_output=True, timeout=120, cwd=str(_SOURCE.parent)
+        )
+        os.replace(tmp, so_path)
+        return True
+    except (OSError, subprocess.SubprocessError):
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        return False
+
+
+def _load() -> "ctypes.CDLL | None":
+    if os.environ.get("REPRO_NO_CKERNEL") == "1":
+        return None
+    try:
+        source = _SOURCE.read_bytes()
+    except OSError:
+        return None
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    so_path = _CACHE_DIR / f"ckernel_{digest}.so"
+    if not so_path.exists():
+        try:
+            _CACHE_DIR.mkdir(exist_ok=True)
+        except OSError:
+            return None
+        if not _build(so_path):
+            return None
+    try:
+        lib = ctypes.CDLL(str(so_path))
+    except OSError:
+        return None
+    try:
+        fn = lib.ck_bottleneck_route
+    except AttributeError:
+        return None
+    ptr = ctypes.c_void_p
+    i64 = ctypes.c_int64
+    f64 = ctypes.c_double
+    fn.argtypes = [
+        ptr, ptr, ptr, ptr,  # adj_off, adj_nbr, adj_edge, adj_lat
+        ptr, ptr,            # bw, ar
+        i64, i64,            # src, dst
+        f64, f64,            # bw_need, lat_slack
+        i64,                 # max_expansions
+        ptr, ptr,            # out_path, out_path_len
+        ptr, ptr, ptr,       # out_bbw, out_lat, out_expansions
+    ]
+    fn.restype = ctypes.c_int
+    return lib
+
+
+def load_kernel() -> "ctypes.CDLL | None":
+    """The loaded kernel library, or ``None`` when unavailable.
+
+    Memoized per process; the first call may invoke the C compiler
+    (sub-second, once per source revision per machine).
+    """
+    global _lib
+    if _lib is _sentinel:
+        _lib = _load()
+    return _lib

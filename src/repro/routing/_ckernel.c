@@ -1,0 +1,239 @@
+/* C hot loop for the compiled bottleneck router (Algorithm 1).
+ *
+ * Exact semantics contract with the Python kernels in
+ * repro/routing/compiled.py (and transitively with the dict engine):
+ *
+ *  - heap entries order lexicographically on
+ *    (neg_bottleneck, latency, hops, seq) with seq assigned in push
+ *    order; seq is unique, so the order is strict and the pop sequence
+ *    of ANY correct binary heap is identical to CPython's heapq;
+ *  - every float operation is the same IEEE-754 double operation the
+ *    Python code performs, in the same order (plain adds and compares,
+ *    no contraction -- build with -ffp-contract=off);
+ *  - pruning tests run in the same order: visited, residual bandwidth,
+ *    latency bound;
+ *  - expansions count pops, including the destination pop, and the
+ *    max_expansions check fires after incrementing, exactly like the
+ *    Python loop.
+ *
+ * The visited set is a 64-bit mask, so the caller must route only
+ * clusters with <= 64 nodes (larger ones fall back to the Python
+ * kernel).  Partial paths are a label pool of (node, parent) pairs --
+ * the cons cells of the Python kernel flattened into an array.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <math.h>
+
+typedef struct {
+    double neg_bbw;
+    double lat;
+    int64_t hops;
+    int64_t seq;
+    int32_t node;
+    int32_t label;
+    uint64_t visited;
+} Entry;
+
+typedef struct {
+    int32_t node;
+    int32_t parent;
+} Label;
+
+/* Strict weak ordering identical to CPython's tuple comparison on
+ * (neg_bbw, lat, hops, seq).  No NaNs can occur: latencies and
+ * bandwidths are finite, neg_bbw is -inf or finite. */
+static int entry_lt(const Entry *a, const Entry *b)
+{
+    if (a->neg_bbw != b->neg_bbw)
+        return a->neg_bbw < b->neg_bbw;
+    if (a->lat != b->lat)
+        return a->lat < b->lat;
+    if (a->hops != b->hops)
+        return a->hops < b->hops;
+    return a->seq < b->seq;
+}
+
+typedef struct {
+    Entry *data;
+    int64_t size;
+    int64_t cap;
+} Heap;
+
+static int heap_reserve(Heap *h, int64_t need)
+{
+    if (need <= h->cap)
+        return 0;
+    int64_t cap = h->cap ? h->cap : 256;
+    while (cap < need)
+        cap *= 2;
+    Entry *p = (Entry *)realloc(h->data, (size_t)cap * sizeof(Entry));
+    if (!p)
+        return -1;
+    h->data = p;
+    h->cap = cap;
+    return 0;
+}
+
+static int heap_push(Heap *h, Entry e)
+{
+    if (heap_reserve(h, h->size + 1))
+        return -1;
+    int64_t i = h->size++;
+    Entry *d = h->data;
+    while (i > 0) {
+        int64_t parent = (i - 1) >> 1;
+        if (!entry_lt(&e, &d[parent]))
+            break;
+        d[i] = d[parent];
+        i = parent;
+    }
+    d[i] = e;
+    return 0;
+}
+
+static Entry heap_pop(Heap *h)
+{
+    Entry *d = h->data;
+    Entry top = d[0];
+    Entry last = d[--h->size];
+    int64_t n = h->size, i = 0;
+    for (;;) {
+        int64_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && entry_lt(&d[child + 1], &d[child]))
+            child += 1;
+        if (!entry_lt(&d[child], &last))
+            break;
+        d[i] = d[child];
+        i = child;
+    }
+    if (n > 0)
+        d[i] = last;
+    return top;
+}
+
+/* Result codes. */
+#define CK_FOUND 0
+#define CK_NO_PATH 1
+#define CK_MAX_EXPANSIONS 2
+#define CK_NOMEM 4
+
+int ck_bottleneck_route(
+    const int64_t *adj_off,   /* CSR offsets, n_nodes + 1              */
+    const int64_t *adj_nbr,   /* neighbor node index per CSR slot      */
+    const int64_t *adj_edge,  /* edge index per CSR slot               */
+    const double *adj_lat,    /* edge latency per CSR slot             */
+    const double *bw,         /* live residual bandwidth by edge index */
+    const double *ar,         /* latency lower bounds to dst by node   */
+    int64_t src,
+    int64_t dst,
+    double bw_need,           /* bandwidth - 1e-12, computed in Python */
+    double lat_slack,         /* latency_bound + 1e-12, ditto          */
+    int64_t max_expansions,
+    int64_t *out_path,        /* caller buffer, >= n_nodes slots       */
+    int64_t *out_path_len,
+    double *out_bbw,
+    double *out_lat,
+    int64_t *out_expansions)
+{
+    Heap heap = {0, 0, 0};
+    Label *pool = NULL;
+    int64_t pool_size = 0, pool_cap = 0;
+    int64_t seq = 0, expansions = 0;
+    int rc = CK_NO_PATH;
+
+    {
+        Entry e0;
+        e0.neg_bbw = -INFINITY;
+        e0.lat = 0.0;
+        e0.hops = 0;
+        e0.seq = 0;
+        e0.node = (int32_t)src;
+        e0.label = 0;
+        e0.visited = (uint64_t)1 << src;
+        pool_cap = 1024;
+        pool = (Label *)malloc((size_t)pool_cap * sizeof(Label));
+        if (!pool || heap_push(&heap, e0)) {
+            rc = CK_NOMEM;
+            goto done;
+        }
+        pool[0].node = (int32_t)src;
+        pool[0].parent = -1;
+        pool_size = 1;
+    }
+
+    while (heap.size > 0) {
+        Entry cur = heap_pop(&heap);
+        expansions += 1;
+        if (expansions > max_expansions) {
+            rc = CK_MAX_EXPANSIONS;
+            goto done;
+        }
+        int32_t head = cur.node;
+        if (head == (int32_t)dst) {
+            /* Reconstruct through the label chain (reversed). */
+            int64_t len = 0;
+            for (int32_t l = cur.label; l >= 0; l = pool[l].parent)
+                out_path[len++] = pool[l].node;
+            for (int64_t i = 0; i < len / 2; i++) {
+                int64_t t = out_path[i];
+                out_path[i] = out_path[len - 1 - i];
+                out_path[len - 1 - i] = t;
+            }
+            *out_path_len = len;
+            *out_bbw = -cur.neg_bbw;
+            *out_lat = cur.lat;
+            rc = CK_FOUND;
+            goto done;
+        }
+        int64_t hops = cur.hops + 1;
+        int64_t end = adj_off[head + 1];
+        for (int64_t s = adj_off[head]; s < end; s++) {
+            int64_t nbr = adj_nbr[s];
+            uint64_t bit = (uint64_t)1 << nbr;
+            if (cur.visited & bit)
+                continue;
+            double edge_bw = bw[adj_edge[s]];
+            if (edge_bw < bw_need)
+                continue;
+            double new_lat = cur.lat + adj_lat[s];
+            if (new_lat + ar[nbr] > lat_slack)
+                continue;
+            if (pool_size >= pool_cap) {
+                int64_t cap = pool_cap * 2;
+                Label *p = (Label *)realloc(pool, (size_t)cap * sizeof(Label));
+                if (!p) {
+                    rc = CK_NOMEM;
+                    goto done;
+                }
+                pool = p;
+                pool_cap = cap;
+            }
+            pool[pool_size].node = (int32_t)nbr;
+            pool[pool_size].parent = cur.label;
+            Entry e;
+            double neg_ebw = -edge_bw;
+            e.neg_bbw = cur.neg_bbw > neg_ebw ? cur.neg_bbw : neg_ebw;
+            e.lat = new_lat;
+            e.hops = hops;
+            e.seq = ++seq;
+            e.node = (int32_t)nbr;
+            e.label = (int32_t)pool_size;
+            e.visited = cur.visited | bit;
+            pool_size += 1;
+            if (heap_push(&heap, e)) {
+                rc = CK_NOMEM;
+                goto done;
+            }
+        }
+    }
+
+done:
+    *out_expansions = expansions;
+    free(heap.data);
+    free(pool);
+    return rc;
+}

@@ -76,7 +76,8 @@ def _lower_bound_table(
     """Dijkstra lower bounds to *destination* under an arbitrary
     non-negative additive edge weight."""
     dist: dict[NodeId, float] = {destination: 0.0}
-    heap: list[tuple[float, str, NodeId]] = [(0.0, str(destination), destination)]
+    counter = itertools.count()
+    heap: list[tuple[float, int, NodeId]] = [(0.0, next(counter), destination)]
     settled: set[NodeId] = set()
     while heap:
         d, _, node = heapq.heappop(heap)
@@ -90,7 +91,7 @@ def _lower_bound_table(
             nd = d + w
             if nd < dist.get(nbr, INFINITY):
                 dist[nbr] = nd
-                heapq.heappush(heap, (nd, str(nbr), nbr))
+                heapq.heappush(heap, (nd, next(counter), nbr))
     return dist
 
 

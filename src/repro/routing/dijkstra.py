@@ -16,6 +16,7 @@ hosts.
 from __future__ import annotations
 
 import heapq
+import itertools
 from typing import Hashable, Iterable
 
 from repro.core.cluster import PhysicalCluster
@@ -38,9 +39,11 @@ def latency_table(cluster: PhysicalCluster, destination: NodeId) -> dict[NodeId,
     if destination not in cluster:
         raise UnknownNodeError(destination, "cluster node")
     dist: dict[NodeId, float] = {destination: 0.0}
-    # Heap entries carry a deterministic tiebreak (stringified node) so
-    # identical latencies pop in a stable order across runs.
-    heap: list[tuple[float, str, NodeId]] = [(0.0, str(destination), destination)]
+    # Heap entries carry a deterministic tiebreak (FIFO sequence number
+    # — one integer, no per-push str() allocation) so identical
+    # latencies pop in a stable order across runs.
+    counter = itertools.count()
+    heap: list[tuple[float, int, NodeId]] = [(0.0, next(counter), destination)]
     settled: set[NodeId] = set()
     while heap:
         d, _, node = heapq.heappop(heap)
@@ -51,7 +54,7 @@ def latency_table(cluster: PhysicalCluster, destination: NodeId) -> dict[NodeId,
             nd = d + cluster.latency(node, nbr)
             if nd < dist.get(nbr, INFINITY):
                 dist[nbr] = nd
-                heapq.heappush(heap, (nd, str(nbr), nbr))
+                heapq.heappush(heap, (nd, next(counter), nbr))
     for node in cluster.node_ids:
         dist.setdefault(node, INFINITY)
     return dist
@@ -72,7 +75,8 @@ def shortest_latency_path(
         return [source], 0.0
     dist: dict[NodeId, float] = {source: 0.0}
     prev: dict[NodeId, NodeId] = {}
-    heap: list[tuple[float, str, NodeId]] = [(0.0, str(source), source)]
+    counter = itertools.count()
+    heap: list[tuple[float, int, NodeId]] = [(0.0, next(counter), source)]
     settled: set[NodeId] = set()
     while heap:
         d, _, node = heapq.heappop(heap)
@@ -86,7 +90,7 @@ def shortest_latency_path(
             if nd < dist.get(nbr, INFINITY):
                 dist[nbr] = nd
                 prev[nbr] = node
-                heapq.heappush(heap, (nd, str(nbr), nbr))
+                heapq.heappush(heap, (nd, next(counter), nbr))
     if destination not in dist:
         raise RoutingError((source, destination), "nodes are disconnected")
     path = [destination]

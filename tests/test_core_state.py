@@ -134,6 +134,28 @@ class TestBandwidth:
         with pytest.raises(UnknownNodeError):
             state_line3.reserve_path([0, 2], 1.0)
 
+    def test_can_reserve_unknown_edge_raises(self, state_line3):
+        # Regression: can_reserve used to return False silently for a
+        # nonexistent edge, masking typos in caller-supplied paths; it
+        # must raise UnknownNodeError like reserve_path does.
+        with pytest.raises(UnknownNodeError):
+            state_line3.can_reserve([0, 2], 1.0)
+        with pytest.raises(UnknownNodeError):
+            state_line3.can_reserve([0, "no-such-node"], 1.0)
+
+    def test_release_path_atomic_on_over_capacity(self, state_line3):
+        # Regression: a release that overflows capacity mid-path used
+        # to leave earlier edges already credited.  It must validate
+        # every edge before mutating any residual (reserve_path's
+        # atomicity contract).
+        state_line3.reserve_path([0, 1], 100.0)  # only edge (0,1) has headroom
+        epoch = state_line3.bw_epoch
+        with pytest.raises(ModelError, match="exceeds capacity"):
+            state_line3.release_path([0, 1, 2], 50.0)  # edge (1,2) would overflow
+        assert state_line3.residual_bw(0, 1) == pytest.approx(900.0)
+        assert state_line3.residual_bw(1, 2) == pytest.approx(1000.0)
+        assert state_line3.bw_epoch == epoch  # failed release leaves the table's version
+
     def test_over_release_detected(self, state_line3):
         with pytest.raises(ModelError, match="exceeds capacity"):
             state_line3.release_path([0, 1], 1.0)

@@ -81,11 +81,14 @@ class TestBasicRouting:
             run_networking(state, v, HMNConfig())
 
     def test_shared_oracle_reused(self, line3):
+        # Adopting a caller-warmed LatencyOracle is a dict-engine
+        # contract; the compiled engine shares labels through the
+        # RoutingCache's CompiledLatencyOracle instead.
         v = two_guests()
         state = ClusterState(line3)
         place(state, v, {0: 0, 1: 2})
         oracle = LatencyOracle(line3)
-        run_networking(state, v, HMNConfig(), oracle=oracle)
+        run_networking(state, v, HMNConfig(engine="dict"), oracle=oracle)
         assert oracle.cached_destinations >= 1
 
 

@@ -181,9 +181,12 @@ class TestCacheCorrectness:
         cache.route(ClusterState(diamond), 0, 3, bandwidth=1.0, latency_bound=100.0)
         stats = cache.stats()
         assert set(stats) == {
-            "label_queries", "label_hits", "path_queries", "path_hits", "hit_rate",
+            "engine", "label_queries", "label_hits", "path_queries", "path_hits",
+            "hit_rate", "kernel_seconds",
         }
+        assert stats["engine"] == "compiled"
         assert 0.0 <= stats["hit_rate"] <= 1.0
+        assert stats["kernel_seconds"] >= 0.0
 
 
 class TestPipelineHitRate:

@@ -43,6 +43,25 @@ class TestLatencyTable:
         assert table["hub"] == 5.0
         assert table[3] == 10.0
 
+    def test_deterministic_pop_order_under_ties(self):
+        """The FIFO sequence tiebreak (replacing per-push str(node))
+        keeps equal-latency pops in a stable order: the table's
+        insertion order — which is exactly relaxation order — must be
+        identical run to run, and pinned to insertion (FIFO) order on
+        an all-ties topology."""
+        c = PhysicalCluster()
+        for i in range(6):
+            c.add_host(Host(i, proc=1.0, mem=1, stor=1.0))
+        for i in range(1, 6):
+            c.connect(0, i, bw=1.0, lat=1.0)  # five perfectly tied nodes
+        tables = [latency_table(c, 0) for _ in range(3)]
+        orders = [list(t) for t in tables]
+        assert orders[0] == orders[1] == orders[2]
+        # Ties relax in neighbor-iteration order, so insertion is FIFO.
+        assert orders[0] == [0, 1, 2, 3, 4, 5]
+        paths = [shortest_latency_path(c, 1, 5) for _ in range(3)]
+        assert paths[0] == paths[1] == paths[2] == ([1, 0, 5], 2.0)
+
 
 class TestShortestPath:
     def test_path_and_cost(self, weighted):
