@@ -37,7 +37,7 @@ from repro.analysis.stats import (
     population_std,
     summarize,
 )
-from repro.analysis.report import describe_mapping, host_table, link_hotspots
+from repro.analysis.report import describe_chaos, describe_mapping, host_table, link_hotspots
 from repro.analysis.sweeps import SweepResult, render_sweep, sweep_scenarios
 from repro.analysis.tables import render_generic, render_table2, render_table3, to_csv
 
@@ -65,6 +65,7 @@ __all__ = [
     "render_sweep",
     "SweepResult",
     "describe_mapping",
+    "describe_chaos",
     "host_table",
     "link_hotspots",
     "figure1_series",

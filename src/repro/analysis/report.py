@@ -1,10 +1,14 @@
-"""Human-readable mapping reports.
+"""Human-readable mapping and chaos-run reports.
 
 ``describe_mapping`` renders everything an emulator operator wants to
 see before deploying a mapping: per-host packing and residuals, link
 utilization hot spots, path-quality distribution and the objective in
 context (against the water-filling floor).  Used by the CLI's ``map``
 command and handy in notebooks.
+
+``describe_chaos`` renders a :mod:`repro.resilience` run the same way:
+survivability summary, the guests-alive curve as an ASCII sketch, and
+the repair log.  Used by the CLI's ``chaos`` command.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from repro.core.objective import balance_lower_bound
 from repro.core.venv import VirtualEnvironment
 from repro.units import format_bandwidth, format_latency, format_memory
 
-__all__ = ["describe_mapping", "host_table", "link_hotspots"]
+__all__ = ["describe_mapping", "describe_chaos", "host_table", "link_hotspots"]
 
 
 def host_table(
@@ -105,4 +109,59 @@ def describe_mapping(
     sections.append("")
     sections.append("link hot spots:")
     sections.append(link_hotspots(cluster, venv, mapping))
+    return "\n".join(sections)
+
+
+def _sparkline(values: list[float], width: int = 60) -> str:
+    """Downsample *values* into a bar sketch of at most *width* chars."""
+    if not values:
+        return "(empty)"
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    top = max(values)
+    if top <= 0:
+        return "▁" * len(values)
+    bars = "▁▂▃▄▅▆▇█"
+    return "".join(bars[min(int(v / top * (len(bars) - 1)), len(bars) - 1)] for v in values)
+
+
+def describe_chaos(result) -> str:
+    """Full report for one chaos run (a
+    :class:`repro.resilience.ChaosResult`)."""
+    from repro.resilience import survivability
+
+    summary = survivability(result)
+    sections = [
+        f"chaos run: {result.n_events} events, "
+        f"{result.admitted} admitted / {result.rejected} rejected tenants, "
+        f"{result.departed} departed, {result.shed} shed",
+        f"availability: {summary['availability']:.2%} "
+        f"(guests alive mean {summary['guests_alive_mean']:.1f}, "
+        f"peak {summary['guests_alive_peak']}; "
+        f"{summary['guests_shed']} guest-slots lost to shedding)",
+        f"repairs: {summary['repairs']} "
+        f"({summary['repairs_failed']} degraded to shedding; "
+        f"{summary['guests_replaced']} guests re-placed, "
+        f"{summary['links_rerouted']} links re-routed; "
+        f"latency mean/max {summary['repair_latency_mean']:.3f}/"
+        f"{summary['repair_latency_max']:.3f})",
+        f"objective: drift {summary['objective_drift']:.1f}, "
+        f"final {summary['objective_final']:.1f}",
+        "",
+        "guests alive over the trace:",
+        _sparkline([s.guests_alive for s in result.samples]),
+    ]
+    if result.repairs:
+        sections.append("")
+        sections.append(
+            f"{'t':>8} {'trigger':<13} {'target':<18} {'tenants':>7} "
+            f"{'tries':>5} {'shed':>4} {'ok':>3}"
+        )
+        for r in result.repairs:
+            sections.append(
+                f"{r.time:>8.2f} {r.trigger:<13} {r.target[:18]:<18} "
+                f"{len(r.tenants):>7} {r.attempts:>5} {len(r.shed):>4} "
+                f"{'yes' if r.healed else 'NO':>3}"
+            )
     return "\n".join(sections)

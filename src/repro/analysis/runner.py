@@ -16,17 +16,24 @@ environment.
 
 Execution: cells are expanded into picklable :class:`CellSpec` work
 items and handed to a :class:`BatchRunner`, which either runs them
-serially (``workers=1``) or fans them out over a
-:class:`~concurrent.futures.ProcessPoolExecutor` and merges the
-completed records back into the deterministic cell order by their
-``(base seed, scenario, rep, cluster, mapper)`` key — so a parallel
-sweep returns byte-for-byte the same records as a serial one, modulo
-wall-clock fields.
+serially (``workers=1``) or fans them out one process per cell and
+merges the completed records back into the deterministic cell order by
+their ``(base seed, scenario, rep, cluster, mapper)`` key — so a
+parallel sweep returns byte-for-byte the same records as a serial one,
+modulo wall-clock fields.
+
+Fault tolerance: a cell that crashes its worker process, raises an
+unexpected exception, or exceeds the per-cell ``timeout`` is retried a
+capped number of times and then filed as an ``ok=False`` record
+carrying ``RetriesExhaustedError:<reason>`` — one bad cell can no
+longer kill the whole grid.
 """
 
 from __future__ import annotations
 
+import os
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping as TMapping, Sequence
 
@@ -218,76 +225,256 @@ class CellSpec:
 
 
 def _execute_spec(spec: CellSpec) -> tuple[tuple, RunRecord]:
-    """Top-level worker (picklable) for the process pool."""
+    """Top-level worker (picklable) for worker processes."""
     return spec.key, spec.execute()
+
+
+def _cell_worker(conn, spec: CellSpec) -> None:
+    """Process-per-cell entry point: run the cell, pipe back the outcome.
+
+    An in-cell exception is reported as data (the parent decides about
+    retries); a hard crash (``os._exit``, segfault, OOM kill) leaves
+    the pipe empty and is detected by the parent via the process
+    sentinel.
+    """
+    try:
+        record = spec.execute()
+        conn.send(("ok", record))
+    except Exception as exc:
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def _env_timeout() -> float | None:
+    raw = os.environ.get("REPRO_CELL_TIMEOUT", "").strip()
+    if not raw:
+        return None
+    value = float(raw)
+    return value if value > 0 else None
+
+
+def _env_retries() -> int:
+    raw = os.environ.get("REPRO_CELL_RETRIES", "").strip()
+    return int(raw) if raw else 1
+
+
+def _error_record(spec: CellSpec, reason: str) -> RunRecord:
+    """The ``ok=False`` record filed when a cell exhausts its attempts."""
+    return RunRecord(
+        scenario=spec.scenario.label,
+        cluster=spec.cluster_name,
+        mapper=spec.mapper,
+        rep=spec.rep,
+        ok=False,
+        failure=f"RetriesExhaustedError:{reason}",
+    )
+
+
+@dataclass
+class _Job:
+    """One in-flight cell attempt in the process scheduler."""
+
+    index: int
+    spec: CellSpec
+    attempt: int
+    proc: object
+    conn: object
+    deadline: float | None
 
 
 class BatchRunner:
     """Executes a batch of :class:`CellSpec` work items, optionally in
-    parallel.
+    parallel, tolerating crashed and hung cells.
 
     Parameters
     ----------
     workers:
-        ``1`` (default) runs everything serially in-process — no pool,
-        no pickling, bit-identical to the historical serial runner.
-        ``> 1`` fans specs out over a
-        :class:`~concurrent.futures.ProcessPoolExecutor` with that many
-        workers; cells are fully independent (per-cell derived seeding,
-        no shared stream state), so the records are identical to a
-        serial run except for wall-clock fields, which measure the same
-        work under the pool's CPU contention.
+        ``1`` (default) runs everything serially in-process — no
+        subprocess, no pickling, bit-identical to the historical serial
+        runner (unless a *timeout* forces the preemptible path, below).
+        ``> 1`` runs up to that many cells concurrently, **one process
+        per cell**; cells are fully independent (per-cell derived
+        seeding, no shared stream state), so the records are identical
+        to a serial run except for wall-clock fields, which measure the
+        same work under whatever CPU contention the fan-out creates.
+        A worker that dies takes only its own cell down, never the
+        batch (the process-pool it replaces failed the whole grid on a
+        single ``BrokenProcessPool``).
     progress:
         Optional callback invoked with each finished
         :class:`RunRecord` — in submission order when serial, in
         completion order when parallel.
+    timeout:
+        Per-cell wall-clock budget in seconds (default: the
+        ``REPRO_CELL_TIMEOUT`` environment variable, unset/non-positive
+        meaning no limit).  Any timeout — even with ``workers=1`` —
+        routes cells through worker processes, since an in-process cell
+        cannot be preempted; a cell past its deadline is terminated and
+        counts as a failed attempt.
+    retries:
+        How many times a crashed/hung/raising cell is re-attempted
+        before an error record is filed (default: the
+        ``REPRO_CELL_RETRIES`` environment variable, else 1).  The
+        record reuses :class:`~repro.errors.RetriesExhaustedError` as
+        its failure label: ``RetriesExhaustedError:<reason>``.
 
     Results are merged deterministically: each record is filed under
     its spec's ``(base seed, scenario, rep, cluster, mapper)`` key and
     the output list follows the input spec order, never the completion
-    order.
+    order.  Duplicate keys are rejected up front on every path.
     """
 
-    __slots__ = ("workers", "progress")
+    __slots__ = ("workers", "progress", "timeout", "retries")
 
     def __init__(
         self,
         workers: int = 1,
         *,
         progress: Callable[[RunRecord], None] | None = None,
+        timeout: float | None = None,
+        retries: int | None = None,
     ) -> None:
         if workers < 1:
             raise ModelError(f"workers must be >= 1, got {workers}")
+        if timeout is None:
+            timeout = _env_timeout()
+        elif timeout <= 0:
+            raise ModelError(f"timeout must be positive, got {timeout}")
+        if retries is None:
+            retries = _env_retries()
+        if retries < 0:
+            raise ModelError(f"retries must be non-negative, got {retries}")
         self.workers = workers
         self.progress = progress
+        self.timeout = timeout
+        self.retries = retries
 
     def run(self, specs: Sequence[CellSpec]) -> list[RunRecord]:
         """Execute all *specs*, returning records in spec order."""
         specs = list(specs)
-        if self.workers == 1:
-            records = []
-            for spec in specs:
-                record = spec.execute()
-                records.append(record)
-                if self.progress is not None:
-                    self.progress(record)
-            return records
-
         keys = [spec.key for spec in specs]
         if len(set(keys)) != len(keys):
             raise ModelError("duplicate cell keys in batch; cells must be distinct")
 
-        from concurrent.futures import ProcessPoolExecutor, as_completed
+        if self.workers == 1 and self.timeout is None:
+            return self._run_serial(specs)
+        return self._run_processes(specs)
 
-        by_key: dict[tuple, RunRecord] = {}
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = [pool.submit(_execute_spec, spec) for spec in specs]
-            for future in as_completed(futures):
-                key, record = future.result()
-                by_key[key] = record
-                if self.progress is not None:
-                    self.progress(record)
-        return [by_key[key] for key in keys]
+    # ------------------------------------------------------------------
+    # serial path (in-process, preserves historical bit-identity)
+    # ------------------------------------------------------------------
+    def _run_serial(self, specs: list[CellSpec]) -> list[RunRecord]:
+        records = []
+        for spec in specs:
+            record = None
+            for attempt in range(self.retries + 1):
+                try:
+                    record = spec.execute()
+                    break
+                except Exception as exc:
+                    if attempt >= self.retries:
+                        record = _error_record(spec, f"{type(exc).__name__}: {exc}")
+            records.append(record)
+            if self.progress is not None:
+                self.progress(record)
+        return records
+
+    # ------------------------------------------------------------------
+    # process-per-cell path (parallel and/or preemptible)
+    # ------------------------------------------------------------------
+    def _spawn(self, ctx, index: int, spec: CellSpec, attempt: int) -> _Job:
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_cell_worker, args=(send_conn, spec), daemon=True)
+        proc.start()
+        send_conn.close()  # parent's copy; the child holds the live end
+        deadline = time.monotonic() + self.timeout if self.timeout is not None else None
+        return _Job(index, spec, attempt, proc, recv_conn, deadline)
+
+    def _reap(self, job: _Job) -> None:
+        job.proc.join(timeout=1.0)
+        if job.proc.is_alive():
+            job.proc.terminate()
+            job.proc.join()
+        job.conn.close()
+
+    def _run_processes(self, specs: list[CellSpec]) -> list[RunRecord]:
+        import multiprocessing as mp
+        from multiprocessing.connection import wait as mp_wait
+
+        ctx = mp.get_context()
+        results: list[RunRecord | None] = [None] * len(specs)
+        queue: deque[tuple[int, CellSpec, int]] = deque(
+            (i, spec, 0) for i, spec in enumerate(specs)
+        )
+        running: list[_Job] = []
+
+        def finish(job: _Job, record: RunRecord) -> None:
+            results[job.index] = record
+            if self.progress is not None:
+                self.progress(record)
+
+        def attempt_failed(job: _Job, reason: str) -> None:
+            if job.attempt < self.retries:
+                queue.append((job.index, job.spec, job.attempt + 1))
+            else:
+                finish(job, _error_record(job.spec, reason))
+
+        try:
+            while queue or running:
+                while queue and len(running) < self.workers:
+                    index, spec, attempt = queue.popleft()
+                    running.append(self._spawn(ctx, index, spec, attempt))
+
+                now = time.monotonic()
+                wait_for: float | None = None
+                if self.timeout is not None:
+                    wait_for = max(
+                        min(job.deadline for job in running) - now, 0.0
+                    )
+                # A readable pipe means a result (or an in-cell error);
+                # a readable sentinel alone means the worker died cold.
+                ready = set(
+                    mp_wait(
+                        [job.conn for job in running]
+                        + [job.proc.sentinel for job in running],
+                        wait_for,
+                    )
+                )
+                now = time.monotonic()
+                still_running: list[_Job] = []
+                for job in running:
+                    if job.conn in ready:
+                        try:
+                            outcome = job.conn.recv()
+                        except EOFError:
+                            outcome = None
+                        self._reap(job)
+                        if outcome is None:
+                            attempt_failed(
+                                job, f"WorkerCrash(exitcode={job.proc.exitcode})"
+                            )
+                        elif outcome[0] == "ok":
+                            finish(job, outcome[1])
+                        else:
+                            attempt_failed(job, outcome[1])
+                    elif job.proc.sentinel in ready and not job.conn.poll():
+                        self._reap(job)
+                        attempt_failed(
+                            job, f"WorkerCrash(exitcode={job.proc.exitcode})"
+                        )
+                    elif job.deadline is not None and now >= job.deadline:
+                        job.proc.terminate()
+                        self._reap(job)
+                        attempt_failed(job, f"Timeout({self.timeout:g}s)")
+                    else:
+                        still_running.append(job)
+                running = still_running
+        finally:
+            for job in running:
+                job.proc.terminate()
+                self._reap(job)
+        return results
 
 
 def expand_cells(
@@ -346,6 +533,8 @@ def run_grid(
     mapper_kwargs: TMapping[str, TMapping[str, object]] | None = None,
     progress=None,
     workers: int = 1,
+    timeout: float | None = None,
+    retries: int | None = None,
 ) -> list[RunRecord]:
     """Sweep the experiment grid; returns one record per cell.
 
@@ -359,12 +548,16 @@ def run_grid(
     arguments (e.g. retry budgets).  *progress*, if given, is called
     with each finished :class:`RunRecord` — hook for long sweeps.
 
-    ``workers > 1`` fans cells out over a :class:`BatchRunner` process
-    pool; records come back in the deterministic cell order regardless
-    of completion order, identical to a serial run except for the
-    wall-clock fields (``map_seconds`` etc.), which measure the same
-    work but under whatever CPU contention the pool creates.  Use
-    ``workers=1`` for timing-sensitive sweeps like Figure 1.
+    ``workers > 1`` fans cells out over :class:`BatchRunner` worker
+    processes; records come back in the deterministic cell order
+    regardless of completion order, identical to a serial run except
+    for the wall-clock fields (``map_seconds`` etc.), which measure the
+    same work but under whatever CPU contention the fan-out creates.
+    Use ``workers=1`` for timing-sensitive sweeps like Figure 1.
+
+    *timeout*/*retries* bound each cell's wall clock and re-attempts
+    (see :class:`BatchRunner`); a cell past its budget is filed as an
+    error record instead of stalling or failing the sweep.
     """
     cells = expand_cells(
         clusters,
@@ -376,7 +569,7 @@ def run_grid(
         simulate=simulate,
         mapper_kwargs=mapper_kwargs,
     )
-    return BatchRunner(workers, progress=progress).run(cells)
+    return BatchRunner(workers, progress=progress, timeout=timeout, retries=retries).run(cells)
 
 
 @dataclass(frozen=True, slots=True)

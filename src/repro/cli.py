@@ -15,6 +15,10 @@ Commands mirror an emulator operator's workflow:
     mapping and report the execution time.
 ``table2`` / ``table3`` / ``figure1``
     Regenerate the paper's evaluation artifacts at a chosen scale.
+``chaos``
+    Replay a seeded fault trace (host crashes, switch failures, link
+    degradations, tenant churn) against the self-healing operator and
+    report the survivability metrics.
 ``mappers``
     List the heuristic pool.
 
@@ -101,6 +105,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool size (timing series: prefer 1 so wall "
                         "times are uncontended)")
+
+    p = sub.add_parser("chaos", help="run a seeded fault trace through the self-healing operator")
+    p.add_argument("--cluster", help="cluster .json (default: a built-in topology)")
+    p.add_argument("--topology", default="switched-multi",
+                   choices=["torus", "switched", "switched-multi", "fat-tree"],
+                   help="built-in substrate when no --cluster is given "
+                        "(switched-multi: 40 paper hosts on a 3-switch cascade; "
+                        "fat-tree: k=4, 16 hosts, 20 switches)")
+    p.add_argument("--events", type=int, default=200)
+    p.add_argument("--seed", type=int, default=2009)
+    p.add_argument("--engine", default="compiled", choices=["compiled", "dict"])
+    p.add_argument("--host-crash-rate", type=float, default=0.08)
+    p.add_argument("--switch-fail-rate", type=float, default=0.05)
+    p.add_argument("--link-degrade-rate", type=float, default=0.1)
+    p.add_argument("--max-dead-fraction", type=float, default=0.34,
+                   help="ceiling on the fraction of hosts/switches down at once "
+                        "(0.34 lets 1 of the cascade's 3 switches fail)")
+    p.add_argument("--max-attempts", type=int, default=3, help="repair attempts per fault")
+    p.add_argument("--no-shed", action="store_true",
+                   help="never shed bystander tenants to make a repair fit")
+    p.add_argument("--selfcheck", action="store_true",
+                   help="validate every touched mapping against Eqs. 1-9 "
+                        "(exits non-zero on any invariant violation)")
+    p.add_argument("--json", dest="json_out", help="write the full ChaosResult here")
 
     sub.add_parser("mappers", help="list the heuristic pool")
     return parser
@@ -272,6 +300,55 @@ def _figure1(args) -> int:
     return 0
 
 
+def _chaos(args) -> int:
+    import json
+
+    from repro.analysis import describe_chaos
+    from repro.hmn.config import HMNConfig
+    from repro.resilience import FailureModel, RepairPolicy, run_chaos
+    from repro.workload import paper_clusters
+
+    if args.cluster:
+        cluster = _load(args.cluster, PhysicalCluster)
+    elif args.topology in ("torus", "switched"):
+        cluster = paper_clusters(seed=args.seed)[args.topology]
+    elif args.topology == "switched-multi":
+        from repro.topology import switched_cluster
+
+        cluster = switched_cluster(40, ports=16, seed=args.seed)
+    else:
+        from repro.topology import fat_tree_cluster
+
+        cluster = fat_tree_cluster(4, seed=args.seed)
+
+    model = FailureModel(
+        cluster,
+        host_crash_rate=args.host_crash_rate,
+        switch_fail_rate=args.switch_fail_rate,
+        link_degrade_rate=args.link_degrade_rate,
+        max_dead_fraction=args.max_dead_fraction,
+    )
+    result = run_chaos(
+        cluster,
+        n_events=args.events,
+        seed=args.seed,
+        model=model,
+        config=HMNConfig(engine=args.engine),
+        policy=RepairPolicy(max_attempts=args.max_attempts, shed=not args.no_shed),
+        selfcheck=args.selfcheck,
+    )
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=1, sort_keys=True)
+    print(f"cluster: {cluster}")
+    print(describe_chaos(result))
+    if args.selfcheck:
+        print(f"\nselfcheck: {result.validations} validations, 0 invalid mappings")
+    if args.json_out:
+        print(f"\nwrote chaos result -> {args.json_out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -289,6 +366,8 @@ def main(argv: list[str] | None = None) -> int:
             return _grid(args, args.command)
         if args.command == "figure1":
             return _figure1(args)
+        if args.command == "chaos":
+            return _chaos(args)
         if args.command == "mappers":
             for name in available_mappers():
                 print(name)

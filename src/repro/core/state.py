@@ -102,6 +102,7 @@ class ClusterState:
         "_guest_obj",
         "_bw_epoch",
         "_bw_view",
+        "_blocked",
     )
 
     def __init__(self, cluster: PhysicalCluster) -> None:
@@ -122,6 +123,7 @@ class ClusterState:
         self._guest_obj: dict[int, Guest] = {}
         self._bw_epoch = 0
         self._bw_view: _BwTableView | None = None
+        self._blocked: dict[NodeId, tuple[int, float, float]] = {}
 
     # ------------------------------------------------------------------
     # index translation
@@ -252,8 +254,13 @@ class ClusterState:
     # placement
     # ------------------------------------------------------------------
     def fits(self, guest: Guest, host_id: NodeId) -> bool:
-        """Whether *guest*'s hard demands fit on *host_id* right now."""
+        """Whether *guest*'s hard demands fit on *host_id* right now.
+
+        Always ``False`` for a :meth:`block_host`-masked host, even for
+        zero-demand guests."""
         i = self._host_index(host_id)
+        if host_id in self._blocked:
+            return False
         return self._arrays.mem[i] >= guest.vmem and self._arrays.stor[i] >= guest.vstor
 
     def place(self, guest: Guest, host_id: NodeId) -> None:
@@ -266,6 +273,10 @@ class ClusterState:
         if guest.id in self._host_of:
             raise ModelError(
                 f"guest {guest.id!r} is already placed on host {self._host_of[guest.id]!r}"
+            )
+        if host_id in self._blocked:
+            raise CapacityError(
+                f"guest {guest.id!r} cannot be placed on blocked host {host_id!r}"
             )
         i = self._host_index(host_id)
         arrays = self._arrays
@@ -350,6 +361,54 @@ class ClusterState:
     @property
     def n_placed(self) -> int:
         return len(self._host_of)
+
+    # ------------------------------------------------------------------
+    # failure masking
+    # ------------------------------------------------------------------
+    def block_host(self, host_id: NodeId) -> None:
+        """Remove all residual capacity of *host_id* (failure masking).
+
+        The placement-side primitive behind :mod:`repro.resilience`:
+        a crashed host must stop attracting placements without being
+        removed from the compiled topology (which would invalidate the
+        O(n) array state and every routing cache).  Blocking zeroes the
+        host's residual memory/storage and CPU — so residual-ordered
+        host scans skip it naturally and the objective counts it as
+        fully consumed — and makes :meth:`fits`/:meth:`place` refuse it
+        outright (covering zero-demand guests).  Guests already on the
+        host stay placed; evacuating them is the caller's job.
+
+        Raises :class:`ModelError` if the host is already blocked.
+        """
+        if host_id in self._blocked:
+            raise ModelError(f"host {host_id!r} is already blocked")
+        i = self._host_index(host_id)
+        arrays = self._arrays
+        mem, stor = arrays.mem[i], arrays.stor[i]
+        proc = self._cpu.residual(host_id)
+        arrays.mem[i] = 0
+        arrays.stor[i] = 0.0
+        self._cpu.apply_demand(host_id, proc)
+        self._blocked[host_id] = (mem, stor, proc)
+
+    def unblock_host(self, host_id: NodeId) -> None:
+        """Undo :meth:`block_host`, returning the masked residuals."""
+        try:
+            mem, stor, proc = self._blocked.pop(host_id)
+        except KeyError:
+            raise ModelError(f"host {host_id!r} is not blocked") from None
+        i = self._host_index(host_id)
+        self._arrays.mem[i] += mem
+        self._arrays.stor[i] += stor
+        self._cpu.release_demand(host_id, proc)
+
+    def is_blocked(self, host_id: NodeId) -> bool:
+        return host_id in self._blocked
+
+    @property
+    def blocked_hosts(self) -> frozenset[NodeId]:
+        """Hosts currently masked by :meth:`block_host`."""
+        return frozenset(self._blocked)
 
     # ------------------------------------------------------------------
     # bandwidth reservation
@@ -438,6 +497,7 @@ class ClusterState:
         # The copy's residual table is identical, so the token stays valid.
         out._bw_epoch = self._bw_epoch
         out._bw_view = None
+        out._blocked = dict(self._blocked)
         return out
 
     def restore_from(self, snapshot: "ClusterState") -> None:
@@ -462,6 +522,7 @@ class ClusterState:
         self._guests_on = {h: set(s) for h, s in snapshot._guests_on.items()}
         self._guest_obj = dict(snapshot._guest_obj)
         self._bw_epoch = snapshot._bw_epoch
+        self._blocked = dict(snapshot._blocked)
 
     def place_all(self, guests: Iterable[Guest], assignment: Mapping[int, NodeId]) -> None:
         """Place many guests at once per *assignment* (guest id -> host)."""

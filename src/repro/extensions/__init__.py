@@ -13,10 +13,20 @@ shared state (``hmn_map(..., state=...)``) are further extensions that
 live with the components they extend.
 """
 
-from repro.extensions.admission import AdmissionResult, TenantEvent, simulate_admissions
+from repro.extensions.admission import (
+    AdmissionResult,
+    TenantEvent,
+    release_tenant,
+    simulate_admissions,
+)
 from repro.extensions.exact import exact_map
 from repro.extensions.consolidation import consolidation_map, run_draining, run_packing
-from repro.extensions.remap import RemapSummary, evacuate_host, extend_mapping
+from repro.extensions.remap import (
+    RemapSummary,
+    evacuate_host,
+    evacuate_switch,
+    extend_mapping,
+)
 from repro.extensions.objectives import (
     HostsUsed,
     LoadBalance,
@@ -41,8 +51,10 @@ __all__ = [
     "exact_map",
     "extend_mapping",
     "evacuate_host",
+    "evacuate_switch",
     "RemapSummary",
     "simulate_admissions",
+    "release_tenant",
     "AdmissionResult",
     "TenantEvent",
     "run_packing",

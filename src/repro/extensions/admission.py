@@ -32,7 +32,25 @@ from repro.hmn.pipeline import hmn_map
 from repro.routing.cache import RoutingCache
 from repro.seeding import rng_from
 
-__all__ = ["TenantEvent", "AdmissionResult", "simulate_admissions"]
+__all__ = ["TenantEvent", "AdmissionResult", "release_tenant", "simulate_admissions"]
+
+
+def release_tenant(
+    state: ClusterState, venv: VirtualEnvironment, mapping: Mapping
+) -> None:
+    """Return a departed tenant's allocations to the shared *state*.
+
+    Unplaces every guest of *venv* and releases the bandwidth of every
+    multi-node path in *mapping* — the inverse of admitting the tenant
+    with ``hmn_map(..., state=state)``.  Shared by the admission loop
+    below and the chaos operator (:mod:`repro.resilience`), which must
+    agree exactly on what departure means for the residual tables.
+    """
+    for guest in venv.guests():
+        state.unplace(guest.id)
+    for key, nodes in mapping.paths.items():
+        if len(nodes) > 1:
+            state.release_path(nodes, venv.vlink(*key).vbw)
 
 
 @dataclass(frozen=True, slots=True)
@@ -110,11 +128,7 @@ def simulate_admissions(
         # Process departures scheduled before this arrival.
         while departures and departures[0][0] <= t:
             _, _, old_venv, old_mapping = heapq.heappop(departures)
-            for guest in old_venv.guests():
-                state.unplace(guest.id)
-            for key, nodes in old_mapping.paths.items():
-                if len(nodes) > 1:
-                    state.release_path(nodes, old_venv.vlink(*key).vbw)
+            release_tenant(state, old_venv, old_mapping)
 
         used_mem = total_mem - sum(state.residual_mem(h) for h in cluster.host_ids)
         utilizations.append(used_mem / total_mem if total_mem else 0.0)

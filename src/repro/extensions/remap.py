@@ -15,12 +15,19 @@ not cover, built here on the same stages:
   Its guests are re-placed on the surviving hosts, every virtual link
   with at least one re-placed endpoint **or a path through the lost
   host** is re-routed, and everything else stays put.
+* :func:`evacuate_switch` — a pure forwarding node fails.  No guest is
+  displaced (switches host nothing), but every path transiting the
+  switch is re-routed around it.
 
-Both return a complete new :class:`~repro.core.mapping.Mapping` for the
+All return a complete new :class:`~repro.core.mapping.Mapping` for the
 whole virtual environment (validating against Eqs. 1-9 as usual) plus
 a change summary, and raise the usual
 :class:`~repro.errors.MappingError` subclasses when the delta cannot
 be accommodated.
+
+The continuous, multi-tenant version of these one-shot repairs — a
+fault *trace* replayed against a live shared state with retry, backoff
+and load shedding — lives in :mod:`repro.resilience`.
 """
 
 from __future__ import annotations
@@ -40,7 +47,7 @@ from repro.hmn.hosting import run_hosting
 from repro.hmn.networking import run_networking
 from repro.routing.dijkstra import LatencyOracle
 
-__all__ = ["RemapSummary", "extend_mapping", "evacuate_host"]
+__all__ = ["RemapSummary", "extend_mapping", "evacuate_host", "evacuate_switch"]
 
 NodeId = Hashable
 
@@ -200,8 +207,14 @@ def evacuate_host(
     """
     if config is None:
         config = HMNConfig()
-    if failed_host not in cluster or not cluster.is_host(failed_host):
-        raise ModelError(f"{failed_host!r} is not a host of this cluster")
+    if failed_host not in cluster:
+        raise ModelError(f"{failed_host!r} is not a node of this cluster")
+    if cluster.is_switch(failed_host):
+        raise ModelError(
+            f"{failed_host!r} is a switch, not a host; switches displace no "
+            "guests — use evacuate_switch (or the switch-failure handling in "
+            "repro.resilience) to re-route around a lost forwarding node"
+        )
 
     displaced = frozenset(
         gid for gid, host in mapping.assignments.items() if host == failed_host
@@ -284,6 +297,88 @@ def evacuate_host(
         guests_placed=tuple(sorted(displaced)),
         links_rerouted=tuple(sorted(touched)),
         guests_kept=venv.n_guests - len(displaced),
+        links_kept=venv.n_vlinks - len(touched),
+    )
+    return combined, summary
+
+
+def evacuate_switch(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    mapping: Mapping,
+    failed_switch: NodeId,
+    config: HMNConfig | None = None,
+    *,
+    oracle: LatencyOracle | None = None,
+) -> tuple[Mapping, RemapSummary]:
+    """Re-route every virtual link whose path transits *failed_switch*.
+
+    The forwarding-node counterpart of :func:`evacuate_host`: a switch
+    hosts no guests, so nothing is displaced — but every path through
+    it is dead and must find a detour that avoids the switch (its
+    incident links are blocked during re-routing, exactly as a dead
+    host's are).  Raises :class:`~repro.errors.RoutingError` when some
+    severed link admits no detour in the residual bandwidth.
+    """
+    if config is None:
+        config = HMNConfig()
+    if failed_switch not in cluster:
+        raise ModelError(f"{failed_switch!r} is not a node of this cluster")
+    if cluster.is_host(failed_switch):
+        raise ModelError(
+            f"{failed_switch!r} is a host, not a switch; its guests must be "
+            "re-placed — use evacuate_host"
+        )
+
+    touched: set[VLinkKey] = set()
+    for key, nodes in mapping.paths.items():
+        if venv.has_vlink(*key) and failed_switch in nodes:
+            touched.add(key)
+
+    state = _restore_state(cluster, venv, mapping)
+    for key in touched:
+        nodes = mapping.paths[key]
+        if len(nodes) > 1:
+            state.release_path(nodes, venv.vlink(*key).vbw)
+
+    reroute = VirtualEnvironment(name=f"{venv.name}-swfail")
+    for g in venv.guests():
+        reroute.add_guest(g)
+    for key in touched:
+        reroute.add_vlink(venv.vlink(*key))
+
+    blocked: list[tuple[tuple[NodeId, NodeId], float]] = []
+    for nbr in cluster.neighbors(failed_switch):
+        residual = state.residual_bw(failed_switch, nbr)
+        if residual > 0:
+            state.reserve_path([failed_switch, nbr], residual)
+            blocked.append(((failed_switch, nbr), residual))
+    t0 = time.perf_counter()
+    try:
+        new_paths, networking_stats = run_networking(state, reroute, config, oracle=oracle)
+    finally:
+        for (u, v), residual in blocked:
+            state.release_path([u, v], residual)
+    networking_elapsed = time.perf_counter() - t0
+
+    paths = {
+        key: nodes for key, nodes in mapping.paths.items()
+        if venv.has_vlink(*key) and key not in touched
+    }
+    paths.update(new_paths)
+    combined = Mapping(
+        assignments=dict(mapping.assignments),
+        paths=paths,
+        mapper=f"{mapping.mapper}+evacuate" if mapping.mapper else "evacuate",
+        stages=(
+            StageReport("evacuate-networking", networking_elapsed, networking_stats),
+        ),
+        meta={"objective": state.objective(), "evacuated_switch": failed_switch},
+    )
+    summary = RemapSummary(
+        guests_placed=(),
+        links_rerouted=tuple(sorted(touched)),
+        guests_kept=venv.n_guests,
         links_kept=venv.n_vlinks - len(touched),
     )
     return combined, summary

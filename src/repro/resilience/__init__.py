@@ -1,0 +1,42 @@
+"""Chaos engineering over the mapped testbed.
+
+The paper maps a virtual environment once, onto a healthy cluster.
+This package asks the operational question: what happens to the mapped
+(multi-tenant) testbed when the cluster misbehaves — and how much of
+it can a self-healing operator keep alive?
+
+* :mod:`~repro.resilience.faults` — :class:`FailureModel`, a seeded
+  generator of deterministic virtual-time fault traces (host crashes,
+  switch failures, link degradations, tenant churn);
+* :mod:`~repro.resilience.operator` — :class:`ChaosOperator` /
+  :func:`run_chaos`, the self-healing loop replaying a trace against a
+  live shared :class:`~repro.core.state.ClusterState` with
+  transactional repairs, retry/shedding policy and per-event
+  survivability sampling;
+* :mod:`~repro.resilience.metrics` — :func:`survivability`, the
+  scalar summary (availability, repair latency, objective drift).
+"""
+
+from repro.resilience.faults import EVENT_KINDS, FailureModel, FaultEvent
+from repro.resilience.metrics import survivability
+from repro.resilience.operator import (
+    ChaosOperator,
+    ChaosResult,
+    ChaosSample,
+    RepairPolicy,
+    RepairRecord,
+    run_chaos,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "FailureModel",
+    "FaultEvent",
+    "ChaosOperator",
+    "ChaosResult",
+    "ChaosSample",
+    "RepairPolicy",
+    "RepairRecord",
+    "run_chaos",
+    "survivability",
+]

@@ -1,0 +1,273 @@
+"""Seeded fault injection: deterministic virtual-time chaos traces.
+
+A production testbed loses hosts, switches and link capacity while
+experiments are running; the paper's one-shot mapping says nothing
+about what happens next.  :class:`FailureModel` is the chaos half of
+that story: given a :class:`~repro.core.cluster.PhysicalCluster` and a
+seed, it emits a **deterministic** trace of :class:`FaultEvent`\\ s in
+virtual time — host crashes and recoveries, switch failures, link
+bandwidth degradations and restorations — interleaved with tenant
+arrivals and departures, so one trace exercises the whole operating
+regime of a shared emulation service under failure.
+
+Everything is driven by one :class:`numpy.random.Generator` stream in a
+fixed draw order, so the same ``(cluster, parameters, seed)`` always
+yields byte-identical traces — the property the determinism tests and
+the committed ``BENCH_chaos.json`` baseline rely on.  Replaying a
+trace against live mappings is the job of
+:func:`repro.resilience.operator.run_chaos`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.link import EdgeKey
+from repro.errors import ModelError
+from repro.seeding import rng_from
+
+__all__ = ["EVENT_KINDS", "FaultEvent", "FailureModel"]
+
+NodeId = Hashable
+
+#: Every event kind a trace can contain, in no particular order.
+EVENT_KINDS = (
+    "host_crash",
+    "host_recover",
+    "switch_fail",
+    "switch_recover",
+    "link_degrade",
+    "link_restore",
+    "tenant_arrive",
+    "tenant_depart",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One entry of a chaos trace.
+
+    ``target`` is a node id for host/switch events, a canonical edge
+    key for link events, and a tenant index for arrivals/departures.
+    ``factor`` is the remaining capacity fraction of a degraded link
+    (``0.3`` means the link keeps 30% of its bandwidth); ``None`` for
+    every other kind.
+    """
+
+    time: float
+    seq: int
+    kind: str
+    target: object
+    factor: float | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (targets stringified)."""
+        return {
+            "time": self.time,
+            "seq": self.seq,
+            "kind": self.kind,
+            "target": repr(self.target),
+            "factor": self.factor,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class FailureModel:
+    """Failure-process parameters over one physical cluster.
+
+    All rates are events per unit of virtual time (the same clock the
+    admission loop counts arrivals in); all mean durations are in the
+    same unit.  A rate of ``0`` disables that fault class entirely.
+
+    Parameters
+    ----------
+    cluster:
+        The physical cluster faults are drawn against.  Switch events
+        are only generated when it actually has switches.
+    arrival_rate / mean_lifetime:
+        Tenant arrival process and how long an admitted tenant stays.
+    host_crash_rate / host_mttr:
+        Crash process over the *currently alive* hosts and the mean
+        time to recovery of a crashed host.
+    switch_fail_rate / switch_mttr:
+        Same for pure forwarding nodes.
+    link_degrade_rate / link_mttr / degrade_floor / degrade_ceiling:
+        Degradation process over currently healthy links; a degraded
+        link keeps a capacity fraction drawn uniformly from
+        ``[degrade_floor, degrade_ceiling]`` until restored.
+    max_dead_fraction:
+        Ceiling on the fraction of hosts (and, separately, switches)
+        that may be down simultaneously; a crash drawn past the
+        ceiling is skipped.  Always keeps at least one host alive.
+    """
+
+    cluster: PhysicalCluster = field(repr=False)
+    arrival_rate: float = 1.0
+    mean_lifetime: float = 4.0
+    host_crash_rate: float = 0.08
+    host_mttr: float = 3.0
+    switch_fail_rate: float = 0.05
+    switch_mttr: float = 2.0
+    link_degrade_rate: float = 0.1
+    link_mttr: float = 2.5
+    degrade_floor: float = 0.2
+    degrade_ceiling: float = 0.7
+    max_dead_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        for name in (
+            "arrival_rate",
+            "host_crash_rate",
+            "switch_fail_rate",
+            "link_degrade_rate",
+        ):
+            if getattr(self, name) < 0:
+                raise ModelError(f"{name} must be non-negative, got {getattr(self, name)}")
+        for name in ("mean_lifetime", "host_mttr", "switch_mttr", "link_mttr"):
+            if getattr(self, name) <= 0:
+                raise ModelError(f"{name} must be positive, got {getattr(self, name)}")
+        if not 0.0 < self.degrade_floor <= self.degrade_ceiling < 1.0:
+            raise ModelError(
+                "degrade fractions must satisfy 0 < floor <= ceiling < 1, got "
+                f"[{self.degrade_floor}, {self.degrade_ceiling}]"
+            )
+        if not 0.0 <= self.max_dead_fraction < 1.0:
+            raise ModelError(
+                f"max_dead_fraction must be in [0, 1), got {self.max_dead_fraction}"
+            )
+        if (
+            self.arrival_rate == 0
+            and self.host_crash_rate == 0
+            and self.switch_fail_rate == 0
+            and self.link_degrade_rate == 0
+        ):
+            raise ModelError("at least one event rate must be positive")
+
+    # ------------------------------------------------------------------
+    # trace generation
+    # ------------------------------------------------------------------
+    def trace(
+        self, n_events: int, *, seed: int | np.random.Generator | None = None
+    ) -> tuple[FaultEvent, ...]:
+        """Generate a deterministic trace of exactly *n_events* events.
+
+        The generator is a tiny discrete-event simulation: independent
+        Poisson streams propose crashes/degradations/arrivals, each
+        fired fault schedules its own recovery, each arrival schedules
+        its departure.  Targets are drawn uniformly over the entities
+        *currently eligible* (alive hosts, healthy links, ...), so the
+        trace is always physically consistent: nothing crashes twice
+        without recovering in between, recoveries follow their faults,
+        and no more than ``max_dead_fraction`` of a node class is ever
+        down at once.
+        """
+        if n_events < 1:
+            raise ModelError(f"n_events must be >= 1, got {n_events}")
+        rng = rng_from(seed)
+        cluster = self.cluster
+        hosts: Sequence[NodeId] = cluster.host_ids
+        switches: Sequence[NodeId] = cluster.switch_ids
+        links: Sequence[EdgeKey] = cluster.link_keys
+
+        max_dead_hosts = min(int(self.max_dead_fraction * len(hosts)), len(hosts) - 1)
+        max_dead_switches = int(self.max_dead_fraction * len(switches))
+
+        down_hosts: set[NodeId] = set()
+        down_switches: set[NodeId] = set()
+        degraded: set[EdgeKey] = set()
+
+        # (time, push order, kind, payload) — push order breaks time
+        # ties deterministically, in schedule order.
+        pending: list[tuple[float, int, str, object]] = []
+        order = itertools.count()
+
+        def schedule(at: float, kind: str, payload: object = None) -> None:
+            heapq.heappush(pending, (at, next(order), kind, payload))
+
+        def exp(mean: float) -> float:
+            return float(rng.exponential(mean))
+
+        # Stream heads.  Draw order is fixed: arrivals, host crashes,
+        # switch failures, link degradations.
+        if self.arrival_rate > 0:
+            schedule(exp(1.0 / self.arrival_rate), "tenant_arrive")
+        if self.host_crash_rate > 0 and max_dead_hosts > 0:
+            schedule(exp(1.0 / self.host_crash_rate), "host_crash")
+        if self.switch_fail_rate > 0 and switches and max_dead_switches > 0:
+            schedule(exp(1.0 / self.switch_fail_rate), "switch_fail")
+        if self.link_degrade_rate > 0 and links:
+            schedule(exp(1.0 / self.link_degrade_rate), "link_degrade")
+
+        def pick(eligible: list) -> object | None:
+            if not eligible:
+                return None
+            return eligible[int(rng.integers(len(eligible)))]
+
+        events: list[FaultEvent] = []
+        next_tenant = 0
+
+        def emit(time: float, kind: str, target: object, factor: float | None = None) -> None:
+            events.append(FaultEvent(time, len(events), kind, target, factor))
+
+        while len(events) < n_events and pending:
+            now, _, kind, payload = heapq.heappop(pending)
+
+            if kind == "tenant_arrive":
+                schedule(now + exp(1.0 / self.arrival_rate), "tenant_arrive")
+                tenant = next_tenant
+                next_tenant += 1
+                emit(now, "tenant_arrive", tenant)
+                schedule(now + exp(self.mean_lifetime), "tenant_depart", tenant)
+
+            elif kind == "tenant_depart":
+                emit(now, "tenant_depart", payload)
+
+            elif kind == "host_crash":
+                schedule(now + exp(1.0 / self.host_crash_rate), "host_crash")
+                if len(down_hosts) < max_dead_hosts:
+                    target = pick([h for h in hosts if h not in down_hosts])
+                    if target is not None:
+                        down_hosts.add(target)
+                        emit(now, "host_crash", target)
+                        schedule(now + exp(self.host_mttr), "host_recover", target)
+
+            elif kind == "host_recover":
+                down_hosts.discard(payload)
+                emit(now, "host_recover", payload)
+
+            elif kind == "switch_fail":
+                schedule(now + exp(1.0 / self.switch_fail_rate), "switch_fail")
+                if len(down_switches) < max_dead_switches:
+                    target = pick([s for s in switches if s not in down_switches])
+                    if target is not None:
+                        down_switches.add(target)
+                        emit(now, "switch_fail", target)
+                        schedule(now + exp(self.switch_mttr), "switch_recover", target)
+
+            elif kind == "switch_recover":
+                down_switches.discard(payload)
+                emit(now, "switch_recover", payload)
+
+            elif kind == "link_degrade":
+                schedule(now + exp(1.0 / self.link_degrade_rate), "link_degrade")
+                target = pick([k for k in links if k not in degraded])
+                if target is not None:
+                    factor = float(rng.uniform(self.degrade_floor, self.degrade_ceiling))
+                    degraded.add(target)
+                    emit(now, "link_degrade", target, factor)
+                    schedule(now + exp(self.link_mttr), "link_restore", target)
+
+            elif kind == "link_restore":
+                degraded.discard(payload)
+                emit(now, "link_restore", payload)
+
+            else:  # pragma: no cover - internal kinds are exhaustive
+                raise AssertionError(f"unknown scheduled kind {kind!r}")
+
+        return tuple(events)

@@ -1,0 +1,65 @@
+"""Survivability metrics over a chaos run.
+
+:func:`survivability` reduces a :class:`~repro.resilience.operator.ChaosResult`
+to the handful of numbers a resilience study reports:
+
+* **availability** — time-weighted fraction of wanted guests that were
+  actually alive.  "Wanted" at any instant is alive + lost, where a
+  tenant counts as lost from the repair that shed it until the trace
+  departure that would have ended it anyway; rejected admissions are
+  capacity planning, not failures, and do not count against it.
+* **repair latency** — mean/max virtual-time cost of healing
+  (``backoff * (attempts - 1)`` per repair), plus how many repairs
+  degraded into shedding.
+* **objective drift** — how far the Eq. 10 load-balance objective
+  wandered over the run (faults concentrate load on the survivors).
+
+Everything here is pure arithmetic over the result's samples — no
+state, no randomness — so the output is exactly as deterministic as
+the run itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.resilience.operator import ChaosResult
+
+__all__ = ["survivability"]
+
+
+def survivability(result: ChaosResult) -> dict[str, Any]:
+    """Aggregate a chaos run into its survivability summary."""
+    samples = result.samples
+    alive_time = wanted_time = 0.0
+    obj_min = obj_max = None
+    for prev, cur in zip(samples, samples[1:]):
+        dt = max(cur.time - prev.time, 0.0)
+        alive_time += prev.guests_alive * dt
+        wanted_time += (prev.guests_alive + prev.guests_lost) * dt
+    for s in samples:
+        if obj_min is None or s.objective < obj_min:
+            obj_min = s.objective
+        if obj_max is None or s.objective > obj_max:
+            obj_max = s.objective
+
+    latencies = [r.latency for r in result.repairs]
+    total_admissions = result.admitted + result.rejected
+    return {
+        "availability": alive_time / wanted_time if wanted_time else 1.0,
+        "acceptance_ratio": result.admitted / total_admissions if total_admissions else 1.0,
+        "guests_alive_peak": max((s.guests_alive for s in samples), default=0),
+        "guests_alive_mean": (
+            sum(s.guests_alive for s in samples) / len(samples) if samples else 0.0
+        ),
+        "repairs": len(result.repairs),
+        "repairs_failed": sum(1 for r in result.repairs if not r.healed),
+        "repair_latency_mean": sum(latencies) / len(latencies) if latencies else 0.0,
+        "repair_latency_max": max(latencies, default=0.0),
+        "links_rerouted": sum(r.rerouted for r in result.repairs),
+        "guests_replaced": sum(r.replaced for r in result.repairs),
+        "tenants_shed": result.shed,
+        "guests_shed": result.shed_guests,
+        "objective_drift": (obj_max - obj_min) if samples else 0.0,
+        "objective_final": result.final_objective,
+    }

@@ -1,0 +1,711 @@
+"""The self-healing operator loop: replay a chaos trace, keep tenants up.
+
+This is the continuous counterpart of the one-shot repairs in
+:mod:`repro.extensions.remap`.  A :class:`ChaosOperator` owns one
+long-lived :class:`~repro.core.state.ClusterState` and
+:class:`~repro.routing.cache.RoutingCache` for the whole run and feeds
+a :class:`~repro.resilience.faults.FailureModel` trace through it:
+
+* **tenant arrivals** are admitted with ``hmn_map(..., state=...)``
+  against the residual (and fault-masked) capacity, rejections are
+  recorded;
+* **host crashes** block the host (:meth:`ClusterState.block_host`),
+  blackhole its links, then *heal* every tenant with a displaced guest
+  or a path through the dead machine — re-place displaced guests on
+  the survivors (largest ``vproc`` first onto the most-idle fitting
+  host, the evacuation rule of
+  :func:`~repro.extensions.remap.evacuate_host`) and re-route every
+  severed virtual link with the Networking stage;
+* **switch failures** displace nothing but sever transit paths, healed
+  the same way (:func:`~repro.extensions.remap.evacuate_switch`
+  semantics);
+* **link degradations** shrink a link to a fraction of its capacity by
+  reserving the lost headroom out of the shared state; paths that no
+  longer fit are re-routed;
+* **recoveries/restorations** return the masked capacity.
+
+Every heal attempt is a transaction: the operator snapshots the state
+(O(n) array copy), tries the repair, and on failure restores the
+snapshot atomically — then, per the :class:`RepairPolicy`, sheds the
+lowest-priority tenant (smallest aggregate ``vbw``) to make room and
+retries, up to ``max_attempts``.  If the repair still fails, the
+affected tenants themselves are shed (graceful degradation — losing a
+tenant beats corrupting the state), so the loop always terminates with
+every surviving mapping valid.
+
+Determinism: the trace is deterministic in its seed, tenant workloads
+are drawn from per-tenant streams (``derive(seed, "tenant", t)``), and
+the heal loop iterates everything in sorted order — so a chaos run is
+byte-identical across repeats, processes and routing engines
+(``ChaosResult.to_dict(include_wall=False)`` is the canonical form the
+determinism tests compare).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.link import EdgeKey, edge_key
+from repro.core.mapping import Mapping, StageReport
+from repro.core.state import ClusterState, path_edges
+from repro.core.validate import validate_mapping
+from repro.core.venv import VirtualEnvironment
+from repro.core.vlink import VLinkKey
+from repro.errors import MappingError, ModelError, PlacementError
+from repro.extensions.admission import release_tenant
+from repro.hmn.config import HMNConfig
+from repro.hmn.networking import run_networking
+from repro.hmn.pipeline import hmn_map
+from repro.resilience.faults import FailureModel, FaultEvent
+from repro.routing.cache import RoutingCache
+from repro.seeding import derive
+
+__all__ = [
+    "RepairPolicy",
+    "RepairRecord",
+    "ChaosSample",
+    "ChaosResult",
+    "ChaosOperator",
+    "run_chaos",
+]
+
+NodeId = Hashable
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class RepairPolicy:
+    """How hard the operator tries before giving up on a repair.
+
+    ``max_attempts`` bounds the heal loop per fault; each retry after a
+    failed attempt sheds the lowest-priority tenant (smallest aggregate
+    ``vbw``) when ``shed`` is on, otherwise retries change nothing and
+    exist only to model the attempt budget.  ``backoff`` is the virtual
+    time charged per retry: a repair that needed ``k`` attempts is
+    recorded with latency ``backoff * (k - 1)``.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.05
+    shed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ModelError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff < 0:
+            raise ModelError(f"backoff must be non-negative, got {self.backoff}")
+
+
+@dataclass(frozen=True, slots=True)
+class RepairRecord:
+    """Outcome of one heal transaction (one fault event)."""
+
+    time: float
+    trigger: str
+    target: str
+    tenants: tuple[int, ...]
+    attempts: int
+    latency: float
+    rerouted: int
+    replaced: int
+    shed: tuple[int, ...]
+    healed: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "time": self.time,
+            "trigger": self.trigger,
+            "target": self.target,
+            "tenants": list(self.tenants),
+            "attempts": self.attempts,
+            "latency": self.latency,
+            "rerouted": self.rerouted,
+            "replaced": self.replaced,
+            "shed": list(self.shed),
+            "healed": self.healed,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosSample:
+    """State of the world right after one trace event was absorbed."""
+
+    time: float
+    kind: str
+    tenants_alive: int
+    guests_alive: int
+    guests_lost: int
+    objective: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "tenants_alive": self.tenants_alive,
+            "guests_alive": self.guests_alive,
+            "guests_lost": self.guests_lost,
+            "objective": self.objective,
+        }
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """Everything a chaos run produced.
+
+    ``samples`` has one entry per trace event (the survivability
+    curve); ``repairs`` one entry per fault that needed healing.
+    ``to_dict(include_wall=False)`` is deterministic in the seed —
+    byte-compare its JSON to assert two runs are identical.
+    """
+
+    n_events: int
+    admitted: int
+    rejected: int
+    departed: int
+    shed: int
+    shed_guests: int
+    validations: int
+    repairs: tuple[RepairRecord, ...]
+    samples: tuple[ChaosSample, ...]
+    final_tenants: int
+    final_guests: int
+    final_objective: float
+    wall_s: float
+
+    def to_dict(self, *, include_wall: bool = True) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "n_events": self.n_events,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "departed": self.departed,
+            "shed": self.shed,
+            "shed_guests": self.shed_guests,
+            "validations": self.validations,
+            "repairs": [r.to_dict() for r in self.repairs],
+            "samples": [s.to_dict() for s in self.samples],
+            "final_tenants": self.final_tenants,
+            "final_guests": self.final_guests,
+            "final_objective": self.final_objective,
+        }
+        if include_wall:
+            out["wall_s"] = self.wall_s
+        return out
+
+
+@dataclass
+class _Tenant:
+    """A live tenant: its environment and its current mapping."""
+
+    tenant: int
+    venv: VirtualEnvironment
+    mapping: Mapping
+    admitted_at: float
+    total_vbw: float
+    repairs: int = 0
+
+
+def _default_tenant(i: int, rng: np.random.Generator) -> VirtualEnvironment:
+    from repro.workload import LOW_LEVEL, generate_virtual_environment
+
+    n = int(rng.integers(4, 12))
+    return generate_virtual_environment(
+        n,
+        workload=LOW_LEVEL,
+        density=0.15,
+        seed=int(rng.integers(2**31 - 1)),
+        id_offset=i * 100_000,
+        name=f"tenant-{i}",
+    )
+
+
+class ChaosOperator:
+    """Replays a fault trace against a live multi-tenant state.
+
+    Parameters
+    ----------
+    cluster:
+        The physical cluster (shared with the trace's FailureModel).
+    make_venv:
+        Builds tenant *i*'s virtual environment from its private
+        generator; defaults to small low-level-workload tenants.
+        Give each tenant a disjoint guest-id block.
+    config:
+        HMN pipeline knobs for admissions and re-routing.
+    policy:
+        Retry/backoff/shedding policy for heal transactions.
+    seed:
+        Root seed for the per-tenant workload streams (the trace
+        carries its own seed; keep them equal for one-seed runs).
+    selfcheck:
+        Validate every touched mapping against Eqs. 1-9 after every
+        admission and repair, and audit the health invariants (no
+        guest on a dead host, no path through a dead node).  Slow;
+        meant for tests and the CI smoke run.
+    """
+
+    def __init__(
+        self,
+        cluster: PhysicalCluster,
+        *,
+        make_venv: Callable[[int, np.random.Generator], VirtualEnvironment] | None = None,
+        config: HMNConfig | None = None,
+        policy: RepairPolicy | None = None,
+        seed: int = 0,
+        selfcheck: bool = False,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config if config is not None else HMNConfig()
+        self.policy = policy if policy is not None else RepairPolicy()
+        self.make_venv = make_venv if make_venv is not None else _default_tenant
+        self.seed = seed
+        self.selfcheck = selfcheck
+
+        self._state = ClusterState(cluster)
+        self._cache = RoutingCache(cluster, engine=self.config.engine)
+        self._live: dict[int, _Tenant] = {}
+        self._dead_hosts: set[NodeId] = set()
+        self._dead_switches: set[NodeId] = set()
+        self._degraded: dict[EdgeKey, float] = {}
+        #: bandwidth currently reserved per edge purely as fault masking
+        self._masks: dict[EdgeKey, float] = {}
+        #: tenants shed before their departure event, with guest counts
+        self._lost: dict[int, int] = {}
+
+        self._admitted = 0
+        self._rejected = 0
+        self._departed = 0
+        self._shed = 0
+        self._shed_guests = 0
+        self._validations = 0
+        self._repairs: list[RepairRecord] = []
+        self._samples: list[ChaosSample] = []
+
+    # ------------------------------------------------------------------
+    # fault masking over the shared state
+    # ------------------------------------------------------------------
+    @property
+    def _dead_nodes(self) -> set[NodeId]:
+        return self._dead_hosts | self._dead_switches
+
+    def _sync_edge(self, key: EdgeKey) -> None:
+        """Reconcile one edge's mask reservation with current health.
+
+        Target: residual 0 while either endpoint is dead; otherwise
+        ``cap * (1 - factor)`` masked while degraded, else no mask.
+        Reservations held by tenant paths bound how much mask fits —
+        the shortfall closes as the heal loop releases those paths.
+        """
+        u, v = key
+        state = self._state
+        current = self._masks.get(key, 0.0)
+        if u in self._dead_nodes or v in self._dead_nodes:
+            extra = state.residual_bw(u, v)
+            if extra > 0:
+                state.reserve_path([u, v], extra)
+                self._masks[key] = current + extra
+            return
+        factor = self._degraded.get(key)
+        target = self.cluster.link(u, v).bw * (1.0 - factor) if factor is not None else 0.0
+        if target > current + _EPS:
+            extra = min(target - current, state.residual_bw(u, v))
+            if extra > 0:
+                state.reserve_path([u, v], extra)
+                current += extra
+        elif current > target + _EPS:
+            state.release_path([u, v], current - target)
+            current = target
+        if current > _EPS:
+            self._masks[key] = current
+        else:
+            self._masks.pop(key, None)
+
+    def _sync_node_edges(self, node: NodeId) -> None:
+        for nbr in self.cluster.neighbors(node):
+            self._sync_edge(edge_key(node, nbr))
+
+    def _resync_released(self, edges: set[EdgeKey]) -> None:
+        """Re-mask edges that releases may have re-exposed."""
+        dead = self._dead_nodes
+        for key in sorted(edges, key=repr):
+            if key in self._degraded or key[0] in dead or key[1] in dead:
+                self._sync_edge(key)
+
+    # ------------------------------------------------------------------
+    # tenant lifecycle
+    # ------------------------------------------------------------------
+    def _admit(self, now: float, tenant: int) -> None:
+        venv = self.make_venv(tenant, derive(self.seed, "tenant", tenant))
+        try:
+            mapping = hmn_map(
+                self.cluster, venv, self.config, state=self._state, cache=self._cache
+            )
+        except MappingError:
+            # hmn_map is transactional on shared states: nothing leaked.
+            self._rejected += 1
+            return
+        self._admitted += 1
+        self._live[tenant] = _Tenant(
+            tenant=tenant,
+            venv=venv,
+            mapping=mapping,
+            admitted_at=now,
+            total_vbw=venv.total_vbw(),
+        )
+        if self.selfcheck:
+            self._validate(self._live[tenant])
+
+    def _depart(self, tenant: int) -> None:
+        rec = self._live.pop(tenant, None)
+        if rec is None:
+            # Rejected at arrival, or shed by an earlier repair: a shed
+            # tenant stops counting as lost once it would have left.
+            self._lost.pop(tenant, None)
+            return
+        release_tenant(self._state, rec.venv, rec.mapping)
+        self._resync_released({e for p in rec.mapping.paths.values() for e in path_edges(p)})
+        self._departed += 1
+
+    def _shed_tenant(self, tenant: int) -> None:
+        rec = self._live.pop(tenant)
+        release_tenant(self._state, rec.venv, rec.mapping)
+        self._resync_released({e for p in rec.mapping.paths.values() for e in path_edges(p)})
+        self._shed += 1
+        self._shed_guests += rec.venv.n_guests
+        self._lost[tenant] = rec.venv.n_guests
+
+    # ------------------------------------------------------------------
+    # healing
+    # ------------------------------------------------------------------
+    def _affected_by(self, broken_edges: frozenset[EdgeKey]) -> list[int]:
+        """Live tenants with a displaced guest, a path through a dead
+        node, or a path over a broken edge — in tenant order."""
+        dead_hosts, dead_nodes = self._dead_hosts, self._dead_nodes
+        out = []
+        for t in sorted(self._live):
+            mapping = self._live[t].mapping
+            hit = any(h in dead_hosts for h in mapping.assignments.values())
+            if not hit:
+                for nodes in mapping.paths.values():
+                    if any(n in dead_nodes for n in nodes) or any(
+                        e in broken_edges for e in path_edges(nodes)
+                    ):
+                        hit = True
+                        break
+            if hit:
+                out.append(t)
+        return out
+
+    def _attempt_repair(
+        self, affected: list[int], broken_edges: frozenset[EdgeKey]
+    ) -> tuple[int, int]:
+        """One heal transaction over *affected* (may raise MappingError).
+
+        Mutates the shared state; the caller holds the rollback
+        snapshot.  Tenant mappings are only committed once every
+        tenant healed, so a mid-flight failure leaves them untouched
+        for the rollback.  Returns (links rerouted, guests re-placed).
+        """
+        state, config = self._state, self.config
+        dead_hosts, dead_nodes = self._dead_hosts, self._dead_nodes
+
+        displaced: dict[int, list[int]] = {}
+        touched: dict[int, list[VLinkKey]] = {}
+        released: set[EdgeKey] = set()
+        for t in affected:
+            rec = self._live[t]
+            dis = sorted(
+                g for g, h in rec.mapping.assignments.items() if h in dead_hosts
+            )
+            dis_set = set(dis)
+            keys = []
+            for key, nodes in sorted(rec.mapping.paths.items()):
+                if (
+                    key[0] in dis_set
+                    or key[1] in dis_set
+                    or any(n in dead_nodes for n in nodes)
+                    or any(e in broken_edges for e in path_edges(nodes))
+                ):
+                    keys.append(key)
+            displaced[t], touched[t] = dis, keys
+            for g in dis:
+                state.unplace(g)
+            for key in keys:
+                nodes = rec.mapping.paths[key]
+                if len(nodes) > 1:
+                    state.release_path(nodes, rec.venv.vlink(*key).vbw)
+                    released.update(path_edges(nodes))
+
+        # Releases may have re-exposed masked bandwidth (the broken
+        # paths crossed the very edges being masked); close the gap
+        # before any re-routing sees the inflated residuals.
+        self._resync_released(released | set(broken_edges))
+
+        n_replaced = n_rerouted = 0
+        new_mappings: dict[int, Mapping] = {}
+        for t in affected:
+            rec = self._live[t]
+            t0 = time.perf_counter()
+            # Evacuation rule: biggest CPU demand first onto the most
+            # idle host that fits (blocked hosts never fit).
+            for gid in sorted(displaced[t], key=lambda g: (-rec.venv.guest(g).vproc, g)):
+                guest = rec.venv.guest(gid)
+                for h in state.cpu.hosts_by_residual_descending():
+                    if state.fits(guest, h):
+                        state.place(guest, h)
+                        break
+                else:
+                    raise PlacementError(
+                        gid, "no surviving host can absorb the displaced guest"
+                    )
+                n_replaced += 1
+
+            reroute = VirtualEnvironment(name=f"{rec.venv.name}-heal")
+            for g in rec.venv.guests():
+                reroute.add_guest(g)
+            for key in touched[t]:
+                reroute.add_vlink(rec.venv.vlink(*key))
+            new_paths, _ = run_networking(state, reroute, config, cache=self._cache)
+            n_rerouted += len(new_paths)
+
+            paths = {
+                key: nodes
+                for key, nodes in rec.mapping.paths.items()
+                if key not in new_paths
+            }
+            paths.update(new_paths)
+            mapper = rec.mapping.mapper
+            if not mapper.endswith("+heal"):
+                mapper = f"{mapper}+heal" if mapper else "heal"
+            new_mappings[t] = Mapping(
+                assignments={g.id: state.host_of(g.id) for g in rec.venv.guests()},
+                paths=paths,
+                mapper=mapper,
+                stages=(
+                    StageReport(
+                        "heal",
+                        time.perf_counter() - t0,
+                        {"replaced": len(displaced[t]), "rerouted": len(touched[t])},
+                    ),
+                ),
+                meta={
+                    "objective": state.objective(),
+                    "resilience": {
+                        "repairs": rec.repairs + 1,
+                        "displaced": len(displaced[t]),
+                        "rerouted": len(touched[t]),
+                    },
+                },
+            )
+
+        for t, mapping in new_mappings.items():
+            rec = self._live[t]
+            rec.mapping = mapping
+            rec.repairs += 1
+            if self.selfcheck:
+                self._validate(rec)
+        return n_rerouted, n_replaced
+
+    def _heal(
+        self, now: float, trigger: str, target: object, broken_edges: frozenset[EdgeKey]
+    ) -> None:
+        """Heal every affected tenant, shedding per policy on failure."""
+        affected = self._affected_by(broken_edges)
+        if not affected:
+            return
+        original = tuple(affected)
+        policy = self.policy
+        shed_ids: list[int] = []
+        attempts = 0
+        while True:
+            attempts += 1
+            snap_state = self._state.copy()
+            snap_masks = dict(self._masks)
+            try:
+                rerouted, replaced = self._attempt_repair(affected, broken_edges)
+                healed = True
+                break
+            except MappingError:
+                self._state.restore_from(snap_state)
+                self._masks = snap_masks
+            if attempts >= policy.max_attempts:
+                # Graceful degradation: the residual cluster cannot hold
+                # everyone — drop the affected tenants themselves.
+                for t in affected:
+                    self._shed_tenant(t)
+                    shed_ids.append(t)
+                rerouted = replaced = 0
+                healed = False
+                break
+            if policy.shed:
+                # Make room: shed the cheapest live tenant (smallest
+                # aggregate vbw, oldest id on ties) and try again.
+                candidates = sorted(
+                    self._live.values(), key=lambda r: (r.total_vbw, r.tenant)
+                )
+                victim = candidates[0].tenant
+                self._shed_tenant(victim)
+                shed_ids.append(victim)
+                if victim in affected:
+                    affected.remove(victim)
+                    if not affected:
+                        rerouted = replaced = 0
+                        healed = True
+                        break
+        self._repairs.append(
+            RepairRecord(
+                time=now,
+                trigger=trigger,
+                target=repr(target),
+                tenants=original,
+                attempts=attempts,
+                latency=policy.backoff * (attempts - 1),
+                rerouted=rerouted,
+                replaced=replaced,
+                shed=tuple(shed_ids),
+                healed=healed,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # selfcheck
+    # ------------------------------------------------------------------
+    def _validate(self, rec: _Tenant) -> None:
+        """Eqs. 1-9 plus the health invariants for one live tenant."""
+        validate_mapping(self.cluster, rec.venv, rec.mapping)
+        self._validations += 1
+        dead = self._dead_nodes
+        for g, h in rec.mapping.assignments.items():
+            if h in self._dead_hosts:
+                raise ModelError(
+                    f"invariant violated: guest {g!r} of tenant {rec.tenant} "
+                    f"is placed on dead host {h!r}"
+                )
+        for key, nodes in rec.mapping.paths.items():
+            if any(n in dead for n in nodes):
+                raise ModelError(
+                    f"invariant violated: path of vlink {key} of tenant "
+                    f"{rec.tenant} crosses a dead node"
+                )
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+    def apply(self, event: FaultEvent) -> None:
+        """Absorb one trace event (admit/release/fault/heal)."""
+        kind, target, now = event.kind, event.target, event.time
+        if kind == "tenant_arrive":
+            self._admit(now, target)
+        elif kind == "tenant_depart":
+            self._depart(target)
+        elif kind == "host_crash":
+            self._state.block_host(target)
+            self._dead_hosts.add(target)
+            self._sync_node_edges(target)
+            self._heal(now, kind, target, frozenset())
+        elif kind == "host_recover":
+            self._dead_hosts.discard(target)
+            self._state.unblock_host(target)
+            self._sync_node_edges(target)
+        elif kind == "switch_fail":
+            self._dead_switches.add(target)
+            self._sync_node_edges(target)
+            self._heal(now, kind, target, frozenset())
+        elif kind == "switch_recover":
+            self._dead_switches.discard(target)
+            self._sync_node_edges(target)
+        elif kind == "link_degrade":
+            key = edge_key(*target)
+            self._degraded[key] = event.factor
+            self._sync_edge(key)
+            cap = self.cluster.link(*key).bw
+            # Mask shortfall means live paths exceed the degraded
+            # capacity: re-route everything crossing the link.
+            if self._masks.get(key, 0.0) + _EPS < cap * (1.0 - event.factor):
+                self._heal(now, kind, key, frozenset((key,)))
+        elif kind == "link_restore":
+            key = edge_key(*target)
+            self._degraded.pop(key, None)
+            self._sync_edge(key)
+        else:
+            raise ModelError(f"unknown chaos event kind {kind!r}")
+
+        self._samples.append(
+            ChaosSample(
+                time=now,
+                kind=kind,
+                tenants_alive=len(self._live),
+                guests_alive=sum(r.venv.n_guests for r in self._live.values()),
+                guests_lost=sum(self._lost.values()),
+                objective=self._state.objective(),
+            )
+        )
+
+    def run(self, trace: tuple[FaultEvent, ...]) -> ChaosResult:
+        """Replay a whole trace and summarize the run."""
+        t0 = time.perf_counter()
+        for event in trace:
+            self.apply(event)
+        return ChaosResult(
+            n_events=len(trace),
+            admitted=self._admitted,
+            rejected=self._rejected,
+            departed=self._departed,
+            shed=self._shed,
+            shed_guests=self._shed_guests,
+            validations=self._validations,
+            repairs=tuple(self._repairs),
+            samples=tuple(self._samples),
+            final_tenants=len(self._live),
+            final_guests=sum(r.venv.n_guests for r in self._live.values()),
+            final_objective=self._state.objective(),
+            wall_s=time.perf_counter() - t0,
+        )
+
+    # Introspection used by tests.
+    @property
+    def live_tenants(self) -> dict[int, Mapping]:
+        """Current mapping per live tenant (snapshot)."""
+        return {t: rec.mapping for t, rec in self._live.items()}
+
+    @property
+    def state(self) -> ClusterState:
+        return self._state
+
+
+def run_chaos(
+    cluster: PhysicalCluster,
+    *,
+    n_events: int = 200,
+    seed: int = 0,
+    model: FailureModel | None = None,
+    make_venv: Callable[[int, np.random.Generator], VirtualEnvironment] | None = None,
+    config: HMNConfig | None = None,
+    policy: RepairPolicy | None = None,
+    selfcheck: bool = False,
+) -> ChaosResult:
+    """Generate a trace and replay it — the one-call chaos experiment.
+
+    ``model`` defaults to :class:`FailureModel`'s rates over *cluster*;
+    the trace seed and the tenant-workload seed both derive from
+    *seed*, so a single integer reproduces the whole run.
+    """
+    if model is None:
+        model = FailureModel(cluster)
+    elif model.cluster is not cluster:
+        raise ModelError("the failure model was built for a different cluster")
+    trace = model.trace(n_events, seed=derive(seed, "chaos-trace"))
+    operator = ChaosOperator(
+        cluster,
+        make_venv=make_venv,
+        config=config,
+        policy=policy,
+        seed=seed,
+        selfcheck=selfcheck,
+    )
+    return operator.run(trace)

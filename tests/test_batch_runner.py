@@ -12,6 +12,8 @@ two grid scenarios, two repetitions, a failure-prone retrying mapper.
 from __future__ import annotations
 
 import json
+import os
+import time
 
 import pytest
 
@@ -23,6 +25,7 @@ from repro.analysis import (
     render_table2,
     run_grid,
 )
+from repro.baselines import register_mapper
 from repro.errors import ModelError
 from repro.simulator import ExperimentSpec
 from repro.topology import switched_cluster, torus_cluster
@@ -141,3 +144,96 @@ class TestBatchRunner:
         # Serial BatchRunner returns exactly what execute() computes.
         again = BatchRunner(1).run([spec])[0]
         assert serialized([again]) == serialized([record])
+
+
+# ----------------------------------------------------------------------
+# Crash tolerance: a crashed or hung worker must not kill the grid
+# ----------------------------------------------------------------------
+
+# Registered at import time so fork-started worker processes inherit
+# them through the registry.
+def _crash_mapper(cluster, venv, *, seed=None, **kwargs):
+    os._exit(13)
+
+
+def _hang_mapper(cluster, venv, *, seed=None, **kwargs):
+    time.sleep(600)
+
+
+def _boom_mapper(cluster, venv, *, seed=None, **kwargs):
+    raise RuntimeError("boom")
+
+
+register_mapper("test-crash", _crash_mapper, overwrite=True)
+register_mapper("test-hang", _hang_mapper, overwrite=True)
+register_mapper("test-boom", _boom_mapper, overwrite=True)
+
+
+def hostile_cells(mappers):
+    return expand_cells(
+        small_clusters, SCENARIOS[:1], list(mappers), reps=1, base_seed=2009,
+        simulate=False, mapper_kwargs=MAPPER_KWARGS,
+    )
+
+
+class TestCrashTolerance:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            BatchRunner(1, timeout=0.0)
+        with pytest.raises(ModelError):
+            BatchRunner(1, retries=-1)
+
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "7.5")
+        monkeypatch.setenv("REPRO_CELL_RETRIES", "3")
+        runner = BatchRunner(2)
+        assert runner.timeout == 7.5
+        assert runner.retries == 3
+        # Unset / non-positive means "no timeout".
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "0")
+        assert BatchRunner(2).timeout is None
+
+    def test_serial_path_rejects_duplicate_keys(self):
+        cells = hostile_cells(["hmn"])
+        with pytest.raises(ModelError, match="duplicate"):
+            BatchRunner(1).run(cells + cells)
+
+    def test_serial_retries_then_error_record(self):
+        cells = hostile_cells(["test-boom", "hmn"])
+        records = BatchRunner(1, retries=1).run(cells)
+        by_mapper = {r.mapper: r for r in records}
+        boom = [r for r in records if r.mapper == "test-boom"][0]
+        assert not boom.ok
+        assert boom.failure == "RetriesExhaustedError:RuntimeError: boom"
+        assert all(r.ok for r in records if r.mapper == "hmn")
+        assert len(by_mapper["hmn"].scenario) > 0  # real records alongside
+
+    def test_crash_and_hang_do_not_kill_the_grid(self):
+        """The acceptance scenario: a grid with one crashing and one
+        hanging cell finishes, files error records for those two and
+        correct records for everything else."""
+        cells = hostile_cells(["hmn", "test-crash", "test-hang", "random+astar"])
+        t0 = time.monotonic()
+        records = BatchRunner(3, timeout=2.0, retries=1).run(cells)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 60.0  # nobody waited for the 600s sleep
+        assert len(records) == len(cells)
+        # Results stay in spec order even though completion interleaves.
+        assert [r.mapper for r in records] == [c.mapper for c in cells]
+        for record in records:
+            if record.mapper == "test-crash":
+                assert not record.ok
+                assert record.failure == (
+                    "RetriesExhaustedError:WorkerCrash(exitcode=13)"
+                )
+            elif record.mapper == "test-hang":
+                assert not record.ok
+                assert record.failure == "RetriesExhaustedError:Timeout(2s)"
+            else:
+                assert record.ok, record.failure
+
+    def test_process_path_matches_serial_for_healthy_cells(self):
+        cells = hostile_cells(["hmn", "random+astar"])
+        serial = BatchRunner(1).run(cells)
+        parallel = BatchRunner(2, timeout=120.0).run(cells)
+        assert serialized(parallel) == serialized(serial)

@@ -6,9 +6,10 @@ import numpy as np
 import pytest
 
 from repro.core import Guest, VirtualLink, validate_mapping
-from repro.errors import ModelError, PlacementError
-from repro.extensions import evacuate_host, extend_mapping
+from repro.errors import ModelError, PlacementError, RoutingError
+from repro.extensions import evacuate_host, evacuate_switch, extend_mapping
 from repro.hmn import hmn_map
+from repro.topology import fat_tree_cluster
 from repro.workload import HIGH_LEVEL, generate_virtual_environment, paper_clusters
 
 
@@ -176,3 +177,73 @@ class TestEvacuate:
         new_mapping, summary = evacuate_host(cluster, venv, mapping, empty)
         assert summary.guests_placed == ()
         assert dict(new_mapping.assignments) == dict(mapping.assignments)
+
+
+@pytest.fixture(scope="module")
+def fat():
+    """A mapping on the fat tree — the one paper-adjacent topology with
+    real path redundancy, so switch loss can actually be healed."""
+    cluster = fat_tree_cluster(4, seed=101)
+    venv = generate_virtual_environment(48, workload=HIGH_LEVEL, density=0.1, seed=102)
+    mapping = hmn_map(cluster, venv)
+    return cluster, venv, mapping
+
+
+class TestEvacuateSwitch:
+    def test_switch_id_rejected_by_evacuate_host(self, fat):
+        cluster, venv, mapping = fat
+        with pytest.raises(ModelError, match="evacuate_switch"):
+            evacuate_host(cluster, venv, mapping, "core0")
+
+    def test_host_id_rejected_by_evacuate_switch(self, fat):
+        cluster, venv, mapping = fat
+        with pytest.raises(ModelError, match="evacuate_host"):
+            evacuate_switch(cluster, venv, mapping, cluster.host_ids[0])
+
+    def test_unknown_node_rejected(self, fat):
+        cluster, venv, mapping = fat
+        with pytest.raises(ModelError):
+            evacuate_switch(cluster, venv, mapping, "no-such-switch")
+
+    def test_core_switch_rerouted(self, fat):
+        """Losing a core switch displaces nothing; every severed path
+        finds a detour through the remaining cores."""
+        cluster, venv, mapping = fat
+        new_mapping, summary = evacuate_switch(cluster, venv, mapping, "core0")
+        validate_mapping(cluster, venv, new_mapping)
+        assert summary.guests_placed == ()
+        assert dict(new_mapping.assignments) == dict(mapping.assignments)
+        assert summary.links_rerouted
+        for nodes in new_mapping.paths.values():
+            assert "core0" not in nodes
+
+    def test_edge_switch_without_detour_raises(self, fat):
+        """An edge switch is each of its hosts' only uplink — no detour
+        exists, and the failure must surface as a RoutingError (the
+        resilience layer then sheds or re-places, but plain evacuation
+        cannot succeed)."""
+        cluster, venv, mapping = fat
+        transited = {
+            n
+            for nodes in mapping.paths.values()
+            for n in nodes[1:-1]
+            if cluster.is_switch(n)
+        }
+        assert "p0e0" in transited
+        with pytest.raises(RoutingError):
+            evacuate_switch(cluster, venv, mapping, "p0e0")
+
+    def test_untransited_switch_is_noop(self, fat):
+        cluster, venv, mapping = fat
+        transited = {
+            n
+            for nodes in mapping.paths.values()
+            for n in nodes[1:-1]
+            if cluster.is_switch(n)
+        }
+        idle = sorted(set(cluster.switch_ids) - transited, key=str)
+        if not idle:
+            pytest.skip("every switch is transited in this mapping")
+        new_mapping, summary = evacuate_switch(cluster, venv, mapping, idle[0])
+        assert summary.links_rerouted == ()
+        assert dict(new_mapping.paths) == dict(mapping.paths)
