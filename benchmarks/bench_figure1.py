@@ -21,7 +21,8 @@ from __future__ import annotations
 import pytest
 
 from _config import BASE_SEED, FULL, REPS, publish
-from repro.analysis import figure1_series, render_figure1, run_grid
+from repro.analysis import figure1_series, render_figure1
+from repro.api import run_grid
 from repro.hmn import HMNConfig, hmn_map
 from repro.workload import HIGH_LEVEL, LOW_LEVEL, Scenario, paper_clusters
 

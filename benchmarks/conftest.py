@@ -17,7 +17,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from _config import BASE_SEED, REPS, SPEC, WORKERS, mapper_kwargs, scenarios  # noqa: E402
 
-from repro.analysis import run_grid  # noqa: E402
+from repro.api import run_grid  # noqa: E402
 from repro.baselines import PAPER_MAPPERS  # noqa: E402
 from repro.workload import paper_clusters  # noqa: E402
 

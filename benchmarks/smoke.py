@@ -28,6 +28,7 @@ Usage::
     PYTHONPATH=src python benchmarks/smoke.py --write            # seed baselines
     PYTHONPATH=src python benchmarks/smoke.py --check            # both engines
     PYTHONPATH=src python benchmarks/smoke.py --check --engine compiled
+    PYTHONPATH=src python benchmarks/smoke.py --trace-smoke      # span-schema CI gate
 """
 
 from __future__ import annotations
@@ -182,11 +183,70 @@ def check_baselines(engines, tolerance: float) -> int:
     return 0
 
 
+def trace_smoke(engines) -> int:
+    """CI gate for the observability layer: run the figure-1 bench
+    instance traced, assert the mapping is byte-identical to the
+    untraced run, and validate the emitted JSONL against the span
+    schema (every span carries name/t0/dur/parent, ids unique, parents
+    resolve).
+    """
+    import tempfile
+
+    from repro import obs
+
+    scenario = Scenario(ratio=10, density=0.015, workload=HIGH_LEVEL)
+    cluster = paper_clusters(seed=BASE_SEED + 7)["torus"]
+    venv = scenario.build_venv(cluster, seed=BASE_SEED + 11)
+    failures = []
+    for engine in engines:
+        config = HMNConfig(engine=engine)
+        plain = hmn_map(cluster, venv, config)
+        registry = obs.MetricsRegistry()
+        with obs.recording(metrics=registry) as tracer:
+            traced = hmn_map(cluster, venv, config)
+        if (
+            plain.assignments != traced.assignments
+            or plain.paths != traced.paths
+            or plain.meta["objective"] != traced.meta["objective"]
+        ):
+            failures.append(f"{engine}: traced mapping differs from untraced")
+        path = Path(tempfile.mkstemp(suffix=".jsonl")[1])
+        try:
+            tracer.write(path)
+            spans = obs.load_trace(path)  # raises on any schema violation
+        except ValueError as exc:
+            failures.append(f"{engine}: invalid trace: {exc}")
+            spans = []
+        finally:
+            path.unlink(missing_ok=True)
+        names = {s["name"] for s in spans}
+        for required in ("hmn.map", "hmn.hosting", "hmn.networking", "route.query"):
+            if required not in names:
+                failures.append(f"{engine}: trace has no {required!r} span")
+        if not registry.to_prometheus().strip():
+            failures.append(f"{engine}: metrics registry exported nothing")
+        print(
+            f"[trace] figure1  {engine:8s} {len(spans):5d} spans, "
+            f"{len(registry)} instruments, traced == untraced: "
+            f"{'yes' if not failures else 'CHECK'}"
+        )
+    if failures:
+        print("\nFAIL: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    print("\ntraced runs byte-identical; span schema valid")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     mode = parser.add_mutually_exclusive_group(required=True)
     mode.add_argument("--write", action="store_true", help="seed/update baselines")
     mode.add_argument("--check", action="store_true", help="compare to baselines")
+    mode.add_argument(
+        "--trace-smoke",
+        action="store_true",
+        help="validate a traced figure-1 run against the span schema",
+    )
     parser.add_argument(
         "--engine", choices=ENGINES, help="restrict to one engine (default: both)"
     )
@@ -195,6 +255,8 @@ def main(argv=None) -> int:
     tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.20"))
     if args.write:
         return write_baselines(engines)
+    if args.trace_smoke:
+        return trace_smoke(engines)
     return check_baselines(engines, tolerance)
 
 

@@ -20,7 +20,7 @@ from repro.extensions import (
     consolidation_map,
     portfolio_map,
 )
-from repro.hmn import hmn_map
+from repro.api import map_virtual_env
 from repro.simulator import ExperimentSpec, run_experiment
 from repro.workload import HIGH_LEVEL, generate_virtual_environment, paper_clusters
 
@@ -31,7 +31,7 @@ def main() -> None:
     print(f"{venv} on {cluster}\n")
 
     mappings = {
-        "HMN (balance, Eq. 10)": hmn_map(cluster, venv),
+        "HMN (balance, Eq. 10)": map_virtual_env(cluster, venv),
         "consolidation (min hosts)": consolidation_map(cluster, venv),
     }
 

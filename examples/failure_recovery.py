@@ -14,14 +14,14 @@ from __future__ import annotations
 
 from repro.core import Guest, VirtualLink, validate_mapping
 from repro.extensions import evacuate_host, extend_mapping
-from repro.hmn import hmn_map
+from repro.api import map_virtual_env
 from repro.workload import LOW_LEVEL, paper_clusters, scale_free_venv
 
 
 def main() -> None:
     cluster = paper_clusters(seed=131)["torus"]
     venv = scale_free_venv(300, workload=LOW_LEVEL, seed=132)
-    mapping = hmn_map(cluster, venv)
+    mapping = map_virtual_env(cluster, venv)
     validate_mapping(cluster, venv, mapping)
     print(f"day 0: {mapping!r}")
     print(f"       objective {mapping.meta['objective']:.1f}\n")

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.core import ClusterState, validate_mapping
 from repro.errors import MappingError
-from repro.hmn import hmn_map
+from repro.api import map_virtual_env
 from repro.routing import LatencyOracle
 from repro.workload import HIGH_LEVEL, LOW_LEVEL, generate_virtual_environment, paper_clusters
 
@@ -38,7 +38,7 @@ def main() -> None:
     mappings = {}
     for name, venv in tenants:
         try:
-            mapping = hmn_map(cluster, venv, state=state, oracle=oracle)
+            mapping = map_virtual_env(cluster, venv, state=state, oracle=oracle)
         except MappingError as exc:
             print(f"{name:<12} REJECTED — {type(exc).__name__}: not enough residual capacity")
             continue
@@ -67,7 +67,7 @@ def main() -> None:
     dave = generate_virtual_environment(
         300, workload=LOW_LEVEL, density=0.01, seed=4, id_offset=30_000
     )
-    mapping = hmn_map(cluster, dave, state=state, oracle=oracle)
+    mapping = map_virtual_env(cluster, dave, state=state, oracle=oracle)
     validate_mapping(cluster, dave, mapping)
     print(f"dave/p2p     admitted into the freed capacity: {dave.n_guests} guests, "
           f"objective {state.objective():.1f}")

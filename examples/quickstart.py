@@ -11,7 +11,8 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import hmn_map, validate_mapping
+from repro import validate_mapping
+from repro.api import map_virtual_env
 from repro.core import balance_lower_bound
 from repro.units import format_latency
 from repro.workload import HIGH_LEVEL, generate_virtual_environment, paper_clusters
@@ -35,9 +36,9 @@ def main() -> None:
           f"{venv.total_vstor() / 1024:.2f} TiB storage, "
           f"{venv.n_vlinks} virtual links\n")
 
-    # 3. Map it.  hmn_map runs Hosting -> Migration -> Networking.
+    # 3. Map it.  map_virtual_env runs Hosting -> Migration -> Networking.
     for name, cluster in clusters.items():
-        mapping = hmn_map(cluster, venv)
+        mapping = map_virtual_env(cluster, venv)
         validate_mapping(cluster, venv, mapping)  # raises if any Eq. 1-9 fails
 
         print(f"--- {name} ---")

@@ -15,7 +15,7 @@ from __future__ import annotations
 import time
 
 from repro.errors import MappingError
-from repro.hmn import HMNConfig, hmn_map
+from repro.api import HMNConfig, map_virtual_env
 from repro.topology import (
     hypercube_cluster,
     line_cluster,
@@ -63,7 +63,7 @@ def main() -> None:
     for name, cluster in build_topologies().items():
         t0 = time.perf_counter()
         try:
-            mapping = hmn_map(cluster, venv, config)
+            mapping = map_virtual_env(cluster, venv, config=config)
         except MappingError as exc:
             print(f"{name:<16} {cluster.n_links:>6} {'—':>9} "
                   f"infeasible here: {type(exc).__name__}")

@@ -35,6 +35,7 @@ from repro.core import (
 )
 from repro.errors import (
     CapacityError,
+    ConfigError,
     MappingError,
     ModelError,
     PlacementError,
@@ -63,12 +64,25 @@ __all__ = [
     # errors
     "ReproError",
     "ModelError",
+    "ConfigError",
     "CapacityError",
     "MappingError",
     "PlacementError",
     "RoutingError",
     "RetriesExhaustedError",
     "ValidationError",
+    # the stable facade (repro.api, lazily imported)
+    "api",
+    "map_virtual_env",
+    "run_grid",
+    "run_chaos",
+    "load_cluster",
+    "load_venv",
+    "load_mapping",
+    "save",
+    "HMNConfig",
+    "RepairPolicy",
+    "recording",
     # high-level entry points (lazily imported)
     "hmn_map",
     "torus_cluster",
@@ -76,24 +90,36 @@ __all__ = [
     "generate_virtual_environment",
 ]
 
+#: Package-root name -> providing module, resolved on first access.
+_LAZY = {
+    "hmn_map": "repro.hmn",
+    "torus_cluster": "repro.topology",
+    "switched_cluster": "repro.topology",
+    "generate_virtual_environment": "repro.workload",
+    # the facade's own exports
+    "map_virtual_env": "repro.api",
+    "run_grid": "repro.api",
+    "run_chaos": "repro.api",
+    "load_cluster": "repro.api",
+    "load_venv": "repro.api",
+    "load_mapping": "repro.api",
+    "save": "repro.api",
+    "HMNConfig": "repro.api",
+    "RepairPolicy": "repro.api",
+    "recording": "repro.api",
+}
+
 
 def __getattr__(name: str):
     # Lazy imports keep `import repro` cheap and avoid import cycles while
     # still exposing the one-call quickstart API at the package root.
-    if name == "hmn_map":
-        from repro.hmn import hmn_map
+    if name == "api":
+        import repro.api as api
 
-        return hmn_map
-    if name == "torus_cluster":
-        from repro.topology import torus_cluster
+        return api
+    module = _LAZY.get(name)
+    if module is not None:
+        import importlib
 
-        return torus_cluster
-    if name == "switched_cluster":
-        from repro.topology import switched_cluster
-
-        return switched_cluster
-    if name == "generate_virtual_environment":
-        from repro.workload import generate_virtual_environment
-
-        return generate_virtual_environment
+        return getattr(importlib.import_module(module), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -33,10 +33,12 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping as TMapping, Sequence
 
+from repro import obs
 from repro.baselines.registry import get_mapper
 from repro.core.cluster import PhysicalCluster
 from repro.core.validate import validate_mapping
@@ -116,10 +118,18 @@ def run_cell(
         )
     mapper = get_mapper(mapper_name)
     mapper_seed = derive(base_seed, scenario.label, rep, "mapper", mapper_name)
+    kwargs = dict(mapper_kwargs or {})
+    if isinstance(kwargs.get("config"), TMapping):
+        # JSON-friendly cell specs: a config dict round-trips through
+        # HMNConfig.from_dict so grids can be described without
+        # importing the dataclass in the submitting layer.
+        from repro.hmn.config import HMNConfig
+
+        kwargs["config"] = HMNConfig.from_dict(kwargs["config"])
 
     t0 = time.perf_counter()
     try:
-        mapping = mapper(cluster, venv, seed=mapper_seed, **dict(mapper_kwargs or {}))
+        mapping = mapper(cluster, venv, seed=mapper_seed, **kwargs)
     except MappingError as exc:
         return RunRecord(
             scenario=scenario.label,
@@ -229,19 +239,29 @@ def _execute_spec(spec: CellSpec) -> tuple[tuple, RunRecord]:
     return spec.key, spec.execute()
 
 
-def _cell_worker(conn, spec: CellSpec) -> None:
+def _cell_worker(conn, spec: CellSpec, trace: bool = False) -> None:
     """Process-per-cell entry point: run the cell, pipe back the outcome.
 
     An in-cell exception is reported as data (the parent decides about
     retries); a hard crash (``os._exit``, segfault, OOM kill) leaves
     the pipe empty and is detected by the parent via the process
     sentinel.
+
+    With *trace* on (the parent's recorder was enabled at spawn time),
+    the cell runs under a private :class:`~repro.obs.trace.Tracer` and
+    its finished span list rides back on the pipe with the outcome;
+    the parent merges it into the session trace in deterministic cell
+    order, never completion order.
     """
+    tracer = obs.Tracer() if trace else None
+    if tracer is not None:
+        obs.set_recorder(tracer)
+    spans = lambda: tracer.spans if tracer is not None else []  # noqa: E731
     try:
         record = spec.execute()
-        conn.send(("ok", record))
+        conn.send(("ok", record, spans()))
     except Exception as exc:
-        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        conn.send(("error", f"{type(exc).__name__}: {exc}", spans()))
     finally:
         conn.close()
 
@@ -357,24 +377,41 @@ class BatchRunner:
         if len(set(keys)) != len(keys):
             raise ModelError("duplicate cell keys in batch; cells must be distinct")
 
-        if self.workers == 1 and self.timeout is None:
-            return self._run_serial(specs)
-        return self._run_processes(specs)
+        with obs.OBS.span(
+            "batch.run", n_cells=len(specs), workers=self.workers, retries=self.retries
+        ):
+            if self.workers == 1 and self.timeout is None:
+                return self._run_serial(specs)
+            return self._run_processes(specs)
+
+    def _cell_attrs(self, spec: CellSpec, attempt: int) -> dict:
+        return {
+            "scenario": spec.scenario.label,
+            "cluster": spec.cluster_name,
+            "mapper": spec.mapper,
+            "rep": spec.rep,
+            "attempt": attempt,
+            "timeout": self.timeout,
+        }
 
     # ------------------------------------------------------------------
     # serial path (in-process, preserves historical bit-identity)
     # ------------------------------------------------------------------
     def _run_serial(self, specs: list[CellSpec]) -> list[RunRecord]:
+        rec = obs.OBS
         records = []
         for spec in specs:
             record = None
             for attempt in range(self.retries + 1):
-                try:
-                    record = spec.execute()
-                    break
-                except Exception as exc:
-                    if attempt >= self.retries:
-                        record = _error_record(spec, f"{type(exc).__name__}: {exc}")
+                with rec.span("batch.cell", **self._cell_attrs(spec, attempt)) as sp:
+                    try:
+                        record = spec.execute()
+                        sp.set(ok=record.ok, worker_pid=os.getpid())
+                        break
+                    except Exception as exc:
+                        sp.set(ok=False, error=type(exc).__name__, worker_pid=os.getpid())
+                        if attempt >= self.retries:
+                            record = _error_record(spec, f"{type(exc).__name__}: {exc}")
             records.append(record)
             if self.progress is not None:
                 self.progress(record)
@@ -385,7 +422,9 @@ class BatchRunner:
     # ------------------------------------------------------------------
     def _spawn(self, ctx, index: int, spec: CellSpec, attempt: int) -> _Job:
         recv_conn, send_conn = ctx.Pipe(duplex=False)
-        proc = ctx.Process(target=_cell_worker, args=(send_conn, spec), daemon=True)
+        proc = ctx.Process(
+            target=_cell_worker, args=(send_conn, spec, obs.OBS.enabled), daemon=True
+        )
         proc.start()
         send_conn.close()  # parent's copy; the child holds the live end
         deadline = time.monotonic() + self.timeout if self.timeout is not None else None
@@ -408,6 +447,17 @@ class BatchRunner:
             (i, spec, 0) for i, spec in enumerate(specs)
         )
         running: list[_Job] = []
+        # Worker span lists keyed by cell index, one entry per attempt:
+        # (attempt, worker pid, record ok, error label, spans).  Merged
+        # into the parent trace *after* the scheduling loop, in cell
+        # order — the trace is a function of the workload, not of
+        # completion order.
+        attempts: dict[int, list[tuple[int, int, bool, str | None, list]]] = {}
+
+        def log_attempt(job: _Job, ok: bool, error: str | None, spans: list) -> None:
+            attempts.setdefault(job.index, []).append(
+                (job.attempt, job.proc.pid, ok, error, spans)
+            )
 
         def finish(job: _Job, record: RunRecord) -> None:
             results[job.index] = record
@@ -451,21 +501,28 @@ class BatchRunner:
                             outcome = None
                         self._reap(job)
                         if outcome is None:
+                            log_attempt(job, False, "WorkerCrash", [])
                             attempt_failed(
                                 job, f"WorkerCrash(exitcode={job.proc.exitcode})"
                             )
                         elif outcome[0] == "ok":
+                            log_attempt(job, outcome[1].ok, None, outcome[2])
                             finish(job, outcome[1])
                         else:
+                            log_attempt(
+                                job, False, outcome[1].split(":")[0], outcome[2]
+                            )
                             attempt_failed(job, outcome[1])
                     elif job.proc.sentinel in ready and not job.conn.poll():
                         self._reap(job)
+                        log_attempt(job, False, "WorkerCrash", [])
                         attempt_failed(
                             job, f"WorkerCrash(exitcode={job.proc.exitcode})"
                         )
                     elif job.deadline is not None and now >= job.deadline:
                         job.proc.terminate()
                         self._reap(job)
+                        log_attempt(job, False, "Timeout", [])
                         attempt_failed(job, f"Timeout({self.timeout:g}s)")
                     else:
                         still_running.append(job)
@@ -474,7 +531,34 @@ class BatchRunner:
             for job in running:
                 job.proc.terminate()
                 self._reap(job)
+        self._merge_traces(specs, attempts)
         return results
+
+    def _merge_traces(
+        self, specs: list[CellSpec], attempts: dict[int, list[tuple[int, int, str, list]]]
+    ) -> None:
+        """Adopt worker spans into the parent trace, cell by cell.
+
+        Each attempt becomes one ``batch.cell`` span in the parent
+        (worker pid, attempt, outcome) with the worker's own spans
+        re-parented beneath it — so a parallel sweep's trace holds the
+        same span multiset as a serial one, modulo pids and clocks.
+        """
+        rec = obs.OBS
+        if not rec.enabled:
+            return
+        for index, spec in enumerate(specs):
+            for attempt, pid, ok, error, spans in sorted(
+                attempts.get(index, ()), key=lambda a: a[0]
+            ):
+                with rec.span(
+                    "batch.cell",
+                    ok=ok,
+                    worker_pid=pid,
+                    **self._cell_attrs(spec, attempt),
+                    **({} if error is None else {"error": error}),
+                ) as sp:
+                    rec.adopt(spans, parent=sp.id)
 
 
 def expand_cells(
@@ -521,7 +605,7 @@ def expand_cells(
     return out
 
 
-def run_grid(
+def _run_grid(
     clusters,
     scenarios: Sequence[Scenario],
     mappers: Sequence[str],
@@ -570,6 +654,24 @@ def run_grid(
         mapper_kwargs=mapper_kwargs,
     )
     return BatchRunner(workers, progress=progress, timeout=timeout, retries=retries).run(cells)
+
+
+_run_grid_warned = False
+
+
+def run_grid(clusters, scenarios, mappers, **kwargs) -> list[RunRecord]:
+    """Deprecated entry point — use :func:`repro.api.run_grid` (same
+    signature).  Warns once per process, then delegates unchanged."""
+    global _run_grid_warned
+    if not _run_grid_warned:
+        _run_grid_warned = True
+        warnings.warn(
+            "repro.analysis.runner.run_grid is deprecated; "
+            "use repro.api.run_grid instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return _run_grid(clusters, scenarios, mappers, **kwargs)
 
 
 @dataclass(frozen=True, slots=True)

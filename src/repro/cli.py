@@ -19,8 +19,16 @@ Commands mirror an emulator operator's workflow:
     Replay a seeded fault trace (host crashes, switch failures, link
     degradations, tenant churn) against the self-healing operator and
     report the survivability metrics.
+``metrics-dump``
+    Inspect an emitted observability artifact: validate + summarize a
+    JSONL span trace, or print a metrics snapshot as Prometheus text.
 ``mappers``
     List the heuristic pool.
+
+The ``map``, ``table2``/``table3``, ``figure1`` and ``chaos`` commands
+accept ``--trace FILE`` (JSONL span trace) and ``--metrics FILE``
+(metrics JSON snapshot); instrumentation never changes results, so a
+traced run is byte-identical to an untraced one.
 
 Every command is deterministic given ``--seed``.
 """
@@ -28,9 +36,10 @@ Every command is deterministic given ``--seed``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from contextlib import contextmanager
 
-from repro import io as repro_io
 from repro.baselines.registry import available_mappers, get_mapper
 from repro.core.cluster import PhysicalCluster
 from repro.core.validate import validate_mapping
@@ -38,6 +47,39 @@ from repro.core.venv import VirtualEnvironment
 from repro.errors import MappingError, ReproError
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", metavar="FILE",
+                   help="write a JSONL span trace of the run here")
+    p.add_argument("--metrics", metavar="FILE",
+                   help="write a metrics JSON snapshot here")
+
+
+@contextmanager
+def _observability(args):
+    """Enable recording for one command when --trace/--metrics ask for
+    it; artifacts are written even if the command fails mid-run."""
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", None)
+    if not trace and not metrics:
+        yield
+        return
+    from repro import obs
+
+    registry = obs.MetricsRegistry()
+    with obs.recording(metrics=registry) as tracer:
+        try:
+            yield
+        finally:
+            if trace:
+                tracer.write(trace)
+                print(f"wrote trace ({len(tracer.spans)} spans) -> {trace}",
+                      file=sys.stderr)
+            if metrics:
+                registry.write_json(metrics)
+                print(f"wrote metrics ({len(registry)} instruments) -> {metrics}",
+                      file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "mappings are engine-independent)")
     p.add_argument("--output", help="write the mapping .json here")
     p.add_argument("--quiet", action="store_true", help="suppress the report")
+    _add_obs_flags(p)
 
     p = sub.add_parser("validate", help="check a mapping against Eqs. 1-9")
     p.add_argument("cluster", help="cluster .json")
@@ -98,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=int, default=1,
                        help="process-pool size for the grid sweep (1 = serial; "
                             "results are identical either way)")
+        _add_obs_flags(p)
 
     p = sub.add_parser("figure1", help="regenerate the paper's Figure 1 series")
     p.add_argument("--reps", type=int, default=2)
@@ -105,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool size (timing series: prefer 1 so wall "
                         "times are uncontended)")
+    _add_obs_flags(p)
 
     p = sub.add_parser("chaos", help="run a seeded fault trace through the self-healing operator")
     p.add_argument("--cluster", help="cluster .json (default: a built-in topology)")
@@ -129,6 +174,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="validate every touched mapping against Eqs. 1-9 "
                         "(exits non-zero on any invariant violation)")
     p.add_argument("--json", dest="json_out", help="write the full ChaosResult here")
+    _add_obs_flags(p)
+
+    p = sub.add_parser("metrics-dump",
+                       help="inspect a trace JSONL or metrics JSON file")
+    p.add_argument("file", help="a --trace JSONL or --metrics JSON artifact")
+    p.add_argument("--json", dest="as_json", action="store_true",
+                   help="print metrics snapshots as JSON instead of "
+                        "Prometheus text")
 
     sub.add_parser("mappers", help="list the heuristic pool")
     return parser
@@ -158,8 +211,10 @@ def _gen_cluster(args) -> int:
             args.hosts, density=args.density, seed=args.seed, bw=args.bw, lat=args.lat
         ),
     }
+    from repro import api
+
     cluster = builders[args.topology]()
-    path = repro_io.save_json(cluster, args.output)
+    path = api.save(cluster, args.output)
     print(f"wrote {cluster} -> {path}")
     return 0
 
@@ -172,6 +227,7 @@ def _torus_shape(n_hosts: int) -> tuple[int, int]:
 
 
 def _gen_venv(args) -> int:
+    from repro import api
     from repro.workload import generate_virtual_environment, workload_by_name
 
     venv = generate_virtual_environment(
@@ -180,19 +236,25 @@ def _gen_venv(args) -> int:
         density=args.density,
         seed=args.seed,
     )
-    path = repro_io.save_json(venv, args.output)
+    path = api.save(venv, args.output)
     print(f"wrote {venv} -> {path}")
     return 0
 
 
 def _load(path: str, kind) -> object:
-    obj = repro_io.load_json(path)
-    if not isinstance(obj, kind):
-        raise ReproError(f"{path}: expected a {kind.__name__} document")
-    return obj
+    from repro import api
+    from repro.core.mapping import Mapping
+
+    loaders = {
+        PhysicalCluster: api.load_cluster,
+        VirtualEnvironment: api.load_venv,
+        Mapping: api.load_mapping,
+    }
+    return loaders[kind](path)
 
 
 def _map(args) -> int:
+    from repro import api
     from repro.analysis.report import describe_mapping
 
     cluster = _load(args.cluster, PhysicalCluster)
@@ -203,9 +265,7 @@ def _map(args) -> int:
     kwargs: dict = {}
     canonical = args.mapper.lower()
     if canonical in ("hmn",):
-        from repro.hmn.config import HMNConfig
-
-        kwargs["config"] = HMNConfig(engine=args.engine)
+        kwargs["config"] = api.HMNConfig(engine=args.engine)
     elif canonical in ("random+astar", "ra"):
         kwargs["engine"] = args.engine
     try:
@@ -216,7 +276,7 @@ def _map(args) -> int:
     validate_mapping(cluster, venv, mapping)
     # Persist before printing: a truncated pipe must not lose the artifact.
     if args.output:
-        repro_io.save_json(mapping, args.output)
+        api.save(mapping, args.output)
     if not args.quiet:
         print(describe_mapping(cluster, venv, mapping))
     if args.output:
@@ -264,7 +324,8 @@ def _simulate(args) -> int:
 
 
 def _grid(args, which: str) -> int:
-    from repro.analysis import render_table2, render_table3, run_grid
+    from repro.analysis import render_table2, render_table3
+    from repro.api import run_grid
     from repro.baselines.registry import PAPER_MAPPERS
     from repro.simulator import ExperimentSpec
     from repro.workload import paper_clusters, paper_scenarios
@@ -288,7 +349,8 @@ def _grid(args, which: str) -> int:
 
 
 def _figure1(args) -> int:
-    from repro.analysis import figure1_series, render_figure1, run_grid
+    from repro.analysis import figure1_series, render_figure1
+    from repro.api import run_grid
     from repro.workload import paper_clusters, paper_scenarios
 
     rows = [paper_scenarios()[i] for i in (0, 1, 3, 12, 15)]
@@ -304,8 +366,8 @@ def _chaos(args) -> int:
     import json
 
     from repro.analysis import describe_chaos
-    from repro.hmn.config import HMNConfig
-    from repro.resilience import FailureModel, RepairPolicy, run_chaos
+    from repro.api import HMNConfig, RepairPolicy, run_chaos
+    from repro.resilience import FailureModel
     from repro.workload import paper_clusters
 
     if args.cluster:
@@ -349,32 +411,87 @@ def _chaos(args) -> int:
     return 0
 
 
+def _metrics_dump(args) -> int:
+    import json
+
+    from repro import obs
+
+    try:
+        text = open(args.file).read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    # A metrics snapshot is one JSON object with the versioned envelope;
+    # anything else is treated as a JSONL span trace.
+    doc = None
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        pass
+    if isinstance(doc, dict) and doc.get("format") == "repro/metrics@1":
+        snapshot = obs.load_metrics(args.file)
+        if args.as_json:
+            print(json.dumps(snapshot, indent=1, sort_keys=True))
+        else:
+            print(obs.MetricsRegistry.from_json(snapshot).to_prometheus(), end="")
+        return 0
+
+    try:
+        spans = obs.load_trace(args.file)
+    except ValueError as exc:
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return 1
+    by_name: dict[str, int] = {}
+    for s in spans:
+        by_name[s["name"]] = by_name.get(s["name"], 0) + 1
+    roots = [s for s in spans if s["parent"] is None]
+    pids = {s.get("pid") for s in spans}
+    print(f"valid trace: {len(spans)} spans, {len(roots)} roots, "
+          f"{len(pids)} process(es)")
+    for name in sorted(by_name):
+        print(f"  {by_name[name]:>8}  {name}")
+    for s in roots:
+        print(f"root {s['name']} (id {s['id']}): {s['dur']:.3f} s")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        if args.command == "gen-cluster":
-            return _gen_cluster(args)
-        if args.command == "gen-venv":
-            return _gen_venv(args)
-        if args.command == "map":
-            return _map(args)
-        if args.command == "validate":
-            return _validate(args)
-        if args.command == "simulate":
-            return _simulate(args)
-        if args.command in ("table2", "table3"):
-            return _grid(args, args.command)
-        if args.command == "figure1":
-            return _figure1(args)
-        if args.command == "chaos":
-            return _chaos(args)
-        if args.command == "mappers":
-            for name in available_mappers():
-                print(name)
-            return 0
+        with _observability(args):
+            if args.command == "gen-cluster":
+                return _gen_cluster(args)
+            if args.command == "gen-venv":
+                return _gen_venv(args)
+            if args.command == "map":
+                return _map(args)
+            if args.command == "validate":
+                return _validate(args)
+            if args.command == "simulate":
+                return _simulate(args)
+            if args.command in ("table2", "table3"):
+                return _grid(args, args.command)
+            if args.command == "figure1":
+                return _figure1(args)
+            if args.command == "chaos":
+                return _chaos(args)
+            if args.command == "metrics-dump":
+                return _metrics_dump(args)
+            if args.command == "mappers":
+                for name in available_mappers():
+                    print(name)
+                return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout closed early (e.g. ``repro metrics-dump ... | head``):
+        # exit quietly like a well-behaved filter.  Redirect stdout to
+        # devnull first so the interpreter's shutdown flush cannot
+        # raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

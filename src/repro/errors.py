@@ -18,6 +18,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ModelError",
+    "ConfigError",
     "UnknownNodeError",
     "DuplicateNodeError",
     "CapacityError",
@@ -36,6 +37,14 @@ class ReproError(Exception):
 
 class ModelError(ReproError):
     """Invalid construction or use of the physical/virtual model."""
+
+
+class ConfigError(ModelError):
+    """Invalid configuration: a positional argument, an unknown option,
+    or an out-of-range value passed to a keyword-only config type
+    (:class:`~repro.hmn.config.HMNConfig`,
+    :class:`~repro.resilience.operator.RepairPolicy`).  Subclasses
+    :class:`ModelError` so existing handlers keep working."""
 
 
 class UnknownNodeError(ModelError, KeyError):

@@ -8,13 +8,15 @@ mapping (it is recorded in ``Mapping.meta``).
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
-from typing import Literal
+import functools
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Literal, Mapping as TMapping
 
-from repro.errors import ModelError
+from repro.errors import ConfigError
 
 __all__ = [
     "HMNConfig",
+    "keyword_only",
     "LinkOrder",
     "MigrationPolicy",
     "MigrationOrigin",
@@ -22,6 +24,38 @@ __all__ = [
     "Router",
     "Engine",
 ]
+
+
+def keyword_only(cls):
+    """Class decorator: constructor rejects positional arguments and
+    unknown keywords with a :class:`~repro.errors.ConfigError` naming
+    the valid options — instead of the bare ``TypeError`` a dataclass
+    gives, which never says what the choices were.
+
+    Apply *above* ``@dataclass(..., kw_only=True)`` so the wrapper sees
+    the generated ``__init__``.
+    """
+    names = tuple(f.name for f in fields(cls))
+    valid = ", ".join(sorted(names))
+    orig_init = cls.__init__
+
+    @functools.wraps(orig_init)
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        if args:
+            raise ConfigError(
+                f"{cls.__name__} takes keyword arguments only "
+                f"(got {len(args)} positional); valid options: {valid}"
+            )
+        unknown = sorted(set(kwargs) - set(names))
+        if unknown:
+            raise ConfigError(
+                f"unknown {cls.__name__} option(s): {', '.join(unknown)}; "
+                f"valid options: {valid}"
+            )
+        orig_init(self, **kwargs)
+
+    cls.__init__ = __init__
+    return cls
 
 #: Order in which virtual links are processed by Hosting and Networking.
 #: The paper uses descending bandwidth ("starting from guests whose links
@@ -66,9 +100,13 @@ Router = Literal["algorithm1", "label_setting"]
 Engine = Literal["compiled", "dict"]
 
 
-@dataclass(frozen=True, slots=True)
+@keyword_only
+@dataclass(frozen=True, slots=True, kw_only=True)
 class HMNConfig:
     """All tunables of the Hosting-Migration-Networking pipeline.
+
+    All parameters are keyword-only; positional or unknown arguments
+    raise :class:`~repro.errors.ConfigError`.
 
     Parameters
     ----------
@@ -122,31 +160,45 @@ class HMNConfig:
 
     def __post_init__(self) -> None:
         if self.link_order not in ("vbw_desc", "vbw_asc", "random"):
-            raise ModelError(f"unknown link_order {self.link_order!r}")
+            raise ConfigError(f"unknown link_order {self.link_order!r}")
         if self.migration_policy not in ("min_intra_bw", "max_vproc", "random"):
-            raise ModelError(f"unknown migration_policy {self.migration_policy!r}")
+            raise ConfigError(f"unknown migration_policy {self.migration_policy!r}")
         if self.migration_origin not in (
             "loaded_min_residual",
             "strict_min_residual",
             "max_usage",
         ):
-            raise ModelError(f"unknown migration_origin {self.migration_origin!r}")
+            raise ConfigError(f"unknown migration_origin {self.migration_origin!r}")
         if self.routing_metric not in ("bottleneck", "latency"):
-            raise ModelError(f"unknown routing_metric {self.routing_metric!r}")
+            raise ConfigError(f"unknown routing_metric {self.routing_metric!r}")
         if self.router not in ("algorithm1", "label_setting"):
-            raise ModelError(f"unknown router {self.router!r}")
+            raise ConfigError(f"unknown router {self.router!r}")
         if self.engine not in ("compiled", "dict"):
-            raise ModelError(f"unknown engine {self.engine!r}")
+            raise ConfigError(f"unknown engine {self.engine!r}")
         if self.migration_max_iterations < 0:
-            raise ModelError("migration_max_iterations must be >= 0")
+            raise ConfigError("migration_max_iterations must be >= 0")
         if self.max_route_expansions < 1:
-            raise ModelError("max_route_expansions must be >= 1")
+            raise ConfigError("max_route_expansions must be >= 1")
 
     def describe(self) -> dict:
         """JSON-friendly summary recorded in ``Mapping.meta``."""
         d = asdict(self)
         d.pop("extra", None)
         return d
+
+    @classmethod
+    def from_dict(cls, data: TMapping[str, Any]) -> "HMNConfig":
+        """Inverse of :meth:`describe`: rebuild a config from its JSON
+        form.  Round-trips exactly (``extra`` is excluded from equality)
+        and rejects unknown keys with :class:`~repro.errors.ConfigError`
+        — the CLI and :class:`~repro.analysis.runner.BatchRunner` use
+        this to ship configs across process boundaries as plain dicts.
+        """
+        if not isinstance(data, TMapping):
+            raise ConfigError(
+                f"HMNConfig.from_dict expects a mapping, got {type(data).__name__}"
+            )
+        return cls(**dict(data))
 
     @classmethod
     def paper(cls) -> "HMNConfig":

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Hashable
 
+from repro import obs
 from repro.core.state import ClusterState
 from repro.core.venv import VirtualEnvironment
 from repro.core.vlink import VLinkKey
@@ -136,6 +137,16 @@ def run_networking(
 
     queries = cache.path_queries + cache.label_queries - queries_before
     hits = cache.path_hits + cache.label_hits - hits_before
+    rec = obs.OBS
+    if rec.enabled:
+        # Aggregate counters once per stage — never per link, so the
+        # routing loop above stays uninstrumented (route.query spans
+        # come from the cache itself).
+        rec.count("repro_links_routed_total", routed, engine=config.engine)
+        rec.count("repro_links_colocated_total", colocated, engine=config.engine)
+        rec.count(
+            "repro_router_expansions_total", total_expansions, engine=config.engine
+        )
     return paths, {
         "links_routed": routed,
         "links_colocated": colocated,

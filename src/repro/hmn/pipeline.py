@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import time
 
+from repro import obs
 from repro.core.cluster import PhysicalCluster
 from repro.core.mapping import Mapping, StageReport
 from repro.core.state import ClusterState
@@ -23,6 +24,11 @@ from repro.routing.cache import RoutingCache
 from repro.routing.dijkstra import LatencyOracle
 
 __all__ = ["hmn_map"]
+
+
+def _span_stats(stats: dict) -> dict:
+    """Scalar stage counters only — span attrs stay flat and JSON-safe."""
+    return {k: v for k, v in stats.items() if isinstance(v, (int, float, str, bool))}
 
 
 def hmn_map(
@@ -88,32 +94,47 @@ def hmn_map(
     # bandwidth reservations into a caller-owned (multi-tenant) state.
     snapshot = state.copy() if shared_state else None
 
+    rec = obs.OBS
     stages: list[StageReport] = []
-    try:
-        t0 = time.perf_counter()
-        hosting_stats = run_hosting(state, venv, config)
-        stages.append(StageReport("hosting", time.perf_counter() - t0, hosting_stats))
 
-        if config.migration_enabled:
+    def run_stage(name: str, stage_fn):
+        """One coherent timing layer: StageReport + span per stage."""
+        with rec.span(f"hmn.{name}", engine=config.engine) as sp:
             t0 = time.perf_counter()
-            migration_stats = run_migration(state, venv, config)
-            stages.append(StageReport("migration", time.perf_counter() - t0, migration_stats))
+            result = stage_fn()
+            elapsed = time.perf_counter() - t0
+            stats = result[1] if name == "networking" else result
+            stages.append(StageReport(name, elapsed, stats))
+            if rec.enabled:
+                sp.set(seconds=elapsed, **_span_stats(stats))
+                rec.observe("repro_stage_seconds", elapsed, stage=name)
+        return result
 
-        t0 = time.perf_counter()
-        paths, networking_stats = run_networking(state, venv, config, cache=cache)
-        stages.append(StageReport("networking", time.perf_counter() - t0, networking_stats))
-    except Exception:
-        if snapshot is not None:
-            state.restore_from(snapshot)
-        raise
+    with rec.span(
+        "hmn.map", n_guests=venv.n_guests, n_vlinks=venv.n_vlinks, engine=config.engine
+    ) as root:
+        try:
+            run_stage("hosting", lambda: run_hosting(state, venv, config))
+            if config.migration_enabled:
+                run_stage("migration", lambda: run_migration(state, venv, config))
+            paths, networking_stats = run_stage(
+                "networking", lambda: run_networking(state, venv, config, cache=cache)
+            )
+        except Exception:
+            if snapshot is not None:
+                state.restore_from(snapshot)
+            raise
 
-    timings = {f"{s.name}_s": s.elapsed_s for s in stages}
-    timings["total_s"] = sum(s.elapsed_s for s in stages)
-    timings["routing_calls"] = networking_stats["routing_calls"]
-    timings["router_expansions"] = networking_stats["router_expansions"]
-    timings["cache_hit_rate"] = networking_stats["cache_hit_rate"]
-    timings["engine"] = networking_stats["engine"]
-    timings["route_kernel_s"] = networking_stats["route_kernel_s"]
+        timings = {f"{s.name}_s": s.elapsed_s for s in stages}
+        timings["total_s"] = sum(s.elapsed_s for s in stages)
+        timings["routing_calls"] = networking_stats["routing_calls"]
+        timings["router_expansions"] = networking_stats["router_expansions"]
+        timings["cache_hit_rate"] = networking_stats["cache_hit_rate"]
+        timings["engine"] = networking_stats["engine"]
+        timings["route_kernel_s"] = networking_stats["route_kernel_s"]
+        if rec.enabled:
+            root.set(total_s=timings["total_s"], routing_calls=timings["routing_calls"])
+            rec.count("repro_mappings_total", engine=config.engine)
 
     return Mapping(
         # Restrict to this venv's guests: a shared multi-tenant state

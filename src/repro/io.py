@@ -24,6 +24,7 @@ which every generator in this library guarantees.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Any, Mapping as TMapping
 
@@ -199,8 +200,9 @@ _LOADERS = {
 }
 
 
-def save_json(obj: PhysicalCluster | VirtualEnvironment | Mapping, path: str | Path) -> Path:
-    """Write a cluster / virtual environment / mapping to a JSON file."""
+def _save_json(obj: PhysicalCluster | VirtualEnvironment | Mapping, path: str | Path) -> Path:
+    """Write a cluster / virtual environment / mapping to a JSON file
+    (implementation behind :func:`repro.api.save`)."""
     saver = _SAVERS.get(type(obj))
     if saver is None:
         raise ModelError(f"cannot serialize {type(obj).__name__} (expected cluster/venv/mapping)")
@@ -209,8 +211,9 @@ def save_json(obj: PhysicalCluster | VirtualEnvironment | Mapping, path: str | P
     return path
 
 
-def load_json(path: str | Path) -> PhysicalCluster | VirtualEnvironment | Mapping:
-    """Read any repro JSON document, dispatching on its ``format`` tag."""
+def _load_json(path: str | Path) -> PhysicalCluster | VirtualEnvironment | Mapping:
+    """Read any repro JSON document, dispatching on its ``format`` tag
+    (implementation behind the :mod:`repro.api` loaders)."""
     data = json.loads(Path(path).read_text())
     if not isinstance(data, dict):
         raise ModelError(f"{path}: not a JSON object")
@@ -221,3 +224,32 @@ def load_json(path: str | Path) -> PhysicalCluster | VirtualEnvironment | Mappin
             f"expected one of {sorted(_LOADERS)}"
         )
     return loader(data)
+
+
+_warned: set[str] = set()
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    # Once per name per process: enough to be seen, never spam.
+    if old not in _warned:
+        _warned.add(old)
+        warnings.warn(
+            f"repro.io.{old} is deprecated; use {new} instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+
+def save_json(obj: PhysicalCluster | VirtualEnvironment | Mapping, path: str | Path) -> Path:
+    """Deprecated — use :func:`repro.api.save`."""
+    _warn_deprecated("save_json", "repro.api.save")
+    return _save_json(obj, path)
+
+
+def load_json(path: str | Path) -> PhysicalCluster | VirtualEnvironment | Mapping:
+    """Deprecated — use :func:`repro.api.load_cluster` /
+    :func:`repro.api.load_venv` / :func:`repro.api.load_mapping`."""
+    _warn_deprecated(
+        "load_json", "repro.api.load_cluster / load_venv / load_mapping"
+    )
+    return _load_json(path)

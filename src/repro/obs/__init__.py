@@ -1,0 +1,120 @@
+"""Observability core: structured tracing + metrics behind one switch.
+
+Every heavy subsystem of the library — the HMN pipeline, the routing
+engines, the :class:`~repro.analysis.runner.BatchRunner`, the chaos
+operator — is instrumented against the **recorder** this module holds:
+
+* disabled (the default), the recorder is a shared
+  :class:`~repro.obs.trace.NullRecorder` and every instrumented hot
+  path pays exactly one attribute check (``if rec.enabled:``);
+* enabled, it is a :class:`~repro.obs.trace.Tracer` emitting
+  structured spans (JSONL, monotonic clock, parent/child nesting),
+  optionally feeding a :class:`~repro.obs.metrics.MetricsRegistry`
+  of counters/gauges/histograms with Prometheus-text and JSON
+  exporters.
+
+Enable it for a block of work with :func:`recording`::
+
+    from repro import obs
+    from repro.api import map_virtual_env
+
+    with obs.recording() as rec:
+        mapping = map_virtual_env(cluster, venv)
+    rec.write("trace.jsonl")
+    print(rec.metrics.to_prometheus())
+
+or from the CLI with ``--trace FILE`` / ``--metrics FILE`` on the
+``map``, ``table2``/``table3``, ``figure1`` and ``chaos`` commands.
+Mapping results are **byte-identical** with tracing enabled or
+disabled — the recorder observes, it never steers.
+
+Instrumented call sites read the module attribute ``obs.OBS`` at call
+time (never ``from repro.obs import OBS``, which would freeze the
+disabled instance at import time).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Union
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    load_metrics,
+)
+from repro.obs.trace import (
+    SPAN_REQUIRED_KEYS,
+    NullRecorder,
+    Span,
+    Tracer,
+    load_trace,
+    validate_trace,
+)
+
+__all__ = [
+    "OBS",
+    "Recorder",
+    "Tracer",
+    "NullRecorder",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "SPAN_REQUIRED_KEYS",
+    "get_recorder",
+    "set_recorder",
+    "recording",
+    "load_trace",
+    "validate_trace",
+    "load_metrics",
+]
+
+Recorder = Union[Tracer, NullRecorder]
+
+#: The process-wide recorder every instrumented call site consults.
+OBS: Recorder = NullRecorder()
+
+
+def get_recorder() -> Recorder:
+    """The currently installed recorder (a NullRecorder when disabled)."""
+    return OBS
+
+
+def set_recorder(recorder: Recorder | None) -> Recorder:
+    """Install *recorder* process-wide; ``None`` disables tracing.
+
+    Returns the previous recorder so callers can restore it.
+    """
+    global OBS
+    previous = OBS
+    OBS = recorder if recorder is not None else NullRecorder()
+    return previous
+
+
+@contextmanager
+def recording(
+    *, tracer: Tracer | None = None, metrics: MetricsRegistry | None = None
+) -> Iterator[Tracer]:
+    """Enable tracing (and metrics) for the extent of the block.
+
+    Builds a fresh :class:`Tracer` backed by a fresh
+    :class:`MetricsRegistry` unless either is supplied, installs it as
+    the process recorder, and restores the previous recorder on exit —
+    exception or not.  Yields the tracer; its spans and
+    ``tracer.metrics`` stay readable after the block.
+    """
+    if tracer is None:
+        tracer = Tracer(metrics=metrics if metrics is not None else MetricsRegistry())
+    elif metrics is not None and tracer.metrics is None:
+        tracer.metrics = metrics
+    previous = set_recorder(tracer)
+    try:
+        yield tracer
+    finally:
+        set_recorder(previous)

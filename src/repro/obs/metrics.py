@@ -1,0 +1,277 @@
+"""Zero-dependency metrics: counters, gauges, histograms + exporters.
+
+A :class:`MetricsRegistry` holds named instruments, each optionally
+qualified by a small set of string labels (engine, stage, mapper ...):
+
+* :class:`Counter` — monotonically increasing total (``inc``);
+* :class:`Gauge` — point-in-time value (``set`` / ``add``);
+* :class:`Histogram` — cumulative fixed-bucket distribution
+  (``observe``), Prometheus-style ``_bucket``/``_sum``/``_count``.
+
+Instruments are created on first use (``registry.counter(name, **labels)``)
+and identified by ``(name, sorted label items)``, so repeated lookups
+return the same object.  Two exporters cover the common sinks:
+
+* :meth:`MetricsRegistry.to_prometheus` — the Prometheus text
+  exposition format, scrape-ready;
+* :meth:`MetricsRegistry.to_json` / :meth:`MetricsRegistry.write_json`
+  — a JSON snapshot for files and tests (the CLI ``--metrics FILE``
+  output; read it back with :func:`load_metrics`).
+
+Everything here is plain arithmetic on plain objects — safe to keep
+registered in hot paths, but the instrumented call sites still guard
+with the recorder's ``enabled`` flag so the disabled path pays nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "load_metrics",
+]
+
+#: Default histogram buckets: exponential from 100 us to ~100 s — spans
+#: the range from one routing query to a whole grid sweep.
+DEFAULT_BUCKETS = tuple(1e-4 * (4.0**i) for i in range(10))
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def _label_items(labels: Mapping[str, Any]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_labels(items: LabelItems, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = items + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """Monotonic total.  ``inc`` with a negative amount is refused."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def _lines(self) -> Iterator[str]:
+        yield f"{self.name}{_format_labels(self.labels)} {_format_value(self.value)}"
+
+    def _snapshot(self) -> dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Point-in-time value; ``set`` replaces, ``add`` adjusts."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def _lines(self) -> Iterator[str]:
+        yield f"{self.name}{_format_labels(self.labels)} {_format_value(self.value)}"
+
+    def _snapshot(self) -> dict[str, Any]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Cumulative fixed-bucket histogram (Prometheus semantics)."""
+
+    __slots__ = ("name", "labels", "buckets", "counts", "total", "count")
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, labels: LabelItems, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError(f"histogram {name}: buckets must be strictly increasing")
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * len(self.buckets)  # cumulative at export time
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+
+    def _cumulative(self) -> list[int]:
+        out, acc = [], 0
+        for c in self.counts:
+            acc += c
+            out.append(acc)
+        return out
+
+    def _lines(self) -> Iterator[str]:
+        for bound, cum in zip(self.buckets, self._cumulative()):
+            le = (("le", _format_value(bound)),)
+            yield f"{self.name}_bucket{_format_labels(self.labels, le)} {cum}"
+        inf = (("le", "+Inf"),)
+        yield f"{self.name}_bucket{_format_labels(self.labels, inf)} {self.count}"
+        yield f"{self.name}_sum{_format_labels(self.labels)} {_format_value(self.total)}"
+        yield f"{self.name}_count{_format_labels(self.labels)} {self.count}"
+
+    def _snapshot(self) -> dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Create-on-first-use instrument store with two exporters."""
+
+    __slots__ = ("_instruments",)
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, LabelItems], Counter | Gauge | Histogram] = {}
+
+    def _get(self, cls, name: str, labels: Mapping[str, Any], **kwargs):
+        key = (name, _label_items(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = self._instruments[key] = cls(name, key[1], **kwargs)
+        elif not isinstance(inst, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {inst.kind}, not {cls.kind}"
+            )
+        return inst
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, *, buckets: tuple[float, ...] = DEFAULT_BUCKETS, **labels: Any
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        return iter(self._instruments.values())
+
+    # ------------------------------------------------------------------
+    # exporters
+    # ------------------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (sorted, scrape-ready)."""
+        by_name: dict[str, list] = {}
+        for inst in self._instruments.values():
+            by_name.setdefault(inst.name, []).append(inst)
+        lines: list[str] = []
+        for name in sorted(by_name):
+            family = sorted(by_name[name], key=lambda m: m.labels)
+            lines.append(f"# TYPE {name} {family[0].kind}")
+            for inst in family:
+                lines.extend(inst._lines())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON snapshot: ``{"metrics": [{name, kind, labels, ...}]}``."""
+        out = []
+        for (name, labels), inst in sorted(self._instruments.items()):
+            entry: dict[str, Any] = {
+                "name": name,
+                "kind": inst.kind,
+                "labels": dict(labels),
+            }
+            entry.update(inst._snapshot())
+            out.append(entry)
+        return {"format": "repro/metrics@1", "metrics": out}
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json(), indent=1, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`to_json` snapshot, so a
+        saved ``--metrics`` file can be re-exported (e.g. as Prometheus
+        text by ``repro metrics-dump``).  Round-trips exactly:
+        ``MetricsRegistry.from_json(r.to_json()).to_json() == r.to_json()``.
+        """
+        if not isinstance(data, Mapping) or data.get("format") != "repro/metrics@1":
+            raise ValueError("not a repro/metrics@1 snapshot")
+        registry = cls()
+        for entry in data.get("metrics", ()):
+            name, kind, labels = entry["name"], entry["kind"], entry.get("labels", {})
+            if kind == "counter":
+                registry.counter(name, **labels).value = float(entry["value"])
+            elif kind == "gauge":
+                registry.gauge(name, **labels).set(entry["value"])
+            elif kind == "histogram":
+                hist = registry.histogram(
+                    name, buckets=tuple(entry["buckets"]), **labels
+                )
+                hist.counts = [int(c) for c in entry["counts"]]
+                hist.total = float(entry["sum"])
+                hist.count = int(entry["count"])
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+        return registry
+
+
+def load_metrics(path: str | Path) -> dict[str, Any]:
+    """Read a ``--metrics`` JSON snapshot back (validates the envelope)."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or data.get("format") != "repro/metrics@1":
+        raise ValueError(f"{path}: not a repro/metrics@1 snapshot")
+    return data

@@ -21,11 +21,11 @@ the run itself.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
-from repro.resilience.operator import ChaosResult
+from repro.resilience.operator import ChaosResult, ChaosSample, RepairRecord
 
-__all__ = ["survivability"]
+__all__ = ["survivability", "survivability_from_trace"]
 
 
 def survivability(result: ChaosResult) -> dict[str, Any]:
@@ -63,3 +63,75 @@ def survivability(result: ChaosResult) -> dict[str, Any]:
         "objective_drift": (obj_max - obj_min) if samples else 0.0,
         "objective_final": result.final_objective,
     }
+
+
+def survivability_from_trace(spans: Sequence[dict]) -> dict[str, Any]:
+    """Recompute :func:`survivability` from a recorded trace alone.
+
+    The ``chaos.run`` / ``chaos.event`` / ``chaos.repair`` spans emitted
+    by :class:`~repro.resilience.operator.ChaosOperator` carry every
+    field of the run summary, the survivability curve (one event span
+    per sample), and each repair transaction — so the JSONL trace of a
+    chaos run replays to the exact numbers the live
+    :class:`~repro.resilience.operator.ChaosResult` produced.  Expects
+    the span dicts of exactly one run (e.g. from
+    :func:`repro.obs.load_trace`).
+    """
+    runs = [s for s in spans if s.get("name") == "chaos.run"]
+    if len(runs) != 1:
+        raise ValueError(f"expected exactly one chaos.run span, found {len(runs)}")
+    run = runs[0]["attrs"]
+    for key in ("admitted", "rejected", "shed", "shed_guests", "final_objective"):
+        if key not in run:
+            raise ValueError(f"chaos.run span is missing attr {key!r} (aborted run?)")
+
+    # Spans are id-numbered in start order, which for a single-process
+    # chaos run is exactly trace-event order.
+    events = sorted(
+        (s for s in spans if s.get("name") == "chaos.event"), key=lambda s: s["id"]
+    )
+    repairs = sorted(
+        (s for s in spans if s.get("name") == "chaos.repair"), key=lambda s: s["id"]
+    )
+    samples = tuple(
+        ChaosSample(
+            time=a["time"],
+            kind=a["kind"],
+            tenants_alive=a["tenants_alive"],
+            guests_alive=a["guests_alive"],
+            guests_lost=a["guests_lost"],
+            objective=a["objective"],
+        )
+        for a in (s["attrs"] for s in events)
+    )
+    records = tuple(
+        RepairRecord(
+            time=a["time"],
+            trigger=a["trigger"],
+            target=a["target"],
+            tenants=tuple(a["tenants"]),
+            attempts=a["attempts"],
+            latency=a["latency"],
+            rerouted=a["rerouted"],
+            replaced=a["replaced"],
+            shed=tuple(a["shed"]),
+            healed=a["healed"],
+        )
+        for a in (s["attrs"] for s in repairs)
+    )
+    result = ChaosResult(
+        n_events=run.get("n_events", len(samples)),
+        admitted=run["admitted"],
+        rejected=run["rejected"],
+        departed=run.get("departed", 0),
+        shed=run["shed"],
+        shed_guests=run["shed_guests"],
+        validations=run.get("validations", 0),
+        repairs=records,
+        samples=samples,
+        final_tenants=run.get("final_tenants", 0),
+        final_guests=run.get("final_guests", 0),
+        final_objective=run["final_objective"],
+        wall_s=0.0,
+    )
+    return survivability(result)

@@ -49,6 +49,7 @@ from typing import Any, Callable, Hashable
 
 import numpy as np
 
+from repro import obs
 from repro.core.cluster import PhysicalCluster
 from repro.core.link import EdgeKey, edge_key
 from repro.core.mapping import Mapping, StageReport
@@ -56,9 +57,9 @@ from repro.core.state import ClusterState, path_edges
 from repro.core.validate import validate_mapping
 from repro.core.venv import VirtualEnvironment
 from repro.core.vlink import VLinkKey
-from repro.errors import MappingError, ModelError, PlacementError
+from repro.errors import ConfigError, MappingError, ModelError, PlacementError
 from repro.extensions.admission import release_tenant
-from repro.hmn.config import HMNConfig
+from repro.hmn.config import HMNConfig, keyword_only
 from repro.hmn.networking import run_networking
 from repro.hmn.pipeline import hmn_map
 from repro.resilience.faults import FailureModel, FaultEvent
@@ -79,9 +80,13 @@ NodeId = Hashable
 _EPS = 1e-9
 
 
-@dataclass(frozen=True, slots=True)
+@keyword_only
+@dataclass(frozen=True, slots=True, kw_only=True)
 class RepairPolicy:
     """How hard the operator tries before giving up on a repair.
+
+    All parameters are keyword-only; positional or unknown arguments
+    raise :class:`~repro.errors.ConfigError`.
 
     ``max_attempts`` bounds the heal loop per fault; each retry after a
     failed attempt sheds the lowest-priority tenant (smallest aggregate
@@ -97,9 +102,9 @@ class RepairPolicy:
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
-            raise ModelError(f"max_attempts must be >= 1, got {self.max_attempts}")
+            raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
         if self.backoff < 0:
-            raise ModelError(f"backoff must be non-negative, got {self.backoff}")
+            raise ConfigError(f"backoff must be non-negative, got {self.backoff}")
 
 
 @dataclass(frozen=True, slots=True)
@@ -522,43 +527,44 @@ class ChaosOperator:
         policy = self.policy
         shed_ids: list[int] = []
         attempts = 0
-        while True:
-            attempts += 1
-            snap_state = self._state.copy()
-            snap_masks = dict(self._masks)
-            try:
-                rerouted, replaced = self._attempt_repair(affected, broken_edges)
-                healed = True
-                break
-            except MappingError:
-                self._state.restore_from(snap_state)
-                self._masks = snap_masks
-            if attempts >= policy.max_attempts:
-                # Graceful degradation: the residual cluster cannot hold
-                # everyone — drop the affected tenants themselves.
-                for t in affected:
-                    self._shed_tenant(t)
-                    shed_ids.append(t)
-                rerouted = replaced = 0
-                healed = False
-                break
-            if policy.shed:
-                # Make room: shed the cheapest live tenant (smallest
-                # aggregate vbw, oldest id on ties) and try again.
-                candidates = sorted(
-                    self._live.values(), key=lambda r: (r.total_vbw, r.tenant)
-                )
-                victim = candidates[0].tenant
-                self._shed_tenant(victim)
-                shed_ids.append(victim)
-                if victim in affected:
-                    affected.remove(victim)
-                    if not affected:
-                        rerouted = replaced = 0
-                        healed = True
-                        break
-        self._repairs.append(
-            RepairRecord(
+        rec = obs.OBS
+        with rec.span("chaos.repair", trigger=trigger, target=repr(target), time=now) as sp:
+            while True:
+                attempts += 1
+                snap_state = self._state.copy()
+                snap_masks = dict(self._masks)
+                try:
+                    rerouted, replaced = self._attempt_repair(affected, broken_edges)
+                    healed = True
+                    break
+                except MappingError:
+                    self._state.restore_from(snap_state)
+                    self._masks = snap_masks
+                if attempts >= policy.max_attempts:
+                    # Graceful degradation: the residual cluster cannot hold
+                    # everyone — drop the affected tenants themselves.
+                    for t in affected:
+                        self._shed_tenant(t)
+                        shed_ids.append(t)
+                    rerouted = replaced = 0
+                    healed = False
+                    break
+                if policy.shed:
+                    # Make room: shed the cheapest live tenant (smallest
+                    # aggregate vbw, oldest id on ties) and try again.
+                    candidates = sorted(
+                        self._live.values(), key=lambda r: (r.total_vbw, r.tenant)
+                    )
+                    victim = candidates[0].tenant
+                    self._shed_tenant(victim)
+                    shed_ids.append(victim)
+                    if victim in affected:
+                        affected.remove(victim)
+                        if not affected:
+                            rerouted = replaced = 0
+                            healed = True
+                            break
+            record = RepairRecord(
                 time=now,
                 trigger=trigger,
                 target=repr(target),
@@ -570,7 +576,25 @@ class ChaosOperator:
                 shed=tuple(shed_ids),
                 healed=healed,
             )
-        )
+            self._repairs.append(record)
+            if rec.enabled:
+                # Everything survivability_from_trace needs to rebuild
+                # the RepairRecord from the JSONL alone.
+                sp.set(
+                    tenants=list(original),
+                    attempts=attempts,
+                    latency=record.latency,
+                    rerouted=rerouted,
+                    replaced=replaced,
+                    shed=list(shed_ids),
+                    healed=healed,
+                )
+                rec.count(
+                    "repro_chaos_repairs_total",
+                    outcome="healed" if healed else "shed",
+                    trigger=trigger,
+                )
+                rec.observe("repro_chaos_repair_latency", record.latency)
 
     # ------------------------------------------------------------------
     # selfcheck
@@ -598,6 +622,23 @@ class ChaosOperator:
     # ------------------------------------------------------------------
     def apply(self, event: FaultEvent) -> None:
         """Absorb one trace event (admit/release/fault/heal)."""
+        kind, target, now = event.kind, event.target, event.time
+        rec = obs.OBS
+        with rec.span("chaos.event", kind=kind, time=now, target=repr(target)) as sp:
+            self._apply(event)
+            if rec.enabled:
+                # The just-appended sample — chaos.event spans carry the
+                # full survivability curve point by point.
+                sample = self._samples[-1]
+                sp.set(
+                    tenants_alive=sample.tenants_alive,
+                    guests_alive=sample.guests_alive,
+                    guests_lost=sample.guests_lost,
+                    objective=sample.objective,
+                )
+                rec.count("repro_chaos_events_total", kind=kind)
+
+    def _apply(self, event: FaultEvent) -> None:
         kind, target, now = event.kind, event.target, event.time
         if kind == "tenant_arrive":
             self._admit(now, target)
@@ -648,24 +689,39 @@ class ChaosOperator:
 
     def run(self, trace: tuple[FaultEvent, ...]) -> ChaosResult:
         """Replay a whole trace and summarize the run."""
+        rec = obs.OBS
         t0 = time.perf_counter()
-        for event in trace:
-            self.apply(event)
-        return ChaosResult(
-            n_events=len(trace),
-            admitted=self._admitted,
-            rejected=self._rejected,
-            departed=self._departed,
-            shed=self._shed,
-            shed_guests=self._shed_guests,
-            validations=self._validations,
-            repairs=tuple(self._repairs),
-            samples=tuple(self._samples),
-            final_tenants=len(self._live),
-            final_guests=sum(r.venv.n_guests for r in self._live.values()),
-            final_objective=self._state.objective(),
-            wall_s=time.perf_counter() - t0,
-        )
+        with rec.span("chaos.run", n_events=len(trace), seed=self.seed) as sp:
+            for event in trace:
+                self.apply(event)
+            result = ChaosResult(
+                n_events=len(trace),
+                admitted=self._admitted,
+                rejected=self._rejected,
+                departed=self._departed,
+                shed=self._shed,
+                shed_guests=self._shed_guests,
+                validations=self._validations,
+                repairs=tuple(self._repairs),
+                samples=tuple(self._samples),
+                final_tenants=len(self._live),
+                final_guests=sum(r.venv.n_guests for r in self._live.values()),
+                final_objective=self._state.objective(),
+                wall_s=time.perf_counter() - t0,
+            )
+            if rec.enabled:
+                sp.set(
+                    admitted=result.admitted,
+                    rejected=result.rejected,
+                    departed=result.departed,
+                    shed=result.shed,
+                    shed_guests=result.shed_guests,
+                    validations=result.validations,
+                    final_tenants=result.final_tenants,
+                    final_guests=result.final_guests,
+                    final_objective=result.final_objective,
+                )
+        return result
 
     # Introspection used by tests.
     @property

@@ -50,6 +50,7 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Hashable
 
+from repro import obs
 from repro.errors import ModelError, RoutingError
 from repro.routing.bottleneck_prune import BottleneckPath, bottleneck_route
 from repro.routing.compiled import (
@@ -179,7 +180,79 @@ class RoutingCache:
         computed against.  Infeasibility is cached too, re-raised as a
         fresh :class:`~repro.errors.RoutingError`.  *engine* overrides
         the cache's default for this one call.
+
+        When the process recorder is enabled, every query emits a
+        ``route.query`` span (engine, router, cache hit/miss, labels
+        expanded, bottleneck) and feeds the routing counters; disabled,
+        this wrapper costs one attribute check before the uninstrumented
+        fast path below.
         """
+        rec = obs.OBS
+        if not rec.enabled:
+            return self._route(
+                state,
+                origin,
+                destination,
+                bandwidth=bandwidth,
+                latency_bound=latency_bound,
+                router=router,
+                max_expansions=max_expansions,
+                engine=engine,
+            )
+        hits_before = self.path_hits
+        kernel_before = self.kernel_seconds
+        with rec.span(
+            "route.query",
+            origin=str(origin),
+            destination=str(destination),
+            engine=engine if engine is not None else self.engine,
+            router=router,
+        ) as sp:
+            try:
+                result = self._route(
+                    state,
+                    origin,
+                    destination,
+                    bandwidth=bandwidth,
+                    latency_bound=latency_bound,
+                    router=router,
+                    max_expansions=max_expansions,
+                    engine=engine,
+                )
+            except RoutingError:
+                sp.set(cache_hit=self.path_hits > hits_before, feasible=False)
+                rec.count("repro_route_queries_total", outcome="infeasible")
+                raise
+            cache_hit = self.path_hits > hits_before
+            sp.set(
+                cache_hit=cache_hit,
+                expansions=result.expansions,
+                bottleneck=result.bottleneck,
+                hops=len(result.nodes) - 1,
+            )
+            rec.count(
+                "repro_route_queries_total",
+                outcome="hit" if cache_hit else "miss",
+            )
+            if not cache_hit:
+                rec.observe(
+                    "repro_route_kernel_seconds", self.kernel_seconds - kernel_before
+                )
+            return result
+
+    def _route(
+        self,
+        state: "ClusterState",
+        origin: NodeId,
+        destination: NodeId,
+        *,
+        bandwidth: float,
+        latency_bound: float,
+        router: str = "algorithm1",
+        max_expansions: int = 2_000_000,
+        engine: str | None = None,
+    ) -> BottleneckPath:
+        """The uninstrumented query path (memo lookup + kernel dispatch)."""
         if state.cluster is not self.cluster:
             raise ModelError("state belongs to a different cluster than this cache")
         if engine is None:

@@ -21,10 +21,10 @@ from repro.analysis import (
     render_table2,
     render_table3,
     run_cell,
-    run_grid,
     summarize,
     to_csv,
 )
+from repro.api import run_grid
 from repro.errors import ModelError
 from repro.simulator import ExperimentSpec
 from repro.workload import HIGH_LEVEL, Scenario, paper_clusters

@@ -23,8 +23,8 @@ from repro.analysis import (
     expand_cells,
     records_to_dicts,
     render_table2,
-    run_grid,
 )
+from repro.api import run_grid
 from repro.baselines import register_mapper
 from repro.errors import ModelError
 from repro.simulator import ExperimentSpec

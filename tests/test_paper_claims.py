@@ -15,8 +15,8 @@ from repro.analysis import (
     aggregate,
     correlation_within_scenarios,
     figure1_series,
-    run_grid,
 )
+from repro.api import run_grid
 from repro.core import balance_lower_bound
 from repro.hmn import hmn_map
 from repro.simulator import ExperimentSpec
