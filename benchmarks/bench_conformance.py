@@ -1,0 +1,59 @@
+"""Conformance-tooling bench: corpus verify latency and fuzz throughput.
+
+The golden corpus and the fuzz harness gate every CI push, so their
+cost is itself a tracked quantity: a digest pipeline that silently got
+10x slower would push the conformance job toward its timeout and tempt
+someone to shrink the corpus.  The published table records how long a
+full `conformance verify` takes, broken down by case kind, and the
+fuzz harness's seeds-per-second.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _config import publish
+
+from repro.conformance import CORPUS, load_golden, run_fuzz, verify
+
+FUZZ_SEEDS = 60
+
+
+def test_conformance_verify(benchmark):
+    golden = load_golden()
+
+    def check():
+        mismatches = verify(golden=golden)
+        assert mismatches == []
+        return len(CORPUS)
+
+    n_cases = benchmark(check)
+    kinds: dict[str, int] = {}
+    for case in CORPUS:
+        kinds[case.kind] = kinds.get(case.kind, 0) + 1
+    lines = [f"golden corpus: {n_cases} cases conformant"]
+    lines += [f"  {kind:>8}: {n}" for kind, n in sorted(kinds.items())]
+    publish("conformance_verify.txt", "\n".join(lines))
+
+
+def test_fuzz_throughput(benchmark):
+    def campaign():
+        t0 = time.perf_counter()
+        report = run_fuzz(FUZZ_SEEDS)
+        assert report.ok, [str(d) for d in report.divergences]
+        return report, time.perf_counter() - t0
+
+    report, elapsed = benchmark(campaign)
+    publish(
+        "conformance_fuzz.txt",
+        "\n".join(
+            [
+                f"fuzz campaign: {report.seeds_run} seeds in {elapsed:.2f} s "
+                f"({report.seeds_run / elapsed:.0f} seeds/s)",
+                f"  mapped: {report.n_mapped}  unmappable: {report.n_unmappable}",
+                f"  exact-checked: {report.n_exact_checked}  "
+                f"runner grids: {report.n_runner_grids}",
+                "  divergences: 0",
+            ]
+        ),
+    )

@@ -22,6 +22,14 @@ from repro.baselines import PAPER_MAPPERS  # noqa: E402
 from repro.workload import paper_clusters  # noqa: E402
 
 
+def pytest_collection_modifyitems(items):
+    # Everything collected under benchmarks/ is a benchmark; the marker
+    # lets `pytest -m "not bench"` skip the suite when it is collected
+    # alongside tests/.
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def grid_records():
     return run_grid(

@@ -83,6 +83,9 @@ __all__ = [
     "HMNConfig",
     "RepairPolicy",
     "recording",
+    "mapping_digest",
+    "verify_conformance",
+    "run_conformance_fuzz",
     # high-level entry points (lazily imported)
     "hmn_map",
     "torus_cluster",
@@ -107,6 +110,9 @@ _LAZY = {
     "HMNConfig": "repro.api",
     "RepairPolicy": "repro.api",
     "recording": "repro.api",
+    "mapping_digest": "repro.api",
+    "verify_conformance": "repro.api",
+    "run_conformance_fuzz": "repro.api",
 }
 
 

@@ -74,6 +74,10 @@ __all__ = [
     # resilience metrics
     "survivability",
     "survivability_from_trace",
+    # conformance (correctness tooling)
+    "mapping_digest",
+    "verify_conformance",
+    "run_conformance_fuzz",
 ]
 
 
@@ -132,6 +136,40 @@ def run_chaos(
     if config is not None and not isinstance(config, HMNConfig):
         config = HMNConfig.from_dict(config)
     return _run_chaos(cluster, config=config, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# conformance
+# ----------------------------------------------------------------------
+# Imported lazily: the conformance package pulls in the workload and
+# resilience layers, which the plain mapping fast path never needs.
+def mapping_digest(
+    cluster: PhysicalCluster, venv: VirtualEnvironment, mapping: Mapping
+) -> str:
+    """Content-addressed SHA-256 identity of a mapping result
+    (:func:`repro.conformance.digest`): equal digests iff identical
+    assignments, routes, objective and residuals."""
+    from repro.conformance import digest
+
+    return digest(cluster, venv, mapping)
+
+
+def verify_conformance(**kwargs: Any):
+    """Recompute the golden corpus and return the list of digest
+    mismatches — empty means conformant
+    (:func:`repro.conformance.verify`)."""
+    from repro.conformance import verify
+
+    return verify(**kwargs)
+
+
+def run_conformance_fuzz(n_seeds: int, **kwargs: Any):
+    """Run the differential fuzzing campaign and return its
+    :class:`~repro.conformance.fuzz.FuzzReport`
+    (:func:`repro.conformance.run_fuzz`)."""
+    from repro.conformance import run_fuzz
+
+    return run_fuzz(n_seeds, **kwargs)
 
 
 # ----------------------------------------------------------------------

@@ -22,6 +22,12 @@ Commands mirror an emulator operator's workflow:
 ``metrics-dump``
     Inspect an emitted observability artifact: validate + summarize a
     JSONL span trace, or print a metrics snapshot as Prometheus text.
+``conformance``
+    Correctness tooling: ``verify`` recomputes the golden corpus and
+    compares against the committed digests, ``fuzz`` runs the seeded
+    differential harness (dict vs compiled engine, serial vs parallel
+    runner, exact solver on tiny instances), ``regen`` refreshes
+    ``GOLDEN.json`` after an intentional behavior change.
 ``mappers``
     List the heuristic pool.
 
@@ -182,6 +188,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", dest="as_json", action="store_true",
                    help="print metrics snapshots as JSON instead of "
                         "Prometheus text")
+
+    p = sub.add_parser("conformance",
+                       help="golden-corpus and differential-fuzzing checks")
+    csub = p.add_subparsers(dest="conformance_command", required=True)
+
+    cp = csub.add_parser("verify",
+                         help="recompute the golden corpus and compare digests")
+    cp.add_argument("--case", action="append", metavar="NAME",
+                    help="restrict to one corpus case (repeatable)")
+    cp.add_argument("--list", action="store_true", help="list cases and exit")
+    cp.add_argument("--quiet", action="store_true", help="only print mismatches")
+
+    cp = csub.add_parser("fuzz",
+                         help="differential fuzzing across engines/runners/exact")
+    cp.add_argument("--seeds", type=int, default=50, metavar="N",
+                    help="number of random instances to drive (default 50)")
+    cp.add_argument("--base-seed", type=int, default=0)
+    cp.add_argument("--out", metavar="FILE",
+                    help="write the JSON report (the divergence-repro artifact) here")
+
+    cp = csub.add_parser("regen",
+                         help="recompute and overwrite GOLDEN.json after an "
+                              "intentional behavior change")
+    cp.add_argument("--output", metavar="FILE",
+                    help="write elsewhere instead of the committed GOLDEN.json")
 
     sub.add_parser("mappers", help="list the heuristic pool")
     return parser
@@ -411,6 +442,60 @@ def _chaos(args) -> int:
     return 0
 
 
+def _conformance(args) -> int:
+    from repro import conformance
+
+    if args.conformance_command == "verify":
+        cases = conformance.CORPUS
+        if args.case:
+            cases = tuple(conformance.case_by_name(n) for n in args.case)
+        if args.list:
+            for case in cases:
+                print(f"{case.name:<28} [{case.kind}] {case.note}")
+            return 0
+        golden = conformance.load_golden()
+
+        def progress(case, actual):
+            if args.quiet:
+                return
+            status = "ok" if golden.get(case.name) == actual else "MISMATCH"
+            print(f"{status:<9} {case.name:<28} {actual[:16]}")
+
+        mismatches = conformance.verify(cases, golden=golden, progress=progress)
+        if mismatches:
+            print(f"\n{len(mismatches)} corpus case(s) diverged from GOLDEN.json:",
+                  file=sys.stderr)
+            for m in mismatches:
+                print(f"  {m}", file=sys.stderr)
+            print("if the behavior change is intentional, run "
+                  "`repro conformance regen` and commit the diff", file=sys.stderr)
+            return 1
+        print(f"{len(cases)} case(s) conformant")
+        return 0
+
+    if args.conformance_command == "fuzz":
+        report = conformance.run_fuzz(args.seeds, base_seed=args.base_seed)
+        if args.out:
+            report.write(args.out)
+            print(f"wrote fuzz report -> {args.out}")
+        print(f"seeds: {report.seeds_run}  mapped: {report.n_mapped}  "
+              f"unmappable: {report.n_unmappable}  exact-checked: "
+              f"{report.n_exact_checked}  runner grids: {report.n_runner_grids}")
+        if not report.ok:
+            print(f"{len(report.divergences)} divergence(s):", file=sys.stderr)
+            for d in report.divergences:
+                print(f"  {d}", file=sys.stderr)
+            return 1
+        print("no divergences")
+        return 0
+
+    if args.conformance_command == "regen":
+        path = conformance.write_golden(args.output)
+        print(f"wrote {len(conformance.CORPUS)} digests -> {path}")
+        return 0
+    raise AssertionError(f"unhandled conformance command {args.conformance_command!r}")
+
+
 def _metrics_dump(args) -> int:
     import json
 
@@ -476,6 +561,8 @@ def main(argv: list[str] | None = None) -> int:
                 return _figure1(args)
             if args.command == "chaos":
                 return _chaos(args)
+            if args.command == "conformance":
+                return _conformance(args)
             if args.command == "metrics-dump":
                 return _metrics_dump(args)
             if args.command == "mappers":

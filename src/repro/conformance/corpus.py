@@ -1,0 +1,307 @@
+"""The golden corpus: canonical scenarios with committed digests.
+
+A fixed set of ~24 deterministic scenarios — the paper's Tables 2-3
+rows, one instance per topology family, config ablations, and seeded
+chaos traces — each reduced to the SHA-256 digest of its canonical
+result document (:mod:`repro.conformance.digest`).  The digests are
+committed in ``GOLDEN.json`` next to this module; ``verify()``
+recomputes every case and reports mismatches.
+
+Any change anywhere in the mapper stack that alters *any* output —
+one assignment, one route hop, one residual — flips at least one
+digest, so ``conformance verify`` is the cheapest possible answer to
+"did this refactor change behavior?".  After an *intentional* behavior
+change, regenerate with ``python -m repro conformance regen`` (or
+:func:`write_golden`) and commit the diff; the diff of GOLDEN.json is
+then the reviewable blast radius of the change.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.conformance.digest import DIGEST_FORMAT, digest, digest_document
+from repro.core.cluster import PhysicalCluster
+from repro.core.venv import VirtualEnvironment
+from repro.errors import ModelError
+from repro.hmn.config import HMNConfig
+from repro.hmn.pipeline import hmn_map
+from repro.seeding import derive
+
+__all__ = [
+    "CorpusCase",
+    "CORPUS",
+    "CORPUS_SEED",
+    "case_by_name",
+    "golden_path",
+    "load_golden",
+    "compute_digests",
+    "Mismatch",
+    "verify",
+    "write_golden",
+]
+
+#: One seed pins the whole corpus; changing it is a corpus version bump.
+CORPUS_SEED = 2009
+
+CHAOS_FORMAT = "repro/conformance-chaos@1"
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    """One golden scenario: a name, a kind, and a way to recompute it.
+
+    ``kind`` is ``"mapping"`` (builder returns (cluster, venv, config)
+    and the digest covers the HMN result) or ``"chaos"`` (builder
+    returns the digest of a deterministic chaos-run document directly).
+    """
+
+    name: str
+    kind: str
+    note: str
+    _builder: Callable
+
+    def instance(self) -> tuple[PhysicalCluster, VirtualEnvironment, HMNConfig]:
+        """The (cluster, venv, config) triple of a mapping case."""
+        if self.kind != "mapping":
+            raise ModelError(f"case {self.name!r} is a {self.kind} case, not a mapping")
+        return self._builder()
+
+    def compute_digest(self) -> str:
+        """Recompute this case's digest from scratch."""
+        if self.kind == "mapping":
+            cluster, venv, config = self._builder()
+            return digest(cluster, venv, hmn_map(cluster, venv, config))
+        return self._builder()
+
+
+# ----------------------------------------------------------------------
+# case builders
+# ----------------------------------------------------------------------
+def _paper_case(row_index: int, cluster_name: str):
+    """One Table 2/3 cell at full paper scale (40 hosts)."""
+
+    def build():
+        from repro.workload import paper_clusters, paper_scenarios
+
+        scenario = paper_scenarios()[row_index]
+        cluster = paper_clusters(derive(CORPUS_SEED, scenario.label, "hosts"))[cluster_name]
+        venv = scenario.build_venv(cluster, seed=derive(CORPUS_SEED, scenario.label, "venv"))
+        return cluster, venv, HMNConfig.paper()
+
+    return build
+
+
+def _family_case(family: str, *, ratio: float = 1.5, density: float = 0.2,
+                 workload: str = "high-level", config: HMNConfig | None = None):
+    """One instance of a topology family with a generated workload."""
+
+    def build():
+        from repro import topology
+        from repro.workload import generate_virtual_environment, workload_by_name
+
+        seed = derive(CORPUS_SEED, "family", family)
+        builders = {
+            "torus": lambda: topology.torus_cluster(3, 3, seed=seed),
+            "mesh": lambda: topology.mesh_cluster(3, 3, seed=seed),
+            "ring": lambda: topology.ring_cluster(8, seed=seed),
+            "line": lambda: topology.line_cluster(6, seed=seed),
+            "star": lambda: topology.star_cluster(8, seed=seed),
+            "tree": lambda: topology.tree_cluster(14, seed=seed),
+            "hypercube": lambda: topology.hypercube_cluster(3, seed=seed),
+            "switched": lambda: topology.switched_cluster(10, seed=seed),
+            "fat-tree": lambda: topology.fat_tree_cluster(4, seed=seed),
+            "random": lambda: topology.random_cluster(10, density=0.35, seed=seed),
+        }
+        cluster = builders[family]()
+        venv = generate_virtual_environment(
+            max(2, round(ratio * cluster.n_hosts)),
+            workload=workload_by_name(workload),
+            density=density,
+            seed=derive(CORPUS_SEED, "family", family, "venv"),
+        )
+        return cluster, venv, config if config is not None else HMNConfig.paper()
+
+    return build
+
+
+def _chaos_case(topology_name: str, n_events: int):
+    """Digest of a deterministic chaos trace (fault events + repairs)."""
+
+    def build() -> str:
+        from repro.resilience import FailureModel
+        from repro.resilience.operator import run_chaos
+
+        if topology_name == "switched-multi":
+            from repro.topology import switched_cluster
+
+            cluster = switched_cluster(40, ports=16, seed=CORPUS_SEED)
+        else:
+            from repro.topology import fat_tree_cluster
+
+            cluster = fat_tree_cluster(4, seed=CORPUS_SEED)
+        model = FailureModel(cluster, max_dead_fraction=0.34)
+        result = run_chaos(
+            cluster, n_events=n_events, seed=CORPUS_SEED, model=model, selfcheck=True
+        )
+        return digest_document(
+            {"format": CHAOS_FORMAT, "result": result.to_dict(include_wall=False)}
+        )
+
+    return build
+
+
+def _build_corpus() -> tuple[CorpusCase, ...]:
+    cases: list[CorpusCase] = []
+    # The five Table 2/3 rows the CLI's --rows=subset uses, on both
+    # evaluation clusters: the paper's own regression surface.
+    for row in (0, 1, 3, 12, 15):
+        for cluster_name in ("torus", "switched"):
+            cases.append(
+                CorpusCase(
+                    name=f"paper-row{row:02d}-{cluster_name}",
+                    kind="mapping",
+                    note=f"Tables 2-3 row {row} on the {cluster_name} evaluation cluster",
+                    _builder=_paper_case(row, cluster_name),
+                )
+            )
+    # One case per topology family.
+    for family in ("torus", "mesh", "ring", "line", "star", "tree",
+                   "hypercube", "switched", "fat-tree", "random"):
+        cases.append(
+            CorpusCase(
+                name=f"family-{family}",
+                kind="mapping",
+                note=f"{family} family, 1.5:1 high-level workload",
+                _builder=_family_case(family),
+            )
+        )
+    # Config ablations exercised through the same digest pipeline.
+    cases.append(
+        CorpusCase(
+            name="config-no-migration",
+            kind="mapping",
+            note="Hosting+Networking only (migration disabled)",
+            _builder=_family_case(
+                "switched", config=HMNConfig(migration_enabled=False)
+            ),
+        )
+    )
+    cases.append(
+        CorpusCase(
+            name="config-vbw-asc",
+            kind="mapping",
+            note="ascending link-order ablation",
+            _builder=_family_case("torus", config=HMNConfig(link_order="vbw_asc")),
+        )
+    )
+    # Seeded chaos traces: the whole fault/repair/shed history digested.
+    cases.append(
+        CorpusCase(
+            name="chaos-switched-multi-80",
+            kind="chaos",
+            note="80 events on the 3-switch cascade (self-checked)",
+            _builder=_chaos_case("switched-multi", 80),
+        )
+    )
+    cases.append(
+        CorpusCase(
+            name="chaos-fat-tree-60",
+            kind="chaos",
+            note="60 events on the k=4 fat tree (self-checked)",
+            _builder=_chaos_case("fat-tree", 60),
+        )
+    )
+    return tuple(cases)
+
+
+CORPUS: tuple[CorpusCase, ...] = _build_corpus()
+
+
+def case_by_name(name: str) -> CorpusCase:
+    for case in CORPUS:
+        if case.name == name:
+            return case
+    raise ModelError(f"unknown corpus case {name!r}; see repro.conformance.CORPUS")
+
+
+# ----------------------------------------------------------------------
+# golden file
+# ----------------------------------------------------------------------
+def golden_path() -> Path:
+    """Location of the committed digest file."""
+    return Path(__file__).with_name("GOLDEN.json")
+
+
+def load_golden(path: str | Path | None = None) -> dict[str, str]:
+    """The committed case-name -> digest map."""
+    p = Path(path) if path is not None else golden_path()
+    data = json.loads(p.read_text())
+    if data.get("format") != f"{DIGEST_FORMAT}-golden":
+        raise ModelError(f"{p}: not a golden digest file")
+    return dict(data["digests"])
+
+
+def compute_digests(
+    cases: Iterable[CorpusCase] | None = None,
+    progress: Callable[[CorpusCase, str], None] | None = None,
+) -> dict[str, str]:
+    """Recompute digests for *cases* (default: the whole corpus)."""
+    out: dict[str, str] = {}
+    for case in cases if cases is not None else CORPUS:
+        out[case.name] = case.compute_digest()
+        if progress is not None:
+            progress(case, out[case.name])
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class Mismatch:
+    """One corpus case whose recomputed digest disagrees with GOLDEN.json."""
+
+    name: str
+    expected: str
+    actual: str
+
+    def __str__(self) -> str:
+        return f"{self.name}: expected {self.expected[:12]}.., got {self.actual[:12]}.."
+
+
+def verify(
+    cases: Sequence[CorpusCase] | None = None,
+    *,
+    golden: dict[str, str] | None = None,
+    progress: Callable[[CorpusCase, str], None] | None = None,
+) -> list[Mismatch]:
+    """Recompute *cases* and compare against the committed digests.
+
+    Returns the list of mismatches (empty = conformant).  A case
+    missing from the golden file is a mismatch with
+    ``expected="<unrecorded>"`` — silently skipping it would let new
+    cases ship unpinned.
+    """
+    golden = golden if golden is not None else load_golden()
+    mismatches: list[Mismatch] = []
+    for case in cases if cases is not None else CORPUS:
+        actual = case.compute_digest()
+        if progress is not None:
+            progress(case, actual)
+        expected = golden.get(case.name, "<unrecorded>")
+        if actual != expected:
+            mismatches.append(Mismatch(case.name, expected, actual))
+    return mismatches
+
+
+def write_golden(path: str | Path | None = None) -> Path:
+    """Recompute the full corpus and (over)write the golden file."""
+    p = Path(path) if path is not None else golden_path()
+    doc = {
+        "format": f"{DIGEST_FORMAT}-golden",
+        "corpus_seed": CORPUS_SEED,
+        "digests": compute_digests(),
+    }
+    p.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    return p

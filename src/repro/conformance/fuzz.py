@@ -1,0 +1,372 @@
+"""Differential fuzzing: every component is an oracle for the others.
+
+A seeded generator draws random (cluster, venv, config) triples and
+pushes each through every independent implementation path the repo
+has grown:
+
+* **dict engine vs compiled engine** — must produce byte-identical
+  mappings (compared through the canonical digest) or fail with the
+  same error class;
+* **validate()** — every feasible result must satisfy Eqs. 1-9;
+* **exact solver** (tiny instances only) — the true placement optimum
+  must satisfy ``objective(exact) <= objective(HMN)``, and exact
+  infeasibility while HMN succeeded is a contradiction;
+* **serial vs parallel batch runner** — the same cell grid must yield
+  identical records modulo wall-clock telemetry.
+
+Each disagreement becomes a :class:`Divergence` carrying a
+self-contained JSON repro artifact (serialized cluster, venv, and
+config), so a CI failure is immediately replayable locally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.conformance.digest import digest
+from repro.core.cluster import PhysicalCluster
+from repro.core.validate import validate_mapping
+from repro.core.venv import VirtualEnvironment
+from repro.errors import MappingError, ModelError
+from repro.hmn.config import HMNConfig
+from repro.hmn.pipeline import hmn_map
+from repro.seeding import derive
+
+__all__ = [
+    "Divergence",
+    "FuzzReport",
+    "generate_instance",
+    "run_fuzz",
+    "EXACT_SEARCH_SPACE_LIMIT",
+]
+
+#: ``n_hosts ** n_guests`` above this skips the exact-solver check.
+EXACT_SEARCH_SPACE_LIMIT = 300_000
+
+#: Objective comparisons tolerate accumulated-fsum noise, nothing more.
+OBJECTIVE_TOL = 1e-9
+
+_FAMILIES = (
+    "line",
+    "ring",
+    "star",
+    "mesh",
+    "torus",
+    "tree",
+    "hypercube",
+    "switched",
+    "fat-tree",
+    "random",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Divergence:
+    """One observed disagreement, with everything needed to replay it."""
+
+    seed: int
+    check: str
+    detail: str
+    artifact: dict[str, Any]
+
+    def __str__(self) -> str:
+        return f"seed {self.seed} [{self.check}]: {self.detail}"
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzzing campaign."""
+
+    seeds_run: int = 0
+    n_mapped: int = 0
+    n_unmappable: int = 0
+    n_exact_checked: int = 0
+    n_runner_grids: int = 0
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": "repro/conformance-fuzz-report@1",
+            "seeds_run": self.seeds_run,
+            "n_mapped": self.n_mapped,
+            "n_unmappable": self.n_unmappable,
+            "n_exact_checked": self.n_exact_checked,
+            "n_runner_grids": self.n_runner_grids,
+            "ok": self.ok,
+            "divergences": [dataclasses.asdict(d) for d in self.divergences],
+        }
+
+    def write(self, path: str | Path) -> Path:
+        """Persist the report (the CI divergence artifact)."""
+        p = Path(path)
+        p.write_text(json.dumps(self.to_dict(), indent=1, sort_keys=True) + "\n")
+        return p
+
+
+# ----------------------------------------------------------------------
+# instance generation
+# ----------------------------------------------------------------------
+def _build_cluster(family: str, rng: np.random.Generator) -> PhysicalCluster:
+    from repro import topology
+
+    hseed = int(rng.integers(0, 2**31))
+    if family == "line":
+        return topology.line_cluster(int(rng.integers(3, 8)), seed=hseed)
+    if family == "ring":
+        return topology.ring_cluster(int(rng.integers(3, 9)), seed=hseed)
+    if family == "star":
+        return topology.star_cluster(int(rng.integers(3, 9)), seed=hseed)
+    if family == "mesh":
+        return topology.mesh_cluster(2, int(rng.integers(2, 5)), seed=hseed)
+    if family == "torus":
+        return topology.torus_cluster(3, 3, seed=hseed)
+    if family == "tree":
+        return topology.tree_cluster(
+            int(rng.integers(4, 13)), hosts_per_leaf=4, seed=hseed
+        )
+    if family == "hypercube":
+        return topology.hypercube_cluster(int(rng.integers(2, 4)), seed=hseed)
+    if family == "switched":
+        return topology.switched_cluster(
+            int(rng.integers(4, 13)), ports=8, seed=hseed
+        )
+    if family == "fat-tree":
+        return topology.fat_tree_cluster(4, seed=hseed)
+    if family == "random":
+        return topology.random_cluster(
+            int(rng.integers(4, 11)), density=float(rng.uniform(0.2, 0.6)), seed=hseed
+        )
+    raise ModelError(f"unknown family {family!r}")
+
+
+def generate_instance(
+    seed: int, *, base_seed: int = 0
+) -> tuple[PhysicalCluster, VirtualEnvironment, HMNConfig]:
+    """Deterministically draw one random (cluster, venv, config) triple.
+
+    The draw covers every topology family, both workload presets, a
+    guest:host ratio of roughly 0.5-2.5, and the config axes that alter
+    mapper behavior (link order, migration on/off).  The engine field
+    is left at its default — the harness overrides it per comparison
+    arm.
+    """
+    from repro.workload import HIGH_LEVEL, LOW_LEVEL, generate_virtual_environment
+
+    rng = derive(base_seed, "conformance", "fuzz", seed)
+    family = _FAMILIES[int(rng.integers(0, len(_FAMILIES)))]
+    cluster = _build_cluster(family, rng)
+    # One draw in five deliberately overloads the cluster so the
+    # failure paths (placement and routing rejection) get differential
+    # coverage too — both engines must fail with the same error class.
+    if rng.random() < 0.2:
+        ratio = float(rng.uniform(4.0, 12.0))
+        density = float(rng.uniform(0.3, 0.9))
+    else:
+        ratio = float(rng.uniform(0.5, 2.5))
+        density = float(rng.uniform(0.1, 0.5))
+    n_guests = max(2, int(round(cluster.n_hosts * ratio)))
+    workload = HIGH_LEVEL if rng.random() < 0.5 else LOW_LEVEL
+    venv = generate_virtual_environment(
+        n_guests,
+        workload=workload,
+        density=density,
+        seed=int(rng.integers(0, 2**31)),
+    )
+    config = HMNConfig(
+        link_order="vbw_desc" if rng.random() < 0.8 else "vbw_asc",
+        migration_enabled=bool(rng.random() < 0.8),
+    )
+    return cluster, venv, config
+
+
+def _artifact(
+    cluster: PhysicalCluster, venv: VirtualEnvironment, config: HMNConfig
+) -> dict[str, Any]:
+    from repro.io import cluster_to_dict, venv_to_dict
+
+    return {
+        "cluster": cluster_to_dict(cluster),
+        "venv": venv_to_dict(venv),
+        "config": config.describe(),
+    }
+
+
+# ----------------------------------------------------------------------
+# the checks
+# ----------------------------------------------------------------------
+def _map_arm(cluster, venv, config, engine):
+    """Run one engine arm: (mapping, None) or (None, failure class name)."""
+    try:
+        return hmn_map(cluster, venv, dataclasses.replace(config, engine=engine)), None
+    except MappingError as exc:
+        return None, type(exc).__name__
+
+
+def _check_one_seed(seed: int, base_seed: int, report: FuzzReport) -> None:
+    cluster, venv, config = generate_instance(seed, base_seed=base_seed)
+    divergences: list[tuple[str, str]] = []
+
+    m_dict, fail_dict = _map_arm(cluster, venv, config, "dict")
+    m_comp, fail_comp = _map_arm(cluster, venv, config, "compiled")
+
+    if (m_dict is None) != (m_comp is None):
+        divergences.append(
+            (
+                "engine-feasibility",
+                f"dict={fail_dict or 'mapped'} but compiled={fail_comp or 'mapped'}",
+            )
+        )
+    elif m_dict is None:
+        report.n_unmappable += 1
+        if fail_dict != fail_comp:
+            divergences.append(
+                ("engine-failure-class", f"dict raised {fail_dict}, compiled {fail_comp}")
+            )
+    else:
+        report.n_mapped += 1
+        # Eqs. 1-9 on both arms; digest() would also catch this, but a
+        # named validation divergence beats a bare hash mismatch.
+        for label, m in (("dict", m_dict), ("compiled", m_comp)):
+            rep = validate_mapping(cluster, venv, m, raise_on_error=False)
+            if not rep.ok:
+                divergences.append(
+                    (
+                        "validate",
+                        f"{label} engine produced an invalid mapping: "
+                        + "; ".join(str(v) for v in rep.violations[:3]),
+                    )
+                )
+        if not divergences:
+            d1, d2 = digest(cluster, venv, m_dict), digest(cluster, venv, m_comp)
+            if d1 != d2:
+                divergences.append(
+                    ("engine-digest", f"dict {d1[:16]}.. != compiled {d2[:16]}..")
+                )
+
+        # Exact solver on tiny instances: the heuristic cannot beat the
+        # optimum, and the optimum cannot be infeasible when HMN mapped.
+        if cluster.n_hosts ** venv.n_guests <= EXACT_SEARCH_SPACE_LIMIT:
+            from repro.extensions.exact import exact_map
+
+            report.n_exact_checked += 1
+            try:
+                exact = exact_map(cluster, venv, config, placement_only=True)
+            except ModelError:
+                report.n_exact_checked -= 1  # search blew the node budget
+            except MappingError as exc:
+                divergences.append(
+                    (
+                        "exact-feasibility",
+                        f"HMN mapped but exact found no placement: {exc}",
+                    )
+                )
+            else:
+                obj_exact = exact.objective(cluster, venv)
+                obj_hmn = m_dict.objective(cluster, venv)
+                if obj_exact > obj_hmn + OBJECTIVE_TOL:
+                    divergences.append(
+                        (
+                            "exact-optimality",
+                            f"objective(exact)={obj_exact!r} > objective(HMN)={obj_hmn!r}",
+                        )
+                    )
+
+    if divergences:
+        artifact = _artifact(cluster, venv, config)
+        for check, detail in divergences:
+            report.divergences.append(Divergence(seed, check, detail, artifact))
+
+
+def _runner_differential(grid_seed: int, base_seed: int, report: FuzzReport) -> None:
+    """Serial vs parallel BatchRunner over one small random grid."""
+    from repro.analysis.runner import BatchRunner, CellSpec
+    from repro.workload import HIGH_LEVEL, Scenario
+
+    rng = derive(base_seed, "conformance", "fuzz-runner", grid_seed)
+    specs = []
+    for rep in range(3):
+        cluster, _venv, _config = generate_instance(
+            int(rng.integers(0, 2**31)), base_seed=base_seed
+        )
+        specs.append(
+            CellSpec(
+                cluster=cluster,
+                cluster_name=f"fuzz-{grid_seed}-{rep}",
+                scenario=Scenario(
+                    ratio=float(rng.uniform(1.0, 2.5)),
+                    density=float(rng.uniform(0.1, 0.4)),
+                    workload=HIGH_LEVEL,
+                ),
+                mapper="hmn",
+                rep=rep,
+                base_seed=int(derive(base_seed, "fuzz-runner", grid_seed, "cells").integers(0, 2**31)),
+                simulate=True,
+            )
+        )
+    report.n_runner_grids += 1
+    serial = BatchRunner(workers=1).run(specs)
+    parallel = BatchRunner(workers=2).run(specs)
+
+    def strip(record) -> dict[str, Any]:
+        # Wall-clock telemetry legitimately differs between workers;
+        # everything else must be byte-identical.
+        d = dataclasses.asdict(record)
+        d.pop("map_seconds", None)
+        d.pop("sim_seconds", None)
+        extra = dict(d.get("extra") or {})
+        extra.pop("stages", None)
+        timings = extra.get("timings")
+        if isinstance(timings, dict):
+            extra["timings"] = {
+                k: v for k, v in timings.items() if not k.endswith("_s")
+            }
+        d["extra"] = extra
+        return d
+
+    for a, b in zip(serial, parallel):
+        if strip(a) != strip(b):
+            report.divergences.append(
+                Divergence(
+                    grid_seed,
+                    "runner-parity",
+                    f"serial != parallel for cell ({a.cluster}, rep {a.rep}): "
+                    f"{strip(a)} vs {strip(b)}",
+                    {"grid_seed": grid_seed, "base_seed": base_seed},
+                )
+            )
+
+
+def run_fuzz(
+    n_seeds: int,
+    *,
+    base_seed: int = 0,
+    runner_grids: int | None = None,
+    progress: Callable[[int, FuzzReport], None] | None = None,
+) -> FuzzReport:
+    """Run the full differential campaign over ``n_seeds`` instances.
+
+    ``runner_grids`` controls how many serial-vs-parallel grid
+    comparisons ride along (default: one per 25 seeds, minimum 1).
+    Deterministic for a fixed ``(n_seeds, base_seed)``.
+    """
+    report = FuzzReport()
+    for seed in range(n_seeds):
+        _check_one_seed(seed, base_seed, report)
+        report.seeds_run += 1
+        if progress is not None:
+            progress(seed, report)
+    if runner_grids is None:
+        runner_grids = max(1, n_seeds // 25)
+    for grid_seed in range(runner_grids):
+        _runner_differential(grid_seed, base_seed, report)
+    return report

@@ -1,0 +1,378 @@
+"""Metamorphic oracles: transformations with known effect on HMN.
+
+The mapping problem has no efficient ground truth (it is NP-hard even
+in restricted settings), so correctness is established the metamorphic
+way: apply a transformation to the *instance* whose effect on the
+*result* is known exactly, run the mapper on both, and compare.  Each
+transformation is packaged as a reusable :class:`Oracle`; an oracle
+that returns no failure strings certifies one metamorphic relation on
+one instance.
+
+The catalogue (each with its applicability contract):
+
+``relabeling``
+    Renaming guests/hosts/switches with order-preserving maps is an
+    isomorphism: the mapping must be the original one pulled through
+    the renaming, and the objective must be bit-identical.  Guest ids
+    are shifted monotonically; node ids are re-ranked so their
+    ``str()`` order — the documented tie-break of
+    :meth:`~repro.core.objective.ResidualCpuTracker.hosts_by_residual_descending`
+    — is preserved.  A mapper that branches on the *spelling* of an id
+    (hash order, string prefixes, type sniffing) fails this oracle.
+
+``unit-rescaling``
+    Multiplying every bandwidth (link ``bw`` and vlink ``vbw``),
+    memory (host ``mem`` and guest ``vmem``) and storage (host
+    ``stor``, guest ``vstor``) by one positive constant changes no
+    comparison the heuristic makes — assignments, routes and the
+    objective (CPU is untouched) must be identical.  The factor is a
+    power of two so every scaled float comparison is exact.
+
+``guest-order``
+    Re-inserting the same guests and vlinks in a permuted order must
+    not change the result: every ordering decision in the pipeline is
+    specified by sorted keys (vbw with canonical-key tie-breaks, guest
+    ids), never by dict insertion order.  Requires a deterministic
+    config (``link_order != "random"`` — or a fixed tie-break seed).
+
+``unreachable-host``
+    Adding a host with no links and no usable capacity (proc ~ 0,
+    mem = 0, stor = 0) must leave assignments, routes, and the
+    objective over the original hosts unchanged: nothing can be placed
+    there and no route can cross it.  Contract: the phantom host must
+    never out-rank a live host in residual CPU, which ``proc = 1e-9``
+    guarantees whenever live residuals stay positive (the oracle is
+    applied to such instances; heavy CPU-overcommit cases are outside
+    its contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Hashable, Sequence
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.guest import Guest
+from repro.core.host import Host
+from repro.core.link import PhysicalLink
+from repro.core.mapping import Mapping
+from repro.core.objective import objective_of_assignment
+from repro.core.venv import VirtualEnvironment
+from repro.core.vlink import VirtualLink
+from repro.errors import MappingError, ModelError
+from repro.hmn.config import HMNConfig
+from repro.hmn.pipeline import hmn_map
+from repro.seeding import rng_from
+
+__all__ = [
+    "Oracle",
+    "RelabelingOracle",
+    "UnitRescalingOracle",
+    "GuestOrderOracle",
+    "UnreachableHostOracle",
+    "ORACLES",
+    "oracle_by_name",
+]
+
+NodeId = Hashable
+
+#: Signature every oracle drives: (cluster, venv, config) -> Mapping.
+Mapper = Callable[[PhysicalCluster, VirtualEnvironment, HMNConfig], Mapping]
+
+
+def _default_mapper(
+    cluster: PhysicalCluster, venv: VirtualEnvironment, config: HMNConfig
+) -> Mapping:
+    return hmn_map(cluster, venv, config)
+
+
+@dataclass(frozen=True)
+class Transformed:
+    """A transformed instance plus the pull-back of its results.
+
+    ``guest_back``/``node_back`` translate ids of the transformed
+    instance to ids of the original one (identity by default).
+    """
+
+    cluster: PhysicalCluster
+    venv: VirtualEnvironment
+    config: HMNConfig
+    guest_back: dict[int, int] = field(default_factory=dict)
+    node_back: dict[NodeId, NodeId] = field(default_factory=dict)
+
+    def pull_mapping(self, mapping: Mapping) -> tuple[dict, dict]:
+        """Assignments and paths of *mapping* in original-id space."""
+        g = self.guest_back
+        n = self.node_back
+        assignments = {
+            g.get(guest, guest): n.get(host, host)
+            for guest, host in mapping.assignments.items()
+        }
+        paths = {
+            tuple(sorted((g.get(a, a), g.get(b, b)))): tuple(n.get(x, x) for x in nodes)
+            for (a, b), nodes in mapping.paths.items()
+        }
+        return assignments, paths
+
+
+class Oracle:
+    """One metamorphic relation, checkable on any (cluster, venv, config).
+
+    Subclasses implement :meth:`transform`; :meth:`check` runs the
+    mapper on the base and transformed instances and returns the list
+    of violated expectations (empty = relation holds).  Both runs must
+    agree even on *failure*: if the base instance is unmappable, the
+    transformed one must fail with the same exception type.
+    """
+
+    name: str = "oracle"
+    description: str = ""
+
+    def transform(
+        self, cluster: PhysicalCluster, venv: VirtualEnvironment, config: HMNConfig
+    ) -> Transformed:
+        raise NotImplementedError
+
+    def check(
+        self,
+        cluster: PhysicalCluster,
+        venv: VirtualEnvironment,
+        config: HMNConfig | None = None,
+        *,
+        mapper: Mapper | None = None,
+    ) -> list[str]:
+        """Violations of this oracle's relation on one instance."""
+        config = config if config is not None else HMNConfig()
+        mapper = mapper if mapper is not None else _default_mapper
+        transformed = self.transform(cluster, venv, config)
+
+        base_mapping = base_error = None
+        try:
+            base_mapping = mapper(cluster, venv, config)
+        except MappingError as exc:
+            base_error = exc
+        t_mapping = t_error = None
+        try:
+            t_mapping = mapper(transformed.cluster, transformed.venv, transformed.config)
+        except MappingError as exc:
+            t_error = exc
+
+        if base_error is not None or t_error is not None:
+            if type(base_error) is type(t_error):
+                return []
+            return [
+                f"{self.name}: failure mismatch — base "
+                f"{type(base_error).__name__ if base_error else 'succeeded'}, "
+                f"transformed {type(t_error).__name__ if t_error else 'succeeded'}"
+            ]
+
+        failures: list[str] = []
+        assignments, paths = transformed.pull_mapping(t_mapping)
+        if assignments != dict(base_mapping.assignments):
+            moved = sorted(
+                g
+                for g in set(assignments) | set(base_mapping.assignments)
+                if assignments.get(g) != base_mapping.assignments.get(g)
+            )
+            failures.append(
+                f"{self.name}: assignments differ after pull-back "
+                f"(guests {moved[:5]}{'...' if len(moved) > 5 else ''})"
+            )
+        if paths != {k: tuple(v) for k, v in base_mapping.paths.items()}:
+            changed = sorted(
+                k
+                for k in set(paths) | set(base_mapping.paths)
+                if paths.get(k) != base_mapping.paths.get(k)
+            )
+            failures.append(
+                f"{self.name}: paths differ after pull-back "
+                f"(vlinks {changed[:5]}{'...' if len(changed) > 5 else ''})"
+            )
+        # Canonicalize dict iteration order before recomputing Eq. 10:
+        # objective_of_assignment accumulates per-host load in the
+        # order given, and two equal assignments inserted in different
+        # orders can otherwise disagree by an ULP.
+        def canonical(a: dict) -> dict:
+            return {g: a[g] for g in sorted(a, key=repr)}
+
+        base_obj = objective_of_assignment(cluster, venv, canonical(base_mapping.assignments))
+        pulled_obj = (
+            objective_of_assignment(cluster, venv, canonical(assignments))
+            if not failures
+            else None
+        )
+        if pulled_obj is not None and pulled_obj != base_obj:
+            failures.append(
+                f"{self.name}: objective changed: {base_obj!r} -> {pulled_obj!r}"
+            )
+        return failures
+
+
+# ----------------------------------------------------------------------
+# the catalogue
+# ----------------------------------------------------------------------
+class RelabelingOracle(Oracle):
+    """Order-preserving renaming of guests and cluster nodes."""
+
+    name = "relabeling"
+    description = "renaming guests/hosts/switches is an isomorphism"
+
+    def __init__(self, guest_offset: int = 1000) -> None:
+        if guest_offset <= 0:
+            raise ModelError("guest_offset must be positive (monotone shift)")
+        self.guest_offset = guest_offset
+
+    def transform(
+        self, cluster: PhysicalCluster, venv: VirtualEnvironment, config: HMNConfig
+    ) -> Transformed:
+        # Hosts: re-rank so str() order is preserved (the documented
+        # tie-break); zero-padding keeps "H002" < "H010" aligned with
+        # the old str order.  Switches likewise, in their sorted order.
+        host_ids = list(cluster.host_ids)
+        width = max(3, len(str(len(host_ids))))
+        by_str = sorted(host_ids, key=str)
+        node_map: dict[NodeId, NodeId] = {
+            old: f"H{rank:0{width}d}" for rank, old in enumerate(by_str)
+        }
+        for rank, old in enumerate(cluster.switch_ids):
+            node_map[old] = f"S{rank:0{width}d}"
+
+        relabeled = PhysicalCluster(name=f"{cluster.name}-relabeled")
+        for h in cluster.hosts():
+            relabeled.add_host(replace(h, id=node_map[h.id]))
+        for s in cluster.switch_ids:
+            relabeled.add_switch(node_map[s])
+        for link in cluster.links():
+            relabeled.add_link(
+                PhysicalLink(node_map[link.u], node_map[link.v], bw=link.bw, lat=link.lat)
+            )
+
+        guest_map = {g.id: g.id + self.guest_offset for g in venv.guests()}
+        revenv = VirtualEnvironment(name=f"{venv.name}-relabeled")
+        for g in venv.guests():
+            revenv.add_guest(replace(g, id=guest_map[g.id]))
+        for e in venv.vlinks():
+            revenv.add_vlink(
+                VirtualLink(guest_map[e.a], guest_map[e.b], vbw=e.vbw, vlat=e.vlat)
+            )
+
+        return Transformed(
+            cluster=relabeled,
+            venv=revenv,
+            config=config,
+            guest_back={new: old for old, new in guest_map.items()},
+            node_back={new: old for old, new in node_map.items()},
+        )
+
+
+class UnitRescalingOracle(Oracle):
+    """Proportional power-of-two rescaling of bw/mem/stor units."""
+
+    name = "unit-rescaling"
+    description = "scaling all bw/mem/stor by one constant changes nothing"
+
+    def __init__(self, factor: int = 4) -> None:
+        if factor < 1 or factor & (factor - 1):
+            raise ModelError(
+                f"factor must be a positive power of two for exact float scaling, got {factor}"
+            )
+        self.factor = factor
+
+    def transform(
+        self, cluster: PhysicalCluster, venv: VirtualEnvironment, config: HMNConfig
+    ) -> Transformed:
+        k = self.factor
+        scaled = PhysicalCluster(name=f"{cluster.name}-x{k}")
+        for h in cluster.hosts():
+            scaled.add_host(replace(h, mem=h.mem * k, stor=h.stor * k))
+        for s in cluster.switch_ids:
+            scaled.add_switch(s)
+        for link in cluster.links():
+            scaled.add_link(PhysicalLink(link.u, link.v, bw=link.bw * k, lat=link.lat))
+
+        svenv = VirtualEnvironment(name=f"{venv.name}-x{k}")
+        for g in venv.guests():
+            svenv.add_guest(replace(g, vmem=g.vmem * k, vstor=g.vstor * k))
+        for e in venv.vlinks():
+            svenv.add_vlink(VirtualLink(e.a, e.b, vbw=e.vbw * k, vlat=e.vlat))
+        return Transformed(cluster=scaled, venv=svenv, config=config)
+
+
+class GuestOrderOracle(Oracle):
+    """Permuted insertion order of guests and virtual links."""
+
+    name = "guest-order"
+    description = "venv insertion order must not leak into the result"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def transform(
+        self, cluster: PhysicalCluster, venv: VirtualEnvironment, config: HMNConfig
+    ) -> Transformed:
+        if config.link_order == "random":
+            # The random link-order ablation consumes its rng in venv
+            # iteration order by construction; the relation only holds
+            # for the deterministic orderings.
+            raise ModelError(
+                "guest-order oracle requires a deterministic link_order "
+                "(got 'random'); fix the tie-break before permuting"
+            )
+        rng = rng_from(self.seed)
+        guests = list(venv.guests())
+        vlinks = list(venv.vlinks())
+        guest_order = rng.permutation(len(guests))
+        vlink_order = rng.permutation(len(vlinks))
+
+        pvenv = VirtualEnvironment(name=f"{venv.name}-permuted")
+        for i in guest_order:
+            pvenv.add_guest(guests[int(i)])
+        for i in vlink_order:
+            pvenv.add_vlink(vlinks[int(i)])
+        return Transformed(cluster=cluster, venv=pvenv, config=config)
+
+
+class UnreachableHostOracle(Oracle):
+    """An isolated, capacity-less host must be a no-op."""
+
+    name = "unreachable-host"
+    description = "adding an unreachable host leaves the mapping unchanged"
+
+    #: Phantom host CPU: positive (Host requires it) but small enough
+    #: to never out-rank a live host while residuals stay positive.
+    PHANTOM_PROC = 1e-9
+
+    def transform(
+        self, cluster: PhysicalCluster, venv: VirtualEnvironment, config: HMNConfig
+    ) -> Transformed:
+        extended = PhysicalCluster(name=f"{cluster.name}+phantom")
+        for h in cluster.hosts():
+            extended.add_host(h)
+        phantom_id = "zz-phantom"
+        while phantom_id in {str(n) for n in cluster.node_ids}:
+            phantom_id += "z"
+        extended.add_host(Host(phantom_id, proc=self.PHANTOM_PROC, mem=0, stor=0.0))
+        for s in cluster.switch_ids:
+            extended.add_switch(s)
+        for link in cluster.links():
+            extended.add_link(link)
+        return Transformed(cluster=extended, venv=venv, config=config)
+
+
+#: The default catalogue, in documentation order.
+ORACLES: tuple[Oracle, ...] = (
+    RelabelingOracle(),
+    UnitRescalingOracle(),
+    GuestOrderOracle(),
+    UnreachableHostOracle(),
+)
+
+
+def oracle_by_name(name: str) -> Oracle:
+    """Look up a catalogue oracle by its :attr:`Oracle.name`."""
+    for oracle in ORACLES:
+        if oracle.name == name:
+            return oracle
+    raise ModelError(
+        f"unknown oracle {name!r}; catalogue: {', '.join(o.name for o in ORACLES)}"
+    )

@@ -69,8 +69,7 @@ class ValidationReport:
         if self.violations:
             first = self.violations[0]
             raise ValidationError(
-                first.constraint,
-                f"{first.detail} ({len(self.violations)} violation(s) total)",
+                first.constraint, first.detail, violations=tuple(self.violations)
             )
 
     def __str__(self) -> str:

@@ -110,13 +110,25 @@ class RetriesExhaustedError(MappingError):
 
 
 class ValidationError(ReproError):
-    """A produced mapping violates one of the problem constraints
-    (Eqs. 1-9 of the paper).  Raised by :mod:`repro.core.validate`."""
+    """A produced mapping violates the problem constraints (Eqs. 1-9 of
+    the paper).  Raised by :mod:`repro.core.validate`.
 
-    def __init__(self, constraint: str, detail: str) -> None:
-        super().__init__(f"constraint {constraint} violated: {detail}")
+    ``constraint``/``detail`` describe the first violation (kept for
+    compatibility with handlers that branch on one constraint name);
+    ``violations`` carries *every* violation the validator found, as
+    the structured :class:`~repro.core.validate.Violation` objects, so
+    a multiply-broken mapping reports its full damage in one raise.
+    """
+
+    def __init__(self, constraint: str, detail: str, violations: tuple = ()) -> None:
+        msg = f"constraint {constraint} violated: {detail}"
+        rest = tuple(violations)[1:]
+        if rest:
+            msg += "; also: " + "; ".join(str(v) for v in rest)
+        super().__init__(msg)
         self.constraint = constraint
         self.detail = detail
+        self.violations = tuple(violations)
 
 
 class SimulationError(ReproError):

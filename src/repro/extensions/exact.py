@@ -68,9 +68,15 @@ def exact_map(
     config: HMNConfig | None = None,
     *,
     max_search_nodes: int = 2_000_000,
+    placement_only: bool = False,
     seed=None,  # uniform mapper signature; deterministic
 ) -> Mapping:
     """Optimal-placement mapping of a tiny instance (see module docs).
+
+    With ``placement_only=True`` the routing phase is skipped and the
+    returned mapping has no paths: callers comparing Eq. 10 objectives
+    (which depend only on the assignment) get the true placement
+    optimum even when it happens to be greedily unroutable.
 
     Raises :class:`~repro.errors.ModelError` when the instance is too
     large for exhaustive search, and
@@ -142,6 +148,25 @@ def exact_map(
     if best_assignment is None:
         raise MappingError(
             f"no feasible placement exists for {n_guests} guests on this cluster"
+        )
+
+    if placement_only:
+        return Mapping(
+            assignments=best_assignment,
+            paths={},
+            mapper="exact",
+            stages=(
+                StageReport(
+                    "search",
+                    search_elapsed,
+                    {"nodes_explored": explored, "objective": best_objective},
+                ),
+            ),
+            meta={
+                "objective": best_objective,
+                "nodes_explored": explored,
+                "placement_only": True,
+            },
         )
 
     # Route the optimal placement the same way HMN would.

@@ -7,8 +7,11 @@ integration/paper-claims tests and the benchmarks.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core import (
     ClusterState,
@@ -19,6 +22,29 @@ from repro.core import (
     VirtualEnvironment,
     VirtualLink,
 )
+
+# ----------------------------------------------------------------------
+# hypothesis profiles (select with HYPOTHESIS_PROFILE=ci|dev|deep)
+# ----------------------------------------------------------------------
+# ``ci``: no deadline (shared runners have noisy clocks) and derandomized
+# so a red build is reproducible from the log alone.  ``dev`` is the
+# local default: quick, randomized exploration.  ``deep`` is the nightly
+# setting: 10x examples, still no deadline.
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.register_profile("dev", max_examples=50, deadline=None)
+settings.register_profile(
+    "deep",
+    max_examples=1000,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -1,0 +1,152 @@
+"""Differential fuzzing harness: smoke campaign, determinism, and
+injected-fault detection."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.conformance import fuzz as fuzz_mod
+from repro.conformance.fuzz import FuzzReport, generate_instance, run_fuzz
+from repro.hmn.config import HMNConfig
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        c1, v1, cfg1 = generate_instance(3)
+        c2, v2, cfg2 = generate_instance(3)
+        assert list(c1.host_ids) == list(c2.host_ids)
+        assert [g.id for g in v1.guests()] == [g.id for g in v2.guests()]
+        assert cfg1 == cfg2
+
+    def test_seeds_differ(self):
+        instances = [generate_instance(s) for s in range(12)]
+        shapes = {(c.n_hosts, v.n_guests) for c, v, _ in instances}
+        assert len(shapes) > 3  # the generator actually varies
+
+    def test_covers_config_axes(self):
+        configs = [generate_instance(s)[2] for s in range(40)]
+        assert {c.link_order for c in configs} == {"vbw_desc", "vbw_asc"}
+        assert {c.migration_enabled for c in configs} == {True, False}
+
+
+@pytest.mark.fuzz
+class TestCampaign:
+    def test_smoke_no_divergences(self):
+        report = run_fuzz(25)
+        assert report.ok, [str(d) for d in report.divergences]
+        assert report.seeds_run == 25
+        assert report.n_mapped + report.n_unmappable == 25
+        assert report.n_runner_grids >= 1
+
+    def test_campaign_deterministic(self):
+        assert run_fuzz(8, runner_grids=0).to_dict() == run_fuzz(8, runner_grids=0).to_dict()
+
+    def test_report_round_trips_to_json(self, tmp_path):
+        report = run_fuzz(4, runner_grids=0)
+        path = report.write(tmp_path / "report.json")
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "repro/conformance-fuzz-report@1"
+        assert doc["ok"] is True
+        assert doc["seeds_run"] == 4
+
+
+class TestInjectedDivergence:
+    def test_engine_divergence_detected(self, monkeypatch):
+        """A compiled engine that returns a different placement than the
+        dict engine must surface as a divergence with a repro artifact."""
+        real = fuzz_mod.hmn_map
+
+        def broken(cluster, venv, config=None, **kwargs):
+            m = real(cluster, venv, config, **kwargs)
+            if config is not None and config.engine == "compiled":
+                g0 = min(m.assignments)
+                new_host = next(
+                    h for h in cluster.host_ids if h != m.assignments[g0]
+                )
+                return dataclasses.replace(
+                    m, assignments={**m.assignments, g0: new_host}
+                )
+            return m
+
+        monkeypatch.setattr(fuzz_mod, "hmn_map", broken)
+        report = FuzzReport()
+        fuzz_mod._check_one_seed(1, 0, report)  # seed 1 is mappable
+        assert not report.ok
+        # The broken mapping is either invalid (path endpoints moved) or
+        # digests differently; both count.
+        assert {d.check for d in report.divergences} <= {
+            "validate",
+            "engine-digest",
+            "exact-optimality",
+        }
+        art = report.divergences[0].artifact
+        assert set(art) == {"cluster", "venv", "config"}
+
+    def test_failure_class_divergence_detected(self, monkeypatch):
+        from repro.errors import PlacementError
+
+        real = fuzz_mod.hmn_map
+
+        def broken(cluster, venv, config=None, **kwargs):
+            if config is not None and config.engine == "compiled":
+                raise PlacementError("g", "sabotage")
+            return real(cluster, venv, config, **kwargs)
+
+        monkeypatch.setattr(fuzz_mod, "hmn_map", broken)
+        report = FuzzReport()
+        fuzz_mod._check_one_seed(1, 0, report)  # seed 1 is mappable
+        assert [d.check for d in report.divergences] == ["engine-feasibility"]
+
+    def test_runner_divergence_has_repro_pointer(self, monkeypatch):
+        # Force the stripped-record comparison itself to disagree.
+        from repro.analysis.runner import BatchRunner
+
+        real_run = BatchRunner.run
+        flips = iter([False, True])
+
+        def unstable(self, specs):
+            records = real_run(self, specs)
+            if next(flips):
+                records = [dataclasses.replace(records[0], objective=-1.0)] + list(
+                    records[1:]
+                )
+            return records
+
+        monkeypatch.setattr(BatchRunner, "run", unstable)
+        report = FuzzReport()
+        fuzz_mod._runner_differential(0, 0, report)
+        assert [d.check for d in report.divergences] == ["runner-parity"]
+        assert report.divergences[0].artifact["grid_seed"] == 0
+
+
+class TestExactCrossCheck:
+    def test_exact_placement_only_skips_routing(self):
+        from repro.extensions.exact import exact_map
+
+        from repro.topology import line_cluster
+        from repro.workload import generate_virtual_environment
+
+        cluster = line_cluster(3, seed=5)
+        venv = generate_virtual_environment(4, density=0.5, seed=5)
+        m = exact_map(cluster, venv, placement_only=True)
+        assert m.paths == {}
+        assert m.meta["placement_only"] is True
+        assert len(m.assignments) == venv.n_guests
+
+    def test_exact_never_worse_than_hmn(self):
+        from repro.extensions.exact import exact_map
+        from repro.hmn.pipeline import hmn_map
+        from repro.topology import ring_cluster
+        from repro.workload import generate_virtual_environment
+
+        cluster = ring_cluster(4, seed=11)
+        venv = generate_virtual_environment(5, density=0.3, seed=11)
+        exact = exact_map(cluster, venv, placement_only=True)
+        heuristic = hmn_map(cluster, venv)
+        assert (
+            exact.objective(cluster, venv)
+            <= heuristic.objective(cluster, venv) + fuzz_mod.OBJECTIVE_TOL
+        )

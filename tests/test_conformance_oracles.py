@@ -1,0 +1,184 @@
+"""Metamorphic oracles: positive runs per topology family, and
+deliberate-mutation negatives proving each oracle detects a fault."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import conformance
+from repro.conformance import case_by_name
+from repro.conformance.oracles import (
+    ORACLES,
+    GuestOrderOracle,
+    RelabelingOracle,
+    UnitRescalingOracle,
+    UnreachableHostOracle,
+    oracle_by_name,
+)
+from repro.errors import ModelError
+from repro.hmn.config import HMNConfig
+from repro.hmn.pipeline import hmn_map
+
+FAMILIES = (
+    "torus",
+    "mesh",
+    "ring",
+    "line",
+    "star",
+    "tree",
+    "hypercube",
+    "switched",
+    "fat-tree",
+    "random",
+)
+
+
+@pytest.fixture(scope="module")
+def family_instances():
+    """One (cluster, venv, config) per topology family, from the corpus."""
+    return {
+        family: case_by_name(f"family-{family}").instance() for family in FAMILIES
+    }
+
+
+class TestOraclesHoldPerFamily:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("oracle", ORACLES, ids=lambda o: o.name)
+    def test_relation_holds(self, oracle, family, family_instances):
+        cluster, venv, config = family_instances[family]
+        assert oracle.check(cluster, venv, config) == []
+
+    def test_catalogue_lookup(self):
+        assert oracle_by_name("relabeling").name == "relabeling"
+        with pytest.raises(ModelError, match="unknown oracle"):
+            oracle_by_name("nope")
+
+    def test_guest_order_refuses_random_link_order(self, family_instances):
+        cluster, venv, _config = family_instances["line"]
+        with pytest.raises(ModelError, match="deterministic link_order"):
+            GuestOrderOracle().check(cluster, venv, HMNConfig(link_order="random"))
+
+    def test_rescaling_factor_must_be_power_of_two(self):
+        with pytest.raises(ModelError, match="power of two"):
+            UnitRescalingOracle(factor=3)
+
+
+# ----------------------------------------------------------------------
+# negatives: sabotaged mappers each oracle must catch
+# ----------------------------------------------------------------------
+def _move_one_guest(cluster, mapping):
+    """Relocate the smallest-id guest to any other host (validity is
+    irrelevant here: oracles compare results, they don't re-validate)."""
+    g0 = min(mapping.assignments)
+    new_host = next(h for h in cluster.host_ids if h != mapping.assignments[g0])
+    return dataclasses.replace(
+        mapping, assignments={**mapping.assignments, g0: new_host}
+    )
+
+
+class TestOraclesDetectInjectedFaults:
+    """Each sabotaged mapper models a real bug class; its oracle must
+    return a non-empty failure list (and the honest mapper returns none,
+    covered above)."""
+
+    def test_relabeling_catches_spelling_sensitivity(self, family_instances):
+        # Bug class: branching on how ids are spelled.  The transformed
+        # cluster uses "Hxxx" host names; the saboteur reacts to them.
+        cluster, venv, config = family_instances["line"]
+
+        def saboteur(c, v, cfg):
+            m = hmn_map(c, v, cfg)
+            if any(str(h).startswith("H0") for h in c.host_ids):
+                return _move_one_guest(c, m)
+            return m
+
+        failures = RelabelingOracle().check(cluster, venv, config, mapper=saboteur)
+        assert failures
+        assert any("assignments differ" in f for f in failures)
+
+    def test_rescaling_catches_absolute_thresholds(self, family_instances):
+        # Bug class: comparing against an absolute capacity constant
+        # instead of proportionally.
+        cluster, venv, config = family_instances["ring"]
+        threshold = 2 * sum(h.mem for h in cluster.hosts())
+
+        def saboteur(c, v, cfg):
+            m = hmn_map(c, v, cfg)
+            if sum(h.mem for h in c.hosts()) > threshold:
+                return _move_one_guest(c, m)
+            return m
+
+        failures = UnitRescalingOracle().check(cluster, venv, config, mapper=saboteur)
+        assert failures
+
+    def test_guest_order_catches_insertion_order_leak(self, family_instances):
+        # Bug class: iteration over dict insertion order.  The saboteur
+        # keys its behavior off the first guest it sees.
+        cluster, venv, config = family_instances["star"]
+        first_guest = next(iter(venv.guests())).id
+
+        def saboteur(c, v, cfg):
+            m = hmn_map(c, v, cfg)
+            if next(iter(v.guests())).id != first_guest:
+                return _move_one_guest(c, m)
+            return m
+
+        oracle = GuestOrderOracle()
+        # Guard: the permutation must actually move the first guest,
+        # otherwise the saboteur is never triggered.
+        transformed = oracle.transform(cluster, venv, config)
+        assert next(iter(transformed.venv.guests())).id != first_guest
+        failures = oracle.check(cluster, venv, config, mapper=saboteur)
+        assert failures
+
+    def test_unreachable_host_catches_phantom_placement(self, family_instances):
+        # Bug class: placing on a host without checking reachability or
+        # capacity (the phantom has neither).
+        cluster, venv, config = family_instances["tree"]
+
+        def saboteur(c, v, cfg):
+            m = hmn_map(c, v, cfg)
+            phantom = next(
+                (h for h in c.host_ids if str(h).startswith("zz-phantom")), None
+            )
+            if phantom is not None:
+                g0 = min(m.assignments)
+                return dataclasses.replace(
+                    m, assignments={**m.assignments, g0: phantom}
+                )
+            return m
+
+        failures = UnreachableHostOracle().check(cluster, venv, config, mapper=saboteur)
+        assert failures
+        assert any("assignments differ" in f for f in failures)
+
+    def test_failure_class_mismatch_is_reported(self, family_instances):
+        # A mapper that fails only on the transformed instance is a
+        # divergence too, not a silent skip.
+        from repro.errors import PlacementError
+
+        cluster, venv, config = family_instances["line"]
+
+        def saboteur(c, v, cfg):
+            if any(str(h).startswith("H0") for h in c.host_ids):
+                raise PlacementError("g", "sabotage")
+            return hmn_map(c, v, cfg)
+
+        failures = RelabelingOracle().check(cluster, venv, config, mapper=saboteur)
+        assert failures
+        assert "failure mismatch" in failures[0]
+
+
+class TestOracleCatalogueIsComplete:
+    def test_all_four_registered(self):
+        assert {o.name for o in ORACLES} == {
+            "relabeling",
+            "unit-rescaling",
+            "guest-order",
+            "unreachable-host",
+        }
+
+    def test_public_api_exposes_oracles(self):
+        assert conformance.ORACLES is ORACLES

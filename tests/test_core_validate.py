@@ -198,3 +198,23 @@ class TestReport:
         with pytest.raises(ValidationError) as err:
             validate_mapping(line3, venv, bad)
         assert err.value.constraint == "eq1"
+
+    def test_validation_error_carries_all_violations(self, line3, venv):
+        """A multiply-broken mapping reports every violated constraint in
+        one raise — a phantom guest (eq1), a path that misses its
+        endpoint (eq5), and a non-adjacent hop (eq6) — not just the
+        first problem found."""
+        bad = Mapping(assignments={0: 0, 1: 1, 99: 2}, paths={(0, 1): (0, 2)})
+        report = validate_mapping(line3, venv, bad, raise_on_error=False)
+        assert len(report.constraints_violated()) >= 2
+        with pytest.raises(ValidationError) as err:
+            validate_mapping(line3, venv, bad)
+        exc = err.value
+        assert len(exc.violations) == len(report.violations)
+        assert {v.constraint for v in exc.violations} == report.constraints_violated()
+        # every violated constraint is named in the message, not only eq1
+        for name in report.constraints_violated():
+            assert name in str(exc)
+        # compatibility: first-violation attributes still populated
+        assert exc.constraint == report.violations[0].constraint
+        assert exc.detail == report.violations[0].detail

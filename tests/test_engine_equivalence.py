@@ -41,6 +41,8 @@ from repro.topology import (
 )
 from repro.workload import HIGH_LEVEL, LOW_LEVEL, generate_virtual_environment
 
+pytestmark = pytest.mark.slow
+
 
 TOPOLOGY_BUILDERS = (
     lambda seed: torus_cluster(3, 4, seed=seed),

@@ -22,10 +22,13 @@ from __future__ import annotations
 
 import math
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import ClusterState, Guest, Host, PhysicalCluster
+
+pytestmark = pytest.mark.slow
 
 REL = 1e-12
 ABS = 1e-9

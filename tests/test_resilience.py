@@ -216,6 +216,7 @@ class TestChaosRuns:
         assert result.validations > 0
         assert result.final_guests >= 0
 
+    @pytest.mark.slow
     def test_figure1_cluster_1000_events(self):
         """The acceptance run: 1000 events of tenant churn, host
         crashes and link degradations on the Figure 1 torus, with the
