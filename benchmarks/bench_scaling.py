@@ -14,9 +14,9 @@ from dataclasses import replace
 
 import pytest
 
-from _config import BASE_SEED
+from _config import BASE_SEED, FULL
 from repro.hmn import HMNConfig, hmn_map
-from repro.topology import random_hosts, switched_cluster, torus_cluster
+from repro.topology import fat_tree_cluster, random_hosts, switched_cluster, torus_cluster
 from repro.workload import HIGH_LEVEL, LOW_LEVEL, generate_virtual_environment
 
 
@@ -57,6 +57,48 @@ def test_cluster_scaling_torus(benchmark, shape):
     )
     benchmark.extra_info["n_hosts"] = n_hosts
     benchmark.extra_info["objective"] = mapping.meta["objective"]
+
+
+def _sharded_fat_tree(k: int, n_guests: int):
+    """A sparse (~2.4 avg degree) workload on a 1 ms-hop fat tree —
+    the shard benchmark instance family (see scaling_gate.py and the
+    golden corpus scale tier)."""
+    cluster = fat_tree_cluster(k, seed=BASE_SEED, lat=1.0, allow_giant=True)
+    venv = generate_virtual_environment(
+        n_guests, density=2.4 / (n_guests - 1), seed=BASE_SEED
+    )
+    return cluster, venv
+
+
+@pytest.mark.parametrize("shard", ["off", 16], ids=["mono", "shard16"])
+def test_sharded_vs_mono_fattree_1024(benchmark, shard):
+    """The dual-run cell: both pipelines on 1024 hosts / 1500 guests.
+    The sharded arm partitions into the 16 natural fat-tree pods; the
+    monolithic arm needs the label-setting router (Algorithm 1 explodes
+    under latency bounds this loose relative to the 1 ms hops)."""
+    cluster, venv = _sharded_fat_tree(16, 1500)
+    config = HMNConfig(shard=shard, router="label_setting")
+    mapping = benchmark.pedantic(
+        hmn_map, args=(cluster, venv, config), rounds=1, iterations=1
+    )
+    benchmark.extra_info["objective"] = mapping.meta["objective"]
+    benchmark.extra_info["mapper"] = mapping.mapper
+
+
+@pytest.mark.skipif(not FULL, reason="100k-host cell takes minutes; set REPRO_FULL=1")
+def test_sharded_fattree_100k(benchmark):
+    """The ROADMAP scale target: 101 306 hosts (k=74), 25k guests,
+    ``shard="auto"`` — the exact instance pinned in the golden corpus
+    (scale-fat-tree-100k) and gated in BENCH_scaling.json."""
+    from repro.conformance import case_by_name
+
+    cluster, venv, config = case_by_name("scale-fat-tree-100k").instance()
+    mapping = benchmark.pedantic(
+        hmn_map, args=(cluster, venv, config), rounds=1, iterations=1
+    )
+    benchmark.extra_info["n_hosts"] = cluster.n_hosts
+    benchmark.extra_info["objective"] = mapping.meta["objective"]
+    benchmark.extra_info["shard"] = mapping.meta["shard"]["n_pods"]
 
 
 def test_large_switched_fabric(benchmark):

@@ -41,6 +41,7 @@ from repro.obs import MetricsRegistry, Tracer, load_trace, recording, validate_t
 from repro.resilience.metrics import survivability, survivability_from_trace
 from repro.resilience.operator import ChaosResult, RepairPolicy
 from repro.resilience.operator import run_chaos as _run_chaos
+from repro.shard import AUTO_MIN_HOSTS, Partition, partition_cluster, shard_map
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.runner import RunRecord
@@ -74,6 +75,11 @@ __all__ = [
     # resilience metrics
     "survivability",
     "survivability_from_trace",
+    # sharding (100k-host scale-out; hmn_map dispatches automatically)
+    "shard_map",
+    "partition_cluster",
+    "Partition",
+    "AUTO_MIN_HOSTS",
     # conformance (correctness tooling)
     "mapping_digest",
     "verify_conformance",

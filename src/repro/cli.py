@@ -121,6 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", default="compiled", choices=["compiled", "dict"],
                    help="route-kernel implementation (affects speed only; "
                         "mappings are engine-independent)")
+    p.add_argument("--shard", default="auto", metavar="auto|off|N",
+                   help="shard-and-stitch control for the hmn mapper: 'auto' "
+                        "engages pods at 4096+ hosts, 'off' forces the "
+                        "monolithic pipeline, an integer forces that many pods")
     p.add_argument("--output", help="write the mapping .json here")
     p.add_argument("--quiet", action="store_true", help="suppress the report")
     _add_obs_flags(p)
@@ -197,6 +201,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="recompute the golden corpus and compare digests")
     cp.add_argument("--case", action="append", metavar="NAME",
                     help="restrict to one corpus case (repeatable)")
+    cp.add_argument("--tier", default="fast", choices=("fast", "scale", "all"),
+                    help="corpus tier to recompute (scale = the 100k-host "
+                         "cases, minutes each; default fast)")
     cp.add_argument("--list", action="store_true", help="list cases and exit")
     cp.add_argument("--quiet", action="store_true", help="only print mismatches")
 
@@ -213,6 +220,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "intentional behavior change")
     cp.add_argument("--output", metavar="FILE",
                     help="write elsewhere instead of the committed GOLDEN.json")
+    cp.add_argument("--tier", default="fast", choices=("fast", "scale", "all"),
+                    help="tier to recompute; other tiers keep their recorded "
+                         "digests (default fast)")
 
     sub.add_parser("mappers", help="list the heuristic pool")
     return parser
@@ -296,7 +306,8 @@ def _map(args) -> int:
     kwargs: dict = {}
     canonical = args.mapper.lower()
     if canonical in ("hmn",):
-        kwargs["config"] = api.HMNConfig(engine=args.engine)
+        shard = args.shard if args.shard in ("auto", "off") else int(args.shard)
+        kwargs["config"] = api.HMNConfig(engine=args.engine, shard=shard)
     elif canonical in ("random+astar", "ra"):
         kwargs["engine"] = args.engine
     try:
@@ -446,12 +457,12 @@ def _conformance(args) -> int:
     from repro import conformance
 
     if args.conformance_command == "verify":
-        cases = conformance.CORPUS
+        cases = conformance.corpus_cases(args.tier)
         if args.case:
             cases = tuple(conformance.case_by_name(n) for n in args.case)
         if args.list:
             for case in cases:
-                print(f"{case.name:<28} [{case.kind}] {case.note}")
+                print(f"{case.name:<28} [{case.kind}/{case.tier}] {case.note}")
             return 0
         golden = conformance.load_golden()
 
@@ -480,7 +491,8 @@ def _conformance(args) -> int:
             print(f"wrote fuzz report -> {args.out}")
         print(f"seeds: {report.seeds_run}  mapped: {report.n_mapped}  "
               f"unmappable: {report.n_unmappable}  exact-checked: "
-              f"{report.n_exact_checked}  runner grids: {report.n_runner_grids}")
+              f"{report.n_exact_checked}  runner grids: {report.n_runner_grids}  "
+              f"sharded: {report.n_sharded} ({report.n_shard_gap} mono-gaps)")
         if not report.ok:
             print(f"{len(report.divergences)} divergence(s):", file=sys.stderr)
             for d in report.divergences:
@@ -490,8 +502,9 @@ def _conformance(args) -> int:
         return 0
 
     if args.conformance_command == "regen":
-        path = conformance.write_golden(args.output)
-        print(f"wrote {len(conformance.CORPUS)} digests -> {path}")
+        path = conformance.write_golden(args.output, tier=args.tier)
+        n = len(conformance.corpus_cases(args.tier))
+        print(f"recomputed {n} {args.tier}-tier digest(s) -> {path}")
         return 0
     raise AssertionError(f"unhandled conformance command {args.conformance_command!r}")
 

@@ -20,6 +20,7 @@ from repro.conformance.corpus import (
     Mismatch,
     case_by_name,
     compute_digests,
+    corpus_cases,
     golden_path,
     load_golden,
     verify,
@@ -55,6 +56,7 @@ __all__ = [
     "Mismatch",
     "case_by_name",
     "compute_digests",
+    "corpus_cases",
     "golden_path",
     "load_golden",
     "verify",

@@ -13,6 +13,10 @@ has grown:
   infeasibility while HMN succeeded is a contradiction;
 * **serial vs parallel batch runner** — the same cell grid must yield
   identical records modulo wall-clock telemetry.
+* **sharded pipeline** — forced ``shard=n`` runs must be byte-identical
+  with the stitch C kernel on and off, and every sharded result must
+  validate; sharded-vs-monolithic feasibility/failure-class gaps are
+  legitimate (pod-local fragmentation) and are counted, not failed.
 
 Each disagreement becomes a :class:`Divergence` carrying a
 self-contained JSON repro artifact (serialized cluster, venv, and
@@ -88,6 +92,8 @@ class FuzzReport:
     n_unmappable: int = 0
     n_exact_checked: int = 0
     n_runner_grids: int = 0
+    n_sharded: int = 0
+    n_shard_gap: int = 0
     divergences: list[Divergence] = field(default_factory=list)
 
     @property
@@ -102,6 +108,8 @@ class FuzzReport:
             "n_unmappable": self.n_unmappable,
             "n_exact_checked": self.n_exact_checked,
             "n_runner_grids": self.n_runner_grids,
+            "n_sharded": self.n_sharded,
+            "n_shard_gap": self.n_shard_gap,
             "ok": self.ok,
             "divergences": [dataclasses.asdict(d) for d in self.divergences],
         }
@@ -287,6 +295,71 @@ def _check_one_seed(seed: int, base_seed: int, report: FuzzReport) -> None:
             report.divergences.append(Divergence(seed, check, detail, artifact))
 
 
+def _check_sharded_seed(seed: int, base_seed: int, report: FuzzReport) -> None:
+    """The sharded-pipeline arms on one forced-shard instance.
+
+    Hard checks: the stitch C kernel and its Python reference must
+    agree on feasibility, failure class, and the full digest; every
+    sharded mapping must satisfy Eqs. 1-9.  Sharded-vs-monolithic
+    disagreement on feasibility or failure class is *not* a bug —
+    pod-local capacity fragmentation and different reservation order
+    legitimately flip marginal instances — so it only increments
+    ``n_shard_gap``.
+    """
+    cluster, venv, config = generate_instance(seed, base_seed=base_seed)
+    rng = derive(base_seed, "conformance", "fuzz-shard", seed)
+    n_pods = int(rng.integers(2, 5))
+    divergences: list[tuple[str, str]] = []
+
+    def arm(**overrides):
+        try:
+            return hmn_map(cluster, venv, dataclasses.replace(config, **overrides)), None
+        except MappingError as exc:
+            return None, type(exc).__name__
+
+    m_on, fail_on = arm(shard=n_pods, extra={"stitch_kernel": True})
+    m_off, fail_off = arm(shard=n_pods, extra={"stitch_kernel": False})
+    report.n_sharded += 1
+
+    if (m_on is None) != (m_off is None) or fail_on != fail_off:
+        divergences.append(
+            (
+                "stitch-kernel-feasibility",
+                f"kernel-on={fail_on or 'mapped'} but kernel-off={fail_off or 'mapped'}",
+            )
+        )
+    elif m_on is not None:
+        rep = validate_mapping(cluster, venv, m_on, raise_on_error=False)
+        if not rep.ok:
+            divergences.append(
+                (
+                    "shard-validate",
+                    "sharded mapping violates Eqs. 1-9: "
+                    + "; ".join(str(v) for v in rep.violations[:3]),
+                )
+            )
+        else:
+            d_on = digest(cluster, venv, m_on)
+            d_off = digest(cluster, venv, m_off)
+            if d_on != d_off:
+                divergences.append(
+                    (
+                        "stitch-kernel-digest",
+                        f"kernel-on {d_on[:16]}.. != kernel-off {d_off[:16]}..",
+                    )
+                )
+
+    _m_mono, fail_mono = arm(shard="off")
+    if fail_mono != fail_on:
+        report.n_shard_gap += 1
+
+    if divergences:
+        artifact = _artifact(cluster, venv, config)
+        artifact["n_pods"] = n_pods
+        for check, detail in divergences:
+            report.divergences.append(Divergence(seed, check, detail, artifact))
+
+
 def _runner_differential(grid_seed: int, base_seed: int, report: FuzzReport) -> None:
     """Serial vs parallel BatchRunner over one small random grid."""
     from repro.analysis.runner import BatchRunner, CellSpec
@@ -351,13 +424,16 @@ def run_fuzz(
     *,
     base_seed: int = 0,
     runner_grids: int | None = None,
+    shard_seeds: int | None = None,
     progress: Callable[[int, FuzzReport], None] | None = None,
 ) -> FuzzReport:
     """Run the full differential campaign over ``n_seeds`` instances.
 
     ``runner_grids`` controls how many serial-vs-parallel grid
-    comparisons ride along (default: one per 25 seeds, minimum 1).
-    Deterministic for a fixed ``(n_seeds, base_seed)``.
+    comparisons ride along (default: one per 25 seeds, minimum 1);
+    ``shard_seeds`` how many forced-shard instances get the sharded
+    arms (default: one per 5 seeds, minimum 1).  Deterministic for a
+    fixed ``(n_seeds, base_seed)``.
     """
     report = FuzzReport()
     for seed in range(n_seeds):
@@ -369,4 +445,8 @@ def run_fuzz(
         runner_grids = max(1, n_seeds // 25)
     for grid_seed in range(runner_grids):
         _runner_differential(grid_seed, base_seed, report)
+    if shard_seeds is None:
+        shard_seeds = max(1, n_seeds // 5)
+    for seed in range(shard_seeds):
+        _check_sharded_seed(seed, base_seed, report)
     return report

@@ -45,6 +45,11 @@ class PhysicalCluster:
 
     def __init__(self, name: str = "") -> None:
         self.name = name
+        #: Free-form structure hints recorded by topology generators
+        #: (e.g. ``{"family": "fat-tree", "k": 8}``); consumed by the
+        #: shard partitioner to find natural cuts.  Never required —
+        #: everything must work with an empty dict.
+        self.meta: dict = {}
         self._hosts: dict[NodeId, Host] = {}
         self._switches: set[NodeId] = set()
         self._links: dict[EdgeKey, PhysicalLink] = {}
@@ -235,6 +240,7 @@ class PhysicalCluster:
         if not 0.0 <= proc_fraction < 1.0:
             raise ModelError(f"proc_fraction must be in [0, 1), got {proc_fraction}")
         out = PhysicalCluster(name=self.name)
+        out.meta = dict(self.meta)
         for h in self.hosts():
             reduced = h.reduced(proc=proc + h.proc * proc_fraction, mem=mem, stor=stor)
             out.add_host(reduced)
@@ -247,6 +253,7 @@ class PhysicalCluster:
     def copy(self) -> "PhysicalCluster":
         """Deep-enough copy (hosts/links are immutable, so shared)."""
         out = PhysicalCluster(name=self.name)
+        out.meta = dict(self.meta)
         for h in self.hosts():
             out.add_host(h)
         for s in self.switch_ids:

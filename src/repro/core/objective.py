@@ -211,6 +211,22 @@ class ResidualCpuTracker:
     def n_hosts(self) -> int:
         return self._n
 
+    @property
+    def running_sum(self) -> float:
+        """Current running residual sum (re-anchored by :meth:`exact_std`).
+
+        Exposed (with :attr:`running_sumsq`) for vectorized batch
+        evaluation of hypothetical moves — :mod:`repro.shard.vectorized`
+        replays :meth:`std_if_moved`'s exact formula over whole
+        candidate arrays and must start from the same aggregates.
+        """
+        return self._sum
+
+    @property
+    def running_sumsq(self) -> float:
+        """Current running sum of squared residuals (see :attr:`running_sum`)."""
+        return self._sumsq
+
     def mean(self) -> float:
         return self._sum / self._n
 

@@ -23,6 +23,7 @@ __all__ = [
     "RoutingMetric",
     "Router",
     "Engine",
+    "Shard",
 ]
 
 
@@ -90,6 +91,15 @@ RoutingMetric = Literal["bottleneck", "latency"]
 #: bounds.  Both return paths with identical bottleneck values.
 Router = Literal["algorithm1", "label_setting"]
 
+#: Substrate decomposition for very large clusters (:mod:`repro.shard`).
+#: ``"off"`` always runs the monolithic three-stage pipeline; ``"auto"``
+#: (default) switches to shard-and-stitch only above
+#: :data:`repro.shard.AUTO_MIN_HOSTS` hosts, so results on every
+#: paper-scale instance are byte-identical to ``"off"``; an integer
+#: ``n >= 2`` forces a decomposition into (about) *n* pods regardless
+#: of cluster size — the knob the equivalence tests turn.
+Shard = Literal["auto", "off"] | int
+
 #: Which route-kernel implementation backs the Networking stage.
 #: "compiled" (default) runs the router in index space over the
 #: cluster's :class:`~repro.core.arrays.CompiledTopology` — integer
@@ -137,6 +147,10 @@ class HMNConfig:
     engine:
         Route-kernel implementation (see :data:`Engine`); affects speed
         only, never results.
+    shard:
+        Substrate decomposition policy (see :data:`Shard`).  The
+        default ``"auto"`` engages :mod:`repro.shard` only above its
+        host-count threshold, so paper-scale instances are unaffected.
     max_route_expansions:
         Safety valve forwarded to the router.
     seed:
@@ -154,6 +168,7 @@ class HMNConfig:
     routing_metric: RoutingMetric = "bottleneck"
     router: Router = "algorithm1"
     engine: Engine = "compiled"
+    shard: Shard = "auto"
     max_route_expansions: int = 2_000_000
     seed: int | None = None
     extra: dict = field(default_factory=dict, compare=False)
@@ -175,6 +190,13 @@ class HMNConfig:
             raise ConfigError(f"unknown router {self.router!r}")
         if self.engine not in ("compiled", "dict"):
             raise ConfigError(f"unknown engine {self.engine!r}")
+        if isinstance(self.shard, bool) or not (
+            self.shard in ("auto", "off") or (isinstance(self.shard, int) and self.shard >= 1)
+        ):
+            raise ConfigError(
+                f"shard must be 'auto', 'off', or an integer pod count >= 1, "
+                f"got {self.shard!r}"
+            )
         if self.migration_max_iterations < 0:
             raise ConfigError("migration_max_iterations must be >= 0")
         if self.max_route_expansions < 1:

@@ -84,6 +84,23 @@ def hmn_map(
     """
     if config is None:
         config = HMNConfig()
+
+    # Very large substrates go down the shard-and-stitch path (same
+    # Mapping contract, pod-parallel decision-equivalent stages).  The
+    # resolver returns 0 — stay monolithic — for shard="off", for
+    # "auto" below its size floor, and for degenerate pod counts, so
+    # every paper-scale mapping is byte-identical to the unsharded one.
+    from repro.shard.partition import resolve_pod_target
+
+    target_pods = resolve_pod_target(config.shard, cluster.n_hosts)
+    if target_pods >= 2:
+        from repro.shard.mapper import shard_map
+
+        return shard_map(
+            cluster, venv, config,
+            state=state, n_pods=target_pods, oracle=oracle, cache=cache,
+        )
+
     shared_state = state is not None
     if state is None:
         state = ClusterState(cluster)

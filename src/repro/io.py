@@ -75,6 +75,10 @@ def cluster_to_dict(cluster: PhysicalCluster) -> dict[str, Any]:
     return {
         "format": CLUSTER_FORMAT,
         "name": cluster.name,
+        # Structure hints (topology family, pod arity, ...) survive the
+        # round trip so a loaded cluster still partitions on its natural
+        # cuts; omitted when empty to keep pre-existing files byte-stable.
+        **({"meta": dict(cluster.meta)} if cluster.meta else {}),
         "hosts": [
             {
                 "id": _check_node_id(h.id),
@@ -98,6 +102,9 @@ def cluster_from_dict(data: TMapping[str, Any]) -> PhysicalCluster:
     """Inverse of :func:`cluster_to_dict` (validates the envelope)."""
     _check_format(data, CLUSTER_FORMAT)
     cluster = PhysicalCluster(name=data.get("name", ""))
+    meta = data.get("meta")
+    if isinstance(meta, dict):
+        cluster.meta = dict(meta)
     for spec in data.get("hosts", ()):
         cluster.add_host(
             Host(

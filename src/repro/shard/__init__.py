@@ -1,0 +1,54 @@
+"""Shard-and-stitch mapping for very large substrates.
+
+The monolithic HMN pipeline is faithful to the paper but walks
+per-host Python loops and full-graph routing queries — fine at Table 1
+scale (tens of hosts), hopeless at 100k.  This package scales it out
+without changing what the heuristic *decides*:
+
+* :mod:`repro.shard.partition` cuts the substrate into pods along the
+  topology's natural seams;
+* :mod:`repro.shard.vectorized` runs Hosting/Migration inside each pod
+  over flat numpy views, decision-equivalent to the reference stages;
+* :mod:`repro.shard.stitch` routes cross-pod virtual links in batched
+  waves through corridor subgraphs with a dedicated C kernel;
+* :mod:`repro.shard.mapper` orchestrates the four stages and returns
+  the same :class:`~repro.core.mapping.Mapping` contract as
+  :func:`~repro.hmn.pipeline.hmn_map`.
+
+Engage it with ``HMNConfig(shard=...)`` — ``"auto"`` (the default)
+shards only at :data:`~repro.shard.partition.AUTO_MIN_HOSTS` hosts and
+above, so every paper-scale result stays byte-identical.
+"""
+
+from repro.shard.mapper import (
+    SHARD_QUALITY_RATIO,
+    SHARD_QUALITY_SLACK,
+    shard_map,
+)
+from repro.shard.partition import (
+    AUTO_MIN_HOSTS,
+    TARGET_POD_HOSTS,
+    Partition,
+    partition_cluster,
+    resolve_pod_target,
+)
+from repro.shard.stitch import Region, Stitcher, build_region, stitch_networking
+from repro.shard.vectorized import PodState, pod_hosting, pod_migration
+
+__all__ = [
+    "AUTO_MIN_HOSTS",
+    "SHARD_QUALITY_RATIO",
+    "SHARD_QUALITY_SLACK",
+    "TARGET_POD_HOSTS",
+    "Partition",
+    "PodState",
+    "Region",
+    "Stitcher",
+    "build_region",
+    "partition_cluster",
+    "pod_hosting",
+    "pod_migration",
+    "resolve_pod_target",
+    "shard_map",
+    "stitch_networking",
+]

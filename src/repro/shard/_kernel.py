@@ -1,0 +1,93 @@
+"""Build and load the batched stitch-routing C kernel.
+
+Same pattern as :mod:`repro.routing._cbuild` (which see): compile
+``_stitchkernel.c`` on first use with the system C compiler into a
+content-addressed shared object next to this file, load with
+:mod:`ctypes`, degrade to ``None`` — and therefore to the semantically
+identical pure-Python wave driver in :mod:`repro.shard.stitch` — on
+any failure or when ``REPRO_NO_CKERNEL=1`` is set (one switch disables
+every C accelerator in the library).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+from pathlib import Path
+
+__all__ = ["load_stitch_kernel"]
+
+_SOURCE = Path(__file__).with_name("_stitchkernel.c")
+_CACHE_DIR = Path(__file__).with_name("_stitch_cache")
+
+_CFLAGS = ("-O2", "-shared", "-fPIC", "-ffp-contract=off", "-fno-math-errno")
+
+_sentinel = object()
+_lib = _sentinel
+
+
+def _build(so_path: Path) -> bool:
+    compiler = os.environ.get("CC", "cc")
+    tmp = so_path.with_name(f"{so_path.stem}.{os.getpid()}.tmp.so")
+    cmd = [compiler, *_CFLAGS, "-o", str(tmp), str(_SOURCE)]
+    try:
+        subprocess.run(
+            cmd, check=True, capture_output=True, timeout=120, cwd=str(_SOURCE.parent)
+        )
+        os.replace(tmp, so_path)
+        return True
+    except (OSError, subprocess.SubprocessError):
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        return False
+
+
+def _load() -> "ctypes.CDLL | None":
+    if os.environ.get("REPRO_NO_CKERNEL") == "1":
+        return None
+    try:
+        source = _SOURCE.read_bytes()
+    except OSError:
+        return None
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    so_path = _CACHE_DIR / f"stitchkernel_{digest}.so"
+    if not so_path.exists():
+        try:
+            _CACHE_DIR.mkdir(exist_ok=True)
+        except OSError:
+            return None
+        if not _build(so_path):
+            return None
+    try:
+        lib = ctypes.CDLL(str(so_path))
+    except OSError:
+        return None
+    try:
+        fn = lib.sk_route_batch
+    except AttributeError:
+        return None
+    ptr = ctypes.c_void_p
+    i64 = ctypes.c_int64
+    fn.argtypes = [
+        ptr, ptr, ptr, ptr,  # adj_off, adj_nbr, adj_edge, adj_lat
+        ptr,                 # bw
+        i64,                 # n_nodes
+        ptr, ptr, ptr, ptr,  # src, dst, need, bound
+        i64,                 # n_queries
+        ptr, i64, ptr,       # out_nodes, out_cap, out_off
+        ptr, ptr,            # status, total_pops
+    ]
+    fn.restype = i64
+    return lib
+
+
+def load_stitch_kernel() -> "ctypes.CDLL | None":
+    """The loaded kernel library, or ``None`` when unavailable."""
+    global _lib
+    if _lib is _sentinel:
+        _lib = _load()
+    return _lib

@@ -1,0 +1,233 @@
+/* Batched corridor router for the shard-and-stitch Networking stage.
+ *
+ * One call routes a whole *wave* of virtual links through a corridor
+ * subgraph (local CSR over the corridor's nodes): for each query in
+ * order, a capacity-filtered minimum-latency Dijkstra (edges with
+ * residual bandwidth below the demand are invisible; pushes past the
+ * latency bound are pruned), then the found path's demand is
+ * subtracted from the local residual array so later queries in the
+ * wave see it.  Minimum latency makes the bound check exact: if the
+ * cheapest feasible path misses the latency bound, no feasible path
+ * can meet it.
+ *
+ * EXACT-SEMANTICS CONTRACT — this kernel must be bit-identical to the
+ * pure-Python driver in repro/shard/stitch.py (_route_batch_py):
+ *
+ *  - heap keys are (dist, seq) with seq unique per push, so the pop
+ *    order is a total order independent of heap implementation;
+ *  - neighbor expansion follows CSR order; relaxation is strict
+ *    (nd < dist[v]);
+ *  - feasibility is bw[e] + 1e-9 < need  -> skip (the Python side
+ *    writes the same expression), latency pruning nd > bound + 1e-9;
+ *  - all arithmetic is IEEE double; compile with -ffp-contract=off so
+ *    no fused multiply-add changes a rounding (there are no products
+ *    here, but the flag keeps the contract future-proof).
+ *
+ * The differential fuzzer runs both drivers over the same waves and
+ * compares mapping digests, so any divergence is caught in CI.
+ *
+ * Return value: number of queries fully processed.  A return below
+ * n_queries means out_nodes ran out of room; the caller re-invokes
+ * with the remaining queries and a bigger buffer.  Statuses:
+ * 0 = routed, 1 = no feasible path within the latency bound.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+
+typedef int64_t i64;
+
+#define SK_FOUND 0
+#define SK_NO_PATH 1
+
+typedef struct {
+    double dist;
+    i64 seq;
+    i64 node;
+} sk_entry;
+
+typedef struct {
+    sk_entry *items;
+    i64 len;
+    i64 cap;
+} sk_heap;
+
+static int sk_less(const sk_entry *a, const sk_entry *b) {
+    if (a->dist != b->dist) return a->dist < b->dist;
+    return a->seq < b->seq;
+}
+
+static int sk_push(sk_heap *h, double dist, i64 seq, i64 node) {
+    if (h->len == h->cap) {
+        i64 cap = h->cap ? h->cap * 2 : 256;
+        sk_entry *items = (sk_entry *)realloc(h->items, (size_t)cap * sizeof(sk_entry));
+        if (!items) return 0;
+        h->items = items;
+        h->cap = cap;
+    }
+    i64 i = h->len++;
+    h->items[i].dist = dist;
+    h->items[i].seq = seq;
+    h->items[i].node = node;
+    while (i > 0) {
+        i64 parent = (i - 1) / 2;
+        if (!sk_less(&h->items[i], &h->items[parent])) break;
+        sk_entry tmp = h->items[parent];
+        h->items[parent] = h->items[i];
+        h->items[i] = tmp;
+        i = parent;
+    }
+    return 1;
+}
+
+static sk_entry sk_pop(sk_heap *h) {
+    sk_entry top = h->items[0];
+    h->items[0] = h->items[--h->len];
+    i64 i = 0;
+    for (;;) {
+        i64 l = 2 * i + 1, r = 2 * i + 2, m = i;
+        if (l < h->len && sk_less(&h->items[l], &h->items[m])) m = l;
+        if (r < h->len && sk_less(&h->items[r], &h->items[m])) m = r;
+        if (m == i) break;
+        sk_entry tmp = h->items[m];
+        h->items[m] = h->items[i];
+        h->items[i] = tmp;
+        i = m;
+    }
+    return top;
+}
+
+i64 sk_route_batch(
+    const i64 *adj_off,       /* n_nodes+1 CSR offsets                  */
+    const i64 *adj_nbr,       /* neighbor node per CSR entry            */
+    const i64 *adj_edge,      /* local edge id per CSR entry            */
+    const double *adj_lat,    /* latency per CSR entry                  */
+    double *bw,               /* residual bandwidth per local edge;
+                                 decremented in place for found paths   */
+    i64 n_nodes,
+    const i64 *src,           /* per query                              */
+    const i64 *dst,
+    const double *need,
+    const double *bound,
+    i64 n_queries,
+    i64 *out_nodes,           /* concatenated node paths                */
+    i64 out_cap,              /* capacity of out_nodes                  */
+    i64 *out_off,             /* n_queries+1 offsets into out_nodes     */
+    i64 *status,              /* per query: SK_FOUND / SK_NO_PATH       */
+    i64 *total_pops)          /* accumulated heap pops (telemetry)      */
+{
+    double *dist = (double *)malloc((size_t)n_nodes * sizeof(double));
+    i64 *parent = (i64 *)malloc((size_t)n_nodes * sizeof(i64));
+    i64 *parent_edge = (i64 *)malloc((size_t)n_nodes * sizeof(i64));
+    unsigned char *visited = (unsigned char *)malloc((size_t)n_nodes);
+    i64 *touched = (i64 *)malloc((size_t)n_nodes * sizeof(i64));
+    sk_heap heap = {0, 0, 0};
+    i64 used = 0;
+    i64 pops = 0;
+    i64 q = 0;
+
+    if (!dist || !parent || !parent_edge || !visited || !touched) goto done;
+    for (i64 i = 0; i < n_nodes; i++) {
+        dist[i] = 0.0;
+        visited[i] = 0;
+    }
+    /* dist[] is lazily reset between queries via the touched list, so
+     * initialize every slot to +inf once. */
+    for (i64 i = 0; i < n_nodes; i++) dist[i] = 1.0 / 0.0;
+
+    out_off[0] = 0;
+    for (q = 0; q < n_queries; q++) {
+        i64 s = src[q], d = dst[q];
+        double nd_need = need[q], nd_bound = bound[q];
+        i64 n_touched = 0;
+        i64 seq = 0;
+        heap.len = 0;
+
+        if (s == d) {
+            if (used + 1 > out_cap) break;
+            out_nodes[used++] = s;
+            out_off[q + 1] = used;
+            status[q] = SK_FOUND;
+            continue;
+        }
+
+        dist[s] = 0.0;
+        parent[s] = -1;
+        touched[n_touched++] = s;
+        if (!sk_push(&heap, 0.0, seq++, s)) break;
+        int reached = 0;
+
+        while (heap.len > 0) {
+            sk_entry top = sk_pop(&heap);
+            i64 u = top.node;
+            if (visited[u]) continue;
+            visited[u] = 1;
+            pops++;
+            if (u == d) {
+                reached = 1;
+                break;
+            }
+            double du = dist[u];
+            for (i64 a = adj_off[u]; a < adj_off[u + 1]; a++) {
+                i64 e = adj_edge[a];
+                if (bw[e] + 1e-9 < nd_need) continue;
+                double nd = du + adj_lat[a];
+                if (nd > nd_bound + 1e-9) continue;
+                i64 v = adj_nbr[a];
+                if (visited[v]) continue;
+                if (nd < dist[v]) {
+                    if (dist[v] == 1.0 / 0.0) touched[n_touched++] = v;
+                    dist[v] = nd;
+                    parent[v] = u;
+                    parent_edge[v] = e;
+                    if (!sk_push(&heap, nd, seq++, v)) { reached = -1; break; }
+                }
+            }
+            if (reached == -1) break;
+        }
+
+        int wrote = 0;
+        if (reached == 1) {
+            i64 hops = 0;
+            for (i64 v = d; v != -1; v = (v == s ? -1 : parent[v])) hops++;
+            if (used + hops > out_cap) {
+                /* Out of output room: undo nothing (no bw written yet),
+                 * reset and report how far we got. */
+                for (i64 t = 0; t < n_touched; t++) {
+                    dist[touched[t]] = 1.0 / 0.0;
+                    visited[touched[t]] = 0;
+                }
+                break;
+            }
+            i64 w = used + hops;
+            i64 v = d;
+            for (;;) {
+                out_nodes[--w] = v;
+                if (v == s) break;
+                bw[parent_edge[v]] -= nd_need;
+                v = parent[v];
+            }
+            used += hops;
+            status[q] = SK_FOUND;
+            wrote = 1;
+        }
+        if (!wrote) status[q] = SK_NO_PATH;
+        out_off[q + 1] = used;
+
+        for (i64 t = 0; t < n_touched; t++) {
+            dist[touched[t]] = 1.0 / 0.0;
+            visited[touched[t]] = 0;
+        }
+        if (reached == -1) break; /* allocation failure mid-search */
+    }
+
+done:
+    free(dist);
+    free(parent);
+    free(parent_edge);
+    free(visited);
+    free(touched);
+    free(heap.items);
+    if (total_pops) *total_pops += pops;
+    return q;
+}

@@ -1,0 +1,426 @@
+"""Substrate partitioning: cut the physical cluster into pods.
+
+The shard-and-stitch mapper (:mod:`repro.shard.mapper`) needs a
+disjoint cover of the hosts by *pods* — groups small enough that the
+per-pod Hosting/Migration subproblems stay cheap, cut along edges the
+topology is naturally thin across:
+
+* **fat-tree** clusters split into the generator's pods (the hosts
+  under each pod's edge switches) — the only host-to-host paths that
+  leave a pod go through the core;
+* **torus** clusters split into contiguous ``rows x cols`` blocks —
+  the cut crosses only the block-boundary links;
+* anything else falls back to a **seeded greedy BFS growth**: pod
+  seeds are spread far apart, then pods claim nearby hosts in rounds,
+  which keeps each pod connected and the cut small on any topology.
+
+Structured cuts are recognized through ``cluster.meta`` hints written
+by the generators in :mod:`repro.topology`; a cluster without hints
+(hand-built, loaded from an old JSON file) silently takes the greedy
+path.  Every partition also classifies the switches:
+
+* a switch whose (transitive) host attachments all live in one pod is
+  **owned** by that pod and joins its routing region;
+* the rest form the **spine**; its connected components are grouped
+  into *classes* by the set of pods they touch (all cores of a
+  fat tree form a single class).  Spine classes are the intermediate
+  nodes of the contracted inter-pod graph used for stitching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping, Sequence
+
+from repro.core.cluster import PhysicalCluster
+from repro.errors import ModelError
+from repro.seeding import derive
+
+__all__ = [
+    "Partition",
+    "partition_cluster",
+    "resolve_pod_target",
+    "AUTO_MIN_HOSTS",
+    "TARGET_POD_HOSTS",
+]
+
+NodeId = Hashable
+
+#: ``shard="auto"`` engages the sharded mapper only at or above this
+#: host count — every instance below it (all paper-scale scenarios,
+#: the whole pre-existing golden corpus) keeps the monolithic pipeline
+#: and therefore byte-identical results.
+AUTO_MIN_HOSTS = 4096
+
+#: Pod size the automatic mode aims for when the topology has no
+#: natural arity of its own.
+TARGET_POD_HOSTS = 2048
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A disjoint cover of the cluster's hosts, plus switch ownership.
+
+    ``pods[i]`` lists pod *i*'s host ids; every host appears in exactly
+    one pod.  ``switch_pod`` maps pod-owned switches to their pod;
+    switches absent from it belong to the spine, grouped into
+    ``spine_classes`` (see module docstring).
+    """
+
+    pods: tuple[tuple[NodeId, ...], ...]
+    pod_of: dict[NodeId, int]
+    switch_pod: dict[NodeId, int]
+    spine_classes: tuple[tuple[NodeId, ...], ...]
+    method: str
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n_pods(self) -> int:
+        return len(self.pods)
+
+    def describe(self) -> dict:
+        """JSON-friendly summary (recorded in ``Mapping.meta``)."""
+        sizes = [len(p) for p in self.pods]
+        return {
+            "n_pods": self.n_pods,
+            "method": self.method,
+            "pod_hosts_min": min(sizes),
+            "pod_hosts_max": max(sizes),
+            "n_spine_classes": len(self.spine_classes),
+            **self.meta,
+        }
+
+
+def resolve_pod_target(shard: str | int, n_hosts: int) -> int:
+    """How many pods the ``shard`` config knob asks for on *n_hosts*.
+
+    Returns ``0`` for "stay monolithic" — the pipeline's dispatch
+    criterion — and never returns 1 (a single pod *is* the monolithic
+    mapper).  ``"auto"`` only shards at :data:`AUTO_MIN_HOSTS` and
+    above; an explicit integer always shards (clamped to the host
+    count), which is how the equivalence tests force small instances
+    down the sharded path.
+    """
+    if shard == "off":
+        return 0
+    if shard == "auto":
+        if n_hosts < AUTO_MIN_HOSTS:
+            return 0
+        return max(2, round(n_hosts / TARGET_POD_HOSTS))
+    target = min(int(shard), n_hosts)
+    return target if target >= 2 else 0
+
+
+# ----------------------------------------------------------------------
+# structured cuts
+# ----------------------------------------------------------------------
+def _fat_tree_pods(
+    cluster: PhysicalCluster, n_pods: int | None
+) -> list[list[NodeId]] | None:
+    """Group hosts by the fat tree's own pods (generator layout).
+
+    The generator assigns hosts sequentially pod by pod, so pod *p* is
+    a contiguous slice of ``host_ids``.  A requested pod count below
+    the arity merges adjacent tree pods into balanced super-pods; a
+    request above it is clamped to the arity (tree pods are the finest
+    structural cut).  Returns ``None`` when the hints don't match the
+    cluster (stale meta) so the caller falls back to greedy.
+    """
+    k = cluster.meta.get("k")
+    per_pod = cluster.meta.get("hosts_per_pod")
+    if not isinstance(k, int) or not isinstance(per_pod, int) or per_pod < 1:
+        return None
+    hosts = cluster.host_ids
+    if k < 1 or len(hosts) != k * per_pod:
+        return None
+    tree_pods = [list(hosts[p * per_pod : (p + 1) * per_pod]) for p in range(k)]
+    if n_pods is None or n_pods >= k:
+        return tree_pods
+    merged: list[list[NodeId]] = []
+    base, extra = divmod(k, n_pods)
+    start = 0
+    for i in range(n_pods):
+        width = base + (1 if i < extra else 0)
+        merged.append([h for pod in tree_pods[start : start + width] for h in pod])
+        start += width
+    return merged
+
+
+def _band_edges(length: int, bands: int) -> list[tuple[int, int]]:
+    """Split ``range(length)`` into *bands* contiguous near-equal runs."""
+    base, extra = divmod(length, bands)
+    edges = []
+    start = 0
+    for i in range(bands):
+        width = base + (1 if i < extra else 0)
+        edges.append((start, start + width))
+        start += width
+    return edges
+
+
+def _torus_pods(
+    cluster: PhysicalCluster, n_pods: int | None
+) -> list[list[NodeId]] | None:
+    """Cut a torus into a grid of contiguous blocks.
+
+    Picks the block grid ``pr x pc`` whose pod count lands closest to
+    the request (ties prefer squarer blocks, which minimize the cut),
+    then slices rows and columns into contiguous bands.
+    """
+    rows = cluster.meta.get("rows")
+    cols = cluster.meta.get("cols")
+    if not isinstance(rows, int) or not isinstance(cols, int):
+        return None
+    hosts = cluster.host_ids
+    if rows < 1 or cols < 1 or len(hosts) != rows * cols:
+        return None
+    want = n_pods if n_pods is not None else max(2, round(rows * cols / TARGET_POD_HOSTS))
+    want = max(1, min(want, rows * cols))
+    best = None
+    for pr in range(1, rows + 1):
+        for pc in range(1, cols + 1):
+            # Deviation from the requested count first, then block
+            # aspect ratio (squarer = shorter boundary = smaller cut).
+            score = (abs(pr * pc - want), abs(rows / pr - cols / pc), pr, pc)
+            if best is None or score < best[0]:
+                best = (score, pr, pc)
+    _, pr, pc = best
+    row_bands = _band_edges(rows, pr)
+    col_bands = _band_edges(cols, pc)
+    pods = []
+    for r0, r1 in row_bands:
+        for c0, c1 in col_bands:
+            pods.append(
+                [hosts[r * cols + c] for r in range(r0, r1) for c in range(c0, c1)]
+            )
+    return pods
+
+
+# ----------------------------------------------------------------------
+# greedy fallback
+# ----------------------------------------------------------------------
+def _greedy_pods(
+    cluster: PhysicalCluster, n_pods: int, seed: int
+) -> list[list[NodeId]]:
+    """Deterministic multi-source BFS growth for irregular topologies.
+
+    The first seed host is drawn from *seed*; each further seed is the
+    unclaimed host farthest (in hops, over the full host+switch graph)
+    from all previous seeds — a farthest-point spread.  Pods then claim
+    hosts in rounds from their BFS frontiers, capped at a balanced
+    size, so pods stay connected and near-equal.  Fully deterministic
+    for a fixed ``(cluster, n_pods, seed)``.
+    """
+    hosts = list(cluster.host_ids)
+    n = len(hosts)
+    n_pods = max(1, min(n_pods, n))
+    if n_pods == 1:
+        return [hosts]
+
+    from collections import deque
+
+    def bfs_dist(sources: Sequence[NodeId]) -> dict[NodeId, int]:
+        dist = {s: 0 for s in sources}
+        queue = deque(sources)
+        while queue:
+            u = queue.popleft()
+            for v in cluster.neighbors(u):
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+        return dist
+
+    rng = derive(seed, "shard", "greedy-seeds")
+    seeds = [hosts[int(rng.integers(0, n))]]
+    while len(seeds) < n_pods:
+        dist = bfs_dist(seeds)
+        # Farthest unclaimed host; unreachable hosts (disconnected
+        # clusters are rejected elsewhere, but stay safe) come first.
+        candidates = [h for h in hosts if h not in seeds]
+        seeds.append(
+            max(candidates, key=lambda h: (dist.get(h, len(dist) + n), str(h)))
+        )
+
+    cap = -(-n // n_pods)  # ceil: balanced pod size
+    claimed: dict[NodeId, int] = {s: i for i, s in enumerate(seeds)}
+    pods: list[list[NodeId]] = [[s] for s in seeds]
+    frontiers = [deque([s]) for s in seeds]
+    visited: list[set[NodeId]] = [set([s]) for s in seeds]
+    remaining = n - n_pods
+    while remaining > 0:
+        progressed = False
+        for i in range(n_pods):
+            if len(pods[i]) >= cap or remaining == 0:
+                continue
+            claimed_one = False
+            while frontiers[i] and not claimed_one:
+                u = frontiers[i].popleft()
+                for v in cluster.neighbors(u):
+                    if v in visited[i]:
+                        continue
+                    visited[i].add(v)
+                    frontiers[i].append(v)
+                    if cluster.is_host(v) and v not in claimed:
+                        claimed[v] = i
+                        pods[i].append(v)
+                        remaining -= 1
+                        claimed_one = True
+                        progressed = True
+                        break
+        if not progressed:
+            # Frontiers exhausted (every reachable host claimed, or
+            # size caps hit): hand leftovers to the smallest pods in
+            # host order — keeps the cover total even on weird graphs.
+            for h in hosts:
+                if h not in claimed:
+                    i = min(range(n_pods), key=lambda j: (len(pods[j]), j))
+                    claimed[h] = i
+                    pods[i].append(h)
+                    remaining -= 1
+            break
+    return [pod for pod in pods if pod]
+
+
+# ----------------------------------------------------------------------
+# switch classification
+# ----------------------------------------------------------------------
+def _classify_switches(
+    cluster: PhysicalCluster, pod_of: Mapping[NodeId, int]
+) -> tuple[dict[NodeId, int], tuple[tuple[NodeId, ...], ...]]:
+    """Assign switches to pods; group the rest into spine classes."""
+    owned: dict[NodeId, int] = {}
+    pending = set(cluster.switch_ids)
+    spine: set[NodeId] = set()
+    changed = True
+    while changed and pending:
+        changed = False
+        for sw in sorted(pending, key=str):
+            touched: set[int] = set()
+            for nb in cluster.neighbors(sw):
+                p = pod_of.get(nb)
+                if p is None:
+                    p = owned.get(nb)
+                if p is not None:
+                    touched.add(p)
+            if len(touched) > 1:
+                spine.add(sw)
+                pending.discard(sw)
+                changed = True
+            elif len(touched) == 1:
+                # One decided pod so far claims the switch.  This can
+                # commit "early" on exotic wiring (a switch chain
+                # between two pods splits at its midpoint), but an
+                # owned switch is only a region hint — stitching falls
+                # back to the full graph when a corridor comes up dry —
+                # so eagerness costs quality at most, never soundness.
+                owned[sw] = touched.pop()
+                pending.discard(sw)
+                changed = True
+    # Whatever the fixpoint could not decide is spine (e.g. switch
+    # islands only touching other undecided switches).
+    spine.update(pending)
+
+    # Connected components of the spine-induced subgraph.
+    components: list[list[NodeId]] = []
+    seen: set[NodeId] = set()
+    for start in sorted(spine, key=str):
+        if start in seen:
+            continue
+        comp = [start]
+        seen.add(start)
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in cluster.neighbors(u):
+                if v in spine and v not in seen:
+                    seen.add(v)
+                    comp.append(v)
+                    stack.append(v)
+        components.append(sorted(comp, key=str))
+
+    # Components with identical pod neighborhoods are interchangeable
+    # for routing — merge them into one class (all fat-tree cores
+    # collapse to a single contracted node instead of (k/2)^2 of them).
+    def pod_neighborhood(comp: list[NodeId]) -> tuple[int, ...]:
+        pods: set[int] = set()
+        for sw in comp:
+            for nb in cluster.neighbors(sw):
+                p = pod_of.get(nb)
+                if p is None:
+                    p = owned.get(nb)
+                if p is not None:
+                    pods.add(p)
+        return tuple(sorted(pods))
+
+    by_key: dict[tuple[int, ...], list[NodeId]] = {}
+    for comp in components:
+        by_key.setdefault(pod_neighborhood(comp), []).extend(comp)
+    classes = tuple(
+        tuple(sorted(by_key[key], key=str)) for key in sorted(by_key)
+    )
+    return owned, classes
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def partition_cluster(
+    cluster: PhysicalCluster,
+    n_pods: int | None = None,
+    *,
+    seed: int | None = 0,
+) -> Partition:
+    """Partition *cluster* into pods (see module docstring).
+
+    ``n_pods=None`` lets the topology choose its natural pod count
+    (fat-tree arity, ~:data:`TARGET_POD_HOSTS`-host torus blocks,
+    ``hosts / TARGET_POD_HOSTS`` otherwise).  An explicit request is
+    honored as closely as the structure allows and clamped to
+    ``[1, n_hosts]`` — degenerate requests (1 pod, more pods than
+    hosts) are legal and produce the obvious covers.
+    """
+    n_hosts = cluster.n_hosts
+    if n_hosts == 0:
+        raise ModelError("cannot partition a cluster with no hosts")
+    if seed is None:  # an unseeded HMNConfig still partitions deterministically
+        seed = 0
+    if n_pods is not None:
+        if n_pods < 1:
+            raise ModelError(f"n_pods must be >= 1, got {n_pods}")
+        n_pods = min(n_pods, n_hosts)
+
+    family = cluster.meta.get("family")
+    pods: list[list[NodeId]] | None = None
+    method = "greedy"
+    if family == "fat-tree":
+        pods = _fat_tree_pods(cluster, n_pods)
+        method = "fat-tree"
+    elif family == "torus":
+        pods = _torus_pods(cluster, n_pods)
+        method = "torus"
+    if pods is None:
+        if n_pods is None:
+            n_pods = max(2, round(n_hosts / TARGET_POD_HOSTS))
+            n_pods = min(n_pods, n_hosts)
+        pods = _greedy_pods(cluster, n_pods, seed)
+        method = "greedy"
+
+    pod_of: dict[NodeId, int] = {}
+    for i, pod in enumerate(pods):
+        for h in pod:
+            if h in pod_of:
+                raise ModelError(f"host {h!r} landed in two pods ({pod_of[h]} and {i})")
+            pod_of[h] = i
+    if len(pod_of) != n_hosts:
+        missing = set(cluster.host_ids) - set(pod_of)
+        raise ModelError(f"partition missed {len(missing)} host(s): {sorted(map(str, missing))[:5]}")
+
+    owned, classes = _classify_switches(cluster, pod_of)
+    return Partition(
+        pods=tuple(tuple(pod) for pod in pods),
+        pod_of=pod_of,
+        switch_pod=owned,
+        spine_classes=classes,
+        method=method,
+        meta={"requested_pods": n_pods},
+    )

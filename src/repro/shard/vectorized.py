@@ -1,0 +1,414 @@
+"""Pod-local Hosting and Migration over flat numpy arrays.
+
+The monolithic stages (:mod:`repro.hmn.hosting`,
+:mod:`repro.hmn.migration`) walk Python lists of host ids and call
+per-host methods — perfectly fine at paper scale, linear-time poison
+at 100k hosts.  This module re-implements both stages over a
+:class:`PodState`: the pod's residual capacities gathered into numpy
+arrays, so the inner decisions (host ordering, first-fit scans, the
+Migration destination sweep) are single vectorized passes.
+
+**Decision equivalence is the contract.**  For any pod, running these
+stages must pick exactly the placements the reference stages pick on a
+pod-only cluster with the pod-internal virtual links — the property
+test in ``tests/test_shard_equivalence.py`` asserts it placement by
+placement.  That is why every comparison below reproduces the
+reference formulas verbatim (same float operations in the same order:
+the Migration candidate evaluation replays
+:meth:`~repro.core.objective.ResidualCpuTracker.std_if_moved`
+elementwise, including its cancellation guard), and why tie-breaks
+sort by ``str(host_id)`` exactly like
+:meth:`~repro.core.objective.ResidualCpuTracker.hosts_by_residual_descending`.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.guest import Guest
+from repro.core.objective import ResidualCpuTracker
+from repro.core.state import ClusterState
+from repro.core.venv import VirtualEnvironment
+from repro.errors import CapacityError, ModelError, PlacementError
+from repro.hmn.config import HMNConfig
+from repro.hmn.migration import _IMPROVEMENT_EPS
+from repro.seeding import rng_from
+
+__all__ = ["PodState", "pod_hosting", "pod_migration"]
+
+NodeId = Hashable
+
+
+class PodState:
+    """Residual capacities of one pod's hosts, numpy-indexable.
+
+    Positions (0..n-1) follow the order *host_ids* was given in; the
+    CPU residuals live in a :class:`ResidualCpuTracker` wrapped around
+    the same buffer as the numpy view, so O(1) incremental aggregates
+    and vectorized scans read one source of truth.
+    """
+
+    __slots__ = (
+        "ids", "index", "id_strs", "mem", "stor", "blocked",
+        "tracker", "res", "res0", "placed", "_guests_on",
+    )
+
+    def __init__(
+        self,
+        host_ids: Sequence[NodeId],
+        mem: Iterable[float],
+        stor: Iterable[float],
+        proc: Iterable[float],
+        blocked: Iterable[bool] | None = None,
+    ) -> None:
+        if not host_ids:
+            raise ModelError("a pod needs at least one host")
+        self.ids: tuple[NodeId, ...] = tuple(host_ids)
+        self.index = {h: i for i, h in enumerate(self.ids)}
+        self.id_strs = np.array([str(h) for h in self.ids])
+        self.mem = np.array(list(mem), dtype=np.float64)
+        self.stor = np.array(list(stor), dtype=np.float64)
+        residual = array("d", (float(v) for v in proc))
+        self.res = np.frombuffer(residual, dtype=np.float64)
+        self.res0 = self.res.copy()
+        self.tracker = ResidualCpuTracker.wrapping(
+            self.ids,
+            self.index,
+            residual,
+            math.fsum(residual),
+            math.fsum(v * v for v in residual),
+        )
+        n = len(self.ids)
+        if blocked is None:
+            self.blocked = np.zeros(n, dtype=bool)
+        else:
+            self.blocked = np.array(list(blocked), dtype=bool)
+        if not (len(self.mem) == len(self.stor) == len(self.res) == n == len(self.blocked)):
+            raise ModelError("PodState arrays must all match the host count")
+        self.placed: dict[int, int] = {}
+        self._guests_on: dict[int, set[int]] = {}
+
+    @classmethod
+    def from_state(cls, state: ClusterState, host_ids: Sequence[NodeId]) -> "PodState":
+        """Gather a pod view from the live (possibly multi-tenant) state."""
+        return cls(
+            host_ids,
+            (state.residual_mem(h) for h in host_ids),
+            (state.residual_stor(h) for h in host_ids),
+            (state.cpu.residual(h) for h in host_ids),
+            (state.is_blocked(h) for h in host_ids),
+        )
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.ids)
+
+    # ------------------------------------------------------------------
+    # vectorized scans (reference-equivalent orderings)
+    # ------------------------------------------------------------------
+    def order_residual_desc(self) -> np.ndarray:
+        """Positions sorted like ``hosts_by_residual_descending()``:
+        residual CPU descending, ties on ``str(id)`` ascending."""
+        return np.lexsort((self.id_strs, -self.res))
+
+    def order_load_desc(self) -> np.ndarray:
+        """Positions sorted like ``hosts_by_load_descending()``:
+        residual CPU ascending, ties on ``str(id)`` ascending."""
+        return np.lexsort((self.id_strs, self.res))
+
+    def first_fitting(self, guest: Guest, order: np.ndarray) -> int | None:
+        """First position in *order* where *guest* fits (mem+stor, not
+        blocked) — the vectorized ``state.fits`` scan."""
+        feasible = (self.mem >= guest.vmem) & (self.stor >= guest.vstor) & ~self.blocked
+        along = feasible[order]
+        if not along.any():
+            return None
+        return int(order[int(np.argmax(along))])
+
+    # ------------------------------------------------------------------
+    # mutation (mirrors ClusterState.place/unplace/move)
+    # ------------------------------------------------------------------
+    def place(self, guest: Guest, pos: int) -> None:
+        if guest.id in self.placed:
+            raise ModelError(f"guest {guest.id!r} is already placed in this pod")
+        if self.blocked[pos]:
+            raise CapacityError(
+                f"guest {guest.id!r} cannot be placed on blocked host {self.ids[pos]!r}"
+            )
+        if self.mem[pos] < guest.vmem or self.stor[pos] < guest.vstor:
+            raise CapacityError(
+                f"guest {guest.id!r} does not fit on host {self.ids[pos]!r}"
+            )
+        self.mem[pos] -= guest.vmem
+        self.stor[pos] -= guest.vstor
+        self.tracker.apply_demand(self.ids[pos], guest.vproc)
+        self.placed[guest.id] = pos
+        self._guests_on.setdefault(pos, set()).add(guest.id)
+
+    def unplace(self, guest: Guest) -> int:
+        pos = self.placed.pop(guest.id)
+        self.mem[pos] += guest.vmem
+        self.stor[pos] += guest.vstor
+        self.tracker.release_demand(self.ids[pos], guest.vproc)
+        self._guests_on[pos].discard(guest.id)
+        return pos
+
+    def move(self, guest: Guest, dst: int) -> None:
+        src = self.placed[guest.id]
+        if src == dst:
+            return
+        if self.blocked[dst] or self.mem[dst] < guest.vmem or self.stor[dst] < guest.vstor:
+            raise CapacityError(
+                f"guest {guest.id!r} does not fit on host {self.ids[dst]!r}"
+            )
+        self.unplace(guest)
+        self.place(guest, dst)
+
+    def guests_on(self, pos: int) -> set[int]:
+        return self._guests_on.get(pos, set())
+
+    def assignment(self) -> dict[int, NodeId]:
+        """guest id -> host id for everything placed in this pod."""
+        return {g: self.ids[pos] for g, pos in self.placed.items()}
+
+
+# ----------------------------------------------------------------------
+# Hosting (Section 4.1, vectorized)
+# ----------------------------------------------------------------------
+def pod_hosting(
+    pod: PodState,
+    venv: VirtualEnvironment,
+    links: Sequence,
+    guest_ids: Sequence[int],
+    config: HMNConfig,
+    *,
+    failures: list[int] | None = None,
+) -> dict:
+    """Run the Hosting stage inside one pod.
+
+    *links* are the pod-internal virtual links, already in the
+    configured processing order; *guest_ids* are all guests assigned to
+    this pod (guests untouched by *links* — including guests whose only
+    links cross pods — take the reference's isolated-guest path).
+
+    Raises :class:`PlacementError` when the pod cannot take a guest —
+    unless *failures* is given, in which case unplaceable guest ids are
+    collected there and the stage keeps going, so the sharded mapper
+    can retry them in other pods (overflow rescue) before giving up.
+    """
+    pairs_colocated = 0
+    placements = 0
+
+    def unplaceable(guest_id: int) -> None:
+        if failures is None:
+            raise PlacementError(
+                guest_id, "Hosting stage: no host has enough memory/storage"
+            )
+        failures.append(guest_id)
+
+    for link in links:
+        a_placed = link.a in pod.placed
+        b_placed = link.b in pod.placed
+        if a_placed and b_placed:
+            continue
+
+        order = pod.order_residual_desc()
+        if not a_placed and not b_placed:
+            ga = venv.guest(link.a)
+            gb = venv.guest(link.b)
+            head = int(order[0])
+            # fits_together: joint mem+stor on the current CPU head
+            # (reference quirk: blocked is *not* consulted here).
+            if (
+                pod.mem[head] >= ga.vmem + gb.vmem
+                and pod.stor[head] >= ga.vstor + gb.vstor
+            ):
+                pod.place(ga, head)
+                pod.place(gb, head)
+                pairs_colocated += 1
+                placements += 2
+                continue
+            heavy, light = (ga, gb) if ga.vproc >= gb.vproc else (gb, ga)
+            heavy_pos = pod.first_fitting(heavy, order)
+            if heavy_pos is None:
+                unplaceable(heavy.id)
+                # Rescue mode: the pair is broken anyway, so the light
+                # guest just takes the plain first-fit path.
+                light_pos = pod.first_fitting(light, order)
+                if light_pos is None:
+                    unplaceable(light.id)
+                else:
+                    pod.place(light, light_pos)
+                    placements += 1
+                continue
+            pod.place(heavy, heavy_pos)
+            placements += 1
+            order = pod.order_residual_desc()
+            idx = int(np.nonzero(order == heavy_pos)[0][0])
+            scan = np.concatenate((order[idx + 1 :], order[:idx]))
+            light_pos = pod.first_fitting(light, scan)
+            if light_pos is None:
+                unplaceable(light.id)
+                continue
+            pod.place(light, light_pos)
+            placements += 1
+        else:
+            placed_id, unplaced_id = (link.a, link.b) if a_placed else (link.b, link.a)
+            guest = venv.guest(unplaced_id)
+            peer_pos = pod.placed[placed_id]
+            if (
+                not pod.blocked[peer_pos]
+                and pod.mem[peer_pos] >= guest.vmem
+                and pod.stor[peer_pos] >= guest.vstor
+            ):
+                pod.place(guest, peer_pos)
+            else:
+                pos = pod.first_fitting(guest, order)
+                if pos is None:
+                    unplaceable(guest.id)
+                    continue
+                pod.place(guest, pos)
+            placements += 1
+
+    isolated = 0
+    leftovers = [venv.guest(g) for g in guest_ids if g not in pod.placed]
+    leftovers.sort(key=lambda g: (-g.vproc, g.id))
+    for guest in leftovers:
+        pos = pod.first_fitting(guest, pod.order_residual_desc())
+        if pos is None:
+            unplaceable(guest.id)
+            continue
+        pod.place(guest, pos)
+        isolated += 1
+        placements += 1
+
+    return {
+        "placements": placements,
+        "pairs_colocated": pairs_colocated,
+        "isolated_guests": isolated,
+    }
+
+
+# ----------------------------------------------------------------------
+# Migration (Section 4.2, vectorized destination sweep)
+# ----------------------------------------------------------------------
+def _intra_bw(pod: PodState, venv: VirtualEnvironment, guest_id: int) -> float:
+    """Reference ``intra_host_bandwidth`` against the pod assignment."""
+    pos = pod.placed[guest_id]
+    total = 0.0
+    for link in venv.vlinks_of(guest_id):
+        other = link.other(guest_id)
+        if pod.placed.get(other) == pos:
+            total += link.vbw
+    return total
+
+
+def _pick_guest(
+    pod: PodState, venv: VirtualEnvironment, pos: int, config: HMNConfig
+) -> int | None:
+    guests = sorted(g for g in pod.guests_on(pos) if g in venv)
+    if not guests:
+        return None
+    if config.migration_policy == "min_intra_bw":
+        return min(guests, key=lambda g: (_intra_bw(pod, venv, g), g))
+    if config.migration_policy == "max_vproc":
+        return max(guests, key=lambda g: (venv.guest(g).vproc, -g))
+    rng = rng_from(config.seed)
+    return int(guests[int(rng.integers(len(guests)))])
+
+
+def _origin_positions(pod: PodState, config: HMNConfig) -> list[int]:
+    if config.migration_origin == "max_usage":
+        usage = pod.res0 - pod.res
+        positions = [int(i) for i in np.nonzero(usage > 0)[0]]
+        positions.sort(key=lambda i: (-usage[i], str(pod.ids[i])))
+        return positions
+    ordered = [int(i) for i in pod.order_load_desc()]
+    if config.migration_origin == "strict_min_residual":
+        return ordered
+    return [i for i in ordered if pod.guests_on(i)]
+
+
+def _candidate_stds(pod: PodState, src: int, vproc: float) -> np.ndarray:
+    """``std_if_moved(src, ·, vproc)`` for every host at once.
+
+    Replays the tracker's formula elementwise (same operation order ⇒
+    bit-identical doubles), falling back to the tracker itself for the
+    rare candidates that trip its cancellation guard.
+    """
+    tracker = pod.tracker
+    n = pod.n_hosts
+    rs = float(pod.res[src])
+    new_rs = rs + vproc
+    rd = pod.res
+    new_rd = rd - vproc
+    sumsq = tracker.running_sumsq - rs * rs - rd * rd + new_rs * new_rs + new_rd * new_rd
+    mean_sq = (tracker.running_sum / n) ** 2
+    var = sumsq / n - mean_sq
+    guard = var < ResidualCpuTracker._CANCELLATION_GUARD * max(mean_sq, 1.0)
+    std = np.sqrt(np.maximum(var, 0.0))
+    if guard.any():
+        for i in np.nonzero(guard)[0]:
+            std[i] = tracker.std_if_moved(pod.ids[src], pod.ids[int(i)], vproc)
+    return std
+
+
+def pod_migration(pod: PodState, venv: VirtualEnvironment, config: HMNConfig) -> dict:
+    """Run the Migration stage inside one pod (vectorized sweep).
+
+    The improvement criterion is the pod-local Eq. 10.  Because a move
+    keeps the residual *sum* constant, the global and pod-local
+    variance deltas are the same quantity (``Δsumsq / n``), so every
+    pod-local improvement is a global improvement too — sharding
+    changes the threshold granularity, not the direction of descent.
+    """
+    before = pod.tracker.exact_std()
+    migrations = 0
+    iterations = 0
+
+    while iterations < config.migration_max_iterations:
+        iterations += 1
+        current = pod.tracker.exact_std()
+
+        origins = _origin_positions(pod, config)
+        if not config.migration_exhaustive:
+            origins = origins[:1]
+
+        moved = False
+        for origin in origins:
+            guest_id = _pick_guest(pod, venv, origin, config)
+            if guest_id is None:
+                break
+            guest = venv.guest(guest_id)
+            src = pod.placed[guest_id]
+
+            stds = _candidate_stds(pod, src, guest.vproc)
+            improving = stds < current - _IMPROVEMENT_EPS
+            fits = (
+                (pod.mem >= guest.vmem) & (pod.stor >= guest.vstor) & ~pod.blocked
+            )
+            improving &= fits
+            improving[src] = False
+            order = pod.order_residual_desc()
+            along = improving[order]
+            if along.any():
+                dst = int(order[int(np.argmax(along))])
+                pod.move(guest, dst)
+                moved = True
+                migrations += 1
+            if moved:
+                break
+
+        if not moved:
+            break
+
+    return {
+        "migrations": migrations,
+        "iterations": iterations,
+        "objective_before": before,
+        "objective_after": pod.tracker.exact_std(),
+    }

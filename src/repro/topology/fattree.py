@@ -42,21 +42,30 @@ def fat_tree_cluster(
     lat: float = DEFAULT_LAT,
     core_bw: float | None = None,
     name: str = "",
+    allow_giant: bool = False,
 ) -> PhysicalCluster:
     """Build a k-ary fat tree (*k* even, >= 2) with ``k^3/4`` hosts.
 
     *core_bw* optionally sets aggregation-to-core link bandwidth
     (default: same as everything else — the canonical fat tree is
     non-oversubscribed by construction).
+
+    ``k > 16`` (1024+ hosts) is refused unless *allow_giant* is set:
+    a typo'd arity silently allocating a six-figure node graph is a
+    worse failure mode than an extra keyword for the scaling work that
+    genuinely wants one (the 100k-host shard benchmarks build k=74).
     """
     if k < 2 or k % 2 != 0:
         raise ModelError(f"fat tree arity must be an even integer >= 2, got {k}")
-    if k > 16:
-        raise ModelError(f"k={k} means {k**3 // 4} hosts; refusing accidental giants")
+    if k > 16 and not allow_giant:
+        raise ModelError(
+            f"k={k} means {k**3 // 4} hosts; pass allow_giant=True if intended"
+        )
     half = k // 2
     n_hosts = k**3 // 4
     host_list = resolve_hosts(n_hosts, hosts, seed)
     cluster = new_cluster(host_list, name or f"fat-tree-k{k}")
+    cluster.meta = {"family": "fat-tree", "k": k, "hosts_per_pod": half * half}
 
     cores = [f"core{i}" for i in range(half * half)]
     for c in cores:

@@ -45,6 +45,7 @@ def torus_cluster(
         raise ModelError(f"torus dimensions must be >= 1, got {rows}x{cols}")
     host_list = resolve_hosts(rows * cols, hosts, seed)
     cluster = new_cluster(host_list, name or f"torus-{rows}x{cols}")
+    cluster.meta = {"family": "torus", "rows": rows, "cols": cols}
 
     def hid(r: int, c: int) -> int:
         return host_list[(r % rows) * cols + (c % cols)].id

@@ -53,6 +53,53 @@ class TestCampaign:
         assert doc["seeds_run"] == 4
 
 
+class TestShardedArms:
+    """The forced-shard differential arms (stitch kernel, mono gap)."""
+
+    def test_sharded_arms_smoke(self):
+        report = run_fuzz(0, runner_grids=0, shard_seeds=4)
+        assert report.ok, [str(d) for d in report.divergences]
+        assert report.n_sharded == 4
+
+    def test_stitch_kernel_divergence_detected(self, monkeypatch):
+        """A kernel-off arm that fails where the kernel-on arm maps must
+        surface as a hard stitch-kernel divergence."""
+        from repro.errors import PlacementError
+
+        real = fuzz_mod.hmn_map
+
+        def broken(cluster, venv, config=None, **kwargs):
+            config = config if config is not None else HMNConfig()
+            if config.extra.get("stitch_kernel") is False:
+                raise PlacementError(99, "injected kernel-off failure")
+            return real(cluster, venv, config, **kwargs)
+
+        monkeypatch.setattr(fuzz_mod, "hmn_map", broken)
+        # shard seed 0 is unmappable either way; seed 1 maps kernel-on.
+        report = run_fuzz(0, runner_grids=0, shard_seeds=2)
+        assert report.n_sharded == 2
+        assert "stitch-kernel-feasibility" in {d.check for d in report.divergences}
+
+    def test_mono_gap_counted_not_failed(self, monkeypatch):
+        """Sharded-vs-monolithic feasibility disagreement is tracked as
+        a gap, never as a divergence."""
+        from repro.errors import PlacementError
+
+        real = fuzz_mod.hmn_map
+
+        def monoless(cluster, venv, config=None, **kwargs):
+            config = config if config is not None else HMNConfig()
+            if config.shard == "off":
+                raise PlacementError(99, "injected monolithic failure")
+            return real(cluster, venv, config, **kwargs)
+
+        monkeypatch.setattr(fuzz_mod, "hmn_map", monoless)
+        report = run_fuzz(0, runner_grids=0, shard_seeds=2)
+        assert report.ok, [str(d) for d in report.divergences]
+        assert report.n_shard_gap == 1  # seed 1 maps sharded, "fails" mono
+        assert json.loads(json.dumps(report.to_dict()))["n_shard_gap"] == 1
+
+
 class TestInjectedDivergence:
     def test_engine_divergence_detected(self, monkeypatch):
         """A compiled engine that returns a different placement than the

@@ -79,6 +79,64 @@ class TestDigest:
         assert " " not in text.split('"assignments"')[0]  # no whitespace
 
 
+class TestTiers:
+    """The scale tier: present, pinned, and never paid for by default."""
+
+    def test_scale_case_registered(self):
+        case = conformance.case_by_name("scale-fat-tree-100k")
+        assert case.tier == "scale"
+        assert case.kind == "mapping"
+        assert conformance.load_golden()["scale-fat-tree-100k"]
+
+    def test_tier_filtering(self):
+        fast = conformance.corpus_cases("fast")
+        scale = conformance.corpus_cases("scale")
+        assert conformance.corpus_cases("all") == conformance.CORPUS
+        assert set(fast) | set(scale) == set(conformance.CORPUS)
+        assert all(c.tier == "fast" for c in fast)
+        assert {c.name for c in scale} == {"scale-fat-tree-100k"}
+        with pytest.raises(ModelError, match="unknown corpus tier"):
+            conformance.corpus_cases("sideways")
+
+    def test_default_verify_skips_scale_tier(self, monkeypatch):
+        def boom():
+            raise AssertionError("scale case recomputed by default")
+
+        fast = conformance.case_by_name("family-line")
+        scale = dataclasses.replace(
+            conformance.case_by_name("scale-fat-tree-100k"), _builder=boom
+        )
+        monkeypatch.setattr(corpus_mod, "CORPUS", (fast, scale))
+        mismatches = conformance.verify(golden={})
+        assert [m.name for m in mismatches] == ["family-line"]
+
+    def test_write_golden_preserves_scale_digests(self, tmp_path, monkeypatch):
+        import json as json_mod
+
+        def boom():
+            raise AssertionError("write_golden recomputed a scale case")
+
+        fast = conformance.case_by_name("family-line")
+        scale = dataclasses.replace(
+            conformance.case_by_name("scale-fat-tree-100k"), _builder=boom
+        )
+        monkeypatch.setattr(corpus_mod, "CORPUS", (fast, scale))
+        path = tmp_path / "golden.json"
+        path.write_text(json_mod.dumps({
+            "format": f"{conformance.DIGEST_FORMAT}-golden",
+            "corpus_seed": conformance.CORPUS_SEED,
+            "digests": {
+                "scale-fat-tree-100k": "f" * 64,
+                "stale-removed-case": "0" * 64,
+            },
+        }))
+        conformance.write_golden(path)  # default tier: fast only
+        golden = conformance.load_golden(path)
+        assert golden["scale-fat-tree-100k"] == "f" * 64  # carried over
+        assert "stale-removed-case" not in golden  # dropped
+        assert len(golden["family-line"]) == 64  # recomputed
+
+
 class TestGoldenFile:
     def test_golden_file_committed_and_complete(self):
         golden = conformance.load_golden()

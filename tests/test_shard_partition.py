@@ -1,0 +1,212 @@
+"""Unit tests for the substrate partitioner (:mod:`repro.shard.partition`).
+
+The contract under test: every host lands in exactly one pod, pods
+follow the topology's natural structure when hints are present, the
+greedy fallback is deterministic for a fixed seed, and degenerate
+requests (one pod, more pods than hosts) produce the obvious covers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Host, PhysicalCluster, PhysicalLink
+from repro.errors import ConfigError, ModelError
+from repro.hmn import HMNConfig
+from repro.io import cluster_from_dict, cluster_to_dict
+from repro.shard import (
+    AUTO_MIN_HOSTS,
+    TARGET_POD_HOSTS,
+    partition_cluster,
+    resolve_pod_target,
+)
+from repro.topology import random_cluster, switched_cluster, torus_cluster
+from repro.topology.fattree import fat_tree_cluster
+
+
+def assert_exact_cover(cluster, partition):
+    seen = [h for pod in partition.pods for h in pod]
+    assert len(seen) == cluster.n_hosts
+    assert set(seen) == set(cluster.host_ids)
+    assert partition.pod_of == {
+        h: i for i, pod in enumerate(partition.pods) for h in pod
+    }
+
+
+class TestResolvePodTarget:
+    def test_off_is_monolithic(self):
+        assert resolve_pod_target("off", 1_000_000) == 0
+
+    def test_auto_below_floor_is_monolithic(self):
+        assert resolve_pod_target("auto", AUTO_MIN_HOSTS - 1) == 0
+
+    def test_auto_at_floor_shards(self):
+        assert resolve_pod_target("auto", AUTO_MIN_HOSTS) >= 2
+
+    def test_auto_targets_pod_size(self):
+        n = 100_000
+        pods = resolve_pod_target("auto", n)
+        assert pods == max(2, round(n / TARGET_POD_HOSTS))
+
+    def test_explicit_int_always_shards(self):
+        assert resolve_pod_target(4, 100) == 4
+
+    def test_explicit_int_clamped_to_hosts(self):
+        assert resolve_pod_target(64, 10) == 10
+
+    def test_degenerate_ints_are_monolithic(self):
+        assert resolve_pod_target(1, 100) == 0
+        assert resolve_pod_target(5, 1) == 0
+
+    def test_config_rejects_bad_shard_values(self):
+        with pytest.raises(ConfigError):
+            HMNConfig(shard="sideways")
+        with pytest.raises(ConfigError):
+            HMNConfig(shard=0)
+        with pytest.raises(ConfigError):
+            HMNConfig(shard=True)
+
+    def test_config_accepts_valid_shard_values(self):
+        for value in ("auto", "off", 2, 64):
+            assert HMNConfig(shard=value).shard == value
+
+
+class TestFatTreeCut:
+    def test_natural_pods_follow_arity(self):
+        cluster = fat_tree_cluster(4, seed=1)
+        part = partition_cluster(cluster)
+        assert part.method == "fat-tree"
+        assert part.n_pods == 4
+        assert_exact_cover(cluster, part)
+        # Generator assigns hosts sequentially pod by pod.
+        per_pod = cluster.meta["hosts_per_pod"]
+        for i, pod in enumerate(part.pods):
+            assert pod == tuple(cluster.host_ids[i * per_pod : (i + 1) * per_pod])
+
+    def test_merge_to_fewer_pods_stays_contiguous(self):
+        cluster = fat_tree_cluster(8, seed=1)
+        part = partition_cluster(cluster, 3)
+        assert part.n_pods == 3
+        assert_exact_cover(cluster, part)
+        flat = [h for pod in part.pods for h in pod]
+        assert flat == list(cluster.host_ids)
+
+    def test_request_above_arity_clamps_to_arity(self):
+        cluster = fat_tree_cluster(4, seed=1)
+        part = partition_cluster(cluster, 9)
+        assert part.n_pods == 4
+
+    def test_cores_form_one_spine_class(self):
+        cluster = fat_tree_cluster(4, seed=1)
+        part = partition_cluster(cluster)
+        # Pod switches (edge + aggregation) are owned; cores are spine.
+        cores = {s for s in cluster.switch_ids if str(s).startswith("core")}
+        assert set(part.switch_pod) == set(cluster.switch_ids) - cores
+        assert len(part.spine_classes) == 1
+        assert set(part.spine_classes[0]) == cores
+
+    def test_stale_meta_falls_back_to_greedy(self):
+        cluster = fat_tree_cluster(4, seed=1)
+        cluster.meta["hosts_per_pod"] = 99  # no longer matches
+        part = partition_cluster(cluster, 4)
+        assert part.method == "greedy"
+        assert_exact_cover(cluster, part)
+
+
+class TestTorusCut:
+    def test_blocks_cover_exactly(self):
+        cluster = torus_cluster(6, 8, seed=2)
+        part = partition_cluster(cluster, 4)
+        assert part.method == "torus"
+        assert part.n_pods == 4
+        assert_exact_cover(cluster, part)
+
+    def test_blocks_are_contiguous_bands(self):
+        cluster = torus_cluster(4, 4, seed=2)
+        part = partition_cluster(cluster, 4)
+        hosts = list(cluster.host_ids)
+        # 2x2 blocks of the 4x4 grid (row-major host layout).
+        expected_first = {hosts[0], hosts[1], hosts[4], hosts[5]}
+        assert set(part.pods[0]) == expected_first
+
+
+class TestGreedyFallback:
+    def test_exact_cover_on_irregular_topologies(self):
+        for builder in (
+            lambda: switched_cluster(24, seed=5),
+            lambda: random_cluster(20, density=0.3, seed=5),
+        ):
+            cluster = builder()
+            part = partition_cluster(cluster, 4, seed=7)
+            assert part.method == "greedy"
+            assert part.n_pods == 4
+            assert_exact_cover(cluster, part)
+
+    def test_deterministic_for_fixed_seed(self):
+        cluster = random_cluster(30, density=0.2, seed=9)
+        a = partition_cluster(cluster, 5, seed=42)
+        b = partition_cluster(cluster, 5, seed=42)
+        assert a.pods == b.pods
+        assert a.switch_pod == b.switch_pod
+        assert a.spine_classes == b.spine_classes
+
+    def test_different_seed_may_differ_but_still_covers(self):
+        cluster = random_cluster(30, density=0.2, seed=9)
+        part = partition_cluster(cluster, 5, seed=43)
+        assert_exact_cover(cluster, part)
+
+    def test_pods_are_balanced(self):
+        cluster = switched_cluster(40, seed=3)
+        part = partition_cluster(cluster, 4, seed=0)
+        sizes = sorted(len(p) for p in part.pods)
+        assert sizes[-1] - sizes[0] <= 1
+
+
+class TestDegenerateInputs:
+    def test_single_pod(self):
+        cluster = switched_cluster(8, seed=1)
+        part = partition_cluster(cluster, 1)
+        assert part.n_pods == 1
+        assert set(part.pods[0]) == set(cluster.host_ids)
+
+    def test_more_pods_than_hosts_clamps(self):
+        cluster = switched_cluster(5, seed=1)
+        part = partition_cluster(cluster, 50)
+        assert part.n_pods <= cluster.n_hosts
+        assert_exact_cover(cluster, part)
+
+    def test_zero_pods_rejected(self):
+        cluster = switched_cluster(5, seed=1)
+        with pytest.raises(ModelError):
+            partition_cluster(cluster, 0)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ModelError):
+            partition_cluster(PhysicalCluster(name="empty"), 2)
+
+    def test_hosts_only_cluster(self):
+        c = PhysicalCluster(name="pair")
+        c.add_host(Host(0, proc=100.0, mem=1024, stor=100.0))
+        c.add_host(Host(1, proc=100.0, mem=1024, stor=100.0))
+        c.add_link(PhysicalLink(0, 1, bw=100.0, lat=1.0))
+        part = partition_cluster(c, 2)
+        assert part.n_pods == 2
+        assert part.spine_classes == ()
+
+
+class TestMetaRoundTrip:
+    def test_generator_hints_survive_json(self):
+        cluster = fat_tree_cluster(4, seed=1)
+        restored = cluster_from_dict(cluster_to_dict(cluster))
+        assert restored.meta == cluster.meta
+        part = partition_cluster(restored)
+        assert part.method == "fat-tree"
+
+    def test_meta_less_cluster_serializes_without_key(self):
+        c = PhysicalCluster(name="bare")
+        c.add_host(Host(0, proc=100.0, mem=1024, stor=100.0))
+        assert "meta" not in cluster_to_dict(c)
+
+    def test_copy_preserves_meta(self):
+        cluster = torus_cluster(3, 3, seed=0)
+        assert cluster.copy().meta == cluster.meta

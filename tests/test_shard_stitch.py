@@ -1,0 +1,317 @@
+"""Tests for corridor regions and the batched stitch router.
+
+Covers the C-kernel/pure-Python parity contract, capacity and latency
+feasibility at the epsilon boundaries, the output-buffer retry path,
+contracted routing over the inter-pod graph, and the full-graph rescue
+of corridor failures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClusterState,
+    Guest,
+    Host,
+    PhysicalCluster,
+    PhysicalLink,
+    VirtualEnvironment,
+    VirtualLink,
+)
+from repro.hmn import HMNConfig
+from repro.shard import partition_cluster
+from repro.shard._kernel import load_stitch_kernel
+from repro.shard.stitch import (
+    Stitcher,
+    _route_batch_c,
+    _route_batch_py,
+    build_region,
+    stitch_networking,
+)
+from repro.topology import switched_cluster, torus_cluster
+from repro.topology.fattree import fat_tree_cluster
+
+KERNEL = load_stitch_kernel()
+needs_kernel = pytest.mark.skipif(KERNEL is None, reason="no C compiler available")
+
+
+def full_region(cluster):
+    state = ClusterState(cluster)
+    topo = state.topology
+    return state, topo, build_region(topo, range(topo.n_nodes))
+
+
+def line_cluster(n, bw=100.0, lat=1.0):
+    c = PhysicalCluster(name=f"line{n}")
+    for i in range(n):
+        c.add_host(Host(i, proc=100.0, mem=1024, stor=100.0))
+    for i in range(n - 1):
+        c.add_link(PhysicalLink(i, i + 1, bw=bw, lat=lat))
+    return c
+
+
+class TestBuildRegion:
+    def test_full_region_mirrors_topology(self):
+        cluster = torus_cluster(3, 3, seed=0)
+        state, topo, region = full_region(cluster)
+        assert region.n_nodes == topo.n_nodes
+        assert region.n_edges == topo.n_edges
+        # Every physical edge appears exactly once in edge_g.
+        assert sorted(region.edge_g.tolist()) == list(range(topo.n_edges))
+        # CSR row sizes match the compiled topology's.
+        np.testing.assert_array_equal(
+            np.diff(region.adj_off),
+            np.diff(np.frombuffer(topo.adj_offsets, dtype=np.int64)),
+        )
+
+    def test_subregion_keeps_only_internal_edges(self):
+        cluster = line_cluster(4)
+        state, topo, _ = full_region(cluster)
+        sub = build_region(topo, [topo.node_index[0], topo.node_index[1]])
+        assert sub.n_nodes == 2
+        assert sub.n_edges == 1  # only the 0-1 link is internal
+        assert sub.adj_off.tolist() == [0, 1, 2]
+
+    def test_isolated_member_gets_empty_row(self):
+        cluster = line_cluster(3)
+        state, topo, _ = full_region(cluster)
+        sub = build_region(topo, [topo.node_index[0], topo.node_index[2]])
+        assert sub.n_edges == 0
+        assert sub.adj_off.tolist() == [0, 0, 0]
+
+
+class TestPythonDriver:
+    def test_routes_min_latency_and_reserves(self):
+        cluster = line_cluster(4, bw=10.0, lat=2.0)
+        state, topo, region = full_region(cluster)
+        bw = region.gather_bw(state)
+        paths, pops = _route_batch_py(
+            region.adj_off, region.adj_nbr, region.adj_edge, region.adj_lat,
+            bw,
+            np.array([0], dtype=np.int64), np.array([3], dtype=np.int64),
+            np.array([4.0]), np.array([100.0]),
+        )
+        assert paths == [[0, 1, 2, 3]]
+        assert pops > 0
+        np.testing.assert_allclose(bw, [6.0, 6.0, 6.0])
+
+    def test_capacity_filter_blocks_thin_links(self):
+        cluster = line_cluster(3, bw=5.0)
+        state, topo, region = full_region(cluster)
+        bw = region.gather_bw(state)
+        paths, _ = _route_batch_py(
+            region.adj_off, region.adj_nbr, region.adj_edge, region.adj_lat,
+            bw,
+            np.array([0], dtype=np.int64), np.array([2], dtype=np.int64),
+            np.array([5.5]), np.array([100.0]),
+        )
+        assert paths == [None]
+        np.testing.assert_allclose(bw, [5.0, 5.0])  # nothing reserved
+
+    def test_capacity_epsilon_boundary_admits_exact_fit(self):
+        cluster = line_cluster(3, bw=5.0)
+        state, topo, region = full_region(cluster)
+        bw = region.gather_bw(state)
+        paths, _ = _route_batch_py(
+            region.adj_off, region.adj_nbr, region.adj_edge, region.adj_lat,
+            bw,
+            np.array([0], dtype=np.int64), np.array([2], dtype=np.int64),
+            np.array([5.0]), np.array([100.0]),
+        )
+        assert paths == [[0, 1, 2]]
+
+    def test_latency_bound_prunes(self):
+        cluster = line_cluster(4, lat=3.0)
+        state, topo, region = full_region(cluster)
+        bw = region.gather_bw(state)
+        paths, _ = _route_batch_py(
+            region.adj_off, region.adj_nbr, region.adj_edge, region.adj_lat,
+            bw,
+            np.array([0, 0], dtype=np.int64), np.array([3, 3], dtype=np.int64),
+            np.array([1.0, 1.0]), np.array([8.9, 9.0]),
+        )
+        assert paths[0] is None  # needs 9ms, bound 8.9
+        assert paths[1] == [0, 1, 2, 3]  # exactly at the bound
+
+    def test_same_endpoint_is_trivial(self):
+        cluster = line_cluster(2)
+        state, topo, region = full_region(cluster)
+        bw = region.gather_bw(state)
+        paths, pops = _route_batch_py(
+            region.adj_off, region.adj_nbr, region.adj_edge, region.adj_lat,
+            bw,
+            np.array([1], dtype=np.int64), np.array([1], dtype=np.int64),
+            np.array([999.0]), np.array([0.0]),
+        )
+        assert paths == [[1]]
+        assert pops == 0
+
+    def test_earlier_queries_starve_later_ones(self):
+        cluster = line_cluster(3, bw=10.0)
+        state, topo, region = full_region(cluster)
+        bw = region.gather_bw(state)
+        paths, _ = _route_batch_py(
+            region.adj_off, region.adj_nbr, region.adj_edge, region.adj_lat,
+            bw,
+            np.array([0, 0], dtype=np.int64), np.array([2, 2], dtype=np.int64),
+            np.array([6.0, 6.0]), np.array([100.0, 100.0]),
+        )
+        assert paths[0] == [0, 1, 2]
+        assert paths[1] is None  # only 4.0 left on each link
+
+
+@needs_kernel
+class TestKernelParity:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_batches_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        cluster = (
+            torus_cluster(4, 4, seed=seed)
+            if seed % 2
+            else switched_cluster(12, seed=seed)
+        )
+        state, topo, region = full_region(cluster)
+        hosts = [topo.node_index[h] for h in cluster.host_ids]
+        n = 40
+        src = np.array(rng.choice(hosts, n), dtype=np.int64)
+        dst = np.array(rng.choice(hosts, n), dtype=np.int64)
+        need = rng.uniform(0.1, 400.0, n)
+        bound = rng.uniform(1.0, 60.0, n)
+        bw_py = region.gather_bw(state)
+        bw_c = bw_py.copy()
+        p_py, pops_py = _route_batch_py(
+            region.adj_off, region.adj_nbr, region.adj_edge, region.adj_lat,
+            bw_py, src, dst, need, bound,
+        )
+        p_c, pops_c = _route_batch_c(
+            KERNEL,
+            region.adj_off, region.adj_nbr, region.adj_edge, region.adj_lat,
+            bw_c, src, dst, need, bound, region.n_nodes,
+        )
+        assert p_py == p_c
+        assert pops_py == pops_c
+        np.testing.assert_array_equal(bw_py, bw_c)
+
+    def test_output_buffer_overflow_retries(self):
+        # 12 queries x ~99-hop paths >> the initial buffer guess, so
+        # the driver must re-invoke the kernel for the tail queries.
+        cluster = line_cluster(100, bw=1000.0)
+        state, topo, region = full_region(cluster)
+        n = 12
+        src = np.zeros(n, dtype=np.int64)
+        dst = np.full(n, 99, dtype=np.int64)
+        need = np.full(n, 1.0)
+        bound = np.full(n, 1e9)
+        bw_c = region.gather_bw(state)
+        p_c, _ = _route_batch_c(
+            KERNEL,
+            region.adj_off, region.adj_nbr, region.adj_edge, region.adj_lat,
+            bw_c, src, dst, need, bound, region.n_nodes,
+        )
+        bw_py = region.gather_bw(state)
+        p_py, _ = _route_batch_py(
+            region.adj_off, region.adj_nbr, region.adj_edge, region.adj_lat,
+            bw_py, src, dst, need, bound,
+        )
+        assert p_c == p_py
+        assert all(p is not None and len(p) == 100 for p in p_c)
+        np.testing.assert_array_equal(bw_py, bw_c)
+
+
+class TestStitcher:
+    def test_contracted_route_crosses_spine(self):
+        cluster = fat_tree_cluster(4, seed=0)
+        part = partition_cluster(cluster)
+        state = ClusterState(cluster)
+        stitcher = Stitcher(state, part, HMNConfig())
+        route = stitcher.contracted_route(0, 2)
+        # pod -> core spine class -> pod (no pod-to-pod links exist)
+        assert len(route) == 3
+        assert route[0] == 0 and route[-1] == 2
+        assert route[1] >= part.n_pods  # a spine class id
+        region = stitcher.region_for(route)
+        # Corridor holds both pods' hosts+switches plus all cores.
+        per_pod_nodes = cluster.n_hosts // 4 + 4  # 4 hosts + 2 edge + 2 agg
+        assert region.n_nodes == 2 * per_pod_nodes + 4
+
+    def test_route_reversal_is_consistent(self):
+        cluster = fat_tree_cluster(4, seed=0)
+        part = partition_cluster(cluster)
+        stitcher = Stitcher(ClusterState(cluster), part, HMNConfig())
+        ab = stitcher.contracted_route(1, 3)
+        ba = stitcher.contracted_route(3, 1)
+        assert ab == tuple(reversed(ba))
+
+
+def _two_guest_venv(vbw, vlat):
+    venv = VirtualEnvironment(name="pair")
+    venv.add_guest(Guest(0, vproc=1.0, vmem=1, vstor=1.0))
+    venv.add_guest(Guest(1, vproc=1.0, vmem=1, vstor=1.0))
+    venv.add_vlink(VirtualLink(0, 1, vbw=vbw, vlat=vlat))
+    return venv
+
+
+class TestStitchNetworking:
+    def test_corridor_failure_falls_back_to_full_graph(self):
+        # Triangle of hosts: the direct pod0-pod1 link is too thin, the
+        # detour through pod2 is not.  The fewest-hop contracted route
+        # ignores pod2, so only the full-graph rescue can route this.
+        c = PhysicalCluster(name="triangle")
+        for i in range(3):
+            c.add_host(Host(i, proc=100.0, mem=1024, stor=100.0))
+        c.add_link(PhysicalLink(0, 1, bw=1.0, lat=1.0))
+        c.add_link(PhysicalLink(0, 2, bw=100.0, lat=1.0))
+        c.add_link(PhysicalLink(1, 2, bw=100.0, lat=1.0))
+        part = partition_cluster(c, 3)
+        venv = _two_guest_venv(vbw=10.0, vlat=50.0)
+        state = ClusterState(c)
+        state.place(venv.guest(0), 0)
+        state.place(venv.guest(1), 1)
+        paths, stats = stitch_networking(state, venv, HMNConfig(), part)
+        assert paths[(0, 1)] == (0, 2, 1)
+        assert stats["stitch"]["fallback_links"] == 1
+        assert state.residual_bw(0, 2) == pytest.approx(90.0)
+
+    def test_infeasible_link_raises_routing_error(self):
+        from repro.errors import RoutingError
+
+        c = line_cluster(2, bw=1.0)
+        part = partition_cluster(c, 2)
+        venv = _two_guest_venv(vbw=10.0, vlat=50.0)
+        state = ClusterState(c)
+        state.place(venv.guest(0), 0)
+        state.place(venv.guest(1), 1)
+        with pytest.raises(RoutingError):
+            stitch_networking(state, venv, HMNConfig(), part)
+
+    def test_colocated_links_cost_nothing(self):
+        c = line_cluster(2)
+        part = partition_cluster(c, 2)
+        venv = _two_guest_venv(vbw=10.0, vlat=50.0)
+        state = ClusterState(c)
+        state.place(venv.guest(0), 0)
+        state.place(venv.guest(1), 0)
+        paths, stats = stitch_networking(state, venv, HMNConfig(), part)
+        assert paths[(0, 1)] == (0,)
+        assert stats["links_colocated"] == 1
+        assert state.residual_bw(0, 1) == pytest.approx(100.0)
+
+    def test_stitch_kernel_toggle_in_extra(self):
+        cluster = fat_tree_cluster(4, seed=5)
+        part = partition_cluster(cluster)
+        venv = _two_guest_venv(vbw=1.0, vlat=60.0)
+        results = []
+        for use_kernel in (True, False):
+            state = ClusterState(cluster)
+            state.place(venv.guest(0), cluster.host_ids[0])
+            state.place(venv.guest(1), cluster.host_ids[-1])
+            config = HMNConfig(extra={"stitch_kernel": use_kernel})
+            paths, stats = stitch_networking(state, venv, config, part)
+            if use_kernel:
+                assert stats["stitch"]["stitch_kernel"] == (KERNEL is not None)
+            else:
+                assert stats["stitch"]["stitch_kernel"] is False
+            results.append(paths)
+        assert results[0] == results[1]
