@@ -85,6 +85,23 @@ def test_sharded_vs_mono_fattree_1024(benchmark, shard):
     benchmark.extra_info["mapper"] = mapping.mapper
 
 
+@pytest.mark.parametrize("workers", [1, 2, 4], ids=lambda w: f"w{w}")
+def test_sharded_parallel_fattree_1024(benchmark, workers):
+    """The sharded 1024-host cell across worker counts.  On a 1-core
+    box the parallel arms mostly measure pool overhead; on 4+ cores the
+    pod stages (hosting + migration) shrink roughly linearly while the
+    mapping digest stays byte-identical (pinned in
+    tests/test_shard_parallel.py and the conformance fuzzer)."""
+    cluster, venv = _sharded_fat_tree(16, 1500)
+    config = HMNConfig(shard=16, shard_workers=workers)
+    mapping = benchmark.pedantic(
+        hmn_map, args=(cluster, venv, config), rounds=1, iterations=1
+    )
+    benchmark.extra_info["objective"] = mapping.meta["objective"]
+    benchmark.extra_info["n_workers"] = mapping.meta["shard"]["n_workers"]
+    benchmark.extra_info["fallback_rate"] = mapping.meta["shard"]["fallback_rate"]
+
+
 @pytest.mark.skipif(not FULL, reason="100k-host cell takes minutes; set REPRO_FULL=1")
 def test_sharded_fattree_100k(benchmark):
     """The ROADMAP scale target: 101 306 hosts (k=74), 25k guests,
@@ -99,6 +116,26 @@ def test_sharded_fattree_100k(benchmark):
     benchmark.extra_info["n_hosts"] = cluster.n_hosts
     benchmark.extra_info["objective"] = mapping.meta["objective"]
     benchmark.extra_info["shard"] = mapping.meta["shard"]["n_pods"]
+    benchmark.extra_info["fallback_rate"] = mapping.meta["shard"]["fallback_rate"]
+
+
+@pytest.mark.skipif(not FULL, reason="100k-host cell takes minutes; set REPRO_FULL=1")
+def test_sharded_parallel_fattree_100k(benchmark):
+    """The scale target with the process pool engaged
+    (``REPRO_SHARD_WORKERS`` or 4).  Same instance, same digest; on a
+    multi-core box the pod stages drop to roughly 1/min(4, cores) of
+    the serial cell's."""
+    from repro.conformance import case_by_name
+
+    cluster, venv, config = case_by_name("scale-fat-tree-100k").instance()
+    config = replace(config, shard_workers=4)
+    mapping = benchmark.pedantic(
+        hmn_map, args=(cluster, venv, config), rounds=1, iterations=1
+    )
+    benchmark.extra_info["n_hosts"] = cluster.n_hosts
+    benchmark.extra_info["objective"] = mapping.meta["objective"]
+    benchmark.extra_info["n_workers"] = mapping.meta["shard"]["n_workers"]
+    benchmark.extra_info["fallback_rate"] = mapping.meta["shard"]["fallback_rate"]
 
 
 def test_large_switched_fabric(benchmark):

@@ -1,0 +1,32 @@
+"""Shared environment knobs for crash-tolerant worker processes.
+
+``REPRO_CELL_TIMEOUT`` and ``REPRO_CELL_RETRIES`` originally governed
+the :class:`~repro.analysis.runner.BatchRunner` cell processes (PR 3);
+the sharded pipeline's pod workers (:mod:`repro.shard.parallel`) obey
+the same budget and retry discipline, so the parsing lives here —
+a dependency-free module both can import without coupling the shard
+package to the analysis stack.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["env_cell_timeout", "env_cell_retries"]
+
+
+def env_cell_timeout() -> float | None:
+    """Per-task wall-clock budget in seconds from ``REPRO_CELL_TIMEOUT``
+    (unset or non-positive means no limit)."""
+    raw = os.environ.get("REPRO_CELL_TIMEOUT", "").strip()
+    if not raw:
+        return None
+    value = float(raw)
+    return value if value > 0 else None
+
+
+def env_cell_retries() -> int:
+    """Re-attempt count for a crashed/hung/raising task from
+    ``REPRO_CELL_RETRIES`` (default 1)."""
+    raw = os.environ.get("REPRO_CELL_RETRIES", "").strip()
+    return int(raw) if raw else 1

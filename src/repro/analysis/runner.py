@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping as TMapping, Sequence
 
 from repro import obs
+from repro._procenv import env_cell_retries, env_cell_timeout
 from repro.baselines.registry import get_mapper
 from repro.core.cluster import PhysicalCluster
 from repro.core.validate import validate_mapping
@@ -266,17 +267,11 @@ def _cell_worker(conn, spec: CellSpec, trace: bool = False) -> None:
         conn.close()
 
 
-def _env_timeout() -> float | None:
-    raw = os.environ.get("REPRO_CELL_TIMEOUT", "").strip()
-    if not raw:
-        return None
-    value = float(raw)
-    return value if value > 0 else None
-
-
-def _env_retries() -> int:
-    raw = os.environ.get("REPRO_CELL_RETRIES", "").strip()
-    return int(raw) if raw else 1
+# REPRO_CELL_TIMEOUT / REPRO_CELL_RETRIES parsing is shared with the
+# sharded pipeline's pod workers (repro.shard.parallel) — one budget
+# discipline for every crash-tolerant worker process in the library.
+_env_timeout = env_cell_timeout
+_env_retries = env_cell_retries
 
 
 def _error_record(spec: CellSpec, reason: str) -> RunRecord:

@@ -41,7 +41,13 @@ from repro.obs import MetricsRegistry, Tracer, load_trace, recording, validate_t
 from repro.resilience.metrics import survivability, survivability_from_trace
 from repro.resilience.operator import ChaosResult, RepairPolicy
 from repro.resilience.operator import run_chaos as _run_chaos
-from repro.shard import AUTO_MIN_HOSTS, Partition, partition_cluster, shard_map
+from repro.shard import (
+    AUTO_MIN_HOSTS,
+    Partition,
+    partition_cluster,
+    resolve_shard_workers,
+    shard_map,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.runner import RunRecord
@@ -80,6 +86,7 @@ __all__ = [
     "partition_cluster",
     "Partition",
     "AUTO_MIN_HOSTS",
+    "resolve_shard_workers",
     # conformance (correctness tooling)
     "mapping_digest",
     "verify_conformance",

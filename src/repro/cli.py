@@ -125,6 +125,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard-and-stitch control for the hmn mapper: 'auto' "
                         "engages pods at 4096+ hosts, 'off' forces the "
                         "monolithic pipeline, an integer forces that many pods")
+    p.add_argument("--shard-workers", default="auto", metavar="auto|N",
+                   help="worker processes for the sharded pod stages: 'auto' "
+                        "reads REPRO_SHARD_WORKERS (else serial), an integer "
+                        ">= 2 runs pods concurrently over shared memory; "
+                        "mappings are byte-identical for any worker count")
     p.add_argument("--output", help="write the mapping .json here")
     p.add_argument("--quiet", action="store_true", help="suppress the report")
     _add_obs_flags(p)
@@ -307,7 +312,14 @@ def _map(args) -> int:
     canonical = args.mapper.lower()
     if canonical in ("hmn",):
         shard = args.shard if args.shard in ("auto", "off") else int(args.shard)
-        kwargs["config"] = api.HMNConfig(engine=args.engine, shard=shard)
+        workers = (
+            args.shard_workers
+            if args.shard_workers == "auto"
+            else int(args.shard_workers)
+        )
+        kwargs["config"] = api.HMNConfig(
+            engine=args.engine, shard=shard, shard_workers=workers
+        )
     elif canonical in ("random+astar", "ra"):
         kwargs["engine"] = args.engine
     try:

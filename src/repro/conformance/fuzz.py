@@ -299,12 +299,13 @@ def _check_sharded_seed(seed: int, base_seed: int, report: FuzzReport) -> None:
     """The sharded-pipeline arms on one forced-shard instance.
 
     Hard checks: the stitch C kernel and its Python reference must
-    agree on feasibility, failure class, and the full digest; every
-    sharded mapping must satisfy Eqs. 1-9.  Sharded-vs-monolithic
-    disagreement on feasibility or failure class is *not* a bug —
-    pod-local capacity fragmentation and different reservation order
-    legitimately flip marginal instances — so it only increments
-    ``n_shard_gap``.
+    agree on feasibility, failure class, and the full digest; the
+    process-parallel pod pipeline (``shard_workers=2``) must be
+    byte-identical to the serial path; every sharded mapping must
+    satisfy Eqs. 1-9.  Sharded-vs-monolithic disagreement on
+    feasibility or failure class is *not* a bug — pod-local capacity
+    fragmentation and different reservation order legitimately flip
+    marginal instances — so it only increments ``n_shard_gap``.
     """
     cluster, venv, config = generate_instance(seed, base_seed=base_seed)
     rng = derive(base_seed, "conformance", "fuzz-shard", seed)
@@ -348,6 +349,28 @@ def _check_sharded_seed(seed: int, base_seed: int, report: FuzzReport) -> None:
                         f"kernel-on {d_on[:16]}.. != kernel-off {d_off[:16]}..",
                     )
                 )
+
+    # Serial vs process-parallel: same instance, same pods, two
+    # workers.  The pool merges per-pod decision logs in pod-id order,
+    # so any digest drift here is a real determinism bug — hard check.
+    m_par, fail_par = arm(shard=n_pods, shard_workers=2, extra={"stitch_kernel": True})
+    if (m_on is None) != (m_par is None) or fail_on != fail_par:
+        divergences.append(
+            (
+                "shard-parallel-feasibility",
+                f"serial={fail_on or 'mapped'} but parallel={fail_par or 'mapped'}",
+            )
+        )
+    elif m_on is not None:
+        d_par = digest(cluster, venv, m_par)
+        d_on = digest(cluster, venv, m_on)
+        if d_par != d_on:
+            divergences.append(
+                (
+                    "shard-parallel-digest",
+                    f"serial {d_on[:16]}.. != workers=2 {d_par[:16]}..",
+                )
+            )
 
     _m_mono, fail_mono = arm(shard="off")
     if fail_mono != fail_on:

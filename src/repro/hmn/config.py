@@ -24,6 +24,7 @@ __all__ = [
     "Router",
     "Engine",
     "Shard",
+    "ShardWorkers",
 ]
 
 
@@ -100,6 +101,16 @@ Router = Literal["algorithm1", "label_setting"]
 #: of cluster size — the knob the equivalence tests turn.
 Shard = Literal["auto", "off"] | int
 
+#: Process pool size for the sharded pipeline's pod stages
+#: (:mod:`repro.shard.parallel`).  ``"auto"`` (default) reads the
+#: ``REPRO_SHARD_WORKERS`` environment variable and falls back to ``1``
+#: (serial — byte-identical to every result the serial sharded path
+#: ever produced); an integer ``n >= 2`` runs pod hosting/migration in
+#: *n* worker processes over a shared-memory view of the substrate.
+#: The merge is deterministic in pod-id order, so the mapping is
+#: byte-identical regardless of the worker count.
+ShardWorkers = Literal["auto"] | int
+
 #: Which route-kernel implementation backs the Networking stage.
 #: "compiled" (default) runs the router in index space over the
 #: cluster's :class:`~repro.core.arrays.CompiledTopology` — integer
@@ -151,6 +162,11 @@ class HMNConfig:
         Substrate decomposition policy (see :data:`Shard`).  The
         default ``"auto"`` engages :mod:`repro.shard` only above its
         host-count threshold, so paper-scale instances are unaffected.
+    shard_workers:
+        Worker-process count for the sharded pod stages (see
+        :data:`ShardWorkers`); affects wall-clock only, never results —
+        per-pod placements are merged in pod-id order, so mappings are
+        byte-identical across any worker count.
     max_route_expansions:
         Safety valve forwarded to the router.
     seed:
@@ -169,6 +185,7 @@ class HMNConfig:
     router: Router = "algorithm1"
     engine: Engine = "compiled"
     shard: Shard = "auto"
+    shard_workers: ShardWorkers = "auto"
     max_route_expansions: int = 2_000_000
     seed: int | None = None
     extra: dict = field(default_factory=dict, compare=False)
@@ -196,6 +213,14 @@ class HMNConfig:
             raise ConfigError(
                 f"shard must be 'auto', 'off', or an integer pod count >= 1, "
                 f"got {self.shard!r}"
+            )
+        if isinstance(self.shard_workers, bool) or not (
+            self.shard_workers == "auto"
+            or (isinstance(self.shard_workers, int) and self.shard_workers >= 1)
+        ):
+            raise ConfigError(
+                f"shard_workers must be 'auto' or an integer >= 1, "
+                f"got {self.shard_workers!r}"
             )
         if self.migration_max_iterations < 0:
             raise ConfigError("migration_max_iterations must be >= 0")

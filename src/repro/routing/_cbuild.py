@@ -11,70 +11,30 @@ pure-Python index-space kernel, which is semantically identical (the
 C kernel is an accelerator, never a behavior change — see the
 equivalence notes in ``_ckernel.c``).
 
-Concurrent builds (e.g. BatchRunner worker processes racing on a cold
-cache) are safe: each process compiles to a private temp file and
-atomically renames it into place.
+The compile-and-cache mechanics (including safety under concurrent
+cold builds) live in :mod:`repro._ccompile`, shared with the stitch
+kernel's loader (:mod:`repro.shard._kernel`).
 """
 
 from __future__ import annotations
 
 import ctypes
-import hashlib
-import os
-import subprocess
 from pathlib import Path
+
+from repro._ccompile import load_cached_library
 
 __all__ = ["load_kernel"]
 
 _SOURCE = Path(__file__).with_name("_ckernel.c")
 _CACHE_DIR = Path(__file__).with_name("_ckernel_cache")
 
-#: -ffp-contract=off forbids fused multiply-add contraction so every
-#: double operation rounds exactly like the Python kernel's; -O2 keeps
-#: the rest.  No -ffast-math, ever — it breaks IEEE comparisons.
-_CFLAGS = ("-O2", "-shared", "-fPIC", "-ffp-contract=off", "-fno-math-errno")
-
 _sentinel = object()
 _lib = _sentinel
 
 
-def _build(so_path: Path) -> bool:
-    compiler = os.environ.get("CC", "cc")
-    tmp = so_path.with_name(f"{so_path.stem}.{os.getpid()}.tmp.so")
-    cmd = [compiler, *_CFLAGS, "-o", str(tmp), str(_SOURCE)]
-    try:
-        subprocess.run(
-            cmd, check=True, capture_output=True, timeout=120, cwd=str(_SOURCE.parent)
-        )
-        os.replace(tmp, so_path)
-        return True
-    except (OSError, subprocess.SubprocessError):
-        try:
-            tmp.unlink(missing_ok=True)
-        except OSError:
-            pass
-        return False
-
-
 def _load() -> "ctypes.CDLL | None":
-    if os.environ.get("REPRO_NO_CKERNEL") == "1":
-        return None
-    try:
-        source = _SOURCE.read_bytes()
-    except OSError:
-        return None
-    digest = hashlib.sha256(source).hexdigest()[:16]
-    so_path = _CACHE_DIR / f"ckernel_{digest}.so"
-    if not so_path.exists():
-        try:
-            _CACHE_DIR.mkdir(exist_ok=True)
-        except OSError:
-            return None
-        if not _build(so_path):
-            return None
-    try:
-        lib = ctypes.CDLL(str(so_path))
-    except OSError:
+    lib = load_cached_library(_SOURCE, _CACHE_DIR, "ckernel")
+    if lib is None:
         return None
     try:
         fn = lib.ck_bottleneck_route

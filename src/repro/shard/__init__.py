@@ -11,19 +11,30 @@ without changing what the heuristic *decides*:
   over flat numpy views, decision-equivalent to the reference stages;
 * :mod:`repro.shard.stitch` routes cross-pod virtual links in batched
   waves through corridor subgraphs with a dedicated C kernel;
+* :mod:`repro.shard.parallel` runs the pod-local stages across a
+  crash-tolerant process pool over a shared-memory substrate snapshot,
+  merging per-pod decision logs deterministically so the mapping is
+  byte-identical at any worker count;
 * :mod:`repro.shard.mapper` orchestrates the four stages and returns
   the same :class:`~repro.core.mapping.Mapping` contract as
   :func:`~repro.hmn.pipeline.hmn_map`.
 
 Engage it with ``HMNConfig(shard=...)`` — ``"auto"`` (the default)
 shards only at :data:`~repro.shard.partition.AUTO_MIN_HOSTS` hosts and
-above, so every paper-scale result stays byte-identical.
+above, so every paper-scale result stays byte-identical.  Add
+``shard_workers=N`` (or ``REPRO_SHARD_WORKERS``) to parallelize the
+pod stages.
 """
 
 from repro.shard.mapper import (
     SHARD_QUALITY_RATIO,
     SHARD_QUALITY_SLACK,
     shard_map,
+)
+from repro.shard.parallel import (
+    PodPool,
+    SharedSubstrate,
+    resolve_shard_workers,
 )
 from repro.shard.partition import (
     AUTO_MIN_HOSTS,
@@ -41,14 +52,17 @@ __all__ = [
     "SHARD_QUALITY_SLACK",
     "TARGET_POD_HOSTS",
     "Partition",
+    "PodPool",
     "PodState",
     "Region",
+    "SharedSubstrate",
     "Stitcher",
     "build_region",
     "partition_cluster",
     "pod_hosting",
     "pod_migration",
     "resolve_pod_target",
+    "resolve_shard_workers",
     "shard_map",
     "stitch_networking",
 ]

@@ -1,9 +1,12 @@
 """Build and load the batched stitch-routing C kernel.
 
-Same pattern as :mod:`repro.routing._cbuild` (which see): compile
-``_stitchkernel.c`` on first use with the system C compiler into a
-content-addressed shared object next to this file, load with
-:mod:`ctypes`, degrade to ``None`` — and therefore to the semantically
+Same pattern as :mod:`repro.routing._cbuild` — and, since PR 7, the
+same *code*: the content-addressed compile cache lives in
+:mod:`repro._ccompile`.  ``_stitchkernel.c`` is compiled on first use
+into ``_stitch_cache/`` keyed by the source's SHA-256, so concurrent
+cold starts (conformance fuzz processes, :mod:`repro.shard.parallel`
+pod workers) never race on the build or recompile per process, and the
+loader degrades to ``None`` — and therefore to the semantically
 identical pure-Python wave driver in :mod:`repro.shard.stitch` — on
 any failure or when ``REPRO_NO_CKERNEL=1`` is set (one switch disables
 every C accelerator in the library).
@@ -12,59 +15,22 @@ every C accelerator in the library).
 from __future__ import annotations
 
 import ctypes
-import hashlib
-import os
-import subprocess
 from pathlib import Path
+
+from repro._ccompile import load_cached_library
 
 __all__ = ["load_stitch_kernel"]
 
 _SOURCE = Path(__file__).with_name("_stitchkernel.c")
 _CACHE_DIR = Path(__file__).with_name("_stitch_cache")
 
-_CFLAGS = ("-O2", "-shared", "-fPIC", "-ffp-contract=off", "-fno-math-errno")
-
 _sentinel = object()
 _lib = _sentinel
 
 
-def _build(so_path: Path) -> bool:
-    compiler = os.environ.get("CC", "cc")
-    tmp = so_path.with_name(f"{so_path.stem}.{os.getpid()}.tmp.so")
-    cmd = [compiler, *_CFLAGS, "-o", str(tmp), str(_SOURCE)]
-    try:
-        subprocess.run(
-            cmd, check=True, capture_output=True, timeout=120, cwd=str(_SOURCE.parent)
-        )
-        os.replace(tmp, so_path)
-        return True
-    except (OSError, subprocess.SubprocessError):
-        try:
-            tmp.unlink(missing_ok=True)
-        except OSError:
-            pass
-        return False
-
-
 def _load() -> "ctypes.CDLL | None":
-    if os.environ.get("REPRO_NO_CKERNEL") == "1":
-        return None
-    try:
-        source = _SOURCE.read_bytes()
-    except OSError:
-        return None
-    digest = hashlib.sha256(source).hexdigest()[:16]
-    so_path = _CACHE_DIR / f"stitchkernel_{digest}.so"
-    if not so_path.exists():
-        try:
-            _CACHE_DIR.mkdir(exist_ok=True)
-        except OSError:
-            return None
-        if not _build(so_path):
-            return None
-    try:
-        lib = ctypes.CDLL(str(so_path))
-    except OSError:
+    lib = load_cached_library(_SOURCE, _CACHE_DIR, "stitchkernel")
+    if lib is None:
         return None
     try:
         fn = lib.sk_route_batch

@@ -50,6 +50,7 @@ from repro.core.venv import VirtualEnvironment
 from repro.errors import PlacementError
 from repro.hmn.config import HMNConfig
 from repro.hmn.ordering import ordered_vlinks
+from repro.shard.parallel import PodPool, resolve_shard_workers
 from repro.shard.partition import Partition, partition_cluster
 from repro.shard.stitch import stitch_networking
 from repro.shard.vectorized import PodState, pod_hosting, pod_migration
@@ -176,7 +177,7 @@ def shard_map(
     def run_stage(name: str, stage_fn):
         with rec.span(f"shard.{name}", engine=config.engine) as sp:
             t0 = time.perf_counter()
-            result = stage_fn()
+            result = stage_fn(sp)
             elapsed = time.perf_counter() - t0
             stats = result[1] if name == "networking" else result
             stages.append(StageReport(name, elapsed, stats))
@@ -191,6 +192,7 @@ def shard_map(
     with rec.span(
         "shard.map", n_guests=venv.n_guests, n_vlinks=venv.n_vlinks, engine=config.engine
     ) as root:
+        pool: PodPool | None = None
         try:
             # -- stage 1: partition substrate + virtual environment ----
             with rec.span("shard.partition", engine=config.engine) as sp:
@@ -213,8 +215,20 @@ def shard_map(
                     sp.set(seconds=elapsed, n_pods=partition.n_pods)
                     rec.observe("repro_stage_seconds", elapsed, stage="partition")
 
+            # -- worker pool (shard_workers >= 2 and enough pods) ------
+            # Workers see a read-only shared-memory snapshot of the
+            # substrate (published once, below) and return per-pod
+            # decision logs; the parent replays each log in pod-id
+            # order, which is the serial code path's exact operation
+            # sequence — the mapping digest is byte-identical for any
+            # worker count.
+            n_workers = resolve_shard_workers(config.shard_workers, partition.n_pods)
+            if n_workers >= 2:
+                with rec.span("shard.pool", n_workers=n_workers):
+                    pool = PodPool(state, venv, config, n_workers)
+
             # -- stage 2: pod-local hosting + overflow rescue ----------
-            def do_hosting():
+            def do_hosting(sp):
                 hosting_stats = {
                     "placements": 0,
                     "pairs_colocated": 0,
@@ -230,19 +244,48 @@ def shard_map(
                     if pa == assigned_pod[link.b]:
                         pod_links[pa].append(link)
                 failures: list[int] = []
-                for p, pod in enumerate(pod_states):
-                    with rec.span(
-                        "shard.pod", stage="hosting", pod=p,
-                        hosts=pod.n_hosts, guests=len(pod_guests[p]),
-                    ):
-                        st = pod_hosting(
-                            pod, venv, pod_links[p], sorted(pod_guests[p]),
-                            config, failures=failures,
+                if pool is None:
+                    for p, pod in enumerate(pod_states):
+                        with rec.span(
+                            "shard.pod", stage="hosting", pod=p,
+                            hosts=pod.n_hosts, guests=len(pod_guests[p]),
+                        ):
+                            st = pod_hosting(
+                                pod, venv, pod_links[p], sorted(pod_guests[p]),
+                                config, failures=failures,
+                            )
+                        for k in ("placements", "pairs_colocated", "isolated_guests"):
+                            hosting_stats[k] += st[k]
+                else:
+                    topo = state.topology
+                    tasks = [
+                        (
+                            "hosting", p,
+                            np.array(
+                                [topo.host_index[h] for h in pod.ids],
+                                dtype=np.int64,
+                            ),
+                            pod_links[p],
+                            sorted(pod_guests[p]),
                         )
-                    for k in ("placements", "pairs_colocated", "isolated_guests"):
-                        hosting_stats[k] += st[k]
+                        for p, pod in enumerate(pod_states)
+                    ]
+                    for p, (payload, wspans) in enumerate(pool.run(tasks)):
+                        placed_items, st, pod_failures = payload
+                        pod = pod_states[p]
+                        for g, pos in placed_items:
+                            pod.place(venv.guest(g), pos)
+                        for k in ("placements", "pairs_colocated", "isolated_guests"):
+                            hosting_stats[k] += st[k]
+                        failures.extend(pod_failures)
+                        if rec.enabled and wspans:
+                            rec.adopt(wspans, parent=sp.id)
                 # Overflow rescue: retry homeless guests across every
                 # other pod, emptiest pod first, heaviest guest first.
+                # Rescue crosses pod boundaries, so it always runs in
+                # the parent — its placements land in ``pod.placed``
+                # *after* the pod's own, which is exactly the order the
+                # migration tasks replay.
                 if failures:
                     rescue = [venv.guest(g) for g in sorted(set(failures))]
                     rescue.sort(key=lambda g: (-g.vproc, g.id))
@@ -272,14 +315,40 @@ def shard_map(
             # -- stage 3: pod-local migration --------------------------
             if config.migration_enabled:
 
-                def do_migration():
+                def do_migration(sp):
                     before = _exact_std(pod_states)
                     stats = {"migrations": 0, "iterations": 0}
-                    for p, pod in enumerate(pod_states):
-                        with rec.span("shard.pod", stage="migration", pod=p):
-                            st = pod_migration(pod, venv, config)
-                        stats["migrations"] += st["migrations"]
-                        stats["iterations"] += st["iterations"]
+                    if pool is None:
+                        for p, pod in enumerate(pod_states):
+                            with rec.span("shard.pod", stage="migration", pod=p):
+                                st = pod_migration(pod, venv, config)
+                            stats["migrations"] += st["migrations"]
+                            stats["iterations"] += st["iterations"]
+                    else:
+                        topo = state.topology
+                        # ``placed`` is insertion-ordered, so the log
+                        # replays the pod's exact placement sequence
+                        # (worker hosting first, then rescue).
+                        tasks = [
+                            (
+                                "migration", p,
+                                np.array(
+                                    [topo.host_index[h] for h in pod.ids],
+                                    dtype=np.int64,
+                                ),
+                                list(pod.placed.items()),
+                            )
+                            for p, pod in enumerate(pod_states)
+                        ]
+                        for p, (payload, wspans) in enumerate(pool.run(tasks)):
+                            moves, st = payload
+                            pod = pod_states[p]
+                            for g, dst in moves:
+                                pod.move(venv.guest(g), dst)
+                            stats["migrations"] += st["migrations"]
+                            stats["iterations"] += st["iterations"]
+                            if rec.enabled and wspans:
+                                rec.adopt(wspans, parent=sp.id)
                     stats["objective_before"] = before
                     stats["objective_after"] = _exact_std(pod_states)
                     return stats
@@ -296,12 +365,15 @@ def shard_map(
             # -- stage 4: stitch networking ----------------------------
             paths, networking_stats = run_stage(
                 "networking",
-                lambda: stitch_networking(state, venv, config, partition),
+                lambda sp: stitch_networking(state, venv, config, partition),
             )
         except Exception:
             if snapshot is not None:
                 state.restore_from(snapshot)
             raise
+        finally:
+            if pool is not None:
+                pool.close()
 
         timings = {f"{s.name}_s": s.elapsed_s for s in stages}
         timings["total_s"] = sum(s.elapsed_s for s in stages)
@@ -311,7 +383,10 @@ def shard_map(
         timings["engine"] = networking_stats["engine"]
         timings["route_kernel_s"] = networking_stats["route_kernel_s"]
         if rec.enabled:
-            root.set(total_s=timings["total_s"], n_pods=partition.n_pods)
+            root.set(
+                total_s=timings["total_s"], n_pods=partition.n_pods,
+                n_workers=n_workers,
+            )
             rec.count("repro_mappings_total", engine="sharded")
 
     return Mapping(
@@ -323,6 +398,11 @@ def shard_map(
             "objective": state.objective(),
             "config": config.describe(),
             "timings": timings,
-            "shard": {**part_stats, **networking_stats.get("stitch", {})},
+            "shard": {
+                **part_stats,
+                **networking_stats.get("stitch", {}),
+                "n_workers": n_workers,
+                **(dict(pool.stats) if pool is not None else {}),
+            },
         },
     )

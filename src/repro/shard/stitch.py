@@ -22,14 +22,19 @@ Minimum-latency (not bottleneck) search is deliberate: the paper's
 Eq. 10 objective is CPU-only, so the Networking stage only has to
 *satisfy* the bandwidth/latency constraints, and the cheapest-latency
 feasible path is the exact test for "a feasible path exists within the
-bound".  Links whose corridor comes up dry are retried over the full
-graph after all waves settle, so corridors only ever cost a retry,
-never a spurious failure.
+bound".  Links whose corridor comes up dry get an **adaptive** second
+chance: the corridor is widened once — the route's groups plus their
+highest-capacity contracted-graph neighbors
+(:meth:`StitchPlanner.widen`) — before the surviving failures join the
+full-graph rescue batch after all waves settle.  Corridors therefore
+only ever cost a retry, never a spurious failure, and the widening
+keeps the expensive full-graph pass rare even on saturated substrates.
 """
 
 from __future__ import annotations
 
 import ctypes
+import logging
 from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Hashable, Sequence
@@ -46,12 +51,27 @@ from repro.hmn.ordering import ordered_vlinks
 from repro.shard._kernel import load_stitch_kernel
 from repro.shard.partition import Partition
 
-__all__ = ["Region", "build_region", "Stitcher", "stitch_networking"]
+__all__ = [
+    "Region",
+    "build_region",
+    "StitchPlanner",
+    "Stitcher",
+    "stitch_networking",
+    "WIDEN_MAX_GROUPS",
+]
+
+logger = logging.getLogger(__name__)
 
 NodeId = Hashable
 
 _BW_EPS = 1e-9
 _LAT_EPS = 1e-9
+
+#: Cap on how many neighbor groups :meth:`StitchPlanner.widen` grafts
+#: onto a dry corridor.  Keeps a widened region a *corridor* (a few
+#: pods), not a stealth full-graph pass; the full graph remains the
+#: final rescue tier.
+WIDEN_MAX_GROUPS = 8
 
 
 @dataclass(frozen=True)
@@ -258,23 +278,24 @@ def _route_batch_c(
 
 
 # ----------------------------------------------------------------------
-# the stitcher
+# the planner: contracted graph, corridor selection, adaptive widening
 # ----------------------------------------------------------------------
-class Stitcher:
-    """Wave-routing engine over a partitioned substrate.
+class StitchPlanner:
+    """Corridor selection over the contracted inter-pod graph.
 
     Groups = pods plus spine classes.  The contracted graph has an edge
     between two groups whenever any physical link crosses them; routes
     over it are fewest-hop and cached, as are the corridor regions they
-    induce.
+    induce.  The planner also remembers the *cut* — the global edge ids
+    crossing each contracted pair — which is what makes
+    :meth:`widen` capacity-aware: when a corridor runs dry, the
+    neighbors grafted on are the ones with the most residual bandwidth
+    actually connecting them to the route, not just any adjacency.
     """
 
-    def __init__(
-        self, state: ClusterState, partition: Partition, config: HMNConfig
-    ) -> None:
+    def __init__(self, state: ClusterState, partition: Partition) -> None:
         self.state = state
         self.partition = partition
-        self.config = config
         topo = state.topology
         self.topo = topo
         n_pods = partition.n_pods
@@ -298,36 +319,39 @@ class Stitcher:
         self.node_group = group
         self.n_groups = len(self._group_nodes)
 
-        # contracted adjacency from the global edge list
-        adj: list[set[int]] = [set() for _ in range(self.n_groups)]
+        # contracted adjacency + per-pair cut edges, from the global
+        # edge list in one vectorized pass
         g_nbr = np.frombuffer(topo.adj_nodes, dtype=np.int64)
         g_off = np.frombuffer(topo.adj_offsets, dtype=np.int64)
+        g_edge = np.frombuffer(topo.adj_edges, dtype=np.int64)
         src_rep = np.repeat(
             np.arange(topo.n_nodes, dtype=np.int64), np.diff(g_off)
         )
         ga = group[src_rep]
         gb = group[g_nbr]
         cross = ga != gb
+        adj: list[set[int]] = [set() for _ in range(self.n_groups)]
         for a, b in zip(ga[cross].tolist(), gb[cross].tolist()):
             adj[a].add(b)
         self._contracted_adj = [tuple(sorted(s)) for s in adj]
 
+        self._cut_edges: dict[tuple[int, int], np.ndarray] = {}
+        lo = np.minimum(ga[cross], gb[cross])
+        hi = np.maximum(ga[cross], gb[cross])
+        ee = g_edge[cross]
+        if len(ee):
+            order = np.lexsort((hi, lo))
+            lo, hi, ee = lo[order], hi[order], ee[order]
+            starts = np.concatenate(
+                ([0], np.flatnonzero((np.diff(lo) != 0) | (np.diff(hi) != 0)) + 1)
+            )
+            ends = np.concatenate((starts[1:], [len(ee)]))
+            for s, e in zip(starts.tolist(), ends.tolist()):
+                self._cut_edges[(int(lo[s]), int(hi[s]))] = np.unique(ee[s:e])
+
         self._route_cache: dict[tuple[int, int], tuple[int, ...] | None] = {}
         self._region_cache: dict[tuple[int, ...], Region] = {}
         self._full_region: Region | None = None
-        self.kernel = (
-            load_stitch_kernel()
-            if config.extra.get("stitch_kernel", True)
-            else None
-        )
-        self.stats = {
-            "waves": 0,
-            "links_routed": 0,
-            "links_colocated": 0,
-            "fallback_links": 0,
-            "stitch_pops": 0,
-            "stitch_kernel": self.kernel is not None,
-        }
 
     # -- contracted routing -------------------------------------------
     def contracted_route(self, ga: int, gb: int) -> tuple[int, ...] | None:
@@ -379,6 +403,97 @@ class Stitcher:
                 self.topo, range(self.topo.n_nodes)
             )
         return self._full_region
+
+    # -- adaptive widening --------------------------------------------
+    def cut_capacity(self, ga: int, gb: int) -> float:
+        """Residual bandwidth crossing between groups *ga* and *gb*
+        right now (sum over the cut's edges on the live state)."""
+        key = (ga, gb) if ga <= gb else (gb, ga)
+        edges = self._cut_edges.get(key)
+        if edges is None or not len(edges):
+            return 0.0
+        table = np.frombuffer(self.state.bw_array, dtype=np.float64)
+        return float(np.sum(table[edges]))
+
+    def widen(self, route: tuple[int, ...]) -> tuple[int, ...] | None:
+        """One adaptive widening step for a dry corridor.
+
+        Returns the widened group set — the route's groups plus up to
+        :data:`WIDEN_MAX_GROUPS` contracted-graph neighbors, ranked by
+        the residual bandwidth connecting each neighbor to the route
+        (capacity-aware, read off the live state) — or ``None`` when no
+        neighbor with positive connecting capacity exists, i.e. when
+        widening could not change the answer.
+        """
+        members = set(route)
+        ranked: list[tuple[float, int]] = []
+        for g in members:
+            for n in self._contracted_adj[g]:
+                if n in members:
+                    continue
+                cap = sum(self.cut_capacity(n, g2) for g2 in route if g2 != n)
+                if cap > _BW_EPS:
+                    ranked.append((-cap, n))
+        if not ranked:
+            return None
+        ranked.sort()
+        seen: set[int] = set()
+        extra: list[int] = []
+        for _, n in ranked:
+            if n in seen:
+                continue
+            seen.add(n)
+            extra.append(n)
+            if len(extra) >= WIDEN_MAX_GROUPS:
+                break
+        return tuple(sorted(members | set(extra)))
+
+
+# ----------------------------------------------------------------------
+# the stitcher
+# ----------------------------------------------------------------------
+class Stitcher:
+    """Wave-routing engine over a partitioned substrate.
+
+    Owns the batch drivers and the routing statistics; corridor
+    *selection* (contracted routes, regions, adaptive widening) is
+    delegated to a :class:`StitchPlanner` (``self.planner``).
+    """
+
+    def __init__(
+        self, state: ClusterState, partition: Partition, config: HMNConfig
+    ) -> None:
+        self.state = state
+        self.partition = partition
+        self.config = config
+        self.topo = state.topology
+        self.planner = StitchPlanner(state, partition)
+        self.node_group = self.planner.node_group
+        self.n_groups = self.planner.n_groups
+        self.kernel = (
+            load_stitch_kernel()
+            if config.extra.get("stitch_kernel", True)
+            else None
+        )
+        self.stats = {
+            "waves": 0,
+            "links_routed": 0,
+            "links_colocated": 0,
+            "widened_links": 0,
+            "fallback_links": 0,
+            "stitch_pops": 0,
+            "stitch_kernel": self.kernel is not None,
+        }
+
+    # -- planner delegation (stable public surface) -------------------
+    def contracted_route(self, ga: int, gb: int) -> tuple[int, ...] | None:
+        return self.planner.contracted_route(ga, gb)
+
+    def region_for(self, route: tuple[int, ...]) -> Region:
+        return self.planner.region_for(route)
+
+    def full_region(self) -> Region:
+        return self.planner.full_region()
 
     # -- wave routing -------------------------------------------------
     def _drive(self, region: Region, bw, src, dst, need, bound):
@@ -451,8 +566,10 @@ def stitch_networking(
     :func:`repro.hmn.networking.run_networking`'s return shape).
 
     Links are bucketed by contracted route, waves are processed in
-    descending total-demand order, and corridor failures are retried
-    over the full graph once every wave has settled.  Raises
+    descending total-demand order, and corridor failures escalate
+    through two tiers: one adaptive widening of the dry corridor
+    (:meth:`StitchPlanner.widen`), then a full-graph rescue batch once
+    every wave has settled.  Raises
     :class:`~repro.errors.RoutingError` only when even the full graph
     has no feasible path — the same heuristic-failure contract as the
     monolithic stage.
@@ -487,6 +604,7 @@ def stitch_networking(
         key=lambda kv: (-sum(link.vbw for link, _, _ in kv[1]), kv[0]),
     )
     rec = obs.OBS
+    dry_waves: list[tuple[tuple[int, ...], list]] = []
     for route, bucket in order:
         region = stitcher.region_for(route)
         with rec.span(
@@ -499,16 +617,57 @@ def stitch_networking(
                 region, [(a, b, link.vbw, link.vlat) for link, a, b in bucket]
             )
         stitcher.stats["waves"] += 1
+        dry: list = []
         for (link, a, b), node_path in zip(bucket, routed):
+            if node_path is None:
+                dry.append((link, a, b))
+            else:
+                paths[link.key] = node_path
+                stitcher.stats["links_routed"] += 1
+        if dry:
+            dry_waves.append((route, dry))
+
+    # Tier 2: widen each dry corridor once — the route's groups plus
+    # their highest-residual-capacity contracted neighbors — before
+    # conceding the full graph.  Processed in the same wave order, so
+    # the escalation sequence is a deterministic function of the
+    # workload.
+    for route, dry in dry_waves:
+        wide = stitcher.planner.widen(route)
+        if wide is None or set(wide) == set(route):
+            retries.extend(dry)
+            continue
+        region = stitcher.region_for(wide)
+        with rec.span(
+            "shard.corridor_widen",
+            route_len=len(route),
+            groups=len(wide),
+            links=len(dry),
+            region_nodes=region.n_nodes,
+        ):
+            routed = stitcher.route_wave(
+                region, [(a, b, link.vbw, link.vlat) for link, a, b in dry]
+            )
+        stitcher.stats["waves"] += 1
+        for (link, a, b), node_path in zip(dry, routed):
             if node_path is None:
                 retries.append((link, a, b))
             else:
                 paths[link.key] = node_path
                 stitcher.stats["links_routed"] += 1
+                stitcher.stats["widened_links"] += 1
 
     if retries:
         # Full-graph rescue pass, one batch, after all corridor
-        # reservations are visible globally.
+        # reservations are visible globally.  One summary line instead
+        # of per-link noise: at 100k scale the rescue batch is the
+        # thing worth knowing about, not its members.
+        logger.warning(
+            "shard stitch: %d link(s) (total vbw %.3f) exhausted their "
+            "corridor and widened corridor; routing over the full graph",
+            len(retries),
+            sum(link.vbw for link, _, _ in retries),
+        )
         retries.sort(key=lambda t: (-t[0].vbw, t[0].key))
         region = stitcher.full_region()
         with rec.span("shard.wave", route_len=0, links=len(retries), fallback=True):
@@ -527,10 +686,17 @@ def stitch_networking(
             stitcher.stats["links_routed"] += 1
             stitcher.stats["fallback_links"] += 1
 
+    stitcher.stats["fallback_rate"] = (
+        stitcher.stats["fallback_links"] / max(1, stitcher.stats["links_routed"])
+    )
+
     if rec.enabled:
         rec.count("repro_links_routed_total", stitcher.stats["links_routed"], engine="sharded")
         rec.count("repro_links_colocated_total", stitcher.stats["links_colocated"], engine="sharded")
         rec.count("repro_stitch_waves_total", stitcher.stats["waves"])
+        rec.count("repro_stitch_widened_total", stitcher.stats["widened_links"])
+        rec.count("repro_stitch_fallback_total", stitcher.stats["fallback_links"])
+        rec.gauge("repro_stitch_fallback_rate", stitcher.stats["fallback_rate"])
 
     stats = {
         "links_routed": stitcher.stats["links_routed"],

@@ -357,7 +357,13 @@ def _candidate_stds(pod: PodState, src: int, vproc: float) -> np.ndarray:
     return std
 
 
-def pod_migration(pod: PodState, venv: VirtualEnvironment, config: HMNConfig) -> dict:
+def pod_migration(
+    pod: PodState,
+    venv: VirtualEnvironment,
+    config: HMNConfig,
+    *,
+    move_log: "list[tuple[int, int]] | None" = None,
+) -> dict:
     """Run the Migration stage inside one pod (vectorized sweep).
 
     The improvement criterion is the pod-local Eq. 10.  Because a move
@@ -365,6 +371,11 @@ def pod_migration(pod: PodState, venv: VirtualEnvironment, config: HMNConfig) ->
     variance deltas are the same quantity (``Δsumsq / n``), so every
     pod-local improvement is a global improvement too — sharding
     changes the threshold granularity, not the direction of descent.
+
+    When *move_log* is given, every accepted move is appended as
+    ``(guest_id, dst_position)`` in execution order, so a caller in
+    another process (:mod:`repro.shard.parallel`) can replay the exact
+    float-operation sequence on its own copy of the pod.
     """
     before = pod.tracker.exact_std()
     migrations = 0
@@ -398,6 +409,8 @@ def pod_migration(pod: PodState, venv: VirtualEnvironment, config: HMNConfig) ->
             if along.any():
                 dst = int(order[int(np.argmax(along))])
                 pod.move(guest, dst)
+                if move_log is not None:
+                    move_log.append((guest_id, dst))
                 moved = True
                 migrations += 1
             if moved:

@@ -254,10 +254,12 @@ def _two_guest_venv(vbw, vlat):
 
 
 class TestStitchNetworking:
-    def test_corridor_failure_falls_back_to_full_graph(self):
+    def test_corridor_failure_widens_to_neighbor_pod(self):
         # Triangle of hosts: the direct pod0-pod1 link is too thin, the
         # detour through pod2 is not.  The fewest-hop contracted route
-        # ignores pod2, so only the full-graph rescue can route this.
+        # ignores pod2, but the adaptive widening grafts it on (it is
+        # the highest-capacity neighbor), so the link routes in the
+        # widened corridor and never reaches the full-graph rescue.
         c = PhysicalCluster(name="triangle")
         for i in range(3):
             c.add_host(Host(i, proc=100.0, mem=1024, stor=100.0))
@@ -271,8 +273,67 @@ class TestStitchNetworking:
         state.place(venv.guest(1), 1)
         paths, stats = stitch_networking(state, venv, HMNConfig(), part)
         assert paths[(0, 1)] == (0, 2, 1)
-        assert stats["stitch"]["fallback_links"] == 1
+        assert stats["stitch"]["widened_links"] == 1
+        assert stats["stitch"]["fallback_links"] == 0
+        assert stats["stitch"]["fallback_rate"] == 0.0
         assert state.residual_bw(0, 2) == pytest.approx(90.0)
+
+    def test_widened_corridor_failure_falls_back_to_full_graph(self):
+        # Five single-host pods on a ring: 0-1 is too thin, and the
+        # widened corridor for route (0, 1) — the endpoints plus their
+        # immediate neighbors 2 and 4 — contains no alternative path
+        # either (2 and 4 only connect through 3).  Only the full-graph
+        # rescue can route this, and the counters must say so.
+        c = PhysicalCluster(name="ring5")
+        for i in range(5):
+            c.add_host(Host(i, proc=100.0, mem=1024, stor=100.0))
+        c.add_link(PhysicalLink(0, 1, bw=1.0, lat=1.0))
+        c.add_link(PhysicalLink(0, 2, bw=100.0, lat=1.0))
+        c.add_link(PhysicalLink(2, 3, bw=100.0, lat=1.0))
+        c.add_link(PhysicalLink(3, 4, bw=100.0, lat=1.0))
+        c.add_link(PhysicalLink(4, 1, bw=100.0, lat=1.0))
+        part = partition_cluster(c, 5)
+        venv = _two_guest_venv(vbw=10.0, vlat=50.0)
+        state = ClusterState(c)
+        state.place(venv.guest(0), 0)
+        state.place(venv.guest(1), 1)
+        paths, stats = stitch_networking(state, venv, HMNConfig(), part)
+        assert paths[(0, 1)] == (0, 2, 3, 4, 1)
+        assert stats["stitch"]["widened_links"] == 0
+        assert stats["stitch"]["fallback_links"] == 1
+        assert stats["stitch"]["fallback_rate"] == pytest.approx(1.0)
+        for u, v in ((0, 2), (2, 3), (3, 4), (4, 1)):
+            assert state.residual_bw(u, v) == pytest.approx(90.0)
+
+    def test_planner_widen_is_capacity_aware(self):
+        # pod0-pod1 dry; neighbors 2 (fat cut) and 3 (thin cut) are both
+        # adjacent to the route.  widen() must rank 2 before 3 and skip
+        # neighbors with zero connecting capacity entirely.
+        c = PhysicalCluster(name="star")
+        for i in range(5):
+            c.add_host(Host(i, proc=100.0, mem=1024, stor=100.0))
+        c.add_link(PhysicalLink(0, 1, bw=1.0, lat=1.0))
+        c.add_link(PhysicalLink(0, 2, bw=100.0, lat=1.0))
+        c.add_link(PhysicalLink(1, 2, bw=100.0, lat=1.0))
+        c.add_link(PhysicalLink(0, 3, bw=5.0, lat=1.0))
+        c.add_link(PhysicalLink(3, 4, bw=100.0, lat=1.0))
+        part = partition_cluster(c, 5)
+        state = ClusterState(c)
+        from repro.shard.stitch import StitchPlanner
+
+        planner = StitchPlanner(state, part)
+        topo = state.topology
+        g = {h: int(planner.node_group[topo.node_index[h]]) for h in range(5)}
+        wide = planner.widen((g[0], g[1]))
+        # 2 and 3 both connect to the route; 4 does not touch it.
+        assert wide is not None
+        assert set(wide) == {g[0], g[1], g[2], g[3]}
+        assert planner.cut_capacity(g[0], g[2]) == pytest.approx(100.0)
+        assert planner.cut_capacity(g[0], g[3]) == pytest.approx(5.0)
+        assert planner.cut_capacity(g[0], g[4]) == 0.0
+        # Exhaust the fat cut: capacity ranking reads the live state.
+        state.reserve_path((0, 2), 100.0)
+        assert planner.cut_capacity(g[0], g[2]) == pytest.approx(0.0)
 
     def test_infeasible_link_raises_routing_error(self):
         from repro.errors import RoutingError
