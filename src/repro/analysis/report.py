@@ -146,6 +146,10 @@ def describe_chaos(result) -> str:
         f"{summary['links_rerouted']} links re-routed; "
         f"latency mean/max {summary['repair_latency_mean']:.3f}/"
         f"{summary['repair_latency_max']:.3f})",
+        f"failover: {summary['failovers']} fast failovers "
+        f"({summary['replicas_activated']} replicas promoted, "
+        f"{summary['backups_activated']} backup paths activated, "
+        f"{summary['backup_bw_shed']:.1f} backup bandwidth shed)",
         f"objective: drift {summary['objective_drift']:.1f}, "
         f"final {summary['objective_final']:.1f}",
         "",

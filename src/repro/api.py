@@ -38,6 +38,11 @@ from repro.hmn.config import HMNConfig
 from repro.hmn.pipeline import hmn_map
 from repro.io import _load_json, _save_json
 from repro.obs import MetricsRegistry, Tracer, load_trace, recording, validate_trace
+from repro.redundancy import (
+    FailureDomains,
+    derive_domains,
+    redundancy_records,
+)
 from repro.resilience.metrics import survivability, survivability_from_trace
 from repro.resilience.operator import ChaosResult, RepairPolicy
 from repro.resilience.operator import run_chaos as _run_chaos
@@ -87,6 +92,10 @@ __all__ = [
     "Partition",
     "AUTO_MIN_HOSTS",
     "resolve_shard_workers",
+    # availability (k-redundant placement + backup paths)
+    "FailureDomains",
+    "derive_domains",
+    "redundancy_records",
     # conformance (correctness tooling)
     "mapping_digest",
     "verify_conformance",

@@ -130,6 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "reads REPRO_SHARD_WORKERS (else serial), an integer "
                         ">= 2 runs pods concurrently over shared memory; "
                         "mappings are byte-identical for any worker count")
+    p.add_argument("--redundancy", type=int, default=0, metavar="K",
+                   help="place K standby replicas per guest across distinct "
+                        "failure domains (0-7; the primary mapping is "
+                        "byte-identical for any K)")
+    p.add_argument("--backup-paths", action="store_true",
+                   help="pre-provision a link-disjoint backup path per vlink "
+                        "with shared-risk bandwidth reservation")
     p.add_argument("--output", help="write the mapping .json here")
     p.add_argument("--quiet", action="store_true", help="suppress the report")
     _add_obs_flags(p)
@@ -183,6 +190,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ceiling on the fraction of hosts/switches down at once "
                         "(0.34 lets 1 of the cascade's 3 switches fail)")
     p.add_argument("--max-attempts", type=int, default=3, help="repair attempts per fault")
+    p.add_argument("--redundancy", type=int, default=0, metavar="K",
+                   help="admit every tenant with K standby replicas per guest "
+                        "(fast failover promotes them before the repair loop)")
+    p.add_argument("--backup-paths", action="store_true",
+                   help="pre-provision link-disjoint backup paths per tenant "
+                        "vlink (activated on path loss before re-routing)")
     p.add_argument("--no-shed", action="store_true",
                    help="never shed bystander tenants to make a repair fit")
     p.add_argument("--selfcheck", action="store_true",
@@ -318,7 +331,8 @@ def _map(args) -> int:
             else int(args.shard_workers)
         )
         kwargs["config"] = api.HMNConfig(
-            engine=args.engine, shard=shard, shard_workers=workers
+            engine=args.engine, shard=shard, shard_workers=workers,
+            redundancy=args.redundancy, backup_paths=args.backup_paths,
         )
     elif canonical in ("random+astar", "ra"):
         kwargs["engine"] = args.engine
@@ -449,7 +463,11 @@ def _chaos(args) -> int:
         n_events=args.events,
         seed=args.seed,
         model=model,
-        config=HMNConfig(engine=args.engine),
+        config=HMNConfig(
+            engine=args.engine,
+            redundancy=args.redundancy,
+            backup_paths=args.backup_paths,
+        ),
         policy=RepairPolicy(max_attempts=args.max_attempts, shed=not args.no_shed),
         selfcheck=args.selfcheck,
     )
@@ -504,7 +522,8 @@ def _conformance(args) -> int:
         print(f"seeds: {report.seeds_run}  mapped: {report.n_mapped}  "
               f"unmappable: {report.n_unmappable}  exact-checked: "
               f"{report.n_exact_checked}  runner grids: {report.n_runner_grids}  "
-              f"sharded: {report.n_sharded} ({report.n_shard_gap} mono-gaps)")
+              f"sharded: {report.n_sharded} ({report.n_shard_gap} mono-gaps)  "
+              f"redundant: {report.n_redundant}")
         if not report.ok:
             print(f"{len(report.divergences)} divergence(s):", file=sys.stderr)
             for d in report.divergences:

@@ -94,6 +94,7 @@ class FuzzReport:
     n_runner_grids: int = 0
     n_sharded: int = 0
     n_shard_gap: int = 0
+    n_redundant: int = 0
     divergences: list[Divergence] = field(default_factory=list)
 
     @property
@@ -110,6 +111,7 @@ class FuzzReport:
             "n_runner_grids": self.n_runner_grids,
             "n_sharded": self.n_sharded,
             "n_shard_gap": self.n_shard_gap,
+            "n_redundant": self.n_redundant,
             "ok": self.ok,
             "divergences": [dataclasses.asdict(d) for d in self.divergences],
         }
@@ -383,6 +385,109 @@ def _check_sharded_seed(seed: int, base_seed: int, report: FuzzReport) -> None:
             report.divergences.append(Divergence(seed, check, detail, artifact))
 
 
+def _check_redundant_seed(seed: int, base_seed: int, report: FuzzReport) -> None:
+    """The availability arms on one instance.
+
+    Hard checks: enabling redundancy (``k`` replicas + backup paths)
+    must leave the *primary* mapping byte-identical — same digest as
+    the k=0 run, on both engines — because replicas are CPU-free and
+    backup reservations run strictly after Networking; the redundant
+    mapping must still satisfy Eqs. 1-9; and its meta block must parse
+    back (:func:`~repro.redundancy.stage.redundancy_records`) with
+    every replica on a live host distinct from its guest's primary and
+    every backup path endpoint-anchored to the primary's endpoints.
+    """
+    from repro.redundancy.stage import redundancy_records
+
+    cluster, venv, config = generate_instance(seed, base_seed=base_seed)
+    rng = derive(base_seed, "conformance", "fuzz-redundancy", seed)
+    k = int(rng.integers(1, 3))
+    divergences: list[tuple[str, str]] = []
+    report.n_redundant += 1
+
+    m_plain, fail_plain = _map_arm(cluster, venv, config, "dict")
+    red_config = dataclasses.replace(config, redundancy=k, backup_paths=True)
+    m_red, fail_red = _map_arm(cluster, venv, red_config, "dict")
+    m_red_c, fail_red_c = _map_arm(cluster, venv, red_config, "compiled")
+
+    if (m_plain is None) != (m_red is None) or fail_plain != fail_red:
+        divergences.append(
+            (
+                "redundancy-feasibility",
+                f"k=0 {fail_plain or 'mapped'} but k={k}+bp {fail_red or 'mapped'} "
+                "(redundancy is best-effort and must never flip feasibility)",
+            )
+        )
+    elif m_red is not None:
+        rep = validate_mapping(cluster, venv, m_red, raise_on_error=False)
+        if not rep.ok:
+            divergences.append(
+                (
+                    "redundancy-validate",
+                    "redundant mapping violates Eqs. 1-9: "
+                    + "; ".join(str(v) for v in rep.violations[:3]),
+                )
+            )
+        else:
+            d_plain = digest(cluster, venv, m_plain)
+            d_red = digest(cluster, venv, m_red)
+            if d_plain != d_red:
+                divergences.append(
+                    (
+                        "redundancy-digest",
+                        f"k=0 {d_plain[:16]}.. != k={k}+bp {d_red[:16]}.. "
+                        "(the redundancy stage moved a primary decision)",
+                    )
+                )
+            if m_red_c is not None:
+                d_red_c = digest(cluster, venv, m_red_c)
+                if d_red != d_red_c:
+                    divergences.append(
+                        (
+                            "redundancy-engine-digest",
+                            f"dict {d_red[:16]}.. != compiled {d_red_c[:16]}..",
+                        )
+                    )
+            elif fail_red_c is not None:
+                divergences.append(
+                    (
+                        "redundancy-engine-feasibility",
+                        f"dict mapped but compiled raised {fail_red_c}",
+                    )
+                )
+            replicas, backups, _disjoint = redundancy_records(m_red)
+            for g, placed in replicas.items():
+                for _rid, host in placed:
+                    if host == m_red.assignments.get(g):
+                        divergences.append(
+                            (
+                                "redundancy-anti-affinity",
+                                f"replica of guest {g} colocated with its "
+                                f"primary on host {host!r}",
+                            )
+                        )
+            for key, nodes in backups.items():
+                primary = m_red.paths.get(key)
+                if primary is None or len(primary) < 2:
+                    divergences.append(
+                        ("redundancy-backup-orphan", f"backup for pathless vlink {key}")
+                    )
+                elif nodes[0] != primary[0] or nodes[-1] != primary[-1]:
+                    divergences.append(
+                        (
+                            "redundancy-backup-endpoints",
+                            f"backup of {key} runs {nodes[0]!r}->{nodes[-1]!r}, "
+                            f"primary {primary[0]!r}->{primary[-1]!r}",
+                        )
+                    )
+
+    if divergences:
+        artifact = _artifact(cluster, venv, config)
+        artifact["redundancy"] = k
+        for check, detail in divergences:
+            report.divergences.append(Divergence(seed, check, detail, artifact))
+
+
 def _runner_differential(grid_seed: int, base_seed: int, report: FuzzReport) -> None:
     """Serial vs parallel BatchRunner over one small random grid."""
     from repro.analysis.runner import BatchRunner, CellSpec
@@ -448,6 +553,7 @@ def run_fuzz(
     base_seed: int = 0,
     runner_grids: int | None = None,
     shard_seeds: int | None = None,
+    redundant_seeds: int | None = None,
     progress: Callable[[int, FuzzReport], None] | None = None,
 ) -> FuzzReport:
     """Run the full differential campaign over ``n_seeds`` instances.
@@ -455,8 +561,9 @@ def run_fuzz(
     ``runner_grids`` controls how many serial-vs-parallel grid
     comparisons ride along (default: one per 25 seeds, minimum 1);
     ``shard_seeds`` how many forced-shard instances get the sharded
-    arms (default: one per 5 seeds, minimum 1).  Deterministic for a
-    fixed ``(n_seeds, base_seed)``.
+    arms and ``redundant_seeds`` how many get the availability arms
+    (each defaults to one per 5 seeds, minimum 1).  Deterministic for
+    a fixed ``(n_seeds, base_seed)``.
     """
     report = FuzzReport()
     for seed in range(n_seeds):
@@ -472,4 +579,8 @@ def run_fuzz(
         shard_seeds = max(1, n_seeds // 5)
     for seed in range(shard_seeds):
         _check_sharded_seed(seed, base_seed, report)
+    if redundant_seeds is None:
+        redundant_seeds = max(1, n_seeds // 5)
+    for seed in range(redundant_seeds):
+        _check_redundant_seed(seed, base_seed, report)
     return report

@@ -103,6 +103,7 @@ class ClusterState:
         "_bw_epoch",
         "_bw_view",
         "_blocked",
+        "_fdomains",
     )
 
     def __init__(self, cluster: PhysicalCluster) -> None:
@@ -124,6 +125,7 @@ class ClusterState:
         self._bw_epoch = 0
         self._bw_view: _BwTableView | None = None
         self._blocked: dict[NodeId, tuple[int, float, float]] = {}
+        self._fdomains = None
 
     # ------------------------------------------------------------------
     # index translation
@@ -227,6 +229,25 @@ class ClusterState:
         """The flat residual tables (mem/stor/cpu by host index, bw by
         edge index).  Live — mutate through the state's methods only."""
         return self._arrays
+
+    @property
+    def failure_domains(self):
+        """The cluster's failure-domain model, derived lazily and
+        cached (:func:`repro.redundancy.domains.derive_domains`).
+
+        Immutable and purely topology-derived, so copies share the
+        same object and blocking/faults never invalidate it.
+
+        Returns
+        -------
+        repro.redundancy.domains.FailureDomains
+        """
+        fd = self._fdomains
+        if fd is None:
+            from repro.redundancy.domains import derive_domains
+
+            fd = self._fdomains = derive_domains(self.cluster)
+        return fd
 
     def objective(self) -> float:
         """Current Eq. 10 value (population std of residual CPU).
@@ -498,6 +519,7 @@ class ClusterState:
         out._bw_epoch = self._bw_epoch
         out._bw_view = None
         out._blocked = dict(self._blocked)
+        out._fdomains = self._fdomains
         return out
 
     def restore_from(self, snapshot: "ClusterState") -> None:

@@ -25,6 +25,7 @@ __all__ = [
     "Engine",
     "Shard",
     "ShardWorkers",
+    "Redundancy",
 ]
 
 
@@ -111,6 +112,14 @@ Shard = Literal["auto", "off"] | int
 #: byte-identical regardless of the worker count.
 ShardWorkers = Literal["auto"] | int
 
+#: Redundancy level for availability-aware mapping
+#: (:mod:`repro.redundancy`).  ``0`` (default) maps exactly the paper's
+#: pipeline; ``k >= 1`` additionally places *k* cold-standby replicas
+#: per guest with anti-affinity across failure domains, as a post-stage
+#: that never perturbs the primary mapping — primary assignments,
+#: paths and digests are byte-identical to ``redundancy=0``.
+Redundancy = int
+
 #: Which route-kernel implementation backs the Networking stage.
 #: "compiled" (default) runs the router in index space over the
 #: cluster's :class:`~repro.core.arrays.CompiledTopology` — integer
@@ -167,6 +176,18 @@ class HMNConfig:
         :data:`ShardWorkers`); affects wall-clock only, never results —
         per-pod placements are merged in pod-id order, so mappings are
         byte-identical across any worker count.
+    redundancy:
+        Cold-standby replicas per guest (``0``-``7``; see
+        :data:`Redundancy` and :mod:`repro.redundancy`).  ``0``
+        (default) is the paper's pipeline, byte-identical to every
+        pre-redundancy result; ``k >= 1`` adds a post-stage that
+        reserves replica memory/storage with anti-affinity across
+        failure domains without touching the primary mapping.
+    backup_paths:
+        Pre-provision a link-disjoint backup path per routed virtual
+        link (shared-risk-aware bandwidth reservation; see
+        :mod:`repro.redundancy.ledger`).  Off by default; independent
+        of ``redundancy`` (either may be enabled alone).
     max_route_expansions:
         Safety valve forwarded to the router.
     seed:
@@ -186,6 +207,8 @@ class HMNConfig:
     engine: Engine = "compiled"
     shard: Shard = "auto"
     shard_workers: ShardWorkers = "auto"
+    redundancy: Redundancy = 0
+    backup_paths: bool = False
     max_route_expansions: int = 2_000_000
     seed: int | None = None
     extra: dict = field(default_factory=dict, compare=False)
@@ -221,6 +244,16 @@ class HMNConfig:
             raise ConfigError(
                 f"shard_workers must be 'auto' or an integer >= 1, "
                 f"got {self.shard_workers!r}"
+            )
+        if isinstance(self.redundancy, bool) or not (
+            isinstance(self.redundancy, int) and 0 <= self.redundancy <= 7
+        ):
+            raise ConfigError(
+                f"redundancy must be an integer in [0, 7], got {self.redundancy!r}"
+            )
+        if not isinstance(self.backup_paths, bool):
+            raise ConfigError(
+                f"backup_paths must be a bool, got {self.backup_paths!r}"
             )
         if self.migration_max_iterations < 0:
             raise ConfigError("migration_max_iterations must be >= 0")

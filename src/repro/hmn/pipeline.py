@@ -31,6 +31,44 @@ def _span_stats(stats: dict) -> dict:
     return {k: v for k, v in stats.items() if isinstance(v, (int, float, str, bool))}
 
 
+def _with_redundancy(state, venv, config, mapping, *, cache, ledger):
+    """Run the redundancy post-stage over a finished primary *mapping*
+    and return the mapping extended with its stage report and meta
+    block.  A shared *ledger* is rolled back on failure (the caller
+    rolls back the state)."""
+    import dataclasses
+
+    from repro.redundancy.stage import run_redundancy
+
+    rec = obs.OBS
+    ledger_snap = ledger.snapshot() if ledger is not None else None
+    with rec.span("hmn.redundancy", engine=config.engine) as sp:
+        t0 = time.perf_counter()
+        try:
+            meta, stats = run_redundancy(
+                state, venv, config, mapping.paths, cache=cache, ledger=ledger
+            )
+        except Exception:
+            if ledger is not None:
+                ledger.restore(ledger_snap)
+            raise
+        elapsed = time.perf_counter() - t0
+        if rec.enabled:
+            sp.set(seconds=elapsed, **_span_stats(stats))
+            rec.observe("repro_stage_seconds", elapsed, stage="redundancy")
+    report = StageReport("redundancy", elapsed, stats)
+    new_meta = dict(mapping.meta)
+    new_meta["redundancy"] = meta
+    timings = dict(new_meta.get("timings", {}))
+    if timings:
+        timings["redundancy_s"] = elapsed
+        timings["total_s"] = timings.get("total_s", 0.0) + elapsed
+        new_meta["timings"] = timings
+    return dataclasses.replace(
+        mapping, stages=mapping.stages + (report,), meta=new_meta
+    )
+
+
 def hmn_map(
     cluster: PhysicalCluster,
     venv: VirtualEnvironment,
@@ -39,6 +77,7 @@ def hmn_map(
     state: ClusterState | None = None,
     oracle: LatencyOracle | None = None,
     cache: RoutingCache | None = None,
+    backup_ledger=None,
 ) -> Mapping:
     """Map *venv* onto *cluster* with the HMN heuristic.
 
@@ -63,6 +102,13 @@ def hmn_map(
         epoch-keyed path memo).  Pass one across repeated mappings of
         the same cluster to reuse routing work; a private cache is
         built otherwise.
+    backup_ledger:
+        Optional shared :class:`~repro.redundancy.ledger.BackupLedger`
+        for ``config.backup_paths`` reservations.  Multi-tenant
+        callers (the chaos operator) pass one so backups of
+        *different* tenants multiplex the same shared-risk headroom; a
+        private per-mapping ledger is built otherwise.  Must wrap the
+        same state the mapping runs against.
 
     Returns
     -------
@@ -92,14 +138,39 @@ def hmn_map(
     # every paper-scale mapping is byte-identical to the unsharded one.
     from repro.shard.partition import resolve_pod_target
 
+    redundant = config.redundancy > 0 or config.backup_paths
     target_pods = resolve_pod_target(config.shard, cluster.n_hosts)
     if target_pods >= 2:
         from repro.shard.mapper import shard_map
 
-        return shard_map(
+        if not redundant:
+            return shard_map(
+                cluster, venv, config,
+                state=state, n_pods=target_pods, oracle=oracle, cache=cache,
+            )
+        # Redundancy rides on top of the sharded primary mapping: run
+        # shard_map against an explicit state, then the same post-stage
+        # the monolithic path gets.  A failure after the primary
+        # committed must roll the whole admission back, so shared
+        # callers get a pre-shard snapshot.
+        shared_state = state is not None
+        if state is None:
+            state = ClusterState(cluster)
+        if cache is None:
+            cache = RoutingCache(cluster, oracle=oracle, engine=config.engine)
+        pre_shard = state.copy() if shared_state else None
+        mapping = shard_map(
             cluster, venv, config,
             state=state, n_pods=target_pods, oracle=oracle, cache=cache,
         )
+        try:
+            return _with_redundancy(
+                state, venv, config, mapping, cache=cache, ledger=backup_ledger
+            )
+        except Exception:
+            if pre_shard is not None:
+                state.restore_from(pre_shard)
+            raise
 
     shared_state = state is not None
     if state is None:
@@ -153,16 +224,26 @@ def hmn_map(
             root.set(total_s=timings["total_s"], routing_calls=timings["routing_calls"])
             rec.count("repro_mappings_total", engine=config.engine)
 
-    return Mapping(
-        # Restrict to this venv's guests: a shared multi-tenant state
-        # also carries placements the caller did not ask about.
-        assignments={g.id: state.host_of(g.id) for g in venv.guests()},
-        paths=paths,
-        mapper="hmn" if config.migration_enabled else "hmn-nomigration",
-        stages=tuple(stages),
-        meta={
-            "objective": state.objective(),
-            "config": config.describe(),
-            "timings": timings,
-        },
-    )
+        mapping = Mapping(
+            # Restrict to this venv's guests: a shared multi-tenant state
+            # also carries placements the caller did not ask about.
+            assignments={g.id: state.host_of(g.id) for g in venv.guests()},
+            paths=paths,
+            mapper="hmn" if config.migration_enabled else "hmn-nomigration",
+            stages=tuple(stages),
+            meta={
+                "objective": state.objective(),
+                "config": config.describe(),
+                "timings": timings,
+            },
+        )
+        if redundant:
+            try:
+                mapping = _with_redundancy(
+                    state, venv, config, mapping, cache=cache, ledger=backup_ledger
+                )
+            except Exception:
+                if snapshot is not None:
+                    state.restore_from(snapshot)
+                raise
+    return mapping

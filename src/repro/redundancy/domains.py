@@ -1,0 +1,161 @@
+"""Failure domains derived from topology structure.
+
+A **failure domain** is a set of hosts that plausibly fail together —
+a rack losing power, a pod losing its edge switches.  Anti-affinity
+across domains is what makes a standby replica worth its memory: a
+replica in the primary's own domain dies with it.
+
+The model is derived purely from structure, no configuration:
+
+* **fat-tree / torus** clusters (recognized through the
+  ``cluster.meta`` hints the generators write) use their natural pods
+  / blocks from :func:`repro.shard.partition.partition_cluster` — the
+  same cuts the sharded mapper trusts;
+* any other cluster **with switches** groups hosts into racks by the
+  set of edge switches they attach to (hosts behind the same
+  switch(es) share fate with them);
+* a **switchless** cluster falls back to host-level domains (every
+  host its own domain — anti-affinity degrades to "a different
+  host").
+
+Switches are classified too, reusing the spine classification of
+:func:`~repro.shard.partition.partition_cluster`: pod-owned switches
+belong to their pod's domain, spine switches to per-class ``spine:*``
+domains.  :class:`FailureDomains` is immutable and cluster-derived, so
+:class:`~repro.core.state.ClusterState` caches one lazily and shares
+it across copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.core.cluster import PhysicalCluster
+from repro.errors import UnknownNodeError
+
+__all__ = ["FailureDomains", "derive_domains"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class FailureDomains:
+    """Immutable host/switch -> failure-domain labeling of a cluster.
+
+    ``level`` is ``"pod"`` (structured cuts), ``"rack"`` (shared edge
+    switches) or ``"host"`` (fallback: each host alone).  Labels are
+    opaque strings; two hosts share fate iff their labels are equal.
+    """
+
+    level: str
+    method: str
+    host_domain: dict[NodeId, str] = field(repr=False)
+    switch_domain: dict[NodeId, str] = field(repr=False)
+    n_spine_classes: int = 0
+
+    def domain_of(self, host_id: NodeId) -> str:
+        """The failure-domain label of *host_id*."""
+        try:
+            return self.host_domain[host_id]
+        except (KeyError, TypeError):
+            raise UnknownNodeError(host_id, "host") from None
+
+    @property
+    def n_domains(self) -> int:
+        """Distinct host domains (the anti-affinity spread ceiling)."""
+        return len(set(self.host_domain.values()))
+
+    def hosts_in(self, label: str) -> tuple[NodeId, ...]:
+        """Hosts of one domain, in deterministic (repr) order."""
+        return tuple(
+            sorted((h for h, d in self.host_domain.items() if d == label), key=repr)
+        )
+
+    def describe(self) -> dict:
+        """JSON-friendly summary recorded in ``Mapping.meta``."""
+        return {
+            "level": self.level,
+            "method": self.method,
+            "n_domains": self.n_domains,
+            "n_spine_classes": self.n_spine_classes,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<FailureDomains[{self.level}/{self.method}]: "
+            f"{self.n_domains} domains over {len(self.host_domain)} hosts>"
+        )
+
+
+def _structured_domains(cluster: PhysicalCluster) -> FailureDomains | None:
+    """Pod-level domains along the topology's own cuts, when it has
+    any (fat-tree pods, torus blocks)."""
+    if cluster.meta.get("family") not in ("fat-tree", "torus"):
+        return None
+    from repro.shard.partition import partition_cluster
+
+    part = partition_cluster(cluster)
+    if part.n_pods < 2:
+        return None
+    host_domain = {h: f"pod:{i}" for h, i in part.pod_of.items()}
+    switch_domain = {s: f"pod:{i}" for s, i in part.switch_pod.items()}
+    for ci, members in enumerate(part.spine_classes):
+        for s in members:
+            switch_domain[s] = f"spine:{ci}"
+    return FailureDomains(
+        level="pod",
+        method=part.method,
+        host_domain=host_domain,
+        switch_domain=switch_domain,
+        n_spine_classes=len(part.spine_classes),
+    )
+
+
+def _rack_domains(cluster: PhysicalCluster) -> FailureDomains | None:
+    """Rack-level domains: hosts grouped by their set of edge switches."""
+    if cluster.n_switches == 0:
+        return None
+    host_domain: dict[NodeId, str] = {}
+    for h in cluster.host_ids:
+        switches = sorted(
+            (repr(n) for n in cluster.neighbors(h) if cluster.is_switch(n))
+        )
+        host_domain[h] = "rack:" + "+".join(switches) if switches else f"host:{h!r}"
+    if len(set(host_domain.values())) < 2:
+        return None
+    # Edge switches share fate with their rack; everything else —
+    # switches seen only via other switches — is spine.
+    switch_domain: dict[NodeId, str] = {}
+    for s in cluster.switch_ids:
+        racks = {
+            host_domain[n] for n in cluster.neighbors(s) if cluster.is_host(n)
+        }
+        switch_domain[s] = racks.pop() if len(racks) == 1 else f"spine:{s!r}"
+    return FailureDomains(
+        level="rack",
+        method="edge-switches",
+        host_domain=host_domain,
+        switch_domain=switch_domain,
+        n_spine_classes=sum(
+            1 for d in switch_domain.values() if d.startswith("spine:")
+        ),
+    )
+
+
+def derive_domains(cluster: PhysicalCluster) -> FailureDomains:
+    """Derive the cluster's failure-domain model (see module docstring).
+
+    Deterministic in the cluster alone; never fails — the host-level
+    fallback covers any topology.
+    """
+    for builder in (_structured_domains, _rack_domains):
+        fd = builder(cluster)
+        if fd is not None:
+            return fd
+    return FailureDomains(
+        level="host",
+        method="fallback",
+        host_domain={h: f"host:{h!r}" for h in cluster.host_ids},
+        switch_domain={s: f"switch:{s!r}" for s in cluster.switch_ids},
+    )

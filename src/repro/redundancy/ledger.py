@@ -1,0 +1,193 @@
+"""Shared-risk-aware bandwidth reservation for backup paths.
+
+Reserving every backup's full demand would double the network bill.
+The ledger exploits that backups only carry traffic *after a fault*,
+and a single fault cannot break two link-disjoint primaries at once:
+on each physical edge it tracks, per **risk** (a primary-path edge or
+transit node whose failure would activate backups), the total demand
+that risk would dump onto the edge.  The standing reservation is the
+*maximum over risks* — the worst single fault — not the sum, so
+backups whose primaries share no risk share the same reserved
+headroom.  This is the standard shared-backup path protection
+bookkeeping (Yang et al., "Reliable Virtual Machine Placement and
+Routing in Clouds") and is what keeps k=1 + backups within the 1.6x
+reserved-bandwidth budget the benchmarks gate.
+
+The ledger owns real reservations on a
+:class:`~repro.core.state.ClusterState` (``_reserved`` mirrors them
+exactly, so releases are exact by construction).  ``activate`` flips
+one backup into a primary reservation at failover time, *degrading
+gracefully* under pressure: if the standing shared headroom cannot
+cover the activated demand, it sheds other backups' headroom on the
+congested edges (cheapest availability loss) before the caller has to
+shed tenants.  ``snapshot``/``restore`` pair with
+``ClusterState.copy``/``restore_from`` so repair transactions roll
+the ledger and the state back together.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.core.link import EdgeKey
+from repro.core.state import ClusterState, path_edges
+
+__all__ = ["BackupLedger", "RiskKey"]
+
+NodeId = Hashable
+
+#: A single point of failure a backup protects against: ``("edge", u, v)``
+#: for a primary-path link, ``("node", n)`` for a transit node.
+RiskKey = tuple
+
+_EPS = 1e-9
+
+
+class BackupLedger:
+    """Risk-multiplexed backup-bandwidth reservations on one state.
+
+    Not thread-safe; one ledger per operator/state, like the state
+    itself.
+    """
+
+    __slots__ = ("state", "_risks", "_reserved", "degraded_bw")
+
+    def __init__(self, state: ClusterState) -> None:
+        self.state = state
+        #: per edge: risk -> total backup demand that risk activates
+        self._risks: dict[EdgeKey, dict[RiskKey, float]] = {}
+        #: per edge: bandwidth actually reserved out of the state
+        self._reserved: dict[EdgeKey, float] = {}
+        #: headroom shed by graceful degradation (stats)
+        self.degraded_bw = 0.0
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def total_reserved(self) -> float:
+        """Bandwidth currently reserved for backups, summed over edges."""
+        return sum(self._reserved.values())
+
+    def reserved_on(self, e: EdgeKey) -> float:
+        return self._reserved.get(e, 0.0)
+
+    def snapshot(self) -> tuple:
+        """Deep snapshot; pair with a ``ClusterState.copy`` of the same
+        instant (``restore`` never touches the state)."""
+        return (
+            {e: dict(per) for e, per in self._risks.items()},
+            dict(self._reserved),
+            self.degraded_bw,
+        )
+
+    def restore(self, snap: tuple) -> None:
+        risks, reserved, degraded = snap
+        self._risks = {e: dict(per) for e, per in risks.items()}
+        self._reserved = dict(reserved)
+        self.degraded_bw = degraded
+
+    # ------------------------------------------------------------------
+    # admission / departure
+    # ------------------------------------------------------------------
+    def try_add(
+        self, nodes: Sequence[NodeId], vbw: float, risks: frozenset[RiskKey]
+    ) -> bool:
+        """Admit one backup path atomically; ``False`` if any edge
+        lacks headroom for the *incremental* reservation it needs."""
+        if vbw <= 0.0 or not risks:
+            return False
+        state = self.state
+        edges = path_edges(nodes)
+        deltas: list[tuple[EdgeKey, float, float]] = []
+        for e in edges:
+            per = self._risks.setdefault(e, {})
+            worst = max((per.get(r, 0.0) + vbw for r in risks), default=0.0)
+            need = max(worst, self._reserved.get(e, 0.0))
+            delta = need - self._reserved.get(e, 0.0)
+            if delta > _EPS and state.residual_bw(*e) + _EPS < delta:
+                return False
+            deltas.append((e, delta, need))
+        for e, delta, need in deltas:
+            per = self._risks[e]
+            for r in sorted(risks, key=repr):
+                per[r] = per.get(r, 0.0) + vbw
+            if delta > 0.0:
+                state.reserve_path(e, delta)
+                self._reserved[e] = need
+        return True
+
+    def remove(
+        self, nodes: Sequence[NodeId], vbw: float, risks: frozenset[RiskKey]
+    ) -> None:
+        """Retire one admitted backup (departure / shed / activation),
+        releasing whatever headroom its risks no longer justify.
+
+        Never releases more than ``_reserved`` holds, so degraded
+        edges (reservation already below the risk-implied need) stay
+        consistent.
+        """
+        state = self.state
+        for e in path_edges(nodes):
+            per = self._risks.get(e)
+            if per is None:
+                continue
+            for r in sorted(risks, key=repr):
+                left = per.get(r, 0.0) - vbw
+                if left > _EPS:
+                    per[r] = left
+                else:
+                    per.pop(r, None)
+            need = max(per.values(), default=0.0)
+            if not per:
+                self._risks.pop(e, None)
+            held = self._reserved.get(e, 0.0)
+            spare = held - need
+            if spare > _EPS:
+                state.release_path(e, spare)
+                if need > _EPS:
+                    self._reserved[e] = need
+                else:
+                    self._reserved.pop(e, None)
+
+    # ------------------------------------------------------------------
+    # failover
+    # ------------------------------------------------------------------
+    def activate(
+        self, nodes: Sequence[NodeId], vbw: float, risks: frozenset[RiskKey]
+    ) -> None:
+        """Promote one backup to a live primary reservation.
+
+        Retires its ledger entry, then reserves ``vbw`` as ordinary
+        path bandwidth.  If an edge cannot cover it, other backups'
+        standing headroom on that edge is shed first (graceful
+        degradation — availability margin goes before live tenants);
+        raises :class:`~repro.errors.CapacityError` only when even
+        that is not enough, leaving the retirement in place (the
+        caller's transaction snapshot rolls everything back).
+        """
+        state = self.state
+        self.remove(nodes, vbw, risks)
+        edges = path_edges(nodes)
+        for e in edges:
+            short = vbw - state.residual_bw(*e)
+            if short <= _EPS:
+                continue
+            shed = min(self._reserved.get(e, 0.0), short)
+            if shed > _EPS:
+                state.release_path(e, shed)
+                left = self._reserved[e] - shed
+                if left > _EPS:
+                    self._reserved[e] = left
+                else:
+                    self._reserved.pop(e, None)
+                self.degraded_bw += shed
+        state.reserve_path(nodes, vbw)
+
+    def describe(self) -> dict:
+        """JSON-friendly counters for meta/spans."""
+        return {
+            "edges": len(self._reserved),
+            "reserved_bw": self.total_reserved,
+            "degraded_bw": self.degraded_bw,
+        }

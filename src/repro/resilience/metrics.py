@@ -8,9 +8,14 @@ to the handful of numbers a resilience study reports:
   tenant counts as lost from the repair that shed it until the trace
   departure that would have ended it anyway; rejected admissions are
   capacity planning, not failures, and do not count against it.
-* **repair latency** — mean/max virtual-time cost of healing
-  (``backoff * (attempts - 1)`` per repair), plus how many repairs
-  degraded into shedding.
+* **repair latency** — mean/max virtual-time cost of healing (bounded
+  exponential backoff with deterministic seeded jitter, as computed by
+  :meth:`~repro.resilience.operator.RepairPolicy.retry_latency`), plus
+  how many repairs degraded into shedding.
+* **failover** — how much of the survival came from pre-provisioned
+  redundancy (standby replicas promoted, backup paths activated) and
+  how much availability margin graceful degradation burned
+  (``backup_bw_shed``).
 * **objective drift** — how far the Eq. 10 load-balance objective
   wandered over the run (faults concentrate load on the survivors).
 
@@ -60,6 +65,10 @@ def survivability(result: ChaosResult) -> dict[str, Any]:
         "guests_replaced": sum(r.replaced for r in result.repairs),
         "tenants_shed": result.shed,
         "guests_shed": result.shed_guests,
+        "failovers": result.failovers,
+        "replicas_activated": result.replicas_activated,
+        "backups_activated": result.backups_activated,
+        "backup_bw_shed": result.backup_bw_shed,
         "objective_drift": (obj_max - obj_min) if samples else 0.0,
         "objective_final": result.final_objective,
     }
@@ -101,6 +110,9 @@ def survivability_from_trace(spans: Sequence[dict]) -> dict[str, Any]:
             guests_alive=a["guests_alive"],
             guests_lost=a["guests_lost"],
             objective=a["objective"],
+            # Absent from traces recorded before redundancy existed.
+            bw_reserved=a.get("bw_reserved", 0.0),
+            bw_backup=a.get("bw_backup", 0.0),
         )
         for a in (s["attrs"] for s in events)
     )
@@ -133,5 +145,10 @@ def survivability_from_trace(spans: Sequence[dict]) -> dict[str, Any]:
         final_guests=run.get("final_guests", 0),
         final_objective=run["final_objective"],
         wall_s=0.0,
+        # Absent from traces recorded before redundancy existed.
+        failovers=run.get("failovers", 0),
+        replicas_activated=run.get("replicas_activated", 0),
+        backups_activated=run.get("backups_activated", 0),
+        backup_bw_shed=run.get("backup_bw_shed", 0.0),
     )
     return survivability(result)

@@ -58,10 +58,14 @@ from repro.core.validate import validate_mapping
 from repro.core.venv import VirtualEnvironment
 from repro.core.vlink import VLinkKey
 from repro.errors import ConfigError, MappingError, ModelError, PlacementError
+from repro.errors import CapacityError, RoutingError
 from repro.extensions.admission import release_tenant
 from repro.hmn.config import HMNConfig, keyword_only
 from repro.hmn.networking import run_networking
 from repro.hmn.pipeline import hmn_map
+from repro.redundancy.ledger import BackupLedger, RiskKey
+from repro.redundancy.placement import REPLICA_STRIDE, replica_guest
+from repro.redundancy.stage import redundancy_records, risks_of_path
 from repro.resilience.faults import FailureModel, FaultEvent
 from repro.routing.cache import RoutingCache
 from repro.seeding import derive
@@ -89,15 +93,27 @@ class RepairPolicy:
     raise :class:`~repro.errors.ConfigError`.
 
     ``max_attempts`` bounds the heal loop per fault; each retry after a
-    failed attempt sheds the lowest-priority tenant (smallest aggregate
-    ``vbw``) when ``shed`` is on, otherwise retries change nothing and
-    exist only to model the attempt budget.  ``backoff`` is the virtual
-    time charged per retry: a repair that needed ``k`` attempts is
-    recorded with latency ``backoff * (k - 1)``.
+    failed attempt degrades gracefully when ``shed`` is on — backup
+    headroom first, then standby replicas, then the lowest-priority
+    tenant (smallest aggregate ``vbw``, tenant id on ties) — otherwise
+    retries change nothing and exist only to model the attempt budget.
+
+    Retry *i* (1-based) is charged
+    ``min(backoff * backoff_factor**(i-1), backoff_max)`` of virtual
+    time, stretched by a deterministic seeded jitter draw in
+    ``[1, 1 + jitter]`` — bounded exponential backoff, the virtual-time
+    analogue of what a real control loop would sleep.  The draws come
+    from a stream derived from the operator seed and the repair's
+    index, so a repair's latency is a pure function of
+    ``(seed, repair_index, attempts)`` and trace replays reproduce it
+    exactly (:func:`~repro.resilience.metrics.survivability_from_trace`).
     """
 
     max_attempts: int = 3
     backoff: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 0.5
+    jitter: float = 0.25
     shed: bool = True
 
     def __post_init__(self) -> None:
@@ -105,6 +121,25 @@ class RepairPolicy:
             raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
         if self.backoff < 0:
             raise ConfigError(f"backoff must be non-negative, got {self.backoff}")
+        if self.backoff_factor < 1.0:
+            raise ConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_max < 0:
+            raise ConfigError(f"backoff_max must be non-negative, got {self.backoff_max}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError(f"jitter must be within [0, 1], got {self.jitter}")
+
+    def retry_latency(self, seed: int, repair_index: int, attempts: int) -> float:
+        """Virtual-time cost of a repair that needed *attempts* tries."""
+        if attempts <= 1:
+            return 0.0
+        rng = derive(seed, "repair-backoff", repair_index)
+        total = 0.0
+        for i in range(1, attempts):
+            base = min(self.backoff * self.backoff_factor ** (i - 1), self.backoff_max)
+            total += base * (1.0 + self.jitter * float(rng.random()))
+        return total
 
 
 @dataclass(frozen=True, slots=True)
@@ -139,7 +174,15 @@ class RepairRecord:
 
 @dataclass(frozen=True, slots=True)
 class ChaosSample:
-    """State of the world right after one trace event was absorbed."""
+    """State of the world right after one trace event was absorbed.
+
+    ``bw_reserved`` is the tenant-facing bandwidth reservation (live
+    primary paths plus activated backups, fault masks excluded);
+    ``bw_backup`` the standing shared-risk backup headroom on top of
+    it.  Together they are the price axis of the
+    survivability-per-reserved-bandwidth curves in
+    ``benchmarks/bench_redundancy.py``.
+    """
 
     time: float
     kind: str
@@ -147,6 +190,8 @@ class ChaosSample:
     guests_alive: int
     guests_lost: int
     objective: float
+    bw_reserved: float = 0.0
+    bw_backup: float = 0.0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -156,6 +201,8 @@ class ChaosSample:
             "guests_alive": self.guests_alive,
             "guests_lost": self.guests_lost,
             "objective": self.objective,
+            "bw_reserved": self.bw_reserved,
+            "bw_backup": self.bw_backup,
         }
 
 
@@ -182,6 +229,10 @@ class ChaosResult:
     final_guests: int
     final_objective: float
     wall_s: float
+    failovers: int = 0
+    replicas_activated: int = 0
+    backups_activated: int = 0
+    backup_bw_shed: float = 0.0
 
     def to_dict(self, *, include_wall: bool = True) -> dict[str, Any]:
         out: dict[str, Any] = {
@@ -197,10 +248,29 @@ class ChaosResult:
             "final_tenants": self.final_tenants,
             "final_guests": self.final_guests,
             "final_objective": self.final_objective,
+            "failovers": self.failovers,
+            "replicas_activated": self.replicas_activated,
+            "backups_activated": self.backups_activated,
+            "backup_bw_shed": self.backup_bw_shed,
         }
         if include_wall:
             out["wall_s"] = self.wall_s
         return out
+
+
+@dataclass(frozen=True, slots=True)
+class _Backup:
+    """One pre-provisioned backup path held for a live tenant's vlink.
+
+    ``risks`` are the shared-risk keys the ledger admitted it under —
+    recorded at provisioning time so retirement subtracts exactly what
+    admission added, even after the primary was re-routed since.
+    """
+
+    nodes: tuple[NodeId, ...]
+    vbw: float
+    risks: frozenset[RiskKey]
+    disjoint: str
 
 
 @dataclass
@@ -213,6 +283,19 @@ class _Tenant:
     admitted_at: float
     total_vbw: float
     repairs: int = 0
+    #: guest id -> surviving standby replicas as (replica_id, host)
+    replicas: dict[int, list[tuple[int, NodeId]]] = field(default_factory=dict)
+    #: vlink key -> pre-provisioned backup path
+    backups: dict[VLinkKey, _Backup] = field(default_factory=dict)
+
+    @property
+    def backup_vbw(self) -> float:
+        """Aggregate demand of held backups (the degradation order key)."""
+        return sum(b.vbw for b in self.backups.values())
+
+    @property
+    def replica_count(self) -> int:
+        return sum(len(v) for v in self.replicas.values())
 
 
 def _default_tenant(i: int, rng: np.random.Generator) -> VirtualEnvironment:
@@ -291,6 +374,15 @@ class ChaosOperator:
         self._repairs: list[RepairRecord] = []
         self._samples: list[ChaosSample] = []
 
+        #: redundancy machinery (None of it engages at redundancy=0 /
+        #: backup_paths=False — chaos runs stay byte-identical)
+        self._redundant = bool(self.config.redundancy or self.config.backup_paths)
+        self._ledger = BackupLedger(self._state) if self._redundant else None
+        self._failovers = 0
+        self._replicas_activated = 0
+        self._backups_activated = 0
+        self._backup_bw_shed = 0.0
+
     # ------------------------------------------------------------------
     # fault masking over the shared state
     # ------------------------------------------------------------------
@@ -348,22 +440,84 @@ class ChaosOperator:
         venv = self.make_venv(tenant, derive(self.seed, "tenant", tenant))
         try:
             mapping = hmn_map(
-                self.cluster, venv, self.config, state=self._state, cache=self._cache
+                self.cluster, venv, self.config, state=self._state, cache=self._cache,
+                backup_ledger=self._ledger,
             )
         except MappingError:
             # hmn_map is transactional on shared states: nothing leaked.
             self._rejected += 1
             return
         self._admitted += 1
-        self._live[tenant] = _Tenant(
+        rec = _Tenant(
             tenant=tenant,
             venv=venv,
             mapping=mapping,
             admitted_at=now,
             total_vbw=venv.total_vbw(),
         )
+        if self._redundant:
+            replicas, backups, disjoint = redundancy_records(mapping)
+            rec.replicas = replicas
+            rec.backups = {
+                key: _Backup(
+                    nodes=nodes,
+                    vbw=venv.vlink(*key).vbw,
+                    risks=risks_of_path(mapping.paths[key]),
+                    disjoint=disjoint.get(key, "link"),
+                )
+                for key, nodes in backups.items()
+            }
+        self._live[tenant] = rec
         if self.selfcheck:
-            self._validate(self._live[tenant])
+            self._validate(rec)
+
+    def _release_redundancy(self, rec: _Tenant) -> set[EdgeKey]:
+        """Drop a departing/shed tenant's replicas and backup
+        reservations; returns the backup edges released (for mask
+        resync)."""
+        released: set[EdgeKey] = set()
+        state = self._state
+        for gid in sorted(rec.replicas):
+            for rid, _host in rec.replicas[gid]:
+                if state.is_placed(rid):
+                    state.unplace(rid)
+        rec.replicas = {}
+        for key in sorted(rec.backups):
+            bk = rec.backups[key]
+            self._ledger.remove(bk.nodes, bk.vbw, bk.risks)
+            released.update(path_edges(bk.nodes))
+        rec.backups = {}
+        return released
+
+    def _shed_redundancy(self) -> bool:
+        """Graceful degradation, stage one: free capacity by dropping
+        one tenant's availability margin instead of a whole tenant —
+        backup-path reservations first (cheapest ``backup_vbw``, then
+        tenant id), then standby replicas.  Returns True when anything
+        was shed."""
+        with_backups = [r for r in self._live.values() if r.backups]
+        if with_backups:
+            victim = min(with_backups, key=lambda r: (r.backup_vbw, r.tenant))
+            shed_bw = self._ledger.total_reserved
+            released: set[EdgeKey] = set()
+            for key in sorted(victim.backups):
+                bk = victim.backups[key]
+                self._ledger.remove(bk.nodes, bk.vbw, bk.risks)
+                released.update(path_edges(bk.nodes))
+            victim.backups = {}
+            self._backup_bw_shed += shed_bw - self._ledger.total_reserved
+            self._resync_released(released)
+            return True
+        with_replicas = [r for r in self._live.values() if r.replicas]
+        if with_replicas:
+            victim = min(with_replicas, key=lambda r: (r.replica_count, r.tenant))
+            for gid in sorted(victim.replicas):
+                for rid, _host in victim.replicas[gid]:
+                    if self._state.is_placed(rid):
+                        self._state.unplace(rid)
+            victim.replicas = {}
+            return True
+        return False
 
     def _depart(self, tenant: int) -> None:
         rec = self._live.pop(tenant, None)
@@ -372,14 +526,18 @@ class ChaosOperator:
             # tenant stops counting as lost once it would have left.
             self._lost.pop(tenant, None)
             return
+        released = self._release_redundancy(rec) if self._redundant else set()
         release_tenant(self._state, rec.venv, rec.mapping)
-        self._resync_released({e for p in rec.mapping.paths.values() for e in path_edges(p)})
+        released.update(e for p in rec.mapping.paths.values() for e in path_edges(p))
+        self._resync_released(released)
         self._departed += 1
 
     def _shed_tenant(self, tenant: int) -> None:
         rec = self._live.pop(tenant)
+        released = self._release_redundancy(rec) if self._redundant else set()
         release_tenant(self._state, rec.venv, rec.mapping)
-        self._resync_released({e for p in rec.mapping.paths.values() for e in path_edges(p)})
+        released.update(e for p in rec.mapping.paths.values() for e in path_edges(p))
+        self._resync_released(released)
         self._shed += 1
         self._shed_guests += rec.venv.n_guests
         self._lost[tenant] = rec.venv.n_guests
@@ -405,6 +563,336 @@ class ChaosOperator:
             if hit:
                 out.append(t)
         return out
+
+    # ------------------------------------------------------------------
+    # fast failover (pre-provisioned redundancy)
+    # ------------------------------------------------------------------
+    def _activate_replica(self, rec: _Tenant, guest_id: int) -> NodeId:
+        """Promote *guest_id*'s first surviving standby: free the
+        standby's memory/storage and move the real guest (CPU and all)
+        onto its host.  Raises :class:`PlacementError` when no standby
+        survives."""
+        state = self._state
+        options = rec.replicas.get(guest_id, [])
+        for i, (rid, host) in enumerate(options):
+            if host in self._dead_hosts or state.is_blocked(host):
+                continue
+            if not state.is_placed(rid):
+                continue
+            state.unplace(guest_id)
+            state.unplace(rid)
+            state.place(rec.venv.guest(guest_id), host)
+            options.pop(i)
+            if not options:
+                rec.replicas.pop(guest_id, None)
+            self._replicas_activated += 1
+            return host
+        raise PlacementError(guest_id, "no surviving standby replica")
+
+    def _retire_backup(self, rec: _Tenant, key: VLinkKey) -> None:
+        bk = rec.backups.pop(key, None)
+        if bk is not None:
+            self._ledger.remove(bk.nodes, bk.vbw, bk.risks)
+            self._resync_released(set(path_edges(bk.nodes)))
+
+    def _provision_backup(self, rec: _Tenant, key: VLinkKey, primary) -> None:
+        """Best-effort fresh backup for a (re)routed primary path."""
+        if not self.config.backup_paths or len(primary) < 2:
+            return
+        from repro.redundancy.disjoint import backup_route
+
+        link = rec.venv.vlink(*key)
+        found = backup_route(
+            self._state,
+            self._cache,
+            primary,
+            bandwidth=link.vbw,
+            latency_bound=link.vlat,
+            router=self.config.router,
+            max_expansions=self.config.max_route_expansions,
+            engine=self.config.engine,
+        )
+        if found is None:
+            return
+        nodes, kind = found
+        risks = risks_of_path(primary)
+        if self._ledger.try_add(nodes, link.vbw, risks):
+            rec.backups[key] = _Backup(
+                nodes=nodes, vbw=link.vbw, risks=risks, disjoint=kind
+            )
+
+    def _replenish_replicas(self, rec: _Tenant) -> None:
+        """Best-effort top-up back to ``k`` standbys per guest after a
+        failover consumed some (anti-affinity rules as at admission)."""
+        k = self.config.redundancy
+        if k <= 0:
+            return
+        state = self._state
+        domains = state.failure_domains
+        for gid in sorted(rec.venv.guest_ids):
+            have = rec.replicas.get(gid, [])
+            if len(have) >= k:
+                continue
+            guest = rec.venv.guest(gid)
+            primary = state.host_of(gid)
+            used_hosts = {primary} | {h for _rid, h in have}
+            used_domains = {domains.domain_of(h) for h in used_hosts}
+            used_idx = {(-rid - 1) - gid * REPLICA_STRIDE for rid, _h in have}
+            free_idx = [i for i in range(REPLICA_STRIDE) if i not in used_idx]
+            order = state.cpu.hosts_by_residual_descending()
+            while len(have) < k and free_idx:
+                stand_in = replica_guest(guest, free_idx[0])
+                choice = None
+                for h in order:
+                    if h in used_hosts or not state.fits(stand_in, h):
+                        continue
+                    if domains.domain_of(h) not in used_domains:
+                        choice = h
+                        break
+                    if choice is None:
+                        choice = h
+                if choice is None:
+                    break
+                free_idx.pop(0)
+                state.place(stand_in, choice)
+                have.append((stand_in.id, choice))
+                used_hosts.add(choice)
+                used_domains.add(domains.domain_of(choice))
+            if have:
+                rec.replicas[gid] = have
+
+    def _failover_tenant(
+        self, now: float, tenant: int, broken_edges: frozenset[EdgeKey]
+    ) -> tuple[int, int, int]:
+        """Repair one tenant from its pre-provisioned redundancy.
+
+        Standby replicas absorb displaced guests, backup paths absorb
+        severed vlinks; vlinks with neither are re-routed inline, with
+        a last-resort *replica rescue* (move an endpoint guest to a
+        standby when its host became unreachable).  Raises a
+        :class:`MappingError`/:class:`CapacityError` when some broken
+        piece has no surviving pre-provisioned cover — the caller rolls
+        back and falls through to the evacuate/re-route repair loop.
+
+        Returns ``(replicas_activated, backups_activated, rerouted)``.
+        """
+        state, config, venv = self._state, self.config, self._live[tenant].venv
+        rec = self._live[tenant]
+        dead_hosts, dead_nodes = self._dead_hosts, self._dead_nodes
+        t0 = time.perf_counter()
+
+        displaced = sorted(
+            g for g, h in rec.mapping.assignments.items() if h in dead_hosts
+        )
+        dis_set = set(displaced)
+        to_fix: set[VLinkKey] = set()
+        released: set[EdgeKey] = set()
+        for key, nodes in sorted(rec.mapping.paths.items()):
+            if (
+                key[0] in dis_set
+                or key[1] in dis_set
+                or any(n in dead_nodes for n in nodes)
+                or any(e in broken_edges for e in path_edges(nodes))
+            ):
+                to_fix.add(key)
+                if len(nodes) > 1:
+                    state.release_path(nodes, venv.vlink(*key).vbw)
+                    released.update(path_edges(nodes))
+
+        n_replicas = 0
+        for g in displaced:
+            # Standbys on dead hosts are spent; unplace and drop them
+            # before choosing (else they leak back on host recovery).
+            keep = []
+            for rid, host in rec.replicas.get(g, []):
+                if host in dead_hosts:
+                    if state.is_placed(rid):
+                        state.unplace(rid)
+                else:
+                    keep.append((rid, host))
+            rec.replicas[g] = keep
+            self._activate_replica(rec, g)  # raises PlacementError if none left
+            n_replicas += 1
+        self._resync_released(released | set(broken_edges))
+
+        n_backups = n_rerouted = 0
+        fixed: dict[VLinkKey, tuple[NodeId, ...]] = {}
+        while to_fix:
+            key = min(to_fix)
+            to_fix.remove(key)
+            link = venv.vlink(*key)
+            src, dst = state.host_of(key[0]), state.host_of(key[1])
+            if src == dst:
+                fixed[key] = (src,)
+                self._retire_backup(rec, key)
+                continue
+            bk = rec.backups.get(key)
+            if bk is not None:
+                usable = (
+                    bk.nodes[0] == src
+                    and bk.nodes[-1] == dst
+                    and not any(n in dead_nodes for n in bk.nodes)
+                    and not any(e in broken_edges for e in path_edges(bk.nodes))
+                )
+                if usable:
+                    # may raise CapacityError -> caller rolls back
+                    self._ledger.activate(bk.nodes, bk.vbw, bk.risks)
+                    rec.backups.pop(key, None)
+                    self._resync_released(set(path_edges(bk.nodes)))
+                    fixed[key] = bk.nodes
+                    n_backups += 1
+                    self._backups_activated += 1
+                    continue
+                self._retire_backup(rec, key)
+            try:
+                result = self._cache.route(
+                    state, src, dst,
+                    bandwidth=link.vbw, latency_bound=link.vlat,
+                    router=config.router,
+                    max_expansions=config.max_route_expansions,
+                    engine=config.engine,
+                )
+            except RoutingError:
+                # Replica rescue: an endpoint host can be alive yet
+                # unreachable (its uplinks died).  Moving the guest to a
+                # standby re-opens routing — but invalidates every other
+                # path of that guest, which rejoins the worklist.
+                result = None
+                for g in sorted((key[0], key[1])):
+                    if not rec.replicas.get(g):
+                        continue
+                    try:
+                        self._activate_replica(rec, g)
+                    except PlacementError:
+                        continue
+                    n_replicas += 1
+                    moved_released: set[EdgeKey] = set()
+                    for other in rec.venv.vlinks_of(g):
+                        okey = other.key
+                        if okey == key or okey in to_fix:
+                            continue
+                        old = fixed.pop(okey, rec.mapping.paths.get(okey))
+                        if old is not None and len(old) > 1:
+                            state.release_path(old, other.vbw)
+                            moved_released.update(path_edges(old))
+                        self._retire_backup(rec, okey)
+                        to_fix.add(okey)
+                    self._resync_released(moved_released)
+                    src, dst = state.host_of(key[0]), state.host_of(key[1])
+                    if src == dst:
+                        break
+                    try:
+                        result = self._cache.route(
+                            state, src, dst,
+                            bandwidth=link.vbw, latency_bound=link.vlat,
+                            router=config.router,
+                            max_expansions=config.max_route_expansions,
+                            engine=config.engine,
+                        )
+                        break
+                    except RoutingError:
+                        continue
+                else:
+                    raise
+                if src == dst:
+                    fixed[key] = (src,)
+                    self._retire_backup(rec, key)
+                    continue
+                if result is None:
+                    raise RoutingError((src, dst), "no route after replica rescue")
+            state.reserve_path(result.nodes, link.vbw)
+            fixed[key] = tuple(result.nodes)
+            n_rerouted += 1
+
+        # Commit the tenant's new mapping, then top redundancy back up.
+        paths = {
+            key: nodes for key, nodes in rec.mapping.paths.items() if key not in fixed
+        }
+        paths.update(fixed)
+        mapper = rec.mapping.mapper
+        if not mapper.endswith("+failover"):
+            mapper = f"{mapper}+failover" if mapper else "failover"
+        rec.mapping = Mapping(
+            assignments={g.id: state.host_of(g.id) for g in venv.guests()},
+            paths=paths,
+            mapper=mapper,
+            stages=(
+                StageReport(
+                    "failover",
+                    time.perf_counter() - t0,
+                    {
+                        "replicas_activated": n_replicas,
+                        "backups_activated": n_backups,
+                        "rerouted": n_rerouted,
+                    },
+                ),
+            ),
+            meta={
+                "objective": state.objective(),
+                "resilience": {
+                    "repairs": rec.repairs,
+                    "failover": True,
+                    "displaced": len(displaced),
+                    "rerouted": n_rerouted,
+                },
+            },
+        )
+        for key in sorted(fixed):
+            self._provision_backup(rec, key, fixed[key])
+        self._replenish_replicas(rec)
+        if self.selfcheck:
+            self._validate(rec)
+        return n_replicas, n_backups, n_rerouted
+
+    def _failover(
+        self, now: float, trigger: str, target: object, broken_edges: frozenset[EdgeKey]
+    ) -> None:
+        """Per-tenant transactional fast failover before the repair
+        loop; tenants it cannot cover fall through untouched."""
+        affected = self._affected_by(broken_edges)
+        if not affected:
+            return
+        rec_obs = obs.OBS
+        stats = {
+            "tenants": len(affected),
+            "failed_over": 0,
+            "fallbacks": 0,
+            "replicas_activated": 0,
+            "backups_activated": 0,
+            "rerouted": 0,
+        }
+        with rec_obs.span(
+            "chaos.failover", trigger=trigger, target=repr(target), time=now
+        ) as sp:
+            for t in affected:
+                rec = self._live[t]
+                snap_state = self._state.copy()
+                snap_masks = dict(self._masks)
+                snap_ledger = self._ledger.snapshot()
+                snap_replicas = {g: list(v) for g, v in rec.replicas.items()}
+                snap_backups = dict(rec.backups)
+                counters = (self._replicas_activated, self._backups_activated)
+                try:
+                    n_rep, n_bak, n_rer = self._failover_tenant(now, t, broken_edges)
+                except (MappingError, CapacityError):
+                    self._state.restore_from(snap_state)
+                    self._masks = snap_masks
+                    self._ledger.restore(snap_ledger)
+                    rec.replicas = snap_replicas
+                    rec.backups = snap_backups
+                    self._replicas_activated, self._backups_activated = counters
+                    stats["fallbacks"] += 1
+                else:
+                    self._failovers += 1
+                    stats["failed_over"] += 1
+                    stats["replicas_activated"] += n_rep
+                    stats["backups_activated"] += n_bak
+                    stats["rerouted"] += n_rer
+            if rec_obs.enabled:
+                sp.set(**stats)
+                rec_obs.count(
+                    "repro_chaos_failovers_total", stats["failed_over"], trigger=trigger
+                )
 
     def _attempt_repair(
         self, affected: list[int], broken_edges: frozenset[EdgeKey]
@@ -512,6 +1000,26 @@ class ChaosOperator:
             rec = self._live[t]
             rec.mapping = mapping
             rec.repairs += 1
+            if self._redundant:
+                # A healed primary invalidates the shared-risk keys its
+                # backup was admitted under; retire and re-provision
+                # against the new path (best-effort).
+                for key in touched[t]:
+                    self._retire_backup(rec, key)
+                    self._provision_backup(rec, key, mapping.paths[key])
+                for g in displaced[t]:
+                    # Replicas the fault spent (dead host) or that now
+                    # collide with the guest's new primary are stale.
+                    stale = [
+                        rh for rh in rec.replicas.get(g, [])
+                        if rh[1] in dead_hosts or rh[1] == state.host_of(g)
+                    ]
+                    for rid, host in stale:
+                        if state.is_placed(rid):
+                            state.unplace(rid)
+                        rec.replicas[g].remove((rid, host))
+                    if not rec.replicas.get(g):
+                        rec.replicas.pop(g, None)
             if self.selfcheck:
                 self._validate(rec)
         return n_rerouted, n_replaced
@@ -533,6 +1041,7 @@ class ChaosOperator:
                 attempts += 1
                 snap_state = self._state.copy()
                 snap_masks = dict(self._masks)
+                snap_ledger = self._ledger.snapshot() if self._redundant else None
                 try:
                     rerouted, replaced = self._attempt_repair(affected, broken_edges)
                     healed = True
@@ -540,6 +1049,8 @@ class ChaosOperator:
                 except MappingError:
                     self._state.restore_from(snap_state)
                     self._masks = snap_masks
+                    if snap_ledger is not None:
+                        self._ledger.restore(snap_ledger)
                 if attempts >= policy.max_attempts:
                     # Graceful degradation: the residual cluster cannot hold
                     # everyone — drop the affected tenants themselves.
@@ -550,8 +1061,13 @@ class ChaosOperator:
                     healed = False
                     break
                 if policy.shed:
-                    # Make room: shed the cheapest live tenant (smallest
-                    # aggregate vbw, oldest id on ties) and try again.
+                    # Graceful degradation sheds availability margin
+                    # before workload: drop the cheapest tenant's backup
+                    # reservations, then its standby replicas, and only
+                    # then whole tenants (smallest aggregate vbw,
+                    # lowest tenant id on ties — fully deterministic).
+                    if self._redundant and self._shed_redundancy():
+                        continue
                     candidates = sorted(
                         self._live.values(), key=lambda r: (r.total_vbw, r.tenant)
                     )
@@ -570,7 +1086,7 @@ class ChaosOperator:
                 target=repr(target),
                 tenants=original,
                 attempts=attempts,
-                latency=policy.backoff * (attempts - 1),
+                latency=policy.retry_latency(self.seed, len(self._repairs), attempts),
                 rerouted=rerouted,
                 replaced=replaced,
                 shed=tuple(shed_ids),
@@ -635,6 +1151,8 @@ class ChaosOperator:
                     guests_alive=sample.guests_alive,
                     guests_lost=sample.guests_lost,
                     objective=sample.objective,
+                    bw_reserved=sample.bw_reserved,
+                    bw_backup=sample.bw_backup,
                 )
                 rec.count("repro_chaos_events_total", kind=kind)
 
@@ -648,6 +1166,8 @@ class ChaosOperator:
             self._state.block_host(target)
             self._dead_hosts.add(target)
             self._sync_node_edges(target)
+            if self._redundant:
+                self._failover(now, kind, target, frozenset())
             self._heal(now, kind, target, frozenset())
         elif kind == "host_recover":
             self._dead_hosts.discard(target)
@@ -656,6 +1176,8 @@ class ChaosOperator:
         elif kind == "switch_fail":
             self._dead_switches.add(target)
             self._sync_node_edges(target)
+            if self._redundant:
+                self._failover(now, kind, target, frozenset())
             self._heal(now, kind, target, frozenset())
         elif kind == "switch_recover":
             self._dead_switches.discard(target)
@@ -666,9 +1188,14 @@ class ChaosOperator:
             self._sync_edge(key)
             cap = self.cluster.link(*key).bw
             # Mask shortfall means live paths exceed the degraded
-            # capacity: re-route everything crossing the link.
+            # capacity: re-route everything crossing the link.  Fast
+            # failover moves traffic onto pre-provisioned backups
+            # first; the repair loop only runs for what remains.
             if self._masks.get(key, 0.0) + _EPS < cap * (1.0 - event.factor):
-                self._heal(now, kind, key, frozenset((key,)))
+                if self._redundant:
+                    self._failover(now, kind, key, frozenset((key,)))
+                if self._masks.get(key, 0.0) + _EPS < cap * (1.0 - event.factor):
+                    self._heal(now, kind, key, frozenset((key,)))
         elif kind == "link_restore":
             key = edge_key(*target)
             self._degraded.pop(key, None)
@@ -676,6 +1203,9 @@ class ChaosOperator:
         else:
             raise ModelError(f"unknown chaos event kind {kind!r}")
 
+        backup_bw = self._ledger.total_reserved if self._redundant else 0.0
+        usage = sum(self._state.bandwidth_usage().values())
+        masked = sum(self._masks.values())
         self._samples.append(
             ChaosSample(
                 time=now,
@@ -684,6 +1214,8 @@ class ChaosOperator:
                 guests_alive=sum(r.venv.n_guests for r in self._live.values()),
                 guests_lost=sum(self._lost.values()),
                 objective=self._state.objective(),
+                bw_reserved=usage - masked - backup_bw,
+                bw_backup=backup_bw,
             )
         )
 
@@ -708,6 +1240,11 @@ class ChaosOperator:
                 final_guests=sum(r.venv.n_guests for r in self._live.values()),
                 final_objective=self._state.objective(),
                 wall_s=time.perf_counter() - t0,
+                failovers=self._failovers,
+                replicas_activated=self._replicas_activated,
+                backups_activated=self._backups_activated,
+                backup_bw_shed=self._backup_bw_shed
+                + (self._ledger.degraded_bw if self._redundant else 0.0),
             )
             if rec.enabled:
                 sp.set(
@@ -720,6 +1257,10 @@ class ChaosOperator:
                     final_tenants=result.final_tenants,
                     final_guests=result.final_guests,
                     final_objective=result.final_objective,
+                    failovers=result.failovers,
+                    replicas_activated=result.replicas_activated,
+                    backups_activated=result.backups_activated,
+                    backup_bw_shed=result.backup_bw_shed,
                 )
         return result
 
