@@ -1,0 +1,294 @@
+#!/usr/bin/env python3
+"""Admission-service bench: sustained tenants/sec at a p99 latency SLO.
+
+Drives a deterministic multi-tenant arrival trace against the online
+admission service (``repro.service``) two ways and commits the results
+to ``BENCH_service.json``:
+
+``service``
+    The full stack — asyncio queue, worker pool, commit turnstile, and
+    a live experiment store on disk.  This is the number an operator
+    would quote: sustained closed-loop tenants/sec including
+    persistence, with the p99 admit latency beside it.
+``replay``
+    The same trace through :func:`repro.service.replay.replay_admissions`
+    (no queue, no store) — the engine's ceiling, so queue/store overhead
+    is visible as the gap between the two rows.
+
+The baseline has two kinds of entries, gated differently:
+
+* **exact** — accepted/rejected counts, the store's operation-line
+  count, and the acceptance-ratio-under-load curve.  These are
+  deterministic (seeded trace, turnstile ordering) and must match the
+  baseline bit-for-bit: any drift means the decision path changed.
+* **normalized** — best-of-``N_REPS`` wall-clock figures divided by
+  the same calibration loop the routing smoke uses
+  (``smoke.calibrate``), compared within
+  ``REPRO_BENCH_TOLERANCE`` (default 0.25).  A tripwire for
+  order-of-magnitude regressions (an accidental barrier in the worker
+  loop, a store fsync per record), not a microbenchmark.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --write   # seed baseline
+    PYTHONPATH=src python benchmarks/bench_service.py --check   # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from smoke import calibrate  # noqa: E402
+
+from repro.service import AdmissionConfig, open_service, replay_admissions  # noqa: E402
+from repro.service.replay import replay_through  # noqa: E402
+from repro.workload import LOW_LEVEL, generate_virtual_environment, paper_clusters  # noqa: E402
+
+BASELINE = Path(__file__).resolve().parent / "BENCH_service.json"
+RESULTS = Path(__file__).resolve().parent / "results" / "service_load.txt"
+BASE_SEED = int(os.environ.get("REPRO_SEED", "2009"))
+N_TENANTS = 40
+MEAN_LIFETIME = 5.0
+#: Wall-clock reps per driver; best-of, like ``smoke.calibrate``.
+N_REPS = 3
+#: Offered-load sweep for the acceptance study (EXPERIMENTS.md).
+LOAD_LIFETIMES = (2.0, 5.0, 8.0, 12.0, 18.0)
+FLOAT_TOL = 1e-9
+
+
+def make_tenant(i, rng):
+    n = int(rng.integers(100, 400))
+    return generate_virtual_environment(
+        n, workload=LOW_LEVEL, density=0.02,
+        seed=int(rng.integers(2**31 - 1)), id_offset=i * 100_000,
+    )
+
+
+def _cluster():
+    return paper_clusters(seed=BASE_SEED + 31)["torus"]
+
+
+def _measure_service(cluster, cfg: AdmissionConfig, calib: float) -> dict:
+    # Best-of-N on the wall clock (single-shot runs are far too noisy
+    # on a shared 1-core box); decisions are deterministic, so every
+    # rep must agree on everything but timing.
+    wall = math.inf
+    for _ in range(N_REPS):
+        with tempfile.TemporaryDirectory() as tmp:
+            store = Path(tmp) / "bench.store"
+            t0 = time.perf_counter()
+            with open_service(cluster, config=cfg.hmn, n_workers=2,
+                              store=str(store)) as svc:
+                report = replay_through(svc, make_venv=make_tenant, config=cfg)
+                rep_snapshot = svc.core.slo_snapshot()
+            rep_wall = time.perf_counter() - t0
+            # Minus the meta line: one line per committed operation.
+            rep_lines = len(store.read_text().splitlines()) - 1
+        if rep_wall < wall:
+            wall, snapshot, store_lines = rep_wall, rep_snapshot, rep_lines
+    return {
+        "accepted": report.accepted,
+        "rejected": report.rejected,
+        "peak_concurrent_tenants": report.peak_concurrent_tenants,
+        "store_lines": store_lines,
+        "throughput": {
+            "units": wall / calib,
+            "seconds": round(wall, 6),
+            "tenants_per_second": round(cfg.n_tenants / wall, 3),
+        },
+        "p99_units": snapshot["p99_s"] / calib,
+        "p99_seconds": round(snapshot["p99_s"], 6),
+    }
+
+
+def _measure_replay(cluster, cfg: AdmissionConfig, calib: float) -> dict:
+    wall = math.inf
+    for _ in range(N_REPS):
+        t0 = time.perf_counter()
+        report = replay_admissions(cluster, make_venv=make_tenant, config=cfg)
+        wall = min(wall, time.perf_counter() - t0)
+    return {
+        "accepted": report.accepted,
+        "rejected": report.rejected,
+        "throughput": {
+            "units": wall / calib,
+            "seconds": round(wall, 6),
+            "tenants_per_second": round(cfg.n_tenants / wall, 3),
+        },
+    }
+
+
+def _measure_load_curve(cluster) -> list[dict]:
+    rows = []
+    for lifetime in LOAD_LIFETIMES:
+        report = replay_admissions(
+            cluster, make_venv=make_tenant,
+            config=AdmissionConfig(n_tenants=30, mean_lifetime=lifetime,
+                                   seed=BASE_SEED),
+        )
+        rows.append({
+            "mean_lifetime": lifetime,
+            "accepted": report.accepted,
+            "rejected": report.rejected,
+            "acceptance_ratio": round(report.acceptance_ratio, 6),
+            "mean_memory_utilization": round(report.mean_memory_utilization, 6),
+            "peak_concurrent_tenants": report.peak_concurrent_tenants,
+        })
+    return rows
+
+
+def measure() -> dict:
+    calib = calibrate()
+    cluster = _cluster()
+    cfg = AdmissionConfig(n_tenants=N_TENANTS, mean_lifetime=MEAN_LIFETIME,
+                          seed=BASE_SEED)
+    service = _measure_service(cluster, cfg, calib)
+    replay = _measure_replay(cluster, cfg, calib)
+    doc = {
+        "benchmark": "service",
+        "tenants": N_TENANTS,
+        "mean_lifetime": MEAN_LIFETIME,
+        "seed": BASE_SEED,
+        "tolerance_default": 0.25,
+        "calibration_seconds": round(calib, 6),
+        "service": service,
+        "replay": replay,
+        "load_curve": _measure_load_curve(cluster),
+    }
+    # The two drivers run the identical decision path; their verdicts
+    # must agree before anything is written or checked.
+    assert (service["accepted"], service["rejected"]) == (
+        replay["accepted"], replay["rejected"],
+    ), "service and replay drivers diverged on the same trace"
+    return doc
+
+
+def _publish_load(doc: dict) -> None:
+    lines = [
+        f"{'lifetime':>9} {'accept':>8} {'mem util':>9} {'peak tenants':>13}"
+    ]
+    for row in doc["load_curve"]:
+        lines.append(
+            f"{row['mean_lifetime']:>9.1f} {row['acceptance_ratio']:>8.1%} "
+            f"{row['mean_memory_utilization']:>9.1%} "
+            f"{row['peak_concurrent_tenants']:>13}"
+        )
+    lines.append("")
+    svc = doc["service"]
+    lines.append(
+        f"service: {svc['throughput']['tenants_per_second']:.1f} tenants/s "
+        f"sustained (p99 admit {svc['p99_seconds'] * 1e3:.1f} ms, "
+        f"{svc['accepted']} accepted / {svc['rejected']} rejected, "
+        f"store {svc['store_lines']} ops)"
+    )
+    lines.append(
+        f"replay:  {doc['replay']['throughput']['tenants_per_second']:.1f} "
+        f"tenants/s (engine ceiling, no queue/store)"
+    )
+    text = "\n".join(lines)
+    RESULTS.parent.mkdir(exist_ok=True)
+    RESULTS.write_text(text + "\n")
+    print(f"\n===== {RESULTS.name} =====\n{text}\n")
+
+
+EXACT_KEYS = (
+    ("service.accepted", lambda d: d["service"]["accepted"]),
+    ("service.rejected", lambda d: d["service"]["rejected"]),
+    ("service.peak", lambda d: d["service"]["peak_concurrent_tenants"]),
+    ("service.store_lines", lambda d: d["service"]["store_lines"]),
+    ("replay.accepted", lambda d: d["replay"]["accepted"]),
+    ("replay.rejected", lambda d: d["replay"]["rejected"]),
+)
+NORMALIZED_KEYS = (
+    ("service.throughput", lambda d: d["service"]["throughput"]["units"]),
+    ("replay.throughput", lambda d: d["replay"]["throughput"]["units"]),
+    ("service.p99", lambda d: d["service"]["p99_units"]),
+)
+
+
+def check(tolerance: float) -> int:
+    if not BASELINE.exists():
+        print(f"missing baseline {BASELINE.name} (run --write)", file=sys.stderr)
+        return 1
+    baseline = json.loads(BASELINE.read_text())
+    doc = measure()
+    _publish_load(doc)
+    failures = []
+    for name, get in EXACT_KEYS:
+        want, got = get(baseline), get(doc)
+        verdict = "ok" if want == got else "DRIFT"
+        print(f"[check] {name:24s} {got!r:>10} vs baseline {want!r:>10} {verdict}")
+        if verdict != "ok":
+            failures.append(f"{name}: {got!r} != baseline {want!r}")
+    for row_want, row_got in zip(baseline["load_curve"], doc["load_curve"]):
+        for key in ("accepted", "rejected", "peak_concurrent_tenants"):
+            if row_want[key] != row_got[key]:
+                failures.append(
+                    f"load_curve[lifetime={row_want['mean_lifetime']}].{key}: "
+                    f"{row_got[key]!r} != baseline {row_want[key]!r}"
+                )
+        for key in ("acceptance_ratio", "mean_memory_utilization"):
+            if abs(row_want[key] - row_got[key]) > FLOAT_TOL:
+                failures.append(
+                    f"load_curve[lifetime={row_want['mean_lifetime']}].{key}: "
+                    f"{row_got[key]!r} != baseline {row_want[key]!r}"
+                )
+    for name, get in NORMALIZED_KEYS:
+        want, got = get(baseline), get(doc)
+        ratio = got / want if want else float("inf")
+        verdict = "ok" if ratio <= 1.0 + tolerance else "REGRESSION"
+        print(f"[check] {name:24s} {got:10.3f} vs baseline {want:10.3f} units "
+              f"({ratio:.1%}) {verdict}")
+        if verdict != "ok":
+            failures.append(
+                f"{name}: {got:.3f} units vs baseline {want:.3f} "
+                f"(+{ratio - 1.0:.1%} > {tolerance:.0%} tolerance)"
+            )
+    if failures:
+        print("\nFAIL: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    print("\nservice benchmark within tolerance")
+    return 0
+
+
+def write() -> int:
+    doc = measure()
+    _publish_load(doc)
+    BASELINE.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    svc = doc["service"]
+    print(f"[write] {BASELINE.name}: "
+          f"{svc['throughput']['tenants_per_second']:.1f} tenants/s at "
+          f"p99 {svc['p99_seconds'] * 1e3:.1f} ms "
+          f"({svc['accepted']} accepted / {svc['rejected']} rejected)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--write", action="store_true",
+                      help="(re)seed BENCH_service.json on this machine")
+    mode.add_argument("--check", action="store_true",
+                      help="compare against the committed baseline")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.25")),
+        help="relative slack for normalized figures (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    return write() if args.write else check(args.tolerance)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -86,6 +86,11 @@ __all__ = [
     "mapping_digest",
     "verify_conformance",
     "run_conformance_fuzz",
+    "open_service",
+    "replay_admissions",
+    "MapRequest",
+    "AdmissionDecision",
+    "AdmissionConfig",
     # high-level entry points (lazily imported)
     "hmn_map",
     "torus_cluster",
@@ -113,6 +118,11 @@ _LAZY = {
     "mapping_digest": "repro.api",
     "verify_conformance": "repro.api",
     "run_conformance_fuzz": "repro.api",
+    "open_service": "repro.api",
+    "replay_admissions": "repro.api",
+    "MapRequest": "repro.api",
+    "AdmissionDecision": "repro.api",
+    "AdmissionConfig": "repro.api",
 }
 
 

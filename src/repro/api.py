@@ -33,7 +33,7 @@ from typing import TYPE_CHECKING, Any, Callable, Mapping as TMapping, Sequence
 from repro.core.cluster import PhysicalCluster
 from repro.core.mapping import Mapping
 from repro.core.venv import VirtualEnvironment
-from repro.errors import ConfigError, MappingError, ModelError, ReproError
+from repro.errors import ConfigError, MappingError, ModelError, ReproError, StoreError
 from repro.hmn.config import HMNConfig
 from repro.hmn.pipeline import hmn_map
 from repro.io import _load_json, _save_json
@@ -46,6 +46,15 @@ from repro.redundancy import (
 from repro.resilience.metrics import survivability, survivability_from_trace
 from repro.resilience.operator import ChaosResult, RepairPolicy
 from repro.resilience.operator import run_chaos as _run_chaos
+from repro.service import (
+    AdmissionConfig,
+    AdmissionDecision,
+    ExperimentStore,
+    MapRequest,
+    ReplayReport,
+    open_service,
+    replay_admissions,
+)
 from repro.shard import (
     AUTO_MIN_HOSTS,
     Partition,
@@ -77,6 +86,15 @@ __all__ = [
     "ModelError",
     "MappingError",
     "ConfigError",
+    "StoreError",
+    # the admission service (online multi-tenant mapping)
+    "open_service",
+    "replay_admissions",
+    "MapRequest",
+    "AdmissionDecision",
+    "AdmissionConfig",
+    "ReplayReport",
+    "ExperimentStore",
     # observability
     "recording",
     "Tracer",

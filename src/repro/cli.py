@@ -19,6 +19,11 @@ Commands mirror an emulator operator's workflow:
     Replay a seeded fault trace (host crashes, switch failures, link
     degradations, tenant churn) against the self-healing operator and
     report the survivability metrics.
+``serve``
+    Run the online admission service (queue + worker pool over one
+    shared substrate) against a synthetic multi-tenant arrival trace,
+    print acceptance/SLO figures, optionally persist the run to an
+    experiment store and verify the restart round-trip.
 ``metrics-dump``
     Inspect an emitted observability artifact: validate + summarize a
     JSONL span trace, or print a metrics snapshot as Prometheus text.
@@ -202,6 +207,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="validate every touched mapping against Eqs. 1-9 "
                         "(exits non-zero on any invariant violation)")
     p.add_argument("--json", dest="json_out", help="write the full ChaosResult here")
+    _add_obs_flags(p)
+
+    p = sub.add_parser("serve", help="drive the online admission service "
+                                     "over a synthetic tenant trace")
+    p.add_argument("--cluster", help="cluster .json (default: a built-in topology)")
+    p.add_argument("--topology", default="torus", choices=["torus", "switched"],
+                   help="built-in paper substrate when no --cluster is given")
+    p.add_argument("--hosts", type=int, default=12,
+                   help="host count for the built-in substrate")
+    p.add_argument("--tenants", type=int, default=50,
+                   help="arrivals to drive through the queue")
+    p.add_argument("--mean-lifetime", type=float, default=5.0,
+                   help="mean tenant lifetime (geometric, in arrival ticks)")
+    p.add_argument("--guests-min", type=int, default=20)
+    p.add_argument("--guests-max", type=int, default=50,
+                   help="per-tenant guest count drawn uniformly from "
+                        "[--guests-min, --guests-max)")
+    p.add_argument("--seed", type=int, default=2009)
+    p.add_argument("--workers", type=int, default=2,
+                   help="service worker tasks (decisions are byte-identical "
+                        "at any count)")
+    p.add_argument("--engine", default="compiled", choices=["compiled", "dict"])
+    p.add_argument("--store", metavar="FILE",
+                   help="persist the run to this experiment-store JSONL "
+                        "(must not already exist)")
+    p.add_argument("--check-store", action="store_true",
+                   help="after the run, resume a fresh ServiceCore from the "
+                        "store and verify the replayed state matches "
+                        "(requires --store)")
+    p.add_argument("--json", dest="json_out", metavar="FILE",
+                   help="write the decision trace + SLO snapshot here")
     _add_obs_flags(p)
 
     p = sub.add_parser("metrics-dump",
@@ -483,6 +519,92 @@ def _chaos(args) -> int:
     return 0
 
 
+def _serve(args) -> int:
+    import json
+    import time
+
+    from repro.api import AdmissionConfig, HMNConfig, open_service
+    from repro.service import ServiceCore
+    from repro.service.replay import replay_through
+    from repro.workload import LOW_LEVEL, generate_virtual_environment, paper_clusters
+
+    if args.check_store and not args.store:
+        print("error: --check-store requires --store", file=sys.stderr)
+        return 2
+    if args.store and os.path.exists(args.store) and os.path.getsize(args.store):
+        print(f"error: {args.store} already holds a store; pick a fresh path "
+              f"(resume it programmatically with ServiceCore.resume)",
+              file=sys.stderr)
+        return 2
+    if args.guests_max <= args.guests_min:
+        print("error: --guests-max must exceed --guests-min", file=sys.stderr)
+        return 2
+
+    if args.cluster:
+        cluster = _load(args.cluster, PhysicalCluster)
+    else:
+        cluster = paper_clusters(seed=args.seed, n_hosts=args.hosts)[args.topology]
+
+    def make_venv(i, rng):
+        n = int(rng.integers(args.guests_min, args.guests_max))
+        return generate_virtual_environment(
+            n, workload=LOW_LEVEL, density=0.05,
+            seed=int(rng.integers(2**31 - 1)), id_offset=i * 100_000,
+        )
+
+    cfg = AdmissionConfig(
+        n_tenants=args.tenants, mean_lifetime=args.mean_lifetime,
+        seed=args.seed, hmn=HMNConfig(engine=args.engine),
+    )
+    started = time.perf_counter()
+    with open_service(cluster, config=cfg.hmn, n_workers=args.workers,
+                      store=args.store) as svc:
+        report = replay_through(svc, make_venv=make_venv, config=cfg)
+        snapshot = svc.core.slo_snapshot()
+    elapsed = time.perf_counter() - started
+
+    print(f"cluster: {cluster}")
+    print(f"workers: {args.workers}  arrivals: {args.tenants}  seed: {args.seed}")
+    print(f"accepted: {report.accepted}  rejected: {report.rejected}  "
+          f"acceptance ratio: {report.acceptance_ratio:.3f}")
+    print(f"peak concurrent tenants: {report.peak_concurrent_tenants}  "
+          f"mean memory utilization: {report.mean_memory_utilization:.3f}")
+    print(f"admit latency p50: {snapshot['p50_s'] * 1e3:.2f} ms  "
+          f"p99: {snapshot['p99_s'] * 1e3:.2f} ms")
+    print(f"throughput: {args.tenants / elapsed:.1f} tenants/s "
+          f"({elapsed:.2f} s wall)")
+
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(
+                {
+                    "decisions": [d.to_dict() for d in report.decisions],
+                    "slo": snapshot,
+                    "throughput_tps": args.tenants / elapsed,
+                },
+                fh, indent=1, sort_keys=True,
+            )
+        print(f"\nwrote service report -> {args.json_out}")
+    if args.store:
+        print(f"wrote experiment store -> {args.store}")
+    if args.check_store:
+        # Resuming replays every logged request through the same admit
+        # path and raises StoreError on any byte-level divergence — the
+        # resume itself is the verification.
+        core = ServiceCore.resume(cluster, args.store)
+        ok = (core.accepted == report.accepted
+              and core.rejected == report.rejected
+              and len(core.live_tenants) == snapshot["live"])
+        core.close()
+        if not ok:
+            print("store round-trip FAILED: resumed counters diverge",
+                  file=sys.stderr)
+            return 1
+        print(f"store round-trip ok: {core.accepted + core.rejected} decisions "
+              f"replayed bit-exactly, {int(snapshot['live'])} tenants live")
+    return 0
+
+
 def _conformance(args) -> int:
     from repro import conformance
 
@@ -605,6 +727,8 @@ def main(argv: list[str] | None = None) -> int:
                 return _figure1(args)
             if args.command == "chaos":
                 return _chaos(args)
+            if args.command == "serve":
+                return _serve(args)
             if args.command == "conformance":
                 return _conformance(args)
             if args.command == "metrics-dump":

@@ -28,6 +28,7 @@ __all__ = [
     "RetriesExhaustedError",
     "ValidationError",
     "SimulationError",
+    "StoreError",
 ]
 
 
@@ -133,3 +134,11 @@ class ValidationError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator was driven into an invalid state."""
+
+
+class StoreError(ModelError):
+    """The service experiment store is unreadable or inconsistent: a
+    corrupt/truncated record, a format or cluster mismatch on reopen,
+    or a replayed decision that no longer matches the stored one
+    (:mod:`repro.service.store`).  Subclasses :class:`ModelError` so
+    generic model-error handlers keep working."""

@@ -1,61 +1,46 @@
-"""Admission control on a shared testbed — the multi-tenant study.
+"""Deprecated admission-control surface — now a shim over
+:mod:`repro.service`.
 
-The paper assumes one tester owns the whole cluster; the multi-tenant
-extension (``hmn_map(..., state=...)``) removes that assumption.  This
-module adds the natural experiment on top: tenants *arrive* with a
-virtual environment, hold it for a lifetime, then depart; each arrival
-is admitted iff the mapper finds a valid mapping in the residual
-capacity.  The observable is the **acceptance ratio** as a function of
-offered load — the capacity-planning curve a testbed operator needs.
+The multi-tenant admission study grew into a full service (PR 9):
+typed :class:`~repro.service.types.MapRequest` /
+:class:`~repro.service.types.AdmissionDecision` values, a transactional
+:class:`~repro.service.core.ServiceCore`, an asyncio queue/worker front
+end and a persistent experiment store.  This module keeps the
+historical names alive:
 
-Arrivals and lifetimes are driven by an explicit random generator
-(deterministic in the seed, like everything in this library); "time"
-is virtual (event count), since only the interleaving matters for
-admission, not wall durations.
+* :func:`release_tenant` — re-exported from
+  :mod:`repro.service.core`, where it now lives (same semantics, plus
+  an optional ``cache`` to prune);
+* :func:`simulate_admissions` — a warn-once deprecated wrapper around
+  :func:`repro.service.replay.replay_admissions` that converts the
+  typed decisions back into the old :class:`TenantEvent` /
+  :class:`AdmissionResult` shape **byte-identically** (the shim test
+  pins pre-refactor trace digests).  New code should call
+  ``repro.api.replay_admissions`` with an
+  :class:`~repro.service.types.AdmissionConfig`.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from repro.core.cluster import PhysicalCluster
-from repro.core.mapping import Mapping
-from repro.core.state import ClusterState
 from repro.core.venv import VirtualEnvironment
-from repro.errors import MappingError, ModelError
 from repro.hmn.config import HMNConfig
-from repro.hmn.pipeline import hmn_map
-from repro.routing.cache import RoutingCache
-from repro.seeding import rng_from
+from repro.service.core import release_tenant
+from repro.service.replay import replay_admissions
+from repro.service.types import AdmissionConfig
 
 __all__ = ["TenantEvent", "AdmissionResult", "release_tenant", "simulate_admissions"]
 
 
-def release_tenant(
-    state: ClusterState, venv: VirtualEnvironment, mapping: Mapping
-) -> None:
-    """Return a departed tenant's allocations to the shared *state*.
-
-    Unplaces every guest of *venv* and releases the bandwidth of every
-    multi-node path in *mapping* — the inverse of admitting the tenant
-    with ``hmn_map(..., state=state)``.  Shared by the admission loop
-    below and the chaos operator (:mod:`repro.resilience`), which must
-    agree exactly on what departure means for the residual tables.
-    """
-    for guest in venv.guests():
-        state.unplace(guest.id)
-    for key, nodes in mapping.paths.items():
-        if len(nodes) > 1:
-            state.release_path(nodes, venv.vlink(*key).vbw)
-
-
 @dataclass(frozen=True, slots=True)
 class TenantEvent:
-    """One tenant's outcome in the admission trace."""
+    """One tenant's outcome in the admission trace (legacy shape)."""
 
     tenant: int
     arrived_at: int
@@ -67,7 +52,7 @@ class TenantEvent:
 
 @dataclass(frozen=True)
 class AdmissionResult:
-    """Aggregate outcome of one admission simulation."""
+    """Aggregate outcome of one admission simulation (legacy shape)."""
 
     events: tuple[TenantEvent, ...]
     accepted: int
@@ -82,6 +67,20 @@ class AdmissionResult:
         return self.accepted / total if total else 1.0
 
 
+_warned: set[str] = set()
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    # Once per name per process: enough to be seen, never spam.
+    if old not in _warned:
+        _warned.add(old)
+        warnings.warn(
+            f"repro.extensions.{old} is deprecated; use {new} instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+
 def simulate_admissions(
     cluster: PhysicalCluster,
     *,
@@ -91,84 +90,42 @@ def simulate_admissions(
     seed: int | np.random.Generator | None = None,
     config: HMNConfig | None = None,
 ) -> AdmissionResult:
-    """Run an arrive/hold/depart trace through the shared-state mapper.
+    """Deprecated — use :func:`repro.api.replay_admissions`.
 
-    Parameters
-    ----------
-    make_venv:
-        Builds tenant *i*'s virtual environment (give each tenant a
-        disjoint guest-id block, e.g. ``id_offset=i * 100_000``).
-    mean_lifetime:
-        Mean number of subsequent arrivals a tenant stays for
-        (geometric); higher means more concurrency and more rejections.
+    Runs the identical arrive/hold/depart trace through the service's
+    admission engine and converts the typed report back to the
+    historical :class:`AdmissionResult`.  Traces are byte-identical to
+    the pre-service implementation (digest-pinned in the tests).
     """
-    if n_tenants < 1:
-        raise ModelError(f"n_tenants must be >= 1, got {n_tenants}")
-    if mean_lifetime <= 0:
-        raise ModelError(f"mean_lifetime must be positive, got {mean_lifetime}")
-    if config is None:
-        config = HMNConfig()
-    rng = rng_from(seed)
-
-    state = ClusterState(cluster)
-    # One routing cache for the whole arrival sequence: latency labels
-    # amortize across tenants, and the epoch-keyed path memo survives
-    # any stretch of arrivals that leaves residual bandwidth untouched.
-    cache = RoutingCache(cluster)
-    total_mem = cluster.total_mem()
-
-    #: departures as (depart_time, tenant, venv, mapping)
-    departures: list[tuple[float, int, VirtualEnvironment, Mapping]] = []
-    events: list[TenantEvent] = []
-    accepted = rejected = 0
-    utilizations: list[float] = []
-    peak = 0
-
-    for t in range(n_tenants):
-        # Process departures scheduled before this arrival.
-        while departures and departures[0][0] <= t:
-            _, _, old_venv, old_mapping = heapq.heappop(departures)
-            release_tenant(state, old_venv, old_mapping)
-
-        used_mem = total_mem - sum(state.residual_mem(h) for h in cluster.host_ids)
-        utilizations.append(used_mem / total_mem if total_mem else 0.0)
-        peak = max(peak, len(departures))
-
-        venv = make_venv(t, rng)
-        try:
-            mapping = hmn_map(cluster, venv, config, state=state, cache=cache)
-        except MappingError as exc:
-            rejected += 1
-            events.append(
-                TenantEvent(
-                    tenant=t,
-                    arrived_at=t,
-                    admitted=False,
-                    n_guests=venv.n_guests,
-                    failure=type(exc).__name__,
-                )
-            )
-            # hmn_map is transactional on shared states: the failed
-            # attempt left no placements or reservations behind.
-            continue
-        accepted += 1
-        lifetime = float(rng.geometric(1.0 / mean_lifetime))
-        depart_at = t + lifetime
-        heapq.heappush(departures, (depart_at, t, venv, mapping))
-        events.append(
-            TenantEvent(
-                tenant=t,
-                arrived_at=t,
-                admitted=True,
-                n_guests=venv.n_guests,
-                departed_at=int(depart_at),
-            )
-        )
-
+    _warn_deprecated(
+        "simulate_admissions",
+        "repro.api.replay_admissions(cluster, make_venv=..., "
+        "config=AdmissionConfig(...))",
+    )
+    report = replay_admissions(
+        cluster,
+        make_venv=make_venv,
+        config=AdmissionConfig(
+            n_tenants=n_tenants,
+            mean_lifetime=mean_lifetime,
+            seed=seed,
+            hmn=config,
+        ),
+    )
     return AdmissionResult(
-        events=tuple(events),
-        accepted=accepted,
-        rejected=rejected,
-        mean_memory_utilization=float(np.mean(utilizations)) if utilizations else 0.0,
-        peak_concurrent_tenants=peak,
+        events=tuple(
+            TenantEvent(
+                tenant=d.tenant,
+                arrived_at=d.arrived_at,
+                admitted=d.admitted,
+                n_guests=d.n_guests,
+                departed_at=d.departed_at,
+                failure=d.failure,
+            )
+            for d in report.decisions
+        ),
+        accepted=report.accepted,
+        rejected=report.rejected,
+        mean_memory_utilization=report.mean_memory_utilization,
+        peak_concurrent_tenants=report.peak_concurrent_tenants,
     )

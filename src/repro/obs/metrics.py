@@ -146,6 +146,28 @@ class Histogram:
                 self.counts[i] += 1
                 break
 
+    def quantile(self, q: float) -> float:
+        """Estimated *q*-quantile (``0 <= q <= 1``) from the bucket
+        counts — ``histogram_quantile`` semantics: linear interpolation
+        inside the bucket holding the rank, the highest finite bound
+        when the rank falls in the overflow bucket, NaN when empty.
+        An *estimate*: its resolution is the bucket grid, which is the
+        price of O(buckets) memory; exact quantiles need the raw
+        samples (the service SLO gauges keep those separately).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be within [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        acc, lower = 0, 0.0
+        for bound, c in zip(self.buckets, self.counts):
+            if c and acc + c >= rank:
+                return lower + (bound - lower) * (rank - acc) / c
+            acc += c
+            lower = bound
+        return self.buckets[-1] if self.buckets else math.nan
+
     def _cumulative(self) -> list[int]:
         out, acc = [], 0
         for c in self.counts:

@@ -13,30 +13,48 @@ it can a self-healing operator keep alive?
   live shared :class:`~repro.core.state.ClusterState` with
   transactional repairs, retry/shedding policy and per-event
   survivability sampling;
+* :mod:`~repro.resilience.transactions` — :func:`joint_transaction`,
+  the snapshot/rollback discipline those repairs (and the admission
+  service) share;
 * :mod:`~repro.resilience.metrics` — :func:`survivability`, the
   scalar summary (availability, repair latency, objective drift).
+
+Exports resolve lazily (PEP 562): the operator pulls in the admission
+service's release path, which in turn leans on
+:mod:`~repro.resilience.transactions` — laziness keeps that triangle
+import-order-free, and spares transaction-only importers the whole
+chaos stack.
 """
 
-from repro.resilience.faults import EVENT_KINDS, FailureModel, FaultEvent
-from repro.resilience.metrics import survivability
-from repro.resilience.operator import (
-    ChaosOperator,
-    ChaosResult,
-    ChaosSample,
-    RepairPolicy,
-    RepairRecord,
-    run_chaos,
-)
+from typing import Any
 
-__all__ = [
-    "EVENT_KINDS",
-    "FailureModel",
-    "FaultEvent",
-    "ChaosOperator",
-    "ChaosResult",
-    "ChaosSample",
-    "RepairPolicy",
-    "RepairRecord",
-    "run_chaos",
-    "survivability",
-]
+_LAZY = {
+    "EVENT_KINDS": "repro.resilience.faults",
+    "FailureModel": "repro.resilience.faults",
+    "FaultEvent": "repro.resilience.faults",
+    "ChaosOperator": "repro.resilience.operator",
+    "ChaosResult": "repro.resilience.operator",
+    "ChaosSample": "repro.resilience.operator",
+    "RepairPolicy": "repro.resilience.operator",
+    "RepairRecord": "repro.resilience.operator",
+    "run_chaos": "repro.resilience.operator",
+    "survivability": "repro.resilience.metrics",
+    "joint_transaction": "repro.resilience.transactions",
+}
+
+__all__ = sorted(_LAZY)
+
+
+def __getattr__(name: str) -> Any:
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

@@ -59,7 +59,6 @@ from repro.core.venv import VirtualEnvironment
 from repro.core.vlink import VLinkKey
 from repro.errors import ConfigError, MappingError, ModelError, PlacementError
 from repro.errors import CapacityError, RoutingError
-from repro.extensions.admission import release_tenant
 from repro.hmn.config import HMNConfig, keyword_only
 from repro.hmn.networking import run_networking
 from repro.hmn.pipeline import hmn_map
@@ -67,8 +66,10 @@ from repro.redundancy.ledger import BackupLedger, RiskKey
 from repro.redundancy.placement import REPLICA_STRIDE, replica_guest
 from repro.redundancy.stage import redundancy_records, risks_of_path
 from repro.resilience.faults import FailureModel, FaultEvent
+from repro.resilience.transactions import joint_transaction
 from repro.routing.cache import RoutingCache
 from repro.seeding import derive
+from repro.service.core import release_tenant
 
 __all__ = [
     "RepairPolicy",
@@ -545,6 +546,14 @@ class ChaosOperator:
     # ------------------------------------------------------------------
     # healing
     # ------------------------------------------------------------------
+    def _restore_masks(self, snap: dict[EdgeKey, float]) -> None:
+        """Rollback participant for the fault-mask ledger."""
+        self._masks = snap
+
+    def _restore_activation_counters(self, snap: tuple[int, int]) -> None:
+        """Rollback participant for the failover activation counters."""
+        self._replicas_activated, self._backups_activated = snap
+
     def _affected_by(self, broken_edges: frozenset[EdgeKey]) -> list[int]:
         """Live tenants with a displaced guest, a path through a dead
         node, or a path over a broken edge — in tenant order."""
@@ -866,21 +875,31 @@ class ChaosOperator:
         ) as sp:
             for t in affected:
                 rec = self._live[t]
-                snap_state = self._state.copy()
-                snap_masks = dict(self._masks)
-                snap_ledger = self._ledger.snapshot()
-                snap_replicas = {g: list(v) for g, v in rec.replicas.items()}
-                snap_backups = dict(rec.backups)
-                counters = (self._replicas_activated, self._backups_activated)
                 try:
-                    n_rep, n_bak, n_rer = self._failover_tenant(now, t, broken_edges)
+                    # Joint transaction: the shared state plus every
+                    # bookkeeping table a failover mutates roll back as
+                    # one unit (repro.resilience.transactions).
+                    with joint_transaction(
+                        self._state,
+                        (lambda: dict(self._masks), self._restore_masks),
+                        (self._ledger.snapshot, self._ledger.restore),
+                        (
+                            lambda r=rec: {g: list(v) for g, v in r.replicas.items()},
+                            lambda snap, r=rec: setattr(r, "replicas", snap),
+                        ),
+                        (
+                            lambda r=rec: dict(r.backups),
+                            lambda snap, r=rec: setattr(r, "backups", snap),
+                        ),
+                        (
+                            lambda: (self._replicas_activated, self._backups_activated),
+                            self._restore_activation_counters,
+                        ),
+                    ):
+                        n_rep, n_bak, n_rer = self._failover_tenant(
+                            now, t, broken_edges
+                        )
                 except (MappingError, CapacityError):
-                    self._state.restore_from(snap_state)
-                    self._masks = snap_masks
-                    self._ledger.restore(snap_ledger)
-                    rec.replicas = snap_replicas
-                    rec.backups = snap_backups
-                    self._replicas_activated, self._backups_activated = counters
                     stats["fallbacks"] += 1
                 else:
                     self._failovers += 1
@@ -1037,20 +1056,20 @@ class ChaosOperator:
         attempts = 0
         rec = obs.OBS
         with rec.span("chaos.repair", trigger=trigger, target=repr(target), time=now) as sp:
+            riders: list = [(lambda: dict(self._masks), self._restore_masks)]
+            if self._redundant:
+                riders.append((self._ledger.snapshot, self._ledger.restore))
             while True:
                 attempts += 1
-                snap_state = self._state.copy()
-                snap_masks = dict(self._masks)
-                snap_ledger = self._ledger.snapshot() if self._redundant else None
                 try:
-                    rerouted, replaced = self._attempt_repair(affected, broken_edges)
+                    with joint_transaction(self._state, *riders):
+                        rerouted, replaced = self._attempt_repair(
+                            affected, broken_edges
+                        )
                     healed = True
                     break
                 except MappingError:
-                    self._state.restore_from(snap_state)
-                    self._masks = snap_masks
-                    if snap_ledger is not None:
-                        self._ledger.restore(snap_ledger)
+                    pass  # joint_transaction already rolled everything back
                 if attempts >= policy.max_attempts:
                     # Graceful degradation: the residual cluster cannot hold
                     # everyone — drop the affected tenants themselves.

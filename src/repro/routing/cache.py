@@ -321,6 +321,28 @@ class RoutingCache:
         self._remember(self._paths, key, result)
         return result
 
+    def drop_stale(self, epoch: int) -> int:
+        """Drop every memo entry not keyed by *epoch*; returns the count.
+
+        Epoch tokens are globally unique and never reused
+        (:attr:`~repro.core.state.ClusterState.bw_epoch`), so stale
+        entries can never be *served* again — they are not a correctness
+        hazard, only dead weight.  In a one-shot mapping that weight is
+        bounded by ``max_paths`` and harmless; in a long-lived admission
+        service every tenant departure retires an epoch, and the dead
+        entries would crowd live ones out of the ``max_paths`` budget
+        (the eviction sweep drops the oldest half indiscriminately).
+        The service calls this after each release with the
+        post-release epoch, keeping the memo all-live.
+        """
+        dropped = 0
+        for memo in (self._paths, self._failures):
+            stale = [key for key in memo if key[0] != epoch]
+            for key in stale:
+                del memo[key]
+            dropped += len(stale)
+        return dropped
+
     def _remember(self, table: dict, key: tuple, value) -> None:
         if len(self._paths) + len(self._failures) >= self.max_paths:
             for memo in (self._paths, self._failures):

@@ -1,0 +1,332 @@
+"""The long-lived asyncio admission service.
+
+A :class:`MappingService` owns one
+:class:`~repro.service.core.ServiceCore` (one shared
+:class:`~repro.core.state.ClusterState`), an :class:`AdmissionQueue` of
+pending :class:`~repro.service.types.MapRequest` tickets, and a pool of
+worker tasks draining it.  Three rules make the service deterministic —
+same seed + same arrival order gives byte-identical decision logs and
+store contents at **any** worker count:
+
+* the queue is a priority heap with a FIFO tiebreak, and pops are
+  serialized by the queue condition — so the *dequeue order* is a pure
+  function of what was submitted, never of worker scheduling;
+* each ticket is stamped with its dequeue index, and a **commit
+  turnstile** makes workers decide tickets strictly in that order: a
+  worker holding ticket *k* waits until every ticket before *k* has
+  committed.  (Admissions mutate one shared state, so they could never
+  have run concurrently anyway — the turnstile converts that physical
+  constraint into an ordering guarantee.)
+* request ids are assigned at commit, so id = commit index = dequeue
+  index, matching what a batch replay of the same sequence assigns.
+
+Deadlines are the one wall-clock verdict: a ticket still queued past
+its ``deadline`` seconds is decided ``DeadlineExpired`` at the
+turnstile without touching the state.  Runs that want byte-exact
+determinism simply don't set finite nonzero deadlines (``deadline=0``
+expires deterministically — it can never be met).
+
+:class:`ServiceHandle` wraps the service for synchronous callers (the
+CLI, benchmarks, tests): it runs the event loop in a daemon thread and
+exposes blocking ``submit``/``release``/``drain``.  Construct it via
+:func:`repro.service.open_service`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import threading
+import time
+from typing import Any
+
+from repro.core.cluster import PhysicalCluster
+from repro.errors import ModelError
+from repro.hmn.config import HMNConfig
+from repro.service.core import ServiceCore
+from repro.service.store import ExperimentStore
+from repro.service.types import AdmissionDecision, MapRequest
+
+__all__ = ["AdmissionQueue", "MappingService", "ServiceHandle"]
+
+
+class _Ticket:
+    """One queued operation (an admission or a release)."""
+
+    __slots__ = ("kind", "request", "tenant", "priority", "enqueued_at", "future", "order")
+
+    def __init__(self, kind: str, *, request: MapRequest | None = None,
+                 tenant: Any = None, priority: int = 0,
+                 future: asyncio.Future | None = None) -> None:
+        self.kind = kind
+        self.request = request
+        self.tenant = tenant
+        self.priority = priority
+        self.enqueued_at = time.monotonic()
+        self.future = future
+        self.order = -1
+
+
+class AdmissionQueue:
+    """Priority queue of tickets; higher priority first, FIFO on ties.
+
+    ``get`` stamps each popped ticket with its dequeue index — the
+    commit order the worker turnstile enforces.  After :meth:`close`,
+    remaining tickets still drain; ``get`` returns ``None`` only once
+    the queue is both closed and empty.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, _Ticket]] = []
+        self._seq = itertools.count()
+        self._order = itertools.count()
+        self._cond = asyncio.Condition()
+        self._closed = False
+
+    async def put(self, ticket: _Ticket) -> None:
+        async with self._cond:
+            if self._closed:
+                raise ModelError("the admission service is closed")
+            heapq.heappush(self._heap, (-ticket.priority, next(self._seq), ticket))
+            self._cond.notify()
+
+    async def get(self) -> _Ticket | None:
+        async with self._cond:
+            while not self._heap and not self._closed:
+                await self._cond.wait()
+            if not self._heap:
+                return None
+            _, _, ticket = heapq.heappop(self._heap)
+            ticket.order = next(self._order)
+            return ticket
+
+    async def close(self) -> None:
+        async with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class MappingService:
+    """Queue + worker pool over one admission engine (async surface).
+
+    Parameters
+    ----------
+    cluster:
+        The shared substrate.
+    config:
+        Default pipeline config (as in :class:`ServiceCore`).
+    n_workers:
+        Worker-task count.  Decisions and store bytes are identical at
+        any value (see the module docstring); more workers only overlap
+        queue management with the decision in flight.
+    store:
+        ``None`` (no persistence), a path (fresh log — or *resume* when
+        the file already holds one), or a positioned
+        :class:`ExperimentStore`.
+    metrics:
+        Registry for the service instruments.
+    """
+
+    def __init__(
+        self,
+        cluster: PhysicalCluster,
+        *,
+        config: HMNConfig | None = None,
+        n_workers: int = 2,
+        store: ExperimentStore | str | None = None,
+        metrics=None,
+    ) -> None:
+        if n_workers < 1:
+            raise ModelError(f"n_workers must be >= 1, got {n_workers}")
+        if store is None or isinstance(store, ExperimentStore):
+            self.core = ServiceCore(cluster, config=config, store=store, metrics=metrics)
+            if store is not None and not store.exists:
+                store.initialize(cluster, self.core.config)
+        else:
+            self.core = ServiceCore.open(cluster, store, config=config, metrics=metrics)
+        self.n_workers = n_workers
+        self.queue = AdmissionQueue()
+        self._workers: list[asyncio.Task] = []
+        self._turnstile = asyncio.Condition()
+        self._next_commit = 0
+        self._pending: set[asyncio.Future] = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._workers:
+            raise ModelError("the service is already started")
+        self._workers = [
+            asyncio.create_task(self._worker(), name=f"repro-admit-{i}")
+            for i in range(self.n_workers)
+        ]
+
+    async def close(self) -> None:
+        """Stop intake, drain queued tickets, stop workers, close the
+        store.  Idempotent."""
+        await self.queue.close()
+        if self._workers:
+            await asyncio.gather(*self._workers)
+            self._workers = []
+        self.core.close()
+
+    async def drain(self) -> None:
+        """Wait until every ticket submitted so far has been decided."""
+        while self._pending:
+            await asyncio.gather(*list(self._pending), return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    # intake
+    # ------------------------------------------------------------------
+    async def _enqueue(self, ticket: _Ticket) -> asyncio.Future:
+        ticket.future = asyncio.get_running_loop().create_future()
+        self._pending.add(ticket.future)
+        ticket.future.add_done_callback(self._pending.discard)
+        await self.queue.put(ticket)
+        return ticket.future
+
+    async def submit(self, request: MapRequest) -> AdmissionDecision:
+        """Queue *request* and wait for its decision."""
+        future = await self.submit_nowait(request)
+        return await future
+
+    async def submit_nowait(self, request: MapRequest) -> asyncio.Future:
+        """Queue *request*; the returned future resolves to its
+        :class:`AdmissionDecision`.
+
+        (The name mirrors ``Queue.put_nowait``: it does not wait for
+        the *decision* — the enqueue itself is awaited.)
+        """
+        if not isinstance(request, MapRequest):
+            raise ModelError(
+                f"submit expects a MapRequest, got {type(request).__name__}"
+            )
+        return await self._enqueue(
+            _Ticket("admit", request=request, priority=request.priority)
+        )
+
+    async def release(self, tenant) -> bool:
+        """Queue a departure for *tenant*; resolves once committed.
+        Ordered with admissions: a release submitted before an arrival
+        is applied before it."""
+        future = await self._enqueue(_Ticket("release", tenant=tenant))
+        return await future
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        while True:
+            ticket = await self.queue.get()
+            if ticket is None:
+                return
+            async with self._turnstile:
+                await self._turnstile.wait_for(
+                    lambda: self._next_commit == ticket.order
+                )
+                try:
+                    result = self._decide(ticket)
+                except BaseException as exc:  # noqa: BLE001 - forwarded
+                    if not ticket.future.cancelled():
+                        ticket.future.set_exception(exc)
+                else:
+                    if not ticket.future.cancelled():
+                        ticket.future.set_result(result)
+                finally:
+                    self._next_commit += 1
+                    self._turnstile.notify_all()
+
+    def _decide(self, ticket: _Ticket):
+        core = self.core
+        if ticket.kind == "release":
+            return core.release(ticket.tenant)
+        request = ticket.request
+        deadline = request.deadline
+        if deadline is not None:
+            waited = time.monotonic() - ticket.enqueued_at
+            # deadline=0 can never be met — it expires deterministically
+            # (the determinism tests' hook); positive budgets compare
+            # against the actual queue wait.
+            if deadline == 0.0 or waited > deadline:
+                decision = core.expire(request)
+                core.metrics.histogram("repro_service_queue_seconds").observe(waited)
+                return decision
+            core.metrics.histogram("repro_service_queue_seconds").observe(waited)
+        else:
+            core.metrics.histogram("repro_service_queue_seconds").observe(
+                time.monotonic() - ticket.enqueued_at
+            )
+        return core.admit(request)
+
+
+class ServiceHandle:
+    """Blocking facade over a service running in a background loop.
+
+    Built by :func:`repro.service.open_service`; every method forwards
+    to the event-loop thread and waits for the result, so plain
+    experiment scripts can drive the real queue/worker machinery
+    without touching asyncio.
+    """
+
+    def __init__(self, service: MappingService, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self._service = service
+        self._loop = loop
+        self._thread = thread
+        self._closed = False
+
+    @property
+    def core(self) -> ServiceCore:
+        return self._service.core
+
+    @property
+    def service(self) -> MappingService:
+        return self._service
+
+    def _call(self, coro):
+        if self._closed:
+            coro.close()  # silence the never-awaited warning
+            raise ModelError("the admission service is closed")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def submit(self, request: MapRequest) -> AdmissionDecision:
+        """Submit and wait for the decision (closed-loop)."""
+        return self._call(self._service.submit(request))
+
+    def submit_nowait(self, request: MapRequest):
+        """Submit without waiting; returns a ``concurrent.futures``
+        future resolving to the decision (open-loop)."""
+        if self._closed:
+            raise ModelError("the admission service is closed")
+
+        async def _chain():
+            return await (await self._service.submit_nowait(request))
+
+        return asyncio.run_coroutine_threadsafe(_chain(), self._loop)
+
+    def release(self, tenant) -> bool:
+        return self._call(self._service.release(tenant))
+
+    def drain(self) -> None:
+        self._call(self._service.drain())
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._call(self._service.close())
+        self._closed = True
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        if not self._loop.is_running():
+            self._loop.close()
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

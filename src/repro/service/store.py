@@ -1,0 +1,338 @@
+"""The append-only experiment store behind the admission service.
+
+Modeled on json2run's ``Persistent`` layer — every durable thing is a
+:class:`Persistent` record that knows how to serialize itself to a
+plain dict and rebuild itself from one, dispatched by a ``kind`` tag —
+with the MongoDB backend swapped for a single JSONL file to stay
+dependency-light.  The file is a log, not a table:
+
+* line 1 is the :class:`MetaRecord` — store format, the cluster, the
+  service config — the compatibility contract a reopen validates;
+* every subsequent line is one committed operation, in commit order:
+  ``request`` / ``decision`` (and ``mapping`` when admitted) triples
+  for admissions, ``release`` records for departures.
+
+Records are serialized with sorted keys and compact separators, so
+**equal histories produce byte-equal files** — the property the
+determinism tests compare across worker counts and restarts.  Nothing
+wall-clock ever enters a record (latencies live in the metrics
+registry only; mapping payloads strip the stage timings), which is
+what makes that byte-equality achievable at all.
+
+Restart semantics are event-sourcing, not snapshotting: rebuilding
+residual float tables from final placements would not be bit-exact
+(IEEE addition is not associative — ``(x - a) + a`` need not equal
+``x``), so :meth:`repro.service.core.ServiceCore.resume` *replays* the
+log through the same admission code path and verifies each recomputed
+decision against the stored one, raising
+:class:`~repro.errors.StoreError` on the first divergence.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, ClassVar, Iterator, Mapping as TMapping
+
+from repro.core.cluster import PhysicalCluster
+from repro.core.mapping import Mapping
+from repro.errors import StoreError
+from repro.hmn.config import HMNConfig
+from repro.io import cluster_to_dict, venv_from_dict, venv_to_dict
+from repro.service.types import AdmissionDecision
+
+__all__ = [
+    "STORE_FORMAT",
+    "Persistent",
+    "MetaRecord",
+    "RequestRecord",
+    "DecisionRecord",
+    "MappingRecord",
+    "ReleaseRecord",
+    "ExperimentStore",
+]
+
+STORE_FORMAT = "repro/service-store@1"
+
+
+def mapping_payload(mapping: Mapping) -> dict[str, Any]:
+    """The deterministic subset of a mapping worth persisting:
+    assignments, paths and the producing mapper — no stage timings, no
+    free-form meta (both carry wall-clock noise that would break the
+    store's byte-equality guarantee)."""
+    return {
+        "mapper": mapping.mapper,
+        "assignments": {str(g): h for g, h in mapping.assignments.items()},
+        "paths": {f"{a},{b}": list(p) for (a, b), p in mapping.paths.items()},
+    }
+
+
+class Persistent:
+    """A record that round-trips through a tagged plain dict.
+
+    Subclasses set the class variable ``kind`` (the dispatch tag) and
+    implement ``payload()`` / ``_from_payload()``; registration is
+    automatic via ``__init_subclass__``, json2run-style.
+    """
+
+    kind: ClassVar[str] = ""
+    _REGISTRY: ClassVar[dict[str, type["Persistent"]]] = {}
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.kind:
+            Persistent._REGISTRY[cls.kind] = cls
+
+    def payload(self) -> dict[str, Any]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @classmethod
+    def _from_payload(cls, data: TMapping[str, Any]) -> "Persistent":  # pragma: no cover
+        raise NotImplementedError
+
+    def to_record(self) -> dict[str, Any]:
+        return {"kind": self.kind, **self.payload()}
+
+    @classmethod
+    def from_record(cls, data: TMapping[str, Any]) -> "Persistent":
+        kind = data.get("kind")
+        sub = cls._REGISTRY.get(kind)
+        if sub is None:
+            raise StoreError(f"unknown store record kind {kind!r}")
+        body = {k: v for k, v in data.items() if k != "kind"}
+        try:
+            return sub._from_payload(body)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreError(f"malformed {kind!r} record: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class MetaRecord(Persistent):
+    """Line 1 of every store: what world the log belongs to."""
+
+    kind: ClassVar[str] = "meta"
+
+    format: str
+    cluster: dict[str, Any]
+    config: dict[str, Any]
+
+    def payload(self) -> dict[str, Any]:
+        return {"format": self.format, "cluster": self.cluster, "config": self.config}
+
+    @classmethod
+    def _from_payload(cls, data: TMapping[str, Any]) -> "MetaRecord":
+        return cls(
+            format=str(data["format"]),
+            cluster=dict(data["cluster"]),
+            config=dict(data["config"]),
+        )
+
+
+@dataclass(frozen=True)
+class RequestRecord(Persistent):
+    """The request exactly as admitted — enough to re-run it."""
+
+    kind: ClassVar[str] = "request"
+
+    request_id: int
+    tenant: int | str
+    venv: dict[str, Any]
+    priority: int = 0
+    config: dict[str, Any] | None = None
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "venv": self.venv,
+            "priority": self.priority,
+            "config": self.config,
+        }
+
+    @classmethod
+    def _from_payload(cls, data: TMapping[str, Any]) -> "RequestRecord":
+        return cls(
+            request_id=int(data["request_id"]),
+            tenant=data["tenant"],
+            venv=dict(data["venv"]),
+            priority=int(data.get("priority", 0)),
+            config=dict(data["config"]) if data.get("config") is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class DecisionRecord(Persistent):
+    """One committed :class:`AdmissionDecision`."""
+
+    kind: ClassVar[str] = "decision"
+
+    decision: AdmissionDecision
+
+    def payload(self) -> dict[str, Any]:
+        return self.decision.to_dict()
+
+    @classmethod
+    def _from_payload(cls, data: TMapping[str, Any]) -> "DecisionRecord":
+        return cls(decision=AdmissionDecision.from_dict(data))
+
+
+@dataclass(frozen=True)
+class MappingRecord(Persistent):
+    """The admitted mapping (deterministic payload only)."""
+
+    kind: ClassVar[str] = "mapping"
+
+    request_id: int
+    mapping: dict[str, Any]
+
+    def payload(self) -> dict[str, Any]:
+        return {"request_id": self.request_id, "mapping": self.mapping}
+
+    @classmethod
+    def _from_payload(cls, data: TMapping[str, Any]) -> "MappingRecord":
+        return cls(request_id=int(data["request_id"]), mapping=dict(data["mapping"]))
+
+
+@dataclass(frozen=True)
+class ReleaseRecord(Persistent):
+    """A tenant departed; its allocations were returned."""
+
+    kind: ClassVar[str] = "release"
+
+    tenant: int | str
+
+    def payload(self) -> dict[str, Any]:
+        return {"tenant": self.tenant}
+
+    @classmethod
+    def _from_payload(cls, data: TMapping[str, Any]) -> "ReleaseRecord":
+        return cls(tenant=data["tenant"])
+
+
+class ExperimentStore:
+    """One JSONL file of :class:`Persistent` records, append-only.
+
+    ``initialize`` starts a fresh log (truncating), ``append`` commits
+    one record with an immediate flush, ``records``/``load`` read it
+    back.  A store survives process restarts by construction — the
+    file *is* the state; reopening for append never rewrites history.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh = None
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    @property
+    def exists(self) -> bool:
+        """True when the file holds at least a meta line."""
+        try:
+            return self.path.stat().st_size > 0
+        except OSError:
+            return False
+
+    def initialize(self, cluster: PhysicalCluster, config: HMNConfig) -> MetaRecord:
+        """Start a fresh log for *cluster* under *config*."""
+        meta = MetaRecord(
+            format=STORE_FORMAT,
+            cluster=cluster_to_dict(cluster),
+            config=config.describe(),
+        )
+        self.close()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w", encoding="utf-8")
+        self._write(meta)
+        return meta
+
+    def reopen(self) -> None:
+        """Open for append after a restart (history untouched)."""
+        self.close()
+        self._fh = self.path.open("a", encoding="utf-8")
+
+    def append(self, record: Persistent) -> None:
+        if self._fh is None:
+            self.reopen()
+        self._write(record)
+
+    def _write(self, record: Persistent) -> None:
+        line = json.dumps(
+            record.to_record(), sort_keys=True, separators=(",", ":")
+        )
+        self._fh.write(line + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ExperimentStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def records(self) -> Iterator[Persistent]:
+        """Parse every line, meta first; :class:`StoreError` on damage."""
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise StoreError(f"cannot read store {self.path}: {exc}") from exc
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise StoreError(
+                    f"{self.path}:{lineno}: corrupt record ({exc.msg})"
+                ) from exc
+            if not isinstance(data, dict):
+                raise StoreError(f"{self.path}:{lineno}: record is not an object")
+            record = Persistent.from_record(data)
+            if lineno == 1:
+                if not isinstance(record, MetaRecord):
+                    raise StoreError(f"{self.path}: first record must be 'meta'")
+                if record.format != STORE_FORMAT:
+                    raise StoreError(
+                        f"{self.path}: format {record.format!r}, "
+                        f"expected {STORE_FORMAT!r}"
+                    )
+            elif isinstance(record, MetaRecord):
+                raise StoreError(f"{self.path}:{lineno}: unexpected second 'meta'")
+            yield record
+
+    def load(self) -> tuple[MetaRecord, list[Persistent]]:
+        """The meta line plus the operation log, validated."""
+        records = list(self.records())
+        if not records:
+            raise StoreError(f"{self.path}: empty store (no meta record)")
+        meta = records[0]
+        assert isinstance(meta, MetaRecord)
+        return meta, records[1:]
+
+    def __repr__(self) -> str:
+        return f"<ExperimentStore {self.path}>"
+
+
+def venv_of_request(record: RequestRecord):
+    """Rebuild the request's virtual environment from its record."""
+    return venv_from_dict(record.venv)
+
+
+def request_payload_of(request_id: int, tenant: int | str, venv,
+                       priority: int, config: HMNConfig | None) -> RequestRecord:
+    """Build the :class:`RequestRecord` for a just-dequeued request."""
+    return RequestRecord(
+        request_id=request_id,
+        tenant=tenant,
+        venv=venv_to_dict(venv),
+        priority=priority,
+        config=config.describe() if config is not None else None,
+    )

@@ -132,3 +132,59 @@ class TestAdmissionSimulation:
         )
         assert result.acceptance_ratio == 1.0
         assert result.peak_concurrent_tenants <= 1
+
+
+class TestDeprecationShim:
+    """``simulate_admissions`` is now a shim over the admission service
+    (``repro.service``).  These tests pin the compatibility contract:
+    one DeprecationWarning per process, and admission traces that are
+    byte-identical to the pre-service implementation (digests captured
+    before the refactor)."""
+
+    # sha256(repr((events, accepted, rejected, mean_mem_util, peak)))
+    # computed on the tuple-loop implementation this shim replaced.
+    PINNED = {
+        "small": "f77ad9d4eb5d81b0f1d53ff496839f3adc05173426b04be0c52d1cbf58aed674",
+        "big": "92b2adee546667ddd467c4276127325fc6c7a74e7db7095b97db5ed1491c2b84",
+    }
+
+    @staticmethod
+    def _digest(result) -> str:
+        import hashlib
+
+        blob = repr((
+            result.events,
+            result.accepted,
+            result.rejected,
+            result.mean_memory_utilization,
+            result.peak_concurrent_tenants,
+        ))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def test_warns_once_per_process(self, cluster):
+        from repro.extensions import admission
+
+        admission._warned.discard("simulate_admissions")
+        with pytest.warns(DeprecationWarning, match="replay_admissions"):
+            simulate_admissions(
+                cluster, n_tenants=1, make_venv=make_small, seed=0
+            )
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", DeprecationWarning)
+            simulate_admissions(  # second call: silent
+                cluster, n_tenants=1, make_venv=make_small, seed=0
+            )
+
+    def test_trace_byte_identical_to_pre_refactor_small(self, cluster):
+        result = simulate_admissions(
+            cluster, n_tenants=20, make_venv=make_small, mean_lifetime=5.0, seed=11
+        )
+        assert self._digest(result) == self.PINNED["small"]
+
+    def test_trace_byte_identical_to_pre_refactor_big(self, cluster):
+        result = simulate_admissions(
+            cluster, n_tenants=25, make_venv=make_big, mean_lifetime=15.0, seed=7
+        )
+        assert self._digest(result) == self.PINNED["big"]

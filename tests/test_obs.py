@@ -254,6 +254,25 @@ class TestMetrics:
         assert h.total == pytest.approx(55.55)
         assert h._cumulative() == [1, 2, 3]  # 50.0 only in +Inf
 
+    def test_histogram_quantile_interpolates(self):
+        h = MetricsRegistry().histogram("repro_lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        # rank 2 of 4 lands at the top of the (0.1, 1.0] bucket.
+        assert h.quantile(0.5) == pytest.approx(1.0)
+        # Overflow bucket: clamped to the highest finite bound.
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_histogram_quantile_edge_cases(self):
+        import math
+
+        h = MetricsRegistry().histogram("repro_lat", buckets=(1.0,))
+        assert math.isnan(h.quantile(0.5)), "empty histogram has no quantiles"
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(1.5)
+        h.observe(0.25)
+        assert 0.0 <= h.quantile(0.5) <= 1.0
+
     def test_kind_conflict_rejected(self):
         reg = MetricsRegistry()
         reg.counter("x")

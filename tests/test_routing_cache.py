@@ -189,6 +189,55 @@ class TestCacheCorrectness:
         assert stats["kernel_seconds"] >= 0.0
 
 
+class TestDropStale:
+    """Satellite of the admission service: ``release_tenant`` prunes the
+    cache so a long-lived service doesn't accumulate one dead epoch of
+    memos per departure.  Safety never depended on this — epoch tokens
+    are globally unique and never reused, so a stale entry cannot be
+    *served* — which the service-shaped scenario below double-checks."""
+
+    def test_drop_stale_prunes_other_epochs(self, diamond):
+        state = ClusterState(diamond)
+        cache = RoutingCache(diamond)
+        cache.route(state, 0, 3, bandwidth=50.0, latency_bound=100.0)
+        state.reserve_path([0, 2, 3], 10.0)
+        cache.route(state, 0, 3, bandwidth=50.0, latency_bound=100.0)
+        assert len(cache._paths) == 2
+        dropped = cache.drop_stale(state.bw_epoch)
+        assert dropped == 1
+        assert all(key[0] == state.bw_epoch for key in cache._paths)
+
+    def test_drop_stale_prunes_negative_entries_too(self, line3):
+        state = ClusterState(line3)
+        cache = RoutingCache(line3)
+        with pytest.raises(RoutingError):
+            cache.route(state, 0, 2, bandwidth=5000.0, latency_bound=100.0)
+        state.reserve_path([0, 1], 1.0)
+        assert cache.drop_stale(state.bw_epoch) == 1
+        assert not cache._failures
+
+    def test_admit_depart_admit_serves_no_stale_path(self, diamond):
+        """The service's churn pattern: reserve, release, re-query.  The
+        post-release query must recompute against the restored residuals
+        (the old entry's epoch is dead), and pruning must leave exactly
+        the live-epoch memo behind."""
+        state = ClusterState(diamond)
+        cache = RoutingCache(diamond)
+        first = cache.route(state, 0, 3, bandwidth=50.0, latency_bound=100.0)
+        assert first.nodes == (0, 2, 3)
+        # Admit: the tenant consumes the bottom path almost entirely.
+        state.reserve_path([0, 2, 3], 960.0)
+        while_full = cache.route(state, 0, 3, bandwidth=50.0, latency_bound=100.0)
+        assert while_full.nodes == (0, 1, 3), "must not serve the stale memo"
+        # Depart: capacity returns, epoch bumps again.
+        state.release_path([0, 2, 3], 960.0)
+        cache.drop_stale(state.bw_epoch)
+        assert not cache._paths, "every memoized epoch is now dead"
+        again = cache.route(state, 0, 3, bandwidth=50.0, latency_bound=100.0)
+        assert again.nodes == first.nodes
+        assert [key[0] for key in cache._paths] == [state.bw_epoch]
+
+
 class TestPipelineHitRate:
     """Acceptance criterion: hit rate reported and > 0 on the fabrics."""
 
