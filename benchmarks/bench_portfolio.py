@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""Solver-portfolio bench: the quality-vs-speed frontier, drift-gated.
+
+Two tables, committed to ``BENCH_portfolio.json``:
+
+``golden``
+    Tiny instances solved to proven optimality by *both* the
+    exhaustive solver and the anytime branch-and-bound.  The gate is
+    the portfolio's core correctness claim: ``bnb_map`` reports
+    ``gap == 0`` and an objective **bit-identical** to ``exact_map``
+    (both score leaves through the canonical
+    ``placement_objective``), and the committed objective is compared
+    exactly — any drift means solver behavior changed.
+``frontier``
+    The quality-vs-speed frontier on the paper's two evaluation
+    topologies at 16 hosts: HMN (the paper's heuristic), randomized
+    rounding (fast, certified dual bound), and a node-capped
+    branch-and-bound cutoff (slow, tighter).  Objectives and lower
+    bounds are deterministic and gated exactly; wall-clock columns are
+    informational only (this is a correctness gate, not a
+    microbenchmark — EXPERIMENTS.md quotes the times).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_portfolio.py --write   # seed baseline
+    PYTHONPATH=src python benchmarks/bench_portfolio.py --check   # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.errors import MappingError  # noqa: E402
+from repro.extensions import exact_map  # noqa: E402
+from repro.hmn import hmn_map  # noqa: E402
+from repro.portfolio import bnb_map, rounding_map  # noqa: E402
+from repro.seeding import derive  # noqa: E402
+from repro.topology import random_hosts, torus_cluster  # noqa: E402
+from repro.workload import HIGH_LEVEL, generate_virtual_environment  # noqa: E402
+from repro.workload.suite import paper_clusters, paper_scenarios  # noqa: E402
+
+BASELINE = Path(__file__).resolve().parent / "BENCH_portfolio.json"
+RESULTS = Path(__file__).resolve().parent / "results" / "portfolio_frontier.txt"
+BASE_SEED = int(os.environ.get("REPRO_SEED", "2009"))
+#: Tiny golden instances: 6 hosts x 8 guests (6^8 ~ 1.7M assignments).
+N_GOLDEN = 6
+#: Frontier scenario rows (indices into the 16-row paper grid).
+FRONTIER_ROWS = (0, 1)
+N_HOSTS = 16
+#: Objectives are deterministic; this absorbs fsum noise, nothing more.
+FLOAT_TOL = 1e-9
+
+#: The frontier ladder: name -> (cluster, venv, seed) -> Mapping.
+#: HMN is fully deterministic and takes no seed.
+FRONTIER_CANDIDATES = (
+    ("hmn", lambda cluster, venv, seed: hmn_map(cluster, venv)),
+    ("rounding", lambda cluster, venv, seed: rounding_map(
+        cluster, venv, seed=seed, n_trials=8)),
+    ("bnb-4k", lambda cluster, venv, seed: bnb_map(
+        cluster, venv, seed=seed, max_nodes=4000)),
+)
+
+
+def _golden_rows() -> list[dict]:
+    rows = []
+    for rep in range(N_GOLDEN):
+        cluster = torus_cluster(2, 3, hosts=random_hosts(6, rng=BASE_SEED + rep))
+        venv = generate_virtual_environment(
+            8, workload=HIGH_LEVEL, density=0.3, seed=BASE_SEED + 100 + rep
+        )
+        try:
+            opt = exact_map(cluster, venv, placement_only=True)
+        except MappingError:
+            continue
+        bnb = bnb_map(cluster, venv, placement_only=True, seed=BASE_SEED + rep)
+        assert bnb.meta["proven_optimal"], f"golden rep {rep} not proven"
+        assert bnb.meta["gap"] == 0.0, f"golden rep {rep}: gap != 0"
+        assert bnb.meta["objective"] == opt.meta["objective"], (
+            f"golden rep {rep}: bnb {bnb.meta['objective']!r} != "
+            f"exact {opt.meta['objective']!r} (must be bit-identical)"
+        )
+        rows.append(
+            {
+                "rep": rep,
+                "objective": bnb.meta["objective"],
+                "root_bound": bnb.meta["root_bound"],
+                "nodes_bnb": bnb.meta["nodes_explored"],
+                "nodes_exact": opt.meta["nodes_explored"],
+            }
+        )
+    return rows
+
+
+def _frontier_rows() -> list[dict]:
+    clusters = paper_clusters(seed=BASE_SEED, n_hosts=N_HOSTS)
+    scenarios = [paper_scenarios()[i] for i in FRONTIER_ROWS]
+    rows = []
+    for cluster_name in sorted(clusters):
+        cluster = clusters[cluster_name]
+        for scenario in scenarios:
+            venv = scenario.build_venv(
+                cluster, seed=derive(BASE_SEED, scenario.label, 0, "venv")
+            )
+            for name, run in FRONTIER_CANDIDATES:
+                seed = derive(BASE_SEED, scenario.label, 0, "mapper", name)
+                t0 = time.perf_counter()
+                try:
+                    mapping = run(cluster, venv, seed)
+                except MappingError:
+                    rows.append(
+                        {
+                            "cluster": cluster_name,
+                            "scenario": scenario.label,
+                            "candidate": name,
+                            "objective": None,
+                            "lower_bound": None,
+                            "seconds": round(time.perf_counter() - t0, 6),
+                        }
+                    )
+                    continue
+                rows.append(
+                    {
+                        "cluster": cluster_name,
+                        "scenario": scenario.label,
+                        "candidate": name,
+                        "objective": mapping.meta["objective"],
+                        "lower_bound": mapping.meta.get("lower_bound"),
+                        "seconds": round(time.perf_counter() - t0, 6),
+                    }
+                )
+    return rows
+
+
+def measure() -> dict:
+    golden = _golden_rows()
+    assert golden, "every golden instance failed — generator misconfigured"
+    return {
+        "benchmark": "portfolio",
+        "seed": BASE_SEED,
+        "n_hosts": N_HOSTS,
+        "golden": golden,
+        "frontier": _frontier_rows(),
+    }
+
+
+def _publish(doc: dict) -> None:
+    lines = [
+        f"Golden tiny instances ({len(doc['golden'])} proven-optimal, "
+        "bnb == exact bit-identically):",
+        f"{'rep':>4} {'objective':>14} {'root bound':>12} "
+        f"{'bnb nodes':>10} {'exact nodes':>12}",
+    ]
+    for row in doc["golden"]:
+        lines.append(
+            f"{row['rep']:>4} {row['objective']:>14.4f} {row['root_bound']:>12.4f} "
+            f"{row['nodes_bnb']:>10} {row['nodes_exact']:>12}"
+        )
+    lines.append("")
+    lines.append("Quality-vs-speed frontier (16 hosts, first two paper rows):")
+    lines.append(
+        f"{'cluster':<16} {'scenario':<14} {'candidate':<10} "
+        f"{'objective':>11} {'bound':>9} {'seconds':>9}"
+    )
+    for row in doc["frontier"]:
+        obj = f"{row['objective']:.3f}" if row["objective"] is not None else "fail"
+        lb = f"{row['lower_bound']:.3f}" if row["lower_bound"] is not None else "-"
+        lines.append(
+            f"{row['cluster']:<16} {row['scenario']:<14} {row['candidate']:<10} "
+            f"{obj:>11} {lb:>9} {row['seconds']:>9.4f}"
+        )
+    text = "\n".join(lines)
+    RESULTS.parent.mkdir(exist_ok=True)
+    RESULTS.write_text(text + "\n")
+    print(f"\n===== {RESULTS.name} =====\n{text}\n")
+
+
+def _close(a, b) -> bool:
+    if a is None or b is None:
+        return a is b
+    return abs(a - b) <= FLOAT_TOL * max(1.0, abs(b))
+
+
+def check() -> int:
+    if not BASELINE.exists():
+        print(f"missing baseline {BASELINE.name} (run --write)", file=sys.stderr)
+        return 1
+    baseline = json.loads(BASELINE.read_text())
+    doc = measure()
+    _publish(doc)
+
+    golden_failures: list[str] = []
+    want, got = baseline["golden"], doc["golden"]
+    if len(want) != len(got):
+        golden_failures.append(f"golden: {len(got)} rows vs baseline {len(want)}")
+    for w, g in zip(want, got):
+        for key in ("objective", "root_bound"):
+            if not _close(g[key], w[key]):
+                golden_failures.append(
+                    f"golden[rep={w['rep']}].{key}: {g[key]!r} != baseline {w[key]!r}"
+                )
+        for key in ("nodes_bnb", "nodes_exact"):
+            if g[key] != w[key]:
+                golden_failures.append(
+                    f"golden[rep={w['rep']}].{key}: {g[key]!r} != baseline {w[key]!r}"
+                )
+
+    frontier_failures: list[str] = []
+    want, got = baseline["frontier"], doc["frontier"]
+    if len(want) != len(got):
+        frontier_failures.append(
+            f"frontier: {len(got)} rows vs baseline {len(want)}"
+        )
+    for w, g in zip(want, got):
+        cell = f"frontier[{w['cluster']}/{w['scenario']}/{w['candidate']}]"
+        for key in ("cluster", "scenario", "candidate"):
+            if g[key] != w[key]:
+                frontier_failures.append(
+                    f"{cell}.{key}: {g[key]!r} != baseline {w[key]!r}"
+                )
+        for key in ("objective", "lower_bound"):
+            if not _close(g[key], w[key]):
+                frontier_failures.append(
+                    f"{cell}.{key}: {g[key]!r} != baseline {w[key]!r}"
+                )
+        # seconds are informational: never compared.
+
+    print(f"[check] golden ({len(doc['golden'])} rows)     "
+          f"{'ok' if not golden_failures else 'DRIFT'}")
+    print(f"[check] frontier ({len(doc['frontier'])} cells) "
+          f"{'ok' if not frontier_failures else 'DRIFT'}")
+    failures = golden_failures + frontier_failures
+    if failures:
+        print("\nFAIL: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    print("\nportfolio benchmark matches the committed baseline")
+    return 0
+
+
+def write() -> int:
+    doc = measure()
+    _publish(doc)
+    BASELINE.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    print(
+        f"[write] {BASELINE.name}: {len(doc['golden'])} golden rows, "
+        f"{len(doc['frontier'])} frontier cells"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--write", action="store_true",
+                      help="(re)seed BENCH_portfolio.json on this machine")
+    mode.add_argument("--check", action="store_true",
+                      help="compare against the committed baseline (CI gate)")
+    args = parser.parse_args(argv)
+    return write() if args.write else check()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -96,6 +96,12 @@ __all__ = [
     "torus_cluster",
     "switched_cluster",
     "generate_virtual_environment",
+    # solver portfolio (lazily imported)
+    "bnb_map",
+    "rounding_map",
+    "race_portfolio",
+    "PortfolioPolicy",
+    "load_policy",
 ]
 
 #: Package-root name -> providing module, resolved on first access.
@@ -123,6 +129,11 @@ _LAZY = {
     "MapRequest": "repro.api",
     "AdmissionDecision": "repro.api",
     "AdmissionConfig": "repro.api",
+    "bnb_map": "repro.portfolio",
+    "rounding_map": "repro.portfolio",
+    "race_portfolio": "repro.api",
+    "PortfolioPolicy": "repro.portfolio",
+    "load_policy": "repro.portfolio",
 }
 
 

@@ -38,6 +38,14 @@ from repro.hmn.config import HMNConfig
 from repro.hmn.pipeline import hmn_map
 from repro.io import _load_json, _save_json
 from repro.obs import MetricsRegistry, Tracer, load_trace, recording, validate_trace
+from repro.portfolio import (
+    Candidate,
+    PortfolioPolicy,
+    bnb_map,
+    load_policy,
+    rounding_map,
+)
+from repro.portfolio import race as race_portfolio
 from repro.redundancy import (
     FailureDomains,
     derive_domains,
@@ -118,6 +126,13 @@ __all__ = [
     "mapping_digest",
     "verify_conformance",
     "run_conformance_fuzz",
+    # solver portfolio (anytime frontier + statistical racing)
+    "bnb_map",
+    "rounding_map",
+    "race_portfolio",
+    "Candidate",
+    "PortfolioPolicy",
+    "load_policy",
 ]
 
 

@@ -64,6 +64,7 @@ def _ensure_extensions() -> None:
     """
     import repro.extensions.consolidation  # noqa: F401  (registers itself)
     import repro.extensions.exact  # noqa: F401
+    import repro.portfolio  # noqa: F401  (registers bnb/rounding/portfolio)
 
 
 def get_mapper(name: str) -> MapperFn:

@@ -142,8 +142,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backup-paths", action="store_true",
                    help="pre-provision a link-disjoint backup path per vlink "
                         "with shared-risk bandwidth reservation")
+    p.add_argument("--time-budget", type=float, default=None, metavar="S",
+                   help="wall-clock budget in seconds for the anytime solvers "
+                        "(bnb, exact): on expiry the best incumbent is "
+                        "returned with an honest optimality gap")
+    p.add_argument("--policy", metavar="FILE",
+                   help="portfolio policy JSON (from 'repro race'); with "
+                        "--mapper portfolio, runs the raced per-family winner")
     p.add_argument("--output", help="write the mapping .json here")
     p.add_argument("--quiet", action="store_true", help="suppress the report")
+    _add_obs_flags(p)
+
+    p = sub.add_parser("race",
+                       help="F-Race the mapper portfolio over the scenario "
+                            "suite and write a per-family policy")
+    p.add_argument("--output", default="portfolio-policy.json", metavar="FILE",
+                   help="write the PortfolioPolicy JSON here "
+                        "(default portfolio-policy.json)")
+    p.add_argument("--hosts", type=int, default=16,
+                   help="host count of the raced substrates (default 16)")
+    p.add_argument("--seed", type=int, default=2009)
+    p.add_argument("--alpha", type=float, default=0.05,
+                   help="Wilcoxon elimination significance level")
+    p.add_argument("--max-scenarios", type=int, default=None, metavar="N",
+                   help="race only the first N of the paper's 16 scenario rows")
+    p.add_argument("--rounds", type=int, default=4, help="elimination rounds")
+    p.add_argument("--reps-per-round", type=int, default=3,
+                   help="repetitions of every scenario added per round")
+    p.add_argument("--min-blocks", type=int, default=6,
+                   help="blocks required before the first elimination test")
+    p.add_argument("--workers", type=int, default=1,
+                   help="BatchRunner process pool (the policy is "
+                        "byte-identical at any worker count)")
     _add_obs_flags(p)
 
     p = sub.add_parser("validate", help="check a mapping against Eqs. 1-9")
@@ -369,9 +399,14 @@ def _map(args) -> int:
         kwargs["config"] = api.HMNConfig(
             engine=args.engine, shard=shard, shard_workers=workers,
             redundancy=args.redundancy, backup_paths=args.backup_paths,
+            time_budget_s=args.time_budget,
         )
     elif canonical in ("random+astar", "ra"):
         kwargs["engine"] = args.engine
+    elif canonical in ("bnb", "exact") and args.time_budget is not None:
+        kwargs["time_budget_s"] = args.time_budget
+    if canonical == "portfolio" and args.policy:
+        kwargs["policy"] = args.policy
     try:
         mapping = mapper(cluster, venv, seed=args.seed, **kwargs)
     except MappingError as exc:
@@ -385,6 +420,34 @@ def _map(args) -> int:
         print(describe_mapping(cluster, venv, mapping))
     if args.output:
         print(f"\nwrote mapping -> {args.output}")
+    return 0
+
+
+def _race(args) -> int:
+    from repro.portfolio import race
+    from repro.workload import paper_clusters, paper_scenarios
+
+    scenarios = paper_scenarios()
+    if args.max_scenarios is not None:
+        scenarios = scenarios[: args.max_scenarios]
+    policy = race(
+        paper_clusters(seed=args.seed, n_hosts=args.hosts),
+        scenarios,
+        alpha=args.alpha,
+        base_seed=args.seed,
+        workers=args.workers,
+        min_blocks=args.min_blocks,
+        max_rounds=args.rounds,
+        reps_per_round=args.reps_per_round,
+    )
+    path = policy.save(args.output)
+    for family in sorted(policy.families):
+        verdict = policy.families[family]
+        survivors = ", ".join(verdict.survivors)
+        print(f"{family}: winner={verdict.winner} "
+              f"(survivors: {survivors}; {verdict.blocks} blocks, "
+              f"{verdict.rounds} rounds, {len(verdict.eliminated)} eliminated)")
+    print(f"wrote policy -> {path}")
     return 0
 
 
@@ -717,6 +780,8 @@ def main(argv: list[str] | None = None) -> int:
                 return _gen_venv(args)
             if args.command == "map":
                 return _map(args)
+            if args.command == "race":
+                return _race(args)
             if args.command == "validate":
                 return _validate(args)
             if args.command == "simulate":

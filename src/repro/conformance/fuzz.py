@@ -17,6 +17,12 @@ has grown:
   with the stitch C kernel on and off, and every sharded result must
   validate; sharded-vs-monolithic feasibility/failure-class gaps are
   legitimate (pod-local fragmentation) and are counted, not failed.
+* **solver portfolio** — on tiny instances the branch-and-bound and
+  exhaustive solvers must agree on feasibility and (both scoring leaves
+  through the canonical objective) on the optimum bit-exactly, with a
+  monotone anytime snapshot trajectory; the randomized-rounding mapper
+  must always place within Eqs. 1-3 and can never beat a proven
+  optimum.
 
 Each disagreement becomes a :class:`Divergence` carrying a
 self-contained JSON repro artifact (serialized cluster, venv, and
@@ -95,6 +101,7 @@ class FuzzReport:
     n_sharded: int = 0
     n_shard_gap: int = 0
     n_redundant: int = 0
+    n_portfolio: int = 0
     divergences: list[Divergence] = field(default_factory=list)
 
     @property
@@ -112,6 +119,7 @@ class FuzzReport:
             "n_sharded": self.n_sharded,
             "n_shard_gap": self.n_shard_gap,
             "n_redundant": self.n_redundant,
+            "n_portfolio": self.n_portfolio,
             "ok": self.ok,
             "divergences": [dataclasses.asdict(d) for d in self.divergences],
         }
@@ -488,6 +496,145 @@ def _check_redundant_seed(seed: int, base_seed: int, report: FuzzReport) -> None
             report.divergences.append(Divergence(seed, check, detail, artifact))
 
 
+def _check_portfolio_seed(seed: int, base_seed: int, report: FuzzReport) -> None:
+    """The solver-portfolio arms on one instance.
+
+    Hard checks: on tiny instances (search space within
+    :data:`EXACT_SEARCH_SPACE_LIMIT`) the branch-and-bound solver and
+    the exhaustive solver must agree on feasibility and — both scoring
+    leaves through the canonical
+    :func:`~repro.core.objective.placement_objective` — on the optimal
+    objective **bit-exactly**; every proven-optimal bnb run must report
+    ``gap == 0`` and a monotone snapshot trajectory (lower bound
+    nondecreasing, incumbent nonincreasing, bound never above the
+    incumbent).  On every instance, the randomized-rounding mapper must
+    either raise cleanly or produce a mapping that satisfies Eqs. 1-9,
+    and its objective can never beat a proven optimum.
+    """
+    from repro.extensions.exact import exact_map
+    from repro.portfolio.bnb import bnb_map
+    from repro.portfolio.rounding import rounding_map
+
+    cluster, venv, config = generate_instance(seed, base_seed=base_seed)
+    rng = derive(base_seed, "conformance", "fuzz-portfolio", seed)
+    portfolio_seed = int(rng.integers(0, 2**31))
+    divergences: list[tuple[str, str]] = []
+    report.n_portfolio += 1
+
+    proven_optimum: float | None = None
+    if cluster.n_hosts**venv.n_guests <= EXACT_SEARCH_SPACE_LIMIT:
+        try:
+            exact = exact_map(cluster, venv, config, placement_only=True)
+        except ModelError:
+            exact = None  # search blew the node budget; skip the arm
+        except MappingError:
+            exact = "infeasible"
+        try:
+            bnb = bnb_map(
+                cluster, venv, config, placement_only=True, seed=portfolio_seed
+            )
+            if not bnb.meta["proven_optimal"]:
+                bnb = None  # node budget exhausted; skip the comparison
+        except MappingError:
+            bnb = "infeasible"
+        if exact is not None and bnb is not None:
+            exact_failed = isinstance(exact, str)
+            bnb_failed = isinstance(bnb, str)
+            if exact_failed != bnb_failed:
+                divergences.append(
+                    (
+                        "portfolio-bnb-feasibility",
+                        f"exact={'infeasible' if exact_failed else 'mapped'} but "
+                        f"bnb={'infeasible' if bnb_failed else 'mapped'}",
+                    )
+                )
+            elif not exact_failed:
+                obj_exact = exact.meta["objective"]
+                obj_bnb = bnb.meta["objective"]
+                if obj_exact != obj_bnb:
+                    divergences.append(
+                        (
+                            "portfolio-bnb-objective",
+                            f"proven optima disagree: exact={obj_exact!r} "
+                            f"!= bnb={obj_bnb!r}",
+                        )
+                    )
+                else:
+                    proven_optimum = obj_bnb
+                if bnb.meta["gap"] != 0.0:
+                    divergences.append(
+                        (
+                            "portfolio-bnb-gap",
+                            f"proven optimal but gap={bnb.meta['gap']!r}",
+                        )
+                    )
+                snaps = bnb.meta["snapshots"]
+                lbs = [s["lower_bound"] for s in snaps]
+                incs = [
+                    s["incumbent"] for s in snaps if s["incumbent"] is not None
+                ]
+                if any(a > b for a, b in zip(lbs, lbs[1:])):
+                    divergences.append(
+                        ("portfolio-bnb-lb-monotone", f"lower bounds decreased: {lbs}")
+                    )
+                if any(a < b for a, b in zip(incs, incs[1:])):
+                    divergences.append(
+                        ("portfolio-bnb-incumbent", f"incumbents increased: {incs}")
+                    )
+                if any(
+                    s["incumbent"] is not None
+                    and s["lower_bound"] > s["incumbent"]
+                    for s in snaps
+                ):
+                    divergences.append(
+                        (
+                            "portfolio-bnb-bound-crossing",
+                            "a snapshot lower bound exceeds its incumbent",
+                        )
+                    )
+
+    try:
+        rounded = rounding_map(
+            cluster, venv, config, seed=portfolio_seed, placement_only=True
+        )
+    except MappingError:
+        rounded = None  # a clean refusal is a legitimate outcome
+    if rounded is not None:
+        state_report = validate_mapping(cluster, venv, rounded, raise_on_error=False)
+        # placement-only: only the placement constraints apply (the
+        # empty path map legitimately trips eq4 for every vlink).
+        placement_violations = [
+            v
+            for v in state_report.violations
+            if v.constraint in ("eq1", "eq2", "eq3")
+        ]
+        if placement_violations:
+            divergences.append(
+                (
+                    "portfolio-rounding-validate",
+                    "rounding placement violates Eqs. 1-3: "
+                    + "; ".join(str(v) for v in placement_violations[:3]),
+                )
+            )
+        if (
+            proven_optimum is not None
+            and rounded.meta["objective"] < proven_optimum - OBJECTIVE_TOL
+        ):
+            divergences.append(
+                (
+                    "portfolio-rounding-optimum",
+                    f"rounding objective {rounded.meta['objective']!r} beats "
+                    f"the proven optimum {proven_optimum!r}",
+                )
+            )
+
+    if divergences:
+        artifact = _artifact(cluster, venv, config)
+        artifact["portfolio_seed"] = portfolio_seed
+        for check, detail in divergences:
+            report.divergences.append(Divergence(seed, check, detail, artifact))
+
+
 def _runner_differential(grid_seed: int, base_seed: int, report: FuzzReport) -> None:
     """Serial vs parallel BatchRunner over one small random grid."""
     from repro.analysis.runner import BatchRunner, CellSpec
@@ -554,6 +701,7 @@ def run_fuzz(
     runner_grids: int | None = None,
     shard_seeds: int | None = None,
     redundant_seeds: int | None = None,
+    portfolio_seeds: int | None = None,
     progress: Callable[[int, FuzzReport], None] | None = None,
 ) -> FuzzReport:
     """Run the full differential campaign over ``n_seeds`` instances.
@@ -561,7 +709,8 @@ def run_fuzz(
     ``runner_grids`` controls how many serial-vs-parallel grid
     comparisons ride along (default: one per 25 seeds, minimum 1);
     ``shard_seeds`` how many forced-shard instances get the sharded
-    arms and ``redundant_seeds`` how many get the availability arms
+    arms, ``redundant_seeds`` how many get the availability arms, and
+    ``portfolio_seeds`` how many get the solver-portfolio arms
     (each defaults to one per 5 seeds, minimum 1).  Deterministic for
     a fixed ``(n_seeds, base_seed)``.
     """
@@ -583,4 +732,8 @@ def run_fuzz(
         redundant_seeds = max(1, n_seeds // 5)
     for seed in range(redundant_seeds):
         _check_redundant_seed(seed, base_seed, report)
+    if portfolio_seeds is None:
+        portfolio_seeds = max(1, n_seeds // 5)
+    for seed in range(portfolio_seeds):
+        _check_portfolio_seed(seed, base_seed, report)
     return report

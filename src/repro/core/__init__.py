@@ -25,8 +25,10 @@ from repro.core.mapping import Mapping, StageReport
 from repro.core.objective import (
     ResidualCpuTracker,
     balance_lower_bound,
+    waterfill_std,
     load_balance_factor,
     objective_of_assignment,
+    placement_objective,
     residual_proc,
 )
 from repro.core.state import ClusterState, path_edges
@@ -47,7 +49,9 @@ __all__ = [
     "ResidualCpuTracker",
     "load_balance_factor",
     "balance_lower_bound",
+    "waterfill_std",
     "objective_of_assignment",
+    "placement_objective",
     "residual_proc",
     "validate_mapping",
     "is_valid",

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 from array import array
-from typing import Hashable, Iterable, Mapping
+from typing import Hashable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -42,7 +42,9 @@ __all__ = [
     "residual_proc",
     "load_balance_factor",
     "objective_of_assignment",
+    "placement_objective",
     "balance_lower_bound",
+    "waterfill_std",
     "ResidualCpuTracker",
 ]
 
@@ -89,6 +91,47 @@ def objective_of_assignment(
     return load_balance_factor(residual_proc(cluster, venv, assignments))
 
 
+def placement_objective(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    assignments: Mapping[int, NodeId],
+) -> float:
+    """Eq. 10 of a complete placement, canonical to the bit.
+
+    Unlike :func:`objective_of_assignment` (numpy, fast) or
+    :meth:`ClusterState.objective` (exact over the *incrementally
+    maintained* residuals, whose last few ulps depend on the
+    place/unplace history that produced them), this recomputes each
+    residual as ``capacity - fsum(demands)`` — and :func:`math.fsum`
+    is correctly rounded, so the result is independent of guest order,
+    search order, or any mutation history.  The optimality-gap solvers
+    (:func:`repro.extensions.exact.exact_map`,
+    :func:`repro.portfolio.bnb.bnb_map`) score every complete
+    placement through here, which is what makes their reported optima
+    comparable **bit-exactly** across different search strategies.
+    """
+    index = {h: i for i, h in enumerate(cluster.host_ids)}
+    demands: list[list[float]] = [[] for _ in index]
+    for guest in venv.guests():
+        try:
+            host_id = assignments[guest.id]
+        except KeyError:
+            raise ModelError(f"guest {guest.id!r} is unassigned") from None
+        try:
+            demands[index[host_id]].append(guest.vproc)
+        except KeyError:
+            raise UnknownNodeError(host_id, "host") from None
+    residuals = [
+        host.proc - math.fsum(demands[i]) for i, host in enumerate(cluster.hosts())
+    ]
+    n = len(residuals)
+    if n == 0:
+        raise ModelError("objective of an empty cluster is undefined")
+    mean = math.fsum(residuals) / n
+    var = math.fsum((r - mean) ** 2 for r in residuals) / n
+    return math.sqrt(max(var, 0.0))
+
+
 def balance_lower_bound(cluster: PhysicalCluster, total_vproc: float) -> float:
     """Water-filling lower bound on Eq. 10 for a given total CPU demand.
 
@@ -125,6 +168,34 @@ def balance_lower_bound(cluster: PhysicalCluster, total_vproc: float) -> float:
         level = next_cap
     residuals = np.minimum(np.asarray(caps, dtype=float), level)
     return float(residuals.std())
+
+
+def waterfill_std(residuals: "Sequence[float]", demand: float) -> float:
+    """Water-filling std lower bound over arbitrary *current* residuals.
+
+    The generalization of :func:`balance_lower_bound` the exact solvers
+    prune with: treat the remaining *demand* as infinitely divisible and
+    shave the highest residuals down to a common level — no completion
+    of the partial placement can leave the residual-CPU std below this.
+    Shared by :func:`repro.extensions.exact.exact_map` and
+    :func:`repro.portfolio.bnb.bnb_map` so both branch-and-bound trees
+    prune against bit-identical bound values.
+    """
+    caps = sorted(residuals, reverse=True)
+    n = len(caps)
+    remaining = demand
+    level = caps[0]
+    for k in range(1, n + 1):
+        next_cap = caps[k] if k < n else -math.inf
+        absorb = (level - next_cap) * k if next_cap != -math.inf else math.inf
+        if remaining <= absorb:
+            level -= remaining / k
+            break
+        remaining -= absorb
+        level = next_cap
+    vals = [min(c, level) for c in caps]
+    mean = sum(vals) / n
+    return math.sqrt(sum((v - mean) ** 2 for v in vals) / n)
 
 
 class ResidualCpuTracker:

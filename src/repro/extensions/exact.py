@@ -22,6 +22,13 @@ Scope and semantics:
   gap study compares like with like, since HMN routes the same way.)
 * Hard limits on instance size keep accidental misuse from hanging:
   ``n_guests ** n_hosts`` bounded (default ~2M nodes before pruning).
+* **Anytime under a time budget**: with ``time_budget_s`` set, an
+  expired deadline returns the best *incumbent* found so far together
+  with its admissible bound (``meta["proven_optimal"] = False``,
+  ``meta["lower_bound"]``) instead of discarding the partial work.
+  For the full anytime incumbent/bound trajectory use
+  :func:`repro.portfolio.bnb.bnb_map`, which shares this solver's
+  search space and bound.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ from typing import Hashable
 
 from repro.core.cluster import PhysicalCluster
 from repro.core.mapping import Mapping, StageReport
+from repro.core.objective import placement_objective, waterfill_std as _waterfill_std
 from repro.core.state import ClusterState
 from repro.core.venv import VirtualEnvironment
 from repro.errors import MappingError, ModelError, RoutingError
@@ -43,23 +51,8 @@ __all__ = ["exact_map"]
 NodeId = Hashable
 
 
-def _waterfill_std(residuals: list[float], demand: float) -> float:
-    """Water-filling std lower bound over arbitrary current residuals."""
-    caps = sorted(residuals, reverse=True)
-    n = len(caps)
-    remaining = demand
-    level = caps[0]
-    for k in range(1, n + 1):
-        next_cap = caps[k] if k < n else -math.inf
-        absorb = (level - next_cap) * k if next_cap != -math.inf else math.inf
-        if remaining <= absorb:
-            level -= remaining / k
-            break
-        remaining -= absorb
-        level = next_cap
-    vals = [min(c, level) for c in caps]
-    mean = sum(vals) / n
-    return math.sqrt(sum((v - mean) ** 2 for v in vals) / n)
+class _DeadlineExpired(Exception):
+    """Internal control flow: the time budget ran out mid-search."""
 
 
 def exact_map(
@@ -68,6 +61,7 @@ def exact_map(
     config: HMNConfig | None = None,
     *,
     max_search_nodes: int = 2_000_000,
+    time_budget_s: float | None = None,
     placement_only: bool = False,
     seed=None,  # uniform mapper signature; deterministic
 ) -> Mapping:
@@ -78,6 +72,14 @@ def exact_map(
     (which depend only on the assignment) get the true placement
     optimum even when it happens to be greedily unroutable.
 
+    With ``time_budget_s`` set, the search stops when the wall-clock
+    budget expires and returns the best incumbent found so far —
+    ``meta["proven_optimal"]`` is ``False`` and ``meta["lower_bound"]``
+    carries the admissible root bound, so callers can report an honest
+    optimality gap.  An expired budget with *no* incumbent raises
+    :class:`~repro.errors.MappingError`.  When the budget is unset the
+    config's ``time_budget_s`` (if any) applies.
+
     Raises :class:`~repro.errors.ModelError` when the instance is too
     large for exhaustive search, and
     :class:`~repro.errors.MappingError` when no routable placement
@@ -85,6 +87,8 @@ def exact_map(
     """
     if config is None:
         config = HMNConfig()
+    if time_budget_s is None:
+        time_budget_s = config.time_budget_s
     n_hosts = cluster.n_hosts
     n_guests = venv.n_guests
     if n_hosts**n_guests > max_search_nodes * 8:
@@ -100,6 +104,7 @@ def exact_map(
     host_ids = list(cluster.host_ids)
 
     t0 = time.perf_counter()
+    deadline = t0 + time_budget_s if time_budget_s is not None else None
     best_objective = math.inf
     best_assignment: dict[int, NodeId] | None = None
     explored = 0
@@ -108,6 +113,11 @@ def exact_map(
     prefix_demand = [0.0]
     for g in guests:
         prefix_demand.append(prefix_demand[-1] + g.vproc)
+    # The admissible bound before any placement: the tightest lower
+    # bound an expired deadline can still honestly report.
+    root_bound = _waterfill_std(
+        [state.residual_proc(h) for h in host_ids], total_demand
+    )
 
     def recurse(idx: int) -> None:
         nonlocal best_objective, best_assignment, explored
@@ -116,14 +126,14 @@ def exact_map(
             raise ModelError(
                 f"exact search exceeded {max_search_nodes} nodes; instance too hard"
             )
+        if deadline is not None and not explored % 64 and time.perf_counter() > deadline:
+            raise _DeadlineExpired
         if idx == len(guests):
-            # state.objective() recomputes Eq. 10 with a two-pass
-            # math.fsum from the residual values — the incumbent must be
-            # exact (it is compared against brute force at 1e-9
-            # relative), and the incrementally-maintained aggregates
-            # drift past that over deep search trees.
-            objective = state.objective()
-            if objective < best_objective - 1e-12:
+            # Canonical bit-exact scoring (fsum from the assignment, no
+            # incremental drift): incumbents are compared against brute
+            # force at 1e-9 relative and against bnb_map bit-exactly.
+            objective = placement_objective(cluster, venv, state.assignments)
+            if objective < best_objective:
                 best_objective = objective
                 best_assignment = state.assignments
             return
@@ -133,7 +143,7 @@ def exact_map(
         bound = _waterfill_std(
             [state.residual_proc(h) for h in host_ids], remaining
         )
-        if bound >= best_objective - 1e-12:
+        if bound >= best_objective:
             return
         guest = guests[idx]
         for host in host_ids:
@@ -143,12 +153,31 @@ def exact_map(
             recurse(idx + 1)
             state.unplace(guest.id)
 
-    recurse(0)
+    proven_optimal = True
+    try:
+        recurse(0)
+    except _DeadlineExpired:
+        proven_optimal = False
     search_elapsed = time.perf_counter() - t0
     if best_assignment is None:
+        if not proven_optimal:
+            raise MappingError(
+                f"exact search deadline ({time_budget_s}s) expired before any "
+                f"feasible placement of {n_guests} guests was found"
+            )
         raise MappingError(
             f"no feasible placement exists for {n_guests} guests on this cluster"
         )
+    lower_bound = best_objective if proven_optimal else root_bound
+
+    def _meta(extra: dict) -> dict:
+        return {
+            "objective": best_objective,
+            "nodes_explored": explored,
+            "proven_optimal": proven_optimal,
+            "lower_bound": lower_bound,
+            **extra,
+        }
 
     if placement_only:
         return Mapping(
@@ -162,11 +191,7 @@ def exact_map(
                     {"nodes_explored": explored, "objective": best_objective},
                 ),
             ),
-            meta={
-                "objective": best_objective,
-                "nodes_explored": explored,
-                "placement_only": True,
-            },
+            meta=_meta({"placement_only": True}),
         )
 
     # Route the optimal placement the same way HMN would.
@@ -198,7 +223,7 @@ def exact_map(
             ),
             StageReport("networking", networking_elapsed, networking_stats),
         ),
-        meta={"objective": best_objective, "nodes_explored": explored},
+        meta=_meta({}),
     )
 
 

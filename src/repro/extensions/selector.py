@@ -51,17 +51,41 @@ def instance_features(cluster: PhysicalCluster, venv: VirtualEnvironment) -> dic
     }
 
 
-def recommend_mapper(cluster: PhysicalCluster, venv: VirtualEnvironment) -> str:
+def recommend_mapper(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    *,
+    policy: object | None = None,
+) -> str:
     """Name of the pool mapper the rule expects to do best here.
 
     The rule encodes the reproduction's own Table 2 findings: HMN is
     the default; at extreme memory pressure its greedy packing can
     strand guests where pure first-fit-decreasing packing does not, so
     consolidation-style packing is recommended there.
+
+    With a *policy* — a :class:`~repro.portfolio.policy.PortfolioPolicy`
+    or a path to one saved by ``python -m repro race`` — the raced
+    per-family verdict replaces the hand-written default: the memory-
+    pressure guard still fires first (it is about feasibility, which
+    races scored only indirectly), then the policy's winner for the
+    cluster's topology family.
     """
     features = instance_features(cluster, venv)
     if features["mem_pressure"] > 0.92:
         return "consolidation"
+    if policy is not None:
+        from pathlib import Path
+
+        from repro.portfolio.policy import PortfolioPolicy, load_policy
+
+        if isinstance(policy, (str, Path)):
+            policy = load_policy(policy)
+        if not isinstance(policy, PortfolioPolicy):
+            raise ModelError(
+                f"policy must be a PortfolioPolicy or a path, got {type(policy).__name__}"
+            )
+        return policy.recommend_for(cluster)
     return "hmn"
 
 

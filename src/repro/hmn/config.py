@@ -190,6 +190,15 @@ class HMNConfig:
         of ``redundancy`` (either may be enabled alone).
     max_route_expansions:
         Safety valve forwarded to the router.
+    time_budget_s:
+        Wall-clock deadline (seconds) honored by the *anytime* solvers
+        in the portfolio (:func:`repro.extensions.exact.exact_map`,
+        :func:`repro.portfolio.bnb.bnb_map`, the ``portfolio`` pool
+        mapper): when the budget expires they return their best
+        incumbent with ``meta["proven_optimal"] = False`` and an
+        admissible ``meta["lower_bound"]`` instead of failing.  The
+        HMN pipeline itself ignores it (the heuristic always runs to
+        completion).  ``None`` (default) means no deadline.
     seed:
         Only used by the randomized ablation policies ("random" link
         order / migration policy); the paper's defaults are fully
@@ -210,6 +219,7 @@ class HMNConfig:
     redundancy: Redundancy = 0
     backup_paths: bool = False
     max_route_expansions: int = 2_000_000
+    time_budget_s: float | None = None
     seed: int | None = None
     extra: dict = field(default_factory=dict, compare=False)
 
@@ -259,6 +269,15 @@ class HMNConfig:
             raise ConfigError("migration_max_iterations must be >= 0")
         if self.max_route_expansions < 1:
             raise ConfigError("max_route_expansions must be >= 1")
+        if self.time_budget_s is not None and (
+            isinstance(self.time_budget_s, bool)
+            or not isinstance(self.time_budget_s, (int, float))
+            or self.time_budget_s <= 0
+        ):
+            raise ConfigError(
+                f"time_budget_s must be a positive number of seconds or None, "
+                f"got {self.time_budget_s!r}"
+            )
 
     def describe(self) -> dict:
         """JSON-friendly summary recorded in ``Mapping.meta``."""

@@ -1,0 +1,135 @@
+"""Anytime solver portfolio with a statistically-raced frontier.
+
+Section 6 of the paper sketches "a pool of different heuristics that
+might be selected according to the emulated scenario".  This package
+builds the pool's quality-vs-speed **frontier** and the machinery that
+picks from it with statistical evidence instead of folklore:
+
+* :mod:`repro.portfolio.bnb` — anytime Lagrange-bounded
+  branch-and-bound (``bnb_map``): slow end of the frontier, emits
+  ``(incumbent, lower bound, gap)`` snapshots under node or wall-clock
+  budgets, proves optimality when left to finish.
+* :mod:`repro.portfolio.rounding` — LP-relaxation +
+  seeded randomized rounding (``rounding_map``): fast end, always
+  valid, with a certified gap from the same dual bound.
+* :mod:`repro.portfolio.stats` — in-repo exact Wilcoxon signed-rank
+  and midrank utilities (dependency-light, byte-deterministic).
+* :mod:`repro.portfolio.racing` — F-Race harness eliminating
+  statistically dominated candidates per topology family over the
+  paper's scenario suite.
+* :mod:`repro.portfolio.policy` — the durable
+  :class:`~repro.portfolio.policy.PortfolioPolicy` artifact a race
+  produces and the selector consumes.
+
+Registry names: ``bnb``, ``rounding``, and ``portfolio`` (run the
+policy's per-family winner; without a policy, run a small pool and
+keep the best mapping).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.registry import register_mapper
+from repro.core.cluster import PhysicalCluster
+from repro.core.mapping import Mapping
+from repro.core.venv import VirtualEnvironment
+from repro.portfolio.bnb import (
+    LagrangianRelaxation,
+    bnb_map,
+    lagrangian_relaxation,
+    lagrangian_root_bound,
+)
+from repro.portfolio.policy import (
+    POLICY_FORMAT,
+    Elimination,
+    FamilyVerdict,
+    PortfolioPolicy,
+    load_policy,
+    topology_family,
+)
+from repro.portfolio.racing import (
+    DEFAULT_CANDIDATES,
+    Candidate,
+    RoundDecision,
+    eliminate_round,
+    race,
+)
+from repro.portfolio.rounding import rounding_map
+from repro.portfolio.stats import WilcoxonResult, rankdata, wilcoxon
+
+__all__ = [
+    "bnb_map",
+    "rounding_map",
+    "portfolio_map",
+    "lagrangian_root_bound",
+    "lagrangian_relaxation",
+    "LagrangianRelaxation",
+    "rankdata",
+    "wilcoxon",
+    "WilcoxonResult",
+    "Candidate",
+    "DEFAULT_CANDIDATES",
+    "RoundDecision",
+    "eliminate_round",
+    "race",
+    "PortfolioPolicy",
+    "FamilyVerdict",
+    "Elimination",
+    "POLICY_FORMAT",
+    "load_policy",
+    "topology_family",
+]
+
+
+def portfolio_map(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    config=None,
+    *,
+    seed: int | np.random.Generator | None = None,
+    policy: PortfolioPolicy | str | Path | None = None,
+    **kwargs,
+) -> Mapping:
+    """The frontier as one mapper (registry name ``portfolio``).
+
+    With a *policy* (object or path to a saved JSON artifact), executes
+    the raced winner for the cluster's topology family with its raced
+    kwargs.  Without one, falls back to running the pool's endpoints —
+    HMN and the rounding mapper — and keeping the better Eq. 10
+    mapping (robust: succeeds whenever either member does).
+    """
+    from repro.baselines.registry import get_mapper
+
+    if isinstance(policy, (str, Path)):
+        policy = load_policy(policy)
+    if policy is not None:
+        mapper_name, mapper_kwargs = policy.mapper_for(topology_family(cluster))
+        merged = {**mapper_kwargs, **kwargs}
+        if config is not None:
+            merged.setdefault("config", config)
+        return get_mapper(mapper_name)(cluster, venv, seed=seed, **merged)
+
+    from repro.extensions.selector import portfolio_map as _pool_map
+
+    mapper_kwargs = (
+        {"hmn": {"config": config}, "rounding": {"config": config}}
+        if config is not None
+        else None
+    )
+    result = _pool_map(
+        cluster, venv, ("hmn", "rounding"), mode="best", seed=seed,
+        mapper_kwargs=mapper_kwargs,
+    )
+    return result.mapping
+
+
+def _register() -> None:
+    register_mapper("bnb", bnb_map)
+    register_mapper("rounding", rounding_map, aliases=("lp-round",))
+    register_mapper("portfolio", portfolio_map)
+
+
+_register()

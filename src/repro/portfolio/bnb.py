@@ -1,0 +1,469 @@
+"""Anytime branch-and-bound placement with Lagrangian root bounds.
+
+:func:`bnb_map` searches the same space as
+:func:`repro.extensions.exact.exact_map` — guest-to-host placements
+minimizing Eq. 10, routed afterwards by the paper's own Networking
+stage — but is built for the *anytime* regime of the solver portfolio
+(Wang, Ben-Ameur & Ouorou's Lagrange-decomposition branch-and-bound,
+see PAPERS.md):
+
+* **Incumbent/bound trajectory.**  The search keeps a live global
+  lower bound (the minimum admissible bound over the open frontier)
+  next to the best incumbent, and records ``(incumbent, lower_bound,
+  gap)`` snapshots as either side moves — ``meta["snapshots"]``.  At
+  any cutoff the caller gets the best placement found *and* a proof of
+  how far it can be from optimal.
+* **Lagrangian root bound.**  On top of the water-filling bound (which
+  ignores memory/storage entirely), the root is bounded by the dual of
+  a tangent linearization of the quadratic objective with the
+  memory/storage capacities dualized: the inner minimization splits
+  per guest (each picks its cheapest host), so every subgradient
+  iterate is a certified lower bound.  On memory-tight instances this
+  is strictly tighter than water-filling.
+* **Deterministic, seeded search order.**  Children are expanded in
+  ascending bound order with a seeded host permutation as the final
+  tie-break, so a given ``(instance, seed, max_nodes)`` always walks
+  the identical tree — racing cutoffs are reproducible byte-for-byte.
+* **Budgets.**  ``max_nodes`` (deterministic, what tests and the
+  conformance fuzzer use) and ``time_budget_s`` (wall-clock, what
+  operators use) both stop the search gracefully: the result carries
+  ``meta["proven_optimal"] = False`` and the admissible bound proved
+  so far.  An exhausted search proves optimality (``gap == 0``) and
+  matches :func:`exact_map` bit-exactly — both accept strictly
+  improving incumbents over the same float objective.
+
+Obs spans: ``portfolio.bnb`` (root), ``portfolio.bnb.root_bound``,
+``portfolio.bnb.search``, ``portfolio.bnb.networking``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import sys
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from repro import obs
+from repro.core.cluster import PhysicalCluster
+from repro.core.mapping import Mapping, StageReport
+from repro.core.objective import placement_objective, waterfill_std
+from repro.core.state import ClusterState
+from repro.core.venv import VirtualEnvironment
+from repro.errors import MappingError, RoutingError
+from repro.hmn.config import HMNConfig
+from repro.hmn.networking import run_networking
+from repro.seeding import derive
+
+__all__ = ["bnb_map", "lagrangian_root_bound", "lagrangian_relaxation", "LagrangianRelaxation"]
+
+NodeId = Hashable
+
+#: Reported lower bounds are shaved by this relative margin so that
+#: float noise in the bound computations can never push a *reported*
+#: bound above the true optimum (pruning always uses the raw values).
+_REPORT_MARGIN = 1e-9
+
+
+class _BudgetExhausted(Exception):
+    """Internal control flow: node or time budget ran out."""
+
+
+@dataclass(frozen=True, slots=True)
+class LagrangianRelaxation:
+    """Dual bound plus the fractional solution the ascent visited.
+
+    ``frequencies[g, h]`` is the fraction of subgradient iterations in
+    which guest ``guest_ids[g]`` picked host ``host_ids[h]`` in the
+    per-guest inner minimization — a (deterministic) fractional
+    placement that the randomized-rounding mapper
+    (:func:`repro.portfolio.rounding.rounding_map`) samples from.
+    """
+
+    #: Certified Eq. 10 (std) lower bound — the best dual iterate.
+    bound_std: float
+    #: ``(n_guests, n_hosts)`` choice frequencies, rows sum to 1.
+    frequencies: "np.ndarray"
+    guest_ids: tuple[int, ...]
+    host_ids: tuple[NodeId, ...]
+
+
+def lagrangian_root_bound(
+    cluster: PhysicalCluster, venv: VirtualEnvironment, *, iters: int = 40
+) -> float:
+    """Certified Eq. 10 lower bound (see :func:`lagrangian_relaxation`)."""
+    return lagrangian_relaxation(cluster, venv, iters=iters).bound_std
+
+
+def lagrangian_relaxation(
+    cluster: PhysicalCluster, venv: VirtualEnvironment, *, iters: int = 40
+) -> LagrangianRelaxation:
+    """Certified Eq. 10 lower bound from a Lagrangian decomposition.
+
+    Minimizing the residual-CPU std is equivalent (fixed total) to
+    minimizing the sum of squared residuals ``sum_h (C_h - l_h)^2``.
+    Each quadratic term is under-estimated by its tangent at the
+    continuous water-filling optimum, and the memory/storage capacity
+    constraints are dualized with multipliers ``(lambda, mu) >= 0``:
+    the remaining minimization decomposes per guest (pick the
+    cheapest host under the linearized cost), so *every* subgradient
+    iterate evaluates the true dual function — each one is a valid
+    lower bound, and the best over ``iters`` ascent steps is returned
+    (converted back to a std bound).  Deterministic: no randomness,
+    fixed iteration count, numpy float64 throughout.
+    """
+    host_ids = tuple(cluster.host_ids)
+    hosts = [cluster.host(h) for h in host_ids]
+    n = len(hosts)
+    guests = list(venv.guests())
+    guest_ids = tuple(g.id for g in guests)
+    if not guests or n == 0:
+        return LagrangianRelaxation(
+            0.0, np.zeros((len(guests), n)), guest_ids, host_ids
+        )
+    C = np.array([h.proc for h in hosts], dtype=np.float64)
+    M = np.array([h.mem for h in hosts], dtype=np.float64)
+    S = np.array([h.stor for h in hosts], dtype=np.float64)
+    p = np.array([g.vproc for g in guests], dtype=np.float64)
+    m = np.array([g.vmem for g in guests], dtype=np.float64)
+    s = np.array([g.vstor for g in guests], dtype=np.float64)
+
+    total = float(p.sum())
+    mean_residual = float(C.sum() - total) / n
+
+    # Continuous water-fill residuals (the tangent point): shave the
+    # largest capacities down to a common level absorbing the demand.
+    caps = np.sort(C)[::-1]
+    remaining = total
+    level = float(caps[0])
+    for k in range(1, n + 1):
+        next_cap = float(caps[k]) if k < n else -math.inf
+        absorb = (level - next_cap) * k if next_cap != -math.inf else math.inf
+        if remaining <= absorb:
+            level -= remaining / k
+            break
+        remaining -= absorb
+        level = next_cap
+    r0 = np.minimum(C, level)  # tangent-point residuals per host
+
+    # f_h(l) = (C_h - l)^2  >=  a_h + b_h * l   with the tangent at
+    # l0_h = C_h - r0_h:  b_h = -2 r0_h,  a_h = 2 r0_h C_h - r0_h^2.
+    b = -2.0 * r0
+    a_sum = float((2.0 * r0 * C - r0 * r0).sum())
+
+    lam = np.zeros(n)
+    mu = np.zeros(n)
+    # Step scale: relate the linearized cost magnitudes to the
+    # capacity-violation magnitudes (any schedule yields valid bounds).
+    step0 = (float(np.abs(b).max()) * float(p.mean()) + 1.0) / max(
+        float(M.max()), float(S.max()), 1.0
+    )
+    best_ss = -math.inf
+    idx = np.arange(len(guests))
+    freq = np.zeros((len(guests), n))
+    n_iters = max(iters, 1)
+    for k in range(n_iters):
+        cost = p[:, None] * b[None, :] + m[:, None] * lam[None, :] + s[:, None] * mu[None, :]
+        choice = np.argmin(cost, axis=1)
+        freq[idx, choice] += 1.0
+        inner = float(cost[idx, choice].sum())
+        dual = a_sum + inner - float((lam * M).sum()) - float((mu * S).sum())
+        best_ss = max(best_ss, dual)
+        step = step0 / (k + 1)
+        over_m = np.bincount(choice, weights=m, minlength=n) - M
+        over_s = np.bincount(choice, weights=s, minlength=n) - S
+        lam = np.maximum(0.0, lam + step * over_m)
+        mu = np.maximum(0.0, mu + step * over_s)
+    freq /= n_iters
+
+    var = best_ss / n - mean_residual * mean_residual
+    bound = math.sqrt(var) if var > 0.0 else 0.0
+    return LagrangianRelaxation(bound, freq, guest_ids, host_ids)
+
+
+class _Frontier:
+    """Min-tracking multiset of open-node bounds (heap + lazy removal)."""
+
+    __slots__ = ("_heap", "_removed", "_size")
+
+    def __init__(self) -> None:
+        self._heap: list[float] = []
+        self._removed: Counter = Counter()
+        self._size = 0
+
+    def add(self, bound: float) -> None:
+        heapq.heappush(self._heap, bound)
+        self._size += 1
+
+    def remove(self, bound: float) -> None:
+        self._removed[bound] += 1
+        self._size -= 1
+
+    def min(self) -> float:
+        heap, removed = self._heap, self._removed
+        while heap and removed.get(heap[0], 0):
+            removed[heap[0]] -= 1
+            heapq.heappop(heap)
+        return heap[0] if heap else math.inf
+
+
+def bnb_map(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    config: HMNConfig | None = None,
+    *,
+    seed: int | np.random.Generator | None = None,
+    max_nodes: int | None = 2_000_000,
+    time_budget_s: float | None = None,
+    snapshot_every: int = 512,
+    subgradient_iters: int = 40,
+    placement_only: bool = False,
+) -> Mapping:
+    """Anytime optimal-placement search (see module docs).
+
+    Parameters mirror :func:`repro.extensions.exact.exact_map` plus the
+    anytime knobs: ``max_nodes`` caps the search deterministically
+    (``None`` removes the cap — only sensible on tiny instances),
+    ``time_budget_s`` adds a wall-clock deadline (defaulting to the
+    config's ``time_budget_s``), ``snapshot_every`` sets the cadence of
+    periodic trajectory snapshots (improvement events always snapshot).
+
+    Returns the best placement found within budget, routed by the
+    Networking stage unless ``placement_only``.  ``meta`` carries
+    ``objective``, ``lower_bound``, ``gap``, ``proven_optimal``,
+    ``root_bound``, ``nodes_explored`` and the ``snapshots`` list.
+    Raises :class:`~repro.errors.MappingError` when no feasible
+    placement was found (within budget, or provably none exists).
+    """
+    if config is None:
+        config = HMNConfig()
+    if time_budget_s is None:
+        time_budget_s = config.time_budget_s
+    if isinstance(seed, np.random.Generator):
+        seed_int = int(seed.integers(0, 2**31))
+    else:
+        seed_int = int(seed) if seed is not None else 0
+
+    guests = sorted(venv.guests(), key=lambda g: (-g.vmem, -g.vstor, g.id))
+    n_guests = len(guests)
+    host_ids = list(cluster.host_ids)
+    total_demand = venv.total_vproc()
+
+    # Seeded deterministic tie-break: a host permutation fixed up front.
+    order_rng = derive(seed_int, "portfolio", "bnb", "order")
+    perm = order_rng.permutation(len(host_ids))
+    tie_rank = {h: int(perm[i]) for i, h in enumerate(host_ids)}
+
+    rec = obs.OBS
+    state = ClusterState(cluster)
+    prefix_demand = [0.0]
+    for g in guests:
+        prefix_demand.append(prefix_demand[-1] + g.vproc)
+
+    t0 = time.perf_counter()
+    deadline = t0 + time_budget_s if time_budget_s is not None else None
+
+    with rec.span(
+        "portfolio.bnb", n_guests=n_guests, n_hosts=len(host_ids), seed=seed_int
+    ) as root_span:
+        with rec.span("portfolio.bnb.root_bound"):
+            wf_bound = waterfill_std(
+                [state.residual_proc(h) for h in host_ids], total_demand
+            )
+            lag_bound = lagrangian_root_bound(cluster, venv, iters=subgradient_iters)
+            root_bound = max(wf_bound, lag_bound)
+
+        best_objective = math.inf
+        best_assignment: dict[int, NodeId] | None = None
+        explored = 0
+        frontier = _Frontier()
+        snapshots: list[dict] = []
+        reported_lb = 0.0
+
+        def shave(bound: float) -> float:
+            return max(0.0, bound - (_REPORT_MARGIN * abs(bound) + 1e-12))
+
+        def snapshot(cur_bound: float) -> None:
+            nonlocal reported_lb
+            candidate = min(frontier.min(), cur_bound)
+            if best_assignment is not None:
+                candidate = min(candidate, best_objective)
+            reported_lb = max(reported_lb, shave(candidate))
+            incumbent = best_objective if best_assignment is not None else None
+            gap = None
+            if incumbent is not None:
+                gap = max(0.0, incumbent - reported_lb) / max(abs(incumbent), 1e-12)
+            snapshots.append(
+                {
+                    "nodes": explored,
+                    "elapsed_s": time.perf_counter() - t0,
+                    "incumbent": incumbent,
+                    "lower_bound": reported_lb,
+                    "gap": gap,
+                }
+            )
+
+        def expand(idx: int, node_bound: float) -> None:
+            nonlocal best_objective, best_assignment, explored
+            explored += 1
+            if max_nodes is not None and explored > max_nodes:
+                raise _BudgetExhausted
+            if (
+                deadline is not None
+                and not explored % 64
+                and time.perf_counter() > deadline
+            ):
+                raise _BudgetExhausted
+            if not explored % snapshot_every:
+                snapshot(node_bound)
+            if idx == n_guests:
+                # Canonical bit-exact scoring shared with exact_map.
+                objective = placement_objective(cluster, venv, state.assignments)
+                if objective < best_objective:
+                    best_objective = objective
+                    best_assignment = state.assignments
+                    snapshot(node_bound)
+                return
+            remaining = total_demand - prefix_demand[idx + 1]
+            guest = guests[idx]
+            children: list[tuple[float, int, NodeId]] = []
+            for host in host_ids:
+                if not state.fits(guest, host):
+                    continue
+                state.place(guest, host)
+                bound = waterfill_std(
+                    [state.residual_proc(h) for h in host_ids], remaining
+                )
+                state.unplace(guest.id)
+                bound = max(bound, node_bound)  # a parent bound binds the child
+                if bound < best_objective:
+                    children.append((bound, tie_rank[host], host))
+            children.sort()
+            for bound, _, _ in children:
+                frontier.add(bound)
+            for bound, _, host in children:
+                frontier.remove(bound)
+                if bound >= best_objective:  # pruned since generation
+                    continue
+                state.place(guest, host)
+                try:
+                    expand(idx + 1, bound)
+                finally:
+                    state.unplace(guest.id)
+
+        proven_optimal = True
+        # The DFS recursion is one frame per guest; lift the interpreter
+        # limit for deep virtual environments and restore it after.
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, n_guests + 256))
+        with rec.span("portfolio.bnb.search") as search_span:
+            try:
+                snapshot(root_bound)
+                expand(0, root_bound)
+            except _BudgetExhausted:
+                proven_optimal = False
+            finally:
+                sys.setrecursionlimit(old_limit)
+            search_elapsed = time.perf_counter() - t0
+            if rec.enabled:
+                search_span.set(
+                    nodes=explored,
+                    proven_optimal=proven_optimal,
+                    seconds=search_elapsed,
+                )
+
+        if best_assignment is None:
+            if not proven_optimal:
+                raise MappingError(
+                    f"branch-and-bound budget exhausted after {explored} nodes "
+                    f"before any feasible placement of {n_guests} guests was found"
+                )
+            raise MappingError(
+                f"no feasible placement exists for {n_guests} guests on this cluster"
+            )
+
+        if proven_optimal:
+            lower_bound = best_objective
+            gap = 0.0
+        else:
+            lower_bound = min(reported_lb, best_objective)
+            gap = max(0.0, best_objective - lower_bound) / max(
+                abs(best_objective), 1e-12
+            )
+        snapshots.append(
+            {
+                "nodes": explored,
+                "elapsed_s": search_elapsed,
+                "incumbent": best_objective,
+                "lower_bound": lower_bound,
+                "gap": gap,
+            }
+        )
+        if rec.enabled:
+            root_span.set(
+                objective=best_objective,
+                lower_bound=lower_bound,
+                gap=gap,
+                nodes=explored,
+            )
+
+        meta = {
+            "objective": best_objective,
+            "nodes_explored": explored,
+            "proven_optimal": proven_optimal,
+            "lower_bound": lower_bound,
+            "gap": gap,
+            "root_bound": root_bound,
+            "root_bound_lagrangian": lag_bound,
+            "root_bound_waterfill": wf_bound,
+            "seed": seed_int,
+            "snapshots": snapshots,
+        }
+        search_report = StageReport(
+            "search",
+            search_elapsed,
+            {
+                "nodes_explored": explored,
+                "objective": best_objective,
+                "lower_bound": lower_bound,
+                "proven_optimal": proven_optimal,
+            },
+        )
+
+        if placement_only:
+            return Mapping(
+                assignments=best_assignment,
+                paths={},
+                mapper="bnb",
+                stages=(search_report,),
+                meta={**meta, "placement_only": True},
+            )
+
+        routing_state = ClusterState(cluster)
+        for g in venv.guests():
+            routing_state.place(g, best_assignment[g.id])
+        with rec.span("portfolio.bnb.networking"):
+            t1 = time.perf_counter()
+            try:
+                paths, networking_stats = run_networking(routing_state, venv, config)
+            except RoutingError as exc:
+                raise RoutingError(
+                    "bnb placement",
+                    f"best placement found is not greedily routable: {exc}",
+                ) from exc
+            networking_elapsed = time.perf_counter() - t1
+
+    return Mapping(
+        assignments=best_assignment,
+        paths=paths,
+        mapper="bnb",
+        stages=(
+            search_report,
+            StageReport("networking", networking_elapsed, networking_stats),
+        ),
+        meta=meta,
+    )

@@ -1,0 +1,220 @@
+"""Racing verdicts as a durable, versioned artifact.
+
+A race (:func:`repro.portfolio.racing.race`) distills many mapper runs
+into one small decision table: *per topology family, which candidate
+should the selector use, and who survived the statistical
+elimination*.  :class:`PortfolioPolicy` is that table — a frozen,
+JSON-serializable artifact with **canonical** byte form (sorted keys,
+fixed field set, no timestamps or host details), so re-running the
+same race on any machine regenerates an identical file; CI diffs it
+directly.
+
+:func:`repro.extensions.selector.recommend_mapper` accepts a policy
+and defers to its per-family winner;
+:func:`topology_family` is the shared classifier mapping a cluster to
+the family key used at both race time and lookup time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping as TMapping
+
+from repro.core.cluster import PhysicalCluster
+from repro.errors import ModelError
+
+__all__ = [
+    "POLICY_FORMAT",
+    "Elimination",
+    "FamilyVerdict",
+    "PortfolioPolicy",
+    "load_policy",
+    "topology_family",
+]
+
+POLICY_FORMAT = "repro/portfolio-policy@1"
+
+
+def topology_family(cluster: PhysicalCluster) -> str:
+    """Family key of a cluster, shared by race time and lookup time.
+
+    Classification is deliberately coarse — the racing scenario suite
+    (:func:`repro.workload.suite.paper_clusters`) builds one cluster
+    per family, and a production cluster only needs to land in the
+    family whose raced verdict transfers.  Falls back to ``"generic"``
+    when the name carries no signal.
+    """
+    name = (cluster.name or "").lower()
+    if "torus" in name or "grid" in name or "mesh" in name:
+        return "torus"
+    if "switch" in name or "tree" in name or "star" in name:
+        return "switched"
+    return "generic"
+
+
+@dataclass(frozen=True, slots=True)
+class Elimination:
+    """One candidate knocked out of a family's race."""
+
+    #: Candidate name.
+    name: str
+    #: 1-based round in which it was eliminated.
+    round: int
+    #: Exact Wilcoxon p-value of the elimination decision.
+    p_value: float
+    #: Mean rank at elimination time (higher = worse).
+    mean_rank: float
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "round": self.round,
+            "p_value": self.p_value,
+            "mean_rank": self.mean_rank,
+        }
+
+    @classmethod
+    def from_dict(cls, d: TMapping) -> "Elimination":
+        return cls(
+            name=str(d["name"]),
+            round=int(d["round"]),
+            p_value=float(d["p_value"]),
+            mean_rank=float(d["mean_rank"]),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FamilyVerdict:
+    """Race outcome for one topology family."""
+
+    #: The candidate the selector should use for this family.
+    winner: str
+    #: Candidates never eliminated (includes the winner), input order.
+    survivors: tuple[str, ...]
+    #: Eliminations in the order they happened.
+    eliminated: tuple[Elimination, ...]
+    #: Blocks (scenario × rep cells) evaluated in total.
+    blocks: int
+    #: Elimination rounds run.
+    rounds: int
+    #: Final mean rank per surviving candidate (lower = better).
+    mean_ranks: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "winner": self.winner,
+            "survivors": list(self.survivors),
+            "eliminated": [e.to_dict() for e in self.eliminated],
+            "blocks": self.blocks,
+            "rounds": self.rounds,
+            "mean_ranks": dict(sorted(self.mean_ranks.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, d: TMapping) -> "FamilyVerdict":
+        return cls(
+            winner=str(d["winner"]),
+            survivors=tuple(str(s) for s in d["survivors"]),
+            eliminated=tuple(Elimination.from_dict(e) for e in d["eliminated"]),
+            blocks=int(d["blocks"]),
+            rounds=int(d["rounds"]),
+            mean_ranks={str(k): float(v) for k, v in d["mean_ranks"].items()},
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PortfolioPolicy:
+    """Per-family mapper selection produced by a race (see module docs)."""
+
+    #: Candidate names in race input order.
+    candidates: tuple[str, ...]
+    #: Family key -> verdict.
+    families: dict[str, FamilyVerdict]
+    #: Elimination significance level the race used.
+    alpha: float
+    #: Seed the race derived every run seed from.
+    base_seed: int
+    #: Candidate name -> ``{"mapper": registry_name, "kwargs": {...}}``,
+    #: what makes a recommendation *executable* (kwargs are JSON-safe).
+    specs: dict[str, dict] = field(default_factory=dict)
+
+    def recommend(self, family: str) -> str:
+        """Winner for *family*; unknown families get the majority
+        winner across raced families (ties break on candidate order)."""
+        verdict = self.families.get(family)
+        if verdict is not None:
+            return verdict.winner
+        if not self.families:
+            raise ModelError("policy has no raced families to recommend from")
+        wins: dict[str, int] = {}
+        for v in self.families.values():
+            wins[v.winner] = wins.get(v.winner, 0) + 1
+        return max(
+            wins,
+            key=lambda name: (wins[name], -self.candidates.index(name)
+                              if name in self.candidates else 0),
+        )
+
+    def recommend_for(self, cluster: PhysicalCluster) -> str:
+        """Winner for *cluster*, via :func:`topology_family`."""
+        return self.recommend(topology_family(cluster))
+
+    def mapper_for(self, family: str) -> tuple[str, dict]:
+        """``(registry mapper name, kwargs)`` executing *family*'s winner.
+
+        A policy without a spec for the winner (hand-written files)
+        falls back to treating the candidate name as a registry name.
+        """
+        name = self.recommend(family)
+        spec = self.specs.get(name)
+        if spec is None:
+            return name, {}
+        return str(spec["mapper"]), dict(spec.get("kwargs", {}))
+
+    def to_dict(self) -> dict:
+        return {
+            "format": POLICY_FORMAT,
+            "alpha": self.alpha,
+            "base_seed": self.base_seed,
+            "candidates": list(self.candidates),
+            "specs": {k: self.specs[k] for k in sorted(self.specs)},
+            "families": {
+                k: v.to_dict() for k, v in sorted(self.families.items())
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical byte form: sorted keys, 2-space indent, trailing
+        newline — two equal policies always serialize identically."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json(), encoding="utf-8")
+        return path
+
+    @classmethod
+    def from_dict(cls, d: TMapping) -> "PortfolioPolicy":
+        fmt = d.get("format")
+        if fmt != POLICY_FORMAT:
+            raise ModelError(
+                f"not a portfolio policy: format {fmt!r} (expected {POLICY_FORMAT!r})"
+            )
+        return cls(
+            candidates=tuple(str(c) for c in d["candidates"]),
+            families={
+                str(k): FamilyVerdict.from_dict(v) for k, v in d["families"].items()
+            },
+            alpha=float(d["alpha"]),
+            base_seed=int(d["base_seed"]),
+            specs={str(k): dict(v) for k, v in d.get("specs", {}).items()},
+        )
+
+
+def load_policy(path: str | Path) -> PortfolioPolicy:
+    """Load a :class:`PortfolioPolicy` from a JSON file written by
+    :meth:`PortfolioPolicy.save`."""
+    with open(path, encoding="utf-8") as fh:
+        return PortfolioPolicy.from_dict(json.load(fh))

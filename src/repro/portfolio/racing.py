@@ -1,0 +1,321 @@
+"""F-Race-style statistical racing of mapper candidates.
+
+A race answers the selector's question *empirically*: over the paper's
+scenario suite, which mapper configuration actually wins on each
+topology family?  Following the F-Race recipe (Birattari et al., the
+same design json2run races parameter configurations with), candidates
+are evaluated on a growing set of paired **blocks** — one block is one
+``(scenario, repetition)`` cell, every candidate mapping the *same*
+virtual environment — and after each round statistically dominated
+candidates are eliminated:
+
+1. per block, candidates are ranked by Eq. 10 objective (failures
+   score ``inf`` and rank last; ties get midranks);
+2. the current leader is the candidate with the best mean rank;
+3. every other candidate is compared to the leader with the **exact**
+   Wilcoxon signed-rank test (:func:`repro.portfolio.stats.wilcoxon`)
+   over the paired per-block ranks, and eliminated when it is
+   significantly worse (``p <= alpha`` and worse mean rank).
+
+Execution goes through the crash-tolerant
+:class:`~repro.analysis.runner.BatchRunner` — one invocation per
+candidate per round, because a cell's identity key includes only the
+*registry* mapper name and two candidates may share it (e.g. two HMN
+configs).  Decisions are pure functions of the objective table: no
+wall-clock quantity ever enters a ranking, seeds derive only from
+``(base_seed, scenario, rep)``, so the resulting
+:class:`~repro.portfolio.policy.PortfolioPolicy` is byte-identical
+across reruns **and across worker counts** (gated in CI).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping as TMapping, Sequence
+
+from repro import obs
+from repro.analysis.runner import BatchRunner, CellSpec
+from repro.core.cluster import PhysicalCluster
+from repro.errors import ModelError
+from repro.portfolio.policy import (
+    Elimination,
+    FamilyVerdict,
+    PortfolioPolicy,
+    topology_family,
+)
+from repro.portfolio.stats import rankdata, wilcoxon
+from repro.workload.scenario import Scenario
+from repro.workload.suite import paper_clusters, paper_scenarios
+
+__all__ = [
+    "Candidate",
+    "DEFAULT_CANDIDATES",
+    "RoundDecision",
+    "eliminate_round",
+    "race",
+]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One configuration entered into a race.
+
+    *name* is the candidate's unique label in the race (and in the
+    resulting policy); *mapper* is the registry name actually executed;
+    *kwargs* are passed through to the mapper (JSON-safe values only,
+    so the policy artifact can replay the winner — an HMN config
+    override rides as a plain ``{"config": {...}}`` dict).
+    """
+
+    name: str
+    mapper: str
+    kwargs: TMapping[str, object] = field(default_factory=dict)
+
+    def spec(self) -> dict:
+        return {"mapper": self.mapper, "kwargs": dict(self.kwargs)}
+
+
+#: The default starting grid: the paper's HMN plus the variants its
+#: config space exposes, and the portfolio's own two new engines.
+DEFAULT_CANDIDATES: tuple[Candidate, ...] = (
+    Candidate("hmn", "hmn"),
+    Candidate("hmn-vbw-asc", "hmn", {"config": {"link_order": "vbw_asc"}}),
+    Candidate("hmn-exhaustive", "hmn", {"config": {"migration_exhaustive": True}}),
+    Candidate("rounding", "rounding", {"n_trials": 8}),
+    Candidate("bnb-4k", "bnb", {"max_nodes": 4000}),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class RoundDecision:
+    """Outcome of one elimination round (a pure function of scores)."""
+
+    leader: str
+    survivors: tuple[str, ...]
+    eliminated: tuple[Elimination, ...]
+    mean_ranks: dict[str, float]
+
+
+def eliminate_round(
+    names: Sequence[str],
+    block_scores: Sequence[TMapping[str, float]],
+    *,
+    alpha: float,
+    round_no: int = 1,
+) -> RoundDecision:
+    """One F-Race elimination decision over the accumulated blocks.
+
+    *names* are the surviving candidates in race input order (the
+    deterministic tie-break); *block_scores* maps, per block, candidate
+    name to score (lower better, ``inf`` for failures).  Pure and
+    deterministic — the unit under the byte-identical-policy tests.
+    """
+    if not names:
+        raise ModelError("eliminate_round needs at least one candidate")
+    ranks: dict[str, list[float]] = {n: [] for n in names}
+    for block in block_scores:
+        block_ranks = rankdata([float(block[n]) for n in names])
+        for n, r in zip(names, block_ranks):
+            ranks[n].append(r)
+    n_blocks = max(len(block_scores), 1)
+    mean_ranks = {n: sum(ranks[n]) / n_blocks for n in names}
+    leader = min(names, key=lambda n: (mean_ranks[n], names.index(n)))
+
+    survivors: list[str] = []
+    eliminated: list[Elimination] = []
+    for n in names:
+        if n == leader:
+            survivors.append(n)
+            continue
+        result = wilcoxon(ranks[n], ranks[leader])
+        if result.p_value <= alpha and mean_ranks[n] > mean_ranks[leader]:
+            eliminated.append(
+                Elimination(
+                    name=n,
+                    round=round_no,
+                    p_value=result.p_value,
+                    mean_rank=mean_ranks[n],
+                )
+            )
+        else:
+            survivors.append(n)
+    return RoundDecision(
+        leader=leader,
+        survivors=tuple(survivors),
+        eliminated=tuple(eliminated),
+        mean_ranks=mean_ranks,
+    )
+
+
+def _score_blocks(
+    cluster: PhysicalCluster,
+    cluster_name: str,
+    candidate: Candidate,
+    blocks: Sequence[tuple[Scenario, int]],
+    *,
+    base_seed: int,
+    runner: BatchRunner,
+) -> dict[tuple[str, int], float]:
+    """Objective of *candidate* on each ``(scenario, rep)`` block.
+
+    Failures (mapper or validation) score ``inf`` — a candidate that
+    cannot map a block loses it outright, which is the paper's own
+    feasibility-first reading of mapper quality.
+    """
+    specs = [
+        CellSpec(
+            cluster=cluster,
+            cluster_name=cluster_name,
+            scenario=scenario,
+            mapper=candidate.mapper,
+            rep=rep,
+            base_seed=base_seed,
+            simulate=False,
+            mapper_kwargs=dict(candidate.kwargs) or None,
+        )
+        for scenario, rep in blocks
+    ]
+    records = runner.run(specs)
+    scores: dict[tuple[str, int], float] = {}
+    for record in records:
+        score = record.objective if record.ok and record.objective is not None else math.inf
+        scores[(record.scenario, record.rep)] = float(score)
+    return scores
+
+
+def race(
+    clusters: TMapping[str, PhysicalCluster] | None = None,
+    scenarios: Sequence[Scenario] | None = None,
+    candidates: Sequence[Candidate] = DEFAULT_CANDIDATES,
+    *,
+    alpha: float = 0.05,
+    base_seed: int = 0,
+    workers: int = 1,
+    min_blocks: int = 6,
+    max_rounds: int = 4,
+    reps_per_round: int = 3,
+    n_hosts: int = 16,
+    timeout: float | None = None,
+) -> PortfolioPolicy:
+    """Race *candidates* over the scenario suite, one verdict per family.
+
+    ``clusters`` defaults to the paper's two evaluation topologies at
+    *n_hosts* hosts (torus + switched — one verdict each); ``scenarios``
+    defaults to the full sixteen-row suite.  Rounds add
+    ``reps_per_round`` repetitions of every scenario, then eliminate
+    per :func:`eliminate_round` once ``min_blocks`` blocks accumulated;
+    the race stops at a single survivor or after ``max_rounds``.
+
+    ``workers`` (and ``timeout``) are plumbed to the
+    :class:`~repro.analysis.runner.BatchRunner` and affect wall clock
+    only — the returned policy is identical for any worker count.
+    """
+    if not candidates:
+        raise ModelError("race needs at least one candidate")
+    names = [c.name for c in candidates]
+    if len(set(names)) != len(names):
+        raise ModelError(f"candidate names must be unique, got {names}")
+    if clusters is None:
+        clusters = paper_clusters(seed=base_seed, n_hosts=n_hosts)
+    if scenarios is None:
+        scenarios = paper_scenarios()
+    if not scenarios:
+        raise ModelError("race needs at least one scenario")
+
+    runner = BatchRunner(workers, timeout=timeout)
+    rec = obs.OBS
+    families: dict[str, FamilyVerdict] = {}
+    with rec.span(
+        "portfolio.race",
+        n_candidates=len(candidates),
+        n_families=len(clusters),
+        n_scenarios=len(scenarios),
+        alpha=alpha,
+    ):
+        for cluster_name in sorted(clusters):
+            cluster = clusters[cluster_name]
+            family = topology_family(cluster)
+            if family in families:
+                raise ModelError(
+                    f"two clusters race into family {family!r}; "
+                    "give each family one cluster"
+                )
+            with rec.span("portfolio.race.family", family=family):
+                survivors = list(candidates)
+                block_order: list[tuple[str, int]] = []
+                block_scores: dict[tuple[str, int], dict[str, float]] = {}
+                eliminated: list[Elimination] = []
+                decision: RoundDecision | None = None
+                rep_base = 0
+                rounds_run = 0
+                for round_no in range(1, max_rounds + 1):
+                    rounds_run = round_no
+                    new_blocks = [
+                        (scenario, rep)
+                        for rep in range(rep_base, rep_base + reps_per_round)
+                        for scenario in scenarios
+                    ]
+                    rep_base += reps_per_round
+                    with rec.span(
+                        "portfolio.race.round",
+                        family=family,
+                        round=round_no,
+                        survivors=len(survivors),
+                        new_blocks=len(new_blocks),
+                    ):
+                        for candidate in survivors:
+                            scored = _score_blocks(
+                                cluster,
+                                cluster_name,
+                                candidate,
+                                new_blocks,
+                                base_seed=base_seed,
+                                runner=runner,
+                            )
+                            for key, score in scored.items():
+                                block_scores.setdefault(key, {})[candidate.name] = score
+                        for scenario, rep in new_blocks:
+                            block_order.append((scenario.label, rep))
+                        if len(block_order) < min_blocks or len(survivors) < 2:
+                            continue
+                        decision = eliminate_round(
+                            [c.name for c in survivors],
+                            [block_scores[key] for key in block_order],
+                            alpha=alpha,
+                            round_no=round_no,
+                        )
+                        eliminated.extend(decision.eliminated)
+                        survivors = [
+                            c for c in survivors if c.name in decision.survivors
+                        ]
+                    if len(survivors) == 1:
+                        break
+                if decision is None:
+                    # Never enough blocks to test: rank what we have.
+                    decision = eliminate_round(
+                        [c.name for c in survivors],
+                        [block_scores[key] for key in block_order],
+                        alpha=alpha,
+                        round_no=rounds_run,
+                    )
+                families[family] = FamilyVerdict(
+                    winner=decision.leader,
+                    survivors=tuple(c.name for c in survivors),
+                    eliminated=tuple(eliminated),
+                    blocks=len(block_order),
+                    rounds=rounds_run,
+                    mean_ranks={
+                        c.name: decision.mean_ranks[c.name]
+                        for c in survivors
+                        if c.name in decision.mean_ranks
+                    },
+                )
+
+    return PortfolioPolicy(
+        candidates=tuple(names),
+        families=families,
+        alpha=alpha,
+        base_seed=base_seed,
+        specs={c.name: c.spec() for c in candidates},
+    )

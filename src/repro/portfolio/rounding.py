@@ -1,0 +1,264 @@
+"""LP-relaxation + seeded randomized-rounding mapper.
+
+The fast end of the solver portfolio's quality-vs-speed frontier:
+where :func:`repro.portfolio.bnb.bnb_map` *searches*, this mapper
+*samples*.  It takes the fractional placement produced by the
+Lagrangian relaxation (:func:`repro.portfolio.bnb.lagrangian_relaxation`
+— the per-guest host-choice frequencies of the dual subgradient
+ascent, a dependency-light stand-in for an LP solve), rounds it with a
+seeded RNG under the hard memory/storage constraints, repairs the
+result with a deterministic first-improvement move pass on the Eq. 10
+objective, routes it with the paper's own Networking stage, and keeps
+the best of ``n_trials`` rounded placements.
+
+Guarantees:
+
+* **Always valid.**  Sampling only ever considers hosts the guest
+  currently fits on (live :meth:`~repro.core.state.ClusterState.fits`
+  checks), the repair pass only applies fitting moves, and trials
+  whose placement cannot be greedily routed are discarded — so a
+  returned mapping always passes
+  :func:`repro.core.validate.validate_mapping` (Eqs. 1-9).  When *no*
+  trial yields a routable feasible placement, the mapper raises
+  instead of degrading.
+* **Deterministic per seed.**  All randomness flows from
+  ``derive(seed, "portfolio", "rounding", trial)``; ties in the repair
+  pass break on host order.  Same instance + same seed = same mapping,
+  byte for byte.
+* **Honest gap.**  ``meta["lower_bound"]`` carries the certified dual
+  bound (max of water-filling and Lagrangian), so callers can report
+  ``meta["gap"]`` without ever re-solving exactly.
+
+Obs spans: ``portfolio.rounding`` (root), ``portfolio.rounding.lp``,
+``portfolio.rounding.trials``, ``portfolio.rounding.networking``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Hashable
+
+import numpy as np
+
+from repro import obs
+from repro.core.cluster import PhysicalCluster
+from repro.core.mapping import Mapping, StageReport
+from repro.core.objective import waterfill_std
+from repro.core.state import ClusterState
+from repro.core.venv import VirtualEnvironment
+from repro.errors import MappingError, RoutingError
+from repro.hmn.config import HMNConfig
+from repro.hmn.networking import run_networking
+from repro.portfolio.bnb import lagrangian_relaxation
+from repro.seeding import derive
+
+__all__ = ["rounding_map"]
+
+NodeId = Hashable
+
+#: Rounding mixes the relaxation's frequencies with this much uniform
+#: mass so that hosts the dual ascent never picked keep a nonzero
+#: sampling probability (pure frequencies collapse onto few hosts).
+_UNIFORM_MIX = 0.15
+
+
+def _repair_pass(
+    state: ClusterState,
+    guests: list,
+    host_ids: list[NodeId],
+    max_passes: int = 4,
+) -> None:
+    """Deterministic first-improvement descent on the sum of squared
+    residuals (equivalent to Eq. 10 at fixed totals): repeatedly move a
+    guest to the host that most reduces it, while hard constraints keep
+    fitting.  O(1) per candidate via the residual delta; stops at a
+    local optimum or after *max_passes* sweeps."""
+    for _ in range(max_passes):
+        improved = False
+        for guest in guests:
+            src = state.host_of(guest.id)
+            d = guest.vproc
+            r_src = state.residual_proc(src)
+            # Delta of SS from moving demand d off src: residual r_src
+            # rises to r_src + d on src, falls by d on the destination.
+            best_delta = 0.0
+            best_host = None
+            src_gain = (r_src + d) ** 2 - r_src**2
+            for host in host_ids:
+                if host == src:
+                    continue
+                r_dst = state.residual_proc(host)
+                delta = src_gain + (r_dst - d) ** 2 - r_dst**2
+                if delta < best_delta - 1e-12 and state.fits(guest, host):
+                    best_delta = delta
+                    best_host = host
+            if best_host is not None:
+                state.unplace(guest.id)
+                state.place(guest, best_host)
+                improved = True
+        if not improved:
+            break
+
+
+def rounding_map(
+    cluster: PhysicalCluster,
+    venv: VirtualEnvironment,
+    config: HMNConfig | None = None,
+    *,
+    seed: int | np.random.Generator | None = None,
+    n_trials: int = 8,
+    subgradient_iters: int = 40,
+    repair_passes: int = 4,
+    placement_only: bool = False,
+) -> Mapping:
+    """Randomized-rounding mapping from the Lagrangian relaxation.
+
+    Rounds ``n_trials`` placements from the relaxation's fractional
+    solution (seeded, deterministic), repairs each with a local move
+    pass, routes each with the Networking stage, and returns the
+    routable placement with the best Eq. 10 objective.  With
+    ``placement_only=True`` routing is skipped and the best *feasible*
+    placement is returned pathless (for objective-only comparisons).
+
+    Raises :class:`~repro.errors.MappingError` when no trial produced
+    a feasible (and, unless ``placement_only``, routable) placement.
+    """
+    if config is None:
+        config = HMNConfig()
+    if n_trials < 1:
+        raise MappingError(f"rounding_map needs n_trials >= 1, got {n_trials}")
+    if isinstance(seed, np.random.Generator):
+        seed_int = int(seed.integers(0, 2**31))
+    else:
+        seed_int = int(seed) if seed is not None else 0
+
+    host_ids = list(cluster.host_ids)
+    guests = sorted(venv.guests(), key=lambda g: (-g.vmem, -g.vstor, g.id))
+    rec = obs.OBS
+    t0 = time.perf_counter()
+
+    with rec.span(
+        "portfolio.rounding",
+        n_guests=len(guests),
+        n_hosts=len(host_ids),
+        seed=seed_int,
+        n_trials=n_trials,
+    ) as root_span:
+        with rec.span("portfolio.rounding.lp"):
+            relax = lagrangian_relaxation(cluster, venv, iters=subgradient_iters)
+            base_state = ClusterState(cluster)
+            wf_bound = waterfill_std(
+                [base_state.residual_proc(h) for h in host_ids], venv.total_vproc()
+            )
+            lower_bound = max(relax.bound_std, wf_bound)
+        host_pos = {h: i for i, h in enumerate(host_ids)}
+        guest_row = {g: i for i, g in enumerate(relax.guest_ids)}
+        n_hosts = len(host_ids)
+        uniform = np.full(n_hosts, 1.0 / n_hosts)
+
+        best_objective = math.inf
+        best_assignment: dict[int, NodeId] | None = None
+        best_paths: dict | None = None
+        best_networking: dict | None = None
+        best_networking_s = 0.0
+        trials_feasible = 0
+        trials_routable = 0
+
+        with rec.span("portfolio.rounding.trials"):
+            for trial in range(n_trials):
+                rng = derive(seed_int, "portfolio", "rounding", trial)
+                state = ClusterState(cluster)
+                feasible = True
+                for guest in guests:
+                    row = relax.frequencies[guest_row[guest.id]]
+                    probs = (1.0 - _UNIFORM_MIX) * row + _UNIFORM_MIX * uniform
+                    fit_mask = np.array(
+                        [state.fits(guest, h) for h in host_ids], dtype=bool
+                    )
+                    if not fit_mask.any():
+                        feasible = False
+                        break
+                    probs = np.where(fit_mask, probs, 0.0)
+                    mass = probs.sum()
+                    if mass <= 0.0:
+                        probs = np.where(fit_mask, 1.0, 0.0)
+                        mass = probs.sum()
+                    choice = int(rng.choice(n_hosts, p=probs / mass))
+                    state.place(guest, host_ids[choice])
+                if not feasible:
+                    continue
+                trials_feasible += 1
+                _repair_pass(state, guests, host_ids, max_passes=repair_passes)
+                objective = state.objective()
+                if objective >= best_objective:
+                    continue
+                if placement_only:
+                    best_objective = objective
+                    best_assignment = state.assignments
+                    continue
+                t_route = time.perf_counter()
+                try:
+                    paths, networking_stats = run_networking(state, venv, config)
+                except RoutingError:
+                    continue
+                trials_routable += 1
+                best_objective = objective
+                best_assignment = state.assignments
+                best_paths = paths
+                best_networking = networking_stats
+                best_networking_s = time.perf_counter() - t_route
+
+        if best_assignment is None:
+            raise MappingError(
+                f"randomized rounding found no "
+                f"{'feasible' if placement_only else 'routable feasible'} "
+                f"placement in {n_trials} trials "
+                f"(feasible={trials_feasible})"
+            )
+
+        gap = max(0.0, best_objective - lower_bound) / max(abs(best_objective), 1e-12)
+        elapsed = time.perf_counter() - t0
+        if rec.enabled:
+            root_span.set(
+                objective=best_objective,
+                lower_bound=lower_bound,
+                gap=gap,
+                trials_feasible=trials_feasible,
+            )
+        meta = {
+            "objective": best_objective,
+            "lower_bound": lower_bound,
+            "gap": gap,
+            "seed": seed_int,
+            "n_trials": n_trials,
+            "trials_feasible": trials_feasible,
+            "trials_routable": trials_routable,
+        }
+        rounding_report = StageReport(
+            "rounding",
+            elapsed,
+            {
+                "objective": best_objective,
+                "trials_feasible": trials_feasible,
+                "lower_bound": lower_bound,
+            },
+        )
+        if placement_only:
+            return Mapping(
+                assignments=best_assignment,
+                paths={},
+                mapper="rounding",
+                stages=(rounding_report,),
+                meta={**meta, "placement_only": True},
+            )
+        return Mapping(
+            assignments=best_assignment,
+            paths=best_paths,
+            mapper="rounding",
+            stages=(
+                rounding_report,
+                StageReport("networking", best_networking_s, best_networking),
+            ),
+            meta=meta,
+        )

@@ -1,0 +1,117 @@
+"""In-repo rank statistics for the racing harness.
+
+The F-Race harness (:mod:`repro.portfolio.racing`) needs exactly two
+statistical primitives — fractional ranking with midranks for ties and
+the exact small-sample Wilcoxon signed-rank test — the same pair
+json2run's ``batch.py`` imports from scipy (``rankdata``/``wilcoxon``).
+Re-implementing them here keeps the library dependency-light (numpy
+only) and, more importantly, *deterministic down to the byte*: the
+elimination decisions of a race are pure functions of the score table,
+so a committed :class:`~repro.portfolio.policy.PortfolioPolicy` can be
+regenerated bit-identically on any machine.
+
+The Wilcoxon p-value is **exact**, not a normal approximation: the
+null distribution of the positive-rank sum is enumerated by dynamic
+programming over the (doubled, hence integral) ranks, which stays
+valid in the presence of midranks from ties.  On tie-free data it
+reproduces the published small-sample critical-value tables (verified
+against the classic two-sided 0.05/0.01 tables in
+``tests/test_portfolio_racing.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["rankdata", "wilcoxon", "WilcoxonResult"]
+
+
+def rankdata(values: Sequence[float]) -> list[float]:
+    """Fractional ranks (1-based) with midranks for ties.
+
+    Equivalent to ``scipy.stats.rankdata(values, method="average")``.
+    ``inf`` scores (failed candidates in a race) rank last; ``nan`` is
+    rejected because it has no defined order.
+    """
+    vals = list(values)
+    for v in vals:
+        if isinstance(v, float) and math.isnan(v):
+            raise ValueError("rankdata is undefined for NaN scores")
+    order = sorted(range(len(vals)), key=lambda i: (vals[i], 0))
+    ranks = [0.0] * len(vals)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and vals[order[j + 1]] == vals[order[i]]:
+            j += 1
+        midrank = (i + j + 2) / 2.0  # average of 1-based positions i+1..j+1
+        for k in range(i, j + 1):
+            ranks[order[k]] = midrank
+        i = j + 1
+    return ranks
+
+
+@dataclass(frozen=True, slots=True)
+class WilcoxonResult:
+    """Outcome of an exact Wilcoxon signed-rank test."""
+
+    #: ``min(W+, W-)`` — the tabled statistic.
+    statistic: float
+    #: Exact two-sided p-value (1.0 when no non-zero pairs remain).
+    p_value: float
+    #: Number of non-zero differences the test actually used.
+    n_used: int
+    #: Positive- and negative-rank sums (``W+``, ``W-``).
+    w_plus: float
+    w_minus: float
+
+
+def _exact_two_sided_p(ranks2: list[int], w2: int) -> float:
+    """Exact two-sided p-value of the signed-rank statistic.
+
+    *ranks2* are the doubled |difference| ranks (doubling makes
+    midranks integral), *w2* the doubled ``min(W+, W-)``.  Enumerates
+    the distribution of the positive-rank sum over all ``2**n`` equally
+    likely sign assignments by subset-sum DP — exact, and conditional
+    on the observed tie pattern.  Two-sided p is the symmetric
+    ``2 * P(W+ <= w)`` (capped at 1), matching scipy's exact mode.
+    """
+    total = sum(ranks2)
+    ways = [0] * (total + 1)
+    ways[0] = 1
+    for r in ranks2:
+        for s in range(total, r - 1, -1):
+            ways[s] += ways[s - r]
+    n_low = sum(ways[: w2 + 1])
+    return min(1.0, 2.0 * n_low / (1 << len(ranks2)))
+
+
+def wilcoxon(x: Sequence[float], y: Sequence[float]) -> WilcoxonResult:
+    """Exact paired two-sided Wilcoxon signed-rank test of ``x`` vs ``y``.
+
+    Zero differences are discarded (the classic "wilcox" zero method,
+    what the published critical-value tables assume); with no non-zero
+    differences the result is the degenerate ``p = 1.0``.  Ties among
+    |differences| receive midranks and the null distribution is
+    enumerated conditionally on them, so the p-value stays exact.
+    """
+    if len(x) != len(y):
+        raise ValueError(f"paired test needs equal lengths, got {len(x)} vs {len(y)}")
+    diffs = [float(a) - float(b) for a, b in zip(x, y)]
+    for d in diffs:
+        if math.isnan(d):
+            raise ValueError("wilcoxon is undefined for NaN differences")
+    nonzero = [d for d in diffs if d != 0.0]
+    if not nonzero:
+        return WilcoxonResult(0.0, 1.0, 0, 0.0, 0.0)
+    ranks = rankdata([abs(d) for d in nonzero])
+    w_plus = sum(r for r, d in zip(ranks, nonzero) if d > 0)
+    w_minus = sum(r for r, d in zip(ranks, nonzero) if d < 0)
+    statistic = min(w_plus, w_minus)
+    # Doubled ranks are integral even with midranks (k.5 -> 2k+1).
+    ranks2 = [round(2 * r) for r in ranks]
+    w2 = math.floor(2 * statistic + 1e-9)
+    p = _exact_two_sided_p(ranks2, w2)
+    return WilcoxonResult(statistic, p, len(nonzero), w_plus, w_minus)

@@ -169,6 +169,68 @@ class TestInjectedDivergence:
         assert report.divergences[0].artifact["grid_seed"] == 0
 
 
+class TestPortfolioArm:
+    """The solver-portfolio differential arm (bnb vs exact, rounding)."""
+
+    def test_portfolio_arm_smoke(self):
+        report = run_fuzz(0, runner_grids=0, shard_seeds=0, redundant_seeds=0,
+                          portfolio_seeds=6)
+        assert report.ok, [str(d) for d in report.divergences]
+        assert report.n_portfolio == 6
+
+    def test_arm_deterministic(self):
+        kwargs = dict(runner_grids=0, shard_seeds=0, redundant_seeds=0,
+                      portfolio_seeds=4)
+        assert run_fuzz(0, **kwargs).to_dict() == run_fuzz(0, **kwargs).to_dict()
+
+    def test_bnb_objective_divergence_detected(self, monkeypatch):
+        """A bnb solver claiming a better-than-exact optimum must surface
+        as a hard objective divergence with a replayable artifact."""
+        import repro.portfolio.bnb as bnb_mod
+
+        real = bnb_mod.bnb_map
+
+        def braggart(cluster, venv, config=None, **kwargs):
+            m = real(cluster, venv, config, **kwargs)
+            if m.meta["proven_optimal"]:
+                meta = dict(m.meta)
+                meta["objective"] = meta["objective"] - 1.0
+                return dataclasses.replace(m, meta=meta)
+            return m
+
+        monkeypatch.setattr(bnb_mod, "bnb_map", braggart)
+        report = run_fuzz(0, runner_grids=0, shard_seeds=0, redundant_seeds=0,
+                          portfolio_seeds=6)
+        checks = {d.check for d in report.divergences}
+        assert "portfolio-bnb-objective" in checks
+        offender = next(
+            d for d in report.divergences if d.check == "portfolio-bnb-objective"
+        )
+        assert {"cluster", "venv", "config", "portfolio_seed"} <= set(
+            offender.artifact
+        )
+
+    def test_rounding_violation_detected(self, monkeypatch):
+        """A rounding mapper that drops a guest must trip the Eq. 1-3
+        validation check."""
+        import repro.portfolio.rounding as rounding_mod
+
+        real = rounding_mod.rounding_map
+
+        def lossy(cluster, venv, config=None, **kwargs):
+            m = real(cluster, venv, config, **kwargs)
+            assignments = dict(m.assignments)
+            assignments.pop(min(assignments))
+            return dataclasses.replace(m, assignments=assignments)
+
+        monkeypatch.setattr(rounding_mod, "rounding_map", lossy)
+        report = run_fuzz(0, runner_grids=0, shard_seeds=0, redundant_seeds=0,
+                          portfolio_seeds=6)
+        assert "portfolio-rounding-validate" in {
+            d.check for d in report.divergences
+        }
+
+
 class TestExactCrossCheck:
     def test_exact_placement_only_skips_routing(self):
         from repro.extensions.exact import exact_map

@@ -138,3 +138,68 @@ class TestGuards:
         mapping = exact_map(cluster, venv)
         assert [s.name for s in mapping.stages] == ["search", "networking"]
         assert mapping.stage("search").extra["nodes_explored"] > 0
+
+
+class TestDeadline:
+    """Anytime behavior: an expired time budget returns the incumbent."""
+
+    def _hard_instance(self):
+        # 4^14 assignments: far beyond any sub-millisecond budget, but
+        # the first depth-first descent reaches a feasible leaf within
+        # the solver's 64-node deadline-check granularity.
+        cluster = torus_cluster(2, 2, hosts=random_hosts(4, rng=7))
+        venv = generate_virtual_environment(
+            14, workload=HIGH_LEVEL, density=0.1, seed=11
+        )
+        return cluster, venv
+
+    def test_expired_budget_returns_incumbent(self):
+        cluster, venv = self._hard_instance()
+        mapping = exact_map(
+            cluster,
+            venv,
+            placement_only=True,
+            max_search_nodes=50_000_000,
+            time_budget_s=1e-4,
+        )
+        assert mapping.meta["proven_optimal"] is False
+        # The partial search stopped early instead of burning the full
+        # node budget ...
+        assert mapping.meta["nodes_explored"] < 100_000
+        # ... and still returned a complete, honest incumbent.
+        assert set(mapping.assignments) == {g.id for g in venv.guests()}
+        assert mapping.meta["lower_bound"] <= mapping.meta["objective"]
+        report = validate_mapping(cluster, venv, mapping, raise_on_error=False)
+        assert not [
+            v for v in report.violations if v.constraint in ("eq1", "eq2", "eq3")
+        ]
+
+    def test_admissible_bound_under_budget(self):
+        # The reported bound must be a true lower bound: on an instance
+        # small enough to also solve exactly, the budget-expired bound
+        # cannot exceed the proven optimum.
+        cluster = torus_cluster(2, 2, hosts=random_hosts(4, rng=3))
+        venv = generate_virtual_environment(
+            8, workload=HIGH_LEVEL, density=0.2, seed=5
+        )
+        optimum = exact_map(cluster, venv, placement_only=True)
+        assert optimum.meta["proven_optimal"] is True
+        assert optimum.meta["lower_bound"] == optimum.meta["objective"]
+        rushed = exact_map(
+            cluster, venv, placement_only=True, time_budget_s=1e-5
+        )
+        assert rushed.meta["lower_bound"] <= optimum.meta["objective"] + 1e-9
+        assert rushed.meta["objective"] >= optimum.meta["objective"] - 1e-9
+
+    def test_config_budget_applies(self):
+        from repro.hmn.config import HMNConfig
+
+        cluster, venv = self._hard_instance()
+        mapping = exact_map(
+            cluster,
+            venv,
+            HMNConfig(time_budget_s=1e-4),
+            placement_only=True,
+            max_search_nodes=50_000_000,
+        )
+        assert mapping.meta["proven_optimal"] is False

@@ -1,0 +1,265 @@
+"""Anytime correctness of the branch-and-bound portfolio solver.
+
+The properties under test are the contract the solver portfolio sells:
+at every snapshot the reported lower bound can only rise, the incumbent
+can only fall, and the bound never crosses the incumbent; a run that
+proves optimality reports ``gap == 0`` and matches the exhaustive
+solver **bit-exactly** (both score leaves through the canonical
+:func:`~repro.core.objective.placement_objective`); a run cut off by a
+budget still returns a valid placement with an admissible bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Guest,
+    Host,
+    PhysicalCluster,
+    VirtualEnvironment,
+    VirtualLink,
+    validate_mapping,
+)
+from repro.errors import MappingError
+from repro.extensions import exact_map
+from repro.portfolio import bnb_map, lagrangian_relaxation, lagrangian_root_bound
+from repro.topology import random_hosts, torus_cluster
+from repro.workload import HIGH_LEVEL, generate_virtual_environment
+
+
+@st.composite
+def tiny_instance(draw):
+    n_hosts = draw(st.integers(2, 3))
+    n_guests = draw(st.integers(2, 6))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    cluster = PhysicalCluster()
+    for i in range(n_hosts):
+        cluster.add_host(
+            Host(i, proc=float(rng.uniform(500, 3000)),
+                 mem=int(rng.uniform(512, 2048)), stor=10_000.0)
+        )
+    for i in range(n_hosts - 1):
+        cluster.connect(i, i + 1, bw=1000.0, lat=5.0)
+    venv = VirtualEnvironment()
+    for g in range(n_guests):
+        venv.add_guest(
+            Guest(g, vproc=float(rng.uniform(50, 400)),
+                  vmem=int(rng.uniform(64, 512)), vstor=10.0)
+        )
+    for g in range(1, n_guests):
+        venv.add_vlink(VirtualLink(g, int(rng.integers(g)), vbw=1.0, vlat=100.0))
+    return cluster, venv
+
+
+def strip_elapsed(snapshots):
+    """Snapshots minus the wall-clock field (the only nondeterminism)."""
+    return [{k: v for k, v in s.items() if k != "elapsed_s"} for s in snapshots]
+
+
+class TestAnytimeProperties:
+    """Hypothesis: the snapshot trajectory honours the anytime contract."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(tiny_instance(), st.integers(0, 2**31 - 1))
+    def test_snapshot_monotonicity(self, instance, seed):
+        cluster, venv = instance
+        try:
+            mapping = bnb_map(
+                cluster, venv, placement_only=True, seed=seed, snapshot_every=4
+            )
+        except MappingError:
+            return
+        snaps = mapping.meta["snapshots"]
+        assert snaps, "every run records at least root + final snapshots"
+        lbs = [s["lower_bound"] for s in snaps]
+        assert all(a <= b for a, b in zip(lbs, lbs[1:])), (
+            "lower bound must be monotone nondecreasing"
+        )
+        incs = [s["incumbent"] for s in snaps if s["incumbent"] is not None]
+        assert all(a >= b for a, b in zip(incs, incs[1:])), (
+            "incumbent must be monotone nonincreasing"
+        )
+        for s in snaps:
+            if s["incumbent"] is not None:
+                assert s["lower_bound"] <= s["incumbent"]
+                assert s["gap"] is not None and s["gap"] >= 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(tiny_instance(), st.integers(0, 2**31 - 1))
+    def test_proven_matches_exact_bit_exactly(self, instance, seed):
+        cluster, venv = instance
+        try:
+            opt = exact_map(cluster, venv, placement_only=True)
+        except MappingError:
+            with pytest.raises(MappingError):
+                bnb_map(cluster, venv, placement_only=True, seed=seed)
+            return
+        mapping = bnb_map(cluster, venv, placement_only=True, seed=seed)
+        assert mapping.meta["proven_optimal"] is True
+        assert mapping.meta["gap"] == 0.0
+        assert mapping.meta["lower_bound"] == mapping.meta["objective"]
+        # Both solvers score leaves through placement_objective, so the
+        # proven optima are bit-comparable — no tolerance.
+        assert mapping.meta["objective"] == opt.meta["objective"]
+
+    @settings(max_examples=20, deadline=None)
+    @given(tiny_instance())
+    def test_root_bound_admissible(self, instance):
+        cluster, venv = instance
+        try:
+            opt = exact_map(cluster, venv, placement_only=True)
+        except MappingError:
+            return
+        mapping = bnb_map(cluster, venv, placement_only=True)
+        assert mapping.meta["root_bound"] <= opt.meta["objective"] + 1e-9
+        assert mapping.meta["root_bound"] == max(
+            mapping.meta["root_bound_waterfill"],
+            mapping.meta["root_bound_lagrangian"],
+        )
+
+
+class TestDeterminism:
+    def _instance(self):
+        cluster = torus_cluster(2, 2, hosts=random_hosts(4, rng=3))
+        venv = generate_virtual_environment(
+            6, workload=HIGH_LEVEL, density=0.3, seed=4
+        )
+        return cluster, venv
+
+    def test_same_seed_same_walk(self):
+        cluster, venv = self._instance()
+        a = bnb_map(cluster, venv, seed=99, snapshot_every=2)
+        b = bnb_map(cluster, venv, seed=99, snapshot_every=2)
+        assert a.assignments == b.assignments
+        assert a.paths == b.paths
+        assert strip_elapsed(a.meta["snapshots"]) == strip_elapsed(b.meta["snapshots"])
+        meta_a = {k: v for k, v in a.meta.items() if k != "snapshots"}
+        meta_b = {k: v for k, v in b.meta.items() if k != "snapshots"}
+        assert meta_a == meta_b
+
+    def test_seed_changes_only_the_walk_not_the_optimum(self):
+        cluster, venv = self._instance()
+        objectives = {
+            bnb_map(cluster, venv, placement_only=True, seed=s).meta["objective"]
+            for s in (0, 3, 99)
+        }
+        assert len(objectives) == 1, "proven optimum is seed-independent"
+
+
+class TestBudgets:
+    def _hard_instance(self):
+        cluster = torus_cluster(2, 2, hosts=random_hosts(4, rng=7))
+        venv = generate_virtual_environment(
+            14, workload=HIGH_LEVEL, density=0.1, seed=11
+        )
+        return cluster, venv
+
+    def test_node_budget_cutoff_is_honest(self):
+        cluster, venv = self._hard_instance()
+        mapping = bnb_map(cluster, venv, placement_only=True, max_nodes=200, seed=0)
+        assert mapping.meta["proven_optimal"] is False
+        # The node that trips the budget is itself counted.
+        assert mapping.meta["nodes_explored"] <= 201
+        assert mapping.meta["lower_bound"] <= mapping.meta["objective"]
+        assert mapping.meta["gap"] >= 0.0
+        assert set(mapping.assignments) == {g.id for g in venv.guests()}
+
+    def test_cutoff_bound_is_admissible(self):
+        # On an exactly solvable instance the cutoff's reported bound
+        # can never exceed the true optimum.
+        cluster = torus_cluster(2, 2, hosts=random_hosts(4, rng=3))
+        venv = generate_virtual_environment(
+            7, workload=HIGH_LEVEL, density=0.2, seed=9
+        )
+        opt = exact_map(cluster, venv, placement_only=True)
+        cut = bnb_map(cluster, venv, placement_only=True, max_nodes=10, seed=0)
+        assert cut.meta["lower_bound"] <= opt.meta["objective"] + 1e-9
+
+    def test_time_budget_cutoff(self):
+        cluster, venv = self._hard_instance()
+        mapping = bnb_map(
+            cluster,
+            venv,
+            placement_only=True,
+            max_nodes=None,
+            time_budget_s=1e-4,
+            seed=0,
+        )
+        assert mapping.meta["proven_optimal"] is False
+        assert mapping.meta["nodes_explored"] < 100_000
+
+    def test_budget_with_no_incumbent_raises(self):
+        cluster, venv = self._hard_instance()
+        with pytest.raises(MappingError, match="budget exhausted"):
+            bnb_map(cluster, venv, placement_only=True, max_nodes=2, seed=0)
+
+    def test_infeasible_raises(self):
+        cluster = PhysicalCluster.from_parts(
+            [Host(0, proc=1000.0, mem=100, stor=100.0)]
+        )
+        venv = VirtualEnvironment.from_parts(
+            [Guest(0, vproc=1.0, vmem=200, vstor=1.0)]
+        )
+        with pytest.raises(MappingError, match="no feasible placement"):
+            bnb_map(cluster, venv, placement_only=True)
+
+
+class TestLagrangian:
+    def test_relaxation_shape_and_bound(self):
+        cluster = torus_cluster(2, 2, hosts=random_hosts(4, rng=3))
+        venv = generate_virtual_environment(
+            6, workload=HIGH_LEVEL, density=0.3, seed=4
+        )
+        relax = lagrangian_relaxation(cluster, venv)
+        assert relax.frequencies.shape == (venv.n_guests, cluster.n_hosts)
+        assert np.allclose(relax.frequencies.sum(axis=1), 1.0)
+        assert relax.bound_std >= 0.0
+        assert lagrangian_root_bound(cluster, venv) == relax.bound_std
+
+    @settings(max_examples=20, deadline=None)
+    @given(tiny_instance())
+    def test_bound_never_exceeds_optimum(self, instance):
+        cluster, venv = instance
+        try:
+            opt = exact_map(cluster, venv, placement_only=True)
+        except MappingError:
+            return
+        assert lagrangian_root_bound(cluster, venv) <= opt.meta["objective"] + 1e-9
+
+    def test_empty_venv(self):
+        cluster = torus_cluster(2, 2, hosts=random_hosts(4, rng=3))
+        relax = lagrangian_relaxation(cluster, VirtualEnvironment())
+        assert relax.bound_std == 0.0
+        assert relax.frequencies.shape == (0, cluster.n_hosts)
+
+
+class TestIntegration:
+    def test_registered_and_routed(self):
+        from repro.baselines import get_mapper
+
+        cluster = torus_cluster(2, 2, hosts=random_hosts(4, rng=3))
+        venv = generate_virtual_environment(
+            6, workload=HIGH_LEVEL, density=0.3, seed=4
+        )
+        mapping = get_mapper("bnb")(cluster, venv, seed=0)
+        validate_mapping(cluster, venv, mapping)
+        assert mapping.mapper == "bnb"
+        assert [s.name for s in mapping.stages] == ["search", "networking"]
+
+    def test_final_snapshot_matches_meta(self):
+        cluster = torus_cluster(2, 2, hosts=random_hosts(4, rng=3))
+        venv = generate_virtual_environment(
+            6, workload=HIGH_LEVEL, density=0.3, seed=4
+        )
+        mapping = bnb_map(cluster, venv, placement_only=True, seed=0)
+        final = mapping.meta["snapshots"][-1]
+        assert final["incumbent"] == mapping.meta["objective"]
+        assert final["lower_bound"] == mapping.meta["lower_bound"]
+        assert final["gap"] == mapping.meta["gap"] == 0.0

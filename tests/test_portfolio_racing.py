@@ -1,0 +1,284 @@
+"""Deterministic statistics and byte-identical racing decisions.
+
+Three layers, innermost first: the in-repo rank statistics must
+reproduce the published exact Wilcoxon signed-rank critical-value
+tables; the elimination decision must be a pure function of the score
+table (a planted dominant candidate is always selected, reruns are
+byte-identical); a full race must serialize to the identical policy
+JSON across reruns and across BatchRunner worker counts.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.portfolio import (
+    Candidate,
+    PortfolioPolicy,
+    load_policy,
+    race,
+)
+from repro.portfolio.policy import (
+    POLICY_FORMAT,
+    FamilyVerdict,
+    topology_family,
+)
+from repro.portfolio.racing import eliminate_round
+from repro.portfolio.stats import rankdata, wilcoxon
+from repro.workload.suite import paper_clusters, paper_scenarios
+
+# Classic exact two-sided critical values for the Wilcoxon signed-rank
+# statistic min(W+, W-): reject at level alpha iff W <= crit.  (E.g.
+# Conover, "Practical Nonparametric Statistics"; identical across the
+# standard published tables.)
+CRITICAL_05 = {6: 0, 7: 2, 8: 3, 9: 5, 10: 8, 11: 10, 12: 13, 13: 17, 14: 21, 15: 25}
+CRITICAL_01 = {9: 1, 10: 3, 11: 5, 12: 7, 13: 9, 14: 12, 15: 15}
+
+
+def sample_with_statistic(n: int, w: int) -> tuple[list[float], list[float]]:
+    """Paired samples of *n* tie-free differences with min(W+, W-) = w.
+
+    Greedily picks a subset of the ranks {1..n} summing to *w* and
+    makes those differences negative; every w <= n(n+1)/4 is reachable.
+    """
+    negatives: set[int] = set()
+    remaining = w
+    for r in range(n, 0, -1):
+        if r <= remaining:
+            negatives.add(r)
+            remaining -= r
+    assert remaining == 0, f"cannot realize W={w} with n={n}"
+    x = [float(-r) if r in negatives else float(r) for r in range(1, n + 1)]
+    y = [0.0] * n
+    return x, y
+
+
+class TestRankdata:
+    def test_plain_ranks(self):
+        assert rankdata([30.0, 10.0, 20.0]) == [3.0, 1.0, 2.0]
+
+    def test_midranks_for_ties(self):
+        assert rankdata([1.0, 2.0, 2.0, 3.0]) == [1.0, 2.5, 2.5, 4.0]
+
+    def test_inf_ranks_last(self):
+        assert rankdata([math.inf, 1.0, math.inf]) == [2.5, 1.0, 2.5]
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            rankdata([1.0, math.nan])
+
+
+class TestWilcoxonExactness:
+    @pytest.mark.parametrize("n,crit", sorted(CRITICAL_05.items()))
+    def test_matches_published_table_at_05(self, n, crit):
+        x, y = sample_with_statistic(n, crit)
+        assert wilcoxon(x, y).p_value <= 0.05
+        x, y = sample_with_statistic(n, crit + 1)
+        assert wilcoxon(x, y).p_value > 0.05
+
+    @pytest.mark.parametrize("n,crit", sorted(CRITICAL_01.items()))
+    def test_matches_published_table_at_01(self, n, crit):
+        x, y = sample_with_statistic(n, crit)
+        assert wilcoxon(x, y).p_value <= 0.01
+        x, y = sample_with_statistic(n, crit + 1)
+        assert wilcoxon(x, y).p_value > 0.01
+
+    def test_statistic_decomposition(self):
+        x, y = sample_with_statistic(8, 3)
+        result = wilcoxon(x, y)
+        assert result.statistic == 3.0
+        assert result.w_minus == 3.0
+        assert result.w_plus + result.w_minus == 8 * 9 / 2
+        assert result.n_used == 8
+
+    def test_zero_differences_dropped(self):
+        # The "wilcox" zero method: (x, y) pairs with x == y vanish.
+        a = wilcoxon([1.0, 2.0, 3.0, 5.0, 5.0], [0.0, 0.0, 0.0, 5.0, 5.0])
+        b = wilcoxon([1.0, 2.0, 3.0], [0.0, 0.0, 0.0])
+        assert a == b
+
+    def test_degenerate_all_zero(self):
+        result = wilcoxon([1.0, 2.0], [1.0, 2.0])
+        assert result.p_value == 1.0
+        assert result.n_used == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            wilcoxon([1.0], [1.0, 2.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            wilcoxon([math.nan], [0.0])
+
+    def test_exact_p_is_dyadic(self):
+        # An exact p over 2^n sign assignments is a dyadic rational —
+        # the giveaway that no normal approximation snuck in.
+        x, y = sample_with_statistic(10, 8)
+        p = wilcoxon(x, y).p_value
+        assert p * (1 << 10) == round(p * (1 << 10))
+
+
+class TestEliminateRound:
+    def planted_blocks(self, n_blocks: int):
+        """'good' wins every block; 'bad' is always worst."""
+        return [
+            {"good": 1.0 + i, "mid": 2.0 + i, "bad": 3.0 + i}
+            for i in range(n_blocks)
+        ]
+
+    def test_planted_dominant_always_selected(self):
+        names = ["mid", "good", "bad"]
+        for n_blocks in (6, 8, 10, 12):
+            decision = eliminate_round(
+                names, self.planted_blocks(n_blocks), alpha=0.05
+            )
+            assert decision.leader == "good"
+            assert "good" in decision.survivors
+
+    def test_dominated_candidates_eliminated(self):
+        decision = eliminate_round(
+            ["good", "mid", "bad"], self.planted_blocks(10), alpha=0.05
+        )
+        # 10 blocks of strict dominance: p = 2/2^10 < 0.05 for both.
+        assert decision.survivors == ("good",)
+        assert {e.name for e in decision.eliminated} == {"mid", "bad"}
+        for e in decision.eliminated:
+            assert e.p_value <= 0.05
+            assert e.mean_rank > decision.mean_ranks["good"]
+
+    def test_too_few_blocks_eliminates_nobody(self):
+        decision = eliminate_round(
+            ["good", "mid", "bad"], self.planted_blocks(4), alpha=0.05
+        )
+        # min two-sided exact p at n=4 is 2/16 = 0.125 > alpha.
+        assert decision.survivors == ("good", "mid", "bad")
+        assert decision.eliminated == ()
+
+    def test_failures_rank_last(self):
+        blocks = [{"a": 1.0, "b": math.inf} for _ in range(6)]
+        decision = eliminate_round(["a", "b"], blocks, alpha=0.05)
+        assert decision.leader == "a"
+        assert decision.mean_ranks == {"a": 1.0, "b": 2.0}
+
+    def test_tie_breaks_on_input_order(self):
+        blocks = [{"x": 1.0, "y": 1.0} for _ in range(6)]
+        assert eliminate_round(["x", "y"], blocks, alpha=0.05).leader == "x"
+        assert eliminate_round(["y", "x"], blocks, alpha=0.05).leader == "y"
+
+    def test_pure_function_reruns_identical(self):
+        names = ["good", "mid", "bad"]
+        blocks = self.planted_blocks(9)
+        assert eliminate_round(names, blocks, alpha=0.05) == eliminate_round(
+            names, blocks, alpha=0.05
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError, match="at least one"):
+            eliminate_round([], [], alpha=0.05)
+
+
+def _small_race(workers: int, base_seed: int = 7) -> PortfolioPolicy:
+    clusters = paper_clusters(seed=base_seed, n_hosts=8)
+    scenarios = paper_scenarios()[:2]
+    candidates = (
+        Candidate("hmn", "hmn"),
+        Candidate("rounding", "rounding", {"n_trials": 4}),
+        Candidate("bnb-2k", "bnb", {"max_nodes": 2000}),
+    )
+    return race(
+        clusters,
+        scenarios,
+        candidates,
+        base_seed=base_seed,
+        workers=workers,
+        min_blocks=4,
+        max_rounds=2,
+        reps_per_round=2,
+        n_hosts=8,
+    )
+
+
+class TestRaceDeterminism:
+    def test_byte_identical_across_reruns_and_workers(self):
+        serial = _small_race(workers=1)
+        rerun = _small_race(workers=1)
+        parallel = _small_race(workers=2)
+        assert serial.to_json() == rerun.to_json()
+        assert serial.to_json() == parallel.to_json()
+
+    def test_policy_shape(self):
+        policy = _small_race(workers=1)
+        assert set(policy.families) == {"torus", "switched"}
+        for verdict in policy.families.values():
+            assert verdict.winner in policy.candidates
+            assert verdict.winner in verdict.survivors
+            assert verdict.blocks >= 4
+        # Every candidate is replayable from the policy alone.
+        for name in policy.candidates:
+            assert policy.specs[name]["mapper"]
+
+    def test_roundtrip_through_json(self, tmp_path):
+        policy = _small_race(workers=1)
+        path = policy.save(tmp_path / "policy.json")
+        loaded = load_policy(path)
+        assert loaded == policy
+        assert loaded.to_json() == policy.to_json()
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ModelError, match="unique"):
+            race(candidates=[Candidate("x", "hmn"), Candidate("x", "hmn")])
+
+
+class TestPolicy:
+    def _policy(self) -> PortfolioPolicy:
+        return PortfolioPolicy(
+            candidates=("a", "b"),
+            families={
+                "torus": FamilyVerdict("a", ("a",), (), 6, 1),
+                "switched": FamilyVerdict("a", ("a", "b"), (), 6, 1),
+            },
+            alpha=0.05,
+            base_seed=0,
+            specs={"a": {"mapper": "hmn", "kwargs": {}}},
+        )
+
+    def test_unknown_family_gets_majority_winner(self):
+        assert self._policy().recommend("generic") == "a"
+
+    def test_mapper_for_falls_back_to_registry_name(self):
+        policy = self._policy()
+        assert policy.mapper_for("torus") == ("hmn", {})
+        bare = PortfolioPolicy(
+            candidates=("hmn",),
+            families={"torus": FamilyVerdict("hmn", ("hmn",), (), 6, 1)},
+            alpha=0.05,
+            base_seed=0,
+        )
+        assert bare.mapper_for("torus") == ("hmn", {})
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ModelError, match="not a portfolio policy"):
+            PortfolioPolicy.from_dict({"format": "something-else"})
+
+    def test_format_marker(self):
+        assert self._policy().to_dict()["format"] == POLICY_FORMAT
+
+    def test_topology_family(self):
+        clusters = paper_clusters(seed=0, n_hosts=8)
+        families = {topology_family(c) for c in clusters.values()}
+        assert families == {"torus", "switched"}
+
+    def test_selector_uses_policy(self):
+        from repro.extensions.selector import recommend_mapper
+        from repro.workload import HIGH_LEVEL, generate_virtual_environment
+
+        clusters = paper_clusters(seed=0, n_hosts=8)
+        (torus,) = [c for c in clusters.values() if topology_family(c) == "torus"]
+        venv = generate_virtual_environment(
+            4, workload=HIGH_LEVEL, density=0.2, seed=1
+        )
+        assert recommend_mapper(torus, venv, policy=self._policy()) == "a"
+        assert recommend_mapper(torus, venv) == "hmn"

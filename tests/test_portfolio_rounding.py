@@ -1,0 +1,146 @@
+"""The randomized-rounding mapper: always valid, seeded, honestly bounded."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Guest,
+    Host,
+    PhysicalCluster,
+    VirtualEnvironment,
+    VirtualLink,
+    validate_mapping,
+)
+from repro.errors import MappingError
+from repro.extensions import exact_map
+from repro.portfolio import rounding_map
+from repro.topology import random_hosts, torus_cluster
+from repro.workload import HIGH_LEVEL, generate_virtual_environment
+
+
+@st.composite
+def small_instance(draw):
+    n_hosts = draw(st.integers(2, 4))
+    n_guests = draw(st.integers(2, 8))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    cluster = PhysicalCluster()
+    for i in range(n_hosts):
+        cluster.add_host(
+            Host(i, proc=float(rng.uniform(500, 3000)),
+                 mem=int(rng.uniform(512, 2048)), stor=10_000.0)
+        )
+    for i in range(n_hosts - 1):
+        cluster.connect(i, i + 1, bw=1000.0, lat=5.0)
+    venv = VirtualEnvironment()
+    for g in range(n_guests):
+        venv.add_guest(
+            Guest(g, vproc=float(rng.uniform(50, 400)),
+                  vmem=int(rng.uniform(64, 512)), vstor=10.0)
+        )
+    for g in range(1, n_guests):
+        venv.add_vlink(VirtualLink(g, int(rng.integers(g)), vbw=1.0, vlat=100.0))
+    return cluster, venv
+
+
+class TestAlwaysValid:
+    @settings(max_examples=30, deadline=None)
+    @given(small_instance(), st.integers(0, 2**31 - 1))
+    def test_output_always_validates(self, instance, seed):
+        cluster, venv = instance
+        try:
+            mapping = rounding_map(cluster, venv, seed=seed, n_trials=4)
+        except MappingError:
+            return  # a clean refusal is within contract
+        report = validate_mapping(cluster, venv, mapping, raise_on_error=False)
+        assert report.ok, [str(v) for v in report.violations]
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_instance(), st.integers(0, 2**31 - 1))
+    def test_never_beats_proven_optimum(self, instance, seed):
+        cluster, venv = instance
+        try:
+            opt = exact_map(cluster, venv, placement_only=True)
+        except MappingError:
+            with pytest.raises(MappingError):
+                rounding_map(cluster, venv, seed=seed, placement_only=True)
+            return
+        try:
+            rounded = rounding_map(
+                cluster, venv, seed=seed, placement_only=True, n_trials=4
+            )
+        except MappingError:
+            return
+        assert rounded.meta["objective"] >= opt.meta["objective"] - 1e-9
+        # The certified dual bound is admissible too.
+        assert rounded.meta["lower_bound"] <= opt.meta["objective"] + 1e-9
+
+    def test_infeasible_raises(self):
+        cluster = PhysicalCluster.from_parts(
+            [Host(0, proc=1000.0, mem=100, stor=100.0)]
+        )
+        venv = VirtualEnvironment.from_parts(
+            [Guest(0, vproc=1.0, vmem=200, vstor=1.0)]
+        )
+        with pytest.raises(MappingError, match="no feasible"):
+            rounding_map(cluster, venv, placement_only=True)
+
+
+class TestDeterminism:
+    def _instance(self):
+        cluster = torus_cluster(2, 2, hosts=random_hosts(4, rng=3))
+        venv = generate_virtual_environment(
+            6, workload=HIGH_LEVEL, density=0.3, seed=4
+        )
+        return cluster, venv
+
+    def test_same_seed_same_mapping(self):
+        cluster, venv = self._instance()
+        a = rounding_map(cluster, venv, seed=11)
+        b = rounding_map(cluster, venv, seed=11)
+        assert a.assignments == b.assignments
+        assert a.paths == b.paths
+        assert a.meta == b.meta
+
+    def test_generator_seed_accepted(self):
+        cluster, venv = self._instance()
+        a = rounding_map(cluster, venv, seed=np.random.default_rng(5))
+        b = rounding_map(cluster, venv, seed=np.random.default_rng(5))
+        assert a.assignments == b.assignments
+
+
+class TestMetaContract:
+    def _mapping(self):
+        cluster = torus_cluster(2, 2, hosts=random_hosts(4, rng=3))
+        venv = generate_virtual_environment(
+            6, workload=HIGH_LEVEL, density=0.3, seed=4
+        )
+        return rounding_map(cluster, venv, seed=0)
+
+    def test_gap_and_bound(self):
+        mapping = self._mapping()
+        assert mapping.meta["lower_bound"] <= mapping.meta["objective"] + 1e-9
+        assert mapping.meta["gap"] >= 0.0
+        assert 1 <= mapping.meta["trials_routable"] <= mapping.meta["trials_feasible"]
+
+    def test_stage_reports(self):
+        mapping = self._mapping()
+        assert [s.name for s in mapping.stages] == ["rounding", "networking"]
+
+    def test_registered_with_alias(self):
+        from repro.baselines import get_mapper
+
+        assert get_mapper("rounding") is rounding_map
+        assert get_mapper("lp-round") is rounding_map
+
+    def test_n_trials_validated(self):
+        cluster = torus_cluster(2, 2, hosts=random_hosts(4, rng=3))
+        venv = generate_virtual_environment(
+            4, workload=HIGH_LEVEL, density=0.3, seed=4
+        )
+        with pytest.raises(MappingError, match="n_trials"):
+            rounding_map(cluster, venv, n_trials=0)
